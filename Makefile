@@ -1,0 +1,35 @@
+# affectedge — reproduction of the DAC'22 affect-driven system-management paper.
+
+GO ?= go
+
+.PHONY: all build test test-short bench repro figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the training-heavy studies (seconds instead of minutes).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper (paper-vs-measured tables).
+repro:
+	$(GO) run ./cmd/repro
+
+# Record the deliverable outputs.
+figures:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,344 @@
+package affectedge
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//	BenchmarkAblationDeletionF      — deletion frequency f sweep (S_th fixed)
+//	BenchmarkAblationKillPolicy     — FIFO / LRU / random / hybrid / emotional
+//	BenchmarkAblationLearnedTable   — oracle vs online-learned affect table
+//	BenchmarkAblationHysteresis     — manager switching stability
+//	BenchmarkRateDistortion         — QP sweep: rate/quality/deletable units
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/affect"
+	"affectedge/internal/affectdata"
+	"affectedge/internal/android"
+	"affectedge/internal/core"
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/monkey"
+	"affectedge/internal/nn"
+)
+
+func BenchmarkAblationDeletionF(b *testing.B) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := h264.NewEncoder(h264.CalibrationEncoderConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := h264.DefaultEnergyModel()
+	lumaBytes := 176 * 144
+	std, err := h264.DecodePipeline(stream, h264.ModeStandard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eStd := model.Charge(std.Activity, lumaBytes).Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range []int{1, 2, 4} {
+			units, err := h264.SplitStream(stream)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kept, st := h264.ApplySelector(units, h264.SelectorConfig{Sth: h264.PaperSth, F: f})
+			ks, err := h264.MarshalStream(kept)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := h264.NewDecoder()
+			frames, err := dec.DecodeStream(ks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames = append(frames, dec.ConcealTo(len(src))...)
+			e := model.Charge(dec.Activity(), lumaBytes).Total()
+			psnr, err := h264.MeanPSNR(src, frames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prefix := "f" + itoa(f)
+			b.ReportMetric(100*(1-e/eStd), prefix+"_saving_%")
+			b.ReportMetric(psnr, prefix+"_psnr_dB")
+			b.ReportMetric(float64(st.UnitsDeleted), prefix+"_deleted")
+		}
+	}
+}
+
+func BenchmarkAblationKillPolicy(b *testing.B) {
+	mc := monkey.DefaultConfig()
+	mc.AppDist = core.MoodAppDistributions()
+	table, err := android.AffectTableFromSubjects()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totals := map[string]int64{}
+		for seed := int64(1); seed <= 6; seed++ {
+			cfg := mc
+			cfg.Seed = seed
+			wl, err := monkey.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events := make([]android.WorkloadEvent, len(wl.Events))
+			for j, e := range wl.Events {
+				events[j] = android.WorkloadEvent{At: e.At, App: e.App, Mood: e.Mood}
+			}
+			results, err := android.PolicyAblation(android.DefaultDeviceConfig(), table, events, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for name, m := range results {
+				totals[name] += m.BytesLoaded
+			}
+		}
+		base := float64(totals["fifo"])
+		for _, name := range []string{"lru", "random", "hybrid(0.50)", "emotional"} {
+			b.ReportMetric(100*(1-float64(totals[name])/base), name+"_vs_fifo_%")
+		}
+	}
+}
+
+func BenchmarkAblationLearnedTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var oracleMem, learnedMem float64
+		for seed := int64(1); seed <= 6; seed++ {
+			cfg := core.DefaultAppStudyConfig()
+			cfg.Monkey.Seed = seed
+			res, err := core.RunAppStudy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oracleMem += res.Comparison.MemorySavingPct
+			cfg.LearnedTable = true
+			res, err = core.RunAppStudy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			learnedMem += res.Comparison.MemorySavingPct
+		}
+		b.ReportMetric(oracleMem/6, "oracle_mem_saving_%")
+		b.ReportMetric(learnedMem/6, "learned_mem_saving_%")
+	}
+}
+
+func BenchmarkAblationHysteresis(b *testing.B) {
+	// Feed a noisy observation stream (occasional misclassifications) and
+	// count mode switches per hysteresis setting: higher hysteresis means
+	// fewer spurious hardware reconfigurations.
+	mkStream := func() []core.Observation {
+		var obs []core.Observation
+		labels := []emotion.Label{emotion.Calm, emotion.Calm, emotion.Calm, emotion.Angry,
+			emotion.Calm, emotion.Calm, emotion.Angry, emotion.Calm}
+		for i := 0; i < 200; i++ {
+			obs = append(obs, core.Observation{
+				At: time.Duration(i) * 15 * time.Second, Label: labels[i%len(labels)], Confidence: 0.9,
+			})
+		}
+		return obs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, h := range []int{1, 2, 3} {
+			cfg := core.DefaultManagerConfig()
+			cfg.Hysteresis = h
+			m, err := core.NewManager(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var switches int
+			for _, o := range mkStream() {
+				sw, err := m.Observe(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sw {
+					switches++
+				}
+			}
+			b.ReportMetric(float64(switches), "h"+itoa(h)+"_switches")
+		}
+	}
+}
+
+func BenchmarkRateDistortion(b *testing.B) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := h264.RateDistortionSweep(src, h264.CalibrationEncoderConfig(),
+			[]int{22, 28, 34, 40}, h264.DefaultEnergyModel(), 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			prefix := "qp" + itoa(p.QP)
+			b.ReportMetric(p.BitsPerSec/1000, prefix+"_kbps")
+			b.ReportMetric(p.PSNR, prefix+"_psnr_dB")
+			b.ReportMetric(float64(p.SmallUnits), prefix+"_deletable")
+		}
+	}
+}
+
+// BenchmarkAblationModelFamilies extends the Fig 3 comparison with the GRU
+// and spectrogram-CNN variants: five families on one corpus.
+func BenchmarkAblationModelFamilies(b *testing.B) {
+	feature := affect.FeatureConfig{SampleRate: 8000, NumFrames: 30, NumMFCC: 13, HistBins: 10}
+	spec := affectdata.EMOVO()
+	clips, err := spec.Generate(1, 140)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := affectdata.Split(clips, 0.25)
+	trainEx, classOf, err := affect.Dataset(train, feature)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var testEx []nn.Example
+	for _, c := range test {
+		x, err := affect.Features(c.Wave, feature)
+		if err != nil {
+			b.Fatal(err)
+		}
+		testEx = append(testEx, nn.Example{X: x, Y: classOf[int(c.Label)]})
+	}
+	builders := []struct {
+		name  string
+		build func() (*nn.Sequential, error)
+	}{
+		{"NN", func() (*nn.Sequential, error) {
+			return affect.Build(affect.MLP, feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		}},
+		{"CNN", func() (*nn.Sequential, error) {
+			return affect.Build(affect.CNN, feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		}},
+		{"LSTM", func() (*nn.Sequential, error) {
+			return affect.Build(affect.LSTMNet, feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		}},
+		{"GRU", func() (*nn.Sequential, error) {
+			return affect.BuildGRU(feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		}},
+		{"CNN2D", func() (*nn.Sequential, error) {
+			return affect.BuildSpectrogramCNN(feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range builders {
+			net, err := f.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tc := nn.TrainConfig{Epochs: 8, BatchSize: 8, Optimizer: nn.NewAdam(3e-3), Seed: 1}
+			if _, err := net.Fit(trainEx, tc); err != nil {
+				b.Fatal(err)
+			}
+			acc, err := net.Evaluate(testEx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*acc, f.name+"_acc_%")
+			b.ReportMetric(float64(net.NumParams())/1000, f.name+"_kparams")
+		}
+	}
+}
+
+// BenchmarkInt8Inference compares the true integer pipeline against the
+// float MLP on the paper's feature shape — the wearable deployment story.
+func BenchmarkInt8Inference(b *testing.B) {
+	feature := affect.DefaultFeatureConfig(8000)
+	net, err := affect.Build(affect.MLP, feature.NumFrames, feature.Dim(), 7, affect.FastScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := affectdata.EMOVO()
+	clips, err := spec.Generate(1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var exs []nn.Example
+	for _, c := range clips {
+		x, err := affect.Features(c.Wave, feature)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exs = append(exs, nn.Example{X: x, Y: 0})
+	}
+	st, err := nn.CalibrateMLP(net, exs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := nn.BuildQMLP(net, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat := &nn.Tensor{Data: exs[0].X.Data, Cols: len(exs[0].X.Data)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Infer(flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(nn.Float32SizeBytes(net))/1024, "float_KB")
+	b.ReportMetric(float64(q.SizeBytes())/1024, "int8_KB")
+}
+
+// BenchmarkAblationPrefetch measures the prefetching extension: proactive
+// loading of mood favorites versus the plain emotional manager.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	table, err := android.AffectTableFromSubjects()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := monkey.DefaultConfig()
+	mc.AppDist = core.MoodAppDistributions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var plainBytes, pfBytes, pfTraffic int64
+		var useful, prefetches int
+		for seed := int64(1); seed <= 6; seed++ {
+			cfg := mc
+			cfg.Seed = seed
+			wl, err := monkey.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events := make([]android.WorkloadEvent, len(wl.Events))
+			for j, e := range wl.Events {
+				events[j] = android.WorkloadEvent{At: e.At, App: e.App, Mood: e.Mood}
+			}
+			policy, err := android.NewEmotionalPolicy(table)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain, err := android.Run(android.DefaultDeviceConfig(), policy, events)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf, err := android.RunWithPrefetch(android.DefaultDeviceConfig(), table, events, android.DefaultPrefetchConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plainBytes += plain.Metrics.BytesLoaded
+			pfBytes += pf.BytesLoaded
+			pfTraffic += pf.BytesLoaded + pf.PrefetchBytes
+			useful += pf.PrefetchUseful
+			prefetches += pf.Prefetches
+		}
+		b.ReportMetric(100*(1-float64(pfBytes)/float64(plainBytes)), "launch_load_saving_%")
+		b.ReportMetric(100*(float64(pfTraffic)/float64(plainBytes)-1), "total_traffic_overhead_%")
+		b.ReportMetric(100*float64(useful)/float64(prefetches), "prefetch_hit_%")
+	}
+}

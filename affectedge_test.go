@@ -1,0 +1,263 @@
+package affectedge
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+)
+
+func TestTrainAndClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	c, err := TrainClassifier(ClassifierLSTM, TrainOptions{
+		Corpus: "EMOVO", Clips: 84, Epochs: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Classes()) != 7 {
+		t.Fatalf("%d classes, want 7 (EMOVO)", len(c.Classes()))
+	}
+	// Classify a batch of fresh utterances; accuracy must beat chance.
+	var hits, total int
+	for seed := int64(100); seed < 104; seed++ {
+		for _, label := range []Emotion{emotion.Happy, emotion.Sad, emotion.Angry} {
+			wave, _, err := SyntheticSpeech(label, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, probs, err := c.Classify(wave)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(probs) != 7 {
+				t.Fatalf("%d probabilities", len(probs))
+			}
+			var sum float64
+			for _, p := range probs {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("probabilities sum to %g", sum)
+			}
+			total++
+			if got == label {
+				hits++
+			}
+		}
+	}
+	if float64(hits)/float64(total) < 0.34 { // chance is 1/7
+		t.Errorf("classification %d/%d below 2x chance", hits, total)
+	}
+}
+
+func TestClassifierSaveLoadQuantize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	c, err := TrainClassifier(ClassifierMLP, TrainOptions{Clips: 42, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := TrainClassifier(ClassifierMLP, TrainOptions{Clips: 42, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fb, qb, err := c.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb <= qb*3 {
+		t.Errorf("quantized size %d not ~4x below float %d", qb, fb)
+	}
+	if c.NumParams() == 0 {
+		t.Error("no parameters reported")
+	}
+}
+
+func TestTrainClassifierValidation(t *testing.T) {
+	if _, err := TrainClassifier(ClassifierKind(9), TrainOptions{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := TrainClassifier(ClassifierMLP, TrainOptions{Corpus: "nope"}); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+}
+
+func TestNewManagerAndObserve(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Observe(Observation{
+			At: time.Duration(i) * time.Second, Label: emotion.Angry, Confidence: 0.9,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.DecoderMode() != h264.ModeStandard {
+		t.Errorf("mode %v after sustained anger, want standard (tense)", m.DecoderMode())
+	}
+	if m.Mood() != emotion.Excited {
+		t.Error("mood should be excited")
+	}
+}
+
+func TestAdaptiveDecode(t *testing.T) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := h264.NewEncoder(h264.CalibrationEncoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, deleted, eStd, err := AdaptiveDecode(stream, h264.ModeStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 12 || deleted != 0 {
+		t.Errorf("standard: frames=%d deleted=%d", frames, deleted)
+	}
+	framesC, deletedC, eCmb, err := AdaptiveDecode(stream, h264.ModeCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if framesC != 12 {
+		t.Errorf("combined output %d frames", framesC)
+	}
+	if deletedC == 0 {
+		t.Error("combined mode deleted nothing")
+	}
+	if eCmb >= eStd {
+		t.Errorf("combined energy %.0f not below standard %.0f", eCmb, eStd)
+	}
+}
+
+func TestPlaybackAndAppStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("studies skipped in -short mode")
+	}
+	samples, rate, err := SyntheticSCRecording(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving, err := PlaybackStudy(samples, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving < 10 || saving > 35 {
+		t.Errorf("playback saving %.1f%% implausible", saving)
+	}
+	mem, tm, err := AppStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem <= -20 || mem >= 60 || tm <= -20 || tm >= 60 {
+		t.Errorf("app study savings %.1f/%.1f implausible", mem, tm)
+	}
+}
+
+func TestSimulatedSession(t *testing.T) {
+	fifo, err := SimulatedSession(1, "fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emo, err := SimulatedSession(1, "emotional")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Launches != emo.Launches {
+		t.Error("policies saw different workloads")
+	}
+	if fifo.ColdStarts == 0 {
+		t.Error("no cold starts recorded")
+	}
+	if _, err := SimulatedSession(1, "lru"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunFig6Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decode-heavy report skipped in -short mode")
+	}
+	rep, err := RunFig6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Modes) != 4 {
+		t.Fatalf("%d modes", len(rep.Modes))
+	}
+	out := rep.FormatFig6()
+	for _, want := range []string{"standard", "df-off", "deletion", "combined", "23.1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig7Report(t *testing.T) {
+	out := RunFig7().FormatFig7()
+	for _, want := range []string{"messaging", "internet_browser", "subj1", "subj4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig9Report(t *testing.T) {
+	rep, err := RunFig9(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineKills <= rep.EmotionalKills {
+		t.Errorf("baseline kills %d <= emotional %d", rep.BaselineKills, rep.EmotionalKills)
+	}
+	out := rep.FormatFig9()
+	if !strings.Contains(out, "FIFO") || !strings.Contains(out, "emotional") {
+		t.Error("Fig9 output missing manager names")
+	}
+}
+
+func TestRunFig10Report(t *testing.T) {
+	rep, err := RunFig10([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineBytes <= rep.EmotionalBytes {
+		t.Errorf("baseline bytes %d <= emotional %d", rep.BaselineBytes, rep.EmotionalBytes)
+	}
+	out := rep.FormatFig10()
+	if !strings.Contains(out, "paper 17%") || !strings.Contains(out, "paper 12%") {
+		t.Error("Fig10 output missing paper references")
+	}
+}
+
+func TestSyntheticSpeech(t *testing.T) {
+	wave, rate, err := SyntheticSpeech(emotion.Happy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 || len(wave) < 4000 {
+		t.Errorf("rate=%g len=%d", rate, len(wave))
+	}
+}

@@ -1,0 +1,278 @@
+package affectedge
+
+// Benchmark harness: one benchmark per quantitative figure of the paper.
+// Each reports the paper-comparable headline numbers via b.ReportMetric
+// (units in the metric name) so `go test -bench=.` regenerates the whole
+// evaluation:
+//
+//	BenchmarkFig3aConfusionMatrix    — LSTM confusion on RAVDESS
+//	BenchmarkFig3bClassifierAccuracy — accuracy per model family
+//	BenchmarkFig3cWeightSize         — float vs int8 model size
+//	BenchmarkFig3dQuantizedAccuracy  — float vs int8 accuracy
+//	BenchmarkFig6DecoderModes        — per-mode power savings
+//	BenchmarkFig6PlaybackEnergy      — 40-min session energy saving
+//	BenchmarkFig7UsageDistribution   — subject usage mixes
+//	BenchmarkFig9ProcessDiagram      — kills under both managers
+//	BenchmarkFig10MemorySavings      — memory/time savings
+//
+// Absolute wall-clock numbers measure the simulator, not the paper's
+// silicon; the reported custom metrics are the reproduction targets.
+
+import (
+	"testing"
+
+	"affectedge/internal/affect"
+	"affectedge/internal/affectdata"
+	"affectedge/internal/core"
+	"affectedge/internal/h264"
+	"affectedge/internal/sc"
+	"affectedge/internal/video"
+)
+
+// benchFig3Config keeps the training benches affordable while preserving
+// the qualitative orderings.
+func benchFig3Config(seed int64) affect.StudyConfig {
+	cfg := affect.DefaultStudyConfig()
+	cfg.ClipsPerCorpus = 140
+	cfg.Epochs = 8
+	cfg.Seed = seed
+	return cfg
+}
+
+func BenchmarkFig3aConfusionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchFig3Config(int64(i) + 1)
+		spec := affectdata.RAVDESS()
+		clips, err := spec.Generate(cfg.Seed, cfg.ClipsPerCorpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		train, test := affectdata.Split(clips, cfg.TestFraction)
+		_ = train
+		_ = test
+		study, err := affect.RunStudy(affect.StudyConfig{
+			ClipsPerCorpus: cfg.ClipsPerCorpus, TestFraction: cfg.TestFraction,
+			Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LearningRate: cfg.LearningRate,
+			Scale: cfg.Scale, Seed: cfg.Seed, Feature: cfg.Feature,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, ok := study.Get("RAVDESS", affect.LSTMNet)
+		if !ok {
+			b.Fatal("no RAVDESS LSTM result")
+		}
+		var diag, total int
+		for i, row := range r.Confusion {
+			for j, v := range row {
+				total += v
+				if i == j {
+					diag += v
+				}
+			}
+		}
+		b.ReportMetric(100*float64(diag)/float64(total), "diag_acc_%")
+	}
+}
+
+func BenchmarkFig3bClassifierAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := affect.RunStudy(benchFig3Config(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*study.MeanAccuracy(affect.MLP), "NN_acc_%")
+		b.ReportMetric(100*study.MeanAccuracy(affect.CNN), "CNN_acc_%")
+		b.ReportMetric(100*study.MeanAccuracy(affect.LSTMNet), "LSTM_acc_%")
+	}
+}
+
+func BenchmarkFig3cWeightSize(b *testing.B) {
+	// Sizes are properties of the paper-scale builders; no training needed.
+	cfg := affect.DefaultFeatureConfig(8000)
+	for i := 0; i < b.N; i++ {
+		budgets, err := affect.ParamBudgets(cfg, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(budgets[affect.MLP])*4/1024, "NN_float_KB")
+		b.ReportMetric(float64(budgets[affect.CNN])*4/1024, "CNN_float_KB")
+		b.ReportMetric(float64(budgets[affect.LSTMNet])*4/1024, "LSTM_float_KB")
+		b.ReportMetric(float64(budgets[affect.MLP])/1024, "NN_8bit_KB")
+		b.ReportMetric(float64(budgets[affect.CNN])/1024, "CNN_8bit_KB")
+		b.ReportMetric(float64(budgets[affect.LSTMNet])/1024, "LSTM_8bit_KB")
+	}
+}
+
+func BenchmarkFig3dQuantizedAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := affect.RunStudy(benchFig3Config(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kind := range affect.ModelKinds() {
+			r, ok := study.Get("EMOVO", kind)
+			if !ok {
+				b.Fatal("missing EMOVO result")
+			}
+			b.ReportMetric(100*r.Accuracy, kind.String()+"_float_%")
+			b.ReportMetric(100*r.QuantAccuracy, kind.String()+"_8bit_%")
+		}
+	}
+}
+
+func BenchmarkFig6DecoderModes(b *testing.B) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := h264.CompareModes(src, h264.CalibrationEncoderConfig(), h264.DefaultEnergyModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reports {
+			b.ReportMetric(r.SavingPct, string(r.Mode.String())+"_saving_%")
+		}
+	}
+}
+
+func BenchmarkFig6PlaybackEnergy(b *testing.B) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := video.MeasureModeRates(src, h264.CalibrationEncoderConfig(), h264.DefaultEnergyModel(), 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var schedule []video.Scheduled
+		for _, s := range affectdata.UulmMACSchedule() {
+			schedule = append(schedule, video.Scheduled{StartMin: s.StartMin, EndMin: s.EndMin, State: s.State})
+		}
+		truth, err := video.RunWithSchedule(schedule, rates, video.PaperPolicy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cls, err := video.RunWithClassifier(tr.Samples, tr.SampleRate, sc.DefaultConfig(),
+			rates, video.PaperPolicy(), tr.StateAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(truth.SavingPct, "truth_saving_%")
+		b.ReportMetric(cls.SavingPct, "classifier_saving_%")
+		b.ReportMetric(100*cls.ClassifierAccuracy, "sc_acc_%")
+	}
+}
+
+func BenchmarkFig7UsageDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := RunFig7()
+		for _, s := range rep.Subjects {
+			b.ReportMetric(100*s.MessagingBrowsingShare(),
+				"subj"+string(rune('0'+s.ID))+"_msg_browse_%")
+		}
+	}
+}
+
+func BenchmarkFig9ProcessDiagram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultAppStudyConfig()
+		cfg.Monkey.Seed = int64(i) + 1
+		res, err := core.RunAppStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Comparison.Baseline.Metrics.Kills), "fifo_kills")
+		b.ReportMetric(float64(res.Comparison.Emotional.Metrics.Kills), "emotional_kills")
+	}
+}
+
+func BenchmarkFig10MemorySavings(b *testing.B) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunFig10(seeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.MemorySavingPct, "memory_saving_%")
+		b.ReportMetric(rep.TimeSavingPct, "time_saving_%")
+		b.ReportMetric(float64(rep.BaselineBytes), "baseline_bytes")
+	}
+}
+
+// BenchmarkAblationSth sweeps the Input Selector threshold, the design
+// knob DESIGN.md calls out: larger S_th deletes more units for more power
+// saving at more quality loss.
+func BenchmarkAblationSth(b *testing.B) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := h264.NewEncoder(h264.CalibrationEncoderConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, units, err := enc.EncodeSequence(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = units
+	model := h264.DefaultEnergyModel()
+	lumaBytes := 176 * 144
+	std, err := h264.DecodePipeline(stream, h264.ModeStandard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eStd := model.Charge(std.Activity, lumaBytes).Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sth := range []int{70, 140, 280, 560} {
+			all, err := h264.SplitStream(stream)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kept, st := h264.ApplySelector(all, h264.SelectorConfig{Sth: sth, F: 1})
+			ks, err := h264.MarshalStream(kept)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := h264.NewDecoder()
+			frames, err := dec.DecodeStream(ks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames = append(frames, dec.ConcealTo(len(src))...)
+			e := model.Charge(dec.Activity(), lumaBytes).Total()
+			psnr, err := h264.MeanPSNR(src, frames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prefix := "sth" + itoa(sth)
+			b.ReportMetric(100*(1-e/eStd), prefix+"_saving_%")
+			b.ReportMetric(psnr, prefix+"_psnr_dB")
+			b.ReportMetric(float64(st.UnitsDeleted), prefix+"_deleted")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

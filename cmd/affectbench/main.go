@@ -1,0 +1,100 @@
+// Command affectbench runs the §2 classifier comparison (Fig 3): it
+// synthesizes the three emotional-speech corpora, trains MLP/CNN/LSTM
+// classifiers, and reports accuracy, weight size, and int8 quantization
+// impact.
+//
+// Usage:
+//
+//	affectbench [-clips N] [-epochs N] [-paperscale] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"affectedge"
+	"affectedge/internal/affect"
+	"affectedge/internal/affectdata"
+	"affectedge/internal/nn"
+)
+
+func main() {
+	clips := flag.Int("clips", 0, "clips per corpus (0 = default 420)")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = default 14)")
+	paperScale := flag.Bool("paperscale", false, "train full paper-size models (~0.5M params, slow)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	extended := flag.Bool("extended", false, "also train the GRU and spectrogram-CNN extension variants")
+	flag.Parse()
+
+	if *extended {
+		if err := runExtended(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "affectbench:", err)
+			os.Exit(1)
+		}
+	}
+	rep, err := affectedge.RunFig3(affectedge.Fig3Options{
+		ClipsPerCorpus: *clips,
+		Epochs:         *epochs,
+		PaperScale:     *paperScale,
+		Seed:           *seed,
+		Progress:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affectbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.FormatFig3())
+}
+
+// runExtended trains the two extension families on EMOVO and prints their
+// accuracy next to their parameter budgets.
+func runExtended(seed int64) error {
+	feature := affect.DefaultFeatureConfig(8000)
+	spec := affectdata.EMOVO()
+	clips, err := spec.Generate(seed, 280)
+	if err != nil {
+		return err
+	}
+	train, test := affectdata.Split(clips, 0.25)
+	trainEx, classOf, err := affect.Dataset(train, feature)
+	if err != nil {
+		return err
+	}
+	var testEx []nn.Example
+	for _, c := range test {
+		x, err := affect.Features(c.Wave, feature)
+		if err != nil {
+			return err
+		}
+		testEx = append(testEx, nn.Example{X: x, Y: classOf[int(c.Label)]})
+	}
+	fmt.Println("extension families on EMOVO:")
+	builders := []struct {
+		name  string
+		build func() (*nn.Sequential, error)
+	}{
+		{"GRU", func() (*nn.Sequential, error) {
+			return affect.BuildGRU(feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, seed)
+		}},
+		{"CNN-2D", func() (*nn.Sequential, error) {
+			return affect.BuildSpectrogramCNN(feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, seed)
+		}},
+	}
+	for _, b := range builders {
+		net, err := b.build()
+		if err != nil {
+			return err
+		}
+		tc := nn.TrainConfig{Epochs: 12, BatchSize: 16, Optimizer: nn.NewAdam(2e-3), Seed: seed}
+		if _, err := net.Fit(trainEx, tc); err != nil {
+			return err
+		}
+		acc, err := net.Evaluate(testEx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s acc %.1f%%  (%d params)\n", b.name, 100*acc, net.NumParams())
+	}
+	return nil
+}

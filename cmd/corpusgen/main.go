@@ -1,0 +1,96 @@
+// Command corpusgen exports the synthetic evaluation data to disk:
+// emotional-speech clips as WAV files (one per label/actor combination)
+// and the uulmMAC-style skin-conductance trace as CSV, so the substituted
+// datasets can be inspected, played back, or consumed by external tools.
+//
+// Usage:
+//
+//	corpusgen -out DIR [-corpus RAVDESS|EMOVO|CREMA-D] [-clips N] [-seed N] [-sc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"affectedge/internal/affectdata"
+	"affectedge/internal/dsp"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	corpus := flag.String("corpus", "EMOVO", "corpus to synthesize: RAVDESS, EMOVO or CREMA-D")
+	clips := flag.Int("clips", 28, "number of clips to export")
+	seed := flag.Int64("seed", 1, "generation seed")
+	withSC := flag.Bool("sc", true, "also export the 40-min skin-conductance trace as CSV")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "corpusgen: -out is required")
+		os.Exit(2)
+	}
+	if err := run(*out, *corpus, *clips, *seed, *withSC); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, corpus string, clips int, seed int64, withSC bool) error {
+	var spec affectdata.Spec
+	switch corpus {
+	case "RAVDESS":
+		spec = affectdata.RAVDESS()
+	case "EMOVO":
+		spec = affectdata.EMOVO()
+	case "CREMA-D":
+		spec = affectdata.CREMAD()
+	default:
+		return fmt.Errorf("unknown corpus %q", corpus)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	data, err := spec.Generate(seed, clips)
+	if err != nil {
+		return err
+	}
+	for i, c := range data {
+		name := fmt.Sprintf("%s_%03d_actor%02d_%s.wav", spec.Name, i, c.Actor, c.Label)
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		err = dsp.WriteWAV(f, c.Wave, int(spec.SampleRate))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d clips of %s to %s\n", len(data), spec.Name, out)
+
+	if withSC {
+		tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, seed)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(out, "sc_trace.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := fmt.Fprintln(f, "minute,sc_uS,state"); err != nil {
+			return err
+		}
+		for i, v := range tr.Samples {
+			min := float64(i) / tr.SampleRate / 60
+			if _, err := fmt.Fprintf(f, "%.4f,%.4f,%s\n", min, v, tr.StateAt(min)); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote sc_trace.csv (%d samples)\n", len(tr.Samples))
+	}
+	return nil
+}

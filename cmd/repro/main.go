@@ -1,0 +1,81 @@
+// Command repro regenerates every quantitative figure of the paper and
+// prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	repro [-fig 3|6|7|9|10|all] [-seed N] [-clips N] [-epochs N] [-paperscale] [-v]
+//
+// -paperscale trains the full ~0.5M-parameter classifiers for Fig 3
+// (slow); the default reduced models preserve the qualitative ordering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"affectedge"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 3, 6, 7, 9, 10 or all")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	clips := flag.Int("clips", 0, "clips per corpus for Fig 3 (0 = default 420)")
+	epochs := flag.Int("epochs", 0, "training epochs for Fig 3 (0 = default 14)")
+	paperScale := flag.Bool("paperscale", false, "train full paper-size classifiers (slow)")
+	verbose := flag.Bool("v", false, "per-model training progress")
+	flag.Parse()
+
+	if err := run(*fig, *seed, *clips, *epochs, *paperScale, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, seed int64, clips, epochs int, paperScale, verbose bool) error {
+	all := fig == "all"
+	if all || fig == "3" {
+		var progress io.Writer
+		if verbose {
+			progress = os.Stderr
+		}
+		rep, err := affectedge.RunFig3(affectedge.Fig3Options{
+			ClipsPerCorpus: clips, Epochs: epochs, PaperScale: paperScale,
+			Seed: seed, Progress: progress,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.FormatFig3())
+	}
+	if all || fig == "6" {
+		rep, err := affectedge.RunFig6(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.FormatFig6())
+	}
+	if all || fig == "7" {
+		fmt.Println(affectedge.RunFig7().FormatFig7())
+	}
+	if all || fig == "9" {
+		rep, err := affectedge.RunFig9(seed, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.FormatFig9())
+	}
+	if all || fig == "10" {
+		rep, err := affectedge.RunFig10(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.FormatFig10())
+	}
+	switch fig {
+	case "all", "3", "6", "7", "9", "10":
+		return nil
+	}
+	return fmt.Errorf("unknown figure %q", fig)
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunFig7(t *testing.T) {
+	// Fig 7 is pure data tables: cheap smoke test of the CLI plumbing.
+	if err := run("7", 1, 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	if err := run("9", 1, 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("42", 1, 0, 0, false, false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

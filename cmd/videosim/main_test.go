@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunStandardModes(t *testing.T) {
+	if err := run(12, 34, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomSth(t *testing.T) {
+	if err := run(12, 34, 140, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBreakdown(t *testing.T) {
+	if err := runBreakdown(12, 34, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package affectedge_test
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge"
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+)
+
+// ExampleNewManager shows the manager reacting to a stream of affect
+// observations with hysteresis.
+func ExampleNewManager() {
+	mgr, err := affectedge.NewManager()
+	if err != nil {
+		panic(err)
+	}
+	// Two agreeing high-arousal observations flip the state.
+	for i := 0; i < 2; i++ {
+		if _, err := mgr.Observe(affectedge.Observation{
+			At:         time.Duration(i) * time.Second,
+			Label:      emotion.Angry,
+			Confidence: 0.9,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(mgr.Attention(), mgr.Mood(), mgr.DecoderMode())
+	// Output: tense excited standard
+}
+
+// ExampleSimulatedSession compares the emotional app manager with the
+// stock FIFO baseline on the same 20-minute session.
+func ExampleSimulatedSession() {
+	fifo, err := affectedge.SimulatedSession(1, "fifo")
+	if err != nil {
+		panic(err)
+	}
+	emo, err := affectedge.SimulatedSession(1, "emotional")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fifo.Launches == emo.Launches, emo.BytesLoaded < fifo.BytesLoaded)
+	// Output: true true
+}
+
+// ExampleAdaptiveDecode decodes a stream in the combined power-saving
+// mode.
+func ExampleAdaptiveDecode() {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(12))
+	if err != nil {
+		panic(err)
+	}
+	enc, err := h264.NewEncoder(h264.CalibrationEncoderConfig())
+	if err != nil {
+		panic(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		panic(err)
+	}
+	frames, deleted, _, err := affectedge.AdaptiveDecode(stream, h264.ModeCombined)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(frames == 12, deleted > 0)
+	// Output: true true
+}

@@ -1,0 +1,70 @@
+// Quickstart: the full affect-to-hardware loop in ~40 lines.
+//
+// A synthetic emotional utterance is classified, the resulting affect
+// stream drives the system manager, and the manager's decisions configure
+// the video decoder mode and the app-manager mood.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"affectedge"
+	"affectedge/internal/emotion"
+)
+
+func main() {
+	// 1. Train a small on-device classifier (a few seconds).
+	clf, err := affectedge.TrainClassifier(affectedge.ClassifierLSTM, affectedge.TrainOptions{
+		Corpus: "EMOVO", Clips: 140, Epochs: 8, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained LSTM classifier: %d parameters, %d classes\n",
+		clf.NumParams(), len(clf.Classes()))
+
+	// 2. Classify a stream of incoming utterances and feed the manager.
+	mgr, err := affectedge.NewManager()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, want := range []affectedge.Emotion{emotion.Angry, emotion.Angry, emotion.Calm, emotion.Calm, emotion.Calm} {
+		wave, _, err := affectedge.SyntheticSpeech(want, int64(200+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, probs, err := clf.Classify(wave)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mgr.Observe(affectedge.Observation{
+			At: time.Duration(i) * 5 * time.Second, Label: got, Confidence: probs[argmax(probs)],
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%2ds  uttered %-9s classified %-9s -> attention=%-12s mood=%-7s decoder=%s\n",
+			i*5, want, got, mgr.Attention(), mgr.Mood(), mgr.DecoderMode())
+	}
+
+	// 3. The manager's mood also drives the app manager; run one session.
+	mem, tm, err := affectedge.AppStudy(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nemotional app manager vs FIFO on a 20-min session: "+
+		"%.1f%% less memory loaded, %.1f%% less loading time\n", mem, tm)
+}
+
+func argmax(x []float64) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,337 @@
+package affectedge
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"affectedge/internal/affect"
+	"affectedge/internal/affectdata"
+	"affectedge/internal/core"
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/personality"
+	"affectedge/internal/sc"
+	"affectedge/internal/video"
+)
+
+// This file is the experiment harness: one entry point per quantitative
+// figure of the paper, each returning a structured report plus a
+// formatted table matching the figure's rows/series. cmd/repro and the
+// root benchmarks are thin wrappers over these.
+
+// Fig3Report covers Fig 3a-3d: per-corpus/model accuracy, the LSTM
+// confusion matrix on RAVDESS, and float-vs-int8 size and accuracy.
+type Fig3Report struct {
+	Study *affect.StudyReport
+	// ConfusionText is the formatted Fig 3a matrix.
+	ConfusionText string
+	// MeanAccuracy per model family (Fig 3b aggregation).
+	MeanAccuracy map[string]float64
+	// WeightKB maps model family to [floatKB, int8KB] on EMOVO (Fig 3c).
+	WeightKB map[string][2]float64
+	// QuantAccuracy maps model family to [float, int8] accuracy on EMOVO
+	// (Fig 3d).
+	QuantAccuracy map[string][2]float64
+}
+
+// Fig3Options scales the study cost.
+type Fig3Options struct {
+	// ClipsPerCorpus caps corpus size (0 = 420, the medium default).
+	ClipsPerCorpus int
+	// Epochs (0 = 14).
+	Epochs int
+	// PaperScale trains the full ~0.5M-parameter models (slow).
+	PaperScale bool
+	Seed       int64
+	Progress   io.Writer
+}
+
+// RunFig3 trains and evaluates every model family on every corpus.
+func RunFig3(opts Fig3Options) (*Fig3Report, error) {
+	cfg := affect.DefaultStudyConfig()
+	if opts.ClipsPerCorpus > 0 {
+		cfg.ClipsPerCorpus = opts.ClipsPerCorpus
+	}
+	if opts.Epochs > 0 {
+		cfg.Epochs = opts.Epochs
+	}
+	if opts.PaperScale {
+		cfg.Scale = affect.PaperScale
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	cfg.Verbose = opts.Progress
+	study, err := affect.RunStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig3Report{
+		Study:         study,
+		MeanAccuracy:  map[string]float64{},
+		WeightKB:      map[string][2]float64{},
+		QuantAccuracy: map[string][2]float64{},
+	}
+	// Fig 3c compares deployment sizes of the paper-scale models (the
+	// study may train reduced ones for speed); parameter budgets are a
+	// property of the builders.
+	budgets, err := affect.ParamBudgets(cfg.Feature, 7)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range affect.ModelKinds() {
+		rep.MeanAccuracy[kind.String()] = study.MeanAccuracy(kind)
+		rep.WeightKB[kind.String()] = [2]float64{
+			float64(budgets[kind]) * 4 / 1024, float64(budgets[kind]) / 1024,
+		}
+		if r, ok := study.Get("EMOVO", kind); ok {
+			rep.QuantAccuracy[kind.String()] = [2]float64{r.Accuracy, r.QuantAccuracy}
+		}
+	}
+	if r, ok := study.Get("RAVDESS", affect.LSTMNet); ok {
+		rep.ConfusionText = affect.FormatConfusion(r.Confusion, r.Classes)
+	}
+	return rep, nil
+}
+
+// FormatFig3 renders the Fig 3 tables.
+func (r *Fig3Report) FormatFig3() string {
+	var b strings.Builder
+	b.WriteString("Fig 3a — LSTM confusion matrix on RAVDESS (row-normalized %):\n")
+	b.WriteString(r.ConfusionText)
+	b.WriteString("\nFig 3b — classification accuracy (%):\n")
+	fmt.Fprintf(&b, "%-10s", "corpus")
+	for _, k := range affect.ModelKinds() {
+		fmt.Fprintf(&b, "%8s", k)
+	}
+	b.WriteByte('\n')
+	for _, spec := range affectdata.Corpora() {
+		fmt.Fprintf(&b, "%-10s", spec.Name)
+		for _, k := range affect.ModelKinds() {
+			if res, ok := r.Study.Get(spec.Name, k); ok {
+				fmt.Fprintf(&b, "%8.1f", 100*res.Accuracy)
+			} else {
+				fmt.Fprintf(&b, "%8s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-10s", "mean")
+	for _, k := range affect.ModelKinds() {
+		fmt.Fprintf(&b, "%8.1f", 100*r.MeanAccuracy[k.String()])
+	}
+	b.WriteByte('\n')
+	b.WriteString("\nFig 3c — weight size on EMOVO (KB):\n")
+	fmt.Fprintf(&b, "%-10s%10s%10s\n", "model", "float", "8bit")
+	for _, k := range affect.ModelKinds() {
+		w := r.WeightKB[k.String()]
+		fmt.Fprintf(&b, "%-10s%10.0f%10.0f\n", k, w[0], w[1])
+	}
+	b.WriteString("\nFig 3d — accuracy with precision on EMOVO (%):\n")
+	fmt.Fprintf(&b, "%-10s%10s%10s\n", "model", "float", "8bit")
+	for _, k := range affect.ModelKinds() {
+		q := r.QuantAccuracy[k.String()]
+		fmt.Fprintf(&b, "%-10s%10.1f%10.1f\n", k, 100*q[0], 100*q[1])
+	}
+	return b.String()
+}
+
+// Fig6Report covers Fig 6 middle (per-mode power) and bottom (playback
+// energy saving over the 40-minute SC session).
+type Fig6Report struct {
+	Modes []h264.ModeReport
+	// PlaybackSavingPct is the ground-truth-schedule saving (paper: 23.1).
+	PlaybackSavingPct float64
+	// ClassifierSavingPct drives modes from the SC classifier instead.
+	ClassifierSavingPct float64
+	ClassifierAccuracy  float64
+	// AreaOverheadPct is the pre-store buffer area cost (paper: 4.23).
+	AreaOverheadPct float64
+}
+
+// RunFig6 measures the four decoder modes on the reference clip and runs
+// the 40-minute playback study.
+func RunFig6(seed int64) (*Fig6Report, error) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		return nil, err
+	}
+	model := h264.DefaultEnergyModel()
+	enc := h264.CalibrationEncoderConfig()
+	modes, err := h264.CompareModes(src, enc, model)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := video.MeasureModeRates(src, enc, model, 24)
+	if err != nil {
+		return nil, err
+	}
+	var schedule []video.Scheduled
+	for _, s := range affectdata.UulmMACSchedule() {
+		schedule = append(schedule, video.Scheduled{StartMin: s.StartMin, EndMin: s.EndMin, State: s.State})
+	}
+	truthRes, err := video.RunWithSchedule(schedule, rates, video.PaperPolicy())
+	if err != nil {
+		return nil, err
+	}
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, seed)
+	if err != nil {
+		return nil, err
+	}
+	clsRes, err := video.RunWithClassifier(tr.Samples, tr.SampleRate, sc.DefaultConfig(),
+		rates, video.PaperPolicy(), tr.StateAt)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Report{
+		Modes:               modes,
+		PlaybackSavingPct:   truthRes.SavingPct,
+		ClassifierSavingPct: clsRes.SavingPct,
+		ClassifierAccuracy:  clsRes.ClassifierAccuracy,
+		AreaOverheadPct:     100 * h264.PreStoreAreaOverhead,
+	}, nil
+}
+
+// FormatFig6 renders the Fig 6 tables.
+func (r *Fig6Report) FormatFig6() string {
+	var b strings.Builder
+	b.WriteString("Fig 6 (middle) — decoder power in different modes:\n")
+	fmt.Fprintf(&b, "%-10s%12s%12s%10s%10s\n", "mode", "norm power", "saving %", "PSNR dB", "deleted")
+	for _, m := range r.Modes {
+		psnr := fmt.Sprintf("%.1f", m.PSNR)
+		if math.IsInf(m.PSNR, 1) {
+			psnr = "inf"
+		}
+		fmt.Fprintf(&b, "%-10s%12.3f%12.1f%10s%10d\n", m.Mode, m.NormPower, m.SavingPct, psnr, m.Deleted)
+	}
+	fmt.Fprintf(&b, "pre-store buffer area overhead: %.2f%% (paper: 4.23%%)\n", r.AreaOverheadPct)
+	b.WriteString("\nFig 6 (bottom) — affect-driven playback over the 40-min uulmMAC session:\n")
+	fmt.Fprintf(&b, "energy saving (ground-truth schedule): %.1f%% (paper: 23.1%%)\n", r.PlaybackSavingPct)
+	fmt.Fprintf(&b, "energy saving (SC classifier, acc %.2f): %.1f%%\n", r.ClassifierAccuracy, r.ClassifierSavingPct)
+	return b.String()
+}
+
+// Fig7Report is the per-subject category usage mix.
+type Fig7Report struct {
+	Subjects []personality.Subject
+}
+
+// RunFig7 returns the four subjects' usage distributions.
+func RunFig7() *Fig7Report { return &Fig7Report{Subjects: personality.Subjects()} }
+
+// FormatFig7 renders the Fig 7 (left) usage table: top categories per
+// subject.
+func (r *Fig7Report) FormatFig7() string {
+	var b strings.Builder
+	b.WriteString("Fig 7 (left) — app usage by category, 4 subjects (%):\n")
+	fmt.Fprintf(&b, "%-22s", "category")
+	for _, s := range r.Subjects {
+		fmt.Fprintf(&b, "  subj%d", s.ID)
+	}
+	b.WriteByte('\n')
+	for _, c := range personality.Categories() {
+		fmt.Fprintf(&b, "%-22s", c)
+		for _, s := range r.Subjects {
+			fmt.Fprintf(&b, "%7.1f", 100*s.Usage[c])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-22s", "messaging+browsing")
+	for _, s := range r.Subjects {
+		fmt.Fprintf(&b, "%7.1f", 100*s.MessagingBrowsingShare())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Fig9Report carries the process-lifespan diagrams of both managers.
+type Fig9Report struct {
+	BaselineDiagram  string
+	EmotionalDiagram string
+	BaselineKills    int
+	EmotionalKills   int
+}
+
+// RunFig9 replays the 20-minute emotional session under both managers and
+// renders their process diagrams.
+func RunFig9(seed int64, width int) (*Fig9Report, error) {
+	cfg := core.DefaultAppStudyConfig()
+	cfg.Monkey.Seed = seed
+	res, err := core.RunAppStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Report{
+		BaselineDiagram:  res.Comparison.Baseline.Device.Trace().RenderASCII(res.Horizon, width),
+		EmotionalDiagram: res.Comparison.Emotional.Device.Trace().RenderASCII(res.Horizon, width),
+		BaselineKills:    res.Comparison.Baseline.Metrics.Kills,
+		EmotionalKills:   res.Comparison.Emotional.Metrics.Kills,
+	}, nil
+}
+
+// FormatFig9 renders both diagrams ('=' alive, '.' dead).
+func (r *Fig9Report) FormatFig9() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9 (top) — default FIFO manager (%d kills):\n%s\n", r.BaselineKills, r.BaselineDiagram)
+	fmt.Fprintf(&b, "Fig 9 (bottom) — emotional manager (%d kills):\n%s", r.EmotionalKills, r.EmotionalDiagram)
+	return b.String()
+}
+
+// Fig10Report is the memory/time saving headline.
+type Fig10Report struct {
+	MemorySavingPct float64
+	TimeSavingPct   float64
+	// Per-seed raw results.
+	BaselineBytes, EmotionalBytes     int64
+	BaselineTimeSec, EmotionalTimeSec float64
+	Seeds                             []int64
+}
+
+// RunFig10 averages the app-management savings over seeds (paper: 17%
+// memory, 12% time).
+func RunFig10(seeds []int64) (*Fig10Report, error) {
+	if len(seeds) == 0 {
+		for s := int64(1); s <= 12; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	cfg := core.DefaultAppStudyConfig()
+	rep := &Fig10Report{Seeds: seeds}
+	for _, s := range seeds {
+		c := cfg
+		c.Monkey.Seed = s
+		res, err := core.RunAppStudy(c)
+		if err != nil {
+			return nil, err
+		}
+		rep.BaselineBytes += res.Comparison.Baseline.Metrics.BytesLoaded
+		rep.EmotionalBytes += res.Comparison.Emotional.Metrics.BytesLoaded
+		rep.BaselineTimeSec += res.Comparison.Baseline.Metrics.LoadingTime.Seconds()
+		rep.EmotionalTimeSec += res.Comparison.Emotional.Metrics.LoadingTime.Seconds()
+	}
+	if rep.BaselineBytes > 0 {
+		rep.MemorySavingPct = 100 * (1 - float64(rep.EmotionalBytes)/float64(rep.BaselineBytes))
+	}
+	if rep.BaselineTimeSec > 0 {
+		rep.TimeSavingPct = 100 * (1 - rep.EmotionalTimeSec/rep.BaselineTimeSec)
+	}
+	return rep, nil
+}
+
+// FormatFig10 renders the Fig 10 bars.
+func (r *Fig10Report) FormatFig10() string {
+	var b strings.Builder
+	b.WriteString("Fig 10 — app start memory and loading time (sum over seeds):\n")
+	fmt.Fprintf(&b, "%-16s%16s%16s\n", "", "emotion driven", "baseline")
+	fmt.Fprintf(&b, "%-16s%16.3e%16.3e  (%.1f%% saving; paper 17%%)\n",
+		"loaded bytes", float64(r.EmotionalBytes), float64(r.BaselineBytes), r.MemorySavingPct)
+	fmt.Fprintf(&b, "%-16s%16.1f%16.1f  (%.1f%% saving; paper 12%%)\n",
+		"loading time s", r.EmotionalTimeSec, r.BaselineTimeSec, r.TimeSavingPct)
+	return b.String()
+}
+
+// emotionLabelsVar keeps the emotion import used when building subsets of
+// the reports programmatically.
+var _ = emotion.Neutral

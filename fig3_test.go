@@ -1,0 +1,114 @@
+package affectedge
+
+import (
+	"testing"
+
+	"affectedge/internal/affect"
+	"affectedge/internal/affectdata"
+	"affectedge/internal/nn"
+)
+
+// TestFig3bModelOrdering is the headline classifier assertion: at the
+// default study scale, CNN and LSTM must outperform the MLP on mean
+// accuracy across the three corpora (Fig 3b), and quantization must cost
+// less than 3 percentage points (Fig 3d). This trains nine models, so it
+// runs only in full (non -short) test mode.
+func TestFig3bModelOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full classifier study skipped in -short mode")
+	}
+	rep, err := RunFig3(Fig3Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := rep.MeanAccuracy["NN"]
+	cnn := rep.MeanAccuracy["CNN"]
+	lstm := rep.MeanAccuracy["LSTM"]
+	t.Logf("mean accuracy: NN %.1f%%, CNN %.1f%%, LSTM %.1f%%", 100*nn, 100*cnn, 100*lstm)
+	if cnn <= nn {
+		t.Errorf("CNN (%.3f) should beat the MLP (%.3f)", cnn, nn)
+	}
+	if lstm <= nn {
+		t.Errorf("LSTM (%.3f) should beat the MLP (%.3f)", lstm, nn)
+	}
+	// All models must be usefully accurate (well above the worst corpus
+	// chance level of 1/6).
+	for name, acc := range rep.MeanAccuracy {
+		if acc < 0.5 {
+			t.Errorf("%s mean accuracy %.3f below 0.5", name, acc)
+		}
+	}
+	// Fig 3d: <3 pp quantization loss per model on EMOVO.
+	for name, q := range rep.QuantAccuracy {
+		if loss := (q[0] - q[1]) * 100; loss > 3 {
+			t.Errorf("%s quantization loss %.1f pp exceeds the paper's 3 pp", name, loss)
+		}
+	}
+	// Fig 3c: paper-scale sizes within 10% of the paper's budgets.
+	wants := map[string]float64{"NN": 508_000 * 4, "CNN": 649_000 * 4, "LSTM": 429_000 * 4}
+	for name, want := range wants {
+		gotKB := rep.WeightKB[name][0]
+		ratio := gotKB * 1024 / want
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s float size %.0f KB, want within 10%% of %.0f KB", name, gotKB, want/1024)
+		}
+		if int8Ratio := rep.WeightKB[name][0] / rep.WeightKB[name][1]; int8Ratio < 3.9 || int8Ratio > 4.1 {
+			t.Errorf("%s int8 ratio %.2f, want ~4", name, int8Ratio)
+		}
+	}
+}
+
+// TestExtendedModelFamilies exercises the extension study: the GRU and
+// spectrogram-CNN variants must also learn the affect task well beyond
+// chance.
+func TestExtendedModelFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension training skipped in -short mode")
+	}
+	feature := affect.FeatureConfig{SampleRate: 8000, NumFrames: 30, NumMFCC: 13, HistBins: 10}
+	spec := affectdata.EMOVO()
+	clips, err := spec.Generate(5, 84)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := affectdata.Split(clips, 0.25)
+	trainEx, classOf, err := affect.Dataset(train, feature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testEx := make([]nn.Example, 0, len(test))
+	for _, c := range test {
+		x, err := affect.Features(c.Wave, feature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testEx = append(testEx, nn.Example{X: x, Y: classOf[int(c.Label)]})
+	}
+	builders := map[string]func() (*nn.Sequential, error){
+		"gru": func() (*nn.Sequential, error) {
+			return affect.BuildGRU(feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		},
+		"spectrogram-cnn": func() (*nn.Sequential, error) {
+			return affect.BuildSpectrogramCNN(feature.NumFrames, feature.Dim(), len(classOf), affect.FastScale, 1)
+		},
+	}
+	chance := 1.0 / float64(len(classOf))
+	for name, build := range builders {
+		net, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tc := nn.TrainConfig{Epochs: 10, BatchSize: 8, Optimizer: nn.NewAdam(3e-3), Seed: 5}
+		if _, err := net.Fit(trainEx, tc); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		acc, err := net.Evaluate(testEx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s accuracy %.3f (chance %.3f)", name, acc, chance)
+		if acc < 2*chance {
+			t.Errorf("%s accuracy %.3f below 2x chance", name, acc)
+		}
+	}
+}

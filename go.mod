@@ -1,0 +1,3 @@
+module affectedge
+
+go 1.22

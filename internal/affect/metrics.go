@@ -1,0 +1,150 @@
+package affect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"affectedge/internal/nn"
+)
+
+// ClassMetrics are per-class precision/recall/F1 derived from a confusion
+// matrix (rows = targets, columns = predictions).
+type ClassMetrics struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// MetricsFromConfusion computes per-class metrics plus the macro F1.
+func MetricsFromConfusion(conf [][]int) ([]ClassMetrics, float64, error) {
+	n := len(conf)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("affect: empty confusion matrix")
+	}
+	out := make([]ClassMetrics, n)
+	var macroF1 float64
+	for c := 0; c < n; c++ {
+		if len(conf[c]) != n {
+			return nil, 0, fmt.Errorf("affect: ragged confusion matrix row %d", c)
+		}
+		var tp, fn, fp int
+		for j := 0; j < n; j++ {
+			if j == c {
+				tp = conf[c][j]
+			} else {
+				fn += conf[c][j]
+			}
+			if j != c {
+				fp += conf[j][c]
+			}
+		}
+		m := ClassMetrics{Support: tp + fn}
+		if tp+fp > 0 {
+			m.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = float64(tp) / float64(tp+fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out[c] = m
+		macroF1 += m.F1
+	}
+	return out, macroF1 / float64(n), nil
+}
+
+// CrossValidate runs k-fold cross-validation of a model builder over a
+// labelled example set, returning per-fold accuracies. Folds are
+// stratified by class.
+func CrossValidate(examples []nn.Example, k int, build func() *nn.Sequential, tc nn.TrainConfig) ([]float64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("affect: k-fold needs k >= 2, got %d", k)
+	}
+	if len(examples) < k {
+		return nil, fmt.Errorf("affect: %d examples cannot fill %d folds", len(examples), k)
+	}
+	// Stratified fold assignment: round-robin within each class.
+	fold := make([]int, len(examples))
+	perClass := map[int]int{}
+	for i, ex := range examples {
+		fold[i] = perClass[ex.Y] % k
+		perClass[ex.Y]++
+	}
+	accs := make([]float64, 0, k)
+	for f := 0; f < k; f++ {
+		var train, test []nn.Example
+		for i, ex := range examples {
+			if fold[i] == f {
+				test = append(test, ex)
+			} else {
+				train = append(train, ex)
+			}
+		}
+		if len(test) == 0 || len(train) == 0 {
+			return nil, fmt.Errorf("affect: fold %d is degenerate (%d train, %d test)", f, len(train), len(test))
+		}
+		net := build()
+		foldTC := tc
+		foldTC.Seed = tc.Seed + int64(f)
+		if _, err := net.Fit(train, foldTC); err != nil {
+			return nil, err
+		}
+		acc, err := net.Evaluate(test)
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, acc)
+	}
+	return accs, nil
+}
+
+// BuildGRU constructs the GRU variant of the recurrent classifier — the
+// extension-study alternative to the LSTM (same stacked topology, lighter
+// gates).
+func BuildGRU(frames, dim, classes int, scale ModelScale, seed int64) (*nn.Sequential, error) {
+	if frames <= 0 || dim <= 0 || classes <= 0 {
+		return nil, fmt.Errorf("affect: invalid model shape frames=%d dim=%d classes=%d", frames, dim, classes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h1, h2 := 288, 32
+	if scale == FastScale {
+		h1, h2 = 24, 16
+	}
+	return nn.NewSequential(
+		nn.NewGRU(dim, h1, true, rng),
+		nn.NewGRU(h1, h2, false, rng),
+		nn.NewDense(h2, classes, rng),
+	), nil
+}
+
+// BuildSpectrogramCNN constructs the 2-D convolutional variant operating
+// on the feature matrix as an image (time x feature plane) — the
+// spectrogram-style classifier mentioned as an alternative front end.
+func BuildSpectrogramCNN(frames, dim, classes int, scale ModelScale, seed int64) (*nn.Sequential, error) {
+	if frames <= 0 || dim <= 0 || classes <= 0 {
+		return nil, fmt.Errorf("affect: invalid model shape frames=%d dim=%d classes=%d", frames, dim, classes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	maps, dense := 8, 64
+	if scale == FastScale {
+		maps, dense = 4, 24
+	}
+	conv, err := nn.NewConv2D(maps, 3, 3, rng)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := nn.NewMaxPool1D(4) // pool the time dimension
+	if err != nil {
+		return nil, err
+	}
+	pooled := (frames + 3) / 4
+	return nn.NewSequential(
+		conv,
+		nn.NewReLU(),
+		pool,
+		nn.NewFlatten(),
+		nn.NewDense(pooled*dim*maps, dense, rng),
+		nn.NewReLU(),
+		nn.NewDense(dense, classes, rng),
+	), nil
+}

@@ -1,0 +1,119 @@
+package affect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"affectedge/internal/nn"
+)
+
+func TestMetricsFromConfusion(t *testing.T) {
+	// Perfect classifier.
+	conf := [][]int{{5, 0}, {0, 5}}
+	ms, macro, err := MetricsFromConfusion(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if macro != 1 {
+		t.Errorf("macro F1 = %g, want 1", macro)
+	}
+	for i, m := range ms {
+		if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 || m.Support != 5 {
+			t.Errorf("class %d metrics %+v", i, m)
+		}
+	}
+	// Skewed classifier: class 0 perfectly recalled, class 1 never
+	// predicted.
+	conf = [][]int{{4, 0}, {4, 0}}
+	ms, macro, err = MetricsFromConfusion(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Recall != 1 || math.Abs(ms[0].Precision-0.5) > 1e-12 {
+		t.Errorf("class 0 metrics %+v", ms[0])
+	}
+	if ms[1].Recall != 0 || ms[1].F1 != 0 {
+		t.Errorf("class 1 metrics %+v", ms[1])
+	}
+	if macro >= 1 {
+		t.Errorf("macro F1 %g should reflect the failed class", macro)
+	}
+	if _, _, err := MetricsFromConfusion(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := MetricsFromConfusion([][]int{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	// Linearly separable two-class vectors.
+	rng := rand.New(rand.NewSource(1))
+	var exs []nn.Example
+	for i := 0; i < 40; i++ {
+		x := nn.NewVector(2)
+		y := i % 2
+		x.Data[0] = float64(2*y-1) + 0.3*rng.NormFloat64()
+		x.Data[1] = rng.NormFloat64()
+		exs = append(exs, nn.Example{X: x, Y: y})
+	}
+	build := func() *nn.Sequential {
+		r := rand.New(rand.NewSource(9))
+		return nn.NewSequential(nn.NewDense(2, 8, r), nn.NewTanh(), nn.NewDense(8, 2, r))
+	}
+	accs, err := CrossValidate(exs, 4, build, nn.TrainConfig{Epochs: 60, BatchSize: 8, Optimizer: nn.NewAdam(0.02), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 4 {
+		t.Fatalf("%d folds", len(accs))
+	}
+	for f, a := range accs {
+		if a < 0.8 {
+			t.Errorf("fold %d accuracy %g", f, a)
+		}
+	}
+	if _, err := CrossValidate(exs, 1, build, nn.TrainConfig{}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(exs[:2], 4, build, nn.TrainConfig{}); err == nil {
+		t.Error("too few examples accepted")
+	}
+}
+
+func TestBuildGRUAndSpectrogramCNN(t *testing.T) {
+	cfg := DefaultFeatureConfig(8000)
+	gru, err := BuildGRU(cfg.NumFrames, cfg.Dim(), 7, FastScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn2, err := BuildSpectrogramCNN(cfg.NumFrames, cfg.Dim(), 7, FastScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.NewMatrix(cfg.NumFrames, cfg.Dim())
+	for _, net := range []*nn.Sequential{gru, cnn2} {
+		y, err := net.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y.IsMatrix() || y.Cols != 7 {
+			t.Fatalf("output shape %s", y.ShapeString())
+		}
+	}
+	// GRU should be lighter than the LSTM at the same scale.
+	lstm, err := Build(LSTMNet, cfg.NumFrames, cfg.Dim(), 7, FastScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gru.NumParams() >= lstm.NumParams() {
+		t.Errorf("GRU params %d not below LSTM %d", gru.NumParams(), lstm.NumParams())
+	}
+	if _, err := BuildGRU(0, 40, 7, FastScale, 1); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if _, err := BuildSpectrogramCNN(70, 0, 7, FastScale, 1); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}

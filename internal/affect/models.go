@@ -1,0 +1,128 @@
+package affect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"affectedge/internal/nn"
+)
+
+// ModelKind selects one of the paper's three classifier families.
+type ModelKind int
+
+// Classifier families compared in §2.2.
+const (
+	MLP ModelKind = iota
+	CNN
+	LSTMNet
+)
+
+// String returns the paper's name for the model family.
+func (k ModelKind) String() string {
+	switch k {
+	case MLP:
+		return "NN" // the paper labels the MLP "NN" in Fig 3
+	case CNN:
+		return "CNN"
+	case LSTMNet:
+		return "LSTM"
+	}
+	return fmt.Sprintf("model(%d)", int(k))
+}
+
+// ModelKinds returns the three families in the paper's plotting order.
+func ModelKinds() []ModelKind { return []ModelKind{MLP, CNN, LSTMNet} }
+
+// ModelScale selects the network capacity.
+type ModelScale int
+
+const (
+	// PaperScale builds the models at the paper's parameter budgets:
+	// MLP ~508 k, CNN ~649 k, LSTM ~429 k trainable parameters.
+	PaperScale ModelScale = iota
+	// FastScale builds reduced models (same topology) for quick tests.
+	FastScale
+)
+
+// Build constructs a classifier of the given kind for inputs of
+// [frames][dim] and the given class count.
+func Build(kind ModelKind, frames, dim, classes int, scale ModelScale, seed int64) (*nn.Sequential, error) {
+	if frames <= 0 || dim <= 0 || classes <= 0 {
+		return nil, fmt.Errorf("affect: invalid model shape frames=%d dim=%d classes=%d", frames, dim, classes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case MLP:
+		// Three hidden layers, 260 neurons total at paper scale.
+		h1, h2, h3 := 180, 60, 20
+		if scale == FastScale {
+			h1, h2, h3 = 48, 24, 12
+		}
+		return nn.NewSequential(
+			nn.NewFlatten(),
+			nn.NewDense(frames*dim, h1, rng),
+			nn.NewReLU(),
+			nn.NewDense(h1, h2, rng),
+			nn.NewReLU(),
+			nn.NewDense(h2, h3, rng),
+			nn.NewReLU(),
+			nn.NewDense(h3, classes, rng),
+		), nil
+	case CNN:
+		// Three conv layers of 32/64/128 filters as in §2.2, each
+		// followed by 2x max pooling, then a dense head.
+		f1, f2, f3, dh := 32, 64, 128, 512
+		if scale == FastScale {
+			f1, f2, f3, dh = 8, 16, 24, 32
+		}
+		c1, err := nn.NewConv1D(dim, f1, 5, rng)
+		if err != nil {
+			return nil, err
+		}
+		c2, err := nn.NewConv1D(f1, f2, 5, rng)
+		if err != nil {
+			return nil, err
+		}
+		c3, err := nn.NewConv1D(f2, f3, 5, rng)
+		if err != nil {
+			return nil, err
+		}
+		p1, err := nn.NewMaxPool1D(2)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := nn.NewMaxPool1D(2)
+		if err != nil {
+			return nil, err
+		}
+		p3, err := nn.NewMaxPool1D(2)
+		if err != nil {
+			return nil, err
+		}
+		pooled := frames
+		for i := 0; i < 3; i++ {
+			pooled = (pooled + 1) / 2
+		}
+		return nn.NewSequential(
+			c1, nn.NewReLU(), p1,
+			c2, nn.NewReLU(), p2,
+			c3, nn.NewReLU(), p3,
+			nn.NewFlatten(),
+			nn.NewDense(pooled*f3, dh, rng),
+			nn.NewReLU(),
+			nn.NewDense(dh, classes, rng),
+		), nil
+	case LSTMNet:
+		// Two stacked LSTM layers, 320 units total at paper scale.
+		h1, h2 := 288, 32
+		if scale == FastScale {
+			h1, h2 = 24, 16
+		}
+		return nn.NewSequential(
+			nn.NewLSTM(dim, h1, true, rng),
+			nn.NewLSTM(h1, h2, false, rng),
+			nn.NewDense(h2, classes, rng),
+		), nil
+	}
+	return nil, fmt.Errorf("affect: unknown model kind %d", int(kind))
+}

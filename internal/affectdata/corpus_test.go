@@ -1,0 +1,187 @@
+package affectdata
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/emotion"
+)
+
+func TestCorpusSpecs(t *testing.T) {
+	cases := []struct {
+		spec   Spec
+		labels int
+		actors int
+		total  int
+	}{
+		{RAVDESS(), 8, 24, 7356},
+		{EMOVO(), 7, 6, 588},
+		{CREMAD(), 6, 91, 7442},
+	}
+	for _, c := range cases {
+		if len(c.spec.Labels) != c.labels {
+			t.Errorf("%s has %d labels, want %d", c.spec.Name, len(c.spec.Labels), c.labels)
+		}
+		if c.spec.Actors != c.actors {
+			t.Errorf("%s has %d actors, want %d", c.spec.Name, c.spec.Actors, c.actors)
+		}
+		if c.spec.TotalClips != c.total {
+			t.Errorf("%s has %d clips, want %d", c.spec.Name, c.spec.TotalClips, c.total)
+		}
+	}
+	if len(Corpora()) != 3 {
+		t.Error("Corpora() should list 3 specs")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := EMOVO()
+	a, err := spec.Generate(42, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate(42, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("generated %d/%d clips, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label || a[i].Actor != b[i].Actor {
+			t.Fatal("labels/actors not deterministic")
+		}
+		if len(a[i].Wave) != len(b[i].Wave) {
+			t.Fatal("wave lengths not deterministic")
+		}
+		for j := range a[i].Wave {
+			if a[i].Wave[j] != b[i].Wave[j] {
+				t.Fatal("waves not deterministic")
+			}
+		}
+	}
+	c, err := spec.Generate(43, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a[0].Wave {
+		if j < len(c[0].Wave) && a[0].Wave[j] != c[0].Wave[j] {
+			same = false
+			break
+		}
+	}
+	if same && len(a[0].Wave) == len(c[0].Wave) {
+		t.Error("different seeds produced identical waves")
+	}
+}
+
+func TestGenerateClassBalance(t *testing.T) {
+	spec := CREMAD()
+	clips, err := spec.Generate(1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[emotion.Label]int{}
+	for _, c := range clips {
+		counts[c.Label]++
+	}
+	for _, l := range spec.Labels {
+		if counts[l] != 120/len(spec.Labels) {
+			t.Errorf("label %v count %d, want %d", l, counts[l], 120/len(spec.Labels))
+		}
+	}
+}
+
+func TestGenerateWaveProperties(t *testing.T) {
+	spec := RAVDESS()
+	clips, err := spec.Generate(7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clips {
+		if len(c.Wave) < int(spec.SampleRate*0.8) {
+			t.Fatalf("clip too short: %d samples", len(c.Wave))
+		}
+		var maxAbs float64
+		for _, v := range c.Wave {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("wave has NaN/Inf")
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			t.Fatal("silent clip")
+		}
+		if maxAbs > 20 {
+			t.Fatalf("wave amplitude %g unreasonably large", maxAbs)
+		}
+	}
+}
+
+func TestEmotionsAreAcousticallySeparable(t *testing.T) {
+	// Happy (200 Hz base) and sad (110 Hz base) must differ in measured
+	// pitch and energy; this is the premise of the classification study.
+	spec := RAVDESS()
+	clips, err := spec.Generate(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var happyPitch, sadPitch, happyRMS, sadRMS []float64
+	for _, c := range clips {
+		p := dsp.EstimatePitch(c.Wave, spec.SampleRate, 60, 500)
+		r := dsp.RMS(c.Wave)
+		switch c.Label {
+		case emotion.Happy:
+			happyPitch = append(happyPitch, p)
+			happyRMS = append(happyRMS, r)
+		case emotion.Sad:
+			sadPitch = append(sadPitch, p)
+			sadRMS = append(sadRMS, r)
+		}
+	}
+	if len(happyPitch) == 0 || len(sadPitch) == 0 {
+		t.Fatal("no happy/sad clips generated")
+	}
+	if dsp.Mean(happyPitch) <= dsp.Mean(sadPitch) {
+		t.Errorf("happy pitch %g should exceed sad pitch %g",
+			dsp.Mean(happyPitch), dsp.Mean(sadPitch))
+	}
+	if dsp.Mean(happyRMS) <= dsp.Mean(sadRMS) {
+		t.Errorf("happy RMS %g should exceed sad RMS %g",
+			dsp.Mean(happyRMS), dsp.Mean(sadRMS))
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	bad := Spec{Name: "bad"}
+	if _, err := bad.Generate(1, 10); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	spec := EMOVO()
+	clips, err := spec.Generate(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := Split(clips, 0.2)
+	if len(train)+len(test) != 100 {
+		t.Fatalf("split loses clips: %d + %d", len(train), len(test))
+	}
+	if len(test) < 15 || len(test) > 25 {
+		t.Errorf("test fraction off: %d/100", len(test))
+	}
+	tr, te := Split(clips, 0)
+	if len(tr) != 100 || te != nil {
+		t.Error("zero test fraction should keep everything in train")
+	}
+	tr, te = Split(clips, 1)
+	if tr != nil || len(te) != 100 {
+		t.Error("full test fraction should move everything to test")
+	}
+}

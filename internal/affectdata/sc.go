@@ -1,0 +1,113 @@
+package affectdata
+
+import (
+	"fmt"
+	"math/rand"
+
+	"affectedge/internal/emotion"
+)
+
+// SCSegment is one labelled span of a skin-conductance recording.
+type SCSegment struct {
+	StartMin float64
+	EndMin   float64
+	State    emotion.Attention
+}
+
+// SCTrace is a synthetic uulmMAC-style skin-conductance recording: a
+// sampled SC signal (microsiemens) plus its ground-truth attention labels.
+type SCTrace struct {
+	SampleRate float64 // samples per second
+	Samples    []float64
+	Segments   []SCSegment
+}
+
+// UulmMACSchedule returns the 40-minute label timeline of the paper's
+// playback case study (Fig 6 bottom): distracted 0-14 min, concentrated
+// 14-20, tense 20-29, relaxed 29-40.
+func UulmMACSchedule() []SCSegment {
+	return []SCSegment{
+		{0, 14, emotion.Distracted},
+		{14, 20, emotion.Concentrated},
+		{20, 29, emotion.Tense},
+		{29, 40, emotion.Relaxed},
+	}
+}
+
+// scLevel is the baseline tonic SC level (uS) per attention state; higher
+// arousal raises skin conductance.
+var scLevel = map[emotion.Attention]float64{
+	emotion.Distracted:   2.0,
+	emotion.Relaxed:      3.0,
+	emotion.Concentrated: 5.5,
+	emotion.Tense:        8.0,
+}
+
+// scrRate is the phasic response (SCR impulse) rate per minute per state.
+var scrRate = map[emotion.Attention]float64{
+	emotion.Distracted:   1,
+	emotion.Relaxed:      2,
+	emotion.Concentrated: 6,
+	emotion.Tense:        10,
+}
+
+// GenerateSC synthesizes a skin-conductance trace over the given schedule
+// at sampleRate Hz. The signal is tonic level (slow drift toward the
+// state's SCL) plus phasic SCR impulses (fast rise, exponential decay) and
+// sensor noise, which is how real SC recordings decompose.
+func GenerateSC(schedule []SCSegment, sampleRate float64, seed int64) (*SCTrace, error) {
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("affectdata: empty SC schedule")
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("affectdata: SC sample rate %g must be positive", sampleRate)
+	}
+	for i := 1; i < len(schedule); i++ {
+		if schedule[i].StartMin != schedule[i-1].EndMin {
+			return nil, fmt.Errorf("affectdata: SC schedule has a gap at segment %d", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	totalMin := schedule[len(schedule)-1].EndMin
+	n := int(totalMin * 60 * sampleRate)
+	samples := make([]float64, n)
+
+	level := scLevel[schedule[0].State]
+	var scr float64       // current phasic component
+	const tonicTau = 20.0 // seconds to drift toward the target SCL
+	const scrDecay = 4.0  // seconds, phasic decay constant
+	dt := 1 / sampleRate
+
+	segIdx := 0
+	for i := 0; i < n; i++ {
+		tMin := float64(i) / sampleRate / 60
+		for segIdx+1 < len(schedule) && tMin >= schedule[segIdx].EndMin {
+			segIdx++
+		}
+		state := schedule[segIdx].State
+		target := scLevel[state]
+		level += (target - level) / tonicTau * dt
+		// Poisson SCR impulses at the per-state rate.
+		if rng.Float64() < scrRate[state]/60*dt {
+			scr += 0.5 + rng.Float64()
+		}
+		scr -= scr / scrDecay * dt
+		samples[i] = level + scr + 0.05*rng.NormFloat64()
+	}
+	return &SCTrace{SampleRate: sampleRate, Samples: samples, Segments: schedule}, nil
+}
+
+// StateAt returns the ground-truth attention state at a time (minutes).
+func (tr *SCTrace) StateAt(minute float64) emotion.Attention {
+	for _, s := range tr.Segments {
+		if minute >= s.StartMin && minute < s.EndMin {
+			return s.State
+		}
+	}
+	return tr.Segments[len(tr.Segments)-1].State
+}
+
+// DurationMin returns the total trace duration in minutes.
+func (tr *SCTrace) DurationMin() float64 {
+	return tr.Segments[len(tr.Segments)-1].EndMin
+}

@@ -1,0 +1,117 @@
+package affectdata
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/emotion"
+)
+
+func TestUulmMACSchedule(t *testing.T) {
+	sched := UulmMACSchedule()
+	if len(sched) != 4 {
+		t.Fatalf("schedule has %d segments, want 4", len(sched))
+	}
+	wantStates := []emotion.Attention{
+		emotion.Distracted, emotion.Concentrated, emotion.Tense, emotion.Relaxed,
+	}
+	wantBounds := [][2]float64{{0, 14}, {14, 20}, {20, 29}, {29, 40}}
+	for i, s := range sched {
+		if s.State != wantStates[i] {
+			t.Errorf("segment %d state %v, want %v", i, s.State, wantStates[i])
+		}
+		if s.StartMin != wantBounds[i][0] || s.EndMin != wantBounds[i][1] {
+			t.Errorf("segment %d bounds [%g,%g], want %v", i, s.StartMin, s.EndMin, wantBounds[i])
+		}
+	}
+}
+
+func TestGenerateSC(t *testing.T) {
+	tr, err := GenerateSC(UulmMACSchedule(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Samples), int(40*60*4); got != want {
+		t.Fatalf("trace has %d samples, want %d", got, want)
+	}
+	if tr.DurationMin() != 40 {
+		t.Errorf("duration %g, want 40", tr.DurationMin())
+	}
+	for _, v := range tr.Samples {
+		if math.IsNaN(v) || v < -1 || v > 30 {
+			t.Fatalf("implausible SC sample %g", v)
+		}
+	}
+}
+
+func TestGenerateSCStateLevels(t *testing.T) {
+	// Mean SC in the tense segment must exceed the distracted segment —
+	// that ordering is what lets SC magnitude drive the mode controller.
+	tr, err := GenerateSC(UulmMACSchedule(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segMean := func(startMin, endMin float64) float64 {
+		lo := int(startMin * 60 * tr.SampleRate)
+		hi := int(endMin * 60 * tr.SampleRate)
+		return dsp.Mean(tr.Samples[lo:hi])
+	}
+	distracted := segMean(2, 14) // skip initial drift
+	concentrated := segMean(16, 20)
+	tense := segMean(23, 29)
+	relaxed := segMean(33, 40)
+	if !(distracted < relaxed && relaxed < concentrated && concentrated < tense) {
+		t.Errorf("SC level ordering violated: distracted=%.2f relaxed=%.2f concentrated=%.2f tense=%.2f",
+			distracted, relaxed, concentrated, tense)
+	}
+}
+
+func TestGenerateSCErrors(t *testing.T) {
+	if _, err := GenerateSC(nil, 4, 1); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := GenerateSC(UulmMACSchedule(), 0, 1); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	gap := []SCSegment{{0, 5, emotion.Distracted}, {6, 10, emotion.Tense}}
+	if _, err := GenerateSC(gap, 4, 1); err == nil {
+		t.Error("gapped schedule accepted")
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	tr, err := GenerateSC(UulmMACSchedule(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]emotion.Attention{
+		0:    emotion.Distracted,
+		13.9: emotion.Distracted,
+		14:   emotion.Concentrated,
+		25:   emotion.Tense,
+		39:   emotion.Relaxed,
+		40:   emotion.Relaxed, // past the end clamps to last
+	}
+	for min, want := range cases {
+		if got := tr.StateAt(min); got != want {
+			t.Errorf("StateAt(%g) = %v, want %v", min, got, want)
+		}
+	}
+}
+
+func TestGenerateSCDeterministic(t *testing.T) {
+	a, err := GenerateSC(UulmMACSchedule(), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSC(UulmMACSchedule(), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("SC trace not deterministic")
+		}
+	}
+}

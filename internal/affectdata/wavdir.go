@@ -1,0 +1,97 @@
+package affectdata
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/emotion"
+)
+
+// LoadWAVDir builds a corpus from real recordings: every .wav file in dir
+// (mono 16-bit PCM) whose name contains an emotion label (e.g.
+// "clip_007_happy.wav") becomes a clip. Files without a recognizable
+// label are skipped; rate, when positive, resamples all clips to a common
+// sample rate. This is the adoption path for users who own the actual
+// RAVDESS/EMOVO/CREMA-D data the paper used.
+func LoadWAVDir(dir string, rate float64) ([]Clip, float64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("affectdata: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".wav") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var clips []Clip
+	var outRate float64
+	for _, name := range names {
+		label, ok := labelFromName(name)
+		if !ok {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, 0, err
+		}
+		wave, sr, err := dsp.ReadWAV(f)
+		f.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("affectdata: %s: %w", name, err)
+		}
+		target := rate
+		if target <= 0 {
+			target = float64(sr)
+		}
+		if float64(sr) != target {
+			wave, err = dsp.Resample(wave, float64(sr), target)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		if outRate == 0 {
+			outRate = target
+		} else if outRate != target {
+			return nil, 0, fmt.Errorf("affectdata: mixed sample rates (%g vs %g); pass an explicit rate", outRate, target)
+		}
+		clips = append(clips, Clip{Wave: wave, Label: label, Actor: actorFromName(name)})
+	}
+	if len(clips) == 0 {
+		return nil, 0, fmt.Errorf("affectdata: no labelled .wav files in %s", dir)
+	}
+	return clips, outRate, nil
+}
+
+// labelFromName finds an emotion label word in a file name.
+func labelFromName(name string) (emotion.Label, bool) {
+	lower := strings.ToLower(name)
+	for _, l := range emotion.Labels() {
+		if strings.Contains(lower, l.String()) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// actorFromName extracts a numeric actor id from "actorNN" in the name,
+// or 0 when absent.
+func actorFromName(name string) int {
+	lower := strings.ToLower(name)
+	i := strings.Index(lower, "actor")
+	if i < 0 {
+		return 0
+	}
+	j := i + len("actor")
+	var n int
+	for j < len(lower) && lower[j] >= '0' && lower[j] <= '9' {
+		n = n*10 + int(lower[j]-'0')
+		j++
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package affectdata
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/emotion"
+)
+
+func TestLoadWAVDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := EMOVO()
+	clips, err := spec.Generate(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clips {
+		name := filepath.Join(dir, "clip_"+string(rune('a'+i))+"_actor0"+string(rune('0'+c.Actor))+"_"+c.Label.String()+".wav")
+		f, err := os.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dsp.WriteWAV(f, c.Wave, int(spec.SampleRate)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	// An unlabeled file is skipped, not fatal.
+	junk, err := os.Create(filepath.Join(dir, "readme_notes.wav"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsp.WriteWAV(junk, make([]float64, 100), 8000); err != nil {
+		t.Fatal(err)
+	}
+	junk.Close()
+
+	loaded, rate, err := LoadWAVDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 {
+		t.Errorf("rate %g", rate)
+	}
+	if len(loaded) != 6 {
+		t.Fatalf("loaded %d clips, want 6", len(loaded))
+	}
+	labels := map[emotion.Label]bool{}
+	for _, c := range loaded {
+		labels[c.Label] = true
+		if len(c.Wave) < 1000 {
+			t.Error("clip too short after load")
+		}
+	}
+	if len(labels) < 4 {
+		t.Errorf("only %d distinct labels recovered", len(labels))
+	}
+}
+
+func TestLoadWAVDirResamples(t *testing.T) {
+	dir := t.TempDir()
+	wave := make([]float64, 8000)
+	for i := range wave {
+		wave[i] = 0.5
+	}
+	f, err := os.Create(filepath.Join(dir, "a_happy.wav"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsp.WriteWAV(f, wave, 16000); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, rate, err := LoadWAVDir(dir, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 {
+		t.Errorf("rate %g", rate)
+	}
+	if got := len(loaded[0].Wave); got < 3900 || got > 4100 {
+		t.Errorf("resampled length %d, want ~4000", got)
+	}
+}
+
+func TestLoadWAVDirErrors(t *testing.T) {
+	if _, _, err := LoadWAVDir("/nonexistent-dir-xyz", 0); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, _, err := LoadWAVDir(empty, 0); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestActorFromName(t *testing.T) {
+	cases := map[string]int{
+		"x_actor07_sad.wav": 7,
+		"actor123_happy":    123,
+		"no_id_happy.wav":   0,
+	}
+	for name, want := range cases {
+		if got := actorFromName(name); got != want {
+			t.Errorf("actorFromName(%q) = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package android
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// Additional kill policies for the ablation study: how much of the
+// emotional manager's win comes from affect information versus plain
+// recency?
+
+// LRUPolicy evicts the background process that was least recently in the
+// foreground — stock Android's actual cached-process heuristic is closer
+// to LRU than FIFO, so this is the stronger recency baseline.
+type LRUPolicy struct{}
+
+// Name implements KillPolicy.
+func (LRUPolicy) Name() string { return "lru" }
+
+// Victim implements KillPolicy.
+func (LRUPolicy) Victim(candidates []*Process, now time.Duration, mood emotion.Mood) *Process {
+	if len(candidates) == 0 {
+		return nil
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.LastUsed < best.LastUsed {
+			best = c
+		}
+	}
+	return best
+}
+
+// RandomPolicy evicts a uniformly random candidate — the sanity floor.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy returns a seeded random killer.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements KillPolicy.
+func (*RandomPolicy) Name() string { return "random" }
+
+// Victim implements KillPolicy.
+func (p *RandomPolicy) Victim(candidates []*Process, now time.Duration, mood emotion.Mood) *Process {
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[p.rng.Intn(len(candidates))]
+}
+
+// HybridPolicy scores candidates by a blend of affect probability and
+// recency: score = Alpha * P(app|mood) + (1-Alpha) * recency, evicting the
+// lowest score. Alpha 1 is the pure emotional policy, Alpha 0 pure LRU.
+type HybridPolicy struct {
+	Table *AffectTable
+	Alpha float64
+}
+
+// NewHybridPolicy validates and wraps the blend.
+func NewHybridPolicy(table *AffectTable, alpha float64) (*HybridPolicy, error) {
+	if table == nil {
+		return nil, fmt.Errorf("android: nil affect table")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("android: hybrid alpha %g outside [0,1]", alpha)
+	}
+	return &HybridPolicy{Table: table, Alpha: alpha}, nil
+}
+
+// Name implements KillPolicy.
+func (p *HybridPolicy) Name() string { return fmt.Sprintf("hybrid(%.2f)", p.Alpha) }
+
+// Victim implements KillPolicy.
+func (p *HybridPolicy) Victim(candidates []*Process, now time.Duration, mood emotion.Mood) *Process {
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Normalize recency to [0, 1] over the candidate set.
+	oldest, newest := candidates[0].LastUsed, candidates[0].LastUsed
+	maxProb := 0.0
+	for _, c := range candidates {
+		if c.LastUsed < oldest {
+			oldest = c.LastUsed
+		}
+		if c.LastUsed > newest {
+			newest = c.LastUsed
+		}
+		if pr := p.Table.Prob(mood, c.App.Name); pr > maxProb {
+			maxProb = pr
+		}
+	}
+	span := float64(newest - oldest)
+	best := candidates[0]
+	bestScore := p.score(best, mood, oldest, span, maxProb)
+	for _, c := range candidates[1:] {
+		if s := p.score(c, mood, oldest, span, maxProb); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+func (p *HybridPolicy) score(c *Process, mood emotion.Mood, oldest time.Duration, span, maxProb float64) float64 {
+	recency := 1.0
+	if span > 0 {
+		recency = float64(c.LastUsed-oldest) / span
+	}
+	prob := 0.0
+	if maxProb > 0 {
+		prob = p.Table.Prob(mood, c.App.Name) / maxProb
+	}
+	return p.Alpha*prob + (1-p.Alpha)*recency
+}
+
+// PolicyAblation replays one workload under every policy and returns
+// metrics keyed by policy name — the data behind the policy-ablation
+// bench.
+func PolicyAblation(cfg DeviceConfig, table *AffectTable, events []WorkloadEvent, seed int64) (map[string]Metrics, error) {
+	hybrid, err := NewHybridPolicy(table, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	emotional, err := NewEmotionalPolicy(table)
+	if err != nil {
+		return nil, err
+	}
+	policies := []KillPolicy{
+		FIFOPolicy{},
+		LRUPolicy{},
+		NewRandomPolicy(seed),
+		hybrid,
+		emotional,
+	}
+	out := map[string]Metrics{}
+	for _, p := range policies {
+		res, err := Run(cfg, p, events)
+		if err != nil {
+			return nil, err
+		}
+		out[p.Name()] = res.Metrics
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package android
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+func mkProc(name string, started, lastUsed time.Duration) *Process {
+	return &Process{
+		App:       App{Name: name, FileBytes: mb, MemBytes: mb},
+		State:     StateBackground,
+		StartedAt: started,
+		LastUsed:  lastUsed,
+	}
+}
+
+func TestLRUPolicy(t *testing.T) {
+	p := LRUPolicy{}
+	a := mkProc("a", 0, 10*time.Minute)
+	b := mkProc("b", 5*time.Minute, 2*time.Minute) // started later, used earlier
+	v := p.Victim([]*Process{a, b}, 20*time.Minute, emotion.CalmMood)
+	if v != b {
+		t.Error("LRU should evict the least recently used, not the oldest")
+	}
+	if p.Victim(nil, 0, emotion.CalmMood) != nil {
+		t.Error("empty candidates should yield nil")
+	}
+}
+
+func TestRandomPolicyDeterministicSeed(t *testing.T) {
+	procs := []*Process{mkProc("a", 0, 0), mkProc("b", 1, 1), mkProc("c", 2, 2)}
+	p1 := NewRandomPolicy(42)
+	p2 := NewRandomPolicy(42)
+	for i := 0; i < 10; i++ {
+		if p1.Victim(procs, 0, emotion.CalmMood) != p2.Victim(procs, 0, emotion.CalmMood) {
+			t.Fatal("random policy not seed-deterministic")
+		}
+	}
+	if NewRandomPolicy(1).Victim(nil, 0, emotion.CalmMood) != nil {
+		t.Error("empty candidates should yield nil")
+	}
+}
+
+func TestHybridPolicyBlends(t *testing.T) {
+	table, err := NewAffectTable(map[emotion.Mood]map[string]float64{
+		emotion.Excited: {"fav": 0.9, "meh": 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fav := mkProc("fav", 0, 0)              // mood favorite but stale
+	meh := mkProc("meh", 0, 10*time.Minute) // recent but unlikely
+	// Pure affect (alpha 1): evict meh (low probability).
+	p1, err := NewHybridPolicy(table, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p1.Victim([]*Process{fav, meh}, 0, emotion.Excited); v != meh {
+		t.Error("alpha=1 should follow the affect table")
+	}
+	// Pure recency (alpha 0): evict fav (stale).
+	p0, err := NewHybridPolicy(table, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p0.Victim([]*Process{fav, meh}, 0, emotion.Excited); v != fav {
+		t.Error("alpha=0 should follow recency")
+	}
+	if _, err := NewHybridPolicy(table, 2); err == nil {
+		t.Error("alpha 2 accepted")
+	}
+	if _, err := NewHybridPolicy(nil, 0.5); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+func TestPolicyAblationOrdering(t *testing.T) {
+	// Build a deterministic workload with mood-favorite revisits.
+	table, err := AffectTableFromSubjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []WorkloadEvent
+	pattern := []string{
+		"voip-call", "chrome", "streambox", "live-tv", "megashop",
+		"friendfeed", "snapshare", "clip-maker", "voip-call", "chrome",
+		"ride-hail", "gmail", "music-box", "voip-call", "pro-camera",
+		"clouddrive", "shortclips", "voip-call", "chrome", "ride-hail",
+	}
+	for i, app := range pattern {
+		events = append(events, WorkloadEvent{
+			At:   time.Duration(i) * 30 * time.Second,
+			App:  app,
+			Mood: emotion.Excited,
+		})
+	}
+	results, err := PolicyAblation(DefaultDeviceConfig(), table, events, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d policies, want 5", len(results))
+	}
+	// Every policy saw the same launches.
+	for name, m := range results {
+		if m.Launches != len(events) {
+			t.Errorf("%s saw %d launches", name, m.Launches)
+		}
+	}
+}

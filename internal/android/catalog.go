@@ -1,0 +1,161 @@
+// Package android simulates the smartphone process/memory substrate of §5:
+// a process table with Android's default background-process limit, a RAM
+// budget, a flash-storage model for cold starts, the stock
+// first-in-first-out background killer, and the paper's Emotional
+// Background Manager (App Affect Table + rank generator). The experimental
+// setup mirrors Fig 7 right: Android-11-class device, 4 GB RAM, 44
+// installed apps drawn from the usage study's categories.
+package android
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge/internal/personality"
+)
+
+// App describes one installed application.
+type App struct {
+	Name     string
+	Category personality.Category
+	// FileBytes is loaded from flash on a cold start (code + resources).
+	FileBytes int64
+	// MemBytes is the resident RAM footprint once running.
+	MemBytes int64
+	// InitTime is the fixed startup work beyond the flash read.
+	InitTime time.Duration
+	// System apps are never killed by the background manager.
+	System bool
+	// Periodic apps (e.g. the messaging app) receive background wakeups
+	// frequently enough that the stock manager exempts them from FIFO
+	// killing, per the paper's observation about Android Messages.
+	Periodic bool
+}
+
+const (
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// Catalog returns the 44 installed apps of the experimental setup,
+// covering every top-20 category with realistic footprints.
+func Catalog() []App {
+	mkApp := func(name string, cat personality.Category, fileMB, memMB int64, init time.Duration) App {
+		return App{Name: name, Category: cat, FileBytes: fileMB * mb, MemBytes: memMB * mb, InitTime: init}
+	}
+	apps := []App{
+		// Messaging: the periodic, never-killed workhorse plus friends.
+		{Name: "messages", Category: personality.Messaging, FileBytes: 160 * mb, MemBytes: 280 * mb, InitTime: 350 * time.Millisecond, Periodic: true},
+		mkApp("chat-plus", personality.Messaging, 210, 340, 450*time.Millisecond),
+		mkApp("workchat", personality.Messaging, 180, 300, 400*time.Millisecond),
+
+		mkApp("friendfeed", personality.SocialNetworks, 280, 420, 600*time.Millisecond),
+		mkApp("snapshare", personality.SocialNetworks, 260, 380, 550*time.Millisecond),
+		mkApp("microblog", personality.SocialNetworks, 190, 300, 450*time.Millisecond),
+
+		mkApp("foto-editor", personality.Foto, 240, 380, 500*time.Millisecond),
+		mkApp("collage", personality.Foto, 150, 260, 400*time.Millisecond),
+
+		{Name: "settings", Category: personality.Settings, FileBytes: 60 * mb, MemBytes: 140 * mb, InitTime: 200 * time.Millisecond, System: true},
+
+		mkApp("radio-stream", personality.MusicRadio, 170, 260, 450*time.Millisecond),
+		mkApp("music-box", personality.MusicRadio, 220, 320, 500*time.Millisecond),
+		mkApp("podcasts", personality.MusicRadio, 140, 220, 350*time.Millisecond),
+
+		{Name: "clock", Category: personality.TimerClocks, FileBytes: 40 * mb, MemBytes: 90 * mb, InitTime: 150 * time.Millisecond, System: true},
+
+		{Name: "dialer", Category: personality.Calling, FileBytes: 70 * mb, MemBytes: 160 * mb, InitTime: 200 * time.Millisecond, System: true},
+		mkApp("voip-call", personality.Calling, 190, 300, 450*time.Millisecond),
+
+		{Name: "calculator", Category: personality.Calculator, FileBytes: 25 * mb, MemBytes: 60 * mb, InitTime: 100 * time.Millisecond, System: true},
+
+		mkApp("chrome", personality.Browser, 310, 480, 650*time.Millisecond),
+		mkApp("lite-browser", personality.Browser, 120, 220, 350*time.Millisecond),
+		mkApp("private-browser", personality.Browser, 180, 300, 450*time.Millisecond),
+
+		mkApp("gmail", personality.EMail, 200, 320, 500*time.Millisecond),
+		mkApp("mail-pro", personality.EMail, 160, 260, 400*time.Millisecond),
+
+		mkApp("megashop", personality.Shopping, 270, 400, 600*time.Millisecond),
+		mkApp("dealfinder", personality.Shopping, 210, 320, 500*time.Millisecond),
+
+		mkApp("clouddrive", personality.SharingCloud, 230, 340, 500*time.Millisecond),
+		mkApp("filedrop", personality.SharingCloud, 150, 240, 400*time.Millisecond),
+
+		{Name: "camera", Category: personality.Camera, FileBytes: 130 * mb, MemBytes: 350 * mb, InitTime: 300 * time.Millisecond, System: true},
+		mkApp("pro-camera", personality.Camera, 260, 420, 550*time.Millisecond),
+
+		mkApp("video-player", personality.Video, 180, 320, 450*time.Millisecond),
+		mkApp("clip-maker", personality.Video, 290, 440, 600*time.Millisecond),
+
+		mkApp("live-tv", personality.TV, 320, 460, 650*time.Millisecond),
+		mkApp("tv-guide", personality.TV, 110, 200, 300*time.Millisecond),
+
+		mkApp("streambox", personality.VideoApps, 340, 500, 700*time.Millisecond),
+		mkApp("shortclips", personality.VideoApps, 280, 420, 600*time.Millisecond),
+
+		{Name: "gallery", Category: personality.Gallery, FileBytes: 110 * mb, MemBytes: 260 * mb, InitTime: 300 * time.Millisecond, System: true},
+		mkApp("photo-vault", personality.Gallery, 170, 280, 400*time.Millisecond),
+
+		{Name: "system-ui", Category: personality.SystemApp, FileBytes: 90 * mb, MemBytes: 200 * mb, InitTime: 150 * time.Millisecond, System: true},
+		{Name: "package-installer", Category: personality.SystemApp, FileBytes: 50 * mb, MemBytes: 110 * mb, InitTime: 150 * time.Millisecond, System: true},
+
+		mkApp("calendar", personality.CalendarApps, 90, 180, 300*time.Millisecond),
+		mkApp("planner", personality.CalendarApps, 120, 220, 350*time.Millisecond),
+
+		mkApp("ride-hail", personality.Transportation, 250, 380, 550*time.Millisecond),
+		mkApp("transit-map", personality.Transportation, 200, 320, 500*time.Millisecond),
+		mkApp("scooter-go", personality.Transportation, 160, 260, 400*time.Millisecond),
+
+		mkApp("notes", personality.Foto, 80, 160, 250*time.Millisecond),
+		mkApp("weather", personality.SystemApp, 70, 150, 250*time.Millisecond),
+	}
+	return apps
+}
+
+// CatalogByName indexes the catalog.
+func CatalogByName() map[string]App {
+	out := map[string]App{}
+	for _, a := range Catalog() {
+		out[a.Name] = a
+	}
+	return out
+}
+
+// AppsInCategory returns catalog apps of a category, in catalog order.
+func AppsInCategory(cat personality.Category) []App {
+	var out []App
+	for _, a := range Catalog() {
+		if a.Category == cat {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ValidateCatalog checks the experimental-setup invariants: 44 apps,
+// unique names, every top-20 category covered.
+func ValidateCatalog() error {
+	apps := Catalog()
+	if len(apps) != 44 {
+		return fmt.Errorf("android: catalog has %d apps, want 44", len(apps))
+	}
+	seen := map[string]bool{}
+	covered := map[personality.Category]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			return fmt.Errorf("android: duplicate app %q", a.Name)
+		}
+		seen[a.Name] = true
+		covered[a.Category] = true
+		if a.FileBytes <= 0 || a.MemBytes <= 0 {
+			return fmt.Errorf("android: app %q has non-positive sizes", a.Name)
+		}
+	}
+	for _, c := range personality.Categories() {
+		if !covered[c] {
+			return fmt.Errorf("android: category %s has no apps", c)
+		}
+	}
+	return nil
+}

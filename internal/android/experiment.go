@@ -1,0 +1,83 @@
+package android
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// WorkloadEvent is the minimal launch record the experiment consumes
+// (matching monkey.LaunchEvent without importing it, to keep the
+// dependency one-way).
+type WorkloadEvent struct {
+	At   time.Duration
+	App  string
+	Mood emotion.Mood
+}
+
+// RunResult is one policy's outcome over a workload.
+type RunResult struct {
+	Policy  string
+	Metrics Metrics
+	Device  *Device
+}
+
+// Run replays a workload against a fresh device using the given policy.
+// Mood transitions are fed to the device as they appear in the events
+// (the affect classifier's output stream).
+func Run(cfg DeviceConfig, policy KillPolicy, events []WorkloadEvent) (*RunResult, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("android: empty workload")
+	}
+	dev, err := NewDevice(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range events {
+		if i > 0 && e.At < events[i-1].At {
+			return nil, fmt.Errorf("android: workload not time-ordered at event %d", i)
+		}
+		if err := dev.SetMood(e.Mood); err != nil {
+			return nil, err
+		}
+		if _, err := dev.Launch(e.At, e.App); err != nil {
+			return nil, err
+		}
+	}
+	return &RunResult{Policy: policy.Name(), Metrics: dev.Metrics(), Device: dev}, nil
+}
+
+// Comparison is the Fig 10 result: emotional manager versus the FIFO
+// baseline on the identical workload.
+type Comparison struct {
+	Emotional, Baseline RunResult
+	// MemorySavingPct is the reduction in total bytes loaded at app start.
+	MemorySavingPct float64
+	// TimeSavingPct is the reduction in total app loading time.
+	TimeSavingPct float64
+}
+
+// Compare replays the same workload under both managers.
+func Compare(cfg DeviceConfig, table *AffectTable, events []WorkloadEvent) (*Comparison, error) {
+	emoPolicy, err := NewEmotionalPolicy(table)
+	if err != nil {
+		return nil, err
+	}
+	emo, err := Run(cfg, emoPolicy, events)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Run(cfg, FIFOPolicy{}, events)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{Emotional: *emo, Baseline: *base}
+	if base.Metrics.BytesLoaded > 0 {
+		c.MemorySavingPct = 100 * (1 - float64(emo.Metrics.BytesLoaded)/float64(base.Metrics.BytesLoaded))
+	}
+	if base.Metrics.LoadingTime > 0 {
+		c.TimeSavingPct = 100 * (1 - float64(emo.Metrics.LoadingTime)/float64(base.Metrics.LoadingTime))
+	}
+	return c, nil
+}

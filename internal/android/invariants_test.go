@@ -1,0 +1,93 @@
+package android
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// Property: under arbitrary launch sequences, the device never exceeds its
+// RAM budget (after enforcement), never kills the foreground app, always
+// keeps system/periodic apps alive once started, and its metrics stay
+// internally consistent.
+func TestDeviceInvariantsUnderRandomWorkloads(t *testing.T) {
+	catalog := Catalog()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		table, err := AffectTableFromSubjects()
+		if err != nil {
+			return false
+		}
+		var policy KillPolicy
+		switch rng.Intn(3) {
+		case 0:
+			policy = FIFOPolicy{}
+		case 1:
+			policy, err = NewEmotionalPolicy(table)
+			if err != nil {
+				return false
+			}
+		default:
+			policy = LRUPolicy{}
+		}
+		d, err := NewDevice(DefaultDeviceConfig(), policy)
+		if err != nil {
+			return false
+		}
+		startedSystem := map[string]bool{}
+		var now time.Duration
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			now += time.Duration(1+rng.Intn(120)) * time.Second
+			app := catalog[rng.Intn(len(catalog))]
+			if rng.Intn(5) == 0 {
+				mood := emotion.Mood(rng.Intn(emotion.NumMoods))
+				if err := d.SetMood(mood); err != nil {
+					return false
+				}
+			}
+			if _, err := d.Launch(now, app.Name); err != nil {
+				return false
+			}
+			if app.System || app.Periodic {
+				startedSystem[app.Name] = true
+			}
+			// Invariant: RAM within budget after enforcement (unless only
+			// unkillable processes remain, which this catalog cannot reach).
+			if d.usedRAM() > DefaultDeviceConfig().RAMBytes {
+				return false
+			}
+			// Invariant: the app just launched is alive and foreground.
+			if !d.Alive(app.Name) {
+				return false
+			}
+			// Invariant: exempt apps stay alive once started.
+			for name := range startedSystem {
+				if !d.Alive(name) {
+					return false
+				}
+			}
+		}
+		m := d.Metrics()
+		if m.Launches != n {
+			return false
+		}
+		if m.ColdStarts+m.WarmStarts != n {
+			return false
+		}
+		if m.KillsByLimit+m.KillsByMemory != m.Kills {
+			return false
+		}
+		if m.BytesLoaded < 0 || m.LoadingTime < 0 {
+			return false
+		}
+		// Cold starts are at least the distinct apps seen... at least 1.
+		return m.ColdStarts >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package android
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge/internal/trace"
+)
+
+// Prefetching is the natural extension of the Emotional Background
+// Manager: instead of only *keeping* mood-likely apps cached, proactively
+// load the mood's top apps during idle moments so their next launch is
+// warm. The trade is real — prefetch spends flash reads that may be
+// wasted — so the experiment reports both launch-time loads (what Fig 10
+// measures, which prefetch improves) and total flash traffic including
+// prefetch (which it can worsen).
+
+// PrefetchConfig controls proactive loading.
+type PrefetchConfig struct {
+	// TopK apps of the current mood are prefetch candidates.
+	TopK int
+	// Budget caps how many prefetches one idle moment may issue.
+	Budget int
+}
+
+// DefaultPrefetchConfig prefetches up to 2 of the mood's top 5 apps.
+func DefaultPrefetchConfig() PrefetchConfig { return PrefetchConfig{TopK: 5, Budget: 2} }
+
+// PrefetchMetrics extends Metrics with prefetch accounting.
+type PrefetchMetrics struct {
+	Metrics
+	Prefetches     int
+	PrefetchBytes  int64
+	PrefetchUseful int // prefetched processes later launched while cached
+}
+
+// RunWithPrefetch replays a workload on the emotional manager, issuing
+// prefetches after every launch (the idle moment) for the current mood's
+// top-ranked dead apps. It returns extended metrics.
+func RunWithPrefetch(cfg DeviceConfig, table *AffectTable, events []WorkloadEvent, pf PrefetchConfig) (*PrefetchMetrics, error) {
+	if pf.TopK <= 0 || pf.Budget <= 0 {
+		return nil, fmt.Errorf("android: invalid prefetch config %+v", pf)
+	}
+	policy, err := NewEmotionalPolicy(table)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := NewDevice(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("android: empty workload")
+	}
+	out := &PrefetchMetrics{}
+	prefetched := map[string]bool{}
+	for i, e := range events {
+		if i > 0 && e.At < events[i-1].At {
+			return nil, fmt.Errorf("android: workload not time-ordered at event %d", i)
+		}
+		if err := dev.SetMood(e.Mood); err != nil {
+			return nil, err
+		}
+		if prefetched[e.App] && dev.Alive(e.App) {
+			out.PrefetchUseful++
+		}
+		delete(prefetched, e.App)
+		if _, err := dev.Launch(e.At, e.App); err != nil {
+			return nil, err
+		}
+		// Idle moment after the launch: prefetch dead mood favorites.
+		issued := 0
+		for _, name := range table.Rank(e.Mood) {
+			if issued >= pf.Budget {
+				break
+			}
+			if pf.TopK > 0 && issued >= pf.TopK {
+				break
+			}
+			if dev.Alive(name) {
+				continue
+			}
+			app, ok := dev.apps[name]
+			if !ok || !dev.canPrefetch(app) {
+				continue
+			}
+			if err := dev.prefetch(e.At+time.Millisecond, app); err != nil {
+				return nil, err
+			}
+			out.Prefetches++
+			out.PrefetchBytes += app.FileBytes
+			prefetched[name] = true
+			issued++
+		}
+	}
+	out.Metrics = dev.Metrics()
+	return out, nil
+}
+
+// prefetchHeadroom is RAM that must stay free after a prefetch so the
+// speculative load never evicts a cached process the user might need.
+const prefetchHeadroom = 256 * mb
+
+// canPrefetch reports whether app fits without creating eviction pressure.
+func (d *Device) canPrefetch(app App) bool {
+	if _, alive := d.procs[app.Name]; alive {
+		return false
+	}
+	if d.backgroundCount()+1 > d.cfg.ProcessLimit {
+		return false
+	}
+	return d.usedRAM()+app.MemBytes+prefetchHeadroom <= d.cfg.RAMBytes
+}
+
+// prefetch loads an app into the background without foregrounding it.
+// Callers must check canPrefetch first; prefetching never evicts.
+func (d *Device) prefetch(now time.Duration, app App) error {
+	if !d.canPrefetch(app) {
+		return nil
+	}
+	p := &Process{App: app, StartedAt: now, LastUsed: now, State: StateBackground}
+	d.procs[app.Name] = p
+	d.log.Record(now, app.Name, trace.EventStart, "prefetch")
+	return nil
+}

@@ -1,0 +1,86 @@
+package android
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+func prefetchWorkload() []WorkloadEvent {
+	// Excited-mood session revisiting the mood favorites after detours.
+	pattern := []string{
+		"chrome", "streambox", "voip-call", "megashop", "friendfeed",
+		"snapshot", "voip-call", "chrome", "ride-hail", "clip-maker",
+		"voip-call", "chrome", "ride-hail",
+	}
+	// Replace the typo'd app with a real one.
+	pattern[5] = "snapshare"
+	var events []WorkloadEvent
+	for i, app := range pattern {
+		events = append(events, WorkloadEvent{
+			At:   time.Duration(i) * 45 * time.Second,
+			App:  app,
+			Mood: emotion.Excited,
+		})
+	}
+	return events
+}
+
+func TestRunWithPrefetch(t *testing.T) {
+	table, err := AffectTableFromSubjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := prefetchWorkload()
+	pm, err := RunWithPrefetch(DefaultDeviceConfig(), table, events, DefaultPrefetchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if pm.PrefetchBytes <= 0 {
+		t.Error("prefetch bytes not accounted")
+	}
+	if pm.Launches != len(events) {
+		t.Errorf("launches %d", pm.Launches)
+	}
+	// Compare against the plain emotional manager: launch-time cold
+	// starts must not increase (prefetch can only warm them up).
+	plainPolicy, err := NewEmotionalPolicy(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(DefaultDeviceConfig(), plainPolicy, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.ColdStarts > plain.Metrics.ColdStarts {
+		t.Errorf("prefetch increased launch-time cold starts: %d vs %d",
+			pm.ColdStarts, plain.Metrics.ColdStarts)
+	}
+	// And launch-time bytes loaded must not increase.
+	if pm.BytesLoaded > plain.Metrics.BytesLoaded {
+		t.Errorf("prefetch increased launch-time loads: %d vs %d",
+			pm.BytesLoaded, plain.Metrics.BytesLoaded)
+	}
+}
+
+func TestRunWithPrefetchValidation(t *testing.T) {
+	table, err := AffectTableFromSubjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWithPrefetch(DefaultDeviceConfig(), table, prefetchWorkload(), PrefetchConfig{}); err == nil {
+		t.Error("zero prefetch config accepted")
+	}
+	if _, err := RunWithPrefetch(DefaultDeviceConfig(), table, nil, DefaultPrefetchConfig()); err == nil {
+		t.Error("empty workload accepted")
+	}
+	bad := prefetchWorkload()
+	bad[0].At = time.Hour
+	if _, err := RunWithPrefetch(DefaultDeviceConfig(), table, bad, DefaultPrefetchConfig()); err == nil {
+		t.Error("unordered workload accepted")
+	}
+}

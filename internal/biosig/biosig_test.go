@@ -1,0 +1,174 @@
+package biosig
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/emotion"
+)
+
+func constantArousal(a float64, seconds int) []float64 {
+	out := make([]float64, seconds)
+	for i := range out {
+		out[i] = a
+	}
+	return out
+}
+
+func TestGeneratePPGAndRecoverHR(t *testing.T) {
+	cfg := DefaultPPGConfig()
+	for _, a := range []float64{-1, 0, 1} {
+		ppg, err := GeneratePPG(constantArousal(a, 60), 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := EstimateHR(ppg, cfg.SampleRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.RestingHR + cfg.HRPerArousal*a
+		if math.Abs(st.BPM-want) > 8 {
+			t.Errorf("arousal %g: estimated %.1f BPM, want ~%.0f", a, st.BPM, want)
+		}
+		if st.Beats < 30 {
+			t.Errorf("arousal %g: only %d beats in a minute", a, st.Beats)
+		}
+	}
+}
+
+func TestHRVShrinksWithArousal(t *testing.T) {
+	cfg := DefaultPPGConfig()
+	calm, err := GeneratePPG(constantArousal(-1, 120), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tense, err := GeneratePPG(constantArousal(1, 120), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calmStats, err := EstimateHR(calm, cfg.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenseStats, err := EstimateHR(tense, cfg.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calmStats.SDNN <= tenseStats.SDNN {
+		t.Errorf("calm SDNN %.4f not above tense %.4f (stress suppresses HRV)",
+			calmStats.SDNN, tenseStats.SDNN)
+	}
+}
+
+func TestArousalRoundTrip(t *testing.T) {
+	cfg := DefaultPPGConfig()
+	for _, a := range []float64{-0.8, 0, 0.8} {
+		ppg, err := GeneratePPG(constantArousal(a, 90), 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := EstimateHR(ppg, cfg.SampleRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ArousalFromHR(st, cfg)
+		if math.Abs(got-a) > 0.3 {
+			t.Errorf("arousal %g recovered as %g", a, got)
+		}
+	}
+}
+
+func TestPPGValidation(t *testing.T) {
+	if _, err := GeneratePPG(nil, 1, DefaultPPGConfig()); err == nil {
+		t.Error("empty arousal accepted")
+	}
+	if _, err := GeneratePPG([]float64{0}, 0, DefaultPPGConfig()); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := EstimateHR(nil, 32); err == nil {
+		t.Error("empty PPG accepted")
+	}
+}
+
+func TestIMUActivityClassification(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	levels := []ActivityLevel{ActivityStill, ActivityLight, ActivityActive}
+	trace, err := GenerateIMU(levels, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := int(10 * cfg.SampleRate)
+	for i, want := range levels {
+		window := trace[i*per : (i+1)*per]
+		if got := ClassifyActivity(window); got != want {
+			t.Errorf("segment %d classified %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestIMUCadence(t *testing.T) {
+	cfg := DefaultIMUConfig()
+	trace, err := GenerateIMU([]ActivityLevel{ActivityActive}, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cadence(trace, cfg.SampleRate)
+	// |sin| at 2.2 Hz has fundamental 4.4 Hz; accept either 2.2 or 4.4.
+	if math.Abs(c-2.2) > 0.4 && math.Abs(c-4.4) > 0.6 {
+		t.Errorf("cadence %.2f Hz, want ~2.2 or ~4.4", c)
+	}
+	still, err := GenerateIMU([]ActivityLevel{ActivityStill}, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Cadence(still, cfg.SampleRate); c != 0 {
+		t.Errorf("still cadence %.2f, want 0", c)
+	}
+}
+
+func TestMotionGate(t *testing.T) {
+	if !MotionGate(ActivityStill) || !MotionGate(ActivityLight) {
+		t.Error("low activity should pass the gate")
+	}
+	if MotionGate(ActivityActive) {
+		t.Error("heavy activity should block affect inference")
+	}
+}
+
+func TestFuseArousal(t *testing.T) {
+	p := FuseArousal(map[string]float64{"hr": 0.8, "sc": 0.4}, map[string]float64{"hr": 1, "sc": 1})
+	if math.Abs(p.Arousal-0.6) > 1e-9 {
+		t.Errorf("fused arousal %g, want 0.6", p.Arousal)
+	}
+	// Weighted.
+	p = FuseArousal(map[string]float64{"hr": 1, "sc": 0}, map[string]float64{"hr": 3, "sc": 1})
+	if math.Abs(p.Arousal-0.75) > 1e-9 {
+		t.Errorf("weighted fusion %g, want 0.75", p.Arousal)
+	}
+	// NaN skipped.
+	p = FuseArousal(map[string]float64{"hr": math.NaN(), "sc": 0.5}, nil)
+	if math.Abs(p.Arousal-0.5) > 1e-9 {
+		t.Errorf("NaN not skipped: %g", p.Arousal)
+	}
+	// Empty -> neutral.
+	if FuseArousal(nil, nil) != (emotion.Point{}) {
+		t.Error("empty fusion should be neutral")
+	}
+	// Clamped.
+	p = FuseArousal(map[string]float64{"hr": 5}, nil)
+	if p.Arousal != 1 {
+		t.Errorf("fusion not clamped: %g", p.Arousal)
+	}
+}
+
+func TestIMUValidation(t *testing.T) {
+	if _, err := GenerateIMU(nil, 10, DefaultIMUConfig()); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := GenerateIMU([]ActivityLevel{ActivityStill}, 0, DefaultIMUConfig()); err == nil {
+		t.Error("zero span accepted")
+	}
+	if _, err := GenerateIMU([]ActivityLevel{ActivityLevel(9)}, 1, DefaultIMUConfig()); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

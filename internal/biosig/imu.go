@@ -1,0 +1,145 @@
+package biosig
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"affectedge/internal/dsp"
+)
+
+// ActivityLevel is the coarse physical-activity class the IMU channel
+// reports; physical motion gates affect inference (a racing heart while
+// running is exercise, not excitement).
+type ActivityLevel int
+
+// Activity levels.
+const (
+	ActivityStill  ActivityLevel = iota
+	ActivityLight                // fidgeting, slow walking
+	ActivityActive               // walking briskly / running
+)
+
+// String returns the level name.
+func (a ActivityLevel) String() string {
+	switch a {
+	case ActivityStill:
+		return "still"
+	case ActivityLight:
+		return "light"
+	case ActivityActive:
+		return "active"
+	}
+	return fmt.Sprintf("activity(%d)", int(a))
+}
+
+// IMUConfig parameterizes synthetic accelerometer generation.
+type IMUConfig struct {
+	SampleRate float64 // Hz
+	Seed       int64
+}
+
+// DefaultIMUConfig returns a 50 Hz wrist accelerometer.
+func DefaultIMUConfig() IMUConfig { return IMUConfig{SampleRate: 50, Seed: 1} }
+
+// GenerateIMU synthesizes an accelerometer-magnitude trace (gravity
+// removed, m/s^2) for a sequence of activity levels, each lasting
+// spanSec seconds.
+func GenerateIMU(levels []ActivityLevel, spanSec float64, cfg IMUConfig) ([]float64, error) {
+	if len(levels) == 0 || spanSec <= 0 || cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("biosig: invalid IMU generation parameters")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	per := int(spanSec * cfg.SampleRate)
+	out := make([]float64, 0, per*len(levels))
+	for _, lv := range levels {
+		var amp, cadence float64
+		switch lv {
+		case ActivityStill:
+			amp, cadence = 0.05, 0
+		case ActivityLight:
+			amp, cadence = 0.5, 1.2
+		case ActivityActive:
+			amp, cadence = 2.5, 2.2
+		default:
+			return nil, fmt.Errorf("biosig: unknown activity level %d", int(lv))
+		}
+		phase := rng.Float64() * 2 * math.Pi
+		for k := 0; k < per; k++ {
+			t := float64(k) / cfg.SampleRate
+			v := 0.03 * rng.NormFloat64() // sensor noise
+			if cadence > 0 {
+				// Step impacts at the cadence plus harmonics.
+				v += amp * math.Abs(math.Sin(2*math.Pi*cadence*t+phase))
+				v += 0.3 * amp * math.Abs(math.Sin(4*math.Pi*cadence*t+phase))
+			} else {
+				v += amp * rng.NormFloat64()
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// ClassifyActivity assigns an activity level to an accelerometer window
+// by its RMS magnitude.
+func ClassifyActivity(accel []float64) ActivityLevel {
+	rms := dsp.RMS(accel)
+	switch {
+	case rms < 0.2:
+		return ActivityStill
+	case rms < 1.2:
+		return ActivityLight
+	default:
+		return ActivityActive
+	}
+}
+
+// Cadence estimates the dominant step frequency (Hz) of an accelerometer
+// window, 0 when no periodicity stands out.
+func Cadence(accel []float64, sampleRate float64) float64 {
+	if len(accel) < 8 || sampleRate <= 0 {
+		return 0
+	}
+	// Remove mean so the autocorrelation reflects oscillation.
+	mean := dsp.Mean(accel)
+	x := make([]float64, len(accel))
+	for i, v := range accel {
+		x[i] = v - mean
+	}
+	// Steps land at 0.5-5 Hz. Autocorrelation peaks at every multiple of
+	// the period; picking the global maximum can land on a subharmonic,
+	// so take the SHORTEST lag whose correlation is within 10% of the
+	// best (harmonic disambiguation).
+	minLag := int(sampleRate / 5)
+	maxLag := int(sampleRate / 0.5)
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if minLag < 1 || maxLag <= minLag {
+		return 0
+	}
+	r := dsp.Autocorrelation(x, maxLag)
+	if r[0] <= 0 {
+		return 0
+	}
+	best := 0.0
+	for lag := minLag; lag <= maxLag; lag++ {
+		if r[lag] > best {
+			best = r[lag]
+		}
+	}
+	if best < 0.3*r[0] {
+		return 0
+	}
+	for lag := minLag; lag <= maxLag; lag++ {
+		if r[lag] >= 0.9*best {
+			return sampleRate / float64(lag)
+		}
+	}
+	return 0
+}
+
+// MotionGate reports whether affect inference should trust physiological
+// arousal right now: heavy physical activity confounds HR and SC.
+func MotionGate(level ActivityLevel) bool { return level != ActivityActive }

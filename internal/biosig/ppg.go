@@ -1,0 +1,202 @@
+// Package biosig models the remaining wearable sensors of the paper's
+// Fig 2 suite — the photoplethysmography (PPG) channel for heart rate and
+// heart-rate variability, and the inertial measurement unit (IMU) for
+// activity — plus a fusion step that maps the multimodal features onto the
+// Russell circumplex for the system manager. Skin conductance lives in
+// internal/sc; speech in internal/affect.
+package biosig
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/emotion"
+)
+
+// PPGConfig parameterizes synthetic PPG generation.
+type PPGConfig struct {
+	SampleRate float64 // Hz (wearable PPG is typically 25-64 Hz)
+	// RestingHR and HRPerArousal map arousal in [-1,1] to beats/min:
+	// HR = RestingHR + HRPerArousal * arousal.
+	RestingHR    float64
+	HRPerArousal float64
+	// HRVAtCalm is the beat-to-beat interval jitter (fraction) at arousal
+	// -1; stress suppresses HRV, so jitter shrinks as arousal rises.
+	HRVAtCalm float64
+	Noise     float64
+	Seed      int64
+}
+
+// DefaultPPGConfig returns a 32 Hz wrist-PPG model.
+func DefaultPPGConfig() PPGConfig {
+	return PPGConfig{
+		SampleRate:   32,
+		RestingHR:    68,
+		HRPerArousal: 28,
+		HRVAtCalm:    0.10,
+		Noise:        0.03,
+		Seed:         1,
+	}
+}
+
+// GeneratePPG synthesizes a PPG waveform whose instantaneous heart rate
+// follows arousal(t) (arousal sampled at arousalRate Hz, values in
+// [-1, 1]). It returns the waveform at cfg.SampleRate.
+func GeneratePPG(arousal []float64, arousalRate float64, cfg PPGConfig) ([]float64, error) {
+	if len(arousal) == 0 {
+		return nil, fmt.Errorf("biosig: empty arousal trace")
+	}
+	if arousalRate <= 0 || cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("biosig: rates must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	durSec := float64(len(arousal)) / arousalRate
+	n := int(durSec * cfg.SampleRate)
+	out := make([]float64, n)
+	arousalAt := func(tSec float64) float64 {
+		idx := int(tSec * arousalRate)
+		if idx >= len(arousal) {
+			idx = len(arousal) - 1
+		}
+		a := arousal[idx]
+		if a > 1 {
+			a = 1
+		}
+		if a < -1 {
+			a = -1
+		}
+		return a
+	}
+	// Beat-by-beat: place a pulse at each beat onset; the next interval
+	// comes from the current HR with HRV jitter.
+	tBeat := 0.0
+	for tBeat < durSec {
+		a := arousalAt(tBeat)
+		hr := cfg.RestingHR + cfg.HRPerArousal*a
+		if hr < 35 {
+			hr = 35
+		}
+		ibi := 60 / hr // seconds
+		jitter := cfg.HRVAtCalm * (1 - a) / 2
+		ibi *= 1 + jitter*rng.NormFloat64()
+		if ibi < 0.3 {
+			ibi = 0.3
+		}
+		// Render this beat's pulse: fast systolic rise, slower decay,
+		// small dicrotic bump.
+		start := int(tBeat * cfg.SampleRate)
+		for k := 0; k < int(ibi*cfg.SampleRate)+1 && start+k < n; k++ {
+			u := float64(k) / (ibi * cfg.SampleRate)
+			v := math.Exp(-8*u) * math.Sin(math.Pi*math.Min(1, u*3))
+			v += 0.08 * math.Exp(-(u-0.45)*(u-0.45)/0.004) // dicrotic notch
+			out[start+k] += v
+		}
+		tBeat += ibi
+	}
+	for i := range out {
+		out[i] += cfg.Noise * rng.NormFloat64()
+	}
+	return out, nil
+}
+
+// HRStats summarizes a PPG analysis window.
+type HRStats struct {
+	BPM   float64
+	SDNN  float64 // standard deviation of beat intervals (seconds)
+	RMSSD float64 // root mean square of successive interval differences
+	Beats int
+}
+
+// EstimateHR detects pulse peaks in a PPG window and derives heart rate
+// and HRV statistics.
+func EstimateHR(ppg []float64, sampleRate float64) (HRStats, error) {
+	if len(ppg) == 0 {
+		return HRStats{}, fmt.Errorf("biosig: empty PPG window")
+	}
+	if sampleRate <= 0 {
+		return HRStats{}, fmt.Errorf("biosig: sample rate must be positive")
+	}
+	// Smooth, then detect peaks above an adaptive threshold with a
+	// physiological refractory (max 200 BPM -> 0.3 s).
+	smooth := dsp.Smooth(ppg, int(sampleRate*0.1))
+	// Threshold at 60% of the strong-peak level so dicrotic bumps and
+	// noise stay below it.
+	th := 0.6 * dsp.Percentile(smooth, 98)
+	refractory := int(0.3 * sampleRate)
+	if refractory < 1 {
+		refractory = 1
+	}
+	var peaks []int
+	last := -refractory
+	for i := 1; i+1 < len(smooth); i++ {
+		if smooth[i] > th && smooth[i] >= smooth[i-1] && smooth[i] > smooth[i+1] && i-last >= refractory {
+			peaks = append(peaks, i)
+			last = i
+		}
+	}
+	st := HRStats{Beats: len(peaks)}
+	if len(peaks) < 2 {
+		return st, nil
+	}
+	intervals := make([]float64, len(peaks)-1)
+	for i := 1; i < len(peaks); i++ {
+		intervals[i-1] = float64(peaks[i]-peaks[i-1]) / sampleRate
+	}
+	st.BPM = 60 / dsp.Mean(intervals)
+	st.SDNN = math.Sqrt(dsp.Variance(intervals))
+	var ssd float64
+	for i := 1; i < len(intervals); i++ {
+		d := intervals[i] - intervals[i-1]
+		ssd += d * d
+	}
+	if len(intervals) > 1 {
+		st.RMSSD = math.Sqrt(ssd / float64(len(intervals)-1))
+	}
+	return st, nil
+}
+
+// ArousalFromHR maps a heart-rate estimate back to an arousal value in
+// [-1, 1] under the generation model's assumptions.
+func ArousalFromHR(st HRStats, cfg PPGConfig) float64 {
+	if cfg.HRPerArousal == 0 {
+		return 0
+	}
+	a := (st.BPM - cfg.RestingHR) / cfg.HRPerArousal
+	if a > 1 {
+		a = 1
+	}
+	if a < -1 {
+		a = -1
+	}
+	return a
+}
+
+// FuseArousal combines per-modality arousal estimates with weights,
+// skipping NaNs, and returns the circumplex point for the manager.
+func FuseArousal(estimates map[string]float64, weights map[string]float64) emotion.Point {
+	var num, den float64
+	for name, a := range estimates {
+		if math.IsNaN(a) {
+			continue
+		}
+		w := weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		num += w * a
+		den += w
+	}
+	if den == 0 {
+		return emotion.Point{}
+	}
+	a := num / den
+	if a > 1 {
+		a = 1
+	}
+	if a < -1 {
+		a = -1
+	}
+	return emotion.Point{Arousal: a}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge/internal/android"
+	"affectedge/internal/emotion"
+	"affectedge/internal/monkey"
+	"affectedge/internal/personality"
+)
+
+// AppStudyConfig parameterizes the §5.2 app-management experiment
+// (Figs 9 and 10).
+type AppStudyConfig struct {
+	Device android.DeviceConfig
+	Monkey monkey.Config
+	// LearnedTable, when set, starts the emotional manager from an empty
+	// affect table learned online instead of the oracle subject table.
+	LearnedTable bool
+}
+
+// DefaultAppStudyConfig returns the paper's setup: 4 GB / limit-20 device
+// and the 12-min-excited + 8-min-calm compressed session.
+func DefaultAppStudyConfig() AppStudyConfig {
+	mc := monkey.DefaultConfig()
+	mc.AppDist = MoodAppDistributions()
+	return AppStudyConfig{
+		Device: android.DefaultDeviceConfig(),
+		Monkey: mc,
+	}
+}
+
+// MoodAppDistributions derives per-mood app-launch distributions from the
+// proxy subjects (subject 3 = excited, subject 4 = calm) spread over the
+// 44-app catalog.
+func MoodAppDistributions() map[emotion.Mood]map[string]float64 {
+	out := map[emotion.Mood]map[string]float64{}
+	for _, mood := range []emotion.Mood{emotion.Excited, emotion.CalmMood} {
+		subj, err := personality.SubjectByMood(mood)
+		if err != nil {
+			// Both moods have subjects by construction.
+			panic("core: " + err.Error())
+		}
+		out[mood] = android.SpreadOverCatalog(subj.Usage)
+	}
+	return out
+}
+
+// AppStudyResult carries both runs plus the Fig 10 deltas.
+type AppStudyResult struct {
+	Comparison *android.Comparison
+	Workload   *monkey.Workload
+	Horizon    time.Duration
+}
+
+// RunAppStudy generates the monkey workload and replays it under the
+// emotional manager and the FIFO baseline.
+func RunAppStudy(cfg AppStudyConfig) (*AppStudyResult, error) {
+	if cfg.Monkey.AppDist == nil {
+		cfg.Monkey.AppDist = MoodAppDistributions()
+	}
+	wl, err := monkey.Generate(cfg.Monkey)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]android.WorkloadEvent, len(wl.Events))
+	for i, e := range wl.Events {
+		events[i] = android.WorkloadEvent{At: e.At, App: e.App, Mood: e.Mood}
+	}
+	var table *android.AffectTable
+	if cfg.LearnedTable {
+		table = android.LearnedAffectTable()
+		// Online learning: warm the table from an independent prior
+		// session of the same subjects (a previous day's usage).
+		warmCfg := cfg.Monkey
+		warmCfg.Seed = cfg.Monkey.Seed + 7919
+		warm, err := monkey.Generate(warmCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range warm.Events {
+			table.Learn(e.Mood, e.App)
+		}
+	} else {
+		table, err = android.AffectTableFromSubjects()
+		if err != nil {
+			return nil, err
+		}
+	}
+	cmp, err := android.Compare(cfg.Device, table, events)
+	if err != nil {
+		return nil, err
+	}
+	return &AppStudyResult{Comparison: cmp, Workload: wl, Horizon: wl.Horizon}, nil
+}
+
+// MeanAppStudy averages the Fig 10 savings over several seeds for a
+// stable headline number.
+func MeanAppStudy(cfg AppStudyConfig, seeds []int64) (memSavingPct, timeSavingPct float64, err error) {
+	if len(seeds) == 0 {
+		return 0, 0, fmt.Errorf("core: no seeds")
+	}
+	for _, s := range seeds {
+		c := cfg
+		c.Monkey.Seed = s
+		res, err := RunAppStudy(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		memSavingPct += res.Comparison.MemorySavingPct
+		timeSavingPct += res.Comparison.TimeSavingPct
+	}
+	n := float64(len(seeds))
+	return memSavingPct / n, timeSavingPct / n, nil
+}

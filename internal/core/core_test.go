@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"affectedge/internal/android"
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/monkey"
+	"affectedge/internal/personality"
+)
+
+func TestManagerDefaults(t *testing.T) {
+	m, err := NewManager(DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Attention() != emotion.Relaxed || m.Mood() != emotion.CalmMood {
+		t.Error("initial state wrong")
+	}
+	if m.DecoderMode() != h264.ModeDFOff {
+		t.Errorf("initial mode %v, want df-off (relaxed policy)", m.DecoderMode())
+	}
+}
+
+func TestManagerHysteresis(t *testing.T) {
+	m, err := NewManager(DefaultManagerConfig()) // hysteresis 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := func(at time.Duration, l emotion.Label) bool {
+		sw, err := m.Observe(Observation{At: at, Label: l, Confidence: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	// One angry (tense) observation: no switch yet.
+	if obs(0, emotion.Angry) {
+		t.Error("switched after a single observation despite hysteresis 2")
+	}
+	if m.Attention() != emotion.Relaxed {
+		t.Error("attention changed prematurely")
+	}
+	// Second agreeing observation: switch.
+	if !obs(time.Second, emotion.Angry) {
+		t.Error("did not switch after two agreeing observations")
+	}
+	if m.Attention() != emotion.Tense || m.DecoderMode() != h264.ModeStandard {
+		t.Errorf("state %v/%v after switch", m.Attention(), m.DecoderMode())
+	}
+	if m.Mood() != emotion.Excited {
+		t.Error("mood should be excited after angry observations")
+	}
+	if len(m.Transitions()) == 0 {
+		t.Error("no transitions recorded")
+	}
+}
+
+func TestManagerDisagreementResetsHysteresis(t *testing.T) {
+	m, err := NewManager(DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []emotion.Label{emotion.Angry, emotion.Calm, emotion.Angry, emotion.Calm}
+	for i, l := range seq {
+		if _, err := m.Observe(Observation{At: time.Duration(i) * time.Second, Label: l, Confidence: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Alternating labels never accumulate 2 agreements for tense.
+	if m.Attention() == emotion.Tense {
+		t.Error("alternating observations flipped the state")
+	}
+}
+
+func TestManagerLowConfidenceDiscarded(t *testing.T) {
+	m, err := NewManager(DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := m.Observe(Observation{At: time.Duration(i), Label: emotion.Angry, Confidence: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Attention() != emotion.Relaxed {
+		t.Error("low-confidence observations changed state")
+	}
+	obs, disc := m.Stats()
+	if obs != 5 || disc != 5 {
+		t.Errorf("stats %d/%d, want 5/5", obs, disc)
+	}
+}
+
+func TestManagerCircumplexPoint(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	cfg.Hysteresis = 1
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-arousal point: tense.
+	if _, err := m.Observe(Observation{
+		At: 0, Point: emotion.Point{Valence: -0.5, Arousal: 0.9}, HasPoint: true, Confidence: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Attention() != emotion.Tense {
+		t.Errorf("attention %v, want tense", m.Attention())
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	cfg.MinConfidence = 2
+	if _, err := NewManager(cfg); err == nil {
+		t.Error("bad confidence accepted")
+	}
+	cfg = DefaultManagerConfig()
+	cfg.VideoPolicy = map[emotion.Attention]h264.DecoderMode{}
+	if _, err := NewManager(cfg); err == nil {
+		t.Error("incomplete policy accepted")
+	}
+	m, err := NewManager(DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe(Observation{Label: emotion.Label(99), Confidence: 1}); err == nil {
+		t.Error("invalid label accepted")
+	}
+	if _, err := m.Observe(Observation{Label: emotion.Happy, Confidence: 3}); err == nil {
+		t.Error("out-of-range confidence accepted")
+	}
+}
+
+// TestFig10AppManagementCalibration reproduces the paper's headline: 17%
+// saving of total memory loaded at app start and 12% saving of loading
+// time versus the FIFO baseline, averaged over seeds, within +-4 pp.
+func TestFig10AppManagementCalibration(t *testing.T) {
+	var seeds []int64
+	for s := int64(1); s <= 12; s++ {
+		seeds = append(seeds, s)
+	}
+	mem, tm, err := MeanAppStudy(DefaultAppStudyConfig(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("memory saving %.1f%% (paper 17%%), time saving %.1f%% (paper 12%%)", mem, tm)
+	if math.Abs(mem-17) > 4 {
+		t.Errorf("memory saving %.1f%%, want 17 +- 4", mem)
+	}
+	if math.Abs(tm-12) > 4 {
+		t.Errorf("time saving %.1f%%, want 12 +- 4", tm)
+	}
+	// Memory saving exceeds time saving, as in Fig 10 (fixed init costs
+	// dilute the time side).
+	if mem <= tm {
+		t.Errorf("memory saving %.1f%% should exceed time saving %.1f%%", mem, tm)
+	}
+}
+
+// TestFig9ProcessDiagram checks the qualitative Fig 9 claims: under the
+// default FIFO manager most processes die after new apps arrive, while the
+// emotional manager keeps mood-relevant processes alive across the run.
+func TestFig9ProcessDiagram(t *testing.T) {
+	cfg := DefaultAppStudyConfig()
+	cfg.Monkey.Seed = 1
+	res, err := RunAppStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Comparison.Baseline.Device.Trace()
+	emo := res.Comparison.Emotional.Device.Trace()
+	if base.KillCount("") <= emo.KillCount("") {
+		t.Errorf("baseline kills %d should exceed emotional kills %d",
+			base.KillCount(""), emo.KillCount(""))
+	}
+	// Messages is never killed in either run (periodic exemption).
+	if base.KillCount("messages") != 0 || emo.KillCount("messages") != 0 {
+		t.Error("messages was killed")
+	}
+	// The ASCII diagram renders one row per app seen.
+	art := emo.RenderASCII(res.Horizon, 80)
+	if len(art) == 0 {
+		t.Fatal("empty diagram")
+	}
+}
+
+func TestRunAppStudyLearnedTable(t *testing.T) {
+	cfg := DefaultAppStudyConfig()
+	cfg.LearnedTable = true
+	cfg.Monkey.Seed = 2
+	res, err := RunAppStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A learned table should still beat FIFO on average workloads; allow
+	// weak wins but require it not to be catastrophically worse.
+	if res.Comparison.MemorySavingPct < -10 {
+		t.Errorf("learned table memory saving %.1f%% catastrophically bad",
+			res.Comparison.MemorySavingPct)
+	}
+}
+
+func TestMeanAppStudyValidation(t *testing.T) {
+	if _, _, err := MeanAppStudy(DefaultAppStudyConfig(), nil); err == nil {
+		t.Error("no seeds accepted")
+	}
+}
+
+func TestMoodAppDistributions(t *testing.T) {
+	d := MoodAppDistributions()
+	if len(d) != 2 {
+		t.Fatalf("%d moods", len(d))
+	}
+	for mood, apps := range d {
+		var sum float64
+		for _, p := range apps {
+			sum += p
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("mood %v distribution sums to %g", mood, sum)
+		}
+	}
+	// Excited favors calling more than calm does.
+	if d[emotion.Excited]["voip-call"] <= d[emotion.CalmMood]["voip-call"] {
+		t.Error("excited should favor calling apps")
+	}
+}
+
+// TestWorkloadMatchesFig7Mix validates the monkey generator against the
+// Fig 7 subject tables: over many launches, per-category launch
+// frequencies must track the proxy subject's usage distribution for the
+// dominant categories.
+func TestWorkloadMatchesFig7Mix(t *testing.T) {
+	dists := MoodAppDistributions()
+	mc := monkey.DefaultConfig()
+	mc.AppDist = dists
+	// Long single-phase sessions per mood for tight statistics.
+	for _, mood := range []emotion.Mood{emotion.Excited, emotion.CalmMood} {
+		mc.Phases = []monkey.Phase{{Mood: mood, Duration: 10 * time.Hour}}
+		mc.MessagingEvery = 0 // isolate the sampling distribution
+		mc.RepeatProb = 0     // no working-set correlation
+		mc.FavoriteProb = 0   // pure distribution draws
+		mc.Seed = 9
+		wl, err := monkey.Generate(mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[personality.Category]float64{}
+		byName := android.CatalogByName()
+		for _, e := range wl.Events {
+			counts[byName[e.App].Category]++
+		}
+		total := float64(len(wl.Events))
+		subj, err := personality.SubjectByMood(mood)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cat := range subj.TopCategories(4) {
+			want := subj.Usage[cat]
+			got := counts[cat] / total
+			if got < want-0.06 || got > want+0.06 {
+				t.Errorf("mood %v category %s: simulated %.3f vs Fig 7 %.3f",
+					mood, cat, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's primary contribution (§3, Fig 4):
+// the affect-driven real-time system manager that closes the loop between
+// an on-device affect classifier and the hardware knobs — the
+// affect-adaptive H.264 decoder's operating mode and the Emotional
+// Background Manager's kill ranking.
+//
+// The manager consumes a stream of affect observations (discrete labels or
+// circumplex points), applies hysteresis so single misclassifications do
+// not thrash the hardware, and exposes the current decoder mode and mood.
+// Per the paper, the emotion-to-mode table is user-programmable.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/video"
+)
+
+// Observation is one affect-classifier output.
+type Observation struct {
+	At time.Duration
+	// Either a discrete label or a circumplex point may be supplied;
+	// HasPoint selects which.
+	Label    emotion.Label
+	Point    emotion.Point
+	HasPoint bool
+	// Confidence in [0,1]; low-confidence observations need more
+	// agreement before the manager switches state.
+	Confidence float64
+}
+
+// ManagerConfig tunes the control loop.
+type ManagerConfig struct {
+	// VideoPolicy maps attention states to decoder modes (defaults to the
+	// paper's policy).
+	VideoPolicy video.ModePolicy
+	// Hysteresis is how many consecutive agreeing observations are needed
+	// to switch state (default 2). 1 switches immediately.
+	Hysteresis int
+	// MinConfidence discards observations below this confidence.
+	MinConfidence float64
+}
+
+// DefaultManagerConfig returns the paper's configuration.
+func DefaultManagerConfig() ManagerConfig {
+	return ManagerConfig{
+		VideoPolicy:   video.PaperPolicy(),
+		Hysteresis:    2,
+		MinConfidence: 0.3,
+	}
+}
+
+// Transition records a state change the manager commanded.
+type Transition struct {
+	At        time.Duration
+	Attention emotion.Attention
+	Mood      emotion.Mood
+	Mode      h264.DecoderMode
+}
+
+// Manager is the affect-driven system controller.
+type Manager struct {
+	cfg ManagerConfig
+
+	attention emotion.Attention
+	mood      emotion.Mood
+	mode      h264.DecoderMode
+
+	pendingAttention emotion.Attention
+	pendingCount     int
+	pendingMood      emotion.Mood
+	pendingMoodCount int
+
+	transitions []Transition
+	observed    int
+	discarded   int
+}
+
+// NewManager returns a manager starting in the relaxed/calm state.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.VideoPolicy == nil {
+		cfg.VideoPolicy = video.PaperPolicy()
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 1
+	}
+	if cfg.MinConfidence < 0 || cfg.MinConfidence > 1 {
+		return nil, fmt.Errorf("core: min confidence %g outside [0,1]", cfg.MinConfidence)
+	}
+	for _, a := range []emotion.Attention{emotion.Distracted, emotion.Relaxed, emotion.Concentrated, emotion.Tense} {
+		if _, ok := cfg.VideoPolicy[a]; !ok {
+			return nil, fmt.Errorf("core: video policy missing state %v", a)
+		}
+	}
+	m := &Manager{
+		cfg:       cfg,
+		attention: emotion.Relaxed,
+		mood:      emotion.CalmMood,
+	}
+	m.mode = cfg.VideoPolicy[m.attention]
+	return m, nil
+}
+
+// Observe feeds one classifier output and returns whether the manager
+// switched state.
+func (m *Manager) Observe(o Observation) (switched bool, err error) {
+	if o.Confidence < 0 || o.Confidence > 1 {
+		return false, fmt.Errorf("core: confidence %g outside [0,1]", o.Confidence)
+	}
+	m.observed++
+	if o.Confidence < m.cfg.MinConfidence {
+		m.discarded++
+		return false, nil
+	}
+	var att emotion.Attention
+	var mood emotion.Mood
+	if o.HasPoint {
+		att = emotion.AttentionOf(o.Point)
+		mood = emotion.MoodOf(emotion.Nearest(o.Point))
+	} else {
+		if !o.Label.Valid() {
+			return false, fmt.Errorf("core: invalid label %d", int(o.Label))
+		}
+		att = emotion.AttentionOf(o.Label.Circumplex())
+		mood = emotion.MoodOf(o.Label)
+	}
+	switched = m.updateAttention(o.At, att) || switched
+	switched = m.updateMood(o.At, mood) || switched
+	return switched, nil
+}
+
+// updateAttention applies hysteresis to attention-state changes.
+func (m *Manager) updateAttention(at time.Duration, att emotion.Attention) bool {
+	if att == m.attention {
+		m.pendingCount = 0
+		return false
+	}
+	if att != m.pendingAttention {
+		m.pendingAttention = att
+		m.pendingCount = 0
+	}
+	m.pendingCount++
+	if m.pendingCount < m.cfg.Hysteresis {
+		return false
+	}
+	m.attention = att
+	m.mode = m.cfg.VideoPolicy[att]
+	m.pendingCount = 0
+	m.transitions = append(m.transitions, Transition{At: at, Attention: att, Mood: m.mood, Mode: m.mode})
+	return true
+}
+
+// updateMood applies hysteresis to mood changes.
+func (m *Manager) updateMood(at time.Duration, mood emotion.Mood) bool {
+	if mood == m.mood {
+		m.pendingMoodCount = 0
+		return false
+	}
+	if mood != m.pendingMood {
+		m.pendingMood = mood
+		m.pendingMoodCount = 0
+	}
+	m.pendingMoodCount++
+	if m.pendingMoodCount < m.cfg.Hysteresis {
+		return false
+	}
+	m.mood = mood
+	m.pendingMoodCount = 0
+	m.transitions = append(m.transitions, Transition{At: at, Attention: m.attention, Mood: mood, Mode: m.mode})
+	return true
+}
+
+// Attention returns the current attention state.
+func (m *Manager) Attention() emotion.Attention { return m.attention }
+
+// Mood returns the current coarse mood (drives the app manager).
+func (m *Manager) Mood() emotion.Mood { return m.mood }
+
+// DecoderMode returns the current video decoder operating mode.
+func (m *Manager) DecoderMode() h264.DecoderMode { return m.mode }
+
+// Transitions returns the state-change history.
+func (m *Manager) Transitions() []Transition { return m.transitions }
+
+// Stats returns (observations consumed, observations discarded for low
+// confidence).
+func (m *Manager) Stats() (observed, discarded int) { return m.observed, m.discarded }

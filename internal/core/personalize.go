@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/video"
+)
+
+// The paper notes the emotion-to-mode table "is subjective to the user and
+// hence is expected to be personalized and reprogrammed with the hardware
+// capability provided". PolicyLearner implements that personalization: it
+// starts from the paper's default policy and adjusts per-state modes from
+// explicit user feedback (quality complaints push a state toward better
+// quality; battery complaints push toward more saving).
+
+// Feedback is one user signal about the current experience.
+type Feedback int
+
+// Feedback kinds.
+const (
+	// FeedbackQualityPoor: the user found the video quality lacking in
+	// the current attention state.
+	FeedbackQualityPoor Feedback = iota
+	// FeedbackBatteryDrain: the user wants longer battery life.
+	FeedbackBatteryDrain
+)
+
+// modeQualityOrder ranks modes from most power-saving (worst quality) to
+// best quality.
+var modeQualityOrder = []h264.DecoderMode{
+	h264.ModeCombined, h264.ModeDFOff, h264.ModeDeletion, h264.ModeStandard,
+}
+
+func modeRank(m h264.DecoderMode) int {
+	for i, mm := range modeQualityOrder {
+		if mm == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// PolicyLearner adapts a per-user mode policy from feedback events.
+type PolicyLearner struct {
+	policy video.ModePolicy
+	// Votes accumulate per state; a state moves one rank after Threshold
+	// net votes in one direction.
+	votes     map[emotion.Attention]int
+	Threshold int
+	// Adjustments counts applied policy changes.
+	Adjustments int
+}
+
+// NewPolicyLearner starts from a copy of the given policy (nil = paper
+// default) with the given vote threshold (<=0 defaults to 2).
+func NewPolicyLearner(base video.ModePolicy, threshold int) *PolicyLearner {
+	if base == nil {
+		base = video.PaperPolicy()
+	}
+	cp := video.ModePolicy{}
+	for k, v := range base {
+		cp[k] = v
+	}
+	if threshold <= 0 {
+		threshold = 2
+	}
+	return &PolicyLearner{
+		policy:    cp,
+		votes:     map[emotion.Attention]int{},
+		Threshold: threshold,
+	}
+}
+
+// Policy returns the current personalized policy.
+func (p *PolicyLearner) Policy() video.ModePolicy {
+	cp := video.ModePolicy{}
+	for k, v := range p.policy {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Observe registers feedback given while the user was in a state. It
+// returns true when the policy changed.
+func (p *PolicyLearner) Observe(state emotion.Attention, fb Feedback) (bool, error) {
+	if !state.Valid() {
+		return false, fmt.Errorf("core: invalid attention state %d", int(state))
+	}
+	switch fb {
+	case FeedbackQualityPoor:
+		p.votes[state]++
+	case FeedbackBatteryDrain:
+		// Battery complaints are global: every state votes down.
+		for _, s := range []emotion.Attention{emotion.Distracted, emotion.Relaxed, emotion.Concentrated, emotion.Tense} {
+			p.votes[s]--
+		}
+	default:
+		return false, fmt.Errorf("core: unknown feedback %d", int(fb))
+	}
+	changed := false
+	for s, v := range p.votes {
+		cur := modeRank(p.policy[s])
+		switch {
+		case v >= p.Threshold && cur < len(modeQualityOrder)-1:
+			p.policy[s] = modeQualityOrder[cur+1]
+			p.votes[s] = 0
+			p.Adjustments++
+			changed = true
+		case v <= -p.Threshold && cur > 0:
+			p.policy[s] = modeQualityOrder[cur-1]
+			p.votes[s] = 0
+			p.Adjustments++
+			changed = true
+		case v >= p.Threshold || v <= -p.Threshold:
+			// Already at the boundary; absorb the votes.
+			p.votes[s] = 0
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+)
+
+func TestPolicyLearnerQualityFeedback(t *testing.T) {
+	p := NewPolicyLearner(nil, 2)
+	// Distracted defaults to combined (most saving). Two quality
+	// complaints move it one rank toward quality (df-off).
+	if p.Policy()[emotion.Distracted] != h264.ModeCombined {
+		t.Fatal("unexpected default")
+	}
+	changed, err := p.Observe(emotion.Distracted, FeedbackQualityPoor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("policy changed before threshold")
+	}
+	changed, err = p.Observe(emotion.Distracted, FeedbackQualityPoor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("policy did not change at threshold")
+	}
+	if got := p.Policy()[emotion.Distracted]; got != h264.ModeDFOff {
+		t.Errorf("distracted mode %v, want df-off", got)
+	}
+	if p.Adjustments != 1 {
+		t.Errorf("adjustments %d", p.Adjustments)
+	}
+	// Other states untouched.
+	if p.Policy()[emotion.Tense] != h264.ModeStandard {
+		t.Error("unrelated state changed")
+	}
+}
+
+func TestPolicyLearnerQualityCeiling(t *testing.T) {
+	p := NewPolicyLearner(nil, 1)
+	// Tense is already at standard (best quality): complaints absorb.
+	for i := 0; i < 5; i++ {
+		if _, err := p.Observe(emotion.Tense, FeedbackQualityPoor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Policy()[emotion.Tense] != h264.ModeStandard {
+		t.Error("tense moved beyond standard")
+	}
+	if p.Adjustments != 0 {
+		t.Error("ceiling complaints counted as adjustments")
+	}
+}
+
+func TestPolicyLearnerBatteryFeedback(t *testing.T) {
+	p := NewPolicyLearner(nil, 2)
+	// Two battery complaints push every non-floor state one rank toward
+	// saving; tense (standard) drops to deletion.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Observe(emotion.Relaxed, FeedbackBatteryDrain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Policy()[emotion.Tense]; got != h264.ModeDeletion {
+		t.Errorf("tense mode %v after battery complaints, want deletion", got)
+	}
+	// Distracted was already at the floor (combined): unchanged.
+	if got := p.Policy()[emotion.Distracted]; got != h264.ModeCombined {
+		t.Errorf("distracted mode %v, want combined", got)
+	}
+}
+
+func TestPolicyLearnerIsolatedFromBase(t *testing.T) {
+	base := map[emotion.Attention]h264.DecoderMode{
+		emotion.Distracted:   h264.ModeCombined,
+		emotion.Relaxed:      h264.ModeDFOff,
+		emotion.Concentrated: h264.ModeDeletion,
+		emotion.Tense:        h264.ModeStandard,
+	}
+	p := NewPolicyLearner(base, 1)
+	if _, err := p.Observe(emotion.Distracted, FeedbackQualityPoor); err != nil {
+		t.Fatal(err)
+	}
+	if base[emotion.Distracted] != h264.ModeCombined {
+		t.Error("learner mutated the base policy")
+	}
+	// The returned policy is also a copy.
+	got := p.Policy()
+	got[emotion.Tense] = h264.ModeCombined
+	if p.Policy()[emotion.Tense] == h264.ModeCombined {
+		t.Error("Policy() exposes internal state")
+	}
+}
+
+func TestPolicyLearnerValidation(t *testing.T) {
+	p := NewPolicyLearner(nil, 0) // defaults threshold to 2
+	if p.Threshold != 2 {
+		t.Errorf("threshold %d", p.Threshold)
+	}
+	if _, err := p.Observe(emotion.Attention(9), FeedbackQualityPoor); err == nil {
+		t.Error("invalid state accepted")
+	}
+	if _, err := p.Observe(emotion.Tense, Feedback(9)); err == nil {
+		t.Error("invalid feedback accepted")
+	}
+}
+
+// TestPersonalizedPolicyDrivesManager closes the loop: a learner-adjusted
+// policy plugs into a new manager.
+func TestPersonalizedPolicyDrivesManager(t *testing.T) {
+	p := NewPolicyLearner(nil, 1)
+	if _, err := p.Observe(emotion.Distracted, FeedbackQualityPoor); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultManagerConfig()
+	cfg.VideoPolicy = p.Policy()
+	cfg.Hysteresis = 1
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe(Observation{
+		Point: emotion.Point{Arousal: -0.8}, HasPoint: true, Confidence: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.DecoderMode() != h264.ModeDFOff {
+		t.Errorf("personalized distracted mode %v, want df-off", m.DecoderMode())
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"affectedge/internal/affectdata"
+	"affectedge/internal/android"
+	"affectedge/internal/biosig"
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/monkey"
+	"affectedge/internal/sc"
+	"affectedge/internal/sim"
+	"affectedge/internal/video"
+)
+
+// SessionConfig drives the integrated end-to-end simulation (Fig 2/Fig 4):
+// a wearable streams skin conductance; every ObservationEvery the on-device
+// classifier emits an affect observation; the Manager applies hysteresis
+// and commands both the video decoder mode and the app manager's mood;
+// meanwhile the user launches apps and watches video on the same virtual
+// timeline.
+type SessionConfig struct {
+	Duration         time.Duration
+	ObservationEvery time.Duration
+	SCSeed           int64
+	WorkloadSeed     int64
+	Manager          ManagerConfig
+	Device           android.DeviceConfig
+	// UsePPG adds the wearable's heart-rate channel: a PPG stream is
+	// synthesized from the same arousal timeline and fused with the SC
+	// estimate (Fig 2's multimodal sensing).
+	UsePPG bool
+}
+
+// DefaultSessionConfig returns a 40-minute session observed every 30 s.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		Duration:         40 * time.Minute,
+		ObservationEvery: 30 * time.Second,
+		SCSeed:           1,
+		WorkloadSeed:     1,
+		Manager:          DefaultManagerConfig(),
+		Device:           android.DefaultDeviceConfig(),
+		UsePPG:           true,
+	}
+}
+
+// SessionResult aggregates the integrated run.
+type SessionResult struct {
+	// Transitions the manager commanded.
+	Transitions []Transition
+	// Video energy under affect-driven modes vs always-standard.
+	VideoEnergy, VideoBaselineEnergy float64
+	VideoSavingPct                   float64
+	// App metrics: the manager-driven emotional device vs a FIFO baseline
+	// replaying the same launches.
+	AppEmotional, AppBaseline android.Metrics
+	AppMemorySavingPct        float64
+	// Classifier agreement with the SC ground truth.
+	AttentionAccuracy float64
+	Observations      int
+}
+
+// attentionArousal maps a classified attention state to a representative
+// circumplex point for the Manager (the classifier's continuous output).
+var attentionArousal = map[emotion.Attention]float64{
+	emotion.Distracted:   -0.6,
+	emotion.Relaxed:      0.0,
+	emotion.Concentrated: 0.35,
+	emotion.Tense:        0.8,
+}
+
+// RunSession executes the full loop on one discrete-event timeline.
+func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	if cfg.Duration <= 0 || cfg.ObservationEvery <= 0 {
+		return nil, fmt.Errorf("core: session durations must be positive")
+	}
+	minutes := cfg.Duration.Minutes()
+
+	// Substrate: SC recording with the uulmMAC label timeline scaled to
+	// the session duration.
+	schedule := affectdata.UulmMACSchedule()
+	scale := minutes / schedule[len(schedule)-1].EndMin
+	for i := range schedule {
+		schedule[i].StartMin *= scale
+		schedule[i].EndMin *= scale
+	}
+	tr, err := affectdata.GenerateSC(schedule, 4, cfg.SCSeed)
+	if err != nil {
+		return nil, err
+	}
+	windows, err := sc.Classify(tr.Samples, tr.SampleRate, sc.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	stateAt := func(min float64) emotion.Attention {
+		for _, w := range windows {
+			if min >= w.StartMin && min < w.EndMin {
+				return w.State
+			}
+		}
+		return windows[len(windows)-1].State
+	}
+
+	// Optional PPG channel: a heart-rate stream following the same
+	// ground-truth arousal timeline, analyzed per observation window.
+	var ppgTrace []float64
+	ppgCfg := biosig.DefaultPPGConfig()
+	ppgCfg.Seed = cfg.SCSeed + 101
+	if cfg.UsePPG {
+		arousal := make([]float64, int(minutes*60))
+		for i := range arousal {
+			arousal[i] = attentionArousal[tr.StateAt(float64(i)/60/scale)]
+		}
+		ppgTrace, err = biosig.GeneratePPG(arousal, 1, ppgCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-mode video energy rates from the reference clip.
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		return nil, err
+	}
+	rates, err := video.MeasureModeRates(src, h264.CalibrationEncoderConfig(), h264.DefaultEnergyModel(), 24)
+	if err != nil {
+		return nil, err
+	}
+
+	// App workload over the same session (phases scaled too).
+	mc := monkey.DefaultConfig()
+	mc.AppDist = MoodAppDistributions()
+	mc.Seed = cfg.WorkloadSeed
+	total := cfg.Duration
+	mc.Phases = []monkey.Phase{
+		{Mood: emotion.Excited, Duration: total * 3 / 5},
+		{Mood: emotion.CalmMood, Duration: total - total*3/5},
+	}
+	wl, err := monkey.Generate(mc)
+	if err != nil {
+		return nil, err
+	}
+
+	table, err := android.AffectTableFromSubjects()
+	if err != nil {
+		return nil, err
+	}
+	emoPolicy, err := android.NewEmotionalPolicy(table)
+	if err != nil {
+		return nil, err
+	}
+	emoDev, err := android.NewDevice(cfg.Device, emoPolicy)
+	if err != nil {
+		return nil, err
+	}
+	baseDev, err := android.NewDevice(cfg.Device, android.FIFOPolicy{})
+	if err != nil {
+		return nil, err
+	}
+
+	mgr, err := NewManager(cfg.Manager)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SessionResult{}
+	s := sim.New()
+	var simErr error
+	fail := func(err error) {
+		if simErr == nil {
+			simErr = err
+		}
+	}
+
+	// Video energy integration state.
+	lastModeChange := time.Duration(0)
+	curMode := mgr.DecoderMode()
+	accrue := func(now time.Duration) {
+		span := (now - lastModeChange).Minutes()
+		res.VideoEnergy += rates.EnergyPerMin[curMode] * span
+		res.VideoBaselineEnergy += rates.EnergyPerMin[h264.ModeStandard] * span
+		lastModeChange = now
+	}
+
+	// Observation events: classify the current SC window, feed the
+	// manager, apply its outputs to the hardware.
+	var attHits int
+	var schedObs func(at time.Duration)
+	schedObs = func(at time.Duration) {
+		if at > cfg.Duration {
+			return
+		}
+		if err := s.At(at, func() {
+			min := s.Now().Minutes()
+			state := stateAt(min)
+			res.Observations++
+			if state == tr.StateAt(min/scale) {
+				attHits++
+			}
+			point := emotion.Point{Arousal: attentionArousal[state]}
+			if cfg.UsePPG && len(ppgTrace) > 0 {
+				// Fuse the SC estimate with the HR channel over the last
+				// observation window.
+				lo := int((s.Now() - cfg.ObservationEvery).Seconds() * ppgCfg.SampleRate)
+				hi := int(s.Now().Seconds() * ppgCfg.SampleRate)
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > len(ppgTrace) {
+					hi = len(ppgTrace)
+				}
+				if hi-lo > int(5*ppgCfg.SampleRate) {
+					if st, err := biosig.EstimateHR(ppgTrace[lo:hi], ppgCfg.SampleRate); err == nil && st.Beats >= 2 {
+						point = biosig.FuseArousal(map[string]float64{
+							"sc": point.Arousal,
+							"hr": biosig.ArousalFromHR(st, ppgCfg),
+						}, map[string]float64{"sc": 2, "hr": 1})
+					}
+				}
+			}
+			switched, err := mgr.Observe(Observation{
+				At: s.Now(), Point: point, HasPoint: true, Confidence: 0.9,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if switched {
+				accrue(s.Now())
+				curMode = mgr.DecoderMode()
+				if err := emoDev.SetMood(mgr.Mood()); err != nil {
+					fail(err)
+				}
+			}
+			schedObs(at + cfg.ObservationEvery)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	schedObs(cfg.ObservationEvery)
+
+	// App launch events on both devices (baseline ignores mood).
+	for _, e := range wl.Events {
+		e := e
+		if e.At > cfg.Duration {
+			break
+		}
+		if err := s.At(e.At, func() {
+			if _, err := emoDev.Launch(s.Now(), e.App); err != nil {
+				fail(err)
+			}
+			if _, err := baseDev.Launch(s.Now(), e.App); err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			fail(err)
+		}
+	}
+
+	s.Run(cfg.Duration)
+	if simErr != nil {
+		return nil, simErr
+	}
+	accrue(cfg.Duration)
+
+	res.Transitions = mgr.Transitions()
+	if res.VideoBaselineEnergy > 0 {
+		res.VideoSavingPct = 100 * (1 - res.VideoEnergy/res.VideoBaselineEnergy)
+	}
+	res.AppEmotional = emoDev.Metrics()
+	res.AppBaseline = baseDev.Metrics()
+	if res.AppBaseline.BytesLoaded > 0 {
+		res.AppMemorySavingPct = 100 * (1 - float64(res.AppEmotional.BytesLoaded)/float64(res.AppBaseline.BytesLoaded))
+	}
+	if res.Observations > 0 {
+		res.AttentionAccuracy = float64(attHits) / float64(res.Observations)
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSessionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integrated session skipped in -short mode")
+	}
+	cfg := DefaultSessionConfig()
+	res, err := RunSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manager must have tracked the SC timeline: several transitions,
+	// and decent agreement with ground truth.
+	if len(res.Transitions) < 2 {
+		t.Errorf("only %d manager transitions over 40 min", len(res.Transitions))
+	}
+	if res.Observations < 70 { // ~80 observations at 30 s cadence
+		t.Errorf("only %d observations", res.Observations)
+	}
+	if res.AttentionAccuracy < 0.6 {
+		t.Errorf("attention accuracy %.2f", res.AttentionAccuracy)
+	}
+	// Affect-driven video must save energy versus always-standard.
+	if res.VideoSavingPct <= 5 {
+		t.Errorf("video saving %.1f%% too small", res.VideoSavingPct)
+	}
+	if res.VideoSavingPct >= 40 {
+		t.Errorf("video saving %.1f%% implausibly large", res.VideoSavingPct)
+	}
+	// Both devices replayed the same launches.
+	if res.AppEmotional.Launches != res.AppBaseline.Launches {
+		t.Error("devices saw different workloads")
+	}
+	if res.AppEmotional.Launches == 0 {
+		t.Error("no app launches in session")
+	}
+}
+
+func TestRunSessionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integrated session skipped in -short mode")
+	}
+	cfg := DefaultSessionConfig()
+	cfg.Duration = 10 * time.Minute
+	a, err := RunSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VideoEnergy != b.VideoEnergy || a.AppEmotional != b.AppEmotional {
+		t.Error("session not deterministic")
+	}
+	if len(a.Transitions) != len(b.Transitions) {
+		t.Error("transition counts differ")
+	}
+}
+
+func TestRunSessionValidation(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Duration = 0
+	if _, err := RunSession(cfg); err == nil {
+		t.Error("zero duration accepted")
+	}
+	cfg = DefaultSessionConfig()
+	cfg.ObservationEvery = 0
+	if _, err := RunSession(cfg); err == nil {
+		t.Error("zero observation cadence accepted")
+	}
+}

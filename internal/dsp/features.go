@@ -1,0 +1,204 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// ZeroCrossingRate returns the fraction of adjacent sample pairs whose
+// signs differ, a coarse noisiness/pitch correlate used as one of the
+// paper's input features.
+func ZeroCrossingRate(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	var crossings int
+	for i := 1; i < len(x); i++ {
+		if (x[i-1] >= 0) != (x[i] >= 0) {
+			crossings++
+		}
+	}
+	return float64(crossings) / float64(len(x)-1)
+}
+
+// RMS returns the root-mean-square amplitude of x (the paper's "rmse"
+// feature), 0 for an empty signal.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Mean returns the arithmetic mean of x, 0 for an empty signal.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Histogram counts x into nBins equal-width bins over [min(x), max(x)] and
+// returns normalized bin frequencies. All-equal input lands in bin 0.
+func Histogram(x []float64, nBins int) []float64 {
+	if nBins <= 0 || len(x) == 0 {
+		return nil
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]float64, nBins)
+	width := (hi - lo) / float64(nBins)
+	for _, v := range x {
+		var b int
+		if width > 0 {
+			b = int((v - lo) / width)
+			if b >= nBins {
+				b = nBins - 1
+			}
+		}
+		out[b]++
+	}
+	inv := 1 / float64(len(x))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// EstimatePitch estimates the fundamental frequency of x (Hz) by picking
+// the autocorrelation peak inside [minHz, maxHz]. It returns 0 when no
+// periodicity is found (e.g. silence or noise with a flat correlation).
+func EstimatePitch(x []float64, sampleRate, minHz, maxHz float64) float64 {
+	if len(x) == 0 || sampleRate <= 0 || minHz <= 0 || maxHz <= minHz {
+		return 0
+	}
+	minLag := int(sampleRate / maxHz)
+	maxLag := int(sampleRate / minHz)
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag <= minLag {
+		return 0
+	}
+	r := Autocorrelation(x, maxLag)
+	if r[0] <= 0 {
+		return 0
+	}
+	bestLag, bestVal := 0, 0.0
+	for lag := minLag; lag <= maxLag; lag++ {
+		if r[lag] > bestVal {
+			bestVal, bestLag = r[lag], lag
+		}
+	}
+	// Require meaningful periodicity relative to signal energy.
+	if bestLag == 0 || bestVal < 0.3*r[0] {
+		return 0
+	}
+	return sampleRate / float64(bestLag)
+}
+
+// SpectralCentroid returns the magnitude-weighted mean frequency (Hz) of
+// the spectrum of x, a brightness correlate.
+func SpectralCentroid(x []float64, sampleRate float64) float64 {
+	mag := RealFFTMagnitude(x)
+	if len(mag) == 0 {
+		return 0
+	}
+	nfft := (len(mag) - 1) * 2
+	var num, den float64
+	for k, m := range mag {
+		f := float64(k) * sampleRate / float64(nfft)
+		num += f * m
+		den += m
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Percentile returns the p-th percentile (0..100) of x using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Smooth applies a centered moving average of the given odd window size
+// and returns the smoothed copy. Even sizes are rounded up; size <= 1
+// returns a plain copy.
+func Smooth(x []float64, size int) []float64 {
+	out := make([]float64, len(x))
+	if size <= 1 {
+		copy(out, x)
+		return out
+	}
+	if size%2 == 0 {
+		size++
+	}
+	half := size / 2
+	for i := range x {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += x[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}

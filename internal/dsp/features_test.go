@@ -1,0 +1,220 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroCrossingRate(t *testing.T) {
+	if got := ZeroCrossingRate([]float64{1, -1, 1, -1, 1}); got != 1 {
+		t.Errorf("alternating signal ZCR = %g, want 1", got)
+	}
+	if got := ZeroCrossingRate([]float64{1, 2, 3, 4}); got != 0 {
+		t.Errorf("monotone positive ZCR = %g, want 0", got)
+	}
+	if got := ZeroCrossingRate([]float64{5}); got != 0 {
+		t.Errorf("single sample ZCR = %g, want 0", got)
+	}
+	// A 100 Hz sine at 16 kHz crosses ~200 times per second.
+	x := make([]float64, 16000)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 100 * float64(i) / 16000)
+	}
+	got := ZeroCrossingRate(x) * 16000
+	if math.Abs(got-200) > 4 {
+		t.Errorf("sine crossing rate %g/s, want ~200/s", got)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) != 0")
+	}
+	if got := RMS([]float64{3, -3, 3, -3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("RMS = %g, want 3", got)
+	}
+	// RMS of unit-amplitude sine is 1/sqrt(2).
+	x := make([]float64, 16000)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 50 * float64(i) / 16000)
+	}
+	if got := RMS(x); math.Abs(got-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("sine RMS = %g, want %g", got, 1/math.Sqrt2)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(x); got != 4 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty stats should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.1, 0.9, 1.0}, 2)
+	if len(h) != 2 {
+		t.Fatalf("len = %d", len(h))
+	}
+	if h[0] != 0.5 || h[1] != 0.5 {
+		t.Errorf("histogram = %v, want [0.5 0.5]", h)
+	}
+	// Constant input: all mass in bin 0.
+	h = Histogram([]float64{3, 3, 3}, 4)
+	if h[0] != 1 {
+		t.Errorf("constant histogram = %v", h)
+	}
+	if Histogram(nil, 4) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Error("degenerate histogram inputs should be nil")
+	}
+}
+
+// Property: histogram frequencies sum to 1.
+func TestHistogramSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		h := Histogram(x, 1+rng.Intn(16))
+		var sum float64
+		for _, v := range h {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatePitch(t *testing.T) {
+	const rate = 16000.0
+	for _, f0 := range []float64{100, 160, 250, 400} {
+		x := make([]float64, 4000)
+		for i := range x {
+			x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / rate)
+		}
+		got := EstimatePitch(x, rate, 60, 500)
+		if math.Abs(got-f0) > 0.05*f0 {
+			t.Errorf("pitch of %g Hz tone = %g", f0, got)
+		}
+	}
+}
+
+func TestEstimatePitchSilenceAndNoise(t *testing.T) {
+	if got := EstimatePitch(make([]float64, 2000), 16000, 60, 500); got != 0 {
+		t.Errorf("pitch of silence = %g, want 0", got)
+	}
+	if got := EstimatePitch(nil, 16000, 60, 500); got != 0 {
+		t.Errorf("pitch of nil = %g, want 0", got)
+	}
+	if got := EstimatePitch([]float64{1, 2}, 16000, 500, 60); got != 0 {
+		t.Errorf("inverted band should yield 0, got %g", got)
+	}
+}
+
+func TestSpectralCentroidOrdering(t *testing.T) {
+	// Bin-aligned tones (bin k is k*16000/4096 Hz) avoid leakage skew.
+	n := 4096
+	low := make([]float64, n)
+	high := make([]float64, n)
+	for i := range low {
+		ti := float64(i) / 16000
+		low[i] = math.Sin(2 * math.Pi * 250 * ti)   // bin 64
+		high[i] = math.Sin(2 * math.Pi * 3125 * ti) // bin 800
+	}
+	cl := SpectralCentroid(low, 16000)
+	ch := SpectralCentroid(high, 16000)
+	if cl >= ch {
+		t.Errorf("centroid ordering wrong: low=%g high=%g", cl, ch)
+	}
+	if math.Abs(cl-250) > 50 {
+		t.Errorf("low centroid = %g, want ~250", cl)
+	}
+	if SpectralCentroid(nil, 16000) != 0 {
+		t.Error("centroid of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(x, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty should be 0")
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	y := []float64{3, 1, 2}
+	Percentile(y, 50)
+	if y[0] != 3 || y[1] != 1 || y[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	x := []float64{0, 0, 9, 0, 0}
+	y := Smooth(x, 3)
+	if y[2] != 3 {
+		t.Errorf("smoothed center = %g, want 3", y[2])
+	}
+	if y[0] != 0 || y[4] != 0 {
+		t.Errorf("smoothed edges wrong: %v", y)
+	}
+	// size<=1 copies.
+	z := Smooth(x, 1)
+	for i := range x {
+		if z[i] != x[i] {
+			t.Fatal("Smooth(1) should copy")
+		}
+	}
+	// Even sizes round up and still average correctly.
+	w := Smooth(x, 2)
+	if w[2] != 3 {
+		t.Errorf("even-size smooth center = %g, want 3", w[2])
+	}
+}
+
+// Property: smoothing preserves the mean of interior-heavy signals and
+// never exceeds the input range.
+func TestSmoothBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(64)
+		x := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			lo = math.Min(lo, x[i])
+			hi = math.Max(hi, x[i])
+		}
+		y := Smooth(x, 1+2*rng.Intn(5))
+		for _, v := range y {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

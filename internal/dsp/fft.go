@@ -1,0 +1,180 @@
+// Package dsp implements the signal-processing substrate used for affect
+// feature extraction: an FFT, windowing, the MFCC pipeline (pre-emphasis,
+// framing, mel filterbank, DCT), zero-crossing rate, RMS energy,
+// autocorrelation pitch estimation, and magnitude-spectrum statistics.
+//
+// Everything is implemented from scratch on float64 slices so the package
+// has no dependencies beyond the standard library.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two (and > 0); otherwise FFT
+// returns an error and leaves x unmodified.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	fftInPlace(x, false)
+	return nil
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/n scaling.
+// len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: IFFT length %d is not a power of two", n)
+	}
+	fftInPlace(x, true)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] *= complex(inv, 0)
+	}
+	return nil
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// RealFFTMagnitude returns the magnitude spectrum |X[k]| for k in
+// [0, n/2], of the real signal x zero-padded to the next power of two.
+// The returned slice has nfft/2+1 entries where nfft is the padded length.
+func RealFFTMagnitude(x []float64) []float64 {
+	nfft := NextPow2(len(x))
+	if nfft == 0 {
+		return nil
+	}
+	buf := make([]complex128, nfft)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	// Length is a power of two by construction; FFT cannot fail.
+	if err := FFT(buf); err != nil {
+		panic("dsp: internal: " + err.Error())
+	}
+	out := make([]float64, nfft/2+1)
+	for k := range out {
+		out[k] = cmplx.Abs(buf[k])
+	}
+	return out
+}
+
+// PowerSpectrum returns |X[k]|^2 / nfft for k in [0, nfft/2], the periodogram
+// estimate used by the MFCC pipeline.
+func PowerSpectrum(x []float64) []float64 {
+	nfft := NextPow2(len(x))
+	if nfft == 0 {
+		return nil
+	}
+	mag := RealFFTMagnitude(x)
+	inv := 1 / float64(nfft)
+	for i, m := range mag {
+		mag[i] = m * m * inv
+	}
+	return mag
+}
+
+// NextPow2 returns the smallest power of two >= n, or 0 for n <= 0.
+func NextPow2(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Autocorrelation returns the biased autocorrelation r[k] =
+// sum_i x[i]*x[i+k] / n for k in [0, maxLag]. maxLag is clamped to
+// len(x)-1.
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	out := make([]float64, maxLag+1)
+	inv := 1 / float64(n)
+	for k := 0; k <= maxLag; k++ {
+		var s float64
+		for i := 0; i+k < n; i++ {
+			s += x[i] * x[i+k]
+		}
+		out[k] = s * inv
+	}
+	return out
+}
+
+// DCTII computes the type-II discrete cosine transform of x with the
+// orthonormal scaling used by MFCC implementations:
+//
+//	y[k] = s(k) * sum_n x[n] * cos(pi*k*(2n+1)/(2N))
+//
+// where s(0)=sqrt(1/N) and s(k)=sqrt(2/N) for k>0.
+func DCTII(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	s0 := math.Sqrt(1 / float64(n))
+	sk := math.Sqrt(2 / float64(n))
+	for k := 0; k < n; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(k)*(2*float64(i)+1)/(2*float64(n)))
+		}
+		if k == 0 {
+			out[k] = s0 * sum
+		} else {
+			out[k] = sk * sum
+		}
+	}
+	return out
+}

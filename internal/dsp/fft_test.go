@@ -1,0 +1,260 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 9, 100} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("FFT(len=%d) accepted non-power-of-two", n)
+		}
+		if err := IFFT(make([]complex128, n)); err == nil {
+			t.Errorf("IFFT(len=%d) accepted non-power-of-two", n)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if !approx(real(v), 1, 1e-12) || !approx(imag(v), 0, 1e-12) {
+			t.Errorf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure complex exponential at bin 3 concentrates all energy there.
+	const n = 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/n))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		want := 0.0
+		if k == 3 {
+			want = n
+		}
+		if !approx(cmplx.Abs(v), want, 1e-9) {
+			t.Errorf("|X[%d]| = %g, want %g", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 16, 128, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d round trip differs at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+// Property: Parseval's theorem — sum |x|^2 == sum |X|^2 / n.
+func TestFFTParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8))
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return approx(timeEnergy, freqEnergy/float64(n), 1e-6*(1+timeEnergy))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity — FFT(a*x + y) == a*FFT(x) + FFT(y).
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(6))
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mix := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mix[i] = a*x[i] + y[i]
+		}
+		if FFT(x) != nil || FFT(y) != nil || FFT(mix) != nil {
+			return false
+		}
+		for i := range mix {
+			if cmplx.Abs(mix[i]-(a*x[i]+y[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealFFTMagnitudeTone(t *testing.T) {
+	// A real cosine at an exact bin should show a single spectral peak.
+	const n, bin = 256, 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * bin * float64(i) / n)
+	}
+	mag := RealFFTMagnitude(x)
+	if len(mag) != n/2+1 {
+		t.Fatalf("len(mag) = %d, want %d", len(mag), n/2+1)
+	}
+	peak := 0
+	for k := range mag {
+		if mag[k] > mag[peak] {
+			peak = k
+		}
+	}
+	if peak != bin {
+		t.Errorf("spectral peak at bin %d, want %d", peak, bin)
+	}
+	if !approx(mag[bin], n/2, 1e-6) {
+		t.Errorf("|X[%d]| = %g, want %g", bin, mag[bin], float64(n/2))
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-1: 0, 0: 0, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAutocorrelationPeriodic(t *testing.T) {
+	// Autocorrelation of a period-8 signal peaks again at lag 8.
+	const n, period = 256, 8
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	r := Autocorrelation(x, 20)
+	if len(r) != 21 {
+		t.Fatalf("len(r) = %d, want 21", len(r))
+	}
+	if r[0] <= 0 {
+		t.Fatal("r[0] should be positive")
+	}
+	// lag 8 should dominate every non-trivial lag except multiples of 8.
+	for lag := 1; lag <= 20; lag++ {
+		if lag%period == 0 {
+			continue
+		}
+		if r[lag] >= r[period] {
+			t.Errorf("r[%d]=%g >= r[%d]=%g", lag, r[lag], period, r[period])
+		}
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if Autocorrelation(nil, 5) != nil {
+		t.Error("autocorrelation of empty signal should be nil")
+	}
+	r := Autocorrelation([]float64{1, 2}, 10)
+	if len(r) != 2 {
+		t.Errorf("maxLag should clamp to n-1, got len %d", len(r))
+	}
+	r = Autocorrelation([]float64{1, 2, 3}, -1)
+	if len(r) != 1 {
+		t.Errorf("negative maxLag should clamp to 0, got len %d", len(r))
+	}
+}
+
+func TestDCTIIConstant(t *testing.T) {
+	// DCT-II of a constant signal has all energy in coefficient 0.
+	x := []float64{2, 2, 2, 2}
+	y := DCTII(x)
+	if !approx(y[0], 4, 1e-12) { // sqrt(1/4)*8 = 4
+		t.Errorf("y[0] = %g, want 4", y[0])
+	}
+	for k := 1; k < len(y); k++ {
+		if !approx(y[k], 0, 1e-12) {
+			t.Errorf("y[%d] = %g, want 0", k, y[k])
+		}
+	}
+}
+
+// Property: orthonormal DCT-II preserves energy.
+func TestDCTIIEnergy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		x := make([]float64, n)
+		var ex float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			ex += x[i] * x[i]
+		}
+		y := DCTII(x)
+		var ey float64
+		for _, v := range y {
+			ey += v * v
+		}
+		return approx(ex, ey, 1e-8*(1+ex))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := make([]complex128, len(x))
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

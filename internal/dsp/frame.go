@@ -1,0 +1,86 @@
+package dsp
+
+import "math"
+
+// PreEmphasis applies the first-order high-pass filter
+// y[i] = x[i] - coeff*x[i-1] and returns the filtered copy. A coeff of
+// 0.97 is the conventional speech-processing value.
+func PreEmphasis(x []float64, coeff float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x))
+	out[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		out[i] = x[i] - coeff*x[i-1]
+	}
+	return out
+}
+
+// Frame slices x into overlapping frames of frameLen samples advancing by
+// hop samples. The final partial frame is zero-padded. Frame returns nil
+// when frameLen or hop is not positive or x is empty.
+func Frame(x []float64, frameLen, hop int) [][]float64 {
+	if frameLen <= 0 || hop <= 0 || len(x) == 0 {
+		return nil
+	}
+	var frames [][]float64
+	for start := 0; start < len(x); start += hop {
+		f := make([]float64, frameLen)
+		n := copy(f, x[start:])
+		frames = append(frames, f)
+		if n < frameLen {
+			break
+		}
+		if start+frameLen >= len(x) {
+			break
+		}
+	}
+	return frames
+}
+
+// HammingWindow returns the n-point Hamming window
+// w[i] = 0.54 - 0.46*cos(2*pi*i/(n-1)).
+func HammingWindow(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// HannWindow returns the n-point Hann window.
+func HannWindow(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by w in place and returns x.
+// If lengths differ only the common prefix is windowed.
+func ApplyWindow(x, w []float64) []float64 {
+	n := len(x)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		x[i] *= w[i]
+	}
+	return x
+}

@@ -1,0 +1,176 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HzToMel converts a frequency in Hz to the mel scale (HTK convention).
+func HzToMel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// MelToHz converts a mel-scale value back to Hz.
+func MelToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelFilterBank builds nFilters triangular filters spanning [lowHz, highHz]
+// over an nfft-point FFT at the given sample rate. Each row has
+// nfft/2+1 weights. It returns an error for degenerate parameters.
+func MelFilterBank(nFilters, nfft int, sampleRate, lowHz, highHz float64) ([][]float64, error) {
+	if nFilters <= 0 || nfft <= 0 || sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: invalid filterbank params (nFilters=%d nfft=%d rate=%g)", nFilters, nfft, sampleRate)
+	}
+	if highHz <= 0 || highHz > sampleRate/2 {
+		highHz = sampleRate / 2
+	}
+	if lowHz < 0 || lowHz >= highHz {
+		return nil, fmt.Errorf("dsp: invalid filterbank band [%g, %g]", lowHz, highHz)
+	}
+	nBins := nfft/2 + 1
+	lowMel, highMel := HzToMel(lowHz), HzToMel(highHz)
+	// nFilters+2 equally spaced points on the mel scale.
+	points := make([]float64, nFilters+2)
+	for i := range points {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(nFilters+1)
+		points[i] = MelToHz(mel)
+	}
+	// Convert the Hz points to (fractional) FFT bin positions.
+	binOf := func(hz float64) float64 { return hz * float64(nfft) / sampleRate }
+	bank := make([][]float64, nFilters)
+	for m := 0; m < nFilters; m++ {
+		row := make([]float64, nBins)
+		left, center, right := binOf(points[m]), binOf(points[m+1]), binOf(points[m+2])
+		for k := 0; k < nBins; k++ {
+			fk := float64(k)
+			switch {
+			case fk < left || fk > right:
+				// outside the triangle
+			case fk <= center:
+				if center > left {
+					row[k] = (fk - left) / (center - left)
+				}
+			default:
+				if right > center {
+					row[k] = (right - fk) / (right - center)
+				}
+			}
+		}
+		bank[m] = row
+	}
+	return bank, nil
+}
+
+// MFCCConfig parameterizes the MFCC extraction pipeline.
+type MFCCConfig struct {
+	SampleRate   float64 // samples per second
+	FrameLen     int     // analysis frame length in samples
+	Hop          int     // frame advance in samples
+	NumFilters   int     // mel filterbank size
+	NumCoeffs    int     // cepstral coefficients to keep
+	PreEmphasis  float64 // pre-emphasis coefficient (0 disables)
+	LowHz        float64 // filterbank low edge
+	HighHz       float64 // filterbank high edge (0 = Nyquist)
+	IncludeDelta bool    // append first-order deltas per frame
+}
+
+// DefaultMFCCConfig returns the configuration used by the affect feature
+// pipeline: 25 ms frames with 10 ms hop, 26 mel filters, 13 coefficients.
+func DefaultMFCCConfig(sampleRate float64) MFCCConfig {
+	return MFCCConfig{
+		SampleRate:  sampleRate,
+		FrameLen:    int(sampleRate * 0.025),
+		Hop:         int(sampleRate * 0.010),
+		NumFilters:  26,
+		NumCoeffs:   13,
+		PreEmphasis: 0.97,
+		LowHz:       0,
+		HighHz:      0,
+	}
+}
+
+// MFCC computes the mel-frequency cepstral coefficients of x, one row of
+// cfg.NumCoeffs values per analysis frame (plus deltas when configured).
+func MFCC(x []float64, cfg MFCCConfig) ([][]float64, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dsp: MFCC of empty signal")
+	}
+	if cfg.FrameLen <= 0 || cfg.Hop <= 0 {
+		return nil, fmt.Errorf("dsp: MFCC frame params invalid (len=%d hop=%d)", cfg.FrameLen, cfg.Hop)
+	}
+	if cfg.NumCoeffs <= 0 || cfg.NumCoeffs > cfg.NumFilters {
+		return nil, fmt.Errorf("dsp: MFCC wants %d coeffs from %d filters", cfg.NumCoeffs, cfg.NumFilters)
+	}
+	sig := x
+	if cfg.PreEmphasis > 0 {
+		sig = PreEmphasis(x, cfg.PreEmphasis)
+	}
+	nfft := NextPow2(cfg.FrameLen)
+	bank, err := MelFilterBank(cfg.NumFilters, nfft, cfg.SampleRate, cfg.LowHz, cfg.HighHz)
+	if err != nil {
+		return nil, err
+	}
+	window := HammingWindow(cfg.FrameLen)
+	frames := Frame(sig, cfg.FrameLen, cfg.Hop)
+	out := make([][]float64, 0, len(frames))
+	for _, f := range frames {
+		ApplyWindow(f, window)
+		ps := PowerSpectrum(f)
+		// Filterbank energies -> log -> DCT.
+		energies := make([]float64, cfg.NumFilters)
+		for m, row := range bank {
+			var e float64
+			for k, w := range row {
+				if w != 0 {
+					e += w * ps[k]
+				}
+			}
+			// Floor to avoid log(0) on silent frames.
+			energies[m] = math.Log(math.Max(e, 1e-12))
+		}
+		cep := DCTII(energies)[:cfg.NumCoeffs]
+		row := make([]float64, cfg.NumCoeffs)
+		copy(row, cep)
+		out = append(out, row)
+	}
+	if cfg.IncludeDelta {
+		appendDeltas(out)
+	}
+	return out, nil
+}
+
+// appendDeltas widens each row in place with first-order frame-to-frame
+// differences (simple two-point deltas, zero at boundaries).
+func appendDeltas(rows [][]float64) {
+	n := len(rows)
+	if n == 0 {
+		return
+	}
+	w := len(rows[0])
+	for i := 0; i < n; i++ {
+		d := make([]float64, w)
+		if i > 0 && i < n-1 {
+			for j := 0; j < w; j++ {
+				d[j] = (rows[i+1][j] - rows[i-1][j]) / 2
+			}
+		}
+		rows[i] = append(rows[i], d...)
+	}
+}
+
+// MeanVector averages the rows of a frame matrix into a single vector,
+// the clip-level summary used by the affect feature pipeline.
+func MeanVector(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	w := len(rows[0])
+	out := make([]float64, w)
+	for _, r := range rows {
+		for j := 0; j < w && j < len(r); j++ {
+			out[j] += r[j]
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}

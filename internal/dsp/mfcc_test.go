@@ -1,0 +1,262 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHzMelRoundTrip(t *testing.T) {
+	for hz := 50.0; hz <= 8000; hz += 123.7 {
+		back := MelToHz(HzToMel(hz))
+		if math.Abs(back-hz) > 1e-6*hz {
+			t.Errorf("mel round trip %g -> %g", hz, back)
+		}
+	}
+	if HzToMel(0) != 0 {
+		t.Error("HzToMel(0) != 0")
+	}
+	// Mel scale must be monotone increasing.
+	prev := -1.0
+	for hz := 0.0; hz < 10000; hz += 100 {
+		m := HzToMel(hz)
+		if m <= prev {
+			t.Fatalf("mel scale not monotone at %g Hz", hz)
+		}
+		prev = m
+	}
+}
+
+func TestMelFilterBankShape(t *testing.T) {
+	bank, err := MelFilterBank(26, 512, 16000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bank) != 26 {
+		t.Fatalf("got %d filters, want 26", len(bank))
+	}
+	for m, row := range bank {
+		if len(row) != 257 {
+			t.Fatalf("filter %d has %d bins, want 257", m, len(row))
+		}
+		var sum, peak float64
+		for _, w := range row {
+			if w < 0 || w > 1+1e-9 {
+				t.Fatalf("filter %d weight %g out of [0,1]", m, w)
+			}
+			sum += w
+			if w > peak {
+				peak = w
+			}
+		}
+		if sum == 0 {
+			t.Errorf("filter %d is empty", m)
+		}
+		if peak < 0.5 {
+			t.Errorf("filter %d peak %g too small", m, peak)
+		}
+	}
+}
+
+func TestMelFilterBankErrors(t *testing.T) {
+	if _, err := MelFilterBank(0, 512, 16000, 0, 0); err == nil {
+		t.Error("accepted 0 filters")
+	}
+	if _, err := MelFilterBank(26, 0, 16000, 0, 0); err == nil {
+		t.Error("accepted 0 nfft")
+	}
+	if _, err := MelFilterBank(26, 512, 16000, 9000, 8000); err == nil {
+		t.Error("accepted low >= high")
+	}
+}
+
+func TestPreEmphasis(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	y := PreEmphasis(x, 0.97)
+	if y[0] != 1 {
+		t.Errorf("y[0] = %g, want 1", y[0])
+	}
+	for i := 1; i < len(y); i++ {
+		if math.Abs(y[i]-0.03) > 1e-12 {
+			t.Errorf("y[%d] = %g, want 0.03", i, y[i])
+		}
+	}
+	if PreEmphasis(nil, 0.97) != nil {
+		t.Error("pre-emphasis of empty input should be nil")
+	}
+}
+
+func TestFrameCoverage(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	frames := Frame(x, 30, 20)
+	if len(frames) == 0 {
+		t.Fatal("no frames")
+	}
+	for _, f := range frames {
+		if len(f) != 30 {
+			t.Fatalf("frame length %d, want 30", len(f))
+		}
+	}
+	// First frame must be the signal prefix.
+	for i := 0; i < 30; i++ {
+		if frames[0][i] != float64(i) {
+			t.Fatalf("frame[0][%d] = %g", i, frames[0][i])
+		}
+	}
+	// Degenerate parameters.
+	if Frame(x, 0, 10) != nil || Frame(x, 10, 0) != nil || Frame(nil, 10, 10) != nil {
+		t.Error("degenerate Frame inputs should return nil")
+	}
+}
+
+func TestHammingWindowProperties(t *testing.T) {
+	w := HammingWindow(51)
+	if len(w) != 51 {
+		t.Fatalf("len = %d", len(w))
+	}
+	// Symmetric, ends at 0.08, peak 1 at center.
+	for i := range w {
+		if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+			t.Fatalf("window asymmetric at %d", i)
+		}
+	}
+	if math.Abs(w[0]-0.08) > 1e-12 {
+		t.Errorf("w[0] = %g, want 0.08", w[0])
+	}
+	if math.Abs(w[25]-1.0) > 1e-12 {
+		t.Errorf("w[center] = %g, want 1", w[25])
+	}
+	if HammingWindow(0) != nil {
+		t.Error("HammingWindow(0) should be nil")
+	}
+	if one := HammingWindow(1); len(one) != 1 || one[0] != 1 {
+		t.Error("HammingWindow(1) should be [1]")
+	}
+}
+
+func TestHannWindowProperties(t *testing.T) {
+	w := HannWindow(33)
+	if math.Abs(w[0]) > 1e-12 || math.Abs(w[32]) > 1e-12 {
+		t.Error("Hann window should be 0 at both ends")
+	}
+	if math.Abs(w[16]-1) > 1e-12 {
+		t.Error("Hann window should peak at 1")
+	}
+}
+
+func TestMFCCShapeAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 16000) // one second at 16 kHz
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*220*float64(i)/16000) + 0.1*rng.NormFloat64()
+	}
+	cfg := DefaultMFCCConfig(16000)
+	a, err := MFCC(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no MFCC frames")
+	}
+	for _, row := range a {
+		if len(row) != cfg.NumCoeffs {
+			t.Fatalf("row width %d, want %d", len(row), cfg.NumCoeffs)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("MFCC produced NaN/Inf")
+			}
+		}
+	}
+	b, err := MFCC(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("MFCC not deterministic")
+			}
+		}
+	}
+}
+
+func TestMFCCDeltas(t *testing.T) {
+	x := make([]float64, 8000)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 330 * float64(i) / 16000)
+	}
+	cfg := DefaultMFCCConfig(16000)
+	cfg.IncludeDelta = true
+	rows, err := MFCC(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if len(row) != 2*cfg.NumCoeffs {
+			t.Fatalf("delta row width %d, want %d", len(row), 2*cfg.NumCoeffs)
+		}
+	}
+}
+
+func TestMFCCDistinguishesSpectra(t *testing.T) {
+	// Signals with very different spectral envelopes must yield clearly
+	// different mean MFCC vectors.
+	n := 16000
+	low := make([]float64, n)
+	high := make([]float64, n)
+	for i := range low {
+		ti := float64(i) / 16000
+		low[i] = math.Sin(2 * math.Pi * 150 * ti)
+		high[i] = math.Sin(2*math.Pi*2500*ti) + 0.5*math.Sin(2*math.Pi*3600*ti)
+	}
+	cfg := DefaultMFCCConfig(16000)
+	a, err := MFCC(low, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MFCC(high, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := MeanVector(a), MeanVector(b)
+	var dist float64
+	for j := range ma {
+		d := ma[j] - mb[j]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 1 {
+		t.Errorf("mean MFCC distance %g too small to separate spectra", math.Sqrt(dist))
+	}
+}
+
+func TestMFCCErrors(t *testing.T) {
+	cfg := DefaultMFCCConfig(16000)
+	if _, err := MFCC(nil, cfg); err == nil {
+		t.Error("accepted empty signal")
+	}
+	bad := cfg
+	bad.NumCoeffs = cfg.NumFilters + 1
+	if _, err := MFCC(make([]float64, 1000), bad); err == nil {
+		t.Error("accepted more coeffs than filters")
+	}
+	bad = cfg
+	bad.FrameLen = 0
+	if _, err := MFCC(make([]float64, 1000), bad); err == nil {
+		t.Error("accepted zero frame length")
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m := MeanVector(rows)
+	if m[0] != 3 || m[1] != 4 {
+		t.Errorf("MeanVector = %v, want [3 4]", m)
+	}
+	if MeanVector(nil) != nil {
+		t.Error("MeanVector(nil) should be nil")
+	}
+}

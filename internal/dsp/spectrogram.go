@@ -1,0 +1,162 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spectrogram returns the log-magnitude short-time spectrum of x:
+// one row per frame, nfft/2+1 log-power bins, Hamming-windowed.
+func Spectrogram(x []float64, frameLen, hop int) ([][]float64, error) {
+	if frameLen <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("dsp: spectrogram frame params invalid (len=%d hop=%d)", frameLen, hop)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dsp: spectrogram of empty signal")
+	}
+	window := HammingWindow(frameLen)
+	frames := Frame(x, frameLen, hop)
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		ApplyWindow(f, window)
+		ps := PowerSpectrum(f)
+		row := make([]float64, len(ps))
+		for k, p := range ps {
+			row[k] = math.Log(math.Max(p, 1e-12))
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// CMVN applies cepstral mean and variance normalization in place: each
+// column (coefficient) of the frame matrix is shifted to zero mean and
+// scaled to unit variance over the clip. Constant columns are left at
+// zero mean. Returns rows for chaining.
+func CMVN(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return rows
+	}
+	w := len(rows[0])
+	n := float64(len(rows))
+	for j := 0; j < w; j++ {
+		var mean float64
+		for _, r := range rows {
+			mean += r[j]
+		}
+		mean /= n
+		var varSum float64
+		for _, r := range rows {
+			d := r[j] - mean
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum / n)
+		for _, r := range rows {
+			r[j] -= mean
+			if std > 1e-12 {
+				r[j] /= std
+			}
+		}
+	}
+	return rows
+}
+
+// DeltaDelta appends second-order deltas to rows that already carry
+// first-order deltas in their second half: rows of width 2d become 3d
+// with acceleration coefficients.
+func DeltaDelta(rows [][]float64) [][]float64 {
+	n := len(rows)
+	if n == 0 {
+		return rows
+	}
+	w := len(rows[0])
+	d := w / 2
+	for i := 0; i < n; i++ {
+		dd := make([]float64, d)
+		if i > 0 && i < n-1 {
+			for j := 0; j < d; j++ {
+				// Delta of the delta block (second half).
+				dd[j] = (rows[i+1][d+j] - rows[i-1][d+j]) / 2
+			}
+		}
+		rows[i] = append(rows[i], dd...)
+	}
+	return rows
+}
+
+// Resample converts x from rateIn to rateOut by linear interpolation —
+// adequate for feature extraction (not transparent audio resampling).
+func Resample(x []float64, rateIn, rateOut float64) ([]float64, error) {
+	if rateIn <= 0 || rateOut <= 0 {
+		return nil, fmt.Errorf("dsp: resample rates must be positive (%g -> %g)", rateIn, rateOut)
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	if rateIn == rateOut {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	outLen := int(math.Round(float64(len(x)) * rateOut / rateIn))
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float64, outLen)
+	scale := float64(len(x)-1) / math.Max(1, float64(outLen-1))
+	for i := range out {
+		pos := float64(i) * scale
+		lo := int(pos)
+		frac := pos - float64(lo)
+		hi := lo + 1
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		out[i] = x[lo]*(1-frac) + x[hi]*frac
+	}
+	return out, nil
+}
+
+// EnergyContour returns the per-frame RMS energy of x.
+func EnergyContour(x []float64, frameLen, hop int) []float64 {
+	frames := Frame(x, frameLen, hop)
+	out := make([]float64, len(frames))
+	for i, f := range frames {
+		out[i] = RMS(f)
+	}
+	return out
+}
+
+// TrimSilence removes leading and trailing samples whose local RMS (over
+// win samples) is below threshold. It returns the trimmed view of x.
+func TrimSilence(x []float64, win int, threshold float64) []float64 {
+	if len(x) == 0 || win <= 0 {
+		return x
+	}
+	energy := func(lo int) float64 {
+		hi := lo + win
+		if hi > len(x) {
+			hi = len(x)
+		}
+		return RMS(x[lo:hi])
+	}
+	start := 0
+	for start < len(x) && energy(start) < threshold {
+		start += win
+	}
+	end := len(x)
+	for end > start && energy(max(0, end-win)) < threshold {
+		end -= win
+	}
+	if start >= end {
+		return x[:0]
+	}
+	return x[start:end]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

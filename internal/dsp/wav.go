@@ -1,0 +1,107 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV I/O for mono 16-bit PCM, so synthetic corpora can be exported and
+// external recordings imported without dependencies.
+
+// WriteWAV writes x as a mono 16-bit PCM WAV file at the given sample
+// rate, clipping samples outside [-1, 1].
+func WriteWAV(w io.Writer, x []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("dsp: WAV sample rate %d must be positive", sampleRate)
+	}
+	dataLen := len(x) * 2
+	var header [44]byte
+	copy(header[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(header[4:8], uint32(36+dataLen))
+	copy(header[8:12], "WAVE")
+	copy(header[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(header[16:20], 16)
+	binary.LittleEndian.PutUint16(header[20:22], 1) // PCM
+	binary.LittleEndian.PutUint16(header[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(header[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(header[28:32], uint32(sampleRate*2))
+	binary.LittleEndian.PutUint16(header[32:34], 2)  // block align
+	binary.LittleEndian.PutUint16(header[34:36], 16) // bits per sample
+	copy(header[36:40], "data")
+	binary.LittleEndian.PutUint32(header[40:44], uint32(dataLen))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(x))
+	for i, v := range x {
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		s := int16(math.Round(v * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(s))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV parses a mono 16-bit PCM WAV file, returning samples normalized
+// to [-1, 1] and the sample rate.
+func ReadWAV(r io.Reader) ([]float64, int, error) {
+	var header [12]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, 0, fmt.Errorf("dsp: WAV header: %w", err)
+	}
+	if string(header[0:4]) != "RIFF" || string(header[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("dsp: not a RIFF/WAVE file")
+	}
+	var sampleRate int
+	var bitsPerSample, channels int
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			return nil, 0, fmt.Errorf("dsp: WAV chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := int(binary.LittleEndian.Uint32(chunk[4:8]))
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, err
+			}
+			if format := binary.LittleEndian.Uint16(body[0:2]); format != 1 {
+				return nil, 0, fmt.Errorf("dsp: WAV format %d unsupported (want PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bitsPerSample = int(binary.LittleEndian.Uint16(body[14:16]))
+			if channels != 1 || bitsPerSample != 16 {
+				return nil, 0, fmt.Errorf("dsp: WAV must be mono 16-bit (got %d ch, %d bit)", channels, bitsPerSample)
+			}
+		case "data":
+			if sampleRate == 0 {
+				return nil, 0, fmt.Errorf("dsp: WAV data before fmt chunk")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, err
+			}
+			out := make([]float64, size/2)
+			for i := range out {
+				s := int16(binary.LittleEndian.Uint16(body[2*i:]))
+				out[i] = float64(s) / 32767
+			}
+			return out, sampleRate, nil
+		default:
+			// Skip unknown chunks (LIST, fact, ...).
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+}

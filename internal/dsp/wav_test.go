@@ -1,0 +1,253 @@
+package dsp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*440*float64(i)/8000) * 0.8
+		x[i] += 0.05 * rng.NormFloat64()
+		if x[i] > 1 {
+			x[i] = 1
+		}
+		if x[i] < -1 {
+			x[i] = -1
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, x, 8000); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 44+2*len(x) {
+		t.Errorf("WAV size %d, want %d", buf.Len(), 44+2*len(x))
+	}
+	back, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 {
+		t.Errorf("rate %d", rate)
+	}
+	if len(back) != len(x) {
+		t.Fatalf("length %d, want %d", len(back), len(x))
+	}
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1.0/32767+1e-9 {
+			t.Fatalf("sample %d: %g vs %g", i, back[i], x[i])
+		}
+	}
+}
+
+func TestWAVClipping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{5, -5, 0}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 1 || back[1] < -1.001 || back[2] != 0 {
+		t.Errorf("clipping wrong: %v", back)
+	}
+}
+
+func TestWAVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{0}, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all..."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := ReadWAV(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSpectrogramShape(t *testing.T) {
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 500 * float64(i) / 8000)
+	}
+	sg, err := Spectrogram(x, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg) == 0 {
+		t.Fatal("no frames")
+	}
+	wantBins := NextPow2(200)/2 + 1
+	for _, row := range sg {
+		if len(row) != wantBins {
+			t.Fatalf("row width %d, want %d", len(row), wantBins)
+		}
+	}
+	// The 500 Hz bin should carry more energy than a far-away bin.
+	bin500 := 500 * NextPow2(200) / 8000
+	if sg[2][bin500] <= sg[2][wantBins-3] {
+		t.Error("tone bin not dominant in spectrogram")
+	}
+	if _, err := Spectrogram(nil, 200, 100); err == nil {
+		t.Error("empty signal accepted")
+	}
+	if _, err := Spectrogram(x, 0, 100); err == nil {
+		t.Error("zero frame accepted")
+	}
+}
+
+func TestCMVN(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	CMVN(rows)
+	// Column 0: zero mean, unit variance.
+	var mean, varSum float64
+	for _, r := range rows {
+		mean += r[0]
+	}
+	mean /= 3
+	for _, r := range rows {
+		varSum += (r[0] - mean) * (r[0] - mean)
+	}
+	if math.Abs(mean) > 1e-12 || math.Abs(varSum/3-1) > 1e-12 {
+		t.Errorf("CMVN column 0: mean %g var %g", mean, varSum/3)
+	}
+	// Constant column: zero mean, untouched scale.
+	for _, r := range rows {
+		if r[1] != 0 {
+			t.Errorf("constant column not centered: %g", r[1])
+		}
+	}
+	if out := CMVN(nil); out != nil {
+		t.Error("CMVN(nil) should pass through")
+	}
+}
+
+func TestDeltaDelta(t *testing.T) {
+	// Rows of width 4 = 2 coeffs + 2 deltas -> widened to 6.
+	rows := [][]float64{
+		{0, 0, 1, 2},
+		{0, 0, 3, 4},
+		{0, 0, 5, 6},
+	}
+	DeltaDelta(rows)
+	for _, r := range rows {
+		if len(r) != 6 {
+			t.Fatalf("row width %d, want 6", len(r))
+		}
+	}
+	// Middle row's dd = (rows[2].delta - rows[0].delta)/2 = (5-1)/2, (6-2)/2.
+	if rows[1][4] != 2 || rows[1][5] != 2 {
+		t.Errorf("delta-delta wrong: %v", rows[1])
+	}
+	if rows[0][4] != 0 || rows[2][5] != 0 {
+		t.Error("boundary delta-delta should be zero")
+	}
+}
+
+func TestResample(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	up, err := Resample(x, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 8 {
+		t.Fatalf("upsampled length %d, want 8", len(up))
+	}
+	if up[0] != 0 || math.Abs(up[len(up)-1]-3) > 1e-12 {
+		t.Errorf("endpoints %g %g", up[0], up[len(up)-1])
+	}
+	down, err := Resample(up, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 4 {
+		t.Fatalf("downsampled length %d", len(down))
+	}
+	same, err := Resample(x, 8000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if same[i] != x[i] {
+			t.Fatal("identity resample changed data")
+		}
+	}
+	if _, err := Resample(x, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	empty, err := Resample(nil, 1, 2)
+	if err != nil || empty != nil {
+		t.Error("empty resample should be nil, nil")
+	}
+}
+
+// Property: resampling preserves the value range.
+func TestResampleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		x := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			lo = math.Min(lo, x[i])
+			hi = math.Max(hi, x[i])
+		}
+		out, err := Resample(x, 1, 0.5+2*rng.Float64())
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyContour(t *testing.T) {
+	x := make([]float64, 400)
+	for i := 200; i < 400; i++ {
+		x[i] = 1
+	}
+	e := EnergyContour(x, 100, 100)
+	if len(e) < 4 {
+		t.Fatalf("%d frames", len(e))
+	}
+	if e[0] != 0 || e[2] != 1 {
+		t.Errorf("contour %v", e[:4])
+	}
+}
+
+func TestTrimSilence(t *testing.T) {
+	x := make([]float64, 300)
+	for i := 100; i < 200; i++ {
+		x[i] = 0.5
+	}
+	trimmed := TrimSilence(x, 50, 0.1)
+	if len(trimmed) < 100 || len(trimmed) > 200 {
+		t.Errorf("trimmed to %d samples", len(trimmed))
+	}
+	if RMS(trimmed) < 0.2 {
+		t.Error("trimmed signal lost its content")
+	}
+	// All-silence input trims to nothing.
+	if got := TrimSilence(make([]float64, 100), 50, 0.1); len(got) != 0 {
+		t.Errorf("silence trimmed to %d samples", len(got))
+	}
+	// Degenerate parameters pass through.
+	if got := TrimSilence(x, 0, 0.1); len(got) != len(x) {
+		t.Error("zero window should pass through")
+	}
+}

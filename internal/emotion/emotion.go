@@ -1,0 +1,234 @@
+// Package emotion defines the affect taxonomy used throughout the system:
+// discrete emotion labels as used by the speech corpora (neutral, happy,
+// angry, sad, ...), the continuous Russell circumplex model
+// (valence/arousal/dominance), and the task-oriented attention states used
+// by the uulmMAC-style playback case study (distracted, concentrated,
+// tense, relaxed).
+//
+// The paper (Fig 1) quantifies mental states by the "mood angle" formed in
+// valence/arousal (/dominance) space; this package provides the mapping in
+// both directions so classifiers emitting either representation can drive
+// the same system-management policies.
+package emotion
+
+import (
+	"fmt"
+	"math"
+)
+
+// Label is a discrete emotion class as used by the emotional-speech corpora
+// (RAVDESS, EMOVO, CREMA-D) and by the system-management policy tables.
+type Label int
+
+// Discrete emotion labels. The first eight mirror the RAVDESS label set;
+// the corpora used in the paper each use a subset.
+const (
+	Neutral Label = iota
+	Calm
+	Happy
+	Sad
+	Angry
+	Fearful
+	Disgust
+	Surprised
+	numLabels
+)
+
+// NumLabels is the number of discrete emotion labels.
+const NumLabels = int(numLabels)
+
+var labelNames = [...]string{
+	Neutral:   "neutral",
+	Calm:      "calm",
+	Happy:     "happy",
+	Sad:       "sad",
+	Angry:     "angry",
+	Fearful:   "fearful",
+	Disgust:   "disgust",
+	Surprised: "surprised",
+}
+
+// String returns the lowercase corpus-style name of the label.
+func (l Label) String() string {
+	if l < 0 || int(l) >= len(labelNames) {
+		return fmt.Sprintf("label(%d)", int(l))
+	}
+	return labelNames[l]
+}
+
+// Valid reports whether l is one of the defined labels.
+func (l Label) Valid() bool { return l >= 0 && l < numLabels }
+
+// ParseLabel returns the Label with the given name.
+func ParseLabel(name string) (Label, error) {
+	for i, n := range labelNames {
+		if n == name {
+			return Label(i), nil
+		}
+	}
+	return 0, fmt.Errorf("emotion: unknown label %q", name)
+}
+
+// Labels returns all defined labels in order.
+func Labels() []Label {
+	out := make([]Label, NumLabels)
+	for i := range out {
+		out[i] = Label(i)
+	}
+	return out
+}
+
+// Point is a coordinate in the Russell circumplex model. Valence is the
+// pleasure/displeasure axis, Arousal the activation axis, and Dominance the
+// in-control/controlled axis. All three are normalized to [-1, 1].
+type Point struct {
+	Valence   float64
+	Arousal   float64
+	Dominance float64
+}
+
+// MoodAngle returns the angle (radians, in (-pi, pi]) of the point in the
+// valence/arousal plane, the paper's two-dimensional "mood angle". Zero
+// radians points along positive valence (contented/happy side); pi/2 along
+// positive arousal (alert/excited side).
+func (p Point) MoodAngle() float64 { return math.Atan2(p.Arousal, p.Valence) }
+
+// Intensity returns the radial distance from the neutral origin in the
+// valence/arousal plane, i.e. how strongly the affect deviates from neutral.
+func (p Point) Intensity() float64 { return math.Hypot(p.Valence, p.Arousal) }
+
+// circumplex is the canonical placement of each discrete label in
+// valence/arousal/dominance space, following Russell's circumplex (Fig 1a/1b).
+var circumplex = map[Label]Point{
+	Neutral:   {0, 0, 0},
+	Calm:      {0.45, -0.55, 0.15},
+	Happy:     {0.80, 0.50, 0.40},
+	Sad:       {-0.70, -0.45, -0.40},
+	Angry:     {-0.65, 0.75, 0.30},
+	Fearful:   {-0.60, 0.65, -0.55},
+	Disgust:   {-0.70, 0.25, 0.05},
+	Surprised: {0.25, 0.85, -0.10},
+}
+
+// Circumplex returns the canonical circumplex coordinates of a label.
+func (l Label) Circumplex() Point { return circumplex[l] }
+
+// Nearest returns the discrete label whose circumplex placement is closest
+// (Euclidean, valence/arousal plane) to p. Points with intensity below
+// neutralRadius map to Neutral.
+func Nearest(p Point) Label {
+	const neutralRadius = 0.20
+	if p.Intensity() < neutralRadius {
+		return Neutral
+	}
+	best, bestD := Neutral, math.Inf(1)
+	for l, c := range circumplex {
+		if l == Neutral {
+			continue
+		}
+		d := math.Hypot(p.Valence-c.Valence, p.Arousal-c.Arousal)
+		if d < bestD || (d == bestD && l < best) {
+			best, bestD = l, d
+		}
+	}
+	return best
+}
+
+// Attention is the task-oriented affect state used by the uulmMAC-style
+// video playback case study (§4, Fig 6 bottom). It captures how critical
+// perceived video quality is to the user right now.
+type Attention int
+
+// Attention states, ordered by increasing quality criticality.
+const (
+	Distracted   Attention = iota // quality not critical: maximum power saving
+	Relaxed                       // quality somewhat relevant
+	Concentrated                  // quality relevant
+	Tense                         // highly concentrated: best quality
+	numAttention
+)
+
+// NumAttention is the number of attention states.
+const NumAttention = int(numAttention)
+
+var attentionNames = [...]string{
+	Distracted:   "distracted",
+	Relaxed:      "relaxed",
+	Concentrated: "concentrated",
+	Tense:        "tense",
+}
+
+// String returns the lowercase name of the attention state.
+func (a Attention) String() string {
+	if a < 0 || int(a) >= len(attentionNames) {
+		return fmt.Sprintf("attention(%d)", int(a))
+	}
+	return attentionNames[a]
+}
+
+// Valid reports whether a is one of the defined attention states.
+func (a Attention) Valid() bool { return a >= 0 && a < numAttention }
+
+// ParseAttention returns the Attention state with the given name.
+func ParseAttention(name string) (Attention, error) {
+	for i, n := range attentionNames {
+		if n == name {
+			return Attention(i), nil
+		}
+	}
+	return 0, fmt.Errorf("emotion: unknown attention state %q", name)
+}
+
+// Mood is the coarse binary mood used by the app-management case study
+// (§5, Fig 9): the workload alternates between an excited and a calm phase.
+type Mood int
+
+// Moods used by the app-management experiments.
+const (
+	Excited Mood = iota
+	CalmMood
+	numMoods
+)
+
+// NumMoods is the number of coarse moods.
+const NumMoods = int(numMoods)
+
+// String returns the name of the mood.
+func (m Mood) String() string {
+	switch m {
+	case Excited:
+		return "excited"
+	case CalmMood:
+		return "calm"
+	}
+	return fmt.Sprintf("mood(%d)", int(m))
+}
+
+// Valid reports whether m is one of the defined moods.
+func (m Mood) Valid() bool { return m >= 0 && m < numMoods }
+
+// MoodOf collapses a discrete label onto the coarse excited/calm axis by
+// its arousal coordinate. High-arousal states count as excited.
+func MoodOf(l Label) Mood {
+	if l.Circumplex().Arousal > 0.1 {
+		return Excited
+	}
+	return CalmMood
+}
+
+// AttentionOf maps a circumplex point to an attention state using arousal
+// as the activation proxy: strongly negative arousal reads as distracted,
+// strongly positive as tense. This mirrors the paper's use of SC magnitude
+// (an arousal correlate) to derive the playback states.
+func AttentionOf(p Point) Attention {
+	switch {
+	case p.Arousal < -0.35:
+		return Distracted
+	case p.Arousal < 0.10:
+		return Relaxed
+	case p.Arousal < 0.55:
+		return Concentrated
+	default:
+		return Tense
+	}
+}

@@ -1,0 +1,188 @@
+package emotion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelString(t *testing.T) {
+	cases := map[Label]string{
+		Neutral:   "neutral",
+		Happy:     "happy",
+		Angry:     "angry",
+		Surprised: "surprised",
+		Label(99): "label(99)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Label(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestParseLabelRoundTrip(t *testing.T) {
+	for _, l := range Labels() {
+		got, err := ParseLabel(l.String())
+		if err != nil {
+			t.Fatalf("ParseLabel(%q): %v", l.String(), err)
+		}
+		if got != l {
+			t.Errorf("ParseLabel(%q) = %v, want %v", l.String(), got, l)
+		}
+	}
+	if _, err := ParseLabel("bogus"); err == nil {
+		t.Error("ParseLabel(bogus) succeeded, want error")
+	}
+}
+
+func TestLabelsCount(t *testing.T) {
+	if len(Labels()) != NumLabels {
+		t.Fatalf("Labels() has %d entries, want %d", len(Labels()), NumLabels)
+	}
+	for _, l := range Labels() {
+		if !l.Valid() {
+			t.Errorf("label %v not valid", l)
+		}
+	}
+	if Label(-1).Valid() || Label(NumLabels).Valid() {
+		t.Error("out-of-range labels reported valid")
+	}
+}
+
+func TestMoodAngle(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{Valence: 1, Arousal: 0}, 0},
+		{Point{Valence: 0, Arousal: 1}, math.Pi / 2},
+		{Point{Valence: -1, Arousal: 0}, math.Pi},
+		{Point{Valence: 1, Arousal: 1}, math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := c.p.MoodAngle(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MoodAngle(%+v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	p := Point{Valence: 3, Arousal: 4}
+	if got := p.Intensity(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Intensity = %g, want 5", got)
+	}
+}
+
+func TestNearestRecoversCanonicalPlacements(t *testing.T) {
+	// Every non-neutral label's own circumplex point must map back to it.
+	for _, l := range Labels() {
+		if l == Neutral {
+			continue
+		}
+		if got := Nearest(l.Circumplex()); got != l {
+			t.Errorf("Nearest(circumplex(%v)) = %v", l, got)
+		}
+	}
+}
+
+func TestNearestNeutralOrigin(t *testing.T) {
+	if got := Nearest(Point{}); got != Neutral {
+		t.Errorf("Nearest(origin) = %v, want neutral", got)
+	}
+	if got := Nearest(Point{Valence: 0.05, Arousal: -0.05}); got != Neutral {
+		t.Errorf("Nearest(near origin) = %v, want neutral", got)
+	}
+}
+
+func TestAttentionParseRoundTrip(t *testing.T) {
+	for i := 0; i < NumAttention; i++ {
+		a := Attention(i)
+		got, err := ParseAttention(a.String())
+		if err != nil {
+			t.Fatalf("ParseAttention(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Errorf("ParseAttention(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+	if _, err := ParseAttention("asleep"); err == nil {
+		t.Error("ParseAttention(asleep) succeeded, want error")
+	}
+}
+
+func TestAttentionOfOrdering(t *testing.T) {
+	// Attention must be monotone non-decreasing in arousal.
+	prev := Distracted
+	for a := -1.0; a <= 1.0; a += 0.01 {
+		cur := AttentionOf(Point{Arousal: a})
+		if cur < prev {
+			t.Fatalf("AttentionOf not monotone at arousal %g: %v after %v", a, cur, prev)
+		}
+		prev = cur
+	}
+	if AttentionOf(Point{Arousal: -1}) != Distracted {
+		t.Error("lowest arousal should be distracted")
+	}
+	if AttentionOf(Point{Arousal: 1}) != Tense {
+		t.Error("highest arousal should be tense")
+	}
+}
+
+func TestMoodOf(t *testing.T) {
+	if MoodOf(Happy) != Excited || MoodOf(Angry) != Excited {
+		t.Error("high-arousal labels should map to excited")
+	}
+	if MoodOf(Calm) != CalmMood || MoodOf(Sad) != CalmMood || MoodOf(Neutral) != CalmMood {
+		t.Error("low-arousal labels should map to calm")
+	}
+}
+
+func TestMoodString(t *testing.T) {
+	if Excited.String() != "excited" || CalmMood.String() != "calm" {
+		t.Error("mood names wrong")
+	}
+	if Mood(7).String() != "mood(7)" {
+		t.Error("out-of-range mood name wrong")
+	}
+}
+
+// Property: Nearest always returns a valid label, and intensity below the
+// neutral radius always yields Neutral.
+func TestNearestProperties(t *testing.T) {
+	f := func(v, a float64) bool {
+		// Clamp quick's unbounded floats into the model's domain.
+		v = math.Mod(v, 1)
+		a = math.Mod(a, 1)
+		if math.IsNaN(v) || math.IsNaN(a) {
+			return true
+		}
+		p := Point{Valence: v, Arousal: a}
+		l := Nearest(p)
+		if !l.Valid() {
+			return false
+		}
+		if p.Intensity() < 0.20 && l != Neutral {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mood angle is always in (-pi, pi], intensity non-negative.
+func TestMoodAngleRange(t *testing.T) {
+	f := func(v, a float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsInf(v, 0) || math.IsInf(a, 0) {
+			return true
+		}
+		p := Point{Valence: v, Arousal: a}
+		ang := p.MoodAngle()
+		return ang > -math.Pi-1e-9 && ang <= math.Pi+1e-9 && p.Intensity() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package emotion
+
+import "math"
+
+// Mood-angle sector mapping (Fig 1a): the circumplex plane divides into
+// sectors, one per discrete label, by the angle of the canonical label
+// placements. FromMoodAngle quantizes a continuous classifier output
+// (angle + intensity) back onto the discrete label set — the inverse of
+// Label.Circumplex for angular inputs.
+
+// sector is a half-open angular interval [from, to) owning a label.
+type sector struct {
+	from, to float64
+	label    Label
+}
+
+// sectors are built once from the canonical placements, ordered by angle.
+var sectors = buildSectors()
+
+func buildSectors() []sector {
+	type entry struct {
+		angle float64
+		label Label
+	}
+	var entries []entry
+	for _, l := range Labels() {
+		if l == Neutral {
+			continue
+		}
+		entries = append(entries, entry{l.Circumplex().MoodAngle(), l})
+	}
+	// Insertion sort by angle.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].angle < entries[j-1].angle; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	// Sector boundaries at the midpoints between adjacent label angles
+	// (wrapping around the circle).
+	n := len(entries)
+	out := make([]sector, n)
+	for i := 0; i < n; i++ {
+		prev := entries[(i+n-1)%n].angle
+		cur := entries[i].angle
+		next := entries[(i+1)%n].angle
+		from := midAngle(prev, cur)
+		to := midAngle(cur, next)
+		out[i] = sector{from: from, to: to, label: entries[i].label}
+	}
+	return out
+}
+
+// midAngle returns the midpoint of the shorter arc from a to b.
+func midAngle(a, b float64) float64 {
+	d := b - a
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	m := a + d/2
+	for m <= -math.Pi {
+		m += 2 * math.Pi
+	}
+	for m > math.Pi {
+		m -= 2 * math.Pi
+	}
+	return m
+}
+
+// inArc reports whether angle x lies on the arc from from to to (going
+// counterclockwise).
+func inArc(x, from, to float64) bool {
+	span := to - from
+	for span <= 0 {
+		span += 2 * math.Pi
+	}
+	d := x - from
+	for d < 0 {
+		d += 2 * math.Pi
+	}
+	return d < span
+}
+
+// FromMoodAngle maps a mood angle (radians) and intensity onto the
+// discrete label whose sector contains the angle. Intensities below the
+// neutral radius map to Neutral.
+func FromMoodAngle(angle, intensity float64) Label {
+	const neutralRadius = 0.20
+	if intensity < neutralRadius {
+		return Neutral
+	}
+	for _, s := range sectors {
+		if inArc(angle, s.from, s.to) {
+			return s.label
+		}
+	}
+	// Numerically unreachable; the sectors tile the circle.
+	return Neutral
+}
+
+// FromPointSector maps a circumplex point onto a label via its mood angle
+// (sector quantization rather than nearest-neighbor distance).
+func FromPointSector(p Point) Label {
+	return FromMoodAngle(p.MoodAngle(), p.Intensity())
+}

@@ -1,0 +1,74 @@
+package emotion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSectorsRecoverCanonicalLabels(t *testing.T) {
+	// Each label's own canonical angle must fall in its own sector.
+	for _, l := range Labels() {
+		if l == Neutral {
+			continue
+		}
+		p := l.Circumplex()
+		if got := FromMoodAngle(p.MoodAngle(), p.Intensity()); got != l {
+			t.Errorf("FromMoodAngle(circumplex(%v)) = %v", l, got)
+		}
+		if got := FromPointSector(p); got != l {
+			t.Errorf("FromPointSector(circumplex(%v)) = %v", l, got)
+		}
+	}
+}
+
+func TestSectorsTileTheCircle(t *testing.T) {
+	// Every angle belongs to exactly one sector.
+	for a := -math.Pi + 1e-6; a < math.Pi; a += 0.01 {
+		var owners int
+		for _, s := range sectors {
+			if inArc(a, s.from, s.to) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("angle %.3f owned by %d sectors", a, owners)
+		}
+	}
+}
+
+func TestFromMoodAngleNeutral(t *testing.T) {
+	if FromMoodAngle(1.0, 0.05) != Neutral {
+		t.Error("low intensity should be neutral")
+	}
+	if FromMoodAngle(1.0, 0.5) == Neutral {
+		t.Error("high intensity should not be neutral")
+	}
+}
+
+// Property: sector mapping always yields a valid label, and agrees with
+// nearest-neighbor on the canonical points themselves.
+func TestSectorProperties(t *testing.T) {
+	f := func(angle, intensity float64) bool {
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return true
+		}
+		angle = math.Mod(angle, math.Pi)
+		intensity = math.Abs(math.Mod(intensity, 1))
+		return FromMoodAngle(angle, intensity).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidAngleWrapping(t *testing.T) {
+	// Midpoint across the -pi/pi seam.
+	m := midAngle(math.Pi-0.1, -math.Pi+0.1)
+	if math.Abs(math.Abs(m)-math.Pi) > 0.11 {
+		t.Errorf("seam midpoint %g not near +-pi", m)
+	}
+	if got := midAngle(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("midAngle(0,1) = %g", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package h264 implements a self-consistent model of an H.264/AVC
+// baseline-profile decoder and matching encoder, extended with the paper's
+// affect-driven hardware: an Input Selector that drops small P/B NAL units
+// (parameters S_th and f), a 128x16-bit Pre-store Buffer with a read/write
+// handshake to the Circular Buffer, and a deactivatable Deblocking Filter
+// (§4, Fig 5).
+//
+// The entropy layer uses real Exp-Golomb codes and a CAVLC-style residual
+// coder (genuine coeff_token table for nC < 2, genuine level prefix/suffix
+// codes; total_zeros and run_before use Exp-Golomb instead of the full
+// per-count VLC tables — a documented simplification that preserves the
+// bit-length *structure* the power model consumes). The transform layer is
+// the real 4x4 integer transform with the spec's MF/V quantization tables.
+package h264
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBitstream reports malformed or truncated bitstream input.
+var ErrBitstream = errors.New("h264: malformed bitstream")
+
+// BitWriter assembles a bit-packed byte stream, MSB first.
+type BitWriter struct {
+	buf  []byte
+	bit  uint // bits used in the last byte (0..7, 0 means byte boundary)
+	nbit int  // total bits written
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b uint) {
+	if w.bit == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.bit)
+	}
+	w.bit = (w.bit + 1) % 8
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint((v >> uint(i)) & 1))
+	}
+}
+
+// Len returns the number of bits written.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the stream padded to a byte boundary with RBSP-style
+// trailing bits: a stop bit followed by zeros (only when unaligned or
+// force is set).
+func (w *BitWriter) Bytes(trailing bool) []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	if trailing {
+		tw := &BitWriter{buf: out, bit: w.bit, nbit: w.nbit}
+		tw.WriteBit(1)
+		for tw.bit != 0 {
+			tw.WriteBit(0)
+		}
+		return tw.buf
+	}
+	return out
+}
+
+// BitReader consumes a bit-packed byte stream, MSB first.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader returns a reader over data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, fmt.Errorf("%w: read past end at bit %d", ErrBitstream, r.pos)
+	}
+	b := (r.buf[byteIdx] >> (7 - uint(r.pos&7))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits returns the next n bits as an unsigned value. n must be <= 64.
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// BitsRead returns the number of bits consumed so far.
+func (r *BitReader) BitsRead() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// WriteUE appends an unsigned Exp-Golomb code ue(v).
+func (w *BitWriter) WriteUE(v uint32) {
+	code := uint64(v) + 1
+	// Count leading length.
+	n := 0
+	for tmp := code; tmp > 1; tmp >>= 1 {
+		n++
+	}
+	w.WriteBits(0, n)
+	w.WriteBits(code, n+1)
+}
+
+// ReadUE decodes an unsigned Exp-Golomb code ue(v).
+func (r *BitReader) ReadUE() (uint32, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 32 {
+			return 0, fmt.Errorf("%w: ue(v) prefix too long", ErrBitstream)
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return uint32((uint64(1)<<uint(n) | rest) - 1), nil
+}
+
+// WriteSE appends a signed Exp-Golomb code se(v) using the spec mapping
+// (positive values first: 1 -> 1, -1 -> 2, 2 -> 3, ...).
+func (w *BitWriter) WriteSE(v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(2*v - 1)
+	} else {
+		u = uint32(-2 * v)
+	}
+	w.WriteUE(u)
+}
+
+// ReadSE decodes a signed Exp-Golomb code se(v).
+func (r *BitReader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2) + 1, nil
+	}
+	return -int32(u / 2), nil
+}

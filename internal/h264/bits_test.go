@@ -1,0 +1,218 @@
+package h264
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBit(1)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xDEAD, 16)
+	r := NewBitReader(w.Bytes(true))
+	b, err := r.ReadBit()
+	if err != nil || b != 1 {
+		t.Fatalf("bit = %d, %v", b, err)
+	}
+	v, err := r.ReadBits(4)
+	if err != nil || v != 0b1011 {
+		t.Fatalf("bits = %b, %v", v, err)
+	}
+	v, err = r.ReadBits(16)
+	if err != nil || v != 0xDEAD {
+		t.Fatalf("bits = %x, %v", v, err)
+	}
+}
+
+func TestBitReaderPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestUEKnownCodes(t *testing.T) {
+	// Spec examples: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100".
+	cases := map[uint32]string{0: "1", 1: "010", 2: "011", 3: "00100", 4: "00101", 7: "0001000"}
+	for v, bits := range cases {
+		w := NewBitWriter()
+		w.WriteUE(v)
+		got := bitString(w)
+		if got != bits {
+			t.Errorf("ue(%d) = %s, want %s", v, got, bits)
+		}
+	}
+}
+
+func TestSEKnownCodes(t *testing.T) {
+	// Spec mapping: 0->0, 1->1, -1->2, 2->3, -2->4.
+	cases := map[int32]uint32{0: 0, 1: 1, -1: 2, 2: 3, -2: 4, 3: 5, -3: 6}
+	for v, ue := range cases {
+		w1 := NewBitWriter()
+		w1.WriteSE(v)
+		w2 := NewBitWriter()
+		w2.WriteUE(ue)
+		if bitString(w1) != bitString(w2) {
+			t.Errorf("se(%d) != ue(%d)", v, ue)
+		}
+	}
+}
+
+func bitString(w *BitWriter) string {
+	data := w.Bytes(false)
+	out := make([]byte, 0, w.Len())
+	for i := 0; i < w.Len(); i++ {
+		if data[i/8]&(1<<(7-uint(i%8))) != 0 {
+			out = append(out, '1')
+		} else {
+			out = append(out, '0')
+		}
+	}
+	return string(out)
+}
+
+// Property: ue/se round trip for arbitrary values.
+func TestExpGolombRoundTrip(t *testing.T) {
+	fu := func(vs []uint32) bool {
+		w := NewBitWriter()
+		for _, v := range vs {
+			v %= 1 << 24
+			w.WriteUE(v)
+		}
+		r := NewBitReader(w.Bytes(true))
+		for _, v := range vs {
+			v %= 1 << 24
+			got, err := r.ReadUE()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fu, nil); err != nil {
+		t.Error(err)
+	}
+	fs := func(vs []int32) bool {
+		w := NewBitWriter()
+		for _, v := range vs {
+			v %= 1 << 20
+			w.WriteSE(v)
+		}
+		r := NewBitReader(w.Bytes(true))
+		for _, v := range vs {
+			v %= 1 << 20
+			got, err := r.ReadSE()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fs, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNALEscaping(t *testing.T) {
+	// A payload containing start-code-like patterns must survive framing.
+	payload := []byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3, 7, 0, 0}
+	esc := escapeRBSP(payload)
+	back := unescapeRBSP(esc)
+	if string(back) != string(payload) {
+		t.Fatalf("escape round trip failed: % x -> % x -> % x", payload, esc, back)
+	}
+	// The escaped form must not contain a start code.
+	for i := 0; i+3 <= len(esc); i++ {
+		if esc[i] == 0 && esc[i+1] == 0 && (esc[i+2] == 1 || esc[i+2] == 0 && i+4 <= len(esc) && esc[i+3] == 1) {
+			t.Fatalf("escaped payload contains start code at %d: % x", i, esc)
+		}
+	}
+}
+
+// Property: NAL stream marshal/split round trip preserves type, refidc and
+// payload.
+func TestNALStreamRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		units := make([]NAL, n)
+		types := []NALType{NALSliceNonIDR, NALSliceIDR, NALSPS, NALPPS}
+		for i := range units {
+			payload := make([]byte, 1+rng.Intn(64))
+			for j := range payload {
+				// Bias toward zeros to exercise escaping.
+				if rng.Intn(3) == 0 {
+					payload[j] = byte(rng.Intn(4))
+				} else {
+					payload[j] = byte(rng.Intn(256))
+				}
+			}
+			// Avoid payloads ending in 0x00: trailing zeros are ambiguous
+			// with the next start code prefix, and real RBSPs always end
+			// with the rbsp_stop_one_bit so this never arises in practice.
+			payload[len(payload)-1] |= 0x80
+			units[i] = NAL{Type: types[rng.Intn(len(types))], RefIDC: rng.Intn(4), Payload: payload}
+		}
+		stream, err := MarshalStream(units)
+		if err != nil {
+			return false
+		}
+		got, err := SplitStream(stream)
+		if err != nil || len(got) != len(units) {
+			return false
+		}
+		for i := range units {
+			if got[i].Type != units[i].Type || got[i].RefIDC != units[i].RefIDC {
+				return false
+			}
+			if string(got[i].Payload) != string(units[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitStreamErrors(t *testing.T) {
+	if _, err := SplitStream([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage stream accepted")
+	}
+	// forbidden_zero_bit set.
+	if _, err := SplitStream([]byte{0, 0, 1, 0x85, 1, 2}); err == nil {
+		t.Error("forbidden bit accepted")
+	}
+	units, err := SplitStream(nil)
+	if err != nil || units != nil {
+		t.Error("empty stream should be empty, no error")
+	}
+}
+
+func TestNALSizeBytes(t *testing.T) {
+	n := NAL{Type: NALSliceNonIDR, RefIDC: 0, Payload: make([]byte, 100)}
+	// 100 zero bytes escape to 149 bytes: an escape lands before the 3rd,
+	// 5th, ..., 99th zero (49 escapes), plus the header byte.
+	if got := n.SizeBytes(); got != 150 {
+		t.Errorf("SizeBytes = %d, want 150", got)
+	}
+	n.Payload = []byte{1, 2, 3}
+	if got := n.SizeBytes(); got != 4 {
+		t.Errorf("SizeBytes = %d, want 4", got)
+	}
+}
+
+func TestMarshalNALValidation(t *testing.T) {
+	if _, err := MarshalNAL(NAL{Type: -1}); err == nil {
+		t.Error("negative type accepted")
+	}
+	if _, err := MarshalNAL(NAL{Type: NALSPS, RefIDC: 9}); err == nil {
+		t.Error("refidc 9 accepted")
+	}
+}

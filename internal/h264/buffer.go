@@ -1,0 +1,127 @@
+package h264
+
+import "fmt"
+
+// CircularBuffer models the decoder's 128-bit-wide input FIFO. Capacity is
+// in bytes; transfers happen in 16-byte words and are counted for the
+// memory-traffic component of the power model.
+type CircularBuffer struct {
+	capacity int
+	data     []byte
+	// BytesIn / BytesOut count total traffic through the buffer.
+	BytesIn, BytesOut int
+	// Stalls counts write attempts rejected because the buffer was full.
+	Stalls int
+}
+
+// WordBytes is the transfer granularity: 128 bits.
+const WordBytes = 16
+
+// NewCircularBuffer returns a buffer of the given byte capacity (rounded
+// up to a whole word, minimum one word).
+func NewCircularBuffer(capacity int) *CircularBuffer {
+	if capacity < WordBytes {
+		capacity = WordBytes
+	}
+	if rem := capacity % WordBytes; rem != 0 {
+		capacity += WordBytes - rem
+	}
+	return &CircularBuffer{capacity: capacity}
+}
+
+// Free returns the remaining capacity in bytes.
+func (b *CircularBuffer) Free() int { return b.capacity - len(b.data) }
+
+// Len returns the buffered byte count.
+func (b *CircularBuffer) Len() int { return len(b.data) }
+
+// Write appends p if it fits, otherwise records a stall and reports false.
+func (b *CircularBuffer) Write(p []byte) bool {
+	if len(p) > b.Free() {
+		b.Stalls++
+		return false
+	}
+	b.data = append(b.data, p...)
+	b.BytesIn += len(p)
+	return true
+}
+
+// Read removes and returns up to n buffered bytes.
+func (b *CircularBuffer) Read(n int) []byte {
+	if n > len(b.data) {
+		n = len(b.data)
+	}
+	out := make([]byte, n)
+	copy(out, b.data[:n])
+	b.data = b.data[n:]
+	b.BytesOut += n
+	return out
+}
+
+// PreStoreBuffer models the 128 x 16-bit buffer inserted ahead of the
+// circular buffer for emotion adaptation (Fig 5). The Input Selector
+// writes (possibly rewinding over a deleted NAL unit); the circular buffer
+// fetches under a ready/valid handshake.
+type PreStoreBuffer struct {
+	capacity int
+	data     []byte
+	// Traffic counters for the power model and the 4.23% area-overhead
+	// accounting.
+	BytesIn, BytesOut int
+	Rewinds           int
+}
+
+// PreStoreCapacity is 128 entries x 16 bits = 256 bytes.
+const PreStoreCapacity = 128 * 2
+
+// NewPreStoreBuffer returns the fixed-size pre-store buffer.
+func NewPreStoreBuffer() *PreStoreBuffer { return &PreStoreBuffer{capacity: PreStoreCapacity} }
+
+// Free returns remaining capacity in bytes.
+func (b *PreStoreBuffer) Free() int { return b.capacity - len(b.data) }
+
+// Len returns the buffered byte count.
+func (b *PreStoreBuffer) Len() int { return len(b.data) }
+
+// Write appends p, reporting false (no side effects) when it does not fit.
+func (b *PreStoreBuffer) Write(p []byte) bool {
+	if len(p) > b.Free() {
+		return false
+	}
+	b.data = append(b.data, p...)
+	b.BytesIn += len(p)
+	return true
+}
+
+// Rewind discards the most recent n written-but-unread bytes; the Input
+// Selector uses it to overwrite a NAL unit it has decided to delete by
+// stepping the write address back.
+func (b *PreStoreBuffer) Rewind(n int) error {
+	if n < 0 || n > len(b.data) {
+		return fmt.Errorf("h264: prestore rewind %d with %d buffered", n, len(b.data))
+	}
+	b.data = b.data[:len(b.data)-n]
+	b.BytesIn -= n
+	b.Rewinds++
+	return nil
+}
+
+// Drain moves as many whole words as possible (plus a final partial word
+// when flush is set) into the circular buffer, honoring the handshake:
+// words move only when the circular buffer has space.
+func (b *PreStoreBuffer) Drain(cb *CircularBuffer, flush bool) {
+	for len(b.data) >= WordBytes && cb.Free() >= WordBytes {
+		if !cb.Write(b.data[:WordBytes]) {
+			return
+		}
+		b.data = b.data[WordBytes:]
+		b.BytesOut += WordBytes
+	}
+	if flush && len(b.data) > 0 && cb.Free() >= len(b.data) {
+		n := len(b.data)
+		if cb.Write(b.data) {
+			b.data = nil
+			b.BytesOut += n
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package h264
+
+import "testing"
+
+// TestFig6PowerCalibration checks the decoder power model against the
+// paper's Fig 6 numbers: DF deactivation -31.4%, deletion (S_th=140, f=1)
+// -10.6%, combined -36.9%, within +-2.5 percentage points.
+func TestFig6PowerCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration decode skipped in -short mode")
+	}
+	src, err := GenerateVideo(CalibrationVideoConfig(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := CompareModes(src, CalibrationEncoderConfig(), DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[DecoderMode]float64{
+		ModeStandard: 0,
+		ModeDFOff:    31.4,
+		ModeDeletion: 10.6,
+		ModeCombined: 36.9,
+	}
+	const tol = 2.5
+	for _, r := range reports {
+		t.Logf("%-9s norm=%.3f saving=%5.1f%% psnr=%5.1f dB deleted=%d (%.0f%%)",
+			r.Mode, r.NormPower, r.SavingPct, r.PSNR, r.Deleted, r.DeletedPct)
+		target := want[r.Mode]
+		if diff := r.SavingPct - target; diff > tol || diff < -tol {
+			t.Errorf("%s saving %.1f%%, want %.1f%% +- %.1f", r.Mode, r.SavingPct, target, tol)
+		}
+	}
+}

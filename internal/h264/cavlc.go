@@ -1,0 +1,347 @@
+package h264
+
+import "fmt"
+
+// CAVLC-style residual coding.
+//
+// coeff_token (TotalCoeff, TrailingOnes) uses the genuine spec VLC table
+// for 0 <= nC < 2 (the dominant context in low-motion QCIF-class content);
+// this model always codes with that table rather than switching tables on
+// the predicted nC. Trailing-one signs are single bits; remaining levels
+// use the genuine level_prefix/level_suffix scheme with adaptive
+// suffixLength; total_zeros and run_before are coded with Exp-Golomb
+// instead of the spec's per-count VLC tables. The stream stays fully
+// self-consistent (encode/decode round-trips bit-exactly) and preserves
+// the size structure — small residuals cost few bits — which is what the
+// Input Selector's S_th statistics and the power model consume.
+
+// coeffTokenCode is (length, bits) for the nC<2 coeff_token table,
+// indexed [totalCoeff][trailingOnes]. From ITU-T H.264 table 9-5.
+type vlcCode struct {
+	length int
+	bits   uint32
+}
+
+var coeffTokenNC0 = [17][4]vlcCode{
+	{{1, 1}, {0, 0}, {0, 0}, {0, 0}},       // TC=0
+	{{6, 0x05}, {2, 0x01}, {0, 0}, {0, 0}}, // TC=1: T1s=0,1
+	{{8, 0x07}, {6, 0x04}, {3, 0x01}, {0, 0}},
+	{{9, 0x07}, {8, 0x06}, {7, 0x05}, {5, 0x03}},
+	{{10, 0x07}, {9, 0x06}, {8, 0x05}, {6, 0x03}},
+	{{11, 0x07}, {10, 0x06}, {9, 0x05}, {7, 0x04}},
+	{{13, 0x0F}, {11, 0x06}, {10, 0x05}, {8, 0x04}},
+	{{13, 0x0B}, {13, 0x0E}, {11, 0x05}, {9, 0x04}},
+	{{13, 0x08}, {13, 0x0A}, {13, 0x0D}, {10, 0x04}},
+	{{14, 0x0F}, {14, 0x0E}, {13, 0x09}, {11, 0x04}},
+	{{14, 0x0B}, {14, 0x0A}, {14, 0x0D}, {13, 0x0C}},
+	{{15, 0x0F}, {15, 0x0E}, {14, 0x09}, {14, 0x0C}},
+	{{15, 0x0B}, {15, 0x0A}, {15, 0x0D}, {14, 0x08}},
+	{{16, 0x0F}, {15, 0x01}, {15, 0x09}, {15, 0x0C}},
+	{{16, 0x0B}, {16, 0x0E}, {16, 0x0D}, {15, 0x08}},
+	{{16, 0x07}, {16, 0x0A}, {16, 0x09}, {16, 0x0C}},
+	{{16, 0x04}, {16, 0x06}, {16, 0x05}, {16, 0x08}},
+}
+
+// EncodeResidual writes one 4x4 residual block to w and returns the number
+// of coded bits.
+func EncodeResidual(w *BitWriter, blk Block4) int {
+	startBits := w.Len()
+	scan := blk.ZigZag()
+	// Nonzero coefficients in reverse scan order (high frequency first).
+	var levels []int32
+	var positions []int
+	for i := 15; i >= 0; i-- {
+		if scan[i] != 0 {
+			levels = append(levels, scan[i])
+			positions = append(positions, i)
+		}
+	}
+	totalCoeff := len(levels)
+	// run_before of level k = zeros between it and the next lower
+	// coefficient in scan order (the spec's definition).
+	runs := make([]int, totalCoeff)
+	for k := 0; k < totalCoeff-1; k++ {
+		runs[k] = positions[k] - positions[k+1] - 1
+	}
+	if totalCoeff > 0 {
+		runs[totalCoeff-1] = positions[totalCoeff-1] // zeros below the lowest
+	}
+	lastNZ := -1
+	if totalCoeff > 0 {
+		lastNZ = positions[0]
+	}
+	// Trailing ones: up to 3 leading (in reverse order) coefficients with
+	// |level| == 1.
+	trailingOnes := 0
+	for trailingOnes < 3 && trailingOnes < totalCoeff &&
+		(levels[trailingOnes] == 1 || levels[trailingOnes] == -1) {
+		trailingOnes++
+	}
+	code := coeffTokenNC0[totalCoeff][trailingOnes]
+	w.WriteBits(uint64(code.bits), code.length)
+	if totalCoeff == 0 {
+		return w.Len() - startBits
+	}
+	// Trailing one signs, reverse scan order: 0 = positive.
+	for i := 0; i < trailingOnes; i++ {
+		if levels[i] < 0 {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+	// Remaining levels with adaptive suffix length.
+	suffixLength := 0
+	if totalCoeff > 10 && trailingOnes < 3 {
+		suffixLength = 1
+	}
+	for i := trailingOnes; i < totalCoeff; i++ {
+		level := levels[i]
+		levelCode := levelToCode(level, i == trailingOnes && trailingOnes < 3)
+		writeLevel(w, levelCode, suffixLength)
+		if suffixLength == 0 {
+			suffixLength = 1
+		}
+		abs := level
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > (3<<(suffixLength-1)) && suffixLength < 6 {
+			suffixLength++
+		}
+	}
+	// total_zeros: zeros among scan[0..lastNZ] (Exp-Golomb here).
+	totalZeros := lastNZ + 1 - totalCoeff
+	w.WriteUE(uint32(totalZeros))
+	// run_before per coefficient (reverse order, skip the last), while
+	// zeros remain.
+	zerosLeft := totalZeros
+	for i := 0; i < totalCoeff-1 && zerosLeft > 0; i++ {
+		rb := runs[i]
+		w.WriteUE(uint32(rb))
+		zerosLeft -= rb
+	}
+	return w.Len() - startBits
+}
+
+// levelToCode maps a signed level to the spec's level code. When firstNon1
+// is set (first non-trailing-one level with T1s < 3), the magnitude is
+// reduced by 1 before mapping.
+func levelToCode(level int32, firstNon1 bool) int32 {
+	abs := level
+	if abs < 0 {
+		abs = -abs
+	}
+	if firstNon1 {
+		abs--
+	}
+	if level > 0 {
+		return 2 * (abs - 1)
+	}
+	return 2*(abs-1) + 1
+}
+
+// codeToLevel inverts levelToCode.
+func codeToLevel(code int32, firstNon1 bool) int32 {
+	var abs int32
+	var neg bool
+	if code%2 == 0 {
+		abs = code/2 + 1
+	} else {
+		abs = (code-1)/2 + 1
+		neg = true
+	}
+	if firstNon1 {
+		abs++
+	}
+	if neg {
+		return -abs
+	}
+	return abs
+}
+
+// writeLevel emits level_prefix / level_suffix for a level code.
+func writeLevel(w *BitWriter, levelCode int32, suffixLength int) {
+	if suffixLength == 0 {
+		// Unary below 14, escape at 14 (4-bit suffix), full escape at 15.
+		if levelCode < 14 {
+			w.WriteBits(0, int(levelCode))
+			w.WriteBit(1)
+			return
+		}
+		if levelCode < 30 {
+			w.WriteBits(0, 14)
+			w.WriteBit(1)
+			w.WriteBits(uint64(levelCode-14), 4)
+			return
+		}
+		w.WriteBits(0, 15)
+		w.WriteBit(1)
+		w.WriteBits(uint64(levelCode-30), 12)
+		return
+	}
+	prefix := levelCode >> uint(suffixLength)
+	if prefix < 15 {
+		w.WriteBits(0, int(prefix))
+		w.WriteBit(1)
+		w.WriteBits(uint64(levelCode)&((1<<uint(suffixLength))-1), suffixLength)
+		return
+	}
+	// Escape: prefix 15, 12-bit suffix.
+	w.WriteBits(0, 15)
+	w.WriteBit(1)
+	w.WriteBits(uint64(levelCode-(15<<uint(suffixLength))), 12)
+}
+
+// readLevel decodes level_prefix / level_suffix into a level code.
+func readLevel(r *BitReader, suffixLength int) (int32, error) {
+	prefix := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		prefix++
+		if prefix > 15 {
+			return 0, fmt.Errorf("%w: level prefix too long", ErrBitstream)
+		}
+	}
+	if suffixLength == 0 {
+		switch {
+		case prefix < 14:
+			return int32(prefix), nil
+		case prefix == 14:
+			s, err := r.ReadBits(4)
+			if err != nil {
+				return 0, err
+			}
+			return 14 + int32(s), nil
+		default:
+			s, err := r.ReadBits(12)
+			if err != nil {
+				return 0, err
+			}
+			return 30 + int32(s), nil
+		}
+	}
+	if prefix < 15 {
+		s, err := r.ReadBits(suffixLength)
+		if err != nil {
+			return 0, err
+		}
+		return int32(prefix)<<uint(suffixLength) | int32(s), nil
+	}
+	s, err := r.ReadBits(12)
+	if err != nil {
+		return 0, err
+	}
+	return int32(15)<<uint(suffixLength) + int32(s), nil
+}
+
+// DecodeResidual reads one 4x4 residual block from r and returns it with
+// the number of bits consumed.
+func DecodeResidual(r *BitReader) (Block4, int, error) {
+	startBits := r.BitsRead()
+	totalCoeff, trailingOnes, err := readCoeffToken(r)
+	if err != nil {
+		return Block4{}, 0, err
+	}
+	if totalCoeff == 0 {
+		return Block4{}, r.BitsRead() - startBits, nil
+	}
+	levels := make([]int32, totalCoeff) // reverse scan order
+	for i := 0; i < trailingOnes; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return Block4{}, 0, err
+		}
+		if b == 1 {
+			levels[i] = -1
+		} else {
+			levels[i] = 1
+		}
+	}
+	suffixLength := 0
+	if totalCoeff > 10 && trailingOnes < 3 {
+		suffixLength = 1
+	}
+	for i := trailingOnes; i < totalCoeff; i++ {
+		code, err := readLevel(r, suffixLength)
+		if err != nil {
+			return Block4{}, 0, err
+		}
+		level := codeToLevel(code, i == trailingOnes && trailingOnes < 3)
+		levels[i] = level
+		if suffixLength == 0 {
+			suffixLength = 1
+		}
+		abs := level
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > (3<<(suffixLength-1)) && suffixLength < 6 {
+			suffixLength++
+		}
+	}
+	tz, err := r.ReadUE()
+	if err != nil {
+		return Block4{}, 0, err
+	}
+	totalZeros := int(tz)
+	if totalCoeff+totalZeros > 16 {
+		return Block4{}, 0, fmt.Errorf("%w: coeff+zeros %d exceeds block", ErrBitstream, totalCoeff+totalZeros)
+	}
+	runs := make([]int, totalCoeff)
+	zerosLeft := totalZeros
+	for i := 0; i < totalCoeff-1 && zerosLeft > 0; i++ {
+		rb, err := r.ReadUE()
+		if err != nil {
+			return Block4{}, 0, err
+		}
+		if int(rb) > zerosLeft {
+			return Block4{}, 0, fmt.Errorf("%w: run_before %d exceeds zeros left %d", ErrBitstream, rb, zerosLeft)
+		}
+		runs[i] = int(rb)
+		zerosLeft -= int(rb)
+	}
+	if totalCoeff > 0 {
+		runs[totalCoeff-1] = zerosLeft
+	}
+	// Rebuild the scan: place levels from the highest position downward.
+	var scan [16]int32
+	pos := totalCoeff + totalZeros - 1
+	for i := 0; i < totalCoeff; i++ {
+		if pos < 0 || pos > 15 {
+			return Block4{}, 0, fmt.Errorf("%w: scan position %d", ErrBitstream, pos)
+		}
+		scan[pos] = levels[i]
+		pos -= 1 + runs[i]
+	}
+	return FromZigZag(scan), r.BitsRead() - startBits, nil
+}
+
+// readCoeffToken decodes the nC<2 coeff_token by walking the code table.
+func readCoeffToken(r *BitReader) (totalCoeff, trailingOnes int, err error) {
+	var bits uint32
+	var length int
+	for length < 17 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, 0, err
+		}
+		bits = bits<<1 | uint32(b)
+		length++
+		for tc := 0; tc <= 16; tc++ {
+			for t1 := 0; t1 <= 3 && t1 <= tc; t1++ {
+				c := coeffTokenNC0[tc][t1]
+				if c.length == length && c.bits == bits {
+					return tc, t1, nil
+				}
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: unknown coeff_token", ErrBitstream)
+}

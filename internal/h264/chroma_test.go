@@ -1,0 +1,136 @@
+package h264
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChromaRoundTrip(t *testing.T) {
+	cfg := DefaultVideoConfig(8)
+	cfg.Width, cfg.Height = 64, 48
+	src, err := GenerateVideo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(EncoderConfig{
+		Width: 64, Height: 48, QP: 26, IntraPeriod: 4, BFrames: 1,
+		SearchWindow: 2, Chroma: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewDecoder().DecodeStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(src) {
+		t.Fatalf("%d frames", len(out))
+	}
+	// Luma quality unaffected by chroma coding; chroma reconstructed well.
+	luma, err := MeanPSNR(src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if luma < 30 {
+		t.Errorf("luma PSNR %.1f", luma)
+	}
+	var chromaSum float64
+	var n int
+	for i := range src {
+		p, err := ChromaPSNR(src[i], out[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(p, 1) {
+			continue
+		}
+		chromaSum += p
+		n++
+	}
+	if n > 0 && chromaSum/float64(n) < 30 {
+		t.Errorf("chroma PSNR %.1f", chromaSum/float64(n))
+	}
+	// Decoded chroma must not be flat gray (i.e. it was really coded).
+	var varSum float64
+	mean := 0.0
+	for _, v := range out[0].Cb {
+		mean += float64(v)
+	}
+	mean /= float64(len(out[0].Cb))
+	for _, v := range out[0].Cb {
+		varSum += (float64(v) - mean) * (float64(v) - mean)
+	}
+	if varSum/float64(len(out[0].Cb)) < 10 {
+		t.Error("decoded chroma is nearly flat; chroma path not exercised")
+	}
+}
+
+func TestChromaLumaOnlyStreamsUnaffected(t *testing.T) {
+	// Luma-only streams must decode exactly as before, leaving chroma at
+	// zero values.
+	cfg := DefaultVideoConfig(4)
+	cfg.Width, cfg.Height = 48, 48
+	src, err := GenerateVideo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(EncoderConfig{
+		Width: 48, Height: 48, QP: 28, IntraPeriod: 4, BFrames: 0, SearchWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewDecoder().DecodeStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out[0].Cb {
+		if v != 0 {
+			t.Fatal("luma-only stream produced chroma samples")
+		}
+	}
+}
+
+func TestChromaQPMapping(t *testing.T) {
+	if chromaQP(20) != 20 || chromaQP(30) != 30 {
+		t.Error("low QPs should map identically")
+	}
+	if chromaQP(40) >= 40 {
+		t.Error("high QPs should map lower for chroma")
+	}
+	if chromaQP(51) > 51 {
+		t.Error("chroma QP out of range")
+	}
+}
+
+func TestFrameChromaAccessors(t *testing.T) {
+	f, err := NewFrame(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CWidth() != 16 || f.CHeight() != 8 {
+		t.Fatalf("chroma dims %dx%d", f.CWidth(), f.CHeight())
+	}
+	f.SetC(0, 3, 2, 99)
+	f.SetC(1, 3, 2, 201)
+	if f.CAt(0, 3, 2) != 99 || f.CAt(1, 3, 2) != 201 {
+		t.Error("chroma get/set broken")
+	}
+	// Clamping.
+	if f.CAt(0, -5, -5) != f.CAt(0, 0, 0) {
+		t.Error("negative coordinates should clamp")
+	}
+	f.SetC(0, 100, 100, 1) // ignored
+	f.FillChroma(128, 64)
+	if f.CAt(0, 0, 0) != 128 || f.CAt(1, 5, 5) != 64 {
+		t.Error("FillChroma wrong")
+	}
+}

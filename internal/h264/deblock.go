@@ -1,0 +1,260 @@
+package h264
+
+// Deblocking filter (in-loop filter of §8.7, modeled at 4x4-edge
+// granularity on luma). Boundary strength follows the spec's decision
+// ladder; the edge filter is the normal-filter (bS < 4) form plus the
+// strong filter for bS == 4, with the spec's alpha/beta threshold tables.
+
+// alphaTable and betaTable index by clamped indexA/indexB (= QP here,
+// offsets zero), per ITU-T H.264 table 8-16.
+var alphaTable = [52]int32{
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	4, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 17, 20, 22, 25, 28,
+	32, 36, 40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144,
+	162, 182, 203, 226, 255, 255,
+}
+
+var betaTable = [52]int32{
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8, 8,
+	9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15,
+	16, 16, 17, 17, 18, 18,
+}
+
+// tc0Table indexes [bS-1][indexA], per table 8-17 (luma).
+var tc0Table = [3][52]int32{
+	{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+		1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 6, 6, 7, 8,
+		9, 10, 11, 13},
+	{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+		1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 5, 6, 6, 7, 8, 9,
+		10, 11, 13, 14},
+	{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2,
+		2, 3, 3, 3, 4, 4, 4, 5, 6, 6, 7, 8, 9, 10, 11, 13,
+		14, 16, 18, 20},
+}
+
+// mbInfo is per-macroblock decode state the filter consults.
+type mbInfo struct {
+	intra bool
+	coded bool // any nonzero residual
+	mv    MV
+}
+
+// BoundaryStrength returns the spec's bS for an edge between blocks in
+// macroblocks p and q (p left/above). mbEdge marks a macroblock boundary.
+func BoundaryStrength(p, q mbInfo, mbEdge bool) int {
+	switch {
+	case (p.intra || q.intra) && mbEdge:
+		return 4
+	case p.intra || q.intra:
+		return 3
+	case p.coded || q.coded:
+		return 2
+	case abs(p.mv.X-q.mv.X) >= 1 || abs(p.mv.Y-q.mv.Y) >= 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// filterStats counts deblocking activity for the power model.
+type filterStats struct {
+	edgesConsidered int // every 4-sample edge segment: bS computation
+	edgesExamined   int // segments with bS > 0: threshold evaluation
+	edgesFiltered   int // segments that passed thresholds and were filtered
+	samplesTouch    int // samples written
+}
+
+// filterEdgeLuma filters one 4-sample luma edge. For vertical edges the
+// samples run horizontally across the boundary at (x, y+i); for horizontal
+// edges vertically. bS > 0 and thresholds decide whether filtering occurs.
+func filterEdgeLuma(f *Frame, x, y int, vertical bool, bS, qp int, st *filterStats) {
+	if bS <= 0 {
+		return
+	}
+	alpha := alphaTable[clampQP(qp)]
+	beta := betaTable[clampQP(qp)]
+	for i := 0; i < 4; i++ {
+		var p [4]int32
+		var q [4]int32
+		get := func(side, depth int) int32 {
+			// side -1 = p samples, +1 = q samples
+			off := depth
+			if vertical {
+				if side < 0 {
+					return int32(f.YAt(x-1-off, y+i))
+				}
+				return int32(f.YAt(x+off, y+i))
+			}
+			if side < 0 {
+				return int32(f.YAt(x+i, y-1-off))
+			}
+			return int32(f.YAt(x+i, y+off))
+		}
+		set := func(side, depth int, v int32) {
+			if vertical {
+				if side < 0 {
+					f.SetY(x-1-depth, y+i, clampU8(v))
+				} else {
+					f.SetY(x+depth, y+i, clampU8(v))
+				}
+			} else {
+				if side < 0 {
+					f.SetY(x+i, y-1-depth, clampU8(v))
+				} else {
+					f.SetY(x+i, y+depth, clampU8(v))
+				}
+			}
+		}
+		for d := 0; d < 4; d++ {
+			p[d] = get(-1, d)
+			q[d] = get(1, d)
+		}
+		st.edgesExamined++
+		if absI32(p[0]-q[0]) >= alpha || absI32(p[1]-p[0]) >= beta || absI32(q[1]-q[0]) >= beta {
+			continue
+		}
+		st.edgesFiltered++
+		if bS < 4 {
+			tc0 := tc0Table[bS-1][clampQP(qp)]
+			tc := tc0
+			apFlag := absI32(p[2]-p[0]) < beta
+			aqFlag := absI32(q[2]-q[0]) < beta
+			if apFlag {
+				tc++
+			}
+			if aqFlag {
+				tc++
+			}
+			delta := clip3(-tc, tc, ((q[0]-p[0])<<2+(p[1]-q[1])+4)>>3)
+			set(-1, 0, p[0]+delta)
+			set(1, 0, q[0]-delta)
+			st.samplesTouch += 2
+			if apFlag {
+				dp := clip3(-tc0, tc0, (p[2]+((p[0]+q[0]+1)>>1)-(p[1]<<1))>>1)
+				set(-1, 1, p[1]+dp)
+				st.samplesTouch++
+			}
+			if aqFlag {
+				dq := clip3(-tc0, tc0, (q[2]+((p[0]+q[0]+1)>>1)-(q[1]<<1))>>1)
+				set(1, 1, q[1]+dq)
+				st.samplesTouch++
+			}
+		} else {
+			// Strong filter (bS == 4).
+			if absI32(p[0]-q[0]) < (alpha>>2)+2 {
+				if absI32(p[2]-p[0]) < beta {
+					set(-1, 0, (p[2]+2*p[1]+2*p[0]+2*q[0]+q[1]+4)>>3)
+					set(-1, 1, (p[2]+p[1]+p[0]+q[0]+2)>>2)
+					set(-1, 2, (2*p[3]+3*p[2]+p[1]+p[0]+q[0]+4)>>3)
+					st.samplesTouch += 3
+				} else {
+					set(-1, 0, (2*p[1]+p[0]+q[1]+2)>>2)
+					st.samplesTouch++
+				}
+				if absI32(q[2]-q[0]) < beta {
+					set(1, 0, (q[2]+2*q[1]+2*q[0]+2*p[0]+p[1]+4)>>3)
+					set(1, 1, (q[2]+q[1]+q[0]+p[0]+2)>>2)
+					set(1, 2, (2*q[3]+3*q[2]+q[1]+q[0]+p[0]+4)>>3)
+					st.samplesTouch += 3
+				} else {
+					set(1, 0, (2*q[1]+q[0]+p[1]+2)>>2)
+					st.samplesTouch++
+				}
+			} else {
+				set(-1, 0, (2*p[1]+p[0]+q[1]+2)>>2)
+				set(1, 0, (2*q[1]+q[0]+p[1]+2)>>2)
+				st.samplesTouch += 2
+			}
+		}
+	}
+}
+
+func absI32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clip3(lo, hi, v int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampQP(qp int) int {
+	if qp < 0 {
+		return 0
+	}
+	if qp > 51 {
+		return 51
+	}
+	return qp
+}
+
+// DeblockFrame runs the in-loop filter over a reconstructed frame using
+// per-macroblock decode info (row-major, MBWidth x MBHeight). It returns
+// filter activity statistics for the power model.
+func DeblockFrame(f *Frame, mbs []mbInfo, qp int) filterStats {
+	var st filterStats
+	mbw, mbh := f.MBWidth(), f.MBHeight()
+	if len(mbs) != mbw*mbh {
+		return st
+	}
+	// Vertical edges then horizontal edges, per spec order; edges every 4
+	// samples, macroblock-boundary edges get mbEdge treatment.
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			cur := mbs[my*mbw+mx]
+			for ex := 0; ex < 16; ex += 4 {
+				x := mx*16 + ex
+				if x == 0 {
+					continue
+				}
+				nb := cur
+				mbEdge := ex == 0
+				if mbEdge {
+					nb = mbs[my*mbw+mx-1]
+				}
+				bS := BoundaryStrength(nb, cur, mbEdge)
+				for ey := 0; ey < 16; ey += 4 {
+					st.edgesConsidered++
+					filterEdgeLuma(f, x, my*16+ey, true, bS, qp, &st)
+				}
+			}
+			for ey := 0; ey < 16; ey += 4 {
+				y := my*16 + ey
+				if y == 0 {
+					continue
+				}
+				nb := cur
+				mbEdge := ey == 0
+				if mbEdge {
+					nb = mbs[(my-1)*mbw+mx]
+				}
+				bS := BoundaryStrength(nb, cur, mbEdge)
+				for ex := 0; ex < 16; ex += 4 {
+					st.edgesConsidered++
+					filterEdgeLuma(f, mx*16+ex, y, false, bS, qp, &st)
+				}
+			}
+		}
+	}
+	return st
+}

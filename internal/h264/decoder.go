@@ -1,0 +1,334 @@
+package h264
+
+import (
+	"fmt"
+)
+
+// Activity is the decoder's per-run activity accounting; the power model
+// converts it to energy.
+type Activity struct {
+	HeaderBits   int // slice/MB syntax bits parsed
+	ResidualBits int // CAVLC residual bits parsed
+	BlocksIQIT   int // 4x4 blocks through inverse quant + transform
+	IntraBlocks  int // 4x4 intra predictions
+	InterBlocks  int // 4x4 motion-compensated predictions
+	SkipMBs      int
+	CodedMBs     int
+	DF           filterStats
+	BufferBytes  int // bytes moved through pre-store + circular buffers
+	FramesOut    int
+	Concealed    int // frames repeated due to deleted/missing NAL units
+}
+
+// Add accumulates another activity record.
+func (a *Activity) Add(b Activity) {
+	a.HeaderBits += b.HeaderBits
+	a.ResidualBits += b.ResidualBits
+	a.BlocksIQIT += b.BlocksIQIT
+	a.IntraBlocks += b.IntraBlocks
+	a.InterBlocks += b.InterBlocks
+	a.SkipMBs += b.SkipMBs
+	a.CodedMBs += b.CodedMBs
+	a.DF.edgesConsidered += b.DF.edgesConsidered
+	a.DF.edgesExamined += b.DF.edgesExamined
+	a.DF.edgesFiltered += b.DF.edgesFiltered
+	a.DF.samplesTouch += b.DF.samplesTouch
+	a.BufferBytes += b.BufferBytes
+	a.FramesOut += b.FramesOut
+	a.Concealed += b.Concealed
+}
+
+// Decoder decodes the model's annex-B streams. DeblockEnabled is the
+// affect-driven Deblocking Filter knob: when false the in-loop filter is
+// skipped, saving its energy at the cost of blocking artifacts (and slight
+// reference drift, since conforming encoders filter their references).
+type Decoder struct {
+	DeblockEnabled bool
+
+	width, height int
+	qp            int
+	chroma        bool
+	haveSPS       bool
+	havePPS       bool
+
+	lastRef  *Frame
+	lastOut  *Frame
+	nextNum  int
+	activity Activity
+}
+
+// maxConcealGap bounds how many consecutive missing frame numbers the
+// decoder will conceal; larger jumps indicate a corrupted header rather
+// than deleted NAL units.
+const maxConcealGap = 512
+
+// NewDecoder returns a decoder with the deblocking filter enabled.
+func NewDecoder() *Decoder { return &Decoder{DeblockEnabled: true} }
+
+// Activity returns the accumulated decode activity.
+func (d *Decoder) Activity() Activity { return d.activity }
+
+// DecodeStream splits an annex-B stream and decodes every NAL unit,
+// returning output frames in display order. Gaps in frame numbering
+// (deleted NAL units) are concealed by repeating the previous output.
+func (d *Decoder) DecodeStream(stream []byte) ([]*Frame, error) {
+	units, err := SplitStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	return d.DecodeUnits(units)
+}
+
+// DecodeUnits decodes a sequence of NAL units.
+func (d *Decoder) DecodeUnits(units []NAL) ([]*Frame, error) {
+	var out []*Frame
+	for _, u := range units {
+		frames, err := d.DecodeNAL(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frames...)
+	}
+	return out, nil
+}
+
+// DecodeNAL decodes one NAL unit. Slice units yield one or more frames
+// (more than one when concealment fills a numbering gap).
+func (d *Decoder) DecodeNAL(u NAL) ([]*Frame, error) {
+	switch u.Type {
+	case NALSPS:
+		r := NewBitReader(u.Payload)
+		mbw, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		mbh, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		if mbw >= 1024 || mbh >= 1024 {
+			return nil, fmt.Errorf("%w: SPS dimensions %dx%d MBs unreasonable", ErrBitstream, mbw+1, mbh+1)
+		}
+		chromaBit, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		d.chroma = chromaBit == 1
+		d.width, d.height = (int(mbw)+1)*16, (int(mbh)+1)*16
+		d.haveSPS = true
+		d.activity.HeaderBits += r.BitsRead()
+		return nil, nil
+	case NALPPS:
+		r := NewBitReader(u.Payload)
+		qp, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		if !ValidQP(int(qp)) {
+			return nil, fmt.Errorf("%w: PPS QP %d", ErrBitstream, qp)
+		}
+		d.qp = int(qp)
+		d.havePPS = true
+		d.activity.HeaderBits += r.BitsRead()
+		return nil, nil
+	case NALSliceIDR, NALSliceNonIDR:
+		if !d.haveSPS || !d.havePPS {
+			return nil, fmt.Errorf("%w: slice before SPS/PPS", ErrBitstream)
+		}
+		return d.decodeSlice(u)
+	default:
+		return nil, fmt.Errorf("h264: unsupported NAL type %v", u.Type)
+	}
+}
+
+// decodeSlice decodes one coded picture.
+func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
+	r := NewBitReader(u.Payload)
+	stVal, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	st := SliceType(stVal)
+	if st != SliceI && st != SliceP && st != SliceB {
+		return nil, fmt.Errorf("%w: slice type %d", ErrBitstream, stVal)
+	}
+	numVal, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	frameNum := int(numVal)
+	if gap := frameNum - d.nextNum; gap > maxConcealGap {
+		return nil, fmt.Errorf("%w: frame number jumps by %d", ErrBitstream, gap)
+	}
+	d.activity.HeaderBits += r.BitsRead()
+
+	// Concealment: repeat the previous output for any skipped numbers.
+	var out []*Frame
+	for d.nextNum < frameNum {
+		if d.lastOut != nil {
+			out = append(out, d.lastOut.Clone())
+			d.activity.Concealed++
+			d.activity.FramesOut++
+		}
+		d.nextNum++
+	}
+	if st != SliceI && d.lastRef == nil {
+		return nil, fmt.Errorf("%w: inter slice %d without reference", ErrBitstream, frameNum)
+	}
+
+	recon, err := NewFrame(d.width, d.height)
+	if err != nil {
+		return nil, err
+	}
+	mbw, mbh := recon.MBWidth(), recon.MBHeight()
+	mbs := make([]mbInfo, mbw*mbh)
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			info := &mbs[my*mbw+mx]
+			if st == SliceI {
+				if err := d.decodeIntraMB(r, recon, mx, my, info); err != nil {
+					return nil, fmt.Errorf("frame %d MB (%d,%d): %w", frameNum, mx, my, err)
+				}
+			} else {
+				if err := d.decodeInterMB(r, recon, mx, my, info); err != nil {
+					return nil, fmt.Errorf("frame %d MB (%d,%d): %w", frameNum, mx, my, err)
+				}
+			}
+		}
+	}
+	if d.DeblockEnabled {
+		st := DeblockFrame(recon, mbs, d.qp)
+		d.activity.DF.edgesConsidered += st.edgesConsidered
+		d.activity.DF.edgesExamined += st.edgesExamined
+		d.activity.DF.edgesFiltered += st.edgesFiltered
+		d.activity.DF.samplesTouch += st.samplesTouch
+	}
+	if st != SliceB {
+		d.lastRef = recon
+	}
+	d.lastOut = recon
+	d.nextNum = frameNum + 1
+	d.activity.FramesOut++
+	out = append(out, recon)
+	return out, nil
+}
+
+// ConcealTo emits repeated copies of the last output until frame numbers
+// 0..n-1 are all covered, concealing trailing deleted NAL units. It
+// returns the concealment frames (possibly none).
+func (d *Decoder) ConcealTo(n int) []*Frame {
+	var out []*Frame
+	for d.nextNum < n && d.lastOut != nil {
+		out = append(out, d.lastOut.Clone())
+		d.activity.Concealed++
+		d.activity.FramesOut++
+		d.nextNum++
+	}
+	return out
+}
+
+// decodeIntraMB mirrors Encoder.encodeIntraMB.
+func (d *Decoder) decodeIntraMB(r *BitReader, recon *Frame, mx, my int, info *mbInfo) error {
+	info.intra = true
+	for by := 0; by < 16; by += 4 {
+		for bx := 0; bx < 16; bx += 4 {
+			x, y := mx*16+bx, my*16+by
+			before := r.BitsRead()
+			modeVal, err := r.ReadUE()
+			if err != nil {
+				return err
+			}
+			d.activity.HeaderBits += r.BitsRead() - before
+			pred, err := PredictIntra4(recon, x, y, IntraMode(modeVal))
+			if err != nil {
+				return err
+			}
+			d.activity.IntraBlocks++
+			z, bits, err := DecodeResidual(r)
+			if err != nil {
+				return err
+			}
+			d.activity.ResidualBits += bits
+			if z.NonZeroCount() > 0 {
+				info.coded = true
+			}
+			res, err := IQIT(z, d.qp)
+			if err != nil {
+				return err
+			}
+			d.activity.BlocksIQIT++
+			reconstructBlock(recon, x, y, pred, res)
+		}
+	}
+	if d.chroma {
+		if err := d.decodeChromaMB(r, recon, mx, my, true, MV{}); err != nil {
+			return err
+		}
+	}
+	d.activity.CodedMBs++
+	return nil
+}
+
+// decodeInterMB mirrors Encoder.encodeInterMB.
+func (d *Decoder) decodeInterMB(r *BitReader, recon *Frame, mx, my int, info *mbInfo) error {
+	before := r.BitsRead()
+	skip, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if skip == 1 {
+		d.activity.HeaderBits += r.BitsRead() - before
+		d.activity.SkipMBs++
+		for by := 0; by < 16; by += 4 {
+			for bx := 0; bx < 16; bx += 4 {
+				x, y := mx*16+bx, my*16+by
+				pred := PredictInter4(d.lastRef, x, y, MV{})
+				d.activity.InterBlocks++
+				reconstructBlock(recon, x, y, pred, Block4{})
+			}
+		}
+		if d.chroma {
+			copyChromaMB(recon, d.lastRef, mx, my)
+		}
+		return nil
+	}
+	mvx, err := r.ReadSE()
+	if err != nil {
+		return err
+	}
+	mvy, err := r.ReadSE()
+	if err != nil {
+		return err
+	}
+	d.activity.HeaderBits += r.BitsRead() - before
+	mv := MV{int(mvx), int(mvy)}
+	info.mv = mv
+	for by := 0; by < 16; by += 4 {
+		for bx := 0; bx < 16; bx += 4 {
+			x, y := mx*16+bx, my*16+by
+			pred := PredictInter4(d.lastRef, x, y, mv)
+			d.activity.InterBlocks++
+			z, bits, err := DecodeResidual(r)
+			if err != nil {
+				return err
+			}
+			d.activity.ResidualBits += bits
+			if z.NonZeroCount() > 0 {
+				info.coded = true
+			}
+			res, err := IQIT(z, d.qp)
+			if err != nil {
+				return err
+			}
+			d.activity.BlocksIQIT++
+			reconstructBlock(recon, x, y, pred, res)
+		}
+	}
+	if d.chroma {
+		if err := d.decodeChromaMB(r, recon, mx, my, false, mv); err != nil {
+			return err
+		}
+	}
+	d.activity.CodedMBs++
+	return nil
+}

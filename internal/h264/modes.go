@@ -1,0 +1,289 @@
+package h264
+
+import (
+	"fmt"
+)
+
+// SelectorConfig is the Input Selector's deletion policy: a NAL unit
+// carrying a P or B slice whose on-wire size is at most Sth bytes is a
+// deletion candidate; every f-th candidate is deleted (f=1 deletes all).
+// Sth <= 0 or f <= 0 disables deletion. IDR slices and parameter sets are
+// never deleted.
+type SelectorConfig struct {
+	Sth int
+	F   int
+	// ProtectReferences, when set, restricts deletion to non-reference
+	// units (nal_ref_idc == 0), i.e. B slices in this model. The paper
+	// deletes "P-frames and B-frames"; protecting references is the
+	// conservative variant used for the quality ablation.
+	ProtectReferences bool
+}
+
+// Enabled reports whether the selector deletes anything.
+func (c SelectorConfig) Enabled() bool { return c.Sth > 0 && c.F > 0 }
+
+// DecoderMode is one of the paper's four operating points (Fig 6 middle).
+type DecoderMode int
+
+// Decoder operating modes.
+const (
+	// ModeStandard processes every NAL unit with the deblocking filter on.
+	ModeStandard DecoderMode = iota
+	// ModeDeletion drops small P/B NAL units (S_th = 140, f = 1), DF on.
+	ModeDeletion
+	// ModeDFOff processes every NAL unit with the deblocking filter off.
+	ModeDFOff
+	// ModeCombined applies both deletion and DF deactivation.
+	ModeCombined
+	numModes
+)
+
+// NumModes is the number of decoder operating modes.
+const NumModes = int(numModes)
+
+// String returns the mode name as used in Fig 6.
+func (m DecoderMode) String() string {
+	switch m {
+	case ModeStandard:
+		return "standard"
+	case ModeDeletion:
+		return "deletion"
+	case ModeDFOff:
+		return "df-off"
+	case ModeCombined:
+		return "combined"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// PaperSth and PaperF are the deletion parameters used throughout the
+// paper's evaluation ("S_th=140 and f=1").
+const (
+	PaperSth = 140
+	PaperF   = 1
+)
+
+// Selector returns the Input Selector configuration of the mode.
+func (m DecoderMode) Selector() SelectorConfig {
+	if m == ModeDeletion || m == ModeCombined {
+		return SelectorConfig{Sth: PaperSth, F: PaperF}
+	}
+	return SelectorConfig{}
+}
+
+// DeblockEnabled reports whether the mode runs the deblocking filter.
+func (m DecoderMode) DeblockEnabled() bool {
+	return m == ModeStandard || m == ModeDeletion
+}
+
+// Modes lists all four operating modes in Fig 6 order.
+func Modes() []DecoderMode {
+	return []DecoderMode{ModeStandard, ModeDFOff, ModeDeletion, ModeCombined}
+}
+
+// SelectorStats reports what the Input Selector did to a stream.
+type SelectorStats struct {
+	UnitsIn      int
+	UnitsDeleted int
+	BytesIn      int
+	BytesDeleted int
+	Candidates   int
+}
+
+// ApplySelector runs the Input Selector over a unit sequence, returning
+// the surviving units and deletion statistics.
+func ApplySelector(units []NAL, cfg SelectorConfig) ([]NAL, SelectorStats) {
+	var st SelectorStats
+	out := make([]NAL, 0, len(units))
+	candidate := 0
+	for _, u := range units {
+		size := u.SizeBytes()
+		st.UnitsIn++
+		st.BytesIn += size
+		eligible := cfg.Enabled() &&
+			u.Type == NALSliceNonIDR &&
+			size <= cfg.Sth &&
+			(!cfg.ProtectReferences || u.RefIDC == 0)
+		if eligible {
+			candidate++
+			st.Candidates++
+			if candidate%cfg.F == 0 {
+				st.UnitsDeleted++
+				st.BytesDeleted += size
+				continue
+			}
+		}
+		out = append(out, u)
+	}
+	return out, st
+}
+
+// PipelineResult is the outcome of decoding a stream through the full
+// affect-adaptive front end in a given mode.
+type PipelineResult struct {
+	Mode     DecoderMode
+	Frames   []*Frame
+	Activity Activity
+	Selector SelectorStats
+	// Buffer traffic of the front end.
+	PreStoreIn, PreStoreOut int
+	CircularIn, CircularOut int
+	PreStoreRewinds, Stalls int
+}
+
+// DecodePipeline feeds an annex-B stream through Input Selector ->
+// Pre-store Buffer -> Circular Buffer -> decoder in the given mode.
+//
+// The byte-exact data path is modeled explicitly: every surviving byte is
+// written to the pre-store buffer (deleted NAL units are written and then
+// rewound, matching the hardware's write-address rollback), drained in
+// 128-bit words into the circular buffer under the handshake, and read out
+// by the parser. The reassembled stream is then decoded.
+func DecodePipeline(stream []byte, mode DecoderMode) (*PipelineResult, error) {
+	units, err := SplitStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	sel := mode.Selector()
+
+	ps := NewPreStoreBuffer()
+	cb := NewCircularBuffer(64 * WordBytes)
+	var parsed []byte
+	drainAll := func(flush bool) {
+		for {
+			ps.Drain(cb, flush)
+			if cb.Len() == 0 {
+				return
+			}
+			parsed = append(parsed, cb.Read(cb.Len())...)
+			if ps.Len() == 0 {
+				return
+			}
+		}
+	}
+
+	var st SelectorStats
+	candidate := 0
+	for _, u := range units {
+		raw, err := MarshalNAL(u)
+		if err != nil {
+			return nil, err
+		}
+		st.UnitsIn++
+		st.BytesIn += u.SizeBytes()
+		eligible := sel.Enabled() &&
+			u.Type == NALSliceNonIDR &&
+			u.SizeBytes() <= sel.Sth &&
+			(!sel.ProtectReferences || u.RefIDC == 0)
+		del := false
+		if eligible {
+			candidate++
+			st.Candidates++
+			if candidate%sel.F == 0 {
+				del = true
+			}
+		}
+		if del {
+			// The selector writes the unit and then steps the write
+			// address back over it, so its bytes never reach the
+			// circular buffer. Chunked by free space; any draining here
+			// only moves *previous* units' bytes (deleted bytes are
+			// rewound immediately after each chunk).
+			st.UnitsDeleted++
+			st.BytesDeleted += u.SizeBytes()
+			for off := 0; off < len(raw); {
+				n := ps.Free()
+				if n == 0 {
+					drainAll(false)
+					continue
+				}
+				if n > len(raw)-off {
+					n = len(raw) - off
+				}
+				if !ps.Write(raw[off : off+n]) {
+					return nil, fmt.Errorf("h264: prestore write of %d bytes failed with %d free", n, ps.Free())
+				}
+				if err := ps.Rewind(n); err != nil {
+					return nil, err
+				}
+				off += n
+			}
+			continue
+		}
+		// Write the surviving unit through the pre-store buffer in
+		// word-sized chunks, draining into the circular buffer (and on to
+		// the parser) as space demands.
+		written := 0
+		for written < len(raw) {
+			n := WordBytes
+			if written+n > len(raw) {
+				n = len(raw) - written
+			}
+			for !ps.Write(raw[written : written+n]) {
+				drainAll(false)
+			}
+			written += n
+		}
+
+	}
+	drainAll(true)
+
+	dec := NewDecoder()
+	dec.DeblockEnabled = mode.DeblockEnabled()
+	frames, err := dec.DecodeStream(parsed)
+	if err != nil {
+		return nil, err
+	}
+	// Conceal trailing deleted units: the display timeline covers every
+	// frame number present in the *original* stream.
+	if total := totalFrameCount(units); total > 0 {
+		frames = append(frames, dec.ConcealTo(total)...)
+	}
+	act := dec.Activity()
+	act.BufferBytes = ps.BytesIn + ps.BytesOut + cb.BytesIn + cb.BytesOut
+	return &PipelineResult{
+		Mode:            mode,
+		Frames:          frames,
+		Activity:        act,
+		Selector:        st,
+		PreStoreIn:      ps.BytesIn,
+		PreStoreOut:     ps.BytesOut,
+		CircularIn:      cb.BytesIn,
+		CircularOut:     cb.BytesOut,
+		PreStoreRewinds: ps.Rewinds,
+		Stalls:          cb.Stalls,
+	}, nil
+}
+
+// totalFrameCount returns max(frame_num)+1 over slice units, or 0 when the
+// stream has no parseable slices.
+func totalFrameCount(units []NAL) int {
+	total := 0
+	for _, u := range units {
+		if u.Type != NALSliceIDR && u.Type != NALSliceNonIDR {
+			continue
+		}
+		r := NewBitReader(u.Payload)
+		if _, err := r.ReadUE(); err != nil { // slice type
+			continue
+		}
+		num, err := r.ReadUE()
+		if err != nil {
+			continue
+		}
+		if int(num)+1 > total {
+			total = int(num) + 1
+		}
+	}
+	return total
+}
+
+// Area accounting (Fig 6): the conventional decoder normalized to 1.0 and
+// the pre-store buffer's contribution.
+const (
+	// BaseDecoderAreaMM2 is the paper's 65-nm decoder area.
+	BaseDecoderAreaMM2 = 1.9
+	// PreStoreAreaOverhead is the fractional area added by the pre-store
+	// buffer and selector logic (4.23% in the paper's layout).
+	PreStoreAreaOverhead = 0.0423
+)

@@ -1,0 +1,160 @@
+package h264
+
+import "fmt"
+
+// IntraMode is a luma 4x4 intra prediction mode. The model implements the
+// three most common spec modes.
+type IntraMode int
+
+// Intra 4x4 prediction modes (spec numbering).
+const (
+	IntraVertical   IntraMode = 0
+	IntraHorizontal IntraMode = 1
+	IntraDC         IntraMode = 2
+)
+
+// String returns the mode name.
+func (m IntraMode) String() string {
+	switch m {
+	case IntraVertical:
+		return "vertical"
+	case IntraHorizontal:
+		return "horizontal"
+	case IntraDC:
+		return "dc"
+	}
+	return fmt.Sprintf("intra(%d)", int(m))
+}
+
+// PredictIntra4 fills a 4x4 luma prediction for the block whose top-left
+// corner is (bx, by) in frame f, from already-reconstructed neighbors.
+// Unavailable neighbors (frame edge) fall back per spec: DC averages the
+// available sides or uses 128; directional modes replicate 128.
+func PredictIntra4(f *Frame, bx, by int, mode IntraMode) (Block4, error) {
+	var pred Block4
+	hasTop := by > 0
+	hasLeft := bx > 0
+	switch mode {
+	case IntraVertical:
+		for c := 0; c < 4; c++ {
+			var v uint8 = 128
+			if hasTop {
+				v = f.YAt(bx+c, by-1)
+			}
+			for r := 0; r < 4; r++ {
+				pred[r*4+c] = int32(v)
+			}
+		}
+	case IntraHorizontal:
+		for r := 0; r < 4; r++ {
+			var v uint8 = 128
+			if hasLeft {
+				v = f.YAt(bx-1, by+r)
+			}
+			for c := 0; c < 4; c++ {
+				pred[r*4+c] = int32(v)
+			}
+		}
+	case IntraDC:
+		var sum, n int32
+		if hasTop {
+			for c := 0; c < 4; c++ {
+				sum += int32(f.YAt(bx+c, by-1))
+			}
+			n += 4
+		}
+		if hasLeft {
+			for r := 0; r < 4; r++ {
+				sum += int32(f.YAt(bx-1, by+r))
+			}
+			n += 4
+		}
+		dc := int32(128)
+		if n > 0 {
+			dc = (sum + n/2) / n
+		}
+		for i := range pred {
+			pred[i] = dc
+		}
+	default:
+		return pred, fmt.Errorf("h264: unknown intra mode %d", int(mode))
+	}
+	return pred, nil
+}
+
+// MV is a full-pel motion vector.
+type MV struct{ X, Y int }
+
+// PredictInter4 fills a 4x4 luma prediction for block (bx, by) by motion
+// compensation from the reference frame at displacement mv (full-pel, with
+// edge extension).
+func PredictInter4(ref *Frame, bx, by int, mv MV) Block4 {
+	var pred Block4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			pred[r*4+c] = int32(ref.YAt(bx+c+mv.X, by+r+mv.Y))
+		}
+	}
+	return pred
+}
+
+// blockResidual returns original minus prediction for block (bx, by).
+func blockResidual(orig *Frame, bx, by int, pred Block4) Block4 {
+	var res Block4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			res[r*4+c] = int32(orig.YAt(bx+c, by+r)) - pred[r*4+c]
+		}
+	}
+	return res
+}
+
+// reconstructBlock writes clamp(pred + residual) into frame f at (bx, by).
+func reconstructBlock(f *Frame, bx, by int, pred, residual Block4) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			f.SetY(bx+c, by+r, clampU8(pred[r*4+c]+residual[r*4+c]))
+		}
+	}
+}
+
+// sadBlock returns the sum of absolute differences between the original
+// 4x4 block at (bx, by) and the reference block displaced by mv.
+func sadBlock(orig, ref *Frame, bx, by int, mv MV) int {
+	var sad int
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			d := int(orig.YAt(bx+c, by+r)) - int(ref.YAt(bx+c+mv.X, by+r+mv.Y))
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// searchMV finds the best full-pel motion vector for the 16x16 macroblock
+// at (mbx, mby) within +-window, by 16x16 SAD over the luma plane.
+func searchMV(orig, ref *Frame, mbx, mby, window int) MV {
+	best := MV{}
+	bestSAD := 1 << 30
+	for dy := -window; dy <= window; dy++ {
+		for dx := -window; dx <= window; dx++ {
+			var sad int
+			for r := 0; r < 16; r += 4 {
+				for c := 0; c < 16; c += 4 {
+					sad += sadBlock(orig, ref, mbx*16+c, mby*16+r, MV{dx, dy})
+				}
+				if sad >= bestSAD {
+					break
+				}
+			}
+			if sad < bestSAD {
+				bestSAD = sad
+				best = MV{dx, dy}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,166 @@
+package h264
+
+import (
+	"testing"
+)
+
+func gradientFrame(t *testing.T) *Frame {
+	t.Helper()
+	f, err := NewFrame(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			f.Y[y*32+x] = uint8(x*4 + y)
+		}
+	}
+	return f
+}
+
+func TestIntraVertical(t *testing.T) {
+	f := gradientFrame(t)
+	pred, err := PredictIntra4(f, 8, 8, IntraVertical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each column replicates the sample above the block: f(8+c, 7).
+	for c := 0; c < 4; c++ {
+		want := int32(f.YAt(8+c, 7))
+		for r := 0; r < 4; r++ {
+			if pred[r*4+c] != want {
+				t.Fatalf("vertical pred[%d][%d] = %d, want %d", r, c, pred[r*4+c], want)
+			}
+		}
+	}
+}
+
+func TestIntraHorizontal(t *testing.T) {
+	f := gradientFrame(t)
+	pred, err := PredictIntra4(f, 8, 8, IntraHorizontal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		want := int32(f.YAt(7, 8+r))
+		for c := 0; c < 4; c++ {
+			if pred[r*4+c] != want {
+				t.Fatalf("horizontal pred[%d][%d] = %d, want %d", r, c, pred[r*4+c], want)
+			}
+		}
+	}
+}
+
+func TestIntraDC(t *testing.T) {
+	f := gradientFrame(t)
+	pred, err := PredictIntra4(f, 8, 8, IntraDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	for c := 0; c < 4; c++ {
+		sum += int32(f.YAt(8+c, 7))
+	}
+	for r := 0; r < 4; r++ {
+		sum += int32(f.YAt(7, 8+r))
+	}
+	want := (sum + 4) / 8
+	for i := range pred {
+		if pred[i] != want {
+			t.Fatalf("DC pred[%d] = %d, want %d", i, pred[i], want)
+		}
+	}
+}
+
+func TestIntraEdgeFallbacks(t *testing.T) {
+	f := gradientFrame(t)
+	// Top-left corner: no neighbors at all -> 128 everywhere.
+	for _, mode := range []IntraMode{IntraVertical, IntraHorizontal, IntraDC} {
+		pred, err := PredictIntra4(f, 0, 0, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range pred {
+			if v != 128 {
+				t.Fatalf("%v corner pred[%d] = %d, want 128", mode, i, v)
+			}
+		}
+	}
+	// Top row: DC uses the left edge only.
+	pred, err := PredictIntra4(f, 8, 0, IntraDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	for r := 0; r < 4; r++ {
+		sum += int32(f.YAt(7, r))
+	}
+	want := (sum + 2) / 4
+	if pred[0] != want {
+		t.Errorf("top-row DC = %d, want %d", pred[0], want)
+	}
+	if _, err := PredictIntra4(f, 8, 8, IntraMode(7)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestMotionSearchRecoversTranslation(t *testing.T) {
+	// A frame translated by a known vector must be found by the search.
+	cfg := DefaultVideoConfig(1)
+	cfg.Width, cfg.Height = 64, 64
+	frames, err := GenerateVideo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := frames[0]
+	for _, want := range []MV{{2, 1}, {-3, 2}, {0, -2}} {
+		cur, err := NewFrame(64, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < 64; y++ {
+			for x := 0; x < 64; x++ {
+				cur.Y[y*64+x] = ref.YAt(x+want.X, y+want.Y)
+			}
+		}
+		// Search on an interior macroblock (away from edge extension).
+		got := searchMV(cur, ref, 1, 1, 4)
+		if got != want {
+			t.Errorf("searchMV found %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestPredictInterEdgeExtension(t *testing.T) {
+	f := gradientFrame(t)
+	// MV pointing far outside the frame must clamp, not crash.
+	pred := PredictInter4(f, 0, 0, MV{-100, -100})
+	for _, v := range pred {
+		if v != int32(f.YAt(0, 0)) {
+			t.Fatalf("edge extension wrong: %d", v)
+		}
+	}
+}
+
+func TestReconstructBlockClamps(t *testing.T) {
+	f, err := NewFrame(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, res Block4
+	for i := range pred {
+		pred[i] = 250
+		res[i] = 100 // sum 350 -> clamps to 255
+	}
+	reconstructBlock(f, 0, 0, pred, res)
+	if f.YAt(0, 0) != 255 {
+		t.Errorf("overflow not clamped: %d", f.YAt(0, 0))
+	}
+	for i := range res {
+		res[i] = -300 // sum -50 -> clamps to 0
+	}
+	reconstructBlock(f, 4, 4, pred, res)
+	if f.YAt(4, 4) != 0 {
+		t.Errorf("underflow not clamped: %d", f.YAt(4, 4))
+	}
+}

@@ -1,0 +1,66 @@
+package h264
+
+import "fmt"
+
+// RDPoint is one operating point of the rate-distortion sweep.
+type RDPoint struct {
+	QP         int
+	BitsPerSec float64 // at the given fps
+	PSNR       float64
+	Energy     float64 // standard-mode decode energy
+	SmallUnits int     // slice NAL units <= PaperSth (deletion candidates)
+}
+
+// RateDistortionSweep encodes src at each QP and decodes in standard mode,
+// returning rate, quality, decode energy, and how many units would be
+// deletion candidates at the paper's threshold. This characterizes how the
+// affect-adaptive knobs interact with the encoder operating point.
+func RateDistortionSweep(src []*Frame, base EncoderConfig, qps []int, model EnergyModel, fps float64) ([]RDPoint, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("h264: empty source for RD sweep")
+	}
+	if len(qps) == 0 {
+		return nil, fmt.Errorf("h264: no QPs to sweep")
+	}
+	if fps <= 0 {
+		return nil, fmt.Errorf("h264: fps %g must be positive", fps)
+	}
+	seconds := float64(len(src)) / fps
+	out := make([]RDPoint, 0, len(qps))
+	for _, qp := range qps {
+		cfg := base
+		cfg.QP = qp
+		enc, err := NewEncoder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		stream, units, err := enc.EncodeSequence(src)
+		if err != nil {
+			return nil, err
+		}
+		var small int
+		for _, u := range units {
+			if u.Type == NALSliceNonIDR && u.SizeBytes() <= PaperSth {
+				small++
+			}
+		}
+		dec := NewDecoder()
+		frames, err := dec.DecodeStream(stream)
+		if err != nil {
+			return nil, err
+		}
+		psnr, err := MeanPSNR(src, frames)
+		if err != nil {
+			return nil, err
+		}
+		energy := model.Charge(dec.Activity(), cfg.Width*cfg.Height).Total()
+		out = append(out, RDPoint{
+			QP:         qp,
+			BitsPerSec: float64(len(stream)) * 8 / seconds,
+			PSNR:       psnr,
+			Energy:     energy,
+			SmallUnits: small,
+		})
+	}
+	return out, nil
+}

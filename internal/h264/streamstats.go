@@ -1,0 +1,104 @@
+package h264
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StreamStats summarizes an annex-B stream's NAL-layer structure: the
+// population the Input Selector's S_th threshold operates over.
+type StreamStats struct {
+	Units      int
+	Bytes      int
+	IFrames    int
+	PFrames    int
+	BFrames    int
+	ParamSets  int
+	SliceSizes []int // bytes per slice unit, stream order
+	// DeletableAt maps a threshold to how many units f=1 would delete.
+	DeletableAt map[int]int
+}
+
+// AnalyzeStream parses a stream and computes its NAL statistics, probing
+// deletability at the given thresholds (defaults to 70/140/280 when nil).
+func AnalyzeStream(stream []byte, thresholds []int) (*StreamStats, error) {
+	units, err := SplitStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	if thresholds == nil {
+		thresholds = []int{70, PaperSth, 280}
+	}
+	st := &StreamStats{DeletableAt: map[int]int{}}
+	for _, u := range units {
+		size := u.SizeBytes()
+		st.Units++
+		st.Bytes += size
+		switch u.Type {
+		case NALSPS, NALPPS:
+			st.ParamSets++
+			continue
+		case NALSliceIDR:
+			st.IFrames++
+		case NALSliceNonIDR:
+			// Distinguish P from B via the slice header.
+			r := NewBitReader(u.Payload)
+			tv, err := r.ReadUE()
+			if err != nil {
+				return nil, fmt.Errorf("h264: slice header: %w", err)
+			}
+			switch SliceType(tv) {
+			case SliceP:
+				st.PFrames++
+			case SliceB:
+				st.BFrames++
+			default:
+				return nil, fmt.Errorf("%w: slice type %d in non-IDR unit", ErrBitstream, tv)
+			}
+		}
+		st.SliceSizes = append(st.SliceSizes, size)
+		for _, th := range thresholds {
+			if u.Type == NALSliceNonIDR && size <= th {
+				st.DeletableAt[th]++
+			}
+		}
+	}
+	return st, nil
+}
+
+// SizePercentile returns the p-th percentile of slice sizes.
+func (s *StreamStats) SizePercentile(p float64) int {
+	if len(s.SliceSizes) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(s.SliceSizes))
+	copy(sorted, s.SliceSizes)
+	sort.Ints(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the statistics report.
+func (s *StreamStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "units %d (%d I, %d P, %d B, %d param sets), %d bytes\n",
+		s.Units, s.IFrames, s.PFrames, s.BFrames, s.ParamSets, s.Bytes)
+	fmt.Fprintf(&b, "slice size p10/p50/p90: %d/%d/%d bytes\n",
+		s.SizePercentile(10), s.SizePercentile(50), s.SizePercentile(90))
+	ths := make([]int, 0, len(s.DeletableAt))
+	for th := range s.DeletableAt {
+		ths = append(ths, th)
+	}
+	sort.Ints(ths)
+	for _, th := range ths {
+		fmt.Fprintf(&b, "deletable at S_th=%d: %d units\n", th, s.DeletableAt[th])
+	}
+	return b.String()
+}

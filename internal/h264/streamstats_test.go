@@ -1,0 +1,65 @@
+package h264
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeStream(t *testing.T) {
+	src, err := GenerateVideo(CalibrationVideoConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(CalibrationEncoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := AnalyzeStream(stream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GOP 12 with 2 B frames over 24 frames: 2 I, 6 P, 16 B + SPS/PPS.
+	if st.IFrames != 2 {
+		t.Errorf("%d I frames, want 2", st.IFrames)
+	}
+	if st.PFrames != 6 {
+		t.Errorf("%d P frames, want 6", st.PFrames)
+	}
+	if st.BFrames != 16 {
+		t.Errorf("%d B frames, want 16", st.BFrames)
+	}
+	if st.ParamSets != 2 {
+		t.Errorf("%d param sets, want 2", st.ParamSets)
+	}
+	if st.Units != 26 {
+		t.Errorf("%d units, want 26", st.Units)
+	}
+	// Percentiles ordered, deletable counts monotone in threshold.
+	if !(st.SizePercentile(10) <= st.SizePercentile(50) &&
+		st.SizePercentile(50) <= st.SizePercentile(90)) {
+		t.Error("size percentiles not monotone")
+	}
+	if st.DeletableAt[70] > st.DeletableAt[PaperSth] ||
+		st.DeletableAt[PaperSth] > st.DeletableAt[280] {
+		t.Errorf("deletable counts not monotone: %v", st.DeletableAt)
+	}
+	out := st.String()
+	for _, want := range []string{"units 26", "S_th=140", "p10/p50/p90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeStreamErrors(t *testing.T) {
+	if _, err := AnalyzeStream([]byte{1, 2, 3}, nil); err == nil {
+		t.Error("garbage stream accepted")
+	}
+	if st, err := AnalyzeStream(nil, nil); err != nil || st.Units != 0 {
+		t.Error("empty stream should give empty stats")
+	}
+}

@@ -1,0 +1,106 @@
+package h264
+
+import "fmt"
+
+// Timing model: the paper's decoder is 65-nm silicon at 28 MHz / 1.2 V.
+// This file maps decode activity to cycle counts, checks real-time
+// feasibility at a given frame rate, and models the voltage/frequency
+// scaling headroom the affect-driven modes unlock (an extension beyond
+// the paper's clock-gating-style savings: when a mode needs fewer cycles
+// per frame, the clock — and with it the supply voltage — can drop).
+type CycleModel struct {
+	PerHeaderBit    float64
+	PerResidualBit  float64
+	PerIQITBlock    float64
+	PerPredBlock    float64
+	PerDFConsidered float64
+	PerDFSample     float64
+	PerBufferWord   float64
+}
+
+// DefaultCycleModel returns per-activity cycle costs representative of a
+// low-power ASIC pipeline (entropy decoding serial, transforms and
+// prediction pipelined 4x4 blocks).
+func DefaultCycleModel() CycleModel {
+	return CycleModel{
+		PerHeaderBit:    1,
+		PerResidualBit:  1, // CAVLC decodes about one bit per cycle
+		PerIQITBlock:    20,
+		PerPredBlock:    18,
+		PerDFConsidered: 6,
+		PerDFSample:     2,
+		PerBufferWord:   1,
+	}
+}
+
+// PaperClockHz and PaperSupplyVolts are the paper's operating point.
+const (
+	PaperClockHz     = 28e6
+	PaperSupplyVolts = 1.2
+)
+
+// Cycles converts an activity record to total decode cycles.
+func (m CycleModel) Cycles(a Activity) float64 {
+	return m.PerHeaderBit*float64(a.HeaderBits) +
+		m.PerResidualBit*float64(a.ResidualBits) +
+		m.PerIQITBlock*float64(a.BlocksIQIT) +
+		m.PerPredBlock*float64(a.IntraBlocks+a.InterBlocks) +
+		m.PerDFConsidered*float64(a.DF.edgesConsidered) +
+		m.PerDFSample*float64(a.DF.samplesTouch) +
+		m.PerBufferWord*float64(a.BufferBytes)/WordBytes
+}
+
+// TimingReport summarizes real-time feasibility of one decode run.
+type TimingReport struct {
+	Cycles         float64
+	CyclesPerFrame float64
+	// MinClockHz is the slowest clock that still meets the frame rate.
+	MinClockHz float64
+	// Utilization at the paper's 28 MHz clock (<= 1 means real-time).
+	Utilization float64
+	RealTime    bool
+}
+
+// Timing evaluates a decode run against a target frame rate at the
+// paper's clock.
+func (m CycleModel) Timing(a Activity, fps float64) (TimingReport, error) {
+	if fps <= 0 {
+		return TimingReport{}, fmt.Errorf("h264: fps %g must be positive", fps)
+	}
+	if a.FramesOut == 0 {
+		return TimingReport{}, fmt.Errorf("h264: no frames decoded")
+	}
+	cycles := m.Cycles(a)
+	perFrame := cycles / float64(a.FramesOut)
+	minClock := perFrame * fps
+	return TimingReport{
+		Cycles:         cycles,
+		CyclesPerFrame: perFrame,
+		MinClockHz:     minClock,
+		Utilization:    minClock / PaperClockHz,
+		RealTime:       minClock <= PaperClockHz,
+	}, nil
+}
+
+// DVFSEnergy models the additional saving from dynamic voltage/frequency
+// scaling: run each mode at its minimum real-time clock with supply
+// voltage scaled linearly from the paper's point (V = V0 * f/f0, floored
+// at half supply), dynamic energy per cycle proportional to V^2.
+// It returns the energy of the run relative to executing the same cycles
+// at the full 28 MHz / 1.2 V point.
+func (m CycleModel) DVFSEnergy(a Activity, fps float64) (relative float64, volts float64, err error) {
+	rep, err := m.Timing(a, fps)
+	if err != nil {
+		return 0, 0, err
+	}
+	f := rep.MinClockHz
+	if f > PaperClockHz {
+		f = PaperClockHz // cannot overclock; misses real time instead
+	}
+	v := PaperSupplyVolts * f / PaperClockHz
+	if vMin := PaperSupplyVolts / 2; v < vMin {
+		v = vMin
+	}
+	// Energy = cycles * C * V^2; relative to V0^2 at the same cycle count.
+	return (v * v) / (PaperSupplyVolts * PaperSupplyVolts), v, nil
+}

@@ -1,0 +1,96 @@
+package h264
+
+import (
+	"testing"
+)
+
+func decodeForTiming(t *testing.T, mode DecoderMode) Activity {
+	t.Helper()
+	src, err := GenerateVideo(CalibrationVideoConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(CalibrationEncoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecodePipeline(stream, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Activity
+}
+
+func TestTimingRealTimeAtPaperClock(t *testing.T) {
+	// QCIF at 24 fps must be comfortably real-time at 28 MHz — that is
+	// the design point of the paper's silicon.
+	act := decodeForTiming(t, ModeStandard)
+	model := DefaultCycleModel()
+	rep, err := model.Timing(act, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RealTime {
+		t.Errorf("standard mode not real-time: needs %.1f MHz", rep.MinClockHz/1e6)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Errorf("utilization %.2f out of range", rep.Utilization)
+	}
+	if rep.CyclesPerFrame <= 0 {
+		t.Error("no cycles accounted")
+	}
+}
+
+func TestTimingModesNeedFewerCycles(t *testing.T) {
+	model := DefaultCycleModel()
+	std := decodeForTiming(t, ModeStandard)
+	cmb := decodeForTiming(t, ModeCombined)
+	cStd := model.Cycles(std)
+	cCmb := model.Cycles(cmb)
+	if cCmb >= cStd {
+		t.Errorf("combined mode cycles %.0f not below standard %.0f", cCmb, cStd)
+	}
+}
+
+func TestDVFSExtension(t *testing.T) {
+	model := DefaultCycleModel()
+	std := decodeForTiming(t, ModeStandard)
+	cmb := decodeForTiming(t, ModeCombined)
+	relStd, vStd, err := model.DVFSEnergy(std, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCmb, vCmb, err := model.DVFSEnergy(cmb, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer cycles per frame -> lower clock -> lower voltage -> lower
+	// per-cycle energy: the affect modes gain extra headroom under DVFS.
+	if vCmb > vStd {
+		t.Errorf("combined-mode voltage %.2f above standard %.2f", vCmb, vStd)
+	}
+	if relCmb > relStd {
+		t.Errorf("combined-mode relative energy %.3f above standard %.3f", relCmb, relStd)
+	}
+	if relStd > 1 || relCmb <= 0 {
+		t.Errorf("relative energies out of range: %.3f, %.3f", relStd, relCmb)
+	}
+	// Voltage floor respected.
+	if vCmb < PaperSupplyVolts/2-1e-9 {
+		t.Errorf("voltage %.2f below floor", vCmb)
+	}
+}
+
+func TestTimingValidation(t *testing.T) {
+	model := DefaultCycleModel()
+	if _, err := model.Timing(Activity{}, 24); err == nil {
+		t.Error("no-frames activity accepted")
+	}
+	if _, err := model.Timing(Activity{FramesOut: 1}, 0); err == nil {
+		t.Error("zero fps accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package h264
+
+import "fmt"
+
+// Block4 is a 4x4 block of residual samples or coefficients, row-major.
+type Block4 [16]int32
+
+// ForwardTransform4 applies the H.264 4x4 forward integer transform
+// W = C * X * C^T with the core matrix
+//
+//	C = | 1  1  1  1 |
+//	    | 2  1 -1 -2 |
+//	    | 1 -1 -1  1 |
+//	    | 1 -2  2 -1 |
+func ForwardTransform4(x Block4) Block4 {
+	var tmp, out Block4
+	// rows: tmp = C * X  (apply butterfly to each column of X)
+	for c := 0; c < 4; c++ {
+		s0, s1, s2, s3 := x[c], x[4+c], x[8+c], x[12+c]
+		a := s0 + s3
+		b := s1 + s2
+		d := s1 - s2
+		e := s0 - s3
+		tmp[c] = a + b
+		tmp[4+c] = 2*e + d
+		tmp[8+c] = a - b
+		tmp[12+c] = e - 2*d
+	}
+	// cols: out = tmp * C^T (apply butterfly to each row of tmp)
+	for r := 0; r < 4; r++ {
+		s0, s1, s2, s3 := tmp[4*r], tmp[4*r+1], tmp[4*r+2], tmp[4*r+3]
+		a := s0 + s3
+		b := s1 + s2
+		d := s1 - s2
+		e := s0 - s3
+		out[4*r] = a + b
+		out[4*r+1] = 2*e + d
+		out[4*r+2] = a - b
+		out[4*r+3] = e - 2*d
+	}
+	return out
+}
+
+// InverseTransform4 applies the H.264 4x4 inverse integer transform with
+// the spec's final >>6 rounding, mapping scaled coefficients back to
+// residual samples.
+func InverseTransform4(w Block4) Block4 {
+	var tmp, out Block4
+	// rows of w
+	for r := 0; r < 4; r++ {
+		s0, s1, s2, s3 := w[4*r], w[4*r+1], w[4*r+2], w[4*r+3]
+		e0 := s0 + s2
+		e1 := s0 - s2
+		e2 := (s1 >> 1) - s3
+		e3 := s1 + (s3 >> 1)
+		tmp[4*r] = e0 + e3
+		tmp[4*r+1] = e1 + e2
+		tmp[4*r+2] = e1 - e2
+		tmp[4*r+3] = e0 - e3
+	}
+	// columns
+	for c := 0; c < 4; c++ {
+		s0, s1, s2, s3 := tmp[c], tmp[4+c], tmp[8+c], tmp[12+c]
+		e0 := s0 + s2
+		e1 := s0 - s2
+		e2 := (s1 >> 1) - s3
+		e3 := s1 + (s3 >> 1)
+		out[c] = (e0 + e3 + 32) >> 6
+		out[4+c] = (e1 + e2 + 32) >> 6
+		out[8+c] = (e1 - e2 + 32) >> 6
+		out[12+c] = (e0 - e3 + 32) >> 6
+	}
+	return out
+}
+
+// Quantization tables from the spec (per QP%6). Positions fall into three
+// classes by (i,j): class 0 at (0,0),(0,2),(2,0),(2,2); class 1 at
+// (1,1),(1,3),(3,1),(3,3); class 2 elsewhere.
+var quantMF = [6][3]int32{
+	{13107, 5243, 8066},
+	{11916, 4660, 7490},
+	{10082, 4194, 6554},
+	{9362, 3647, 5825},
+	{8192, 3355, 5243},
+	{7282, 2893, 4559},
+}
+
+var dequantV = [6][3]int32{
+	{10, 16, 13},
+	{11, 18, 14},
+	{13, 20, 16},
+	{14, 23, 18},
+	{16, 25, 20},
+	{18, 29, 23},
+}
+
+// posClass returns the MF/V class of coefficient position i (row-major).
+func posClass(i int) int {
+	r, c := i/4, i%4
+	evenR, evenC := r%2 == 0, c%2 == 0
+	switch {
+	case evenR && evenC:
+		return 0
+	case !evenR && !evenC:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ValidQP reports whether qp is a legal quantization parameter.
+func ValidQP(qp int) bool { return qp >= 0 && qp <= 51 }
+
+// Quantize maps transform coefficients to quantized levels at the given QP
+// using the spec's multiply-shift formulation:
+//
+//	Z = sign(W) * ((|W|*MF + f) >> qbits), qbits = 15 + QP/6
+func Quantize(w Block4, qp int) (Block4, error) {
+	if !ValidQP(qp) {
+		return Block4{}, fmt.Errorf("h264: QP %d out of range", qp)
+	}
+	qbits := uint(15 + qp/6)
+	f := int32(1) << (qbits - 3) // rounding offset 2^qbits/8 (intra convention ~/3, inter ~/6; /8 sits between)
+	var z Block4
+	for i, v := range w {
+		mf := quantMF[qp%6][posClass(i)]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		q := (v*mf + f) >> qbits
+		if neg {
+			q = -q
+		}
+		z[i] = q
+	}
+	return z, nil
+}
+
+// Dequantize rescales quantized levels back to transform coefficients:
+//
+//	W' = Z * V * 2^(QP/6)
+func Dequantize(z Block4, qp int) (Block4, error) {
+	if !ValidQP(qp) {
+		return Block4{}, fmt.Errorf("h264: QP %d out of range", qp)
+	}
+	shift := uint(qp / 6)
+	var w Block4
+	for i, v := range z {
+		w[i] = v * dequantV[qp%6][posClass(i)] << shift
+	}
+	return w, nil
+}
+
+// IQIT is the decoder's inverse-quantization + inverse-transform stage:
+// quantized levels to reconstructed residual.
+func IQIT(z Block4, qp int) (Block4, error) {
+	w, err := Dequantize(z, qp)
+	if err != nil {
+		return Block4{}, err
+	}
+	return InverseTransform4(w), nil
+}
+
+// TransformQuantize is the encoder's forward path: residual to quantized
+// levels.
+func TransformQuantize(x Block4, qp int) (Block4, error) {
+	return Quantize(ForwardTransform4(x), qp)
+}
+
+// NonZeroCount returns the number of nonzero coefficients in z.
+func (b Block4) NonZeroCount() int {
+	var n int
+	for _, v := range b {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// zigzag4 is the 4x4 zig-zag scan order.
+var zigzag4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}
+
+// ZigZag returns the block's coefficients in zig-zag scan order.
+func (b Block4) ZigZag() [16]int32 {
+	var out [16]int32
+	for i, pos := range zigzag4 {
+		out[i] = b[pos]
+	}
+	return out
+}
+
+// FromZigZag reconstructs a block from zig-zag-ordered coefficients.
+func FromZigZag(scan [16]int32) Block4 {
+	var b Block4
+	for i, pos := range zigzag4 {
+		b[pos] = scan[i]
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package h264
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformInverseProperty(t *testing.T) {
+	// Forward then (scaled) inverse must reproduce the input exactly:
+	// the spec pair satisfies IT(FT(x) scaled by the V/MF identity) == x.
+	// Here we check the pure transform pair with the built-in >>6: the
+	// inverse expects coefficients premultiplied per the dequant path, so
+	// we verify via the full quant route at QP where scaling is benign.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var x Block4
+		for i := range x {
+			x[i] = int32(rng.Intn(41) - 20) // small residuals
+		}
+		// QP 0: finest quantization; reconstruction error per sample is
+		// bounded by the quant step (1 level at QP 0 corresponds to ~1).
+		z, err := TransformQuantize(x, 0)
+		if err != nil {
+			return false
+		}
+		rec, err := IQIT(z, 0)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			d := x[i] - rec[i]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizationMonotoneLoss(t *testing.T) {
+	// Higher QP must not increase reconstruction fidelity.
+	rng := rand.New(rand.NewSource(3))
+	var x Block4
+	for i := range x {
+		x[i] = int32(rng.Intn(201) - 100)
+	}
+	sse := func(qp int) int64 {
+		z, err := TransformQuantize(x, qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := IQIT(z, qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s int64
+		for i := range x {
+			d := int64(x[i] - rec[i])
+			s += d * d
+		}
+		return s
+	}
+	low, high := sse(8), sse(40)
+	if low > high {
+		t.Errorf("QP 8 SSE %d > QP 40 SSE %d", low, high)
+	}
+	if high == 0 {
+		t.Error("QP 40 should not be lossless on large residuals")
+	}
+}
+
+func TestQuantizeZeroBlock(t *testing.T) {
+	z, err := TransformQuantize(Block4{}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NonZeroCount() != 0 {
+		t.Error("zero residual quantized to nonzero")
+	}
+	rec, err := IQIT(z, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rec {
+		if v != 0 {
+			t.Error("zero block reconstructed nonzero")
+		}
+	}
+}
+
+func TestQPValidation(t *testing.T) {
+	if _, err := Quantize(Block4{}, 52); err == nil {
+		t.Error("QP 52 accepted")
+	}
+	if _, err := Dequantize(Block4{}, -1); err == nil {
+		t.Error("QP -1 accepted")
+	}
+	if !ValidQP(0) || !ValidQP(51) || ValidQP(52) || ValidQP(-1) {
+		t.Error("ValidQP boundaries wrong")
+	}
+}
+
+func TestDCOnlyBlock(t *testing.T) {
+	// A flat residual maps to a DC-only coefficient block.
+	var x Block4
+	for i := range x {
+		x[i] = 10
+	}
+	w := ForwardTransform4(x)
+	if w[0] != 160 { // DC gain is 16 for the 4x4 core transform
+		t.Errorf("DC = %d, want 160", w[0])
+	}
+	for i := 1; i < 16; i++ {
+		if w[i] != 0 {
+			t.Errorf("AC[%d] = %d, want 0", i, w[i])
+		}
+	}
+}
+
+func TestZigZagRoundTrip(t *testing.T) {
+	var b Block4
+	for i := range b {
+		b[i] = int32(i)
+	}
+	if FromZigZag(b.ZigZag()) != b {
+		t.Error("zig-zag round trip failed")
+	}
+	// The scan must be a permutation of 0..15.
+	seen := map[int]bool{}
+	for _, p := range zigzag4 {
+		if p < 0 || p > 15 || seen[p] {
+			t.Fatalf("zigzag not a permutation: %v", zigzag4)
+		}
+		seen[p] = true
+	}
+	// First entries follow the spec order (0,0),(0,1),(1,0),(2,0)...
+	want := [6]int{0, 1, 4, 8, 5, 2}
+	for i, w := range want {
+		if zigzag4[i] != w {
+			t.Errorf("zigzag[%d] = %d, want %d", i, zigzag4[i], w)
+		}
+	}
+}
+
+func TestPosClass(t *testing.T) {
+	// Corner positions are class 0, odd-odd class 1, mixed class 2.
+	if posClass(0) != 0 || posClass(2) != 0 || posClass(8) != 0 || posClass(10) != 0 {
+		t.Error("even-even positions should be class 0")
+	}
+	if posClass(5) != 1 || posClass(7) != 1 || posClass(13) != 1 || posClass(15) != 1 {
+		t.Error("odd-odd positions should be class 1")
+	}
+	if posClass(1) != 2 || posClass(4) != 2 {
+		t.Error("mixed positions should be class 2")
+	}
+}
+
+// Property: CAVLC residual coding round-trips arbitrary quantized blocks.
+func TestCAVLCRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Block4
+		// Sparse blocks with a realistic level distribution plus
+		// occasional large outliers to exercise the escape codes.
+		nnz := rng.Intn(17)
+		for k := 0; k < nnz; k++ {
+			pos := rng.Intn(16)
+			switch rng.Intn(5) {
+			case 0:
+				b[pos] = int32(rng.Intn(4000) - 2000)
+			default:
+				b[pos] = int32(rng.Intn(13) - 6)
+			}
+		}
+		w := NewBitWriter()
+		EncodeResidual(w, b)
+		r := NewBitReader(w.Bytes(true))
+		got, _, err := DecodeResidual(r)
+		if err != nil {
+			return false
+		}
+		return got == b
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCAVLCEmptyBlockIsOneBit(t *testing.T) {
+	w := NewBitWriter()
+	bits := EncodeResidual(w, Block4{})
+	if bits != 1 {
+		t.Errorf("empty block costs %d bits, want 1 (coeff_token TC=0)", bits)
+	}
+}
+
+func TestCAVLCSequentialBlocks(t *testing.T) {
+	// Several blocks back to back must decode in order from one stream.
+	rng := rand.New(rand.NewSource(9))
+	blocks := make([]Block4, 20)
+	w := NewBitWriter()
+	for i := range blocks {
+		for k := 0; k < rng.Intn(8); k++ {
+			blocks[i][rng.Intn(16)] = int32(rng.Intn(9) - 4)
+		}
+		EncodeResidual(w, blocks[i])
+	}
+	r := NewBitReader(w.Bytes(true))
+	for i := range blocks {
+		got, _, err := DecodeResidual(r)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if got != blocks[i] {
+			t.Fatalf("block %d mismatch:\n got %v\nwant %v", i, got, blocks[i])
+		}
+	}
+}
+
+func TestCAVLCBitCountsScaleWithContent(t *testing.T) {
+	// Dense high-level blocks must cost more bits than sparse ones; that
+	// size structure is what S_th thresholds rely on.
+	var sparse, dense Block4
+	sparse[0] = 1
+	for i := range dense {
+		dense[i] = int32(5 + i)
+	}
+	ws := NewBitWriter()
+	sparseBits := EncodeResidual(ws, sparse)
+	wd := NewBitWriter()
+	denseBits := EncodeResidual(wd, dense)
+	if sparseBits >= denseBits {
+		t.Errorf("sparse %d bits >= dense %d bits", sparseBits, denseBits)
+	}
+}

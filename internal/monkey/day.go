@@ -1,0 +1,117 @@
+package monkey
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// DayConfig generates a full-day usage pattern: multiple sessions
+// separated by idle gaps, each session carrying its own mood. The paper
+// compresses sessions by removing idle time; this generator produces the
+// uncompressed timeline so compression itself can be studied.
+type DayConfig struct {
+	// Sessions is the number of usage sessions in the day.
+	Sessions int
+	// SessionMean is the mean session length; actual lengths vary ±50%.
+	SessionMean time.Duration
+	// GapMean is the mean idle gap between sessions.
+	GapMean time.Duration
+	// Session is the per-session generation config; its Phases are
+	// replaced per session, its AppDist must cover both moods.
+	Session Config
+	// ExcitedProb is the probability a session is excited (vs calm).
+	ExcitedProb float64
+	Seed        int64
+}
+
+// DefaultDayConfig returns an 8-session day.
+func DefaultDayConfig() DayConfig {
+	s := DefaultConfig()
+	return DayConfig{
+		Sessions:    8,
+		SessionMean: 15 * time.Minute,
+		GapMean:     75 * time.Minute,
+		Session:     s,
+		ExcitedProb: 0.45,
+		Seed:        1,
+	}
+}
+
+// Day is a generated full-day workload.
+type Day struct {
+	Events  []LaunchEvent
+	Horizon time.Duration
+	// SessionBounds are the [start, end) of each session.
+	SessionBounds [][2]time.Duration
+	// Moods per session.
+	Moods []emotion.Mood
+}
+
+// GenerateDay builds the day: sessions with per-session moods, idle gaps
+// between them, events time-shifted onto the day timeline.
+func GenerateDay(cfg DayConfig) (*Day, error) {
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("monkey: day needs at least one session")
+	}
+	if cfg.SessionMean <= 0 || cfg.GapMean < 0 {
+		return nil, fmt.Errorf("monkey: invalid day durations")
+	}
+	if cfg.ExcitedProb < 0 || cfg.ExcitedProb > 1 {
+		return nil, fmt.Errorf("monkey: excited probability %g outside [0,1]", cfg.ExcitedProb)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	day := &Day{}
+	var clock time.Duration
+	for s := 0; s < cfg.Sessions; s++ {
+		dur := time.Duration(float64(cfg.SessionMean) * (0.5 + rng.Float64()))
+		mood := emotion.CalmMood
+		if rng.Float64() < cfg.ExcitedProb {
+			mood = emotion.Excited
+		}
+		sc := cfg.Session
+		sc.Phases = []Phase{{Mood: mood, Duration: dur}}
+		sc.Seed = cfg.Seed*1000 + int64(s)
+		wl, err := Generate(sc)
+		if err != nil {
+			return nil, fmt.Errorf("monkey: session %d: %w", s, err)
+		}
+		for _, e := range wl.Events {
+			e.At += clock
+			day.Events = append(day.Events, e)
+		}
+		day.SessionBounds = append(day.SessionBounds, [2]time.Duration{clock, clock + dur})
+		day.Moods = append(day.Moods, mood)
+		clock += dur
+		if s < cfg.Sessions-1 {
+			clock += time.Duration(float64(cfg.GapMean) * (0.5 + rng.Float64()))
+		}
+	}
+	day.Horizon = clock
+	return day, nil
+}
+
+// Compress removes idle time: events are re-timed so sessions abut,
+// exactly the paper's "shortened the operation time ... and removed the
+// idle time" preprocessing. Returns the compressed workload.
+func (d *Day) Compress() *Workload {
+	wl := &Workload{}
+	var offset time.Duration // accumulated idle removed so far
+	prevEnd := time.Duration(0)
+	for i, b := range d.SessionBounds {
+		offset += b[0] - prevEnd
+		prevEnd = b[1]
+		for _, e := range d.Events {
+			if e.At >= b[0] && e.At < b[1] {
+				e2 := e
+				e2.At -= offset
+				wl.Events = append(wl.Events, e2)
+			}
+		}
+		_ = i
+	}
+	wl.Horizon = d.Horizon - offset
+	return wl
+}

@@ -1,0 +1,139 @@
+package monkey
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+func dayConfig(seed int64) DayConfig {
+	cfg := DefaultDayConfig()
+	cfg.Seed = seed
+	cfg.Session.AppDist = testDist()
+	return cfg
+}
+
+func TestGenerateDayStructure(t *testing.T) {
+	day, err := GenerateDay(dayConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(day.SessionBounds) != 8 || len(day.Moods) != 8 {
+		t.Fatalf("%d sessions", len(day.SessionBounds))
+	}
+	// Sessions are disjoint and ordered, with gaps between them.
+	for i := 1; i < len(day.SessionBounds); i++ {
+		if day.SessionBounds[i][0] <= day.SessionBounds[i-1][1] {
+			t.Fatal("sessions overlap or abut (no idle gap)")
+		}
+	}
+	// Every event falls inside some session and carries its mood.
+	for _, e := range day.Events {
+		var inside bool
+		for i, b := range day.SessionBounds {
+			if e.At >= b[0] && e.At < b[1] {
+				inside = true
+				if e.Mood != day.Moods[i] {
+					t.Fatalf("event mood %v in session with mood %v", e.Mood, day.Moods[i])
+				}
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("event at %v outside all sessions", e.At)
+		}
+	}
+	if day.Horizon <= day.SessionBounds[7][0] {
+		t.Error("horizon before last session")
+	}
+}
+
+func TestGenerateDayDeterministic(t *testing.T) {
+	a, err := GenerateDay(dayConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDay(dayConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestDayMoodMix(t *testing.T) {
+	// Over several days, both moods must appear.
+	var excited, calm int
+	for seed := int64(1); seed <= 5; seed++ {
+		day, err := GenerateDay(dayConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range day.Moods {
+			if m == emotion.Excited {
+				excited++
+			} else {
+				calm++
+			}
+		}
+	}
+	if excited == 0 || calm == 0 {
+		t.Errorf("mood mix degenerate: %d excited, %d calm", excited, calm)
+	}
+}
+
+func TestCompressRemovesIdle(t *testing.T) {
+	day, err := GenerateDay(dayConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := day.Compress()
+	if len(wl.Events) != len(day.Events) {
+		t.Fatalf("compression lost events: %d vs %d", len(wl.Events), len(day.Events))
+	}
+	if wl.Horizon >= day.Horizon {
+		t.Error("compression did not shorten the timeline")
+	}
+	// Still time-ordered and non-negative.
+	for i, e := range wl.Events {
+		if e.At < 0 || e.At > wl.Horizon {
+			t.Fatalf("compressed event at %v outside [0, %v]", e.At, wl.Horizon)
+		}
+		if i > 0 && e.At < wl.Events[i-1].At {
+			t.Fatal("compressed events out of order")
+		}
+	}
+	// Compressed horizon equals the summed session lengths.
+	var sessions time.Duration
+	for _, b := range day.SessionBounds {
+		sessions += b[1] - b[0]
+	}
+	if wl.Horizon != sessions {
+		t.Errorf("compressed horizon %v, want %v", wl.Horizon, sessions)
+	}
+}
+
+func TestGenerateDayValidation(t *testing.T) {
+	cfg := dayConfig(1)
+	cfg.Sessions = 0
+	if _, err := GenerateDay(cfg); err == nil {
+		t.Error("zero sessions accepted")
+	}
+	cfg = dayConfig(1)
+	cfg.ExcitedProb = 2
+	if _, err := GenerateDay(cfg); err == nil {
+		t.Error("bad probability accepted")
+	}
+	cfg = dayConfig(1)
+	cfg.SessionMean = 0
+	if _, err := GenerateDay(cfg); err == nil {
+		t.Error("zero session mean accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package monkey generates the simulated daily-usage workload of §5.2: a
+// seeded sequence of app launches whose frequencies match the proxy
+// subjects' category statistics (Fig 7), organized into mood phases
+// (12 min excited, then 8 min calm in the paper's run), with temporal
+// locality (users bounce within a small working set), periodic messaging
+// check-ins, and random touch/typing interaction counts per app session.
+package monkey
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// Phase is one mood span of the session.
+type Phase struct {
+	Mood     emotion.Mood
+	Duration time.Duration
+}
+
+// LaunchEvent is one app activation.
+type LaunchEvent struct {
+	At   time.Duration
+	App  string
+	Mood emotion.Mood
+	// TouchEvents/KeyEvents are the random interaction inputs the monkey
+	// script injects during the app session.
+	TouchEvents int
+	KeyEvents   int
+}
+
+// Workload is a generated session.
+type Workload struct {
+	Events  []LaunchEvent
+	Horizon time.Duration
+}
+
+// Config parameterizes generation.
+type Config struct {
+	Phases []Phase
+	// AppDist maps each phase mood to its app-launch distribution
+	// (app name -> weight). Every phase mood must have an entry.
+	AppDist map[emotion.Mood]map[string]float64
+	// MeanInterval is the mean time between launches (exponential).
+	MeanInterval time.Duration
+	// RepeatProb is the probability of revisiting the recent working set
+	// instead of sampling fresh from the mood distribution.
+	RepeatProb float64
+	// FavoriteProb is the probability of launching one of the mood's
+	// favorite apps (its FavoriteCount most-weighted apps) regardless of
+	// recency — users keep returning to mood-specific favorites across the
+	// whole session, which is the revisit pattern the App Affect Table
+	// exploits.
+	FavoriteProb float64
+	// FavoriteCount is the size of the per-mood favorites pool.
+	FavoriteCount int
+	// WorkingSet is the number of recent distinct apps kept for revisits.
+	WorkingSet int
+	// MessagingEvery inserts a periodic messaging check-in (0 disables).
+	MessagingEvery time.Duration
+	Seed           int64
+}
+
+// DefaultConfig returns the paper's compressed 20-minute session: a
+// 12-minute excited phase followed by an 8-minute calm phase, with
+// launches every ~15 s (idle time removed, per §5.2).
+func DefaultConfig() Config {
+	return Config{
+		Phases: []Phase{
+			{Mood: emotion.Excited, Duration: 12 * time.Minute},
+			{Mood: emotion.CalmMood, Duration: 8 * time.Minute},
+		},
+		MeanInterval:   12 * time.Second,
+		RepeatProb:     0.44,
+		FavoriteProb:   0.16,
+		FavoriteCount:  8,
+		WorkingSet:     5,
+		MessagingEvery: 2 * time.Minute,
+		Seed:           1,
+	}
+}
+
+// Generate builds a seeded workload. App choice: with RepeatProb revisit
+// the working set (recency-weighted), otherwise sample an app from the
+// current mood's subject distribution spread over the catalog.
+func Generate(cfg Config) (*Workload, error) {
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("monkey: no phases")
+	}
+	if cfg.MeanInterval <= 0 {
+		return nil, fmt.Errorf("monkey: mean interval %v must be positive", cfg.MeanInterval)
+	}
+	if cfg.RepeatProb < 0 || cfg.RepeatProb >= 1 {
+		return nil, fmt.Errorf("monkey: repeat probability %g outside [0,1)", cfg.RepeatProb)
+	}
+	if cfg.FavoriteProb < 0 || cfg.RepeatProb+cfg.FavoriteProb >= 1 {
+		return nil, fmt.Errorf("monkey: repeat+favorite probability %g outside [0,1)", cfg.RepeatProb+cfg.FavoriteProb)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	dists := map[emotion.Mood][]weighted{}
+	favorites := map[emotion.Mood][]string{}
+	for _, ph := range cfg.Phases {
+		if _, ok := dists[ph.Mood]; ok {
+			continue
+		}
+		d, ok := cfg.AppDist[ph.Mood]
+		if !ok || len(d) == 0 {
+			return nil, fmt.Errorf("monkey: no app distribution for mood %v", ph.Mood)
+		}
+		dists[ph.Mood] = toWeighted(d)
+		favorites[ph.Mood] = topApps(d, cfg.FavoriteCount)
+	}
+
+	var wl Workload
+	var now time.Duration
+	var phaseEnd time.Duration
+	var working []string
+	nextMessaging := cfg.MessagingEvery
+
+	for _, ph := range cfg.Phases {
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("monkey: phase duration %v must be positive", ph.Duration)
+		}
+		phaseEnd += ph.Duration
+		for now < phaseEnd {
+			step := time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterval))
+			if step < time.Second {
+				step = time.Second
+			}
+			now += step
+			if now >= phaseEnd {
+				break
+			}
+			var app string
+			roll := rng.Float64()
+			if cfg.MessagingEvery > 0 && now >= nextMessaging {
+				app = "messages"
+				nextMessaging = now + cfg.MessagingEvery
+			} else if favs := favorites[ph.Mood]; len(favs) > 0 && roll < cfg.FavoriteProb {
+				app = favs[rng.Intn(len(favs))]
+			} else if len(working) > 0 && roll < cfg.FavoriteProb+cfg.RepeatProb {
+				// Recency-weighted revisit: newest entries twice as likely.
+				idx := len(working) - 1 - int(float64(len(working))*rng.Float64()*rng.Float64())
+				if idx < 0 {
+					idx = 0
+				}
+				app = working[idx]
+			} else {
+				app = sample(rng, dists[ph.Mood])
+			}
+			wl.Events = append(wl.Events, LaunchEvent{
+				At:          now,
+				App:         app,
+				Mood:        ph.Mood,
+				TouchEvents: 3 + rng.Intn(40),
+				KeyEvents:   rng.Intn(25),
+			})
+			working = pushWorkingSet(working, app, cfg.WorkingSet)
+		}
+	}
+	wl.Horizon = phaseEnd
+	if len(wl.Events) == 0 {
+		return nil, fmt.Errorf("monkey: generated no events; intervals too long for phases")
+	}
+	return &wl, nil
+}
+
+// topApps returns the n highest-weighted apps of a distribution.
+func topApps(dist map[string]float64, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	ws := toWeighted(dist)
+	// Selection sort by weight descending (stable on the name-sorted base).
+	for i := 0; i < len(ws) && i < n; i++ {
+		best := i
+		for j := i + 1; j < len(ws); j++ {
+			if ws[j].weight > ws[best].weight {
+				best = j
+			}
+		}
+		ws[i], ws[best] = ws[best], ws[i]
+	}
+	if n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = ws[i].app
+	}
+	return out
+}
+
+// weighted is one app with cumulative-sampling weight.
+type weighted struct {
+	app    string
+	weight float64
+}
+
+func toWeighted(dist map[string]float64) []weighted {
+	out := make([]weighted, 0, len(dist))
+	for a, w := range dist {
+		out = append(out, weighted{a, w})
+	}
+	// Deterministic order for reproducible sampling.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].app < out[j-1].app; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sample(rng *rand.Rand, dist []weighted) string {
+	var total float64
+	for _, w := range dist {
+		total += w.weight
+	}
+	r := rng.Float64() * total
+	for _, w := range dist {
+		r -= w.weight
+		if r <= 0 {
+			return w.app
+		}
+	}
+	return dist[len(dist)-1].app
+}
+
+// pushWorkingSet appends app (moving it to the back if present), capped.
+func pushWorkingSet(ws []string, app string, cap int) []string {
+	for i, a := range ws {
+		if a == app {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	ws = append(ws, app)
+	if cap > 0 && len(ws) > cap {
+		ws = ws[len(ws)-cap:]
+	}
+	return ws
+}
+
+// MoodAt returns the phase mood at a time within the workload.
+func (w *Workload) MoodAt(phases []Phase, t time.Duration) emotion.Mood {
+	var end time.Duration
+	for _, ph := range phases {
+		end += ph.Duration
+		if t < end {
+			return ph.Mood
+		}
+	}
+	if len(phases) == 0 {
+		return emotion.CalmMood
+	}
+	return phases[len(phases)-1].Mood
+}

@@ -1,0 +1,215 @@
+package monkey
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+func testDist() map[emotion.Mood]map[string]float64 {
+	return map[emotion.Mood]map[string]float64{
+		emotion.Excited: {
+			"messages": 0.3, "chrome": 0.25, "voip-call": 0.2,
+			"ride-hail": 0.15, "camera": 0.1,
+		},
+		emotion.CalmMood: {
+			"messages": 0.3, "chrome": 0.3, "gmail": 0.2,
+			"gallery": 0.1, "clouddrive": 0.1,
+		},
+	}
+}
+
+func testConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.AppDist = testDist()
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("events not deterministic")
+		}
+	}
+	c, err := Generate(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Events) == len(a.Events) {
+		same := true
+		for i := range c.Events {
+			if c.Events[i].App != a.Events[i].App || c.Events[i].At != a.Events[i].At {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	wl, err := Generate(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Horizon != 20*time.Minute {
+		t.Errorf("horizon %v, want 20m", wl.Horizon)
+	}
+	// Time-ordered, within horizon, moods match phases.
+	for i, e := range wl.Events {
+		if i > 0 && e.At < wl.Events[i-1].At {
+			t.Fatal("events not ordered")
+		}
+		if e.At >= wl.Horizon {
+			t.Fatal("event past horizon")
+		}
+		wantMood := emotion.Excited
+		if e.At >= 12*time.Minute {
+			wantMood = emotion.CalmMood
+		}
+		if e.Mood != wantMood {
+			t.Fatalf("event at %v has mood %v", e.At, e.Mood)
+		}
+		if e.TouchEvents < 3 {
+			t.Error("touch events below minimum")
+		}
+	}
+	if len(wl.Events) < 40 {
+		t.Errorf("only %d events in 20 minutes", len(wl.Events))
+	}
+}
+
+func TestMessagingPeriodic(t *testing.T) {
+	wl, err := Generate(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2-minute check-ins over 20 minutes, messages appears at least
+	// ~8 times.
+	var count int
+	for _, e := range wl.Events {
+		if e.App == "messages" {
+			count++
+		}
+	}
+	if count < 8 {
+		t.Errorf("messages launched %d times, want >= 8", count)
+	}
+}
+
+func TestMoodShapesAppMix(t *testing.T) {
+	wl, err := Generate(testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var excitedCall, calmCall int
+	for _, e := range wl.Events {
+		if e.App == "voip-call" {
+			if e.Mood == emotion.Excited {
+				excitedCall++
+			} else {
+				calmCall++
+			}
+		}
+		// Apps outside a phase's distribution can only come from working-
+		// set carry-over right after the phase switch.
+		if e.Mood == emotion.Excited && e.App == "gmail" {
+			t.Error("calm-only app sampled during excited phase")
+		}
+	}
+	if excitedCall == 0 {
+		t.Error("excited favorite never launched in excited phase")
+	}
+	if calmCall > excitedCall {
+		t.Errorf("voip-call more frequent in calm (%d) than excited (%d)", calmCall, excitedCall)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Phases = nil
+	if _, err := Generate(cfg); err == nil {
+		t.Error("no phases accepted")
+	}
+	cfg = testConfig(1)
+	cfg.MeanInterval = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero interval accepted")
+	}
+	cfg = testConfig(1)
+	cfg.RepeatProb = 0.9
+	cfg.FavoriteProb = 0.3
+	if _, err := Generate(cfg); err == nil {
+		t.Error("repeat+favorite >= 1 accepted")
+	}
+	cfg = testConfig(1)
+	cfg.AppDist = nil
+	if _, err := Generate(cfg); err == nil {
+		t.Error("missing distribution accepted")
+	}
+	cfg = testConfig(1)
+	cfg.Phases[0].Duration = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero-duration phase accepted")
+	}
+}
+
+func TestMoodAt(t *testing.T) {
+	cfg := testConfig(1)
+	wl, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.MoodAt(cfg.Phases, 5*time.Minute) != emotion.Excited {
+		t.Error("mood at 5m should be excited")
+	}
+	if wl.MoodAt(cfg.Phases, 15*time.Minute) != emotion.CalmMood {
+		t.Error("mood at 15m should be calm")
+	}
+	if wl.MoodAt(cfg.Phases, time.Hour) != emotion.CalmMood {
+		t.Error("mood past end should clamp to last phase")
+	}
+}
+
+func TestTopApps(t *testing.T) {
+	dist := map[string]float64{"a": 0.1, "b": 0.5, "c": 0.3, "d": 0.1}
+	top := topApps(dist, 2)
+	if len(top) != 2 || top[0] != "b" || top[1] != "c" {
+		t.Errorf("topApps = %v", top)
+	}
+	if topApps(dist, 0) != nil {
+		t.Error("topApps(0) should be nil")
+	}
+	if got := topApps(dist, 99); len(got) != 4 {
+		t.Errorf("over-long topApps returned %d", len(got))
+	}
+}
+
+func TestPushWorkingSet(t *testing.T) {
+	ws := pushWorkingSet(nil, "a", 3)
+	ws = pushWorkingSet(ws, "b", 3)
+	ws = pushWorkingSet(ws, "c", 3)
+	ws = pushWorkingSet(ws, "a", 3) // moves a to back
+	if len(ws) != 3 || ws[2] != "a" || ws[0] != "b" {
+		t.Errorf("working set %v", ws)
+	}
+	ws = pushWorkingSet(ws, "d", 3) // evicts b
+	if len(ws) != 3 || ws[0] != "c" {
+		t.Errorf("working set after eviction %v", ws)
+	}
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv1D is a temporal convolution over a rank-2 input [T][Cin] producing
+// [T][Cout] with "same" zero padding and stride 1. Weights are laid out as
+// W[out][k][in] row-major.
+type Conv1D struct {
+	In, Out, Kernel int
+	W, B            *Param
+	x               *Tensor
+}
+
+// NewConv1D returns a Conv1D layer with Xavier-initialized weights. kernel
+// must be odd so "same" padding is symmetric.
+func NewConv1D(in, out, kernel int, rng *rand.Rand) (*Conv1D, error) {
+	if kernel <= 0 || kernel%2 == 0 {
+		return nil, fmt.Errorf("nn: conv1d kernel %d must be odd and positive", kernel)
+	}
+	c := &Conv1D{
+		In: in, Out: out, Kernel: kernel,
+		W: newParam("conv1d.w", out, kernel*in),
+		B: newParam("conv1d.b", 1, out),
+	}
+	c.W.initXavier(rng)
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string { return fmt.Sprintf("conv1d(%d->%d,k%d)", c.In, c.Out, c.Kernel) }
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() || x.Cols != c.In {
+		return nil, fmt.Errorf("nn: %s got input %s", c.Name(), x.ShapeString())
+	}
+	c.x = x
+	T := x.Rows
+	half := c.Kernel / 2
+	y := NewMatrix(T, c.Out)
+	for t := 0; t < T; t++ {
+		for o := 0; o < c.Out; o++ {
+			s := c.B.W[o]
+			wBase := o * c.Kernel * c.In
+			for k := 0; k < c.Kernel; k++ {
+				src := t + k - half
+				if src < 0 || src >= T {
+					continue
+				}
+				row := x.Row(src)
+				wRow := c.W.W[wBase+k*c.In : wBase+(k+1)*c.In]
+				for i, v := range row {
+					s += wRow[i] * v
+				}
+			}
+			y.Set(t, o, s)
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *Tensor) (*Tensor, error) {
+	if !grad.IsMatrix() || grad.Cols != c.Out || grad.Rows != c.x.Rows {
+		return nil, fmt.Errorf("nn: %s got grad %s", c.Name(), grad.ShapeString())
+	}
+	T := c.x.Rows
+	half := c.Kernel / 2
+	dx := NewMatrix(T, c.In)
+	for t := 0; t < T; t++ {
+		for o := 0; o < c.Out; o++ {
+			g := grad.At(t, o)
+			if g == 0 {
+				continue
+			}
+			c.B.Grad[o] += g
+			wBase := o * c.Kernel * c.In
+			for k := 0; k < c.Kernel; k++ {
+				src := t + k - half
+				if src < 0 || src >= T {
+					continue
+				}
+				xRow := c.x.Row(src)
+				dxRow := dx.Row(src)
+				wRow := c.W.W[wBase+k*c.In : wBase+(k+1)*c.In]
+				gRow := c.W.Grad[wBase+k*c.In : wBase+(k+1)*c.In]
+				for i := 0; i < c.In; i++ {
+					gRow[i] += g * xRow[i]
+					dxRow[i] += g * wRow[i]
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// MaxPool1D halves the temporal dimension of a rank-2 input by taking the
+// per-channel maximum over non-overlapping windows of the given size
+// (stride == size). A trailing partial window is pooled over its actual
+// extent.
+type MaxPool1D struct {
+	Size   int
+	argmax []int // flattened output index -> input row chosen
+	inRows int
+}
+
+// NewMaxPool1D returns a max-pooling layer. size must be positive.
+func NewMaxPool1D(size int) (*MaxPool1D, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("nn: maxpool size %d must be positive", size)
+	}
+	return &MaxPool1D{Size: size}, nil
+}
+
+// Name implements Layer.
+func (m *MaxPool1D) Name() string { return fmt.Sprintf("maxpool1d(%d)", m.Size) }
+
+// Params implements Layer.
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool1D) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() {
+		return nil, fmt.Errorf("nn: %s got input %s", m.Name(), x.ShapeString())
+	}
+	m.inRows = x.Rows
+	outT := (x.Rows + m.Size - 1) / m.Size
+	y := NewMatrix(outT, x.Cols)
+	m.argmax = make([]int, outT*x.Cols)
+	for ot := 0; ot < outT; ot++ {
+		lo := ot * m.Size
+		hi := lo + m.Size
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		for c := 0; c < x.Cols; c++ {
+			best, bestRow := math.Inf(-1), lo
+			for t := lo; t < hi; t++ {
+				if v := x.At(t, c); v > best {
+					best, bestRow = v, t
+				}
+			}
+			y.Set(ot, c, best)
+			m.argmax[ot*x.Cols+c] = bestRow
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (m *MaxPool1D) Backward(grad *Tensor) (*Tensor, error) {
+	if !grad.IsMatrix() || len(grad.Data) != len(m.argmax) {
+		return nil, fmt.Errorf("nn: %s got grad %s", m.Name(), grad.ShapeString())
+	}
+	dx := NewMatrix(m.inRows, grad.Cols)
+	for ot := 0; ot < grad.Rows; ot++ {
+		for c := 0; c < grad.Cols; c++ {
+			src := m.argmax[ot*grad.Cols+c]
+			dx.Set(src, c, dx.At(src, c)+grad.At(ot, c))
+		}
+	}
+	return dx, nil
+}
+
+// GlobalAvgPool1D averages a rank-2 input [T][C] over time into [C].
+type GlobalAvgPool1D struct{ inRows int }
+
+// NewGlobalAvgPool1D returns a global average pooling layer.
+func NewGlobalAvgPool1D() *GlobalAvgPool1D { return &GlobalAvgPool1D{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool1D) Name() string { return "gap1d" }
+
+// Params implements Layer.
+func (g *GlobalAvgPool1D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool1D) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() {
+		return nil, fmt.Errorf("nn: gap1d got input %s", x.ShapeString())
+	}
+	g.inRows = x.Rows
+	y := NewVector(x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		for c, v := range row {
+			y.Data[c] += v
+		}
+	}
+	inv := 1 / float64(x.Rows)
+	for c := range y.Data {
+		y.Data[c] *= inv
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool1D) Backward(grad *Tensor) (*Tensor, error) {
+	if grad.IsMatrix() {
+		return nil, fmt.Errorf("nn: gap1d got grad %s", grad.ShapeString())
+	}
+	dx := NewMatrix(g.inRows, grad.Cols)
+	inv := 1 / float64(g.inRows)
+	for t := 0; t < g.inRows; t++ {
+		row := dx.Row(t)
+		for c := range row {
+			row[c] = grad.Data[c] * inv
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a single-channel-group 2-D convolution over a rank-2 input
+// interpreted as an image [H][W] -> [H][W] with Cout output maps flattened
+// row-major into the column dimension: output is [H][W*Cout]. It supports
+// the spectrogram-image classifier variant (time x frequency input).
+//
+// Weights: W[out][kh][kw] row-major, "same" zero padding, stride 1.
+type Conv2D struct {
+	Out, KH, KW int
+	W, B        *Param
+	x           *Tensor
+}
+
+// NewConv2D returns a Conv2D layer with odd kernel dimensions.
+func NewConv2D(out, kh, kw int, rng *rand.Rand) (*Conv2D, error) {
+	if kh <= 0 || kh%2 == 0 || kw <= 0 || kw%2 == 0 {
+		return nil, fmt.Errorf("nn: conv2d kernel %dx%d must be odd and positive", kh, kw)
+	}
+	if out <= 0 {
+		return nil, fmt.Errorf("nn: conv2d needs positive output maps")
+	}
+	c := &Conv2D{
+		Out: out, KH: kh, KW: kw,
+		W: newParam("conv2d.w", out, kh*kw),
+		B: newParam("conv2d.b", 1, out),
+	}
+	c.W.initXavier(rng)
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv2d(%d maps,k%dx%d)", c.Out, c.KH, c.KW) }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() {
+		return nil, fmt.Errorf("nn: %s got input %s", c.Name(), x.ShapeString())
+	}
+	c.x = x
+	H, W := x.Rows, x.Cols
+	hh, hw := c.KH/2, c.KW/2
+	y := NewMatrix(H, W*c.Out)
+	for o := 0; o < c.Out; o++ {
+		wBase := o * c.KH * c.KW
+		for r := 0; r < H; r++ {
+			for col := 0; col < W; col++ {
+				s := c.B.W[o]
+				for kr := 0; kr < c.KH; kr++ {
+					sr := r + kr - hh
+					if sr < 0 || sr >= H {
+						continue
+					}
+					for kc := 0; kc < c.KW; kc++ {
+						sc := col + kc - hw
+						if sc < 0 || sc >= W {
+							continue
+						}
+						s += c.W.W[wBase+kr*c.KW+kc] * x.At(sr, sc)
+					}
+				}
+				y.Set(r, col*c.Out+o, s)
+			}
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
+	H, W := c.x.Rows, c.x.Cols
+	if !grad.IsMatrix() || grad.Rows != H || grad.Cols != W*c.Out {
+		return nil, fmt.Errorf("nn: %s got grad %s", c.Name(), grad.ShapeString())
+	}
+	hh, hw := c.KH/2, c.KW/2
+	dx := NewMatrix(H, W)
+	for o := 0; o < c.Out; o++ {
+		wBase := o * c.KH * c.KW
+		for r := 0; r < H; r++ {
+			for col := 0; col < W; col++ {
+				g := grad.At(r, col*c.Out+o)
+				if g == 0 {
+					continue
+				}
+				c.B.Grad[o] += g
+				for kr := 0; kr < c.KH; kr++ {
+					sr := r + kr - hh
+					if sr < 0 || sr >= H {
+						continue
+					}
+					for kc := 0; kc < c.KW; kc++ {
+						sc := col + kc - hw
+						if sc < 0 || sc >= W {
+							continue
+						}
+						c.W.Grad[wBase+kr*c.KW+kc] += g * c.x.At(sr, sc)
+						dx.Set(sr, sc, dx.At(sr, sc)+g*c.W.W[wBase+kr*c.KW+kc])
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// LayerNorm normalizes each row (or the whole vector for rank-1 input) to
+// zero mean and unit variance, then applies a learned affine transform.
+type LayerNorm struct {
+	Dim         int
+	Gamma, Beta *Param
+	// caches
+	x          *Tensor
+	mean, istd []float64 // per row
+}
+
+// NewLayerNorm returns a LayerNorm over rows of width dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	l := &LayerNorm{
+		Dim:   dim,
+		Gamma: newParam("ln.gamma", 1, dim),
+		Beta:  newParam("ln.beta", 1, dim),
+	}
+	for i := range l.Gamma.W {
+		l.Gamma.W[i] = 1
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return fmt.Sprintf("layernorm(%d)", l.Dim) }
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+const lnEps = 1e-5
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if x.Cols != l.Dim {
+		return nil, fmt.Errorf("nn: %s got input %s", l.Name(), x.ShapeString())
+	}
+	rows := 1
+	if x.IsMatrix() {
+		rows = x.Rows
+	}
+	l.x = x
+	l.mean = make([]float64, rows)
+	l.istd = make([]float64, rows)
+	y := x.Clone()
+	for r := 0; r < rows; r++ {
+		row := y.Data[r*l.Dim : (r+1)*l.Dim]
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.Dim)
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		istd := 1 / math.Sqrt(varSum/float64(l.Dim)+lnEps)
+		l.mean[r], l.istd[r] = mean, istd
+		for i := range row {
+			row[i] = (row[i]-mean)*istd*l.Gamma.W[i] + l.Beta.W[i]
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(grad *Tensor) (*Tensor, error) {
+	if grad.Cols != l.Dim || grad.IsMatrix() != l.x.IsMatrix() {
+		return nil, fmt.Errorf("nn: %s got grad %s", l.Name(), grad.ShapeString())
+	}
+	rows := 1
+	if grad.IsMatrix() {
+		rows = grad.Rows
+	}
+	dx := grad.Clone()
+	n := float64(l.Dim)
+	for r := 0; r < rows; r++ {
+		gRow := grad.Data[r*l.Dim : (r+1)*l.Dim]
+		xRow := l.x.Data[r*l.Dim : (r+1)*l.Dim]
+		out := dx.Data[r*l.Dim : (r+1)*l.Dim]
+		mean, istd := l.mean[r], l.istd[r]
+		// dgamma/dbeta and the two reduction terms of the LN gradient.
+		var sumDy, sumDyXhat float64
+		for i := range gRow {
+			xhat := (xRow[i] - mean) * istd
+			dy := gRow[i] * l.Gamma.W[i]
+			l.Gamma.Grad[i] += gRow[i] * xhat
+			l.Beta.Grad[i] += gRow[i]
+			sumDy += dy
+			sumDyXhat += dy * xhat
+		}
+		for i := range out {
+			xhat := (xRow[i] - mean) * istd
+			dy := gRow[i] * l.Gamma.W[i]
+			out[i] = istd * (dy - sumDy/n - xhat*sumDyXhat/n)
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad computes dLoss/dW[i] for one parameter element by central
+// differences, where loss is softmax CE of the network output on (x, y).
+func numericalGrad(t *testing.T, n *Sequential, x *Tensor, y int, p *Param, i int) float64 {
+	t.Helper()
+	const h = 1e-5
+	eval := func() float64 {
+		out, err := n.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, _, err := CrossEntropy(out.Data, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	orig := p.W[i]
+	p.W[i] = orig + h
+	lp := eval()
+	p.W[i] = orig - h
+	lm := eval()
+	p.W[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkGradients compares analytic and numeric gradients for a sample of
+// parameter elements of every parameter tensor.
+func checkGradients(t *testing.T, n *Sequential, x *Tensor, y int) {
+	t.Helper()
+	// Analytic pass.
+	out, err := n.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := CrossEntropy(out.Data, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.backward(FromVector(grad)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range n.Params() {
+		nSamples := 6
+		if len(p.W) < nSamples {
+			nSamples = len(p.W)
+		}
+		for s := 0; s < nSamples; s++ {
+			i := rng.Intn(len(p.W))
+			analytic := p.Grad[i]
+			numeric := numericalGrad(t, n, x, y, p, i)
+			diff := math.Abs(analytic - numeric)
+			scale := math.Max(1e-4, math.Max(math.Abs(analytic), math.Abs(numeric)))
+			if diff/scale > 2e-3 {
+				t.Errorf("%s[%d]: analytic %.8f vs numeric %.8f", p.Name, i, analytic, numeric)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewSequential(
+		NewDense(7, 5, rng),
+		NewReLU(),
+		NewDense(5, 3, rng),
+	)
+	x := NewVector(7)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 1)
+}
+
+func TestTanhGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewSequential(
+		NewDense(6, 4, rng),
+		NewTanh(),
+		NewDense(4, 3, rng),
+	)
+	x := NewVector(6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 2)
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv, err := NewConv1D(3, 4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMaxPool1D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewSequential(
+		conv,
+		NewReLU(),
+		pool,
+		NewFlatten(),
+		NewDense(4*4, 3, rng), // 8 timesteps pooled to 4, 4 channels
+	)
+	x := NewMatrix(8, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 0)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv, err := NewConv1D(2, 3, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewSequential(
+		conv,
+		NewTanh(),
+		NewGlobalAvgPool1D(),
+		NewDense(3, 2, rng),
+	)
+	x := NewMatrix(6, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 1)
+}
+
+func TestLSTMGradientsLastState(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewSequential(
+		NewLSTM(4, 5, false, rng),
+		NewDense(5, 3, rng),
+	)
+	x := NewMatrix(7, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 2)
+}
+
+func TestLSTMGradientsStacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := NewSequential(
+		NewLSTM(3, 4, true, rng),
+		NewLSTM(4, 4, false, rng),
+		NewDense(4, 2, rng),
+	)
+	x := NewMatrix(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 0)
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GRU is a gated recurrent unit layer over a rank-2 input [T][In] — the
+// lighter recurrent alternative to the LSTM (one fewer gate, no cell
+// state), included for the model-selection extension study.
+//
+// Gates are packed reset/update: Wx is [2H][In], Wh is [2H][H]; the
+// candidate uses its own Cx [H][In], Ch [H][H].
+type GRU struct {
+	In, Hidden     int
+	ReturnSequence bool
+	Wx, Wh, B      *Param // reset + update gates
+	Cx, Ch, CB     *Param // candidate
+
+	x      *Tensor
+	hs     [][]float64 // h[t], index 0 zeros
+	gr, gz []float64   // reset/update activations per step
+	gc     []float64   // candidate activations per step
+}
+
+// NewGRU returns a GRU layer with Xavier-initialized weights.
+func NewGRU(in, hidden int, returnSequence bool, rng *rand.Rand) *GRU {
+	g := &GRU{
+		In: in, Hidden: hidden, ReturnSequence: returnSequence,
+		Wx: newParam("gru.wx", 2*hidden, in),
+		Wh: newParam("gru.wh", 2*hidden, hidden),
+		B:  newParam("gru.b", 1, 2*hidden),
+		Cx: newParam("gru.cx", hidden, in),
+		Ch: newParam("gru.ch", hidden, hidden),
+		CB: newParam("gru.cb", 1, hidden),
+	}
+	g.Wx.initXavier(rng)
+	g.Wh.initXavier(rng)
+	g.Cx.initXavier(rng)
+	g.Ch.initXavier(rng)
+	return g
+}
+
+// Name implements Layer.
+func (g *GRU) Name() string { return fmt.Sprintf("gru(%d->%d)", g.In, g.Hidden) }
+
+// Params implements Layer.
+func (g *GRU) Params() []*Param { return []*Param{g.Wx, g.Wh, g.B, g.Cx, g.Ch, g.CB} }
+
+// Forward implements Layer.
+func (g *GRU) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() || x.Cols != g.In {
+		return nil, fmt.Errorf("nn: %s got input %s", g.Name(), x.ShapeString())
+	}
+	T, H := x.Rows, g.Hidden
+	g.x = x
+	g.hs = make([][]float64, T+1)
+	g.hs[0] = make([]float64, H)
+	g.gr = make([]float64, T*H)
+	g.gz = make([]float64, T*H)
+	g.gc = make([]float64, T*H)
+	pre := make([]float64, 2*H)
+	for t := 0; t < T; t++ {
+		xt := x.Row(t)
+		hPrev := g.hs[t]
+		for k := 0; k < 2*H; k++ {
+			s := g.B.W[k]
+			wx := g.Wx.W[k*g.In : (k+1)*g.In]
+			for i, v := range xt {
+				s += wx[i] * v
+			}
+			wh := g.Wh.W[k*H : (k+1)*H]
+			for i, v := range hPrev {
+				s += wh[i] * v
+			}
+			pre[k] = s
+		}
+		h := make([]float64, H)
+		for j := 0; j < H; j++ {
+			r := sigmoid(pre[j])
+			z := sigmoid(pre[H+j])
+			// Candidate: tanh(Cx x + Ch (r .* hPrev) + cb).
+			s := g.CB.W[j]
+			cx := g.Cx.W[j*g.In : (j+1)*g.In]
+			for i, v := range xt {
+				s += cx[i] * v
+			}
+			ch := g.Ch.W[j*H : (j+1)*H]
+			for i, v := range hPrev {
+				s += ch[i] * r * v
+			}
+			c := math.Tanh(s)
+			h[j] = (1-z)*hPrev[j] + z*c
+			g.gr[t*H+j], g.gz[t*H+j], g.gc[t*H+j] = r, z, c
+		}
+		g.hs[t+1] = h
+	}
+	if g.ReturnSequence {
+		y := NewMatrix(T, H)
+		for t := 0; t < T; t++ {
+			copy(y.Row(t), g.hs[t+1])
+		}
+		return y, nil
+	}
+	y := NewVector(H)
+	copy(y.Data, g.hs[T])
+	return y, nil
+}
+
+// Backward implements Layer (full BPTT).
+func (g *GRU) Backward(grad *Tensor) (*Tensor, error) {
+	T, H := g.x.Rows, g.Hidden
+	if g.ReturnSequence {
+		if !grad.IsMatrix() || grad.Rows != T || grad.Cols != H {
+			return nil, fmt.Errorf("nn: %s got grad %s", g.Name(), grad.ShapeString())
+		}
+	} else if grad.IsMatrix() || grad.Cols != H {
+		return nil, fmt.Errorf("nn: %s got grad %s", g.Name(), grad.ShapeString())
+	}
+	dx := NewMatrix(T, g.In)
+	dhNext := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if g.ReturnSequence {
+			row := grad.Row(t)
+			for j := range dh {
+				dh[j] += row[j]
+			}
+		} else if t == T-1 {
+			for j := range dh {
+				dh[j] += grad.Data[j]
+			}
+		}
+		xt := g.x.Row(t)
+		hPrev := g.hs[t]
+		dxRow := dx.Row(t)
+		for j := range dhNext {
+			dhNext[j] = 0
+		}
+		for j := 0; j < H; j++ {
+			r, z, c := g.gr[t*H+j], g.gz[t*H+j], g.gc[t*H+j]
+			// h = (1-z) hPrev + z c
+			dz := dh[j] * (c - hPrev[j]) * z * (1 - z)
+			dc := dh[j] * z * (1 - c*c) // through tanh
+			dhNext[j] += dh[j] * (1 - z)
+
+			// Candidate pre-activation gradient dc flows into Cx, Ch, CB,
+			// xt, r.*hPrev.
+			g.CB.Grad[j] += dc
+			cx := g.Cx.W[j*g.In : (j+1)*g.In]
+			gcx := g.Cx.Grad[j*g.In : (j+1)*g.In]
+			for i := 0; i < g.In; i++ {
+				gcx[i] += dc * xt[i]
+				dxRow[i] += dc * cx[i]
+			}
+			ch := g.Ch.W[j*H : (j+1)*H]
+			gch := g.Ch.Grad[j*H : (j+1)*H]
+			var dr float64
+			for i := 0; i < H; i++ {
+				gch[i] += dc * r * hPrev[i]
+				dhNext[i] += dc * ch[i] * r
+				dr += dc * ch[i] * hPrev[i]
+			}
+			dr *= r * (1 - r)
+
+			// Gate pre-activations: k=j for reset, k=H+j for update.
+			for _, gate := range []struct {
+				k  int
+				dv float64
+			}{{j, dr}, {H + j, dz}} {
+				if gate.dv == 0 {
+					continue
+				}
+				g.B.Grad[gate.k] += gate.dv
+				wx := g.Wx.W[gate.k*g.In : (gate.k+1)*g.In]
+				gwx := g.Wx.Grad[gate.k*g.In : (gate.k+1)*g.In]
+				for i := 0; i < g.In; i++ {
+					gwx[i] += gate.dv * xt[i]
+					dxRow[i] += gate.dv * wx[i]
+				}
+				wh := g.Wh.W[gate.k*H : (gate.k+1)*H]
+				gwh := g.Wh.Grad[gate.k*H : (gate.k+1)*H]
+				for i := 0; i < H; i++ {
+					gwh[i] += gate.dv * hPrev[i]
+					dhNext[i] += gate.dv * wh[i]
+				}
+			}
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGRUOutputShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := NewGRU(3, 4, true, rng)
+	last := NewGRU(3, 4, false, rng)
+	x := NewMatrix(6, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	ys, err := seq.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ys.Rows != 6 || ys.Cols != 4 {
+		t.Fatalf("seq output %s", ys.ShapeString())
+	}
+	yl, err := last.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yl.IsMatrix() || yl.Cols != 4 {
+		t.Fatalf("last output %s", yl.ShapeString())
+	}
+	if _, err := last.Forward(NewVector(3), false); err == nil {
+		t.Error("vector input accepted")
+	}
+}
+
+func TestGRUGradientsLastState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewSequential(
+		NewGRU(4, 5, false, rng),
+		NewDense(5, 3, rng),
+	)
+	x := NewMatrix(7, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 1)
+}
+
+func TestGRUGradientsStacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewSequential(
+		NewGRU(3, 4, true, rng),
+		NewGRU(4, 4, false, rng),
+		NewDense(4, 2, rng),
+	)
+	x := NewMatrix(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 0)
+}
+
+func TestGRULearnsSequencePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var exs []Example
+	for k := 0; k < 60; k++ {
+		x := NewMatrix(8, 1)
+		up := k%2 == 0
+		for i := 0; i < 8; i++ {
+			v := float64(i) / 8
+			if !up {
+				v = 1 - v
+			}
+			x.Set(i, 0, v+0.05*rng.NormFloat64())
+		}
+		y := 0
+		if !up {
+			y = 1
+		}
+		exs = append(exs, Example{X: x, Y: y})
+	}
+	n := NewSequential(
+		NewGRU(1, 8, false, rng),
+		NewDense(8, 2, rng),
+	)
+	if _, err := n.Fit(exs[:40], TrainConfig{Epochs: 40, BatchSize: 8, Optimizer: NewAdam(0.01), Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := n.Evaluate(exs[40:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("GRU sequence accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestConv2DShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := NewConv2D(3, 3, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(8, 6)
+	y, err := c.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 8 || y.Cols != 18 {
+		t.Fatalf("conv2d output %s, want [8x18]", y.ShapeString())
+	}
+	if _, err := NewConv2D(3, 2, 3, rng); err == nil {
+		t.Error("even kernel accepted")
+	}
+	if _, err := NewConv2D(0, 3, 3, rng); err == nil {
+		t.Error("zero maps accepted")
+	}
+	if _, err := c.Forward(NewVector(6), false); err == nil {
+		t.Error("vector input accepted")
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, err := NewConv2D(2, 3, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMaxPool1D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewSequential(
+		c,
+		NewReLU(),
+		pool, // pools the row (time) dimension
+		NewFlatten(),
+		NewDense(3*5*2, 3, rng), // ceil(6/2)=3 rows x 5 cols x 2 maps
+	)
+	x := NewMatrix(6, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 2)
+}
+
+func TestLayerNormForward(t *testing.T) {
+	ln := NewLayerNorm(4)
+	x := FromVector([]float64{1, 2, 3, 4})
+	y, err := ln.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range y.Data {
+		mean += v
+	}
+	mean /= 4
+	if mean > 1e-9 || mean < -1e-9 {
+		t.Errorf("normalized mean %g", mean)
+	}
+	var varSum float64
+	for _, v := range y.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	if v := varSum / 4; v < 0.98 || v > 1.02 {
+		t.Errorf("normalized variance %g", v)
+	}
+	if _, err := ln.Forward(NewVector(5), false); err == nil {
+		t.Error("wrong width accepted")
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewSequential(
+		NewDense(6, 5, rng),
+		NewLayerNorm(5),
+		NewTanh(),
+		NewDense(5, 3, rng),
+	)
+	x := NewVector(6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 1)
+}
+
+func TestLayerNormMatrixGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	conv, err := NewConv1D(3, 4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewSequential(
+		conv,
+		NewLayerNorm(4),
+		NewGlobalAvgPool1D(),
+		NewDense(4, 2, rng),
+	)
+	x := NewMatrix(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	checkGradients(t, n, x, 0)
+}

@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a Sequential network. Forward caches
+// whatever Backward needs; Backward receives dLoss/dOutput and returns
+// dLoss/dInput while accumulating parameter gradients.
+type Layer interface {
+	Forward(x *Tensor, train bool) (*Tensor, error)
+	Backward(grad *Tensor) (*Tensor, error)
+	Params() []*Param
+	Name() string
+}
+
+// Dense is a fully connected layer: y = W*x + b for rank-1 input.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       *Tensor // forward cache
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: newParam("dense.w", out, in),
+		B: newParam("dense.b", 1, out),
+	}
+	d.W.initXavier(rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if x.IsMatrix() || x.Cols != d.In {
+		return nil, fmt.Errorf("nn: %s got input %s", d.Name(), x.ShapeString())
+	}
+	d.x = x
+	y := NewVector(d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		s := d.B.W[o]
+		for i, v := range x.Data {
+			s += row[i] * v
+		}
+		y.Data[o] = s
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
+	if grad.IsMatrix() || grad.Cols != d.Out {
+		return nil, fmt.Errorf("nn: %s got grad %s", d.Name(), grad.ShapeString())
+	}
+	dx := NewVector(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.B.Grad[o] += g
+		wRow := d.W.W[o*d.In : (o+1)*d.In]
+		gRow := d.W.Grad[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			gRow[i] += g * d.x.Data[i]
+			dx.Data[i] += g * wRow[i]
+		}
+	}
+	return dx, nil
+}
+
+// ReLU is an element-wise rectified linear activation for rank-1 or rank-2
+// tensors.
+type ReLU struct{ mask []bool }
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor, train bool) (*Tensor, error) {
+	y := x.Clone()
+	r.mask = make([]bool, len(y.Data))
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			y.Data[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) (*Tensor, error) {
+	if len(grad.Data) != len(r.mask) {
+		return nil, fmt.Errorf("nn: relu grad size %d != %d", len(grad.Data), len(r.mask))
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// Tanh is an element-wise hyperbolic-tangent activation.
+type Tanh struct{ y *Tensor }
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *Tensor, train bool) (*Tensor, error) {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.y = y
+	return y, nil
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *Tensor) (*Tensor, error) {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= 1 - t.y.Data[i]*t.y.Data[i]
+	}
+	return dx, nil
+}
+
+// Dropout zeroes a fraction of activations during training and scales the
+// survivors (inverted dropout). It is the identity at inference time.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	keep []bool
+}
+
+// NewDropout returns a Dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.Rate) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !train || d.Rate <= 0 {
+		d.keep = nil
+		return x, nil
+	}
+	y := x.Clone()
+	d.keep = make([]bool, len(y.Data))
+	scale := 1 / (1 - d.Rate)
+	for i := range y.Data {
+		if d.rng.Float64() >= d.Rate {
+			d.keep[i] = true
+			y.Data[i] *= scale
+		} else {
+			y.Data[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *Tensor) (*Tensor, error) {
+	if d.keep == nil {
+		return grad, nil
+	}
+	dx := grad.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range dx.Data {
+		if d.keep[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// Flatten reshapes a rank-2 tensor [T][D] into a rank-1 tensor [T*D].
+type Flatten struct{ rows, cols int }
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() {
+		f.rows, f.cols = 0, x.Cols
+		return x, nil
+	}
+	f.rows, f.cols = x.Rows, x.Cols
+	return &Tensor{Data: x.Data, Cols: len(x.Data)}, nil
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) (*Tensor, error) {
+	if f.rows == 0 {
+		return grad, nil
+	}
+	if len(grad.Data) != f.rows*f.cols {
+		return nil, fmt.Errorf("nn: flatten grad size %d != %d", len(grad.Data), f.rows*f.cols)
+	}
+	return &Tensor{Data: grad.Data, Rows: f.rows, Cols: f.cols}, nil
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax returns the softmax of logits (numerically stabilized).
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	max := logits[0]
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// CrossEntropy returns the softmax cross-entropy loss of logits against the
+// target class and the gradient dLoss/dLogits.
+func CrossEntropy(logits []float64, target int) (loss float64, grad []float64, err error) {
+	if target < 0 || target >= len(logits) {
+		return 0, nil, fmt.Errorf("nn: target class %d out of range [0,%d)", target, len(logits))
+	}
+	p := Softmax(logits)
+	loss = -math.Log(math.Max(p[target], 1e-15))
+	grad = p // softmax CE gradient is p - onehot
+	grad[target] -= 1
+	return loss, grad, nil
+}
+
+// Argmax returns the index of the largest element (first on ties), or -1
+// for empty input.
+func Argmax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single long short-term memory layer over a rank-2 input
+// [T][In]. With ReturnSequence it outputs the full hidden sequence [T][H]
+// (for stacking); otherwise it outputs the final hidden state [H].
+//
+// Gate weights are packed input/forget/candidate/output: Wx is [4H][In],
+// Wh is [4H][H], B is [4H]. The forget-gate bias is initialized to 1, the
+// usual trick for stable early training.
+type LSTM struct {
+	In, Hidden     int
+	ReturnSequence bool
+	Wx, Wh, B      *Param
+
+	// forward caches for BPTT
+	x                *Tensor
+	hs, cs           [][]float64 // per step t: h[t], c[t] (1-indexed; index 0 is zeros)
+	gi, gf, gg, gout []float64   // per step gate activations, flattened T x H
+}
+
+// NewLSTM returns an LSTM layer with Xavier-initialized weights.
+func NewLSTM(in, hidden int, returnSequence bool, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden, ReturnSequence: returnSequence,
+		Wx: newParam("lstm.wx", 4*hidden, in),
+		Wh: newParam("lstm.wh", 4*hidden, hidden),
+		B:  newParam("lstm.b", 1, 4*hidden),
+	}
+	l.Wx.initXavier(rng)
+	l.Wh.initXavier(rng)
+	for h := 0; h < hidden; h++ {
+		l.B.W[hidden+h] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return fmt.Sprintf("lstm(%d->%d)", l.In, l.Hidden) }
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() || x.Cols != l.In {
+		return nil, fmt.Errorf("nn: %s got input %s", l.Name(), x.ShapeString())
+	}
+	T, H := x.Rows, l.Hidden
+	l.x = x
+	l.hs = make([][]float64, T+1)
+	l.cs = make([][]float64, T+1)
+	l.hs[0] = make([]float64, H)
+	l.cs[0] = make([]float64, H)
+	l.gi = make([]float64, T*H)
+	l.gf = make([]float64, T*H)
+	l.gg = make([]float64, T*H)
+	l.gout = make([]float64, T*H)
+
+	pre := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		xt := x.Row(t)
+		hPrev := l.hs[t]
+		for g := 0; g < 4*H; g++ {
+			s := l.B.W[g]
+			wx := l.Wx.W[g*l.In : (g+1)*l.In]
+			for i, v := range xt {
+				s += wx[i] * v
+			}
+			wh := l.Wh.W[g*H : (g+1)*H]
+			for i, v := range hPrev {
+				s += wh[i] * v
+			}
+			pre[g] = s
+		}
+		h := make([]float64, H)
+		c := make([]float64, H)
+		for j := 0; j < H; j++ {
+			i := sigmoid(pre[j])
+			f := sigmoid(pre[H+j])
+			g := math.Tanh(pre[2*H+j])
+			o := sigmoid(pre[3*H+j])
+			c[j] = f*l.cs[t][j] + i*g
+			h[j] = o * math.Tanh(c[j])
+			l.gi[t*H+j], l.gf[t*H+j], l.gg[t*H+j], l.gout[t*H+j] = i, f, g, o
+		}
+		l.hs[t+1], l.cs[t+1] = h, c
+	}
+	if l.ReturnSequence {
+		y := NewMatrix(T, H)
+		for t := 0; t < T; t++ {
+			copy(y.Row(t), l.hs[t+1])
+		}
+		return y, nil
+	}
+	y := NewVector(H)
+	copy(y.Data, l.hs[T])
+	return y, nil
+}
+
+// Backward implements Layer (truncated nowhere: full BPTT over the clip).
+func (l *LSTM) Backward(grad *Tensor) (*Tensor, error) {
+	T, H := l.x.Rows, l.Hidden
+	// dh[t] is seeded from the output gradient.
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	seed := func(t int) []float64 {
+		if l.ReturnSequence {
+			return grad.Row(t)
+		}
+		if t == T-1 {
+			return grad.Data
+		}
+		return nil
+	}
+	if l.ReturnSequence {
+		if !grad.IsMatrix() || grad.Rows != T || grad.Cols != H {
+			return nil, fmt.Errorf("nn: %s got grad %s", l.Name(), grad.ShapeString())
+		}
+	} else if grad.IsMatrix() || grad.Cols != H {
+		return nil, fmt.Errorf("nn: %s got grad %s", l.Name(), grad.ShapeString())
+	}
+
+	dx := NewMatrix(T, l.In)
+	dPre := make([]float64, 4*H)
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if s := seed(t); s != nil {
+			for j := range dh {
+				dh[j] += s[j]
+			}
+		}
+		for j := 0; j < H; j++ {
+			i, f, g, o := l.gi[t*H+j], l.gf[t*H+j], l.gg[t*H+j], l.gout[t*H+j]
+			tc := math.Tanh(l.cs[t+1][j])
+			dc := dcNext[j] + dh[j]*o*(1-tc*tc)
+			di := dc * g * i * (1 - i)
+			df := dc * l.cs[t][j] * f * (1 - f)
+			dg := dc * i * (1 - g*g)
+			do := dh[j] * tc * o * (1 - o)
+			dPre[j] = di
+			dPre[H+j] = df
+			dPre[2*H+j] = dg
+			dPre[3*H+j] = do
+			dcNext[j] = dc * f
+		}
+		// Accumulate parameter gradients and propagate to x and h_{t-1}.
+		xt := l.x.Row(t)
+		hPrev := l.hs[t]
+		dxRow := dx.Row(t)
+		for j := range dhNext {
+			dhNext[j] = 0
+		}
+		for g := 0; g < 4*H; g++ {
+			dg := dPre[g]
+			if dg == 0 {
+				continue
+			}
+			l.B.Grad[g] += dg
+			wxRow := l.Wx.W[g*l.In : (g+1)*l.In]
+			gxRow := l.Wx.Grad[g*l.In : (g+1)*l.In]
+			for i := 0; i < l.In; i++ {
+				gxRow[i] += dg * xt[i]
+				dxRow[i] += dg * wxRow[i]
+			}
+			whRow := l.Wh.W[g*H : (g+1)*H]
+			ghRow := l.Wh.Grad[g*H : (g+1)*H]
+			for i := 0; i < H; i++ {
+				ghRow[i] += dg * hPrev[i]
+				dhNext[i] += dg * whRow[i]
+			}
+		}
+	}
+	return dx, nil
+}

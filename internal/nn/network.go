@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Sequential is a stack of layers trained with softmax cross-entropy.
+type Sequential struct {
+	Layers []Layer
+	// ClipNorm, when positive, clips the global gradient norm per batch.
+	ClipNorm float64
+}
+
+// NewSequential returns a network over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, ClipNorm: 5}
+}
+
+// Params returns all learnable parameters in layer order.
+func (n *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Sequential) NumParams() int {
+	var c int
+	for _, p := range n.Params() {
+		c += len(p.W)
+	}
+	return c
+}
+
+// Forward runs the network on one input.
+func (n *Sequential) Forward(x *Tensor, train bool) (*Tensor, error) {
+	var err error
+	for _, l := range n.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// Predict returns class probabilities for one input.
+func (n *Sequential) Predict(x *Tensor) ([]float64, error) {
+	y, err := n.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	return Softmax(y.Data), nil
+}
+
+// PredictClass returns the most probable class index for one input.
+func (n *Sequential) PredictClass(x *Tensor) (int, error) {
+	p, err := n.Predict(x)
+	if err != nil {
+		return -1, err
+	}
+	return Argmax(p), nil
+}
+
+// backward pushes a loss gradient through all layers.
+func (n *Sequential) backward(grad *Tensor) error {
+	var err error
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad, err = n.Layers[i].Backward(grad)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Example is one labelled training sample.
+type Example struct {
+	X *Tensor
+	Y int
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Seed      int64
+	// Verbose, when non-nil, receives one line per epoch.
+	Verbose func(epoch int, loss float64, acc float64)
+}
+
+// Fit trains the network on examples with mini-batch gradient descent and
+// returns the final epoch's mean loss.
+func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("nn: no training examples")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	params := n.Params()
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var correct int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, idx := range order[start:end] {
+				ex := examples[idx]
+				y, err := n.Forward(ex.X, true)
+				if err != nil {
+					return 0, err
+				}
+				loss, grad, err := CrossEntropy(y.Data, ex.Y)
+				if err != nil {
+					return 0, err
+				}
+				epochLoss += loss
+				if Argmax(y.Data) == ex.Y {
+					correct++
+				}
+				if err := n.backward(FromVector(grad)); err != nil {
+					return 0, err
+				}
+			}
+			if n.ClipNorm > 0 {
+				ClipGradients(params, n.ClipNorm*float64(end-start))
+			}
+			cfg.Optimizer.Step(params, end-start)
+		}
+		lastLoss = epochLoss / float64(len(order))
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastLoss, float64(correct)/float64(len(order)))
+		}
+	}
+	return lastLoss, nil
+}
+
+// Evaluate returns classification accuracy on examples.
+func (n *Sequential) Evaluate(examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation examples")
+	}
+	var correct int
+	for _, ex := range examples {
+		c, err := n.PredictClass(ex.X)
+		if err != nil {
+			return 0, err
+		}
+		if c == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples)), nil
+}
+
+// snapshot is the gob wire format: parameter payloads in layer order.
+type snapshot struct {
+	Params [][]float64
+}
+
+// Save writes all parameter values to w (gob encoded). The architecture
+// itself is not serialized; Load must be called on an identically
+// constructed network.
+func (n *Sequential) Save(w io.Writer) error {
+	var s snapshot
+	for _, p := range n.Params() {
+		cp := make([]float64, len(p.W))
+		copy(cp, p.W)
+		s.Params = append(s.Params, cp)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load restores parameter values previously written by Save into an
+// identically shaped network.
+func (n *Sequential) Load(r io.Reader) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return err
+	}
+	params := n.Params()
+	if len(s.Params) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d tensors, network has %d", len(s.Params), len(params))
+	}
+	for i, p := range params {
+		if len(s.Params[i]) != len(p.W) {
+			return fmt.Errorf("nn: snapshot tensor %d has %d values, want %d", i, len(s.Params[i]), len(p.W))
+		}
+		copy(p.W, s.Params[i])
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensorBasics(t *testing.T) {
+	v := NewVector(3)
+	if v.IsMatrix() || v.Len() != 3 {
+		t.Fatal("vector shape wrong")
+	}
+	m := NewMatrix(2, 3)
+	if !m.IsMatrix() || m.Len() != 6 {
+		t.Fatal("matrix shape wrong")
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Row(1)[2] != 7 {
+		t.Fatal("At/Set/Row inconsistent")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases data")
+	}
+	if m.ShapeString() != "[2x3]" || v.ShapeString() != "[3]" {
+		t.Fatal("ShapeString wrong")
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	m, err := FromMatrix([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromMatrix content wrong")
+	}
+	if _, err := FromMatrix(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := FromMatrix([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		p := Softmax(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Numerical stability with huge logits.
+	p := Softmax([]float64{1000, 1000})
+	if math.IsNaN(p[0]) || math.Abs(p[0]-0.5) > 1e-9 {
+		t.Errorf("softmax unstable: %v", p)
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	loss, grad, err := CrossEntropy([]float64{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(3)) > 1e-9 {
+		t.Errorf("uniform loss = %g, want ln 3", loss)
+	}
+	// Gradient sums to zero (p - onehot).
+	var s float64
+	for _, g := range grad {
+		s += g
+	}
+	if math.Abs(s) > 1e-12 {
+		t.Errorf("CE grad sums to %g", s)
+	}
+	if _, _, err := CrossEntropy([]float64{1, 2}, 5); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Error("argmax wrong")
+	}
+	if Argmax([]float64{5, 5}) != 0 {
+		t.Error("argmax tie should pick first")
+	}
+	if Argmax(nil) != -1 {
+		t.Error("argmax of empty should be -1")
+	}
+}
+
+func TestDenseShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, rng)
+	if _, err := d.Forward(NewVector(4), false); err == nil {
+		t.Error("wrong input width accepted")
+	}
+	if _, err := d.Forward(NewMatrix(2, 3), false); err == nil {
+		t.Error("matrix input accepted by dense")
+	}
+}
+
+func TestConvShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := NewConv1D(3, 5, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.Forward(NewMatrix(10, 3), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 10 || y.Cols != 5 {
+		t.Fatalf("conv output %s, want [10x5]", y.ShapeString())
+	}
+	if _, err := NewConv1D(3, 5, 4, rng); err == nil {
+		t.Error("even kernel accepted")
+	}
+	if _, err := c.Forward(NewVector(3), false); err == nil {
+		t.Error("vector input accepted by conv")
+	}
+}
+
+func TestMaxPoolShapes(t *testing.T) {
+	p, err := NewMaxPool1D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(5, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	y, err := p.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 3 || y.Cols != 2 { // ceil(5/2)
+		t.Fatalf("pool output %s, want [3x2]", y.ShapeString())
+	}
+	// Max of rows {0,1} in channel 0 is x[1][0] = 2.
+	if y.At(0, 0) != x.At(1, 0) {
+		t.Errorf("pool value wrong: %g", y.At(0, 0))
+	}
+	if _, err := NewMaxPool1D(0); err == nil {
+		t.Error("zero pool size accepted")
+	}
+}
+
+func TestDropoutInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDropout(0.5, rng)
+	x := NewVector(100)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y.Data {
+		if v != 1 {
+			t.Fatal("dropout not identity at inference")
+		}
+	}
+	// Training drops roughly half and rescales the rest by 2.
+	y, err = d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeros, twos int
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %g", v)
+		}
+	}
+	if zeros < 20 || zeros > 80 {
+		t.Errorf("dropout zeroed %d/100, expected ~50", zeros)
+	}
+	if zeros+twos != 100 {
+		t.Error("dropout output mix wrong")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := NewMatrix(3, 4)
+	y, err := f.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.IsMatrix() || y.Len() != 12 {
+		t.Fatalf("flatten output %s", y.ShapeString())
+	}
+	g, err := f.Backward(NewVector(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsMatrix() || g.Rows != 3 || g.Cols != 4 {
+		t.Fatalf("flatten backward %s", g.ShapeString())
+	}
+}
+
+func TestLSTMOutputShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := NewLSTM(3, 4, true, rng)
+	last := NewLSTM(3, 4, false, rng)
+	x := NewMatrix(6, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	ys, err := seq.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ys.Rows != 6 || ys.Cols != 4 {
+		t.Fatalf("seq output %s", ys.ShapeString())
+	}
+	yl, err := last.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yl.IsMatrix() || yl.Cols != 4 {
+		t.Fatalf("last output %s", yl.ShapeString())
+	}
+}
+
+// xorExamples builds a tiny nonlinearly separable problem.
+func xorExamples() []Example {
+	var exs []Example
+	pts := [][3]float64{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0},
+	}
+	for _, p := range pts {
+		x := NewVector(2)
+		x.Data[0], x.Data[1] = p[0], p[1]
+		exs = append(exs, Example{X: x, Y: int(p[2])})
+	}
+	return exs
+}
+
+func TestFitLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := NewSequential(
+		NewDense(2, 8, rng),
+		NewTanh(),
+		NewDense(8, 2, rng),
+	)
+	exs := xorExamples()
+	_, err := n.Fit(exs, TrainConfig{Epochs: 400, BatchSize: 4, Optimizer: NewAdam(0.03), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := n.Evaluate(exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 1 {
+		t.Errorf("XOR accuracy %g, want 1.0", acc)
+	}
+}
+
+func TestFitLearnsSequencePattern(t *testing.T) {
+	// Class 0: rising sequence; class 1: falling. LSTM must separate them.
+	rng := rand.New(rand.NewSource(7))
+	var exs []Example
+	for k := 0; k < 60; k++ {
+		x := NewMatrix(8, 1)
+		up := k%2 == 0
+		for i := 0; i < 8; i++ {
+			v := float64(i) / 8
+			if !up {
+				v = 1 - v
+			}
+			x.Set(i, 0, v+0.05*rng.NormFloat64())
+		}
+		y := 0
+		if !up {
+			y = 1
+		}
+		exs = append(exs, Example{X: x, Y: y})
+	}
+	n := NewSequential(
+		NewLSTM(1, 8, false, rng),
+		NewDense(8, 2, rng),
+	)
+	if _, err := n.Fit(exs[:40], TrainConfig{Epochs: 30, BatchSize: 8, Optimizer: NewAdam(0.01), Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := n.Evaluate(exs[40:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("sequence accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := NewSequential(
+		NewDense(2, 8, rng),
+		NewTanh(),
+		NewDense(8, 2, rng),
+	)
+	_, err := n.Fit(xorExamples(), TrainConfig{Epochs: 1500, BatchSize: 4, Optimizer: NewSGD(0.1, 0.9), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := n.Evaluate(xorExamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 1 {
+		t.Errorf("SGD XOR accuracy %g, want 1.0", acc)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(123))
+		return NewSequential(NewDense(4, 6, r), NewReLU(), NewDense(6, 3, r))
+	}
+	a := build()
+	// Perturb a's weights so they differ from a freshly built net.
+	for _, p := range a.Params() {
+		for i := range p.W {
+			p.W[i] += rng.NormFloat64()
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := build()
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := NewVector(4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	ya, err := a.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := b.Forward(x.Clone(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatal("loaded network differs from saved one")
+		}
+	}
+	// Mismatched architecture rejected.
+	var buf2 bytes.Buffer
+	if err := a.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSequential(NewDense(4, 5, rng))
+	if err := c.Load(&buf2); err == nil {
+		t.Error("mismatched load accepted")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewSequential(NewDense(10, 20, rng), NewDense(20, 3, rng))
+	want := 10*20 + 20 + 20*3 + 3
+	if got := n.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := newParam("t", 1, 3)
+	p.Grad = []float64{3, 4, 0}
+	norm := ClipGradients([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Errorf("pre-clip norm = %g, want 5", norm)
+	}
+	var post float64
+	for _, g := range p.Grad {
+		post += g * g
+	}
+	if math.Abs(math.Sqrt(post)-1) > 1e-9 {
+		t.Errorf("post-clip norm = %g, want 1", math.Sqrt(post))
+	}
+}

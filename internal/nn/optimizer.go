@@ -1,0 +1,108 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated parameter gradients. Step consumes the
+// gradients scaled by 1/batchSize and zeroes them.
+type Optimizer interface {
+	Step(params []*Param, batchSize int)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	inv := 1 / float64(batchSize)
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, len(p.W))
+			s.velocity[p] = v
+		}
+		for i := range p.W {
+			g := p.Grad[i] * inv
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.W[i] += v[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults for the
+// moment decay rates and epsilon.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	a.t++
+	inv := 1 / float64(batchSize)
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, v := a.m[p], a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.W))
+			v = make([]float64, len(p.W))
+			a.m[p], a.v[p] = m, v
+		}
+		for i := range p.W {
+			g := p.Grad[i] * inv
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradients scales all gradients down so their global L2 norm does not
+// exceed maxNorm. It returns the pre-clip norm. Useful against exploding
+// LSTM gradients.
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}

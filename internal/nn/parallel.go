@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Replicated wraps N architecture-identical replicas of a network for
+// data-parallel training: each batch is split across replicas, per-replica
+// gradients are merged into the master, the optimizer steps the master, and
+// the updated weights are broadcast back.
+//
+// Layer forward caches make a single Sequential unsafe for concurrent use;
+// replication is the supported way to parallelize.
+type Replicated struct {
+	Master   *Sequential
+	replicas []*Sequential
+}
+
+// NewReplicated builds a master plus workers-1 replicas using build, which
+// must construct identical architectures (it may use its own RNG; weights
+// are synchronized from the master before any training). workers <= 0
+// selects GOMAXPROCS.
+func NewReplicated(build func() *Sequential, workers int) (*Replicated, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Replicated{Master: build()}
+	nMaster := r.Master.NumParams()
+	for i := 1; i < workers; i++ {
+		rep := build()
+		if rep.NumParams() != nMaster {
+			return nil, fmt.Errorf("nn: replica %d has %d params, master has %d", i, rep.NumParams(), nMaster)
+		}
+		r.replicas = append(r.replicas, rep)
+	}
+	r.broadcast()
+	return r, nil
+}
+
+// all returns master plus replicas.
+func (r *Replicated) all() []*Sequential {
+	return append([]*Sequential{r.Master}, r.replicas...)
+}
+
+// broadcast copies master weights into every replica.
+func (r *Replicated) broadcast() {
+	mp := r.Master.Params()
+	for _, rep := range r.replicas {
+		for i, p := range rep.Params() {
+			copy(p.W, mp[i].W)
+		}
+	}
+}
+
+// mergeGrads adds replica gradients into the master and zeroes them.
+func (r *Replicated) mergeGrads() {
+	mp := r.Master.Params()
+	for _, rep := range r.replicas {
+		for i, p := range rep.Params() {
+			for j, g := range p.Grad {
+				mp[i].Grad[j] += g
+			}
+			p.ZeroGrad()
+		}
+	}
+}
+
+// Fit trains the master network with data-parallel mini-batches and returns
+// the final epoch's mean loss.
+func (r *Replicated) Fit(examples []Example, cfg TrainConfig) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("nn: no training examples")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	nets := r.all()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	masterParams := r.Master.Params()
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var correct int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			losses := make([]float64, len(nets))
+			hits := make([]int, len(nets))
+			errs := make([]error, len(nets))
+			var wg sync.WaitGroup
+			for w := range nets {
+				if w >= len(batch) {
+					break
+				}
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					net := nets[w]
+					for bi := w; bi < len(batch); bi += len(nets) {
+						ex := examples[batch[bi]]
+						y, err := net.Forward(ex.X, true)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						loss, grad, err := CrossEntropy(y.Data, ex.Y)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						losses[w] += loss
+						if Argmax(y.Data) == ex.Y {
+							hits[w]++
+						}
+						if err := net.backward(FromVector(grad)); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return 0, err
+				}
+			}
+			for w := range nets {
+				epochLoss += losses[w]
+				correct += hits[w]
+			}
+			r.mergeGrads()
+			if r.Master.ClipNorm > 0 {
+				ClipGradients(masterParams, r.Master.ClipNorm*float64(len(batch)))
+			}
+			cfg.Optimizer.Step(masterParams, len(batch))
+			r.broadcast()
+		}
+		lastLoss = epochLoss / float64(len(order))
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastLoss, float64(correct)/float64(len(order)))
+		}
+	}
+	return lastLoss, nil
+}
+
+// Evaluate computes accuracy using all replicas in parallel.
+func (r *Replicated) Evaluate(examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation examples")
+	}
+	nets := r.all()
+	hits := make([]int, len(nets))
+	errs := make([]error, len(nets))
+	var wg sync.WaitGroup
+	for w := range nets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(examples); i += len(nets) {
+				c, err := nets[w].PredictClass(examples[i].X)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if c == examples[i].Y {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var correct int
+	for _, h := range hits {
+		correct += h
+	}
+	return float64(correct) / float64(len(examples)), nil
+}
+
+// ConfusionMatrix returns counts[target][predicted] over examples using the
+// replicas in parallel. numClasses rows/cols.
+func (r *Replicated) ConfusionMatrix(examples []Example, numClasses int) ([][]int, error) {
+	nets := r.all()
+	preds := make([]int, len(examples))
+	errs := make([]error, len(nets))
+	var wg sync.WaitGroup
+	for w := range nets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(examples); i += len(nets) {
+				c, err := nets[w].PredictClass(examples[i].X)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				preds[i] = c
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i, ex := range examples {
+		if ex.Y >= 0 && ex.Y < numClasses && preds[i] >= 0 && preds[i] < numClasses {
+			m[ex.Y][preds[i]]++
+		}
+	}
+	return m, nil
+}

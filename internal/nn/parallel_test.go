@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReplicatedFitXOR(t *testing.T) {
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(42))
+		return NewSequential(NewDense(2, 8, r), NewTanh(), NewDense(8, 2, r))
+	}
+	rep, err := NewReplicated(build, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := xorExamples()
+	if _, err := rep.Fit(exs, TrainConfig{Epochs: 400, BatchSize: 4, Optimizer: NewAdam(0.03), Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := rep.Evaluate(exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 1 {
+		t.Errorf("replicated XOR accuracy %g, want 1.0", acc)
+	}
+	// Replicas stay in sync with the master after training.
+	mp := rep.Master.Params()
+	for ri, r := range rep.replicas {
+		for pi, p := range r.Params() {
+			for i := range p.W {
+				if p.W[i] != mp[pi].W[i] {
+					t.Fatalf("replica %d param %d diverged from master", ri, pi)
+				}
+			}
+		}
+	}
+}
+
+func TestReplicatedMismatchedBuilder(t *testing.T) {
+	n := 0
+	build := func() *Sequential {
+		n++
+		r := rand.New(rand.NewSource(1))
+		if n > 1 {
+			return NewSequential(NewDense(2, 3, r))
+		}
+		return NewSequential(NewDense(2, 4, r))
+	}
+	if _, err := NewReplicated(build, 2); err == nil {
+		t.Error("mismatched replica architecture accepted")
+	}
+}
+
+func TestReplicatedConfusionMatrix(t *testing.T) {
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(42))
+		return NewSequential(NewDense(2, 8, r), NewTanh(), NewDense(8, 2, r))
+	}
+	rep, err := NewReplicated(build, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := xorExamples()
+	if _, err := rep.Fit(exs, TrainConfig{Epochs: 400, BatchSize: 4, Optimizer: NewAdam(0.03), Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := rep.ConfusionMatrix(exs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, diag int
+	for i := range cm {
+		for j := range cm[i] {
+			total += cm[i][j]
+			if i == j {
+				diag += cm[i][j]
+			}
+		}
+	}
+	if total != len(exs) {
+		t.Errorf("confusion matrix total %d, want %d", total, len(exs))
+	}
+	if diag != total {
+		t.Errorf("XOR should be perfectly classified, diag %d/%d", diag, total)
+	}
+}
+
+func TestReplicatedMatchesSingleThreadDirection(t *testing.T) {
+	// Replicated training with 1 worker is exactly Fit.
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(9))
+		return NewSequential(NewDense(2, 6, r), NewTanh(), NewDense(6, 2, r))
+	}
+	rep, err := NewReplicated(build, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := build()
+	cfg := TrainConfig{Epochs: 50, BatchSize: 4, Optimizer: NewAdam(0.02), Seed: 7}
+	if _, err := rep.Fit(xorExamples(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := TrainConfig{Epochs: 50, BatchSize: 4, Optimizer: NewAdam(0.02), Seed: 7}
+	if _, err := single.Fit(xorExamples(), cfg2); err != nil {
+		t.Fatal(err)
+	}
+	mp, sp := rep.Master.Params(), single.Params()
+	for pi := range mp {
+		for i := range mp[pi].W {
+			if diff := mp[pi].W[i] - sp[pi].W[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("1-worker replicated diverges from Fit at param %d[%d]", pi, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// True int8 inference: weights AND activations quantized to int8 with
+// int32 accumulators — the arithmetic an NPU or DSP actually executes,
+// as opposed to QuantizedModel.ApplyTo which stores int8 but computes in
+// float. Supported for MLP-style stacks (Dense + ReLU + Flatten), which is
+// what a watch-class deployment of the paper's "NN" model uses.
+
+// QDense is one integer-arithmetic dense layer: y_int32 = W_q * x_q,
+// rescaled to the next layer's activation scale.
+type QDense struct {
+	In, Out int
+	WQ      []int8  // [out][in] row-major
+	BQ      []int32 // bias in accumulator scale (inScale*wScale)
+	WScale  float64
+	// InScale/OutScale quantize activations entering/leaving this layer.
+	InScale, OutScale float64
+	// ReLU folds the activation into the requantization.
+	ReLU bool
+}
+
+// QMLP is a quantized MLP pipeline.
+type QMLP struct {
+	Layers []*QDense
+	// InputScale quantizes the float input vector.
+	InputScale float64
+}
+
+// CalibrationStats collects per-tensor activation ranges on representative
+// inputs, needed to pick activation scales.
+type CalibrationStats struct {
+	// MaxAbs[i] is the largest |activation| entering layer i (i=0 is the
+	// network input); MaxAbs[len(layers)] is the output logits range.
+	MaxAbs []float64
+}
+
+// CalibrateMLP runs representative examples through a float Dense/ReLU/
+// Flatten network and records activation ranges.
+func CalibrateMLP(n *Sequential, examples []Example) (*CalibrationStats, error) {
+	denseCount := 0
+	for _, l := range n.Layers {
+		switch l.(type) {
+		case *Dense, *ReLU, *Flatten:
+			if _, ok := l.(*Dense); ok {
+				denseCount++
+			}
+		default:
+			return nil, fmt.Errorf("nn: int8 inference supports Dense/ReLU/Flatten only, got %s", l.Name())
+		}
+	}
+	if denseCount == 0 {
+		return nil, fmt.Errorf("nn: no dense layers to quantize")
+	}
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("nn: calibration needs examples")
+	}
+	st := &CalibrationStats{MaxAbs: make([]float64, denseCount+1)}
+	for _, ex := range examples {
+		x := ex.X
+		idx := 0
+		// Track the max-abs entering each dense layer.
+		cur := x
+		for _, l := range n.Layers {
+			switch ll := l.(type) {
+			case *Flatten:
+				out, err := ll.Forward(cur, false)
+				if err != nil {
+					return nil, err
+				}
+				cur = out
+			case *Dense:
+				st.MaxAbs[idx] = math.Max(st.MaxAbs[idx], maxAbs(cur.Data))
+				out, err := ll.Forward(cur, false)
+				if err != nil {
+					return nil, err
+				}
+				cur = out
+				idx++
+			case *ReLU:
+				out, err := ll.Forward(cur, false)
+				if err != nil {
+					return nil, err
+				}
+				cur = out
+			}
+		}
+		st.MaxAbs[denseCount] = math.Max(st.MaxAbs[denseCount], maxAbs(cur.Data))
+	}
+	return st, nil
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, v := range xs {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// BuildQMLP converts a calibrated float MLP into the integer pipeline.
+func BuildQMLP(n *Sequential, st *CalibrationStats) (*QMLP, error) {
+	if st == nil || len(st.MaxAbs) == 0 {
+		return nil, fmt.Errorf("nn: missing calibration")
+	}
+	scaleOf := func(maxAbs float64) float64 {
+		if maxAbs == 0 {
+			return 1
+		}
+		return maxAbs / 127
+	}
+	q := &QMLP{InputScale: scaleOf(st.MaxAbs[0])}
+	idx := 0
+	var pendingReLU *QDense
+	for _, l := range n.Layers {
+		switch ll := l.(type) {
+		case *Dense:
+			wq := QuantizeTensor(ll.W.W)
+			inScale := scaleOf(st.MaxAbs[idx])
+			outScale := scaleOf(st.MaxAbs[idx+1])
+			bq := make([]int32, ll.Out)
+			for o := 0; o < ll.Out; o++ {
+				bq[o] = int32(math.Round(ll.B.W[o] / (inScale * wq.Scale)))
+			}
+			qd := &QDense{
+				In: ll.In, Out: ll.Out,
+				WQ: wq.Q, BQ: bq,
+				WScale: wq.Scale, InScale: inScale, OutScale: outScale,
+			}
+			q.Layers = append(q.Layers, qd)
+			pendingReLU = qd
+			idx++
+		case *ReLU:
+			if pendingReLU == nil {
+				return nil, fmt.Errorf("nn: ReLU before any dense layer")
+			}
+			pendingReLU.ReLU = true
+			pendingReLU = nil
+		case *Flatten:
+			// shape-only; nothing to quantize
+		default:
+			return nil, fmt.Errorf("nn: int8 inference supports Dense/ReLU/Flatten only, got %s", l.Name())
+		}
+	}
+	if len(q.Layers) == 0 {
+		return nil, fmt.Errorf("nn: nothing quantized")
+	}
+	return q, nil
+}
+
+// quantizeActivations maps a float vector to int8 at the given scale.
+func quantizeActivations(x []float64, scale float64) []int8 {
+	out := make([]int8, len(x))
+	for i, v := range x {
+		r := math.Round(v / scale)
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		out[i] = int8(r)
+	}
+	return out
+}
+
+// Infer runs the integer pipeline on a float input (rank-1 or flattened
+// rank-2) and returns float logits (dequantized once at the output).
+func (q *QMLP) Infer(x *Tensor) ([]float64, error) {
+	if len(q.Layers) == 0 {
+		return nil, fmt.Errorf("nn: empty quantized network")
+	}
+	data := x.Data
+	if q.Layers[0].In != len(data) {
+		return nil, fmt.Errorf("nn: quantized input size %d, want %d", len(data), q.Layers[0].In)
+	}
+	acts := quantizeActivations(data, q.InputScale)
+	for li, l := range q.Layers {
+		if len(acts) != l.In {
+			return nil, fmt.Errorf("nn: layer %d input %d, want %d", li, len(acts), l.In)
+		}
+		next := make([]int8, l.Out)
+		// Requantization multiplier: accumulator scale -> out scale.
+		m := l.InScale * l.WScale / l.OutScale
+		last := li == len(q.Layers)-1
+		var logits []float64
+		if last {
+			logits = make([]float64, l.Out)
+		}
+		for o := 0; o < l.Out; o++ {
+			var acc int32
+			row := l.WQ[o*l.In : (o+1)*l.In]
+			for i, a := range acts {
+				acc += int32(row[i]) * int32(a)
+			}
+			acc += l.BQ[o]
+			if last {
+				// Dequantize the final logits exactly once.
+				v := float64(acc) * l.InScale * l.WScale
+				if l.ReLU && v < 0 {
+					v = 0
+				}
+				logits[o] = v
+				continue
+			}
+			r := math.Round(float64(acc) * m)
+			if l.ReLU && r < 0 {
+				r = 0
+			}
+			if r > 127 {
+				r = 127
+			}
+			if r < -128 {
+				r = -128
+			}
+			next[o] = int8(r)
+		}
+		if last {
+			return logits, nil
+		}
+		acts = next
+	}
+	return nil, fmt.Errorf("nn: unreachable")
+}
+
+// PredictClass returns the argmax class of the integer pipeline.
+func (q *QMLP) PredictClass(x *Tensor) (int, error) {
+	logits, err := q.Infer(x)
+	if err != nil {
+		return -1, err
+	}
+	return Argmax(logits), nil
+}
+
+// Evaluate returns integer-pipeline accuracy on examples.
+func (q *QMLP) Evaluate(examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation examples")
+	}
+	var hit int
+	for _, ex := range examples {
+		c, err := q.PredictClass(flattenExample(ex.X))
+		if err != nil {
+			return 0, err
+		}
+		if c == ex.Y {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(examples)), nil
+}
+
+// flattenExample views a rank-2 tensor as rank-1 (MLPs flatten anyway).
+func flattenExample(x *Tensor) *Tensor {
+	if !x.IsMatrix() {
+		return x
+	}
+	return &Tensor{Data: x.Data, Cols: len(x.Data)}
+}
+
+// SizeBytes returns the integer pipeline's deployment size: int8 weights,
+// int32 biases, and the handful of scales.
+func (q *QMLP) SizeBytes() int {
+	n := 8 // input scale
+	for _, l := range q.Layers {
+		n += len(l.WQ) + 4*len(l.BQ) + 3*8
+	}
+	return n
+}

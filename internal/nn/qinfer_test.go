@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainedMLP returns a float MLP trained on a small separable task plus
+// its train/test examples.
+func trainedMLP(t *testing.T) (*Sequential, []Example, []Example) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	var exs []Example
+	for i := 0; i < 120; i++ {
+		x := NewVector(6)
+		y := i % 3
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64() * 0.4
+		}
+		x.Data[y] += 2.2 // class-indicative bump
+		exs = append(exs, Example{X: x, Y: y})
+	}
+	r := rand.New(rand.NewSource(5))
+	net := NewSequential(
+		NewFlatten(),
+		NewDense(6, 16, r),
+		NewReLU(),
+		NewDense(16, 3, r),
+	)
+	if _, err := net.Fit(exs[:90], TrainConfig{Epochs: 40, BatchSize: 8, Optimizer: NewAdam(0.01), Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return net, exs[:90], exs[90:]
+}
+
+func TestQMLPMatchesFloatAccuracy(t *testing.T) {
+	net, train, test := trainedMLP(t)
+	floatAcc, err := net.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intAcc, err := q.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("float acc %.3f, int8 acc %.3f", floatAcc, intAcc)
+	if floatAcc-intAcc > 0.05 {
+		t.Errorf("int8 accuracy %.3f more than 5 pp below float %.3f", intAcc, floatAcc)
+	}
+	if floatAcc < 0.9 {
+		t.Errorf("float model underfit: %.3f", floatAcc)
+	}
+}
+
+func TestQMLPLogitsCloseToFloat(t *testing.T) {
+	net, train, test := trainedMLP(t)
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range test[:5] {
+		want, err := net.Forward(ex.X, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Infer(ex.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := 1 + maxAbs(want.Data)
+		for i := range got {
+			if math.Abs(got[i]-want.Data[i])/scale > 0.12 {
+				t.Errorf("logit %d: int8 %.3f vs float %.3f", i, got[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestQMLPSizeAdvantage(t *testing.T) {
+	net, train, _ := trainedMLP(t)
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On this tiny net the int32 biases and per-layer scales eat into the
+	// 4x asymptotic ratio; 2x is the floor.
+	floatBytes := Float32SizeBytes(net)
+	if ratio := float64(floatBytes) / float64(q.SizeBytes()); ratio < 2.0 {
+		t.Errorf("int8 pipeline only %.1fx smaller", ratio)
+	}
+	// At a realistic width the ratio approaches 4x.
+	rng := rand.New(rand.NewSource(2))
+	big := NewSequential(NewDense(512, 256, rng), NewReLU(), NewDense(256, 8, rng))
+	x := NewVector(512)
+	stBig, err := CalibrateMLP(big, []Example{{X: x, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBig, err := BuildQMLP(big, stBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(Float32SizeBytes(big)) / float64(qBig.SizeBytes()); ratio < 3.8 {
+		t.Errorf("large-net int8 ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestQMLPRejectsUnsupportedLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lstmNet := NewSequential(NewLSTM(4, 4, false, rng), NewDense(4, 2, rng))
+	x := NewMatrix(3, 4)
+	if _, err := CalibrateMLP(lstmNet, []Example{{X: x, Y: 0}}); err == nil {
+		t.Error("LSTM network accepted for int8 MLP inference")
+	}
+	dense := NewSequential(NewDense(4, 2, rng))
+	if _, err := CalibrateMLP(dense, nil); err == nil {
+		t.Error("no calibration examples accepted")
+	}
+	if _, err := BuildQMLP(dense, nil); err == nil {
+		t.Error("missing stats accepted")
+	}
+}
+
+func TestQMLPInputValidation(t *testing.T) {
+	net, train, _ := trainedMLP(t)
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Infer(NewVector(5)); err == nil {
+		t.Error("wrong input size accepted")
+	}
+	if _, err := q.Evaluate(nil); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+}
+
+func BenchmarkQMLPInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(
+		NewDense(128, 64, rng),
+		NewReLU(),
+		NewDense(64, 8, rng),
+	)
+	x := NewVector(128)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	st, err := CalibrateMLP(net, []Example{{X: x, Y: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Infer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

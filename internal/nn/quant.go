@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizedTensor is a per-tensor symmetrically quantized int8 weight
+// payload: w ≈ scale * q.
+type QuantizedTensor struct {
+	Q     []int8
+	Scale float64
+}
+
+// QuantizeTensor quantizes w to int8 with a symmetric per-tensor scale.
+// An all-zero tensor gets scale 1.
+func QuantizeTensor(w []float64) QuantizedTensor {
+	var maxAbs float64
+	for _, v := range w {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	if scale == 0 {
+		scale = 1
+	}
+	q := make([]int8, len(w))
+	for i, v := range w {
+		r := math.Round(v / scale)
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		q[i] = int8(r)
+	}
+	return QuantizedTensor{Q: q, Scale: scale}
+}
+
+// Dequantize expands the int8 payload back to float64.
+func (q QuantizedTensor) Dequantize() []float64 {
+	out := make([]float64, len(q.Q))
+	for i, v := range q.Q {
+		out[i] = float64(v) * q.Scale
+	}
+	return out
+}
+
+// QuantizedModel holds the int8 snapshot of a network's parameters.
+type QuantizedModel struct {
+	Tensors []QuantizedTensor
+}
+
+// Quantize performs post-training quantization of all parameters.
+func Quantize(n *Sequential) *QuantizedModel {
+	var m QuantizedModel
+	for _, p := range n.Params() {
+		m.Tensors = append(m.Tensors, QuantizeTensor(p.W))
+	}
+	return &m
+}
+
+// ApplyTo loads the (dequantized) int8 weights into an identically shaped
+// network, giving the quantized-inference path: int8 storage, float
+// compute, exactly the deployment model the paper evaluates in Fig 3d.
+func (m *QuantizedModel) ApplyTo(n *Sequential) error {
+	params := n.Params()
+	if len(params) != len(m.Tensors) {
+		return fmt.Errorf("nn: quantized model has %d tensors, network has %d", len(m.Tensors), len(params))
+	}
+	for i, p := range params {
+		if len(m.Tensors[i].Q) != len(p.W) {
+			return fmt.Errorf("nn: quantized tensor %d has %d values, want %d", i, len(m.Tensors[i].Q), len(p.W))
+		}
+		copy(p.W, m.Tensors[i].Dequantize())
+	}
+	return nil
+}
+
+// SizeBytes returns the int8 model size: one byte per weight plus an
+// 8-byte scale per tensor.
+func (m *QuantizedModel) SizeBytes() int {
+	var n int
+	for _, t := range m.Tensors {
+		n += len(t.Q) + 8
+	}
+	return n
+}
+
+// Float32SizeBytes returns the deployment size of the float model
+// (4 bytes per weight, the Fig 3c float baseline).
+func Float32SizeBytes(n *Sequential) int { return 4 * n.NumParams() }
+
+// QuantizationError returns the max absolute and RMS weight error
+// introduced by quantizing n's parameters.
+func QuantizationError(n *Sequential) (maxAbs, rms float64) {
+	var sq float64
+	var cnt int
+	for _, p := range n.Params() {
+		qt := QuantizeTensor(p.W)
+		dq := qt.Dequantize()
+		for i, w := range p.W {
+			e := math.Abs(w - dq[i])
+			if e > maxAbs {
+				maxAbs = e
+			}
+			sq += e * e
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		rms = math.Sqrt(sq / float64(cnt))
+	}
+	return maxAbs, rms
+}

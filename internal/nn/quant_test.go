@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeTensorRoundTrip(t *testing.T) {
+	w := []float64{-1, -0.5, 0, 0.25, 1}
+	q := QuantizeTensor(w)
+	d := q.Dequantize()
+	for i := range w {
+		if math.Abs(w[i]-d[i]) > q.Scale/2+1e-12 {
+			t.Errorf("w[%d]=%g dequantized to %g (scale %g)", i, w[i], d[i], q.Scale)
+		}
+	}
+	// Extremes map to +-127.
+	if q.Q[0] != -127 || q.Q[4] != 127 {
+		t.Errorf("extremes quantized to %d, %d", q.Q[0], q.Q[4])
+	}
+}
+
+func TestQuantizeAllZero(t *testing.T) {
+	q := QuantizeTensor(make([]float64, 5))
+	if q.Scale != 1 {
+		t.Errorf("zero tensor scale = %g, want 1", q.Scale)
+	}
+	for _, v := range q.Q {
+		if v != 0 {
+			t.Error("zero tensor has nonzero quantized values")
+		}
+	}
+}
+
+// Property: quantization error never exceeds half a quantization step.
+func TestQuantizeErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5)-2))
+		}
+		q := QuantizeTensor(w)
+		d := q.Dequantize()
+		for i := range w {
+			if math.Abs(w[i]-d[i]) > q.Scale/2+1e-9*math.Abs(w[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizedModelApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(55))
+		return NewSequential(NewDense(6, 10, r), NewReLU(), NewDense(10, 4, r))
+	}
+	n := build()
+	for _, p := range n.Params() {
+		for i := range p.W {
+			p.W[i] = rng.NormFloat64()
+		}
+	}
+	qm := Quantize(n)
+	m := build()
+	if err := qm.ApplyTo(m); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must be close but storage 4x smaller.
+	x := NewVector(6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	yf, err := n.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yq, err := m.Forward(x.Clone(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range yf.Data {
+		if math.Abs(yf.Data[i]-yq.Data[i]) > 0.2 {
+			t.Errorf("quantized output diverges: %g vs %g", yf.Data[i], yq.Data[i])
+		}
+	}
+	fsize := Float32SizeBytes(n)
+	qsize := qm.SizeBytes()
+	// Per-tensor scale overhead (8 B each) matters on this tiny model, so
+	// the ratio falls a bit short of the asymptotic 4x.
+	ratio := float64(fsize) / float64(qsize)
+	if ratio < 3.0 || ratio > 4.1 {
+		t.Errorf("compression ratio %g, want ~4", ratio)
+	}
+	// Mismatched apply rejected.
+	bad := NewSequential(NewDense(6, 9, rng))
+	if err := qm.ApplyTo(bad); err == nil {
+		t.Error("mismatched ApplyTo accepted")
+	}
+}
+
+func TestQuantizationErrorMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewSequential(NewDense(8, 8, rng))
+	maxAbs, rms := QuantizationError(n)
+	if maxAbs < 0 || rms < 0 || rms > maxAbs+1e-12 {
+		t.Errorf("error metrics inconsistent: max %g rms %g", maxAbs, rms)
+	}
+	if maxAbs == 0 {
+		t.Error("expected nonzero quantization error on random weights")
+	}
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(512, 256, rng)
+	x := NewVector(512)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSTMForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(40, 64, false, rng)
+	x := NewMatrix(50, 40)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FitOptions extends training with validation-driven early stopping and
+// step learning-rate decay — the utilities a real training run needs on
+// top of the basic loop.
+type FitOptions struct {
+	Train TrainConfig
+	// Validation, when non-empty, is evaluated after every epoch.
+	Validation []Example
+	// Patience stops training after this many epochs without a new best
+	// validation accuracy (0 disables early stopping).
+	Patience int
+	// DecayEvery halves the learning rate every N epochs (0 disables);
+	// only effective when Train.Optimizer is *Adam or *SGD.
+	DecayEvery int
+}
+
+// FitResult reports the run.
+type FitResult struct {
+	Epochs        int
+	FinalLoss     float64
+	BestValAcc    float64
+	BestEpoch     int
+	StoppedEarly  bool
+	ValAccHistory []float64
+}
+
+// FitWithOptions trains with early stopping and LR decay, restoring the
+// best-validation weights before returning when validation is provided.
+func (n *Sequential) FitWithOptions(examples []Example, opts FitOptions) (*FitResult, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("nn: no training examples")
+	}
+	cfg := opts.Train
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	res := &FitResult{BestEpoch: -1}
+	var best [][]float64
+	snapshotParams := func() [][]float64 {
+		var out [][]float64
+		for _, p := range n.Params() {
+			cp := make([]float64, len(p.W))
+			copy(cp, p.W)
+			out = append(out, cp)
+		}
+		return out
+	}
+	restoreParams := func(snap [][]float64) {
+		for i, p := range n.Params() {
+			copy(p.W, snap[i])
+		}
+	}
+	since := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		one := cfg
+		one.Epochs = 1
+		one.Seed = cfg.Seed + int64(epoch)
+		loss, err := n.Fit(examples, one)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalLoss = loss
+		res.Epochs = epoch + 1
+		if opts.DecayEvery > 0 && (epoch+1)%opts.DecayEvery == 0 {
+			halveLR(cfg.Optimizer)
+		}
+		if len(opts.Validation) > 0 {
+			acc, err := n.Evaluate(opts.Validation)
+			if err != nil {
+				return nil, err
+			}
+			res.ValAccHistory = append(res.ValAccHistory, acc)
+			if acc > res.BestValAcc || res.BestEpoch < 0 {
+				res.BestValAcc = acc
+				res.BestEpoch = epoch
+				best = snapshotParams()
+				since = 0
+			} else {
+				since++
+				if opts.Patience > 0 && since >= opts.Patience {
+					res.StoppedEarly = true
+					break
+				}
+			}
+		}
+	}
+	if best != nil {
+		restoreParams(best)
+	}
+	return res, nil
+}
+
+// halveLR halves the learning rate of the known optimizer types.
+func halveLR(opt Optimizer) {
+	switch o := opt.(type) {
+	case *Adam:
+		o.LR /= 2
+	case *SGD:
+		o.LR /= 2
+	}
+}
+
+// HoldoutSplit partitions examples into train/validation with the given
+// validation fraction, stratified by class and shuffled deterministically.
+func HoldoutSplit(examples []Example, valFrac float64, seed int64) (train, val []Example, err error) {
+	if len(examples) < 2 {
+		return nil, nil, fmt.Errorf("nn: need at least 2 examples to split")
+	}
+	if valFrac <= 0 || valFrac >= 1 {
+		return nil, nil, fmt.Errorf("nn: validation fraction %g outside (0,1)", valFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(examples))
+	period := int(1 / valFrac)
+	if period < 2 {
+		period = 2
+	}
+	perClass := map[int]int{}
+	for _, i := range idx {
+		ex := examples[i]
+		c := perClass[ex.Y]
+		perClass[ex.Y] = c + 1
+		if c%period == period-1 {
+			val = append(val, ex)
+		} else {
+			train = append(train, ex)
+		}
+	}
+	if len(val) == 0 || len(train) == 0 {
+		return nil, nil, fmt.Errorf("nn: split degenerate (%d train, %d val)", len(train), len(val))
+	}
+	return train, val, nil
+}

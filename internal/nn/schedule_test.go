@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func classTask(n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	var exs []Example
+	for i := 0; i < n; i++ {
+		x := NewVector(4)
+		y := i % 2
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64() * 0.5
+		}
+		x.Data[y*2] += 2
+		exs = append(exs, Example{X: x, Y: y})
+	}
+	return exs
+}
+
+func TestFitWithOptionsEarlyStopping(t *testing.T) {
+	exs := classTask(80, 1)
+	train, val, err := HoldoutSplit(exs, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	net := NewSequential(NewDense(4, 8, r), NewTanh(), NewDense(8, 2, r))
+	res, err := net.FitWithOptions(train, FitOptions{
+		Train:      TrainConfig{Epochs: 200, BatchSize: 8, Optimizer: NewAdam(0.02), Seed: 1},
+		Validation: val,
+		Patience:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Error("separable task should trigger early stopping before 200 epochs")
+	}
+	if res.Epochs >= 200 {
+		t.Errorf("ran all %d epochs", res.Epochs)
+	}
+	if res.BestValAcc < 0.9 {
+		t.Errorf("best validation accuracy %.2f", res.BestValAcc)
+	}
+	// Restored weights achieve the recorded best accuracy.
+	acc, err := net.Evaluate(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < res.BestValAcc-1e-9 {
+		t.Errorf("restored accuracy %.3f below recorded best %.3f", acc, res.BestValAcc)
+	}
+	if len(res.ValAccHistory) != res.Epochs {
+		t.Errorf("history length %d != epochs %d", len(res.ValAccHistory), res.Epochs)
+	}
+}
+
+func TestFitWithOptionsLRDecay(t *testing.T) {
+	exs := classTask(40, 3)
+	r := rand.New(rand.NewSource(4))
+	net := NewSequential(NewDense(4, 6, r), NewTanh(), NewDense(6, 2, r))
+	opt := NewAdam(0.02)
+	if _, err := net.FitWithOptions(exs, FitOptions{
+		Train:      TrainConfig{Epochs: 10, BatchSize: 8, Optimizer: opt, Seed: 1},
+		DecayEvery: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 10 epochs with halving every 2: LR = 0.02 / 2^5.
+	want := 0.02 / 32
+	if diff := opt.LR - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("LR after decay %g, want %g", opt.LR, want)
+	}
+}
+
+func TestHoldoutSplit(t *testing.T) {
+	exs := classTask(40, 5)
+	train, val, err := HoldoutSplit(exs, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(val) != 40 {
+		t.Fatalf("split loses examples: %d + %d", len(train), len(val))
+	}
+	if len(val) < 6 || len(val) > 14 {
+		t.Errorf("validation size %d, want ~10", len(val))
+	}
+	// Both classes present in validation (stratified).
+	seen := map[int]bool{}
+	for _, ex := range val {
+		seen[ex.Y] = true
+	}
+	if len(seen) != 2 {
+		t.Error("validation missing a class")
+	}
+	if _, _, err := HoldoutSplit(exs[:1], 0.25, 1); err == nil {
+		t.Error("single example accepted")
+	}
+	if _, _, err := HoldoutSplit(exs, 0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}

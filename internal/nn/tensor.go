@@ -1,0 +1,123 @@
+// Package nn is a small from-scratch neural-network library sufficient to
+// reproduce the paper's three affect classifiers: a multi-layer perceptron,
+// a 1-D convolutional network, and a two-layer LSTM. It provides dense,
+// convolutional, pooling, recurrent, and activation layers with
+// backpropagation, SGD and Adam optimizers, softmax cross-entropy loss,
+// gob model serialization, and int8 post-training quantization with a
+// quantized inference path (§2.2, Fig 3).
+//
+// Tensors are dense row-major float64 arrays of rank 1 ([D]) or rank 2
+// ([T][D]); that is all the classifier topologies need.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major array of rank 1 or 2.
+type Tensor struct {
+	Data []float64
+	// Rows is 0 for rank-1 tensors; otherwise the tensor is Rows x Cols.
+	Rows, Cols int
+}
+
+// NewVector returns a rank-1 tensor of length n.
+func NewVector(n int) *Tensor { return &Tensor{Data: make([]float64, n), Cols: n} }
+
+// NewMatrix returns a rank-2 tensor of shape rows x cols.
+func NewMatrix(rows, cols int) *Tensor {
+	return &Tensor{Data: make([]float64, rows*cols), Rows: rows, Cols: cols}
+}
+
+// FromVector wraps a slice as a rank-1 tensor (no copy).
+func FromVector(v []float64) *Tensor { return &Tensor{Data: v, Cols: len(v)} }
+
+// FromMatrix copies a [][]float64 into a rank-2 tensor. All rows must have
+// equal length.
+func FromMatrix(rows [][]float64) (*Tensor, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("nn: empty matrix")
+	}
+	w := len(rows[0])
+	t := NewMatrix(len(rows), w)
+	for i, r := range rows {
+		if len(r) != w {
+			return nil, fmt.Errorf("nn: ragged matrix row %d (%d != %d)", i, len(r), w)
+		}
+		copy(t.Data[i*w:(i+1)*w], r)
+	}
+	return t, nil
+}
+
+// IsMatrix reports whether t has rank 2.
+func (t *Tensor) IsMatrix() bool { return t.Rows > 0 }
+
+// Len returns the total element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Row returns the i-th row of a rank-2 tensor as a slice view.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// At returns element (i, j) of a rank-2 tensor.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j) of a rank-2 tensor.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Data: make([]float64, len(t.Data)), Rows: t.Rows, Cols: t.Cols}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// ShapeString renders the tensor shape for error messages.
+func (t *Tensor) ShapeString() string {
+	if t.IsMatrix() {
+		return fmt.Sprintf("[%dx%d]", t.Rows, t.Cols)
+	}
+	return fmt.Sprintf("[%d]", t.Cols)
+}
+
+// Param is a learnable parameter tensor with its accumulated gradient.
+type Param struct {
+	W    []float64
+	Grad []float64
+	// Shape metadata for serialization and quantization reporting.
+	Rows, Cols int
+	Name       string
+}
+
+func newParam(name string, rows, cols int) *Param {
+	return &Param{
+		W:    make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+		Rows: rows, Cols: cols,
+		Name: name,
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// initXavier fills p.W with Glorot-uniform values using the fan-in/fan-out
+// of the parameter shape.
+func (p *Param) initXavier(rng *rand.Rand) {
+	fanIn, fanOut := p.Cols, p.Rows
+	if fanIn == 0 {
+		fanIn = 1
+	}
+	if fanOut == 0 {
+		fanOut = 1
+	}
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

@@ -1,0 +1,180 @@
+// Package personality models the four study subjects of §5.1 (Fig 7
+// left): Big-Five personality profiles and their top-20 app-category
+// usage distributions, reproduced from the paper's description of the
+// 640-subject smartphone-usage study it samples from. The paper uses
+// personality as a proxy for long-term affect; subjects 3 and 4 stand in
+// for the excited and calm moods of the Fig 9 experiment.
+package personality
+
+import (
+	"fmt"
+	"sort"
+
+	"affectedge/internal/emotion"
+)
+
+// BigFive is an OCEAN personality score vector, each trait in [0, 1].
+type BigFive struct {
+	Openness          float64
+	Conscientiousness float64
+	Extraversion      float64
+	Agreeableness     float64
+	EmotionalStab     float64
+}
+
+// Category is an app-usage category from the study's top-20 taxonomy.
+type Category string
+
+// The top-20 categories of Fig 7.
+const (
+	Messaging      Category = "messaging"
+	SocialNetworks Category = "social_networks"
+	Foto           Category = "foto"
+	Settings       Category = "settings"
+	MusicRadio     Category = "music_audio_radio"
+	TimerClocks    Category = "timer_clocks"
+	Calling        Category = "calling"
+	Calculator     Category = "calculator"
+	Browser        Category = "internet_browser"
+	EMail          Category = "e_mail"
+	Shopping       Category = "shopping"
+	SharingCloud   Category = "sharing_cloud"
+	Camera         Category = "camera"
+	Video          Category = "video"
+	TV             Category = "tv"
+	VideoApps      Category = "video_apps"
+	Gallery        Category = "gallery"
+	SystemApp      Category = "system_app"
+	CalendarApps   Category = "calendar_apps"
+	Transportation Category = "shared_transportation"
+)
+
+// Categories returns all 20 categories in a stable order.
+func Categories() []Category {
+	return []Category{
+		Messaging, SocialNetworks, Foto, Settings, MusicRadio,
+		TimerClocks, Calling, Calculator, Browser, EMail,
+		Shopping, SharingCloud, Camera, Video, TV,
+		VideoApps, Gallery, SystemApp, CalendarApps, Transportation,
+	}
+}
+
+// Subject is one studied user: a personality profile and a daily usage
+// mix over the top-20 categories (fractions summing to 1).
+type Subject struct {
+	ID          int
+	Description string
+	Profile     BigFive
+	Usage       map[Category]float64
+	// Mood is the coarse affect this subject emulates in the Fig 9
+	// experiment (the paper maps subject 3 -> excited, subject 4 -> calm).
+	Mood emotion.Mood
+}
+
+// Subjects returns the four studied subjects. Messaging plus internet
+// browsing dominate every subject at 60-70% combined, per Fig 7; the
+// remaining 30-40% varies with personality.
+func Subjects() []Subject {
+	return []Subject{
+		{
+			ID:          1,
+			Description: "high agreeableness and willingness to trust",
+			Profile:     BigFive{Openness: 0.55, Conscientiousness: 0.50, Extraversion: 0.45, Agreeableness: 0.90, EmotionalStab: 0.55},
+			Mood:        emotion.CalmMood,
+			Usage: usage(map[Category]float64{
+				Messaging: 0.38, Browser: 0.26,
+				MusicRadio: 0.08, SharingCloud: 0.07, TV: 0.05, VideoApps: 0.04,
+				SocialNetworks: 0.03, EMail: 0.02, Calling: 0.02, Settings: 0.01,
+				Foto: 0.01, Gallery: 0.01, Camera: 0.005, Shopping: 0.005,
+				TimerClocks: 0.005, Calculator: 0.002, Video: 0.003,
+				SystemApp: 0.005, CalendarApps: 0.003, Transportation: 0.002,
+			}),
+		},
+		{
+			ID:          2,
+			Description: "moderate personality with median trait scores",
+			Profile:     BigFive{Openness: 0.50, Conscientiousness: 0.50, Extraversion: 0.50, Agreeableness: 0.50, EmotionalStab: 0.50},
+			Mood:        emotion.CalmMood,
+			Usage: usage(map[Category]float64{
+				Messaging: 0.36, Browser: 0.25,
+				SharingCloud: 0.06, TV: 0.06, VideoApps: 0.06,
+				SocialNetworks: 0.04, EMail: 0.03, MusicRadio: 0.03,
+				Calling: 0.02, Settings: 0.02, Gallery: 0.02, Foto: 0.01,
+				Camera: 0.01, Shopping: 0.01, TimerClocks: 0.005,
+				Calculator: 0.005, Video: 0.005, SystemApp: 0.005,
+				CalendarApps: 0.005, Transportation: 0.005,
+			}),
+		},
+		{
+			ID:          3,
+			Description: "high cheerfulness and positive mood",
+			Profile:     BigFive{Openness: 0.60, Conscientiousness: 0.45, Extraversion: 0.85, Agreeableness: 0.60, EmotionalStab: 0.70},
+			Mood:        emotion.Excited,
+			Usage: usage(map[Category]float64{
+				Messaging: 0.34, Browser: 0.26,
+				Calling: 0.10, Transportation: 0.07, SocialNetworks: 0.06,
+				MusicRadio: 0.04, Camera: 0.03, Foto: 0.02, Gallery: 0.02,
+				Shopping: 0.02, EMail: 0.01, Settings: 0.005, TV: 0.005,
+				VideoApps: 0.01, SharingCloud: 0.01, TimerClocks: 0.005,
+				Calculator: 0.002, Video: 0.005, SystemApp: 0.005,
+				CalendarApps: 0.003,
+			}),
+		},
+		{
+			ID:          4,
+			Description: "median scores with an even usage pattern",
+			Profile:     BigFive{Openness: 0.50, Conscientiousness: 0.55, Extraversion: 0.45, Agreeableness: 0.50, EmotionalStab: 0.50},
+			Mood:        emotion.CalmMood,
+			Usage: usage(map[Category]float64{
+				Messaging: 0.33, Browser: 0.27,
+				EMail: 0.04, SocialNetworks: 0.04, Gallery: 0.035,
+				SharingCloud: 0.035, MusicRadio: 0.03, TV: 0.03,
+				VideoApps: 0.03, Settings: 0.025, Calling: 0.025,
+				Foto: 0.02, Camera: 0.02, Shopping: 0.02,
+				TimerClocks: 0.015, Calculator: 0.01, Video: 0.01,
+				SystemApp: 0.01, CalendarApps: 0.01, Transportation: 0.01,
+			}),
+		},
+	}
+}
+
+// usage normalizes a category mix to sum exactly to 1.
+func usage(m map[Category]float64) map[Category]float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	out := make(map[Category]float64, len(m))
+	for k, v := range m {
+		out[k] = v / sum
+	}
+	return out
+}
+
+// SubjectByMood returns the subject the paper uses to emulate a mood:
+// subject 3 for excited, subject 4 for calm.
+func SubjectByMood(m emotion.Mood) (Subject, error) {
+	switch m {
+	case emotion.Excited:
+		return Subjects()[2], nil
+	case emotion.CalmMood:
+		return Subjects()[3], nil
+	}
+	return Subject{}, fmt.Errorf("personality: no subject for mood %v", m)
+}
+
+// TopCategories returns a subject's n most used categories, descending.
+func (s Subject) TopCategories(n int) []Category {
+	cats := Categories()
+	sort.SliceStable(cats, func(i, j int) bool { return s.Usage[cats[i]] > s.Usage[cats[j]] })
+	if n > len(cats) {
+		n = len(cats)
+	}
+	return cats[:n]
+}
+
+// MessagingBrowsingShare returns the combined messaging + browser usage
+// fraction, which Fig 7 reports at 60-70% for every subject.
+func (s Subject) MessagingBrowsingShare() float64 {
+	return s.Usage[Messaging] + s.Usage[Browser]
+}

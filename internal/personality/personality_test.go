@@ -1,0 +1,135 @@
+package personality
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/emotion"
+)
+
+func TestSubjectsCount(t *testing.T) {
+	subs := Subjects()
+	if len(subs) != 4 {
+		t.Fatalf("%d subjects, want 4", len(subs))
+	}
+	for i, s := range subs {
+		if s.ID != i+1 {
+			t.Errorf("subject %d has ID %d", i, s.ID)
+		}
+	}
+}
+
+func TestUsageDistributionsNormalized(t *testing.T) {
+	for _, s := range Subjects() {
+		var sum float64
+		for _, v := range s.Usage {
+			if v < 0 {
+				t.Errorf("subject %d has negative usage", s.ID)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("subject %d usage sums to %g", s.ID, sum)
+		}
+		if len(s.Usage) != 20 {
+			t.Errorf("subject %d covers %d categories, want 20", s.ID, len(s.Usage))
+		}
+	}
+}
+
+func TestMessagingBrowsingDominates(t *testing.T) {
+	// Fig 7: messaging + internet browsing is 60-70% for every subject.
+	for _, s := range Subjects() {
+		share := s.MessagingBrowsingShare()
+		if share < 0.58 || share > 0.72 {
+			t.Errorf("subject %d messaging+browsing share %.2f outside [0.58, 0.72]", s.ID, share)
+		}
+	}
+}
+
+func TestSubjectTraits(t *testing.T) {
+	subs := Subjects()
+	// Subject 1: high agreeableness.
+	if subs[0].Profile.Agreeableness < 0.8 {
+		t.Error("subject 1 should score high on agreeableness")
+	}
+	// Subject 3: high extraversion (cheerfulness proxy) and excited mood.
+	if subs[2].Profile.Extraversion < 0.8 {
+		t.Error("subject 3 should score high on extraversion")
+	}
+	if subs[2].Mood != emotion.Excited {
+		t.Error("subject 3 should emulate the excited mood")
+	}
+	if subs[3].Mood != emotion.CalmMood {
+		t.Error("subject 4 should emulate the calm mood")
+	}
+}
+
+func TestPersonalityShapesUsage(t *testing.T) {
+	subs := Subjects()
+	// Subject 1 (trusting): radio, sharing cloud and TV video above subject 3.
+	if subs[0].Usage[MusicRadio] <= subs[2].Usage[MusicRadio] {
+		t.Error("subject 1 should use radio more than subject 3")
+	}
+	if subs[0].Usage[SharingCloud] <= subs[2].Usage[SharingCloud] {
+		t.Error("subject 1 should use sharing cloud more than subject 3")
+	}
+	// Subject 3 (cheerful): calling and shared transportation above others.
+	for _, other := range []int{0, 1, 3} {
+		if subs[2].Usage[Calling] <= subs[other].Usage[Calling] {
+			t.Errorf("subject 3 should call more than subject %d", other+1)
+		}
+		if subs[2].Usage[Transportation] <= subs[other].Usage[Transportation] {
+			t.Errorf("subject 3 should use transportation more than subject %d", other+1)
+		}
+	}
+}
+
+func TestSubjectByMood(t *testing.T) {
+	ex, err := SubjectByMood(emotion.Excited)
+	if err != nil || ex.ID != 3 {
+		t.Errorf("excited -> subject %d (%v), want 3", ex.ID, err)
+	}
+	ca, err := SubjectByMood(emotion.CalmMood)
+	if err != nil || ca.ID != 4 {
+		t.Errorf("calm -> subject %d (%v), want 4", ca.ID, err)
+	}
+	if _, err := SubjectByMood(emotion.Mood(9)); err == nil {
+		t.Error("invalid mood accepted")
+	}
+}
+
+func TestTopCategories(t *testing.T) {
+	for _, s := range Subjects() {
+		top := s.TopCategories(3)
+		if len(top) != 3 {
+			t.Fatalf("top-3 has %d entries", len(top))
+		}
+		if top[0] != Messaging {
+			t.Errorf("subject %d top category %v, want messaging", s.ID, top[0])
+		}
+		if top[1] != Browser {
+			t.Errorf("subject %d second category %v, want browser", s.ID, top[1])
+		}
+		// Descending order.
+		if s.Usage[top[1]] > s.Usage[top[0]] || s.Usage[top[2]] > s.Usage[top[1]] {
+			t.Errorf("subject %d top categories not descending", s.ID)
+		}
+	}
+	all := Subjects()[0].TopCategories(99)
+	if len(all) != 20 {
+		t.Errorf("over-long top request returned %d", len(all))
+	}
+}
+
+func TestCategoriesStable(t *testing.T) {
+	a, b := Categories(), Categories()
+	if len(a) != 20 {
+		t.Fatalf("%d categories", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("category order unstable")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Battery converts the relative component savings this library measures
+// into the quantity users feel: hours of battery life. The paper's
+// motivation is "to extend the limited battery life of wearable devices";
+// this model closes that loop.
+type Battery struct {
+	// CapacityWh is the battery capacity in watt-hours (a smartwatch is
+	// ~1.1 Wh, a phone ~15 Wh).
+	CapacityWh float64
+	// BaseLoadW is the always-on draw (display, radios, sensors) that the
+	// managed subsystems do not touch.
+	BaseLoadW float64
+	// ManagedLoadW is the subsystem draw under management (video decode,
+	// app/memory) at the unmanaged baseline.
+	ManagedLoadW float64
+}
+
+// SmartwatchBattery returns a watch-class model: 1.1 Wh, 25 mW base,
+// 45 mW managed (media playback dominates).
+func SmartwatchBattery() Battery {
+	return Battery{CapacityWh: 1.1, BaseLoadW: 0.025, ManagedLoadW: 0.045}
+}
+
+// SmartphoneBattery returns a phone-class model: 15 Wh, 350 mW base,
+// 400 mW managed.
+func SmartphoneBattery() Battery {
+	return Battery{CapacityWh: 15, BaseLoadW: 0.35, ManagedLoadW: 0.40}
+}
+
+func (b Battery) validate() error {
+	if b.CapacityWh <= 0 || b.BaseLoadW < 0 || b.ManagedLoadW < 0 {
+		return fmt.Errorf("power: invalid battery model %+v", b)
+	}
+	if b.BaseLoadW+b.ManagedLoadW == 0 {
+		return fmt.Errorf("power: battery model has zero load")
+	}
+	return nil
+}
+
+// Lifetime returns runtime at the unmanaged baseline draw.
+func (b Battery) Lifetime() (time.Duration, error) {
+	if err := b.validate(); err != nil {
+		return 0, err
+	}
+	hours := b.CapacityWh / (b.BaseLoadW + b.ManagedLoadW)
+	return time.Duration(hours * float64(time.Hour)), nil
+}
+
+// LifetimeWithSaving returns runtime when the managed subsystem's draw is
+// reduced by savingFrac (0..1), plus the gained duration over baseline.
+func (b Battery) LifetimeWithSaving(savingFrac float64) (runtime, gained time.Duration, err error) {
+	if err := b.validate(); err != nil {
+		return 0, 0, err
+	}
+	if savingFrac < 0 || savingFrac > 1 {
+		return 0, 0, fmt.Errorf("power: saving fraction %g outside [0,1]", savingFrac)
+	}
+	base, err := b.Lifetime()
+	if err != nil {
+		return 0, 0, err
+	}
+	managed := b.ManagedLoadW * (1 - savingFrac)
+	hours := b.CapacityWh / (b.BaseLoadW + managed)
+	runtime = time.Duration(hours * float64(time.Hour))
+	return runtime, runtime - base, nil
+}

@@ -1,0 +1,102 @@
+// Package power provides the component-level energy accounting used by the
+// decoder and app-management simulators. The paper reports power *ratios*
+// between operating modes of the same silicon, so the model tracks
+// activity-weighted energy per named component; absolute units are
+// arbitrary (normalized joules).
+package power
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Component identifies one energy-consuming block (e.g. "cavlc", "deblock").
+type Component string
+
+// Ledger accumulates energy per component.
+type Ledger struct {
+	energy map[Component]float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{energy: make(map[Component]float64)} }
+
+// Add charges e energy units to component c. Negative charges are rejected
+// so a miscalibrated model cannot silently create energy.
+func (l *Ledger) Add(c Component, e float64) error {
+	if e < 0 {
+		return fmt.Errorf("power: negative energy %g for %s", e, c)
+	}
+	l.energy[c] += e
+	return nil
+}
+
+// MustAdd is Add for callers with statically non-negative charges.
+func (l *Ledger) MustAdd(c Component, e float64) {
+	if err := l.Add(c, e); err != nil {
+		panic(err)
+	}
+}
+
+// Total returns the summed energy across components.
+func (l *Ledger) Total() float64 {
+	var t float64
+	for _, e := range l.energy {
+		t += e
+	}
+	return t
+}
+
+// Of returns the energy charged to one component.
+func (l *Ledger) Of(c Component) float64 { return l.energy[c] }
+
+// Fraction returns component c's share of the total (0 when empty).
+func (l *Ledger) Fraction(c Component) float64 {
+	t := l.Total()
+	if t == 0 {
+		return 0
+	}
+	return l.energy[c] / t
+}
+
+// Components returns the charged components in sorted order.
+func (l *Ledger) Components() []Component {
+	out := make([]Component, 0, len(l.energy))
+	for c := range l.energy {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddLedger merges another ledger's charges into l.
+func (l *Ledger) AddLedger(other *Ledger) {
+	for c, e := range other.energy {
+		l.energy[c] += e
+	}
+}
+
+// Reset clears all charges.
+func (l *Ledger) Reset() { l.energy = make(map[Component]float64) }
+
+// String renders a normalized breakdown table.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	total := l.Total()
+	fmt.Fprintf(&b, "total %.4g\n", total)
+	for _, c := range l.Components() {
+		fmt.Fprintf(&b, "  %-12s %12.4g (%5.1f%%)\n", c, l.energy[c], 100*l.Fraction(c))
+	}
+	return b.String()
+}
+
+// Saving returns the fractional energy saving of this ledger versus a
+// baseline: 1 - total/baseline. A zero baseline yields 0.
+func (l *Ledger) Saving(baseline *Ledger) float64 {
+	bt := baseline.Total()
+	if bt == 0 {
+		return 0
+	}
+	return 1 - l.Total()/bt
+}

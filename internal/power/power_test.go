@@ -1,0 +1,170 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLedgerBasics(t *testing.T) {
+	l := NewLedger()
+	if l.Total() != 0 {
+		t.Fatal("new ledger not empty")
+	}
+	l.MustAdd("a", 3)
+	l.MustAdd("b", 1)
+	l.MustAdd("a", 1)
+	if l.Total() != 5 {
+		t.Errorf("total = %g, want 5", l.Total())
+	}
+	if l.Of("a") != 4 || l.Of("b") != 1 {
+		t.Error("per-component energy wrong")
+	}
+	if math.Abs(l.Fraction("a")-0.8) > 1e-12 {
+		t.Errorf("fraction = %g, want 0.8", l.Fraction("a"))
+	}
+	if got := l.Components(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("components = %v", got)
+	}
+}
+
+func TestLedgerRejectsNegative(t *testing.T) {
+	l := NewLedger()
+	if err := l.Add("x", -1); err == nil {
+		t.Error("negative energy accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on negative energy")
+		}
+	}()
+	l.MustAdd("x", -1)
+}
+
+func TestAddLedgerAndReset(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.MustAdd("x", 2)
+	b.MustAdd("x", 3)
+	b.MustAdd("y", 1)
+	a.AddLedger(b)
+	if a.Of("x") != 5 || a.Of("y") != 1 {
+		t.Error("merge wrong")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestSaving(t *testing.T) {
+	base, opt := NewLedger(), NewLedger()
+	base.MustAdd("x", 10)
+	opt.MustAdd("x", 7)
+	if got := opt.Saving(base); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("saving = %g, want 0.3", got)
+	}
+	if NewLedger().Saving(NewLedger()) != 0 {
+		t.Error("zero baseline saving should be 0")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	l := NewLedger()
+	l.MustAdd("deblock", 31.4)
+	l.MustAdd("cavlc", 68.6)
+	s := l.String()
+	if !strings.Contains(s, "deblock") || !strings.Contains(s, "31.4%") {
+		t.Errorf("breakdown missing content:\n%s", s)
+	}
+}
+
+// Property: fractions are in [0,1] and sum to 1 for non-empty ledgers.
+func TestFractionProperties(t *testing.T) {
+	f := func(es []float64) bool {
+		l := NewLedger()
+		var any bool
+		for i, e := range es {
+			if e < 0 {
+				e = -e
+			}
+			// Keep magnitudes bounded so the total cannot overflow.
+			e = math.Mod(e, 1e6)
+			if math.IsNaN(e) {
+				e = 0
+			}
+			if e > 0 {
+				any = true
+			}
+			l.MustAdd(Component(rune('a'+i%26)), e)
+		}
+		if !any {
+			return true
+		}
+		var sum float64
+		for _, c := range l.Components() {
+			fr := l.Fraction(c)
+			if fr < 0 || fr > 1 {
+				return false
+			}
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	b := SmartwatchBattery()
+	base, err := b.Lifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.1 Wh / 70 mW ~ 15.7 h.
+	if base < 14*time.Hour || base > 18*time.Hour {
+		t.Errorf("watch baseline lifetime %v implausible", base)
+	}
+	run, gained, err := b.LifetimeWithSaving(0.231) // the paper's playback saving
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gained <= 0 {
+		t.Error("saving gained no lifetime")
+	}
+	if run <= base {
+		t.Error("managed lifetime not above baseline")
+	}
+	// Zero saving changes nothing.
+	same, g0, err := b.LifetimeWithSaving(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base || g0 != 0 {
+		t.Error("zero saving should match baseline")
+	}
+	// Full saving removes the managed load entirely.
+	full, _, err := b.LifetimeWithSaving(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHours := b.CapacityWh / b.BaseLoadW
+	if got := full.Hours(); got < wantHours*0.99 || got > wantHours*1.01 {
+		t.Errorf("full-saving lifetime %.1f h, want %.1f", got, wantHours)
+	}
+}
+
+func TestBatteryValidation(t *testing.T) {
+	if _, err := (Battery{}).Lifetime(); err == nil {
+		t.Error("zero battery accepted")
+	}
+	b := SmartphoneBattery()
+	if _, _, err := b.LifetimeWithSaving(-0.1); err == nil {
+		t.Error("negative saving accepted")
+	}
+	if _, _, err := b.LifetimeWithSaving(1.1); err == nil {
+		t.Error("saving > 1 accepted")
+	}
+}

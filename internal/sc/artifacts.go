@@ -1,0 +1,144 @@
+package sc
+
+import (
+	"fmt"
+	"math"
+
+	"affectedge/internal/dsp"
+)
+
+// Wearable SC sensors pick up motion artifacts: abrupt spikes far faster
+// than physiological skin conductance can change. This file provides
+// artifact detection/removal and SCR amplitude statistics, the
+// preprocessing real deployments need before the classifier.
+
+// ArtifactConfig controls spike detection.
+type ArtifactConfig struct {
+	// MaxSlopePerSec is the largest physiologically plausible SC change
+	// (uS/s); faster transitions are artifacts. Literature uses ~10 uS/s.
+	MaxSlopePerSec float64
+}
+
+// DefaultArtifactConfig returns the conventional slope limit.
+func DefaultArtifactConfig() ArtifactConfig { return ArtifactConfig{MaxSlopePerSec: 10} }
+
+// DetectArtifacts returns the indices of samples whose slope to the
+// previous sample exceeds the plausibility limit.
+func DetectArtifacts(samples []float64, sampleRate float64, cfg ArtifactConfig) []int {
+	if len(samples) < 2 || sampleRate <= 0 || cfg.MaxSlopePerSec <= 0 {
+		return nil
+	}
+	limit := cfg.MaxSlopePerSec / sampleRate
+	var out []int
+	for i := 1; i < len(samples); i++ {
+		if math.Abs(samples[i]-samples[i-1]) > limit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RemoveArtifacts replaces artifact samples (and one neighbor each side)
+// by linear interpolation between the surrounding clean samples. It
+// returns a cleaned copy and the number of repaired samples.
+func RemoveArtifacts(samples []float64, sampleRate float64, cfg ArtifactConfig) ([]float64, int, error) {
+	if len(samples) == 0 {
+		return nil, 0, fmt.Errorf("sc: empty recording")
+	}
+	out := make([]float64, len(samples))
+	copy(out, samples)
+	bad := map[int]bool{}
+	for _, i := range DetectArtifacts(samples, sampleRate, cfg) {
+		bad[i] = true
+		if i > 0 {
+			bad[i-1] = true
+		}
+		if i+1 < len(samples) {
+			bad[i+1] = true
+		}
+	}
+	if len(bad) == 0 {
+		return out, 0, nil
+	}
+	// Interpolate over contiguous bad runs.
+	i := 0
+	for i < len(out) {
+		if !bad[i] {
+			i++
+			continue
+		}
+		runStart := i
+		for i < len(out) && bad[i] {
+			i++
+		}
+		lo := runStart - 1
+		hi := i
+		var loV, hiV float64
+		switch {
+		case lo < 0 && hi >= len(out):
+			// Whole signal is artifact: flatten to the mean.
+			loV = dsp.Mean(samples)
+			hiV = loV
+		case lo < 0:
+			loV, hiV = out[hi], out[hi]
+		case hi >= len(out):
+			loV, hiV = out[lo], out[lo]
+		default:
+			loV, hiV = out[lo], out[hi]
+		}
+		span := hi - runStart + 1
+		for k := runStart; k < hi && k < len(out); k++ {
+			frac := float64(k-runStart+1) / float64(span+1)
+			out[k] = loV*(1-frac) + hiV*frac
+		}
+	}
+	return out, len(bad), nil
+}
+
+// SCRStats summarizes detected phasic responses.
+type SCRStats struct {
+	Count         int
+	RatePerMin    float64
+	MeanAmplitude float64
+	MaxAmplitude  float64
+}
+
+// AnalyzeSCRs detects SCR peaks in the phasic component and returns their
+// statistics — the amplitude features used alongside rate in affect
+// studies.
+func AnalyzeSCRs(samples []float64, sampleRate float64, cfg Config) (SCRStats, error) {
+	if len(samples) == 0 {
+		return SCRStats{}, fmt.Errorf("sc: empty recording")
+	}
+	if sampleRate <= 0 {
+		return SCRStats{}, fmt.Errorf("sc: sample rate %g must be positive", sampleRate)
+	}
+	phasic := Phasic(samples, sampleRate, cfg)
+	refractory := int(sampleRate)
+	if refractory < 1 {
+		refractory = 1
+	}
+	var st SCRStats
+	last := -refractory
+	var sum float64
+	for i := 1; i+1 < len(phasic); i++ {
+		if phasic[i] >= cfg.PeakThreshold &&
+			phasic[i] >= phasic[i-1] && phasic[i] > phasic[i+1] &&
+			i-last >= refractory {
+			st.Count++
+			sum += phasic[i]
+			if phasic[i] > st.MaxAmplitude {
+				st.MaxAmplitude = phasic[i]
+			}
+			last = i
+		}
+	}
+	if st.Count > 0 {
+		st.MeanAmplitude = sum / float64(st.Count)
+	}
+	minutes := float64(len(samples)) / sampleRate / 60
+	if minutes > 0 {
+		st.RatePerMin = float64(st.Count) / minutes
+	}
+	return st, nil
+}

@@ -1,0 +1,125 @@
+package sc
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/affectdata"
+)
+
+func cleanTrace(t *testing.T) []float64 {
+	t.Helper()
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Samples
+}
+
+func TestDetectArtifacts(t *testing.T) {
+	samples := cleanTrace(t)
+	// Clean physiological trace: no artifacts at the standard limit.
+	if got := DetectArtifacts(samples, 4, DefaultArtifactConfig()); len(got) != 0 {
+		t.Errorf("clean trace flagged %d artifacts", len(got))
+	}
+	// Inject spikes.
+	samples[100] += 20
+	samples[500] -= 15
+	got := DetectArtifacts(samples, 4, DefaultArtifactConfig())
+	if len(got) < 2 {
+		t.Fatalf("only %d artifacts detected", len(got))
+	}
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	if !found[100] || !found[500] {
+		t.Errorf("spike indices missed: %v", got[:min(6, len(got))])
+	}
+	if DetectArtifacts(nil, 4, DefaultArtifactConfig()) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestRemoveArtifacts(t *testing.T) {
+	samples := cleanTrace(t)
+	orig := make([]float64, len(samples))
+	copy(orig, samples)
+	samples[200] += 25
+	cleaned, repaired, err := RemoveArtifacts(samples, 4, DefaultArtifactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 {
+		t.Fatal("nothing repaired")
+	}
+	// Spike gone: the cleaned sample near index 200 is close to the
+	// original physiological value.
+	if math.Abs(cleaned[200]-orig[200]) > 2 {
+		t.Errorf("cleaned[200]=%g vs original %g", cleaned[200], orig[200])
+	}
+	// Input untouched.
+	if samples[200] == cleaned[200] {
+		t.Error("RemoveArtifacts mutated its input")
+	}
+	// Clean input passes through unchanged.
+	passthrough, repaired, err := RemoveArtifacts(orig, 4, DefaultArtifactConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 {
+		t.Errorf("clean trace repaired %d samples", repaired)
+	}
+	for i := range orig {
+		if passthrough[i] != orig[i] {
+			t.Fatal("clean passthrough changed data")
+		}
+	}
+	if _, _, err := RemoveArtifacts(nil, 4, DefaultArtifactConfig()); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAnalyzeSCRs(t *testing.T) {
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := AnalyzeSCRs(tr.Samples, tr.SampleRate, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count == 0 {
+		t.Fatal("no SCRs in a 40-minute trace")
+	}
+	if st.RatePerMin <= 0 || st.RatePerMin > 20 {
+		t.Errorf("rate %.2f/min implausible", st.RatePerMin)
+	}
+	if st.MeanAmplitude <= 0 || st.MaxAmplitude < st.MeanAmplitude {
+		t.Errorf("amplitudes inconsistent: mean %g max %g", st.MeanAmplitude, st.MaxAmplitude)
+	}
+	// The tense segment (20-29 min) should have a higher SCR rate than
+	// the distracted one (0-14 min).
+	seg := func(loMin, hiMin float64) SCRStats {
+		lo := int(loMin * 60 * tr.SampleRate)
+		hi := int(hiMin * 60 * tr.SampleRate)
+		s, err := AnalyzeSCRs(tr.Samples[lo:hi], tr.SampleRate, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if seg(20, 29).RatePerMin <= seg(1, 14).RatePerMin {
+		t.Error("tense SCR rate not above distracted")
+	}
+	if _, err := AnalyzeSCRs(nil, 4, DefaultConfig()); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

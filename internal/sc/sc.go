@@ -1,0 +1,187 @@
+// Package sc processes skin-conductance recordings into the attention
+// states that drive the affect-adaptive video decoder (§4, Fig 6 bottom).
+//
+// A recording decomposes into a slow tonic level (SCL) and fast phasic
+// responses (SCRs). Arousal raises both, so the classifier scores each
+// analysis window by smoothed level and SCR rate, with thresholds
+// self-calibrated from the recording's own distribution (the "calibration
+// round" approach used by wearable studies).
+package sc
+
+import (
+	"fmt"
+	"math"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/emotion"
+)
+
+// Sample is one classified analysis window.
+type Sample struct {
+	StartMin float64
+	EndMin   float64
+	Level    float64 // mean tonic SC level in the window (uS)
+	SCRRate  float64 // detected phasic responses per minute
+	State    emotion.Attention
+}
+
+// Config controls classification.
+type Config struct {
+	// WindowSec is the analysis window length (default 30 s).
+	WindowSec float64
+	// SmoothSec is the tonic smoothing span (default 8 s).
+	SmoothSec float64
+	// PeakThreshold is the minimum phasic amplitude (uS) counted as an
+	// SCR (default 0.3).
+	PeakThreshold float64
+}
+
+// DefaultConfig returns the standard analysis parameters.
+func DefaultConfig() Config {
+	return Config{WindowSec: 30, SmoothSec: 8, PeakThreshold: 0.3}
+}
+
+// Tonic returns the slow SCL component: a moving average over
+// cfg.SmoothSec.
+func Tonic(samples []float64, sampleRate float64, cfg Config) []float64 {
+	win := int(cfg.SmoothSec * sampleRate)
+	return dsp.Smooth(samples, win)
+}
+
+// Phasic returns signal minus tonic: the SCR component.
+func Phasic(samples []float64, sampleRate float64, cfg Config) []float64 {
+	tonic := Tonic(samples, sampleRate, cfg)
+	out := make([]float64, len(samples))
+	for i := range samples {
+		out[i] = samples[i] - tonic[i]
+	}
+	return out
+}
+
+// CountSCRs counts phasic peaks above the threshold: local maxima of the
+// phasic component exceeding cfg.PeakThreshold, with a refractory period
+// of one second.
+func CountSCRs(phasic []float64, sampleRate float64, cfg Config) int {
+	refractory := int(sampleRate)
+	if refractory < 1 {
+		refractory = 1
+	}
+	var count, last int
+	last = -refractory
+	for i := 1; i+1 < len(phasic); i++ {
+		if phasic[i] >= cfg.PeakThreshold &&
+			phasic[i] >= phasic[i-1] && phasic[i] > phasic[i+1] &&
+			i-last >= refractory {
+			count++
+			last = i
+		}
+	}
+	return count
+}
+
+// Classify segments a recording into windows and assigns an attention
+// state to each by combining normalized level and SCR rate. Thresholds
+// are the 25th/50th/75th percentiles of the per-window arousal score, so
+// the classifier adapts to each wearer's baseline.
+func Classify(samples []float64, sampleRate float64, cfg Config) ([]Sample, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("sc: empty recording")
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("sc: sample rate %g must be positive", sampleRate)
+	}
+	if cfg.WindowSec <= 0 {
+		return nil, fmt.Errorf("sc: window %g must be positive", cfg.WindowSec)
+	}
+	win := int(cfg.WindowSec * sampleRate)
+	if win < 1 {
+		win = 1
+	}
+	tonic := Tonic(samples, sampleRate, cfg)
+	phasic := Phasic(samples, sampleRate, cfg)
+
+	type winFeat struct {
+		level, rate float64
+		start, end  float64
+	}
+	var feats []winFeat
+	for lo := 0; lo < len(samples); lo += win {
+		hi := lo + win
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		level := dsp.Mean(tonic[lo:hi])
+		nSCR := CountSCRs(phasic[lo:hi], sampleRate, cfg)
+		durMin := float64(hi-lo) / sampleRate / 60
+		rate := 0.0
+		if durMin > 0 {
+			rate = float64(nSCR) / durMin
+		}
+		feats = append(feats, winFeat{
+			level: level, rate: rate,
+			start: float64(lo) / sampleRate / 60,
+			end:   float64(hi) / sampleRate / 60,
+		})
+	}
+	// Arousal score: level normalized to the trace range plus a rate term.
+	levels := make([]float64, len(feats))
+	rates := make([]float64, len(feats))
+	for i, f := range feats {
+		levels[i] = f.level
+		rates[i] = f.rate
+	}
+	lMin, lMax := levels[0], levels[0]
+	for _, v := range levels {
+		lMin = math.Min(lMin, v)
+		lMax = math.Max(lMax, v)
+	}
+	rMax := 0.0
+	for _, v := range rates {
+		rMax = math.Max(rMax, v)
+	}
+	scores := make([]float64, len(feats))
+	for i := range feats {
+		ls := 0.0
+		if lMax > lMin {
+			ls = (levels[i] - lMin) / (lMax - lMin)
+		}
+		rs := 0.0
+		if rMax > 0 {
+			rs = rates[i] / rMax
+		}
+		scores[i] = 0.7*ls + 0.3*rs
+	}
+	q1 := dsp.Percentile(scores, 25)
+	q2 := dsp.Percentile(scores, 50)
+	q3 := dsp.Percentile(scores, 75)
+	out := make([]Sample, len(feats))
+	for i, f := range feats {
+		state := emotion.Distracted
+		switch {
+		case scores[i] >= q3:
+			state = emotion.Tense
+		case scores[i] >= q2:
+			state = emotion.Concentrated
+		case scores[i] >= q1:
+			state = emotion.Relaxed
+		}
+		out[i] = Sample{StartMin: f.start, EndMin: f.end, Level: f.level, SCRRate: f.rate, State: state}
+	}
+	return out, nil
+}
+
+// Accuracy compares classified windows against a ground-truth labeller
+// (e.g. SCTrace.StateAt) and returns the fraction of windows whose state
+// matches the label at the window midpoint.
+func Accuracy(samples []Sample, truth func(minute float64) emotion.Attention) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var hit int
+	for _, s := range samples {
+		if s.State == truth((s.StartMin+s.EndMin)/2) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(samples))
+}

@@ -1,0 +1,164 @@
+package sc
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/affectdata"
+	"affectedge/internal/emotion"
+)
+
+func TestTonicPhasicDecomposition(t *testing.T) {
+	// Tonic + phasic must reconstruct the signal exactly.
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	tonic := Tonic(tr.Samples, tr.SampleRate, cfg)
+	phasic := Phasic(tr.Samples, tr.SampleRate, cfg)
+	for i := range tr.Samples {
+		if math.Abs(tonic[i]+phasic[i]-tr.Samples[i]) > 1e-9 {
+			t.Fatalf("decomposition broken at %d", i)
+		}
+	}
+	// Tonic must be smoother than the raw signal (lower mean abs diff).
+	var rawVar, tonVar float64
+	for i := 1; i < len(tr.Samples); i++ {
+		rawVar += math.Abs(tr.Samples[i] - tr.Samples[i-1])
+		tonVar += math.Abs(tonic[i] - tonic[i-1])
+	}
+	if tonVar >= rawVar {
+		t.Error("tonic component not smoother than raw signal")
+	}
+}
+
+func TestCountSCRs(t *testing.T) {
+	// Three clear peaks spaced > 1 s apart at 4 Hz.
+	phasic := make([]float64, 100)
+	for _, p := range []int{10, 40, 80} {
+		phasic[p] = 1.0
+		phasic[p-1] = 0.5
+		phasic[p+1] = 0.5
+	}
+	cfg := DefaultConfig()
+	if got := CountSCRs(phasic, 4, cfg); got != 3 {
+		t.Errorf("counted %d SCRs, want 3", got)
+	}
+	// Peaks below threshold are ignored.
+	low := make([]float64, 100)
+	low[50] = 0.1
+	if got := CountSCRs(low, 4, cfg); got != 0 {
+		t.Errorf("counted %d sub-threshold SCRs, want 0", got)
+	}
+	// Refractory: two peaks within one second count once.
+	closePeaks := make([]float64, 100)
+	closePeaks[50], closePeaks[52] = 1, 1
+	if got := CountSCRs(closePeaks, 4, cfg); got != 1 {
+		t.Errorf("refractory violated: %d", got)
+	}
+}
+
+func TestClassifyRecoversSchedule(t *testing.T) {
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := Classify(tr.Samples, tr.SampleRate, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 80 { // 40 min / 30 s
+		t.Fatalf("got %d windows, want 80", len(windows))
+	}
+	acc := Accuracy(windows, tr.StateAt)
+	if acc < 0.70 {
+		t.Errorf("classification accuracy %.2f below 0.70", acc)
+	}
+	// Windows must tile the recording.
+	if windows[0].StartMin != 0 || math.Abs(windows[len(windows)-1].EndMin-40) > 1e-9 {
+		t.Error("windows do not tile the recording")
+	}
+	for i := 1; i < len(windows); i++ {
+		if math.Abs(windows[i].StartMin-windows[i-1].EndMin) > 1e-9 {
+			t.Fatalf("gap between windows %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestClassifyStateLevelsOrdered(t *testing.T) {
+	// Mean classified level must increase with state arousal.
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := Classify(tr.Samples, tr.SampleRate, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[emotion.Attention]float64{}
+	cnt := map[emotion.Attention]int{}
+	for _, w := range windows {
+		sum[w.State] += w.Level
+		cnt[w.State]++
+	}
+	mean := func(a emotion.Attention) float64 {
+		if cnt[a] == 0 {
+			return 0
+		}
+		return sum[a] / float64(cnt[a])
+	}
+	if !(mean(emotion.Distracted) < mean(emotion.Concentrated) &&
+		mean(emotion.Concentrated) < mean(emotion.Tense)) {
+		t.Errorf("state level ordering violated: %v %v %v",
+			mean(emotion.Distracted), mean(emotion.Concentrated), mean(emotion.Tense))
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if _, err := Classify(nil, 4, DefaultConfig()); err == nil {
+		t.Error("empty recording accepted")
+	}
+	if _, err := Classify([]float64{1}, 0, DefaultConfig()); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad := DefaultConfig()
+	bad.WindowSec = 0
+	if _, err := Classify([]float64{1, 2}, 4, bad); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(nil, func(float64) emotion.Attention { return emotion.Tense }) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+// TestClassifyAcrossSubjects checks the self-calibrating thresholds: the
+// same classifier config works for wearers with very different SC
+// baselines (the quantile calibration is per-recording).
+func TestClassifyAcrossSubjects(t *testing.T) {
+	for subject := int64(0); subject < 5; subject++ {
+		tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 100+subject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulate individual baselines: scale and offset the recording.
+		scale := 0.5 + 0.4*float64(subject)
+		offset := float64(subject) * 1.5
+		samples := make([]float64, len(tr.Samples))
+		for i, v := range tr.Samples {
+			samples[i] = v*scale + offset
+		}
+		windows, err := Classify(samples, tr.SampleRate, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := Accuracy(windows, tr.StateAt)
+		if acc < 0.60 {
+			t.Errorf("subject %d (scale %.1f offset %.1f): accuracy %.2f below 0.60",
+				subject, scale, offset, acc)
+		}
+	}
+}

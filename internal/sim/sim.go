@@ -1,0 +1,96 @@
+// Package sim is a minimal discrete-event simulation kernel shared by the
+// playback and app-management simulators: a virtual clock and a time-ordered
+// event queue with stable FIFO ordering for simultaneous events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tiebreaker: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn at an absolute virtual time, which must not be in the
+// past.
+func (s *Sim) At(t time.Duration, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("sim: schedule at %v is before now %v", t, s.now)
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn after a non-negative delay from now.
+func (s *Sim) After(d time.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("sim: negative delay %v", d)
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the next pending event, advancing the clock to it. It reports
+// whether an event was run.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// until; the clock ends at min(until, last event time >= now). Events
+// scheduled during Run are honored.
+func (s *Sim) Run(until time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

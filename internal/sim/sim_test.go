@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	if err := s.At(3*time.Second, func() { got = append(got, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(1*time.Second, func() { got = append(got, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(2*time.Second, func() { got = append(got, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10 * time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("clock = %v, want 10s", s.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.At(time.Second, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2 * time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	s := New()
+	if err := s.At(time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * time.Second)
+	if err := s.At(2*time.Second, func() {}); err == nil {
+		t.Error("past schedule accepted")
+	}
+	if err := s.After(-time.Second, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var fired int
+	var chain func()
+	chain = func() {
+		fired++
+		if fired < 5 {
+			if err := s.After(time.Second, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.After(time.Second, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100 * time.Second)
+	if fired != 5 {
+		t.Errorf("fired %d, want 5", fired)
+	}
+	if s.Pending() != 0 {
+		t.Error("events still pending")
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := New()
+	var fired bool
+	if err := s.At(5*time.Second, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3 * time.Second)
+	if fired {
+		t.Error("event past until fired")
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Error("pending event lost")
+	}
+	s.Run(10 * time.Second)
+	if !fired {
+		t.Error("event never fired")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue reported work")
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStats(t *testing.T) {
+	l := New()
+	l.Record(0, "chrome", EventStart, "")
+	l.Record(0, "chrome", EventForeground, "")
+	l.Record(2*time.Minute, "chrome", EventKill, "")
+	l.Record(3*time.Minute, "chrome", EventStart, "")
+	l.Record(3*time.Minute, "chrome", EventForeground, "")
+	l.Record(0, "mail", EventStart, "")
+	l.Record(time.Minute, "mail", EventForeground, "")
+
+	stats := l.Stats(5 * time.Minute)
+	if len(stats) != 2 {
+		t.Fatalf("%d apps", len(stats))
+	}
+	// chrome has more foregrounds, so it sorts first.
+	c := stats[0]
+	if c.App != "chrome" {
+		t.Fatalf("first app %q", c.App)
+	}
+	if c.Starts != 2 || c.Kills != 1 || c.Foregrounds != 2 {
+		t.Errorf("chrome stats %+v", c)
+	}
+	// Alive: [0,2m] + [3m,5m] = 4 minutes over 2 spans.
+	if c.TotalAlive != 4*time.Minute {
+		t.Errorf("chrome alive %v", c.TotalAlive)
+	}
+	if c.MeanLifetime != 2*time.Minute {
+		t.Errorf("chrome mean life %v", c.MeanLifetime)
+	}
+	m := stats[1]
+	if m.App != "mail" || m.TotalAlive != 5*time.Minute || m.Kills != 0 {
+		t.Errorf("mail stats %+v", m)
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	l := New()
+	l.Record(0, "gallery", EventStart, "")
+	l.Record(0, "gallery", EventForeground, "")
+	out := FormatStats(l.Stats(time.Minute))
+	if !strings.Contains(out, "gallery") || !strings.Contains(out, "mean life") {
+		t.Errorf("stats output missing content:\n%s", out)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	if got := New().Stats(time.Minute); len(got) != 0 {
+		t.Errorf("empty log produced %d stats", len(got))
+	}
+}

@@ -1,0 +1,158 @@
+// Package video implements the affect-driven playback case study of §4
+// (Fig 6 bottom): a 40-minute uulmMAC-style skin-conductance recording
+// drives the H.264 decoder's operating mode over time, and the package
+// integrates decode energy against an always-standard baseline.
+package video
+
+import (
+	"fmt"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/power"
+	"affectedge/internal/sc"
+)
+
+// ModePolicy maps attention states to decoder modes. The paper's policy:
+// distracted viewers get the most aggressive saving, highly concentrated
+// viewers the best quality.
+type ModePolicy map[emotion.Attention]h264.DecoderMode
+
+// PaperPolicy returns the mode schedule used in the paper's case study:
+// distracted -> combined (DF off + S_th=140/f=1 deletion), concentrated ->
+// deletion with DF on, tense (highly concentrated) -> standard, relaxed ->
+// DF off.
+func PaperPolicy() ModePolicy {
+	return ModePolicy{
+		emotion.Distracted:   h264.ModeCombined,
+		emotion.Concentrated: h264.ModeDeletion,
+		emotion.Tense:        h264.ModeStandard,
+		emotion.Relaxed:      h264.ModeDFOff,
+	}
+}
+
+// ModeRates holds per-mode decode power (energy per minute of video) and
+// quality, measured once on a reference clip.
+type ModeRates struct {
+	EnergyPerMin map[h264.DecoderMode]float64
+	PSNR         map[h264.DecoderMode]float64
+}
+
+// MeasureModeRates decodes the reference clip in every mode and converts
+// total energy to an energy-per-minute rate at the given frame rate.
+func MeasureModeRates(src []*h264.Frame, enc h264.EncoderConfig, model h264.EnergyModel, fps float64) (*ModeRates, error) {
+	if fps <= 0 {
+		return nil, fmt.Errorf("video: fps %g must be positive", fps)
+	}
+	if len(src) == 0 {
+		return nil, fmt.Errorf("video: empty reference clip")
+	}
+	reports, err := h264.CompareModes(src, enc, model)
+	if err != nil {
+		return nil, err
+	}
+	minutes := float64(len(src)) / fps / 60
+	out := &ModeRates{
+		EnergyPerMin: map[h264.DecoderMode]float64{},
+		PSNR:         map[h264.DecoderMode]float64{},
+	}
+	for _, r := range reports {
+		out.EnergyPerMin[r.Mode] = r.Energy / minutes
+		out.PSNR[r.Mode] = r.PSNR
+	}
+	return out, nil
+}
+
+// Segment is one span of playback in a fixed mode.
+type Segment struct {
+	StartMin, EndMin float64
+	State            emotion.Attention
+	Mode             h264.DecoderMode
+	Energy           float64
+}
+
+// PlaybackResult aggregates the affect-driven playback study.
+type PlaybackResult struct {
+	Segments       []Segment
+	Energy         float64 // affect-driven total
+	BaselineEnergy float64 // always-standard total
+	SavingPct      float64 // Fig 6 bottom headline number
+	// ClassifierAccuracy is set when the schedule came from the SC
+	// classifier rather than ground truth.
+	ClassifierAccuracy float64
+}
+
+// RunWithSchedule integrates energy over an explicit labelled schedule
+// (ground-truth driving, the paper's presentation).
+func RunWithSchedule(schedule []Scheduled, rates *ModeRates, policy ModePolicy) (*PlaybackResult, error) {
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("video: empty schedule")
+	}
+	res := &PlaybackResult{}
+	stdRate := rates.EnergyPerMin[h264.ModeStandard]
+	for _, s := range schedule {
+		dur := s.EndMin - s.StartMin
+		if dur < 0 {
+			return nil, fmt.Errorf("video: segment [%g,%g] has negative duration", s.StartMin, s.EndMin)
+		}
+		mode, ok := policy[s.State]
+		if !ok {
+			return nil, fmt.Errorf("video: policy has no mode for state %v", s.State)
+		}
+		rate, ok := rates.EnergyPerMin[mode]
+		if !ok {
+			return nil, fmt.Errorf("video: no measured rate for mode %v", mode)
+		}
+		e := rate * dur
+		res.Segments = append(res.Segments, Segment{
+			StartMin: s.StartMin, EndMin: s.EndMin, State: s.State, Mode: mode, Energy: e,
+		})
+		res.Energy += e
+		res.BaselineEnergy += stdRate * dur
+	}
+	if res.BaselineEnergy > 0 {
+		res.SavingPct = 100 * (1 - res.Energy/res.BaselineEnergy)
+	}
+	return res, nil
+}
+
+// Scheduled is one labelled span of the viewing session.
+type Scheduled struct {
+	StartMin, EndMin float64
+	State            emotion.Attention
+}
+
+// RunWithClassifier classifies a raw SC recording and integrates energy
+// over the classifier's windowed decisions — the full sensing-to-hardware
+// loop. truth, when non-nil, is used to report classification accuracy.
+func RunWithClassifier(samples []float64, sampleRate float64, cfg sc.Config,
+	rates *ModeRates, policy ModePolicy,
+	truth func(minute float64) emotion.Attention) (*PlaybackResult, error) {
+
+	windows, err := sc.Classify(samples, sampleRate, cfg)
+	if err != nil {
+		return nil, err
+	}
+	schedule := make([]Scheduled, len(windows))
+	for i, w := range windows {
+		schedule[i] = Scheduled{StartMin: w.StartMin, EndMin: w.EndMin, State: w.State}
+	}
+	res, err := RunWithSchedule(schedule, rates, policy)
+	if err != nil {
+		return nil, err
+	}
+	if truth != nil {
+		res.ClassifierAccuracy = sc.Accuracy(windows, truth)
+	}
+	return res, nil
+}
+
+// EnergyLedger renders the per-mode energy split of a result for
+// reporting.
+func (r *PlaybackResult) EnergyLedger() *power.Ledger {
+	l := power.NewLedger()
+	for _, s := range r.Segments {
+		l.MustAdd(power.Component("mode:"+s.Mode.String()), s.Energy)
+	}
+	return l
+}

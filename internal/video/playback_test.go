@@ -1,0 +1,160 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"affectedge/internal/affectdata"
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/sc"
+)
+
+// measureRates builds the reference-clip mode rates once per test run.
+func measureRates(t *testing.T) *ModeRates {
+	t.Helper()
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := MeasureModeRates(src, h264.CalibrationEncoderConfig(), h264.DefaultEnergyModel(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rates
+}
+
+func uulmSchedule() []Scheduled {
+	var out []Scheduled
+	for _, s := range affectdata.UulmMACSchedule() {
+		out = append(out, Scheduled{StartMin: s.StartMin, EndMin: s.EndMin, State: s.State})
+	}
+	return out
+}
+
+func TestPaperPolicyMapping(t *testing.T) {
+	p := PaperPolicy()
+	if p[emotion.Distracted] != h264.ModeCombined {
+		t.Error("distracted should map to combined")
+	}
+	if p[emotion.Tense] != h264.ModeStandard {
+		t.Error("tense should map to standard")
+	}
+	if p[emotion.Relaxed] != h264.ModeDFOff {
+		t.Error("relaxed should map to DF-off")
+	}
+	if p[emotion.Concentrated] != h264.ModeDeletion {
+		t.Error("concentrated should map to deletion")
+	}
+}
+
+func TestModeRatesOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decode-heavy test skipped in -short mode")
+	}
+	rates := measureRates(t)
+	std := rates.EnergyPerMin[h264.ModeStandard]
+	for _, m := range h264.Modes() {
+		if m == h264.ModeStandard {
+			continue
+		}
+		if rates.EnergyPerMin[m] >= std {
+			t.Errorf("mode %v rate %.0f not below standard %.0f", m, rates.EnergyPerMin[m], std)
+		}
+	}
+	if rates.EnergyPerMin[h264.ModeCombined] >= rates.EnergyPerMin[h264.ModeDFOff] {
+		t.Error("combined should save more than DF-off alone")
+	}
+}
+
+// TestFig6PlaybackEnergySaving reproduces the paper's 23.1% case-study
+// saving within +-2.5 percentage points, driving modes from the
+// ground-truth uulmMAC schedule.
+func TestFig6PlaybackEnergySaving(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decode-heavy test skipped in -short mode")
+	}
+	rates := measureRates(t)
+	res, err := RunWithSchedule(uulmSchedule(), rates, PaperPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("playback saving %.1f%% (paper: 23.1%%)", res.SavingPct)
+	if math.Abs(res.SavingPct-23.1) > 2.5 {
+		t.Errorf("playback saving %.1f%%, want 23.1 +- 2.5", res.SavingPct)
+	}
+	if len(res.Segments) != 4 {
+		t.Errorf("%d segments, want 4", len(res.Segments))
+	}
+	// Segment modes follow the paper's narrative.
+	wantModes := []h264.DecoderMode{
+		h264.ModeCombined, h264.ModeDeletion, h264.ModeStandard, h264.ModeDFOff,
+	}
+	for i, s := range res.Segments {
+		if s.Mode != wantModes[i] {
+			t.Errorf("segment %d mode %v, want %v", i, s.Mode, wantModes[i])
+		}
+	}
+}
+
+// TestPlaybackWithClassifier runs the full loop: synthetic SC recording ->
+// classifier -> mode schedule -> energy. The saving should be close to the
+// ground-truth-driven number (classifier errors cost a little).
+func TestPlaybackWithClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decode-heavy test skipped in -short mode")
+	}
+	rates := measureRates(t)
+	tr, err := affectdata.GenerateSC(affectdata.UulmMACSchedule(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithClassifier(tr.Samples, tr.SampleRate, sc.DefaultConfig(),
+		rates, PaperPolicy(), tr.StateAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("classifier-driven saving %.1f%% (accuracy %.2f)", res.SavingPct, res.ClassifierAccuracy)
+	if res.ClassifierAccuracy < 0.7 {
+		t.Errorf("classifier accuracy %.2f too low", res.ClassifierAccuracy)
+	}
+	if math.Abs(res.SavingPct-23.1) > 6 {
+		t.Errorf("classifier-driven saving %.1f%% too far from 23.1%%", res.SavingPct)
+	}
+	// Ledger splits by mode and sums to the total.
+	l := res.EnergyLedger()
+	if math.Abs(l.Total()-res.Energy) > 1e-6*res.Energy {
+		t.Error("ledger total != energy")
+	}
+}
+
+func TestRunWithScheduleErrors(t *testing.T) {
+	rates := &ModeRates{EnergyPerMin: map[h264.DecoderMode]float64{h264.ModeStandard: 1}}
+	if _, err := RunWithSchedule(nil, rates, PaperPolicy()); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	bad := []Scheduled{{StartMin: 5, EndMin: 1, State: emotion.Tense}}
+	if _, err := RunWithSchedule(bad, rates, PaperPolicy()); err == nil {
+		t.Error("negative duration accepted")
+	}
+	missing := []Scheduled{{StartMin: 0, EndMin: 1, State: emotion.Distracted}}
+	if _, err := RunWithSchedule(missing, rates, PaperPolicy()); err == nil {
+		t.Error("missing mode rate accepted")
+	}
+	if _, err := RunWithSchedule(missing, rates, ModePolicy{}); err == nil {
+		t.Error("empty policy accepted")
+	}
+}
+
+func TestMeasureModeRatesErrors(t *testing.T) {
+	if _, err := MeasureModeRates(nil, h264.CalibrationEncoderConfig(), h264.DefaultEnergyModel(), 24); err == nil {
+		t.Error("empty clip accepted")
+	}
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureModeRates(src, h264.CalibrationEncoderConfig(), h264.DefaultEnergyModel(), 0); err == nil {
+		t.Error("zero fps accepted")
+	}
+}

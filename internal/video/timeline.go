@@ -1,0 +1,64 @@
+package video
+
+import (
+	"fmt"
+	"strings"
+
+	"affectedge/internal/h264"
+)
+
+// RenderTimeline draws the Fig 6 (bottom) style session panel as ASCII:
+// one row per decoder mode, marked where that mode was active, plus a
+// state strip. width columns cover the whole session.
+func RenderTimeline(res *PlaybackResult, width int) string {
+	if len(res.Segments) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 80
+	}
+	total := res.Segments[len(res.Segments)-1].EndMin
+	if total <= 0 {
+		return ""
+	}
+	colOf := func(min float64) int {
+		c := int(min / total * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	var b strings.Builder
+	for _, mode := range h264.Modes() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range res.Segments {
+			if s.Mode != mode {
+				continue
+			}
+			for c := colOf(s.StartMin); c <= colOf(s.EndMin-1e-9); c++ {
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-10s|%s|\n", mode, row)
+	}
+	// State strip: initial letter of each segment's attention state.
+	strip := make([]byte, width)
+	for i := range strip {
+		strip[i] = ' '
+	}
+	for _, s := range res.Segments {
+		ch := strings.ToUpper(s.State.String())[0]
+		for c := colOf(s.StartMin); c <= colOf(s.EndMin-1e-9); c++ {
+			strip[c] = ch
+		}
+	}
+	fmt.Fprintf(&b, "%-10s|%s|\n", "state", strip)
+	fmt.Fprintf(&b, "%-10s|0%*s|\n", "minutes", width-1, fmt.Sprintf("%.0f", total))
+	return b.String()
+}

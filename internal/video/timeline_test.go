@@ -1,0 +1,55 @@
+package video
+
+import (
+	"strings"
+	"testing"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	rates := &ModeRates{EnergyPerMin: map[h264.DecoderMode]float64{
+		h264.ModeStandard: 10, h264.ModeDFOff: 7, h264.ModeDeletion: 9, h264.ModeCombined: 6,
+	}}
+	res, err := RunWithSchedule(uulmSchedule(), rates, PaperPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(res, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 4 mode rows + state strip + minutes axis.
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	for _, mode := range h264.Modes() {
+		found := false
+		for _, l := range lines {
+			if strings.HasPrefix(l, mode.String()) && strings.Contains(l, "#") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mode %v has no active span:\n%s", mode, out)
+		}
+	}
+	// The state strip carries the four segment initials in order.
+	strip := lines[4]
+	for _, ch := range []string{"D", "C", "T", "R"} {
+		if !strings.Contains(strip, ch) {
+			t.Errorf("state strip missing %q: %s", ch, strip)
+		}
+	}
+	if strings.Index(strip, "D") > strings.Index(strip, "T") {
+		t.Error("state strip out of order")
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	if RenderTimeline(&PlaybackResult{}, 40) != "" {
+		t.Error("empty result should render nothing")
+	}
+}
+
+// uulmSchedule is shared with playback_test.go; re-declared guard.
+var _ = emotion.Distracted
