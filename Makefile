@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench repro figures clean
+# bash with pipefail so piped targets (figures) fail when the underlying
+# command fails instead of taking tee's exit code.
+SHELL := /bin/bash
+.SHELLFLAGS := -eu -o pipefail -c
 
-all: build test
+.PHONY: all build vet test test-short test-race bench bench-json repro figures clean
+
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -19,8 +24,23 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full suite under the race detector: exercises the worker pool, the
+# parallel featurization/synthesis/study paths, and replica training.
+# Race instrumentation makes the training-heavy root package exceed go
+# test's default 10-minute timeout on small machines, hence -timeout.
+test-race:
+	$(GO) test -race -timeout 45m ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable micro-benchmark snapshot: writes BENCH_<n>.json for the
+# first free n, so the perf trajectory accumulates across PRs.
+bench-json:
+	n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/affect/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_$$n.json; \
+	echo "wrote BENCH_$$n.json"
 
 # Regenerate every figure of the paper (paper-vs-measured tables).
 repro:

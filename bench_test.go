@@ -40,6 +40,7 @@ func benchFig3Config(seed int64) affect.StudyConfig {
 }
 
 func BenchmarkFig3aConfusionMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := benchFig3Config(int64(i) + 1)
 		spec := affectdata.RAVDESS()
@@ -76,6 +77,7 @@ func BenchmarkFig3aConfusionMatrix(b *testing.B) {
 }
 
 func BenchmarkFig3bClassifierAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		study, err := affect.RunStudy(benchFig3Config(int64(i) + 1))
 		if err != nil {
@@ -90,6 +92,7 @@ func BenchmarkFig3bClassifierAccuracy(b *testing.B) {
 func BenchmarkFig3cWeightSize(b *testing.B) {
 	// Sizes are properties of the paper-scale builders; no training needed.
 	cfg := affect.DefaultFeatureConfig(8000)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		budgets, err := affect.ParamBudgets(cfg, 7)
 		if err != nil {
@@ -105,6 +108,7 @@ func BenchmarkFig3cWeightSize(b *testing.B) {
 }
 
 func BenchmarkFig3dQuantizedAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		study, err := affect.RunStudy(benchFig3Config(int64(i) + 1))
 		if err != nil {

@@ -1,0 +1,174 @@
+// Command benchjson parses `go test -bench` text output into a JSON
+// snapshot, so the performance trajectory of the repository stays
+// machine-readable across PRs (see `make bench-json`, which writes
+// BENCH_<n>.json files).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson [-in file] [-out file]
+//
+// Every benchmark result line is captured: iterations, ns/op, B/op,
+// allocs/op, and any custom b.ReportMetric units (the repo reports
+// paper-figure numbers that way).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix trimmed.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value ("ns/op", "B/op", "allocs/op", and any
+	// custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file-level JSON document.
+type Snapshot struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	NumCPU      int         `json:"num_cpu"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	inPath := flag.String("in", "", "bench output file (default stdin)")
+	outPath := flag.String("out", "", "JSON destination (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// Parse reads `go test -bench` output and collects every result line into
+// a snapshot.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseLine parses one "BenchmarkX-N  iters  v unit  v unit ..." line.
+// Non-benchmark lines (headers, PASS/ok, test logs) return ok=false.
+func parseLine(line string) (Benchmark, bool) {
+	fields := splitFields(line)
+	if len(fields) < 2 || len(fields[0]) <= len("Benchmark") ||
+		fields[0][:len("Benchmark")] != "Benchmark" {
+		return Benchmark{}, false
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil || iters <= 0 {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// splitProcs separates the trailing -N GOMAXPROCS suffix from a benchmark
+// name; names without one report procs=1.
+func splitProcs(name string) (string, int) {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			var n int
+			fmt.Sscanf(name[i+1:], "%d", &n)
+			if n > 0 {
+				return name[:i], n
+			}
+		}
+		break
+	}
+	return name, 1
+}
+
+// splitFields splits on runs of spaces/tabs.
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ' ' && s[i] != '\t' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: affectedge/internal/dsp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFFT           	  299716	      4000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMFCC-8        	     674	   1820784 ns/op	  889272 B/op	     831 allocs/op
+BenchmarkDatasetParallel/serial-4 	      10	 104000000 ns/op	 5160000 B/op	   13800 allocs/op
+BenchmarkFig3bClassifierAccuracy 	       1	32000000000 ns/op	  62.8 NN_acc_% 	  74.2 CNN_acc_%
+PASS
+ok  	affectedge/internal/dsp	6.502s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	fft := snap.Benchmarks[0]
+	if fft.Name != "BenchmarkFFT" || fft.Procs != 1 || fft.Iterations != 299716 {
+		t.Errorf("FFT line parsed wrong: %+v", fft)
+	}
+	if fft.Metrics["ns/op"] != 4000 || fft.Metrics["allocs/op"] != 0 {
+		t.Errorf("FFT metrics wrong: %v", fft.Metrics)
+	}
+	mfcc := snap.Benchmarks[1]
+	if mfcc.Name != "BenchmarkMFCC" || mfcc.Procs != 8 {
+		t.Errorf("procs suffix not split: %+v", mfcc)
+	}
+	sub := snap.Benchmarks[2]
+	if sub.Name != "BenchmarkDatasetParallel/serial" || sub.Procs != 4 {
+		t.Errorf("sub-benchmark name parsed wrong: %+v", sub)
+	}
+	fig := snap.Benchmarks[3]
+	if fig.Metrics["NN_acc_%"] != 62.8 || fig.Metrics["CNN_acc_%"] != 74.2 {
+		t.Errorf("custom metrics lost: %v", fig.Metrics)
+	}
+	if fig.Metrics["ns/op"] != 32000000000 {
+		t.Errorf("ns/op wrong: %v", fig.Metrics)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	snap, err := Parse(strings.NewReader("PASS\nok \tx\t1s\nBenchmark\nBenchmarkBad abc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Errorf("noise lines parsed as benchmarks: %+v", snap.Benchmarks)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX-8/sub-2", "BenchmarkX-8/sub", 2},
+		{"BenchmarkFFT1024", "BenchmarkFFT1024", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"affectedge/internal/affectdata"
 	"affectedge/internal/dsp"
 	"affectedge/internal/nn"
+	"affectedge/internal/parallel"
 )
 
 // FeatureConfig controls per-clip feature extraction.
@@ -60,14 +61,15 @@ func Features(wave []float64, cfg FeatureConfig) (*nn.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Per-frame scalar features over the same framing.
-	frames := dsp.Frame(wave, mcfg.FrameLen, mcfg.Hop)
-	if len(frames) > len(mfcc) {
-		frames = frames[:len(mfcc)]
-	}
+	// Per-frame scalar features over the same framing. EachFrame reuses a
+	// single frame buffer; each kept row is allocated exactly once at its
+	// final width.
 	dim := cfg.Dim()
-	raw := make([][]float64, len(frames))
-	for i, f := range frames {
+	raw := make([][]float64, 0, len(mfcc))
+	dsp.EachFrame(wave, mcfg.FrameLen, mcfg.Hop, func(i int, f []float64) {
+		if i >= len(mfcc) {
+			return
+		}
 		row := make([]float64, 0, dim)
 		row = append(row, mfcc[i]...) // 2*NumMFCC values (coeffs + deltas)
 		row = append(row,
@@ -76,9 +78,9 @@ func Features(wave []float64, cfg FeatureConfig) (*nn.Tensor, error) {
 			dsp.EstimatePitch(f, cfg.SampleRate, 60, 500)/500, // normalized
 			dsp.SpectralCentroid(f, cfg.SampleRate)/(cfg.SampleRate/2),
 		)
-		row = append(row, dsp.Histogram(f, cfg.HistBins)...)
-		raw[i] = row
-	}
+		row = dsp.AppendHistogram(row, f, cfg.HistBins)
+		raw = append(raw, row)
+	})
 	fixed := resampleRows(raw, cfg.NumFrames)
 	if cfg.CMVN {
 		dsp.CMVN(fixed)
@@ -121,20 +123,26 @@ func resampleRows(rows [][]float64, n int) [][]float64 {
 }
 
 // Dataset converts clips into labelled examples under cfg, mapping corpus
-// labels onto contiguous class indices (returned in classOf).
+// labels onto contiguous class indices (returned in classOf). Class
+// indices follow first occurrence in clip order; featurization itself
+// fans out over the shared worker pool, with results written back in clip
+// order, so output is identical at any parallel.SetWorkers setting.
 func Dataset(clips []affectdata.Clip, cfg FeatureConfig) (examples []nn.Example, classOf map[int]int, err error) {
 	classOf = map[int]int{}
 	for _, c := range clips {
-		x, err := Features(c.Wave, cfg)
+		if _, ok := classOf[int(c.Label)]; !ok {
+			classOf[int(c.Label)] = len(classOf)
+		}
+	}
+	examples, err = parallel.Map(len(clips), func(i int) (nn.Example, error) {
+		x, err := Features(clips[i].Wave, cfg)
 		if err != nil {
-			return nil, nil, err
+			return nn.Example{}, err
 		}
-		cls, ok := classOf[int(c.Label)]
-		if !ok {
-			cls = len(classOf)
-			classOf[int(c.Label)] = cls
-		}
-		examples = append(examples, nn.Example{X: x, Y: cls})
+		return nn.Example{X: x, Y: classOf[int(clips[i].Label)]}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return examples, classOf, nil
 }

@@ -5,10 +5,12 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"affectedge/internal/affectdata"
 	"affectedge/internal/emotion"
 	"affectedge/internal/nn"
+	"affectedge/internal/parallel"
 )
 
 // StudyConfig parameterizes the Fig 3 classifier comparison.
@@ -95,12 +97,25 @@ func (s *StudyReport) MeanAccuracy(kind ModelKind) float64 {
 
 // RunStudy trains and evaluates every model family on every corpus and
 // returns the aggregated report. It reproduces the data behind Fig 3a-3d.
+//
+// The corpus datasets are prepared first (each internally parallel over
+// clips), then the full corpus×model grid fans out over the shared worker
+// pool. Every cell trains an independent model on shared read-only
+// example slices, and results land in corpus-major, model-order slots, so
+// the report is identical at any parallel.SetWorkers setting. Verbose
+// progress lines are serialized but may interleave across corpora.
 func RunStudy(cfg StudyConfig) (*StudyReport, error) {
 	if cfg.Feature.SampleRate == 0 {
 		cfg.Feature = DefaultFeatureConfig(8000)
 	}
-	report := &StudyReport{}
-	for _, spec := range affectdata.Corpora() {
+	specs := affectdata.Corpora()
+	type corpusData struct {
+		name            string
+		trainEx, testEx []nn.Example
+		classes         []emotion.Label
+	}
+	data := make([]corpusData, len(specs))
+	for ci, spec := range specs {
 		clips, err := spec.Generate(cfg.Seed, cfg.ClipsPerCorpus)
 		if err != nil {
 			return nil, err
@@ -114,20 +129,28 @@ func RunStudy(cfg StudyConfig) (*StudyReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		classes := classList(classOf)
-		for _, kind := range ModelKinds() {
-			res, err := trainOne(cfg, spec.Name, kind, trainEx, testEx, classes)
-			if err != nil {
-				return nil, fmt.Errorf("affect: %s on %s: %w", kind, spec.Name, err)
-			}
-			report.Results = append(report.Results, res)
-			if cfg.Verbose != nil {
-				fmt.Fprintf(cfg.Verbose, "%-8s %-5s acc=%.3f quant=%.3f params=%d\n",
-					spec.Name, kind, res.Accuracy, res.QuantAccuracy, res.Params)
-			}
-		}
+		data[ci] = corpusData{spec.Name, trainEx, testEx, classList(classOf)}
 	}
-	return report, nil
+	kinds := ModelKinds()
+	var vmu sync.Mutex
+	results, err := parallel.Map(len(specs)*len(kinds), func(cell int) (ModelResult, error) {
+		d, kind := data[cell/len(kinds)], kinds[cell%len(kinds)]
+		res, err := trainOne(cfg, d.name, kind, d.trainEx, d.testEx, d.classes)
+		if err != nil {
+			return ModelResult{}, fmt.Errorf("affect: %s on %s: %w", kind, d.name, err)
+		}
+		if cfg.Verbose != nil {
+			vmu.Lock()
+			fmt.Fprintf(cfg.Verbose, "%-8s %-5s acc=%.3f quant=%.3f params=%d\n",
+				d.name, kind, res.Accuracy, res.QuantAccuracy, res.Params)
+			vmu.Unlock()
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StudyReport{Results: results}, nil
 }
 
 // trainOne trains a single corpus/model combination.
@@ -196,19 +219,23 @@ func trainOne(cfg StudyConfig, corpus string, kind ModelKind, trainEx, testEx []
 }
 
 // datasetWithClasses converts clips to examples using a pre-established
-// label->class mapping (so test classes match training).
+// label->class mapping (so test classes match training). Featurization
+// fans out over the shared worker pool in clip order.
 func datasetWithClasses(clips []affectdata.Clip, cfg FeatureConfig, classOf map[int]int) ([]nn.Example, map[int]int, error) {
-	var out []nn.Example
 	for _, c := range clips {
-		cls, ok := classOf[int(c.Label)]
-		if !ok {
+		if _, ok := classOf[int(c.Label)]; !ok {
 			return nil, nil, fmt.Errorf("affect: test label %v unseen in training", c.Label)
 		}
-		x, err := Features(c.Wave, cfg)
+	}
+	out, err := parallel.Map(len(clips), func(i int) (nn.Example, error) {
+		x, err := Features(clips[i].Wave, cfg)
 		if err != nil {
-			return nil, nil, err
+			return nn.Example{}, err
 		}
-		out = append(out, nn.Example{X: x, Y: cls})
+		return nn.Example{X: x, Y: classOf[int(clips[i].Label)]}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return out, classOf, nil
 }

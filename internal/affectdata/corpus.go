@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"affectedge/internal/emotion"
+	"affectedge/internal/parallel"
 )
 
 // Clip is one labelled synthetic utterance.
@@ -175,6 +176,12 @@ func voices(spec Spec, seed int64) []actorVoice {
 // Generate synthesizes n clips of the corpus (n <= 0 means the full
 // TotalClips), deterministically for a given seed, cycling actors and
 // labels so classes stay balanced.
+//
+// Synthesis fans out over the shared worker pool: a cheap serial pass
+// draws one sub-seed per clip from the master RNG, then every clip is
+// rendered from its own RNG. Output is therefore bit-identical for a
+// fixed seed regardless of parallel.SetWorkers — clip i never observes
+// how much randomness clip i-1 consumed.
 func (s Spec) Generate(seed int64, n int) ([]Clip, error) {
 	if len(s.Labels) == 0 || s.Actors <= 0 || s.SampleRate <= 0 || s.MeanDur <= 0 {
 		return nil, fmt.Errorf("affectdata: invalid spec %+v", s)
@@ -183,14 +190,23 @@ func (s Spec) Generate(seed int64, n int) ([]Clip, error) {
 		n = s.TotalClips
 	}
 	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
 	vs := voices(s, seed)
-	clips := make([]Clip, 0, n)
-	for i := 0; i < n; i++ {
+	clips := make([]Clip, n)
+	parallel.ForEach(n, func(i int) error {
 		label := s.Labels[i%len(s.Labels)]
 		actor := (i / len(s.Labels)) % s.Actors
-		wave := synthesize(rng, s, signatures[label], vs[actor])
-		clips = append(clips, Clip{Wave: wave, Label: label, Actor: actor})
-	}
+		crng := rand.New(rand.NewSource(seeds[i]))
+		clips[i] = Clip{
+			Wave:  synthesize(crng, s, signatures[label], vs[actor]),
+			Label: label,
+			Actor: actor,
+		}
+		return nil
+	})
 	return clips, nil
 }
 

@@ -1,0 +1,83 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// benchSignal synthesizes a deterministic 1-second harmonic test signal at
+// 8 kHz, shaped like a voiced utterance so every feature path does real
+// work (non-zero pitch, energy, crossings).
+func benchSignal(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / 8000
+		x[i] = 0.6*math.Sin(2*math.Pi*180*t) +
+			0.25*math.Sin(2*math.Pi*360*t) +
+			0.1*math.Sin(2*math.Pi*540*t+0.5)
+	}
+	return x
+}
+
+// BenchmarkFFT measures the radix-2 FFT on a 256-point frame, the size the
+// MFCC pipeline transforms for every analysis frame.
+func BenchmarkFFT(b *testing.B) {
+	src := make([]complex128, 256)
+	for i := range src {
+		src[i] = complex(math.Sin(float64(i)*0.1), 0)
+	}
+	buf := make([]complex128, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerSpectrum measures the per-frame periodogram used by MFCC
+// and the spectrogram path (FFT + magnitude + scaling, including scratch
+// management).
+func BenchmarkPowerSpectrum(b *testing.B) {
+	x := benchSignal(200) // 25 ms at 8 kHz -> 256-point FFT
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := PowerSpectrum(x); len(ps) == 0 {
+			b.Fatal("empty power spectrum")
+		}
+	}
+}
+
+// BenchmarkMFCC measures the full cepstral pipeline over a one-second
+// clip: pre-emphasis, framing, windowing, FFT, mel filterbank, DCT.
+func BenchmarkMFCC(b *testing.B) {
+	x := benchSignal(8000)
+	cfg := DefaultMFCCConfig(8000)
+	cfg.IncludeDelta = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := MFCC(x, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no MFCC frames")
+		}
+	}
+}
+
+// BenchmarkMelFilterBank measures filterbank construction, the setup cost
+// the MFCC hot path must not pay per clip.
+func BenchmarkMelFilterBank(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MelFilterBank(26, 256, 8000, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -66,6 +66,17 @@ func Histogram(x []float64, nBins int) []float64 {
 	if nBins <= 0 || len(x) == 0 {
 		return nil
 	}
+	return AppendHistogram(nil, x, nBins)
+}
+
+// AppendHistogram appends the nBins normalized bin frequencies of x to dst
+// and returns the extended slice — the allocation-free variant of
+// Histogram for callers assembling feature rows. Nothing is appended for
+// degenerate arguments.
+func AppendHistogram(dst, x []float64, nBins int) []float64 {
+	if nBins <= 0 || len(x) == 0 {
+		return dst
+	}
 	lo, hi := x[0], x[0]
 	for _, v := range x {
 		if v < lo {
@@ -75,7 +86,11 @@ func Histogram(x []float64, nBins int) []float64 {
 			hi = v
 		}
 	}
-	out := make([]float64, nBins)
+	base := len(dst)
+	for i := 0; i < nBins; i++ {
+		dst = append(dst, 0)
+	}
+	out := dst[base:]
 	width := (hi - lo) / float64(nBins)
 	for _, v := range x {
 		var b int
@@ -91,7 +106,7 @@ func Histogram(x []float64, nBins int) []float64 {
 	for i := range out {
 		out[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // EstimatePitch estimates the fundamental frequency of x (Hz) by picking
@@ -112,18 +127,22 @@ func EstimatePitch(x []float64, sampleRate, minHz, maxHz float64) float64 {
 	if maxLag <= minLag {
 		return 0
 	}
-	r := Autocorrelation(x, maxLag)
-	if r[0] <= 0 {
-		return 0
-	}
+	rp := getF64(maxLag + 1)
+	r := *rp
+	autocorrelationInto(r, x)
+	r0 := r[0]
 	bestLag, bestVal := 0, 0.0
 	for lag := minLag; lag <= maxLag; lag++ {
 		if r[lag] > bestVal {
 			bestVal, bestLag = r[lag], lag
 		}
 	}
+	putF64(rp)
+	if r0 <= 0 {
+		return 0
+	}
 	// Require meaningful periodicity relative to signal energy.
-	if bestLag == 0 || bestVal < 0.3*r[0] {
+	if bestLag == 0 || bestVal < 0.3*r0 {
 		return 0
 	}
 	return sampleRate / float64(bestLag)
@@ -132,17 +151,20 @@ func EstimatePitch(x []float64, sampleRate, minHz, maxHz float64) float64 {
 // SpectralCentroid returns the magnitude-weighted mean frequency (Hz) of
 // the spectrum of x, a brightness correlate.
 func SpectralCentroid(x []float64, sampleRate float64) float64 {
-	mag := RealFFTMagnitude(x)
-	if len(mag) == 0 {
+	nfft := NextPow2(len(x))
+	if nfft == 0 {
 		return 0
 	}
-	nfft := (len(mag) - 1) * 2
+	magp := getF64(nfft/2 + 1)
+	mag := *magp
+	realFFTMagnitudeInto(mag, x, nfft)
 	var num, den float64
 	for k, m := range mag {
 		f := float64(k) * sampleRate / float64(nfft)
 		num += f * m
 		den += m
 	}
+	putF64(magp)
 	if den == 0 {
 		return 0
 	}

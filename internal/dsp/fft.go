@@ -83,19 +83,30 @@ func RealFFTMagnitude(x []float64) []float64 {
 	if nfft == 0 {
 		return nil
 	}
-	buf := make([]complex128, nfft)
+	out := make([]float64, nfft/2+1)
+	realFFTMagnitudeInto(out, x, nfft)
+	return out
+}
+
+// realFFTMagnitudeInto computes |X[k]| into dst (length nfft/2+1) using a
+// pooled complex work buffer. nfft must be NextPow2(len(x)).
+func realFFTMagnitudeInto(dst, x []float64, nfft int) {
+	bufp := getC128(nfft)
+	buf := *bufp
 	for i, v := range x {
 		buf[i] = complex(v, 0)
+	}
+	for i := len(x); i < nfft; i++ {
+		buf[i] = 0
 	}
 	// Length is a power of two by construction; FFT cannot fail.
 	if err := FFT(buf); err != nil {
 		panic("dsp: internal: " + err.Error())
 	}
-	out := make([]float64, nfft/2+1)
-	for k := range out {
-		out[k] = cmplx.Abs(buf[k])
+	for k := range dst {
+		dst[k] = cmplx.Abs(buf[k])
 	}
-	return out
+	putC128(bufp)
 }
 
 // PowerSpectrum returns |X[k]|^2 / nfft for k in [0, nfft/2], the periodogram
@@ -105,12 +116,19 @@ func PowerSpectrum(x []float64) []float64 {
 	if nfft == 0 {
 		return nil
 	}
-	mag := RealFFTMagnitude(x)
+	out := make([]float64, nfft/2+1)
+	powerSpectrumInto(out, x, nfft)
+	return out
+}
+
+// powerSpectrumInto computes the periodogram into dst (length nfft/2+1).
+// nfft must be NextPow2(len(x)).
+func powerSpectrumInto(dst, x []float64, nfft int) {
+	realFFTMagnitudeInto(dst, x, nfft)
 	inv := 1 / float64(nfft)
-	for i, m := range mag {
-		mag[i] = m * m * inv
+	for i, m := range dst {
+		dst[i] = m * m * inv
 	}
-	return mag
 }
 
 // NextPow2 returns the smallest power of two >= n, or 0 for n <= 0.
@@ -140,15 +158,22 @@ func Autocorrelation(x []float64, maxLag int) []float64 {
 		maxLag = 0
 	}
 	out := make([]float64, maxLag+1)
+	autocorrelationInto(out, x)
+	return out
+}
+
+// autocorrelationInto fills dst[k] with the biased autocorrelation at lag
+// k for k in [0, len(dst)); len(dst) must be <= len(x).
+func autocorrelationInto(dst, x []float64) {
+	n := len(x)
 	inv := 1 / float64(n)
-	for k := 0; k <= maxLag; k++ {
+	for k := range dst {
 		var s float64
 		for i := 0; i+k < n; i++ {
 			s += x[i] * x[i+k]
 		}
-		out[k] = s * inv
+		dst[k] = s * inv
 	}
-	return out
 }
 
 // DCTII computes the type-II discrete cosine transform of x with the

@@ -10,11 +10,17 @@ func PreEmphasis(x []float64, coeff float64) []float64 {
 		return nil
 	}
 	out := make([]float64, len(x))
-	out[0] = x[0]
-	for i := 1; i < len(x); i++ {
-		out[i] = x[i] - coeff*x[i-1]
-	}
+	preEmphasisInto(out, x, coeff)
 	return out
+}
+
+// preEmphasisInto applies the pre-emphasis filter into dst, which must
+// have the same length as x.
+func preEmphasisInto(dst, x []float64, coeff float64) {
+	dst[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		dst[i] = x[i] - coeff*x[i-1]
+	}
 }
 
 // Frame slices x into overlapping frames of frameLen samples advancing by
@@ -37,6 +43,37 @@ func Frame(x []float64, frameLen, hop int) [][]float64 {
 		}
 	}
 	return frames
+}
+
+// EachFrame visits the same frames Frame would produce, but reuses one
+// internal buffer for every frame instead of allocating per frame: fn is
+// called with the frame index and a zero-padded frame slice that is only
+// valid for the duration of the call (callers must copy anything they
+// keep, and must not retain the slice). It returns the number of frames
+// visited.
+func EachFrame(x []float64, frameLen, hop int, fn func(i int, frame []float64)) int {
+	if frameLen <= 0 || hop <= 0 || len(x) == 0 {
+		return 0
+	}
+	bufp := getF64(frameLen)
+	buf := *bufp
+	count := 0
+	for start := 0; start < len(x); start += hop {
+		n := copy(buf, x[start:])
+		for i := n; i < frameLen; i++ {
+			buf[i] = 0
+		}
+		fn(count, buf)
+		count++
+		if n < frameLen {
+			break
+		}
+		if start+frameLen >= len(x) {
+			break
+		}
+	}
+	putF64(bufp)
+	return count
 }
 
 // HammingWindow returns the n-point Hamming window

@@ -99,41 +99,72 @@ func MFCC(x []float64, cfg MFCCConfig) ([][]float64, error) {
 		return nil, fmt.Errorf("dsp: MFCC wants %d coeffs from %d filters", cfg.NumCoeffs, cfg.NumFilters)
 	}
 	sig := x
+	var sigp *[]float64
 	if cfg.PreEmphasis > 0 {
-		sig = PreEmphasis(x, cfg.PreEmphasis)
+		sigp = getF64(len(x))
+		sig = *sigp
+		preEmphasisInto(sig, x, cfg.PreEmphasis)
 	}
 	nfft := NextPow2(cfg.FrameLen)
-	bank, err := MelFilterBank(cfg.NumFilters, nfft, cfg.SampleRate, cfg.LowHz, cfg.HighHz)
+	bank, err := melFilterBankCached(cfg.NumFilters, nfft, cfg.SampleRate, cfg.LowHz, cfg.HighHz)
 	if err != nil {
+		if sigp != nil {
+			putF64(sigp)
+		}
 		return nil, err
 	}
-	window := HammingWindow(cfg.FrameLen)
-	frames := Frame(sig, cfg.FrameLen, cfg.Hop)
-	out := make([][]float64, 0, len(frames))
-	for _, f := range frames {
+	window := hammingWindowCached(cfg.FrameLen)
+	// Rows are allocated at their final width so delta computation widens
+	// nothing; all per-frame scratch (power spectrum, filterbank energies)
+	// is pooled and the DCT basis is a shared table.
+	rowWidth := cfg.NumCoeffs
+	if cfg.IncludeDelta {
+		rowWidth = 2 * cfg.NumCoeffs
+	}
+	var out [][]float64
+	psp := getF64(nfft/2 + 1)
+	enp := getF64(cfg.NumFilters)
+	ps, energies := *psp, *enp
+	EachFrame(sig, cfg.FrameLen, cfg.Hop, func(_ int, f []float64) {
 		ApplyWindow(f, window)
-		ps := PowerSpectrum(f)
+		powerSpectrumInto(ps, f, nfft)
 		// Filterbank energies -> log -> DCT.
-		energies := make([]float64, cfg.NumFilters)
-		for m, row := range bank {
+		for m := range bank.rows {
 			var e float64
-			for k, w := range row {
-				if w != 0 {
-					e += w * ps[k]
-				}
+			row := bank.rows[m]
+			for k := bank.lo[m]; k < bank.hi[m]; k++ {
+				e += row[k] * ps[k]
 			}
 			// Floor to avoid log(0) on silent frames.
 			energies[m] = math.Log(math.Max(e, 1e-12))
 		}
-		cep := DCTII(energies)[:cfg.NumCoeffs]
-		row := make([]float64, cfg.NumCoeffs)
-		copy(row, cep)
+		row := make([]float64, rowWidth)
+		dctIIInto(row[:cfg.NumCoeffs], energies)
 		out = append(out, row)
+	})
+	putF64(psp)
+	putF64(enp)
+	if sigp != nil {
+		putF64(sigp)
 	}
 	if cfg.IncludeDelta {
-		appendDeltas(out)
+		fillDeltas(out, cfg.NumCoeffs)
 	}
 	return out, nil
+}
+
+// fillDeltas writes first-order frame-to-frame differences of the first d
+// columns into columns [d, 2d) of each row (zero at boundaries). Rows must
+// already have width 2d.
+func fillDeltas(rows [][]float64, d int) {
+	n := len(rows)
+	for i := 0; i < n; i++ {
+		if i > 0 && i < n-1 {
+			for j := 0; j < d; j++ {
+				rows[i][d+j] = (rows[i+1][j] - rows[i-1][j]) / 2
+			}
+		}
+	}
 }
 
 // appendDeltas widens each row in place with first-order frame-to-frame

@@ -1,0 +1,159 @@
+package dsp
+
+import (
+	"math"
+	"sync"
+)
+
+// Scratch-buffer pools and derived-table caches for the DSP hot path.
+//
+// Feature extraction runs the same transforms thousands of times per
+// corpus (one FFT per 10 ms analysis frame), and since the parallel
+// pipeline fans clips out across cores, per-call allocations would turn
+// straight into GC pressure that serializes the workers. Two mechanisms
+// keep the hot path allocation-free:
+//
+//   - sync.Pool scratch for transient buffers (FFT work arrays, frame
+//     windows, filterbank energies, autocorrelation lags). Buffers are
+//     fully overwritten before use, so pooling cannot change results.
+//   - immutable caches for derived tables that depend only on
+//     configuration (Hamming windows, mel filterbanks, DCT-II cosine
+//     tables). These are computed once per shape and shared read-only
+//     across goroutines.
+//
+// Everything here is internal; the public API is unchanged.
+
+var (
+	c128Pool = sync.Pool{New: func() any { s := make([]complex128, 0, 512); return &s }}
+	f64Pool  = sync.Pool{New: func() any { s := make([]float64, 0, 512); return &s }}
+)
+
+// getC128 returns a pooled complex scratch slice of length n.
+func getC128(n int) *[]complex128 {
+	p := c128Pool.Get().(*[]complex128)
+	if cap(*p) < n {
+		*p = make([]complex128, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putC128(p *[]complex128) { c128Pool.Put(p) }
+
+// getF64 returns a pooled float64 scratch slice of length n. Contents are
+// unspecified; callers must overwrite every element they read.
+func getF64(n int) *[]float64 {
+	p := f64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putF64(p *[]float64) { f64Pool.Put(p) }
+
+// hammingCache maps window length -> read-only Hamming window.
+var hammingCache sync.Map
+
+// hammingWindowCached returns a shared Hamming window of length n.
+// Callers must not modify the returned slice.
+func hammingWindowCached(n int) []float64 {
+	if w, ok := hammingCache.Load(n); ok {
+		return w.([]float64)
+	}
+	w := HammingWindow(n)
+	actual, _ := hammingCache.LoadOrStore(n, w)
+	return actual.([]float64)
+}
+
+// bankKey identifies a mel filterbank shape.
+type bankKey struct {
+	nFilters, nfft  int
+	rate, low, high float64
+}
+
+// melBank is a cached filterbank with precomputed nonzero column ranges,
+// so the per-frame energy accumulation only walks each triangle's
+// support instead of all nfft/2+1 bins.
+type melBank struct {
+	rows   [][]float64
+	lo, hi []int // [lo, hi) nonzero bin range per filter
+}
+
+var bankCache sync.Map
+
+// melFilterBankCached returns a shared, read-only filterbank for the
+// given shape, building and caching it on first use.
+func melFilterBankCached(nFilters, nfft int, rate, low, high float64) (*melBank, error) {
+	key := bankKey{nFilters, nfft, rate, low, high}
+	if b, ok := bankCache.Load(key); ok {
+		return b.(*melBank), nil
+	}
+	rows, err := MelFilterBank(nFilters, nfft, rate, low, high)
+	if err != nil {
+		return nil, err
+	}
+	b := &melBank{rows: rows, lo: make([]int, len(rows)), hi: make([]int, len(rows))}
+	for m, row := range rows {
+		lo, hi := 0, len(row)
+		for lo < hi && row[lo] == 0 {
+			lo++
+		}
+		for hi > lo && row[hi-1] == 0 {
+			hi--
+		}
+		b.lo[m], b.hi[m] = lo, hi
+	}
+	actual, _ := bankCache.LoadOrStore(key, b)
+	return actual.(*melBank), nil
+}
+
+// dctTable holds the DCT-II basis cos(pi*k*(2i+1)/(2N)) for one length,
+// with the orthonormal scale factors kept separate so results match
+// DCTII bit for bit.
+type dctTable struct {
+	cos    [][]float64
+	s0, sk float64
+}
+
+var dctCache sync.Map
+
+// dctIITableCached returns the shared basis table for length n.
+func dctIITableCached(n int) *dctTable {
+	if t, ok := dctCache.Load(n); ok {
+		return t.(*dctTable)
+	}
+	t := &dctTable{
+		cos: make([][]float64, n),
+		s0:  math.Sqrt(1 / float64(n)),
+		sk:  math.Sqrt(2 / float64(n)),
+	}
+	for k := 0; k < n; k++ {
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row[i] = math.Cos(math.Pi * float64(k) * (2*float64(i) + 1) / (2 * float64(n)))
+		}
+		t.cos[k] = row
+	}
+	actual, _ := dctCache.LoadOrStore(n, t)
+	return actual.(*dctTable)
+}
+
+// dctIIInto writes the first len(dst) DCT-II coefficients of x into dst
+// using the cached basis. len(dst) must be <= len(x).
+func dctIIInto(dst, x []float64) {
+	t := dctIITableCached(len(x))
+	for k := range dst {
+		var sum float64
+		row := t.cos[k]
+		for i, v := range x {
+			sum += v * row[i]
+		}
+		if k == 0 {
+			dst[k] = t.s0 * sum
+		} else {
+			dst[k] = t.sk * sum
+		}
+	}
+}

@@ -1,8 +1,7 @@
 package h264
 
 import (
-	"sync"
-
+	"affectedge/internal/parallel"
 	"affectedge/internal/power"
 )
 
@@ -96,42 +95,34 @@ func CompareModes(src []*Frame, enc EncoderConfig, model EnergyModel) ([]ModeRep
 		}
 	}
 	lumaBytes := enc.Width * enc.Height
-	// The four modes decode independent pipelines; run them concurrently.
-	reports := make([]ModeReport, NumModes)
-	errs := make([]error, NumModes)
-	var wg sync.WaitGroup
-	for i, mode := range Modes() {
-		wg.Add(1)
-		go func(i int, mode DecoderMode) {
-			defer wg.Done()
-			res, err := DecodePipeline(stream, mode)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ledger := model.Charge(res.Activity, lumaBytes)
-			psnr, err := MeanPSNR(src, res.Frames)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			r := ModeReport{
-				Mode:    mode,
-				Energy:  ledger.Total(),
-				PSNR:    psnr,
-				Deleted: res.Selector.UnitsDeleted,
-			}
-			if sliceUnits > 0 {
-				r.DeletedPct = 100 * float64(res.Selector.UnitsDeleted) / float64(sliceUnits)
-			}
-			reports[i] = r
-		}(i, mode)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	// The four modes decode independent pipelines; fan them out over the
+	// shared bounded worker pool (order-preserving, so the report order is
+	// the Modes() order at any worker count).
+	modes := Modes()
+	reports, err := parallel.Map(len(modes), func(i int) (ModeReport, error) {
+		mode := modes[i]
+		res, err := DecodePipeline(stream, mode)
 		if err != nil {
-			return nil, err
+			return ModeReport{}, err
 		}
+		ledger := model.Charge(res.Activity, lumaBytes)
+		psnr, err := MeanPSNR(src, res.Frames)
+		if err != nil {
+			return ModeReport{}, err
+		}
+		r := ModeReport{
+			Mode:    mode,
+			Energy:  ledger.Total(),
+			PSNR:    psnr,
+			Deleted: res.Selector.UnitsDeleted,
+		}
+		if sliceUnits > 0 {
+			r.DeletedPct = 100 * float64(res.Selector.UnitsDeleted) / float64(sliceUnits)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var baseline float64
 	for _, r := range reports {

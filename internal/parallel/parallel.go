@@ -1,0 +1,173 @@
+// Package parallel provides the bounded worker pool shared by every
+// embarrassingly-parallel hot path in the repository: clip featurization,
+// corpus synthesis, the corpus×model training grid, and per-mode decoder
+// measurement.
+//
+// The package is deliberately tiny. ForEach and Map fan a fixed number of
+// index-addressed work items out over at most Workers() goroutines, always
+// writing results back by index so output order never depends on
+// scheduling. Combined with per-item determinism (each item derives its
+// own RNG from a seed instead of sharing a stream), this yields the
+// repository-wide contract: for a fixed seed, parallel and serial
+// execution produce bit-identical results.
+//
+// Panics inside work functions are captured and re-raised on the calling
+// goroutine (first panic wins) so a worker crash cannot take down the
+// process without unwinding through the caller, and remaining items are
+// abandoned quickly.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the pool-size override; 0 means "use GOMAXPROCS at call
+// time". Stored atomically so tests can flip it around concurrent code.
+var workers atomic.Int64
+
+// Workers returns the current worker-count setting: the value set by
+// SetWorkers, or GOMAXPROCS(0) when unset.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool size for subsequent ForEach/Map calls and
+// returns the previous override (0 = GOMAXPROCS default). n <= 0 restores
+// the default. Typical test usage:
+//
+//	defer parallel.SetWorkers(parallel.SetWorkers(1))
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// panicErr carries a captured worker panic (plus its stack) back to the
+// calling goroutine.
+type panicErr struct {
+	value any
+	stack []byte
+}
+
+func (p *panicErr) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.value, p.stack)
+}
+
+// run executes fn(i) for i in [0, n) on at most Workers() goroutines.
+// Items are claimed from an atomic cursor, so scheduling order is
+// arbitrary, but callers only ever communicate through index-addressed
+// slots, keeping results order-preserving. stop is polled between items
+// so errors cancel remaining work promptly.
+func run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Serial fast path: no goroutines, panics propagate natively.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		pmu    sync.Mutex
+		pval   *panicErr
+	)
+	stopped := func() bool {
+		pmu.Lock()
+		defer pmu.Unlock()
+		return pval != nil
+	}
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || stopped() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stack := make([]byte, 64<<10)
+							stack = stack[:runtime.Stack(stack, false)]
+							pmu.Lock()
+							if pval == nil {
+								pval = &panicErr{value: r, stack: stack}
+							}
+							pmu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) using the pool. It returns the
+// lowest-index error among those observed, or nil. Once any item fails,
+// remaining work is abandoned on a best-effort basis, so which error is
+// returned can vary under concurrency — error values are for reporting,
+// not for deterministic comparison.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	run(n, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) and returns the results in index order. On
+// error it returns the lowest-index error and a nil slice.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

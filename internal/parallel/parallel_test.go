@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	if prev := SetWorkers(3); prev != 0 {
+		t.Errorf("first SetWorkers returned %d, want 0", prev)
+	}
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", got)
+	}
+	if prev := SetWorkers(-5); prev != 3 {
+		t.Errorf("SetWorkers(-5) returned %d, want 3", prev)
+	}
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("negative SetWorkers should restore default: got %d want %d", got, want)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len %d", w, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("Map(0) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	sentinel := errors.New("boom")
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		err := ForEach(50, func(i int) error {
+			if i == 17 {
+				return fmt.Errorf("item %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: err = %v, want wrapped sentinel", w, err)
+		}
+	}
+}
+
+func TestMapErrorReturnsNilSlice(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	out, err := Map(10, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, errors.New("odd")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Errorf("errored Map returned non-nil slice %v", out)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", w)
+				}
+				msg := fmt.Sprint(r)
+				if pe, ok := r.(error); ok {
+					msg = pe.Error()
+				}
+				if !strings.Contains(msg, "kaput") {
+					t.Errorf("workers=%d: panic message %q lost the cause", w, msg)
+				}
+			}()
+			_ = ForEach(20, func(i int) error {
+				if i == 7 {
+					panic("kaput")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	defer SetWorkers(SetWorkers(3))
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	err := ForEach(64, func(int) error {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent items with SetWorkers(3)", p)
+	}
+}
+
+func TestForEachAllItemsRun(t *testing.T) {
+	defer SetWorkers(SetWorkers(6))
+	var ran [500]atomic.Bool
+	if err := ForEach(len(ran), func(i int) error { ran[i].Store(true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("item %d never ran", i)
+		}
+	}
+}

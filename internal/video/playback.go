@@ -39,7 +39,10 @@ type ModeRates struct {
 }
 
 // MeasureModeRates decodes the reference clip in every mode and converts
-// total energy to an energy-per-minute rate at the given frame rate.
+// total energy to an energy-per-minute rate at the given frame rate. The
+// per-mode decodes fan out over the shared internal/parallel worker pool
+// (via h264.CompareModes), so measurement is bounded by
+// parallel.SetWorkers and deterministic at any worker count.
 func MeasureModeRates(src []*h264.Frame, enc h264.EncoderConfig, model h264.EnergyModel, fps float64) (*ModeRates, error) {
 	if fps <= 0 {
 		return nil, fmt.Errorf("video: fps %g must be positive", fps)
