@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: all build vet test test-short test-race bench bench-json repro figures clean
+.PHONY: all build vet test test-short test-race bench bench-json bench-compare repro figures clean
 
 all: build vet test
 
@@ -38,9 +38,16 @@ bench:
 # first free n, so the perf trajectory accumulates across PRs.
 bench-json:
 	n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/affect/ \
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$n.json; \
 	echo "wrote BENCH_$$n.json"
+
+# Diff the two most recent snapshots (ratios below 1.00x are speedups).
+bench-compare:
+	files=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "need at least two BENCH_<n>.json files"; exit 1; fi; \
+	$(GO) run ./cmd/benchjson -compare $$1 $$2
 
 # Regenerate every figure of the paper (paper-vs-measured tables).
 repro:

@@ -6,10 +6,15 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson [-in file] [-out file]
+//	benchjson -compare OLD.json NEW.json
 //
 // Every benchmark result line is captured: iterations, ns/op, B/op,
 // allocs/op, and any custom b.ReportMetric units (the repo reports
 // paper-figure numbers that way).
+//
+// The -compare mode diffs two snapshots (see `make bench-compare`, which
+// feeds it the latest two BENCH_<n>.json files) and prints per-benchmark
+// ns/op and allocs/op deltas.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -49,7 +55,25 @@ type Snapshot struct {
 func main() {
 	inPath := flag.String("in", "", "bench output file (default stdin)")
 	outPath := flag.String("out", "", "JSON destination (default stdout)")
+	compare := flag.Bool("compare", false, "diff two snapshot files: benchjson -compare OLD.json NEW.json")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two snapshot files, got %d", flag.NArg()))
+		}
+		oldSnap, err := loadSnapshot(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		newSnap, err := loadSnapshot(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("comparing %s -> %s\n", flag.Arg(0), flag.Arg(1))
+		os.Stdout.WriteString(Compare(oldSnap, newSnap))
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *inPath != "" {
@@ -84,6 +108,76 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// loadSnapshot reads a previously written snapshot JSON file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// Compare renders a per-benchmark diff of two snapshots. Benchmarks are
+// matched by name (first occurrence wins on duplicates); ones present in
+// only one snapshot are listed as added or removed. The delta column is
+// new/old ns/op, so values below 1.00x are speedups.
+func Compare(oldSnap, newSnap *Snapshot) string {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		if _, ok := oldBy[b.Name]; !ok {
+			oldBy[b.Name] = b
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-52s %14s %14s %8s %11s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "allocs/op")
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benchmarks {
+		if seen[nb.Name] {
+			continue
+		}
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-52s %14s %14.0f %8s %11s\n",
+				nb.Name, "(added)", nb.Metrics["ns/op"], "", allocsDelta(nb.Metrics, nb.Metrics))
+			continue
+		}
+		ratio := "n/a"
+		if o := ob.Metrics["ns/op"]; o > 0 {
+			ratio = fmt.Sprintf("%.2fx", nb.Metrics["ns/op"]/o)
+		}
+		fmt.Fprintf(&sb, "%-52s %14.0f %14.0f %8s %11s\n",
+			nb.Name, ob.Metrics["ns/op"], nb.Metrics["ns/op"], ratio, allocsDelta(ob.Metrics, nb.Metrics))
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if seen[ob.Name] {
+			continue
+		}
+		seen[ob.Name] = true
+		fmt.Fprintf(&sb, "%-52s %14.0f %14s\n", ob.Name, ob.Metrics["ns/op"], "(removed)")
+	}
+	return sb.String()
+}
+
+// allocsDelta formats the allocs/op transition, or blank when the metric is
+// absent from both snapshots (benchmarks without -benchmem).
+func allocsDelta(oldM, newM map[string]float64) string {
+	ov, ook := oldM["allocs/op"]
+	nv, nok := newM["allocs/op"]
+	if !ook && !nok {
+		return ""
+	}
+	if ov == nv {
+		return fmt.Sprintf("%.0f", nv)
+	}
+	return fmt.Sprintf("%.0f->%.0f", ov, nv)
 }
 
 // Parse reads `go test -bench` output and collects every result line into

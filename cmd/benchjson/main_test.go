@@ -59,6 +59,39 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	oldSnap := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 12}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	newSnap := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 250, "allocs/op": 0}},
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 90, "allocs/op": 3}},
+	}}
+	out := Compare(oldSnap, newSnap)
+	for _, want := range []string{
+		"BenchmarkA", "0.25x", "12->0",
+		"BenchmarkNew", "(added)",
+		"BenchmarkGone", "(removed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareNoNsOp(t *testing.T) {
+	oldSnap := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZ", Metrics: map[string]float64{"ns/op": 0}},
+	}}
+	newSnap := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZ", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	if out := Compare(oldSnap, newSnap); !strings.Contains(out, "n/a") {
+		t.Errorf("zero old ns/op should render n/a ratio:\n%s", out)
+	}
+}
+
 func TestSplitProcs(t *testing.T) {
 	cases := []struct {
 		in    string

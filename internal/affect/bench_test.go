@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"affectedge/internal/affectdata"
+	"affectedge/internal/nn"
 	"affectedge/internal/parallel"
 )
 
@@ -55,4 +56,45 @@ func BenchmarkDatasetParallel(b *testing.B) {
 	}
 	b.Run("serial", run(1))
 	b.Run("parallel", run(0)) // 0 = GOMAXPROCS workers
+}
+
+// BenchmarkTrainMLP measures one training epoch of the study's MLP on real
+// featurized EMOVO examples, comparing the legacy per-example path against
+// the batched kernels (which produce bit-identical results — see
+// TestRunStudyKernelBatchInvariant).
+func BenchmarkTrainMLP(b *testing.B) {
+	clips := benchClips(b, 48)
+	cfg := DefaultFeatureConfig(8000)
+	examples, _, err := Dataset(clips, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := map[int]bool{}
+	for _, ex := range examples {
+		classes[ex.Y] = true
+	}
+	run := func(forceScalar bool) func(*testing.B) {
+		return func(b *testing.B) {
+			net, err := Build(MLP, cfg.NumFrames, cfg.Dim(), len(classes), FastScale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tc := nn.TrainConfig{
+				Epochs:      1,
+				BatchSize:   16,
+				Optimizer:   nn.NewAdam(2e-3),
+				Seed:        1,
+				ForceScalar: forceScalar,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.Fit(examples, tc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("scalar", run(true))
+	b.Run("batched", run(false))
 }

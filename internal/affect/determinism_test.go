@@ -1,6 +1,7 @@
 package affect
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -72,9 +73,10 @@ func TestDatasetParallelMatchesSerial(t *testing.T) {
 }
 
 // studyAt runs a miniature full study (all corpora, all model families) at
-// the given pool size. Workers=1 pins the replica count too, so the
-// training arithmetic is identical across pool sizes.
-func studyAt(t *testing.T, workers int) *StudyReport {
+// the given pool size and kernel batch width. Workers=1 pins the replica
+// count too, so the training arithmetic is identical across pool sizes,
+// and KernelBatch is an execution knob with no arithmetic effect.
+func studyAt(t *testing.T, workers, kernelBatch int) *StudyReport {
 	t.Helper()
 	var rep *StudyReport
 	withWorkers(workers, func() {
@@ -85,6 +87,7 @@ func studyAt(t *testing.T, workers int) *StudyReport {
 			BatchSize:      8,
 			LearningRate:   2e-3,
 			Workers:        1,
+			KernelBatch:    kernelBatch,
 			Scale:          FastScale,
 			Seed:           3,
 			Feature:        FeatureConfig{SampleRate: 8000, NumFrames: 16, NumMFCC: 8, HistBins: 6},
@@ -98,6 +101,41 @@ func studyAt(t *testing.T, workers int) *StudyReport {
 	return rep
 }
 
+// requireEqualReports compares two study reports field by field, demanding
+// bit-identical floats and identical confusion tables.
+func requireEqualReports(t *testing.T, serial, other *StudyReport, label string) {
+	t.Helper()
+	if len(serial.Results) != len(other.Results) {
+		t.Fatalf("%s: result counts differ: %d vs %d", label, len(serial.Results), len(other.Results))
+	}
+	for i := range serial.Results {
+		a, b := serial.Results[i], other.Results[i]
+		if a.Corpus != b.Corpus || a.Kind != b.Kind {
+			t.Fatalf("%s: result %d identity differs: %s/%s vs %s/%s", label, i, a.Corpus, a.Kind, b.Corpus, b.Kind)
+		}
+		if a.Params != b.Params || a.FloatBytes != b.FloatBytes || a.QuantBytes != b.QuantBytes {
+			t.Errorf("%s: %s/%s size fields differ", label, a.Corpus, a.Kind)
+		}
+		if math.Float64bits(a.Accuracy) != math.Float64bits(b.Accuracy) {
+			t.Errorf("%s: %s/%s accuracy differs: %v vs %v", label, a.Corpus, a.Kind, a.Accuracy, b.Accuracy)
+		}
+		if math.Float64bits(a.QuantAccuracy) != math.Float64bits(b.QuantAccuracy) {
+			t.Errorf("%s: %s/%s quantized accuracy differs: %v vs %v", label, a.Corpus, a.Kind, a.QuantAccuracy, b.QuantAccuracy)
+		}
+		if math.Float64bits(a.MacroF1) != math.Float64bits(b.MacroF1) {
+			t.Errorf("%s: %s/%s macro F1 differs: %v vs %v", label, a.Corpus, a.Kind, a.MacroF1, b.MacroF1)
+		}
+		for r := range a.Confusion {
+			for c := range a.Confusion[r] {
+				if a.Confusion[r][c] != b.Confusion[r][c] {
+					t.Errorf("%s: %s/%s confusion[%d][%d] differs: %d vs %d",
+						label, a.Corpus, a.Kind, r, c, a.Confusion[r][c], b.Confusion[r][c])
+				}
+			}
+		}
+	}
+}
+
 // TestRunStudyParallelMatchesSerial locks down the whole grid: datasets,
 // training, evaluation, confusion matrices, and quantization must agree
 // exactly between a serial and a wide pool.
@@ -105,35 +143,30 @@ func TestRunStudyParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("miniature study training skipped in -short mode")
 	}
-	serial := studyAt(t, 1)
-	wide := studyAt(t, 8)
-	if len(serial.Results) != len(wide.Results) {
-		t.Fatalf("result counts differ: %d vs %d", len(serial.Results), len(wide.Results))
+	serial := studyAt(t, 1, 0)
+	wide := studyAt(t, 8, 0)
+	requireEqualReports(t, serial, wide, "workers 1 vs 8")
+}
+
+// TestRunStudyKernelBatchInvariant locks down the batched-kernel contract at
+// the study level: the accuracy tables from a miniature RunStudy must be
+// identical across every combination of kernel batch width (1 = one example
+// per kernel call, 32 = whole-batch fused kernels) and worker-pool size
+// (1 vs 8). KernelBatch only changes how many examples each fused kernel
+// call covers, never the floating-point operation order of any output.
+func TestRunStudyKernelBatchInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature study training skipped in -short mode")
 	}
-	for i := range serial.Results {
-		a, b := serial.Results[i], wide.Results[i]
-		if a.Corpus != b.Corpus || a.Kind != b.Kind {
-			t.Fatalf("result %d identity differs: %s/%s vs %s/%s", i, a.Corpus, a.Kind, b.Corpus, b.Kind)
-		}
-		if a.Params != b.Params || a.FloatBytes != b.FloatBytes || a.QuantBytes != b.QuantBytes {
-			t.Errorf("%s/%s size fields differ", a.Corpus, a.Kind)
-		}
-		if math.Float64bits(a.Accuracy) != math.Float64bits(b.Accuracy) {
-			t.Errorf("%s/%s accuracy differs: %v vs %v", a.Corpus, a.Kind, a.Accuracy, b.Accuracy)
-		}
-		if math.Float64bits(a.QuantAccuracy) != math.Float64bits(b.QuantAccuracy) {
-			t.Errorf("%s/%s quantized accuracy differs: %v vs %v", a.Corpus, a.Kind, a.QuantAccuracy, b.QuantAccuracy)
-		}
-		if math.Float64bits(a.MacroF1) != math.Float64bits(b.MacroF1) {
-			t.Errorf("%s/%s macro F1 differs: %v vs %v", a.Corpus, a.Kind, a.MacroF1, b.MacroF1)
-		}
-		for r := range a.Confusion {
-			for c := range a.Confusion[r] {
-				if a.Confusion[r][c] != b.Confusion[r][c] {
-					t.Errorf("%s/%s confusion[%d][%d] differs: %d vs %d",
-						a.Corpus, a.Kind, r, c, a.Confusion[r][c], b.Confusion[r][c])
-				}
+	baseline := studyAt(t, 1, 1)
+	for _, workers := range []int{1, 8} {
+		for _, kb := range []int{1, 32} {
+			if workers == 1 && kb == 1 {
+				continue
 			}
+			rep := studyAt(t, workers, kb)
+			label := fmt.Sprintf("workers=%d kernelBatch=%d vs workers=1 kernelBatch=1", workers, kb)
+			requireEqualReports(t, baseline, rep, label)
 		}
 	}
 }

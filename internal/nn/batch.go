@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched forward/backward paths. A batch is a rank-2 [N][D] tensor with
+// one (already flattened) example per row; layers that can process whole
+// batches implement BatchLayer. Results are Float64bits-identical to
+// running the rank-1 path example by example: each row is computed with
+// the same operation order, and gradient accumulation into parameters
+// stays in example order (see kernel.go). Every layer owns preallocated
+// scratch tensors, so a steady-state training step performs zero
+// allocations.
+
+// BatchLayer is implemented by layers that can process a rank-2 batch of
+// rank-1 examples. The returned tensors are layer-owned scratch, valid
+// until the next ForwardBatch/BackwardBatch call on the same layer.
+type BatchLayer interface {
+	ForwardBatch(x *Tensor, train bool) (*Tensor, error)
+	BackwardBatch(grad *Tensor) (*Tensor, error)
+}
+
+// BatchCapable reports whether every layer supports the batched path.
+func (n *Sequential) BatchCapable() bool {
+	for _, l := range n.Layers {
+		if _, ok := l.(BatchLayer); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardBatch runs a rank-2 batch (one example per row) through the
+// network. All layers must implement BatchLayer (see BatchCapable).
+// The result aliases layer-owned scratch.
+func (n *Sequential) ForwardBatch(x *Tensor, train bool) (*Tensor, error) {
+	for _, l := range n.Layers {
+		bl, ok := l.(BatchLayer)
+		if !ok {
+			return nil, fmt.Errorf("nn: layer %s has no batched path", l.Name())
+		}
+		var err error
+		x, err = bl.ForwardBatch(x, train)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// backwardBatch pushes a batch of loss gradients through all layers.
+func (n *Sequential) backwardBatch(grad *Tensor) error {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		bl, ok := n.Layers[i].(BatchLayer)
+		if !ok {
+			return fmt.Errorf("nn: layer %s has no batched path", n.Layers[i].Name())
+		}
+		var err error
+		grad, err = bl.BackwardBatch(grad)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForwardBatch implements BatchLayer: one GEMM for the whole batch.
+func (d *Dense) ForwardBatch(x *Tensor, train bool) (*Tensor, error) {
+	if !x.IsMatrix() || x.Cols != d.In {
+		return nil, fmt.Errorf("nn: %s got batch %s, want [Nx%d]", d.Name(), x.ShapeString(), d.In)
+	}
+	d.xb = x
+	y := d.yb.reshape(x.Rows, d.Out)
+	// The transposed-weight form keeps the per-slot accumulation order and
+	// lets the inner loop run down contiguous memory (SIMD-friendly); the
+	// transpose is refreshed per call and amortized over the batch rows.
+	d.wtb = growF64(d.wtb, d.In*d.Out)
+	transposeInto(d.wtb, d.W.W, d.In, d.Out)
+	gemmBiasT(y.Data, x.Data, d.wtb, d.B.W, x.Rows, d.In, d.Out)
+	return y, nil
+}
+
+// BackwardBatch implements BatchLayer: parameter gradients accumulate in
+// example order (bit-identical to the rank-1 path), input gradients in
+// output order.
+func (d *Dense) BackwardBatch(grad *Tensor) (*Tensor, error) {
+	if d.xb == nil {
+		return nil, fmt.Errorf("nn: %s batched backward before forward", d.Name())
+	}
+	if !grad.IsMatrix() || grad.Cols != d.Out || grad.Rows != d.xb.Rows {
+		return nil, fmt.Errorf("nn: %s got batch grad %s, want [%dx%d]",
+			d.Name(), grad.ShapeString(), d.xb.Rows, d.Out)
+	}
+	n := grad.Rows
+	dx := d.dxb.reshape(n, d.In)
+	zeroF64(dx.Data)
+	gemmDXAcc(dx.Data, grad.Data, d.W.W, n, d.In, d.Out)
+	gemmGradAcc(d.W.Grad, d.B.Grad, grad.Data, d.xb.Data, n, d.In, d.Out)
+	return dx, nil
+}
+
+// ForwardBatch implements BatchLayer.
+func (r *ReLU) ForwardBatch(x *Tensor, train bool) (*Tensor, error) {
+	y := r.yb.reshape(x.Rows, x.Cols)
+	r.maskb = growBool(r.maskb, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			r.maskb[i] = true
+			y.Data[i] = v
+		} else {
+			r.maskb[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// BackwardBatch implements BatchLayer.
+func (r *ReLU) BackwardBatch(grad *Tensor) (*Tensor, error) {
+	if len(grad.Data) != len(r.maskb) {
+		return nil, fmt.Errorf("nn: relu got batch grad size %d, want %d", len(grad.Data), len(r.maskb))
+	}
+	dx := r.dxb.reshape(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		if r.maskb[i] {
+			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// ForwardBatch implements BatchLayer.
+func (t *Tanh) ForwardBatch(x *Tensor, train bool) (*Tensor, error) {
+	y := t.yb.reshape(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	return y, nil
+}
+
+// BackwardBatch implements BatchLayer.
+func (t *Tanh) BackwardBatch(grad *Tensor) (*Tensor, error) {
+	if len(grad.Data) != len(t.yb.Data) {
+		return nil, fmt.Errorf("nn: tanh got batch grad size %d, want %d", len(grad.Data), len(t.yb.Data))
+	}
+	dx := t.dxb.reshape(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		yv := t.yb.Data[i]
+		dx.Data[i] = v * (1 - yv*yv)
+	}
+	return dx, nil
+}
+
+// ForwardBatch implements BatchLayer. Rows consume the layer RNG in row
+// order, matching the per-example draw sequence exactly.
+func (d *Dropout) ForwardBatch(x *Tensor, train bool) (*Tensor, error) {
+	if !train || d.Rate <= 0 {
+		d.keepb = nil
+		return x, nil
+	}
+	y := d.yb.reshape(x.Rows, x.Cols)
+	d.keepb = growBool(d.keepb, len(x.Data))
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			d.keepb[i] = true
+			y.Data[i] = v * scale
+		} else {
+			d.keepb[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// BackwardBatch implements BatchLayer.
+func (d *Dropout) BackwardBatch(grad *Tensor) (*Tensor, error) {
+	if d.keepb == nil {
+		return grad, nil
+	}
+	if len(grad.Data) != len(d.keepb) {
+		return nil, fmt.Errorf("nn: %s got batch grad size %d, want %d", d.Name(), len(grad.Data), len(d.keepb))
+	}
+	dx := d.dxb.reshape(grad.Rows, grad.Cols)
+	scale := 1 / (1 - d.Rate)
+	for i, v := range grad.Data {
+		if d.keepb[i] {
+			dx.Data[i] = v * scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// ForwardBatch implements BatchLayer. Batch rows are already flattened
+// examples, so batched Flatten is the identity.
+func (f *Flatten) ForwardBatch(x *Tensor, train bool) (*Tensor, error) { return x, nil }
+
+// BackwardBatch implements BatchLayer.
+func (f *Flatten) BackwardBatch(grad *Tensor) (*Tensor, error) { return grad, nil }

@@ -39,7 +39,7 @@ func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
 // Forward implements Layer.
 func (c *Conv1D) Forward(x *Tensor, train bool) (*Tensor, error) {
 	if !x.IsMatrix() || x.Cols != c.In {
-		return nil, fmt.Errorf("nn: %s got input %s", c.Name(), x.ShapeString())
+		return nil, fmt.Errorf("nn: %s got input %s, want [Tx%d]", c.Name(), x.ShapeString(), c.In)
 	}
 	c.x = x
 	T := x.Rows
@@ -69,7 +69,7 @@ func (c *Conv1D) Forward(x *Tensor, train bool) (*Tensor, error) {
 // Backward implements Layer.
 func (c *Conv1D) Backward(grad *Tensor) (*Tensor, error) {
 	if !grad.IsMatrix() || grad.Cols != c.Out || grad.Rows != c.x.Rows {
-		return nil, fmt.Errorf("nn: %s got grad %s", c.Name(), grad.ShapeString())
+		return nil, fmt.Errorf("nn: %s got grad %s, want [%dx%d]", c.Name(), grad.ShapeString(), c.x.Rows, c.Out)
 	}
 	T := c.x.Rows
 	half := c.Kernel / 2
@@ -128,7 +128,7 @@ func (m *MaxPool1D) Params() []*Param { return nil }
 // Forward implements Layer.
 func (m *MaxPool1D) Forward(x *Tensor, train bool) (*Tensor, error) {
 	if !x.IsMatrix() {
-		return nil, fmt.Errorf("nn: %s got input %s", m.Name(), x.ShapeString())
+		return nil, fmt.Errorf("nn: %s got input %s, want rank-2 [TxC]", m.Name(), x.ShapeString())
 	}
 	m.inRows = x.Rows
 	outT := (x.Rows + m.Size - 1) / m.Size
@@ -157,7 +157,7 @@ func (m *MaxPool1D) Forward(x *Tensor, train bool) (*Tensor, error) {
 // Backward implements Layer.
 func (m *MaxPool1D) Backward(grad *Tensor) (*Tensor, error) {
 	if !grad.IsMatrix() || len(grad.Data) != len(m.argmax) {
-		return nil, fmt.Errorf("nn: %s got grad %s", m.Name(), grad.ShapeString())
+		return nil, fmt.Errorf("nn: %s got grad %s, want %d elements", m.Name(), grad.ShapeString(), len(m.argmax))
 	}
 	dx := NewMatrix(m.inRows, grad.Cols)
 	for ot := 0; ot < grad.Rows; ot++ {
@@ -184,7 +184,7 @@ func (g *GlobalAvgPool1D) Params() []*Param { return nil }
 // Forward implements Layer.
 func (g *GlobalAvgPool1D) Forward(x *Tensor, train bool) (*Tensor, error) {
 	if !x.IsMatrix() {
-		return nil, fmt.Errorf("nn: gap1d got input %s", x.ShapeString())
+		return nil, fmt.Errorf("nn: gap1d got input %s, want rank-2 [TxC]", x.ShapeString())
 	}
 	g.inRows = x.Rows
 	y := NewVector(x.Cols)
@@ -204,7 +204,7 @@ func (g *GlobalAvgPool1D) Forward(x *Tensor, train bool) (*Tensor, error) {
 // Backward implements Layer.
 func (g *GlobalAvgPool1D) Backward(grad *Tensor) (*Tensor, error) {
 	if grad.IsMatrix() {
-		return nil, fmt.Errorf("nn: gap1d got grad %s", grad.ShapeString())
+		return nil, fmt.Errorf("nn: gap1d got grad %s, want rank-1 [%d]", grad.ShapeString(), grad.Cols)
 	}
 	dx := NewMatrix(g.inRows, grad.Cols)
 	inv := 1 / float64(g.inRows)

@@ -67,6 +67,96 @@ func checkGradients(t *testing.T, n *Sequential, x *Tensor, y int) {
 	}
 }
 
+// checkGradientsBatched compares the batched backward path's analytic
+// gradients against central differences of the summed batch loss
+// (computed through the scalar forward path, so the two paths also
+// cross-check each other).
+func checkGradientsBatched(t *testing.T, n *Sequential, examples []Example) {
+	t.Helper()
+	w := len(examples[0].X.Data)
+	var xb, gb Tensor
+	x := xb.reshape(len(examples), w)
+	for k, ex := range examples {
+		copy(x.Data[k*w:(k+1)*w], ex.X.Data)
+	}
+	y, err := n.ForwardBatch(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gb.reshape(len(examples), y.Cols)
+	for r, ex := range examples {
+		if _, err := crossEntropyInto(g.Row(r), y.Row(r), ex.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.backwardBatch(g); err != nil {
+		t.Fatal(err)
+	}
+	batchLoss := func() float64 {
+		var total float64
+		for _, ex := range examples {
+			out, err := n.Forward(ex.X, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, _, err := CrossEntropy(out.Data, ex.Y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += loss
+		}
+		return total
+	}
+	const h = 1e-5
+	rng := rand.New(rand.NewSource(98))
+	for _, p := range n.Params() {
+		nSamples := 6
+		if len(p.W) < nSamples {
+			nSamples = len(p.W)
+		}
+		for s := 0; s < nSamples; s++ {
+			i := rng.Intn(len(p.W))
+			analytic := p.Grad[i]
+			orig := p.W[i]
+			p.W[i] = orig + h
+			lp := batchLoss()
+			p.W[i] = orig - h
+			lm := batchLoss()
+			p.W[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			diff := math.Abs(analytic - numeric)
+			scale := math.Max(1e-4, math.Max(math.Abs(analytic), math.Abs(numeric)))
+			if diff/scale > 2e-3 {
+				t.Errorf("%s[%d]: batched analytic %.8f vs numeric %.8f", p.Name, i, analytic, numeric)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestDenseGradientsBatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewSequential(
+		NewDense(7, 5, rng),
+		NewReLU(),
+		NewDense(5, 4, rng),
+		NewTanh(),
+		NewDense(4, 3, rng),
+	)
+	checkGradientsBatched(t, n, testExamples(6, 7, 3, 8))
+}
+
+func TestFlattenGradientsBatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewSequential(
+		NewFlatten(),
+		NewDense(12, 6, rng),
+		NewReLU(),
+		NewDense(6, 3, rng),
+	)
+	checkGradientsBatched(t, n, testExamples(5, 12, 3, 10))
+}
+
 func TestDenseGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	n := NewSequential(

@@ -12,6 +12,10 @@ import (
 //
 // Gates are packed reset/update: Wx is [2H][In], Wh is [2H][H]; the
 // candidate uses its own Cx [H][In], Ch [H][H].
+//
+// Like the LSTM, the input-side step matmuls (gates and candidate) are
+// hoisted out of the recurrence into two whole-sequence GEMMs with
+// unchanged per-slot accumulation order, and per-call scratch is reused.
 type GRU struct {
 	In, Hidden     int
 	ReturnSequence bool
@@ -20,8 +24,13 @@ type GRU struct {
 
 	x      *Tensor
 	hs     [][]float64 // h[t], index 0 zeros
+	hsBuf  []float64   // backing storage for hs
 	gr, gz []float64   // reset/update activations per step
 	gc     []float64   // candidate activations per step
+	preX   []float64   // [T][2H] gate pre-activations
+	candX  []float64   // [T][H] candidate input-side pre-activations
+
+	dh, dhNext []float64 // backward scratch
 }
 
 // NewGRU returns a GRU layer with Xavier-initialized weights.
@@ -51,41 +60,39 @@ func (g *GRU) Params() []*Param { return []*Param{g.Wx, g.Wh, g.B, g.Cx, g.Ch, g
 // Forward implements Layer.
 func (g *GRU) Forward(x *Tensor, train bool) (*Tensor, error) {
 	if !x.IsMatrix() || x.Cols != g.In {
-		return nil, fmt.Errorf("nn: %s got input %s", g.Name(), x.ShapeString())
+		return nil, fmt.Errorf("nn: %s got input %s, want [Tx%d]", g.Name(), x.ShapeString(), g.In)
 	}
 	T, H := x.Rows, g.Hidden
 	g.x = x
-	g.hs = make([][]float64, T+1)
-	g.hs[0] = make([]float64, H)
-	g.gr = make([]float64, T*H)
-	g.gz = make([]float64, T*H)
-	g.gc = make([]float64, T*H)
-	pre := make([]float64, 2*H)
+	g.hsBuf = growF64(g.hsBuf, (T+1)*H)
+	if cap(g.hs) < T+1 {
+		g.hs = make([][]float64, T+1)
+	}
+	g.hs = g.hs[:T+1]
+	for t := 0; t <= T; t++ {
+		g.hs[t] = g.hsBuf[t*H : (t+1)*H]
+	}
+	zeroF64(g.hs[0])
+	g.gr = growF64(g.gr, T*H)
+	g.gz = growF64(g.gz, T*H)
+	g.gc = growF64(g.gc, T*H)
+	g.preX = growF64(g.preX, T*2*H)
+	g.candX = growF64(g.candX, T*H)
+	// Input-side step matmuls for the whole sequence: gate and candidate
+	// pre-activations, biases included.
+	gemmBiasNT(g.preX, x.Data, g.Wx.W, g.B.W, T, g.In, 2*H)
+	gemmBiasNT(g.candX, x.Data, g.Cx.W, g.CB.W, T, g.In, H)
 	for t := 0; t < T; t++ {
-		xt := x.Row(t)
 		hPrev := g.hs[t]
-		for k := 0; k < 2*H; k++ {
-			s := g.B.W[k]
-			wx := g.Wx.W[k*g.In : (k+1)*g.In]
-			for i, v := range xt {
-				s += wx[i] * v
-			}
-			wh := g.Wh.W[k*H : (k+1)*H]
-			for i, v := range hPrev {
-				s += wh[i] * v
-			}
-			pre[k] = s
-		}
-		h := make([]float64, H)
+		pre := g.preX[t*2*H : (t+1)*2*H]
+		// Hidden-side gate product accumulated in place.
+		gemmBiasNT(pre, hPrev, g.Wh.W, pre, 1, H, 2*H)
+		h := g.hs[t+1]
 		for j := 0; j < H; j++ {
 			r := sigmoid(pre[j])
 			z := sigmoid(pre[H+j])
 			// Candidate: tanh(Cx x + Ch (r .* hPrev) + cb).
-			s := g.CB.W[j]
-			cx := g.Cx.W[j*g.In : (j+1)*g.In]
-			for i, v := range xt {
-				s += cx[i] * v
-			}
+			s := g.candX[t*H+j]
 			ch := g.Ch.W[j*H : (j+1)*H]
 			for i, v := range hPrev {
 				s += ch[i] * r * v
@@ -94,7 +101,6 @@ func (g *GRU) Forward(x *Tensor, train bool) (*Tensor, error) {
 			h[j] = (1-z)*hPrev[j] + z*c
 			g.gr[t*H+j], g.gz[t*H+j], g.gc[t*H+j] = r, z, c
 		}
-		g.hs[t+1] = h
 	}
 	if g.ReturnSequence {
 		y := NewMatrix(T, H)
@@ -113,15 +119,17 @@ func (g *GRU) Backward(grad *Tensor) (*Tensor, error) {
 	T, H := g.x.Rows, g.Hidden
 	if g.ReturnSequence {
 		if !grad.IsMatrix() || grad.Rows != T || grad.Cols != H {
-			return nil, fmt.Errorf("nn: %s got grad %s", g.Name(), grad.ShapeString())
+			return nil, fmt.Errorf("nn: %s got grad %s, want [%dx%d]", g.Name(), grad.ShapeString(), T, H)
 		}
 	} else if grad.IsMatrix() || grad.Cols != H {
-		return nil, fmt.Errorf("nn: %s got grad %s", g.Name(), grad.ShapeString())
+		return nil, fmt.Errorf("nn: %s got grad %s, want [%d]", g.Name(), grad.ShapeString(), H)
 	}
 	dx := NewMatrix(T, g.In)
-	dhNext := make([]float64, H)
+	g.dhNext = growF64(g.dhNext, H)
+	g.dh = growF64(g.dh, H)
+	dhNext, dh := g.dhNext, g.dh
+	zeroF64(dhNext)
 	for t := T - 1; t >= 0; t-- {
-		dh := make([]float64, H)
 		copy(dh, dhNext)
 		if g.ReturnSequence {
 			row := grad.Row(t)

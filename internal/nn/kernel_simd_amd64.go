@@ -1,0 +1,50 @@
+//go:build amd64
+
+package nn
+
+// AVX backend for the axpy4 primitive. The vector body performs, per
+// output slot i, the exact scalar chain
+//
+//	d := dst[i]; d += a0*s0[i]; d += a1*s1[i]; d += a2*s2[i]; d += a3*s3[i]
+//
+// with each multiply and add IEEE-rounded separately (VMULPD then VADDPD —
+// no FMA contraction), so results are bit-identical to the pure-Go loop:
+// SIMD lanes are independent slots, and per-slot operation order is
+// unchanged. Detected at startup; non-AVX hosts use the portable loop.
+
+// cpuHasAVX reports AVX support including OS-enabled YMM state.
+func cpuHasAVX() bool
+
+//go:noescape
+func axpy4AVX(dst, s0, s1, s2, s3 *float64, n int, a0, a1, a2, a3 float64)
+
+//go:noescape
+func adamAVX(w, grad, m, v *float64, n int, inv, b1, ib1, b2, ib2, c1, c2, lr, eps float64)
+
+var useAVX = cpuHasAVX()
+
+// axpy4 computes dst[i] += a0·s0[i] + a1·s1[i] + a2·s2[i] + a3·s3[i]
+// (chained in that order per slot) over len(dst) elements.
+func axpy4(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {
+	n := len(dst)
+	if useAVX && n >= 4 {
+		q := n &^ 3
+		axpy4AVX(&dst[0], &s0[0], &s1[0], &s2[0], &s3[0], q, a0, a1, a2, a3)
+		axpy4Go(dst[q:], s0[q:], s1[q:], s2[q:], s3[q:], a0, a1, a2, a3)
+		return
+	}
+	axpy4Go(dst, s0, s1, s2, s3, a0, a1, a2, a3)
+}
+
+// adamSlice applies one Adam update to a parameter slice; see adamSliceGo
+// for the per-element formula the vector body reproduces bit for bit.
+func adamSlice(w, grad, m, v []float64, inv, b1, b2, c1, c2, lr, eps float64) {
+	n := len(w)
+	if useAVX && n >= 4 {
+		q := n &^ 3
+		adamAVX(&w[0], &grad[0], &m[0], &v[0], q, inv, b1, 1-b1, b2, 1-b2, c1, c2, lr, eps)
+		adamSliceGo(w[q:], grad[q:], m[q:], v[q:], inv, b1, b2, c1, c2, lr, eps)
+		return
+	}
+	adamSliceGo(w, grad, m, v, inv, b1, b2, c1, c2, lr, eps)
+}

@@ -1,0 +1,125 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// AVX requires the CPUID AVX + OSXSAVE bits and YMM state enabled in
+// XCR0 (XGETBV).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVQ  $1, AX
+	CPUID
+	MOVL  CX, BX
+	ANDL  $(1<<27 | 1<<28), BX // OSXSAVE | AVX
+	CMPL  BX, $(1<<27 | 1<<28)
+	JNE   no
+	MOVL  $0, CX
+	XGETBV
+	ANDL  $6, AX               // XMM | YMM state
+	CMPL  AX, $6
+	JNE   no
+	MOVB  $1, ret+0(FP)
+	RET
+no:
+	MOVB  $0, ret+0(FP)
+	RET
+
+// func axpy4AVX(dst, s0, s1, s2, s3 *float64, n int, a0, a1, a2, a3 float64)
+//
+// dst[i] += a0*s0[i]; += a1*s1[i]; += a2*s2[i]; += a3*s3[i] for i < n
+// (n must be a multiple of 4). Each VMULPD/VADDPD pair rounds separately,
+// reproducing the scalar chain bit for bit in every lane.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-80
+	MOVQ         dst+0(FP), DI
+	MOVQ         s0+8(FP), SI
+	MOVQ         s1+16(FP), R8
+	MOVQ         s2+24(FP), R9
+	MOVQ         s3+32(FP), R10
+	MOVQ         n+40(FP), DX
+	VBROADCASTSD a0+48(FP), Y4
+	VBROADCASTSD a1+56(FP), Y5
+	VBROADCASTSD a2+64(FP), Y6
+	VBROADCASTSD a3+72(FP), Y7
+	XORQ         BX, BX
+	SHRQ         $2, DX
+	JZ           done
+loop:
+	VMOVUPD (DI)(BX*1), Y0
+	VMOVUPD (SI)(BX*1), Y1
+	VMULPD  Y4, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD (R8)(BX*1), Y2
+	VMULPD  Y5, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMOVUPD (R9)(BX*1), Y3
+	VMULPD  Y6, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	VMOVUPD (R10)(BX*1), Y1
+	VMULPD  Y7, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     loop
+done:
+	VZEROUPPER
+	RET
+
+// func adamAVX(w, grad, m, v *float64, n int, inv, b1, ib1, b2, ib2, c1, c2, lr, eps float64)
+//
+// Four-wide Adam update (n must be a multiple of 4), per element:
+//
+//	gs := g[i]*inv
+//	m[i] = b1*m[i] + ib1*gs
+//	v[i] = b2*v[i] + (ib2*gs)*gs
+//	w[i] -= lr*(m[i]/c1) / (sqrt(v[i]/c2) + eps)
+//
+// VDIVPD/VSQRTPD are IEEE correctly rounded like their scalar forms, so
+// every lane matches the scalar update bit for bit.
+TEXT ·adamAVX(SB), NOSPLIT, $0-112
+	MOVQ         w+0(FP), DI
+	MOVQ         grad+8(FP), SI
+	MOVQ         m+16(FP), R8
+	MOVQ         v+24(FP), R9
+	MOVQ         n+32(FP), DX
+	VBROADCASTSD inv+40(FP), Y7
+	VBROADCASTSD b1+48(FP), Y8
+	VBROADCASTSD ib1+56(FP), Y9
+	VBROADCASTSD b2+64(FP), Y10
+	VBROADCASTSD ib2+72(FP), Y11
+	VBROADCASTSD c1+80(FP), Y12
+	VBROADCASTSD c2+88(FP), Y13
+	VBROADCASTSD lr+96(FP), Y14
+	VBROADCASTSD eps+104(FP), Y15
+	XORQ         BX, BX
+	SHRQ         $2, DX
+	JZ           adone
+aloop:
+	VMOVUPD (SI)(BX*1), Y0     // grad
+	VMULPD  Y7, Y0, Y0         // gs = grad*inv
+	VMOVUPD (R8)(BX*1), Y1     // m
+	VMULPD  Y8, Y1, Y1         // b1*m
+	VMULPD  Y9, Y0, Y2         // ib1*gs
+	VADDPD  Y2, Y1, Y1         // m' = b1*m + ib1*gs
+	VMOVUPD Y1, (R8)(BX*1)
+	VMOVUPD (R9)(BX*1), Y3     // v
+	VMULPD  Y10, Y3, Y3        // b2*v
+	VMULPD  Y11, Y0, Y4        // ib2*gs
+	VMULPD  Y0, Y4, Y4         // (ib2*gs)*gs
+	VADDPD  Y4, Y3, Y3         // v' = b2*v + (ib2*gs)*gs
+	VMOVUPD Y3, (R9)(BX*1)
+	VDIVPD  Y12, Y1, Y1        // mHat = m'/c1
+	VDIVPD  Y13, Y3, Y3        // vHat = v'/c2
+	VSQRTPD Y3, Y3
+	VADDPD  Y15, Y3, Y3        // sqrt(vHat) + eps
+	VMULPD  Y14, Y1, Y1        // lr*mHat
+	VDIVPD  Y3, Y1, Y1         // delta
+	VMOVUPD (DI)(BX*1), Y5
+	VSUBPD  Y1, Y5, Y5         // w - delta
+	VMOVUPD Y5, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     aloop
+adone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package nn
+
+// axpy4 computes dst[i] += a0·s0[i] + a1·s1[i] + a2·s2[i] + a3·s3[i]
+// (chained in that order per slot) over len(dst) elements.
+func axpy4(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {
+	axpy4Go(dst, s0, s1, s2, s3, a0, a1, a2, a3)
+}
+
+// adamSlice applies one Adam update to a parameter slice.
+func adamSlice(w, grad, m, v []float64, inv, b1, b2, c1, c2, lr, eps float64) {
+	adamSliceGo(w, grad, m, v, inv, b1, b2, c1, c2, lr, eps)
+}

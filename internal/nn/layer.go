@@ -16,11 +16,15 @@ type Layer interface {
 	Name() string
 }
 
-// Dense is a fully connected layer: y = W*x + b for rank-1 input.
+// Dense is a fully connected layer: y = W*x + b for rank-1 input, or
+// Y = X·Wᵀ + b for a rank-2 batch via the BatchLayer path.
 type Dense struct {
 	In, Out int
 	W, B    *Param
-	x       *Tensor // forward cache
+	x       *Tensor   // rank-1 forward cache
+	xb      *Tensor   // batched forward cache
+	yb, dxb Tensor    // batched scratch (reused across steps)
+	wtb     []float64 // transposed-weight scratch for the batched forward
 }
 
 // NewDense returns a Dense layer with Xavier-initialized weights.
@@ -43,7 +47,7 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // Forward implements Layer.
 func (d *Dense) Forward(x *Tensor, train bool) (*Tensor, error) {
 	if x.IsMatrix() || x.Cols != d.In {
-		return nil, fmt.Errorf("nn: %s got input %s", d.Name(), x.ShapeString())
+		return nil, fmt.Errorf("nn: %s got input %s, want [%d]", d.Name(), x.ShapeString(), d.In)
 	}
 	d.x = x
 	y := NewVector(d.Out)
@@ -61,7 +65,7 @@ func (d *Dense) Forward(x *Tensor, train bool) (*Tensor, error) {
 // Backward implements Layer.
 func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
 	if grad.IsMatrix() || grad.Cols != d.Out {
-		return nil, fmt.Errorf("nn: %s got grad %s", d.Name(), grad.ShapeString())
+		return nil, fmt.Errorf("nn: %s got grad %s, want [%d]", d.Name(), grad.ShapeString(), d.Out)
 	}
 	dx := NewVector(d.In)
 	for o := 0; o < d.Out; o++ {
@@ -79,7 +83,11 @@ func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
 
 // ReLU is an element-wise rectified linear activation for rank-1 or rank-2
 // tensors.
-type ReLU struct{ mask []bool }
+type ReLU struct {
+	mask    []bool
+	maskb   []bool // batched-path mask
+	yb, dxb Tensor // batched scratch
+}
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
@@ -107,7 +115,7 @@ func (r *ReLU) Forward(x *Tensor, train bool) (*Tensor, error) {
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *Tensor) (*Tensor, error) {
 	if len(grad.Data) != len(r.mask) {
-		return nil, fmt.Errorf("nn: relu grad size %d != %d", len(grad.Data), len(r.mask))
+		return nil, fmt.Errorf("nn: relu got grad size %d, want %d", len(grad.Data), len(r.mask))
 	}
 	dx := grad.Clone()
 	for i := range dx.Data {
@@ -119,7 +127,10 @@ func (r *ReLU) Backward(grad *Tensor) (*Tensor, error) {
 }
 
 // Tanh is an element-wise hyperbolic-tangent activation.
-type Tanh struct{ y *Tensor }
+type Tanh struct {
+	y       *Tensor
+	yb, dxb Tensor // batched scratch
+}
 
 // NewTanh returns a Tanh activation layer.
 func NewTanh() *Tanh { return &Tanh{} }
@@ -152,9 +163,11 @@ func (t *Tanh) Backward(grad *Tensor) (*Tensor, error) {
 // Dropout zeroes a fraction of activations during training and scales the
 // survivors (inverted dropout). It is the identity at inference time.
 type Dropout struct {
-	Rate float64
-	rng  *rand.Rand
-	keep []bool
+	Rate    float64
+	rng     *rand.Rand
+	keep    []bool
+	keepb   []bool // batched-path mask
+	yb, dxb Tensor // batched scratch
 }
 
 // NewDropout returns a Dropout layer with the given drop rate in [0, 1).
@@ -233,7 +246,7 @@ func (f *Flatten) Backward(grad *Tensor) (*Tensor, error) {
 		return grad, nil
 	}
 	if len(grad.Data) != f.rows*f.cols {
-		return nil, fmt.Errorf("nn: flatten grad size %d != %d", len(grad.Data), f.rows*f.cols)
+		return nil, fmt.Errorf("nn: flatten got grad size %d, want %d", len(grad.Data), f.rows*f.cols)
 	}
 	return &Tensor{Data: grad.Data, Rows: f.rows, Cols: f.cols}, nil
 }

@@ -8,8 +8,16 @@ import (
 // Softmax returns the softmax of logits (numerically stabilized).
 func Softmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
+	softmaxInto(out, logits)
+	return out
+}
+
+// softmaxInto writes the softmax of logits into dst (len(dst) ==
+// len(logits)). Identical arithmetic to Softmax; exists so the batched
+// hot paths can reuse scratch instead of allocating.
+func softmaxInto(dst, logits []float64) {
 	if len(logits) == 0 {
-		return out
+		return
 	}
 	max := logits[0]
 	for _, v := range logits {
@@ -19,27 +27,36 @@ func Softmax(logits []float64) []float64 {
 	}
 	var sum float64
 	for i, v := range logits {
-		out[i] = math.Exp(v - max)
-		sum += out[i]
+		dst[i] = math.Exp(v - max)
+		sum += dst[i]
 	}
 	inv := 1 / sum
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
 }
 
 // CrossEntropy returns the softmax cross-entropy loss of logits against the
 // target class and the gradient dLoss/dLogits.
 func CrossEntropy(logits []float64, target int) (loss float64, grad []float64, err error) {
-	if target < 0 || target >= len(logits) {
-		return 0, nil, fmt.Errorf("nn: target class %d out of range [0,%d)", target, len(logits))
+	grad = make([]float64, len(logits))
+	loss, err = crossEntropyInto(grad, logits, target)
+	if err != nil {
+		return 0, nil, err
 	}
-	p := Softmax(logits)
-	loss = -math.Log(math.Max(p[target], 1e-15))
-	grad = p // softmax CE gradient is p - onehot
-	grad[target] -= 1
 	return loss, grad, nil
+}
+
+// crossEntropyInto computes softmax cross-entropy, writing dLoss/dLogits
+// into grad (len(grad) == len(logits)). Bit-identical to CrossEntropy.
+func crossEntropyInto(grad, logits []float64, target int) (float64, error) {
+	if target < 0 || target >= len(logits) {
+		return 0, fmt.Errorf("nn: target class %d out of range [0,%d)", target, len(logits))
+	}
+	softmaxInto(grad, logits)
+	loss := -math.Log(math.Max(grad[target], 1e-15))
+	grad[target] -= 1 // softmax CE gradient is p - onehot
+	return loss, nil
 }
 
 // Argmax returns the index of the largest element (first on ties), or -1

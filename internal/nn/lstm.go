@@ -13,15 +13,28 @@ import (
 // Gate weights are packed input/forget/candidate/output: Wx is [4H][In],
 // Wh is [4H][H], B is [4H]. The forget-gate bias is initialized to 1, the
 // usual trick for stable early training.
+//
+// The input-side step matmul is hoisted out of the recurrence: one
+// [T][In]×[In][4H] GEMM (gemmBiasNT) computes B + x·Wxᵀ for every step
+// before the time loop, so only the hidden-side product remains
+// sequential. Per-slot accumulation order is unchanged (bias, then input
+// contributions in index order, then hidden contributions), so results
+// are bit-identical to the fully sequential form. All per-call scratch is
+// grow-only and reused across steps.
 type LSTM struct {
 	In, Hidden     int
 	ReturnSequence bool
 	Wx, Wh, B      *Param
 
-	// forward caches for BPTT
+	// forward caches for BPTT (reused scratch)
 	x                *Tensor
 	hs, cs           [][]float64 // per step t: h[t], c[t] (1-indexed; index 0 is zeros)
+	hsBuf, csBuf     []float64   // backing storage for hs/cs
 	gi, gf, gg, gout []float64   // per step gate activations, flattened T x H
+	preX             []float64   // [T][4H] pre-activations, input side then +hidden side in place
+
+	// backward scratch
+	dh, dhNext, dcNext, dPre []float64
 }
 
 // NewLSTM returns an LSTM layer with Xavier-initialized weights.
@@ -48,40 +61,48 @@ func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
+// growStateRows resizes the hs/cs step caches to T+1 rows of width H,
+// reusing the backing arrays.
+func (l *LSTM) growStateRows(T, H int) {
+	l.hsBuf = growF64(l.hsBuf, (T+1)*H)
+	l.csBuf = growF64(l.csBuf, (T+1)*H)
+	if cap(l.hs) < T+1 {
+		l.hs = make([][]float64, T+1)
+		l.cs = make([][]float64, T+1)
+	}
+	l.hs, l.cs = l.hs[:T+1], l.cs[:T+1]
+	for t := 0; t <= T; t++ {
+		l.hs[t] = l.hsBuf[t*H : (t+1)*H]
+		l.cs[t] = l.csBuf[t*H : (t+1)*H]
+	}
+	zeroF64(l.hs[0])
+	zeroF64(l.cs[0])
+}
+
 // Forward implements Layer.
 func (l *LSTM) Forward(x *Tensor, train bool) (*Tensor, error) {
 	if !x.IsMatrix() || x.Cols != l.In {
-		return nil, fmt.Errorf("nn: %s got input %s", l.Name(), x.ShapeString())
+		return nil, fmt.Errorf("nn: %s got input %s, want [Tx%d]", l.Name(), x.ShapeString(), l.In)
 	}
 	T, H := x.Rows, l.Hidden
 	l.x = x
-	l.hs = make([][]float64, T+1)
-	l.cs = make([][]float64, T+1)
-	l.hs[0] = make([]float64, H)
-	l.cs[0] = make([]float64, H)
-	l.gi = make([]float64, T*H)
-	l.gf = make([]float64, T*H)
-	l.gg = make([]float64, T*H)
-	l.gout = make([]float64, T*H)
+	l.growStateRows(T, H)
+	l.gi = growF64(l.gi, T*H)
+	l.gf = growF64(l.gf, T*H)
+	l.gg = growF64(l.gg, T*H)
+	l.gout = growF64(l.gout, T*H)
+	l.preX = growF64(l.preX, T*4*H)
 
-	pre := make([]float64, 4*H)
+	// Input-side step matmul for all T steps at once.
+	gemmBiasNT(l.preX, x.Data, l.Wx.W, l.B.W, T, l.In, 4*H)
 	for t := 0; t < T; t++ {
-		xt := x.Row(t)
 		hPrev := l.hs[t]
-		for g := 0; g < 4*H; g++ {
-			s := l.B.W[g]
-			wx := l.Wx.W[g*l.In : (g+1)*l.In]
-			for i, v := range xt {
-				s += wx[i] * v
-			}
-			wh := l.Wh.W[g*H : (g+1)*H]
-			for i, v := range hPrev {
-				s += wh[i] * v
-			}
-			pre[g] = s
-		}
-		h := make([]float64, H)
-		c := make([]float64, H)
+		pre := l.preX[t*4*H : (t+1)*4*H]
+		// Hidden-side product accumulated on top, in place (bias aliasing
+		// is safe: each output slot is read before it is written).
+		gemmBiasNT(pre, hPrev, l.Wh.W, pre, 1, H, 4*H)
+		h := l.hs[t+1]
+		c := l.cs[t+1]
 		for j := 0; j < H; j++ {
 			i := sigmoid(pre[j])
 			f := sigmoid(pre[H+j])
@@ -91,7 +112,6 @@ func (l *LSTM) Forward(x *Tensor, train bool) (*Tensor, error) {
 			h[j] = o * math.Tanh(c[j])
 			l.gi[t*H+j], l.gf[t*H+j], l.gg[t*H+j], l.gout[t*H+j] = i, f, g, o
 		}
-		l.hs[t+1], l.cs[t+1] = h, c
 	}
 	if l.ReturnSequence {
 		y := NewMatrix(T, H)
@@ -109,8 +129,11 @@ func (l *LSTM) Forward(x *Tensor, train bool) (*Tensor, error) {
 func (l *LSTM) Backward(grad *Tensor) (*Tensor, error) {
 	T, H := l.x.Rows, l.Hidden
 	// dh[t] is seeded from the output gradient.
-	dhNext := make([]float64, H)
-	dcNext := make([]float64, H)
+	l.dhNext = growF64(l.dhNext, H)
+	l.dcNext = growF64(l.dcNext, H)
+	dhNext, dcNext := l.dhNext, l.dcNext
+	zeroF64(dhNext)
+	zeroF64(dcNext)
 	seed := func(t int) []float64 {
 		if l.ReturnSequence {
 			return grad.Row(t)
@@ -122,16 +145,17 @@ func (l *LSTM) Backward(grad *Tensor) (*Tensor, error) {
 	}
 	if l.ReturnSequence {
 		if !grad.IsMatrix() || grad.Rows != T || grad.Cols != H {
-			return nil, fmt.Errorf("nn: %s got grad %s", l.Name(), grad.ShapeString())
+			return nil, fmt.Errorf("nn: %s got grad %s, want [%dx%d]", l.Name(), grad.ShapeString(), T, H)
 		}
 	} else if grad.IsMatrix() || grad.Cols != H {
-		return nil, fmt.Errorf("nn: %s got grad %s", l.Name(), grad.ShapeString())
+		return nil, fmt.Errorf("nn: %s got grad %s, want [%d]", l.Name(), grad.ShapeString(), H)
 	}
 
 	dx := NewMatrix(T, l.In)
-	dPre := make([]float64, 4*H)
+	l.dPre = growF64(l.dPre, 4*H)
+	l.dh = growF64(l.dh, H)
+	dPre, dh := l.dPre, l.dh
 	for t := T - 1; t >= 0; t-- {
-		dh := make([]float64, H)
 		copy(dh, dhNext)
 		if s := seed(t); s != nil {
 			for j := range dh {

@@ -91,12 +91,26 @@ type TrainConfig struct {
 	BatchSize int
 	Optimizer Optimizer
 	Seed      int64
+	// KernelBatch caps how many examples the batched kernels process per
+	// GEMM chunk. It is an execution knob, not a semantic one: gradient
+	// accumulation stays in example order, so any value (including 1)
+	// produces results bit-identical to the full-batch kernels and to the
+	// per-example path. 0 means one chunk per mini-batch.
+	KernelBatch int
+	// ForceScalar forces the legacy per-example forward/backward path even
+	// when every layer supports batching. The batched path is
+	// Float64bits-identical (tested); this exists for equivalence tests
+	// and per-example baseline benchmarks.
+	ForceScalar bool
 	// Verbose, when non-nil, receives one line per epoch.
 	Verbose func(epoch int, loss float64, acc float64)
 }
 
 // Fit trains the network on examples with mini-batch gradient descent and
-// returns the final epoch's mean loss.
+// returns the final epoch's mean loss. When every layer supports the
+// batched path (BatchCapable) each mini-batch runs through the GEMM
+// kernels in KernelBatch-sized chunks; results are bit-identical to the
+// per-example path at any chunk size.
 func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 	if len(examples) == 0 {
 		return 0, fmt.Errorf("nn: no training examples")
@@ -109,6 +123,16 @@ func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 	}
 	if cfg.Optimizer == nil {
 		cfg.Optimizer = NewAdam(1e-3)
+	}
+	_, uniform := uniformWidth(examples)
+	useBatch := !cfg.ForceScalar && uniform && n.BatchCapable()
+	kb := cfg.KernelBatch
+	if kb <= 0 {
+		kb = cfg.BatchSize
+	}
+	var bw batchWorker
+	if useBatch {
+		bw.net = n
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := make([]int, len(examples))
@@ -126,22 +150,34 @@ func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 			if end > len(order) {
 				end = len(order)
 			}
-			for _, idx := range order[start:end] {
-				ex := examples[idx]
-				y, err := n.Forward(ex.X, true)
-				if err != nil {
-					return 0, err
+			if useBatch {
+				for ks := start; ks < end; ks += kb {
+					ke := ks + kb
+					if ke > end {
+						ke = end
+					}
+					if err := bw.step(examples, order[ks:ke], &epochLoss, &correct); err != nil {
+						return 0, err
+					}
 				}
-				loss, grad, err := CrossEntropy(y.Data, ex.Y)
-				if err != nil {
-					return 0, err
-				}
-				epochLoss += loss
-				if Argmax(y.Data) == ex.Y {
-					correct++
-				}
-				if err := n.backward(FromVector(grad)); err != nil {
-					return 0, err
+			} else {
+				for _, idx := range order[start:end] {
+					ex := examples[idx]
+					y, err := n.Forward(ex.X, true)
+					if err != nil {
+						return 0, err
+					}
+					loss, grad, err := CrossEntropy(y.Data, ex.Y)
+					if err != nil {
+						return 0, err
+					}
+					epochLoss += loss
+					if Argmax(y.Data) == ex.Y {
+						correct++
+					}
+					if err := n.backward(FromVector(grad)); err != nil {
+						return 0, err
+					}
 				}
 			}
 			if n.ClipNorm > 0 {
@@ -157,10 +193,83 @@ func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 	return lastLoss, nil
 }
 
-// Evaluate returns classification accuracy on examples.
+// batchWorker bundles a network with the reusable batch-assembly scratch
+// for one training goroutine, so steady-state steps allocate nothing.
+type batchWorker struct {
+	net     *Sequential
+	x, grad Tensor
+}
+
+// step runs one forward/loss/backward pass over examples[idx] (rows in
+// idx order), accumulating gradients into the network parameters. Loss
+// and correct-prediction tallies add into *lossAcc/*hitAcc one example at
+// a time in idx order — the same summation tree as the per-example path,
+// so running totals match it bit for bit at any chunk size.
+func (bw *batchWorker) step(examples []Example, idx []int, lossAcc *float64, hitAcc *int) error {
+	m := len(idx)
+	inW := len(examples[idx[0]].X.Data)
+	x := bw.x.reshape(m, inW)
+	for k, id := range idx {
+		copy(x.Data[k*inW:(k+1)*inW], examples[id].X.Data)
+	}
+	y, err := bw.net.ForwardBatch(x, true)
+	if err != nil {
+		return err
+	}
+	g := bw.grad.reshape(m, y.Cols)
+	for r := 0; r < m; r++ {
+		target := examples[idx[r]].Y
+		row := y.Row(r)
+		l, err := crossEntropyInto(g.Row(r), row, target)
+		if err != nil {
+			return err
+		}
+		*lossAcc += l
+		if Argmax(row) == target {
+			*hitAcc++
+		}
+	}
+	return bw.net.backwardBatch(g)
+}
+
+// uniformWidth reports whether every example flattens to the same element
+// count (required to pack a batch matrix), and that width.
+func uniformWidth(examples []Example) (int, bool) {
+	if len(examples) == 0 {
+		return 0, false
+	}
+	w := len(examples[0].X.Data)
+	for _, ex := range examples[1:] {
+		if len(ex.X.Data) != w {
+			return 0, false
+		}
+	}
+	return w, true
+}
+
+// Evaluate returns classification accuracy on examples, using the batched
+// forward path when the architecture supports it (identical predictions:
+// per-row arithmetic matches the rank-1 path bit for bit).
 func (n *Sequential) Evaluate(examples []Example) (float64, error) {
 	if len(examples) == 0 {
 		return 0, fmt.Errorf("nn: no evaluation examples")
+	}
+	if _, uniform := uniformWidth(examples); uniform && n.BatchCapable() {
+		idx := make([]int, len(examples))
+		for i := range idx {
+			idx[i] = i
+		}
+		preds := make([]int, len(examples))
+		if err := n.predictClasses(examples, idx, preds); err != nil {
+			return 0, err
+		}
+		var correct int
+		for i, ex := range examples {
+			if preds[i] == ex.Y {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(examples)), nil
 	}
 	var correct int
 	for _, ex := range examples {
@@ -173,6 +282,52 @@ func (n *Sequential) Evaluate(examples []Example) (float64, error) {
 		}
 	}
 	return float64(correct) / float64(len(examples)), nil
+}
+
+// evalChunk is the batch size used for batched evaluation; large enough
+// to amortize the GEMM, small enough to keep scratch cache-resident.
+const evalChunk = 64
+
+// predictClasses fills preds[k] with the predicted class of
+// examples[idx[k]], batching through the GEMM path when possible and
+// falling back to per-example inference otherwise. Softmax is applied
+// per row before the argmax so tie-breaking matches PredictClass exactly.
+func (n *Sequential) predictClasses(examples []Example, idx []int, preds []int) error {
+	_, uniform := uniformWidth(examples)
+	if !uniform || !n.BatchCapable() {
+		for k, id := range idx {
+			c, err := n.PredictClass(examples[id].X)
+			if err != nil {
+				return err
+			}
+			preds[k] = c
+		}
+		return nil
+	}
+	var x Tensor
+	var probs []float64
+	for start := 0; start < len(idx); start += evalChunk {
+		end := start + evalChunk
+		if end > len(idx) {
+			end = len(idx)
+		}
+		m := end - start
+		inW := len(examples[idx[start]].X.Data)
+		xb := x.reshape(m, inW)
+		for k := 0; k < m; k++ {
+			copy(xb.Data[k*inW:(k+1)*inW], examples[idx[start+k]].X.Data)
+		}
+		y, err := n.ForwardBatch(xb, false)
+		if err != nil {
+			return err
+		}
+		probs = growF64(probs, y.Cols)
+		for r := 0; r < m; r++ {
+			softmaxInto(probs, y.Row(r))
+			preds[start+r] = Argmax(probs)
+		}
+	}
+	return nil
 }
 
 // snapshot is the gob wire format: parameter payloads in layer order.

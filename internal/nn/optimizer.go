@@ -73,15 +73,23 @@ func (a *Adam) Step(params []*Param, batchSize int) {
 			v = make([]float64, len(p.W))
 			a.m[p], a.v[p] = m, v
 		}
-		for i := range p.W {
-			g := p.Grad[i] * inv
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
-			mHat := m[i] / c1
-			vHat := v[i] / c2
-			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
-		}
+		adamSlice(p.W, p.Grad, m, v, inv, a.Beta1, a.Beta2, c1, c2, a.LR, a.Eps)
 		p.ZeroGrad()
+	}
+}
+
+// adamSliceGo is the portable Adam update body (also the amd64 tail
+// handler). The SIMD backend performs the identical per-element operation
+// sequence with IEEE-exact vector divides and square roots, so both
+// produce the same bits.
+func adamSliceGo(w, grad, m, v []float64, inv, b1, b2, c1, c2, lr, eps float64) {
+	for i := range w {
+		g := grad[i] * inv
+		m[i] = b1*m[i] + (1-b1)*g
+		v[i] = b2*v[i] + (1-b2)*g*g
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		w[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
 	}
 }
 

@@ -70,6 +70,13 @@ func (r *Replicated) mergeGrads() {
 
 // Fit trains the master network with data-parallel mini-batches and returns
 // the final epoch's mean loss.
+//
+// Each replica processes the same strided slice of the batch it always
+// did (worker w takes batch elements w, w+R, ...), whether it runs the
+// per-example path or the batched GEMM path: the batched kernels keep
+// gradient accumulation in that stride order and replica gradients merge
+// in replica order, so results are bit-identical to the per-example path
+// at any worker count.
 func (r *Replicated) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 	if len(examples) == 0 {
 		return 0, fmt.Errorf("nn: no training examples")
@@ -84,6 +91,17 @@ func (r *Replicated) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 		cfg.Optimizer = NewAdam(1e-3)
 	}
 	nets := r.all()
+	_, uniform := uniformWidth(examples)
+	useBatch := !cfg.ForceScalar && uniform && r.Master.BatchCapable()
+	kb := cfg.KernelBatch
+	if kb <= 0 {
+		kb = cfg.BatchSize
+	}
+	workers := make([]batchWorker, len(nets))
+	subsets := make([][]int, len(nets))
+	for w := range nets {
+		workers[w].net = nets[w]
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := make([]int, len(examples))
 	for i := range order {
@@ -113,6 +131,24 @@ func (r *Replicated) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 				go func(w int) {
 					defer wg.Done()
 					net := nets[w]
+					if useBatch {
+						idx := subsets[w][:0]
+						for bi := w; bi < len(batch); bi += len(nets) {
+							idx = append(idx, batch[bi])
+						}
+						subsets[w] = idx
+						for ks := 0; ks < len(idx); ks += kb {
+							ke := ks + kb
+							if ke > len(idx) {
+								ke = len(idx)
+							}
+							if err := workers[w].step(examples, idx[ks:ke], &losses[w], &hits[w]); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+						return
+					}
 					for bi := w; bi < len(batch); bi += len(nets) {
 						ex := examples[batch[bi]]
 						y, err := net.Forward(ex.X, true)
@@ -161,47 +197,11 @@ func (r *Replicated) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 	return lastLoss, nil
 }
 
-// Evaluate computes accuracy using all replicas in parallel.
-func (r *Replicated) Evaluate(examples []Example) (float64, error) {
-	if len(examples) == 0 {
-		return 0, fmt.Errorf("nn: no evaluation examples")
-	}
-	nets := r.all()
-	hits := make([]int, len(nets))
-	errs := make([]error, len(nets))
-	var wg sync.WaitGroup
-	for w := range nets {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(examples); i += len(nets) {
-				c, err := nets[w].PredictClass(examples[i].X)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				if c == examples[i].Y {
-					hits[w]++
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
-	}
-	var correct int
-	for _, h := range hits {
-		correct += h
-	}
-	return float64(correct) / float64(len(examples)), nil
-}
-
-// ConfusionMatrix returns counts[target][predicted] over examples using the
-// replicas in parallel. numClasses rows/cols.
-func (r *Replicated) ConfusionMatrix(examples []Example, numClasses int) ([][]int, error) {
+// predictAll fills preds[i] with each example's predicted class, striping
+// examples across the replicas and using each replica's batched forward
+// path when available. Predictions are per-example independent, so the
+// striping cannot affect results.
+func (r *Replicated) predictAll(examples []Example) ([]int, error) {
 	nets := r.all()
 	preds := make([]int, len(examples))
 	errs := make([]error, len(nets))
@@ -210,13 +210,20 @@ func (r *Replicated) ConfusionMatrix(examples []Example, numClasses int) ([][]in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var idx []int
 			for i := w; i < len(examples); i += len(nets) {
-				c, err := nets[w].PredictClass(examples[i].X)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				preds[i] = c
+				idx = append(idx, i)
+			}
+			if len(idx) == 0 {
+				return
+			}
+			sub := make([]int, len(idx))
+			if err := nets[w].predictClasses(examples, idx, sub); err != nil {
+				errs[w] = err
+				return
+			}
+			for k, i := range idx {
+				preds[i] = sub[k]
 			}
 		}(w)
 	}
@@ -225,6 +232,34 @@ func (r *Replicated) ConfusionMatrix(examples []Example, numClasses int) ([][]in
 		if err != nil {
 			return nil, err
 		}
+	}
+	return preds, nil
+}
+
+// Evaluate computes accuracy using all replicas in parallel.
+func (r *Replicated) Evaluate(examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation examples")
+	}
+	preds, err := r.predictAll(examples)
+	if err != nil {
+		return 0, err
+	}
+	var correct int
+	for i, ex := range examples {
+		if preds[i] == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples)), nil
+}
+
+// ConfusionMatrix returns counts[target][predicted] over examples using the
+// replicas in parallel. numClasses rows/cols.
+func (r *Replicated) ConfusionMatrix(examples []Example, numClasses int) ([][]int, error) {
+	preds, err := r.predictAll(examples)
+	if err != nil {
+		return nil, err
 	}
 	m := make([][]int, numClasses)
 	for i := range m {

@@ -157,6 +157,12 @@ func BuildQMLP(n *Sequential, st *CalibrationStats) (*QMLP, error) {
 // quantizeActivations maps a float vector to int8 at the given scale.
 func quantizeActivations(x []float64, scale float64) []int8 {
 	out := make([]int8, len(x))
+	quantizeActivationsInto(out, x, scale)
+	return out
+}
+
+// quantizeActivationsInto is quantizeActivations into caller scratch.
+func quantizeActivationsInto(out []int8, x []float64, scale float64) {
 	for i, v := range x {
 		r := math.Round(v / scale)
 		if r > 127 {
@@ -167,7 +173,6 @@ func quantizeActivations(x []float64, scale float64) []int8 {
 		}
 		out[i] = int8(r)
 	}
-	return out
 }
 
 // Infer runs the integer pipeline on a float input (rank-1 or flattened
@@ -238,19 +243,79 @@ func (q *QMLP) PredictClass(x *Tensor) (int, error) {
 	return Argmax(logits), nil
 }
 
-// Evaluate returns integer-pipeline accuracy on examples.
+// Evaluate returns integer-pipeline accuracy on examples. Examples are
+// processed in chunks of evalChunk with one int32-accumulator GEMM per
+// layer (qgemmNT) instead of per-example dot products; integer arithmetic
+// is exact, so the result is identical to calling Infer per example.
 func (q *QMLP) Evaluate(examples []Example) (float64, error) {
 	if len(examples) == 0 {
 		return 0, fmt.Errorf("nn: no evaluation examples")
 	}
+	if len(q.Layers) == 0 {
+		return 0, fmt.Errorf("nn: empty quantized network")
+	}
+	in0 := q.Layers[0].In
+	var cur, next []int8 // double-buffered activation matrices
+	var acc []int32
+	var logits []float64
 	var hit int
-	for _, ex := range examples {
-		c, err := q.PredictClass(flattenExample(ex.X))
-		if err != nil {
-			return 0, err
+	for start := 0; start < len(examples); start += evalChunk {
+		end := start + evalChunk
+		if end > len(examples) {
+			end = len(examples)
 		}
-		if c == ex.Y {
-			hit++
+		m := end - start
+		cur = growI8(cur, m*in0)
+		for k := 0; k < m; k++ {
+			data := flattenExample(examples[start+k].X).Data
+			if len(data) != in0 {
+				return 0, fmt.Errorf("nn: quantized input size %d, want %d", len(data), in0)
+			}
+			quantizeActivationsInto(cur[k*in0:(k+1)*in0], data, q.InputScale)
+		}
+		width := in0
+		for li, l := range q.Layers {
+			if width != l.In {
+				return 0, fmt.Errorf("nn: layer %d input %d, want %d", li, width, l.In)
+			}
+			acc = growI32(acc, m*l.Out)
+			qgemmNT(acc, cur, l.WQ, l.BQ, m, l.In, l.Out)
+			if li == len(q.Layers)-1 {
+				logits = growF64(logits, m*l.Out)
+				for p, a := range acc[:m*l.Out] {
+					// Dequantize the final logits exactly once.
+					v := float64(a) * l.InScale * l.WScale
+					if l.ReLU && v < 0 {
+						v = 0
+					}
+					logits[p] = v
+				}
+				break
+			}
+			next = growI8(next, m*l.Out)
+			// Requantization multiplier: accumulator scale -> out scale.
+			mult := l.InScale * l.WScale / l.OutScale
+			for p, a := range acc[:m*l.Out] {
+				r := math.Round(float64(a) * mult)
+				if l.ReLU && r < 0 {
+					r = 0
+				}
+				if r > 127 {
+					r = 127
+				}
+				if r < -128 {
+					r = -128
+				}
+				next[p] = int8(r)
+			}
+			cur, next = next, cur
+			width = l.Out
+		}
+		classes := q.Layers[len(q.Layers)-1].Out
+		for k := 0; k < m; k++ {
+			if Argmax(logits[k*classes:(k+1)*classes]) == examples[start+k].Y {
+				hit++
+			}
 		}
 	}
 	return float64(hit) / float64(len(examples)), nil
