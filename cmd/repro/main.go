@@ -4,9 +4,13 @@
 // Usage:
 //
 //	repro [-fig 3|6|7|9|10|all] [-seed N] [-clips N] [-epochs N] [-paperscale] [-v]
+//	      [-metrics path] [-debug-addr host:port]
 //
 // -paperscale trains the full ~0.5M-parameter classifiers for Fig 3
 // (slow); the default reduced models preserve the qualitative ordering.
+// -metrics dumps the observability snapshot as JSON after the run ("-"
+// writes to stdout); -debug-addr serves /metrics, /debug/vars, and
+// /debug/pprof while the run is in flight.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"affectedge"
+	"affectedge/internal/obs/obshttp"
 )
 
 func main() {
@@ -25,11 +30,34 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs for Fig 3 (0 = default 14)")
 	paperScale := flag.Bool("paperscale", false, "train full paper-size classifiers (slow)")
 	verbose := flag.Bool("v", false, "per-model training progress")
+	metrics := flag.String("metrics", "", `write a JSON metrics dump here after the run ("-" = stdout)`)
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
+	var reg *affectedge.MetricsRegistry
+	if *metrics != "" || *debugAddr != "" {
+		reg = affectedge.NewMetricsRegistry()
+		affectedge.WireMetrics(reg)
+	}
+	if *debugAddr != "" {
+		srv, errc := obshttp.Serve(*debugAddr, reg)
+		defer srv.Close()
+		select {
+		case err := <-errc:
+			fmt.Fprintln(os.Stderr, "repro: debug server:", err)
+			os.Exit(1)
+		default:
+		}
+	}
 	if err := run(*fig, *seed, *clips, *epochs, *paperScale, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		if err := affectedge.DumpMetrics(reg, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
 	}
 }
 

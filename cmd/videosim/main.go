@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	videosim [-frames N] [-qp N] [-sth N] [-f N] [-seed N]
+//	videosim [-frames N] [-qp N] [-sth N] [-f N] [-seed N] [-metrics path]
+//
+// -metrics dumps the decoder observability snapshot (NAL units seen and
+// dropped, bytes skipped, deblock transitions, pre-store high water) as
+// JSON after the run; "-" writes to stdout.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"math"
 	"os"
 
+	"affectedge"
 	"affectedge/internal/h264"
 )
 
@@ -24,16 +29,24 @@ func main() {
 	f := flag.Int("f", 1, "custom deletion frequency f (with -sth)")
 	seed := flag.Int64("seed", 1, "video seed")
 	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown of standard mode")
+	metrics := flag.String("metrics", "", `write a JSON metrics dump here after the run ("-" = stdout)`)
 	flag.Parse()
 
-	if *breakdown {
-		if err := runBreakdown(*frames, *qp, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "videosim:", err)
-			os.Exit(1)
-		}
-		return
+	var reg *affectedge.MetricsRegistry
+	if *metrics != "" {
+		reg = affectedge.NewMetricsRegistry()
+		affectedge.WireMetrics(reg)
 	}
-	if err := run(*frames, *qp, *sth, *f, *seed); err != nil {
+	err := func() error {
+		if *breakdown {
+			return runBreakdown(*frames, *qp, *seed)
+		}
+		return run(*frames, *qp, *sth, *f, *seed)
+	}()
+	if err == nil && *metrics != "" {
+		err = affectedge.DumpMetrics(reg, *metrics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "videosim:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,127 @@
+package affectedge
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+	"testing"
+
+	"affectedge/internal/affect"
+	"affectedge/internal/h264"
+)
+
+// goldenFingerprint is the end-to-end regression hash: a miniature
+// training study plus a full decoder-pipeline pass, every numeric output
+// folded into one SHA-256. The repo's determinism contract (bit-identical
+// results at any worker count, kernel batch size, and SIMD backend) is
+// what makes a single checked-in value meaningful — any unintended change
+// to the DSP, training, quantization, encoder, selector, or decoder
+// arithmetic shows up here as a one-line diff.
+//
+// When a change intentionally alters numeric behavior, regenerate with:
+//
+//	go test -run TestGoldenFingerprint -v .
+//
+// and update the constant with the logged value.
+const goldenFingerprint = "a4ed8d3687b9e1774e058ed2a74aa7efe77e9967bbb18cc3bbb5e4da832c61ff"
+
+func TestGoldenFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fingerprint skipped in -short mode")
+	}
+	h := sha256.New()
+	fingerprintStudy(t, h)
+	fingerprintDecoder(t, h)
+	got := fmt.Sprintf("%x", h.Sum(nil))
+	t.Logf("fingerprint %s", got)
+	if got != goldenFingerprint {
+		t.Errorf("end-to-end fingerprint changed:\n  got  %s\n  want %s\n"+
+			"If the numeric change is intentional, update goldenFingerprint.", got, goldenFingerprint)
+	}
+}
+
+// fingerprintStudy folds a miniature RunStudy (3 corpora x 3 model
+// families, reduced clips/epochs) into h: accuracies as exact float bits,
+// parameter and deployment sizes, and every confusion-matrix cell.
+func fingerprintStudy(t *testing.T, h hash.Hash) {
+	cfg := affect.DefaultStudyConfig()
+	cfg.ClipsPerCorpus = 48
+	cfg.Epochs = 2
+	cfg.Seed = 1
+	rep, err := affect.RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affect.SortResults(rep.Results)
+	for _, r := range rep.Results {
+		put(h, []byte(r.Corpus), []byte(r.Kind.String()))
+		put(h, int64(r.Params), int64(r.FloatBytes), int64(r.QuantBytes))
+		put(h, math.Float64bits(r.Accuracy), math.Float64bits(r.QuantAccuracy), math.Float64bits(r.MacroF1))
+		for _, row := range r.Confusion {
+			for _, v := range row {
+				put(h, int64(v))
+			}
+		}
+	}
+}
+
+// fingerprintDecoder folds an encode + all-modes DecodePipeline pass into
+// h: bitstream bytes, per-mode selector/buffer statistics, activity
+// counters, and every output pixel.
+func fingerprintDecoder(t *testing.T, h hash.Hash) {
+	src, err := h264.GenerateVideo(h264.CalibrationVideoConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := h264.NewEncoder(h264.CalibrationEncoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := enc.EncodeSequence(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(h, stream)
+	for _, mode := range h264.Modes() {
+		res, err := h264.DecodePipeline(stream, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		put(h, []byte(mode.String()),
+			int64(res.Selector.UnitsIn), int64(res.Selector.UnitsDeleted),
+			int64(res.Selector.BytesIn), int64(res.Selector.BytesDeleted),
+			int64(res.PreStoreIn), int64(res.PreStoreOut),
+			int64(res.CircularIn), int64(res.CircularOut),
+			int64(res.PreStoreRewinds), int64(res.Stalls),
+			int64(res.Activity.HeaderBits), int64(res.Activity.ResidualBits),
+			int64(res.Activity.BlocksIQIT), int64(res.Activity.SkipMBs),
+			int64(res.Activity.CodedMBs), int64(res.Activity.FramesOut),
+			int64(res.Activity.Concealed))
+		for _, fr := range res.Frames {
+			put(h, int64(fr.Width), int64(fr.Height), fr.Y, fr.Cb, fr.Cr)
+		}
+	}
+}
+
+// put hashes each value in a fixed little-endian encoding.
+func put(h hash.Hash, vals ...any) {
+	var buf [8]byte
+	for _, v := range vals {
+		switch x := v.(type) {
+		case []byte:
+			binary.LittleEndian.PutUint64(buf[:], uint64(len(x)))
+			h.Write(buf[:])
+			h.Write(x)
+		case int64:
+			binary.LittleEndian.PutUint64(buf[:], uint64(x))
+			h.Write(buf[:])
+		case uint64:
+			binary.LittleEndian.PutUint64(buf[:], x)
+			h.Write(buf[:])
+		default:
+			panic(fmt.Sprintf("golden: unhashable %T", v))
+		}
+	}
+}

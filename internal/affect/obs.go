@@ -1,0 +1,35 @@
+package affect
+
+import "affectedge/internal/obs"
+
+// mtr holds this package's metric handles; nil (the default) is the no-op
+// state. The affect scope reports study-level outcomes — models trained,
+// wall time per model fit, float and int8 evaluation tallies — while the
+// per-kernel and per-epoch detail lives under the nn scope.
+var mtr struct {
+	modelsTrained *obs.Counter
+	trainTime     *obs.Histogram // full Fit wall time per model, µs
+	evalTotal     *obs.Counter   // float-weight test examples evaluated
+	evalCorrect   *obs.Counter   // ... of which predicted correctly
+	qevalTotal    *obs.Counter   // int8-quantized test examples evaluated
+	qevalCorrect  *obs.Counter
+}
+
+// WireMetrics routes the package's counters into scope s (conventionally
+// reg.Scope("affect")); nil restores the no-op state. Wire before a study
+// starts — handle swaps are not synchronized with running training.
+func WireMetrics(s *obs.Scope) {
+	mtr.modelsTrained = s.Counter("models_trained")
+	mtr.trainTime = s.Histogram("train_us", obs.DurationBuckets())
+	mtr.evalTotal = s.Counter("eval.examples")
+	mtr.evalCorrect = s.Counter("eval.correct")
+	mtr.qevalTotal = s.Counter("eval.quant_examples")
+	mtr.qevalCorrect = s.Counter("eval.quant_correct")
+}
+
+// countEval converts an accuracy fraction over n examples back to a hit
+// count (Evaluate reports correct/n, so the rounding is exact).
+func countEval(total, correct *obs.Counter, acc float64, n int) {
+	total.Add(int64(n))
+	correct.Add(int64(acc*float64(n) + 0.5))
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"affectedge/internal/affectdata"
 	"affectedge/internal/emotion"
@@ -180,13 +181,22 @@ func trainOne(cfg StudyConfig, corpus string, kind ModelKind, trainEx, testEx []
 		Optimizer:   nn.NewAdam(cfg.LearningRate),
 		Seed:        cfg.Seed,
 	}
+	var fitStart time.Time
+	if mtr.trainTime.Enabled() {
+		fitStart = time.Now()
+	}
 	if _, err := rep.Fit(trainEx, tc); err != nil {
 		return ModelResult{}, err
 	}
+	if mtr.trainTime.Enabled() {
+		mtr.trainTime.ObserveDuration(time.Since(fitStart))
+	}
+	mtr.modelsTrained.Inc()
 	acc, err := rep.Evaluate(testEx)
 	if err != nil {
 		return ModelResult{}, err
 	}
+	countEval(mtr.evalTotal, mtr.evalCorrect, acc, len(testEx))
 	conf, err := rep.ConfusionMatrix(testEx, len(classes))
 	if err != nil {
 		return ModelResult{}, err
@@ -201,6 +211,7 @@ func trainOne(cfg StudyConfig, corpus string, kind ModelKind, trainEx, testEx []
 	if err != nil {
 		return ModelResult{}, err
 	}
+	countEval(mtr.qevalTotal, mtr.qevalCorrect, qacc, len(testEx))
 	perClass, macroF1, err := MetricsFromConfusion(conf)
 	if err != nil {
 		return ModelResult{}, err

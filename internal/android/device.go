@@ -169,6 +169,8 @@ func (d *Device) Launch(now time.Duration, appName string) (time.Duration, error
 		// Warm start: process cached in RAM, no flash traffic.
 		d.metrics.WarmStarts++
 		latency = d.cfg.WarmSwitchTime
+		mtr.warmStarts.Inc()
+		mtr.flashAvoided.Add(app.FileBytes)
 	} else {
 		// Cold start: load from flash and initialize.
 		d.metrics.ColdStarts++
@@ -178,8 +180,12 @@ func (d *Device) Launch(now time.Duration, appName string) (time.Duration, error
 		p = &Process{App: app, StartedAt: now}
 		d.procs[appName] = p
 		d.log.Record(now, appName, trace.EventStart, "cold start")
+		mtr.coldStarts.Inc()
+		mtr.flashLoaded.Add(app.FileBytes)
 	}
 	d.metrics.LoadingTime += latency
+	mtr.launches.Inc()
+	mtr.launchLatency.ObserveDuration(latency)
 	p.State = StateForeground
 	p.LastUsed = now
 	p.Launches++
@@ -188,6 +194,7 @@ func (d *Device) Launch(now time.Duration, appName string) (time.Duration, error
 
 	if used := d.usedRAM(); used > d.metrics.PeakRAM {
 		d.metrics.PeakRAM = used
+		mtr.peakRAM.SetMax(used)
 	}
 	d.enforceLimits(now)
 	return latency, nil
@@ -205,11 +212,14 @@ func (d *Device) enforceLimits(now time.Duration) {
 		if d.usedRAM() > d.cfg.RAMBytes {
 			reason = "low memory"
 			d.metrics.KillsByMemory++
+			mtr.killsByMemory.Inc()
 		} else {
 			d.metrics.KillsByLimit++
+			mtr.killsByLimit.Inc()
 		}
 		delete(d.procs, victim.App.Name)
 		d.metrics.Kills++
+		mtr.kills.Inc()
 		d.log.Record(now, victim.App.Name, trace.EventKill, reason)
 	}
 }

@@ -1,0 +1,40 @@
+package android
+
+import "affectedge/internal/obs"
+
+// mtr holds this package's metric handles; nil (the default) is the no-op
+// state. The android scope tracks what the Emotional Background Manager
+// does to processes and what that costs (or saves) in flash→RAM traffic.
+var mtr struct {
+	launches      *obs.Counter
+	coldStarts    *obs.Counter // reloads: the process had been killed
+	warmStarts    *obs.Counter // cached in RAM, no flash traffic
+	kills         *obs.Counter
+	killsByLimit  *obs.Counter
+	killsByMemory *obs.Counter
+	flashLoaded   *obs.Counter // bytes actually read from flash at launch
+	flashAvoided  *obs.Counter // bytes a warm start did NOT re-read
+	prefetches    *obs.Counter
+	prefetchBytes *obs.Counter
+	peakRAM       *obs.Gauge     // high-water resident app memory + reserve
+	launchLatency *obs.Histogram // per-launch latency, µs
+}
+
+// WireMetrics routes the package's counters into scope s (conventionally
+// reg.Scope("android")); nil restores the no-op state. Wire before a
+// simulation starts — handle swaps are not synchronized with running
+// devices.
+func WireMetrics(s *obs.Scope) {
+	mtr.launches = s.Counter("launches")
+	mtr.coldStarts = s.Counter("cold_starts")
+	mtr.warmStarts = s.Counter("warm_starts")
+	mtr.kills = s.Counter("kills")
+	mtr.killsByLimit = s.Counter("kills.process_limit")
+	mtr.killsByMemory = s.Counter("kills.low_memory")
+	mtr.flashLoaded = s.Counter("flash_bytes_loaded")
+	mtr.flashAvoided = s.Counter("flash_bytes_avoided")
+	mtr.prefetches = s.Counter("prefetches")
+	mtr.prefetchBytes = s.Counter("prefetch_bytes")
+	mtr.peakRAM = s.Gauge("peak_ram_bytes")
+	mtr.launchLatency = s.Histogram("launch_latency_us", obs.DurationBuckets())
+}

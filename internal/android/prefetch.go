@@ -89,6 +89,8 @@ func RunWithPrefetch(cfg DeviceConfig, table *AffectTable, events []WorkloadEven
 			}
 			out.Prefetches++
 			out.PrefetchBytes += app.FileBytes
+			mtr.prefetches.Inc()
+			mtr.prefetchBytes.Add(app.FileBytes)
 			prefetched[name] = true
 			issued++
 		}

@@ -111,8 +111,10 @@ func (m *Manager) Observe(o Observation) (switched bool, err error) {
 		return false, fmt.Errorf("core: confidence %g outside [0,1]", o.Confidence)
 	}
 	m.observed++
+	mtr.observed.Inc()
 	if o.Confidence < m.cfg.MinConfidence {
 		m.discarded++
+		mtr.discarded.Inc()
 		return false, nil
 	}
 	var att emotion.Attention
@@ -144,12 +146,18 @@ func (m *Manager) updateAttention(at time.Duration, att emotion.Attention) bool 
 	}
 	m.pendingCount++
 	if m.pendingCount < m.cfg.Hysteresis {
+		mtr.hysteresisHold.Inc()
 		return false
 	}
 	m.attention = att
+	prevMode := m.mode
 	m.mode = m.cfg.VideoPolicy[att]
 	m.pendingCount = 0
 	m.transitions = append(m.transitions, Transition{At: at, Attention: att, Mood: m.mood, Mode: m.mode})
+	mtr.attnSwitches.Inc()
+	if m.mode != prevMode {
+		mtr.modeSwitches.Inc()
+	}
 	return true
 }
 
@@ -165,11 +173,13 @@ func (m *Manager) updateMood(at time.Duration, mood emotion.Mood) bool {
 	}
 	m.pendingMoodCount++
 	if m.pendingMoodCount < m.cfg.Hysteresis {
+		mtr.hysteresisHold.Inc()
 		return false
 	}
 	m.mood = mood
 	m.pendingMoodCount = 0
 	m.transitions = append(m.transitions, Transition{At: at, Attention: m.attention, Mood: mood, Mode: m.mode})
+	mtr.moodSwitches.Inc()
 	return true
 }
 

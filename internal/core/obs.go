@@ -1,0 +1,27 @@
+package core
+
+import "affectedge/internal/obs"
+
+// mtr holds this package's metric handles; nil (the default) is the no-op
+// state. The core scope reports control-loop behavior: observation flow,
+// hysteresis filtering, and the state switches the manager commanded.
+var mtr struct {
+	observed       *obs.Counter
+	discarded      *obs.Counter // below MinConfidence, never reached hysteresis
+	attnSwitches   *obs.Counter // committed attention-state changes
+	moodSwitches   *obs.Counter // committed mood changes
+	modeSwitches   *obs.Counter // decoder-mode changes (subset of attention)
+	hysteresisHold *obs.Counter // disagreeing observations absorbed by hysteresis
+}
+
+// WireMetrics routes the package's counters into scope s (conventionally
+// reg.Scope("core")); nil restores the no-op state. Wire before the
+// control loop starts — handle swaps are not synchronized with Observe.
+func WireMetrics(s *obs.Scope) {
+	mtr.observed = s.Counter("observations")
+	mtr.discarded = s.Counter("observations_discarded")
+	mtr.attnSwitches = s.Counter("switches.attention")
+	mtr.moodSwitches = s.Counter("switches.mood")
+	mtr.modeSwitches = s.Counter("switches.decoder_mode")
+	mtr.hysteresisHold = s.Counter("hysteresis_held")
+}

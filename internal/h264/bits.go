@@ -16,6 +16,7 @@ package h264
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrBitstream reports malformed or truncated bitstream input.
@@ -145,28 +146,38 @@ func (r *BitReader) ReadUE() (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	return uint32((uint64(1)<<uint(n) | rest) - 1), nil
+	v := (uint64(1)<<uint(n) | rest) - 1
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: ue(v) %d overflows 32 bits", ErrBitstream, v)
+	}
+	return uint32(v), nil
 }
 
 // WriteSE appends a signed Exp-Golomb code se(v) using the spec mapping
-// (positive values first: 1 -> 1, -1 -> 2, 2 -> 3, ...).
+// (positive values first: 1 -> 1, -1 -> 2, 2 -> 3, ...). The mapping
+// covers [math.MinInt32+1, math.MaxInt32]; -2^31 itself has no ue(v)
+// code (its mapped value 2^32 exceeds the 32-bit ue space).
 func (w *BitWriter) WriteSE(v int32) {
 	var u uint32
 	if v > 0 {
-		u = uint32(2*v - 1)
+		u = uint32(2*int64(v) - 1)
 	} else {
-		u = uint32(-2 * v)
+		u = uint32(-2 * int64(v))
 	}
 	w.WriteUE(u)
 }
 
-// ReadSE decodes a signed Exp-Golomb code se(v).
+// ReadSE decodes a signed Exp-Golomb code se(v). The maximum ue code
+// 2^32-1 maps to +2^31, which overflows int32 and is rejected.
 func (r *BitReader) ReadSE() (int32, error) {
 	u, err := r.ReadUE()
 	if err != nil {
 		return 0, err
 	}
 	if u%2 == 1 {
+		if u == math.MaxUint32 {
+			return 0, fmt.Errorf("%w: se(v) 2^31 overflows", ErrBitstream)
+		}
 		return int32(u/2) + 1, nil
 	}
 	return -int32(u / 2), nil

@@ -69,6 +69,10 @@ type PreStoreBuffer struct {
 	// accounting.
 	BytesIn, BytesOut int
 	Rewinds           int
+	// HighWater is the peak occupancy in bytes — how much of the 128x16-bit
+	// buffer the workload actually needed (a sizing signal for the
+	// hardware's area/power trade).
+	HighWater int
 }
 
 // PreStoreCapacity is 128 entries x 16 bits = 256 bytes.
@@ -90,6 +94,9 @@ func (b *PreStoreBuffer) Write(p []byte) bool {
 	}
 	b.data = append(b.data, p...)
 	b.BytesIn += len(p)
+	if len(b.data) > b.HighWater {
+		b.HighWater = len(b.data)
+	}
 	return true
 }
 

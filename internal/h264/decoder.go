@@ -65,6 +65,16 @@ const maxConcealGap = 512
 // NewDecoder returns a decoder with the deblocking filter enabled.
 func NewDecoder() *Decoder { return &Decoder{DeblockEnabled: true} }
 
+// SetDeblock switches the in-loop filter — the affect loop's DF knob.
+// Prefer it over writing DeblockEnabled directly: knob transitions are
+// counted for the observability layer.
+func (d *Decoder) SetDeblock(on bool) {
+	if d.DeblockEnabled != on {
+		mtr.deblockSwitches.Inc()
+	}
+	d.DeblockEnabled = on
+}
+
 // Activity returns the accumulated decode activity.
 func (d *Decoder) Activity() Activity { return d.activity }
 
@@ -169,6 +179,8 @@ func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
 			out = append(out, d.lastOut.Clone())
 			d.activity.Concealed++
 			d.activity.FramesOut++
+			mtr.framesConcealed.Inc()
+			mtr.framesOut.Inc()
 		}
 		d.nextNum++
 	}
@@ -197,11 +209,14 @@ func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
 		}
 	}
 	if d.DeblockEnabled {
-		st := DeblockFrame(recon, mbs, d.qp)
-		d.activity.DF.edgesConsidered += st.edgesConsidered
-		d.activity.DF.edgesExamined += st.edgesExamined
-		d.activity.DF.edgesFiltered += st.edgesFiltered
-		d.activity.DF.samplesTouch += st.samplesTouch
+		fst := DeblockFrame(recon, mbs, d.qp)
+		d.activity.DF.edgesConsidered += fst.edgesConsidered
+		d.activity.DF.edgesExamined += fst.edgesExamined
+		d.activity.DF.edgesFiltered += fst.edgesFiltered
+		d.activity.DF.samplesTouch += fst.samplesTouch
+		mtr.deblockOn.Inc()
+	} else {
+		mtr.deblockOff.Inc()
 	}
 	if st != SliceB {
 		d.lastRef = recon
@@ -209,6 +224,7 @@ func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
 	d.lastOut = recon
 	d.nextNum = frameNum + 1
 	d.activity.FramesOut++
+	mtr.framesOut.Inc()
 	out = append(out, recon)
 	return out, nil
 }
@@ -222,6 +238,8 @@ func (d *Decoder) ConcealTo(n int) []*Frame {
 		out = append(out, d.lastOut.Clone())
 		d.activity.Concealed++
 		d.activity.FramesOut++
+		mtr.framesConcealed.Inc()
+		mtr.framesOut.Inc()
 		d.nextNum++
 	}
 	return out

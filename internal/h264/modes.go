@@ -90,32 +90,53 @@ type SelectorStats struct {
 	Candidates   int
 }
 
+// selectorRun is one pass of the Input Selector over a unit stream; it
+// owns the deletion cadence and statistics, so ApplySelector and
+// DecodePipeline share one decision (and instrumentation) point.
+type selectorRun struct {
+	cfg       SelectorConfig
+	candidate int
+	st        SelectorStats
+}
+
+// deletes records u and reports whether the selector deletes it.
+func (s *selectorRun) deletes(u NAL) bool {
+	size := u.SizeBytes()
+	s.st.UnitsIn++
+	s.st.BytesIn += size
+	mtr.nalSeen.Inc()
+	mtr.bytesSeen.Add(int64(size))
+	mtr.nalSize.Observe(int64(size))
+	eligible := s.cfg.Enabled() &&
+		u.Type == NALSliceNonIDR &&
+		size <= s.cfg.Sth &&
+		(!s.cfg.ProtectReferences || u.RefIDC == 0)
+	if !eligible {
+		return false
+	}
+	s.candidate++
+	s.st.Candidates++
+	if s.candidate%s.cfg.F != 0 {
+		return false
+	}
+	s.st.UnitsDeleted++
+	s.st.BytesDeleted += size
+	mtr.nalDeleted.Inc()
+	mtr.bytesSkipped.Add(int64(size))
+	return true
+}
+
 // ApplySelector runs the Input Selector over a unit sequence, returning
 // the surviving units and deletion statistics.
 func ApplySelector(units []NAL, cfg SelectorConfig) ([]NAL, SelectorStats) {
-	var st SelectorStats
+	sel := selectorRun{cfg: cfg}
 	out := make([]NAL, 0, len(units))
-	candidate := 0
 	for _, u := range units {
-		size := u.SizeBytes()
-		st.UnitsIn++
-		st.BytesIn += size
-		eligible := cfg.Enabled() &&
-			u.Type == NALSliceNonIDR &&
-			size <= cfg.Sth &&
-			(!cfg.ProtectReferences || u.RefIDC == 0)
-		if eligible {
-			candidate++
-			st.Candidates++
-			if candidate%cfg.F == 0 {
-				st.UnitsDeleted++
-				st.BytesDeleted += size
-				continue
-			}
+		if !sel.deletes(u) {
+			out = append(out, u)
 		}
-		out = append(out, u)
 	}
-	return out, st
+	return out, sel.st
 }
 
 // PipelineResult is the outcome of decoding a stream through the full
@@ -162,35 +183,18 @@ func DecodePipeline(stream []byte, mode DecoderMode) (*PipelineResult, error) {
 		}
 	}
 
-	var st SelectorStats
-	candidate := 0
+	run := selectorRun{cfg: sel}
 	for _, u := range units {
 		raw, err := MarshalNAL(u)
 		if err != nil {
 			return nil, err
 		}
-		st.UnitsIn++
-		st.BytesIn += u.SizeBytes()
-		eligible := sel.Enabled() &&
-			u.Type == NALSliceNonIDR &&
-			u.SizeBytes() <= sel.Sth &&
-			(!sel.ProtectReferences || u.RefIDC == 0)
-		del := false
-		if eligible {
-			candidate++
-			st.Candidates++
-			if candidate%sel.F == 0 {
-				del = true
-			}
-		}
-		if del {
+		if run.deletes(u) {
 			// The selector writes the unit and then steps the write
 			// address back over it, so its bytes never reach the
 			// circular buffer. Chunked by free space; any draining here
 			// only moves *previous* units' bytes (deleted bytes are
 			// rewound immediately after each chunk).
-			st.UnitsDeleted++
-			st.BytesDeleted += u.SizeBytes()
 			for off := 0; off < len(raw); {
 				n := ps.Free()
 				if n == 0 {
@@ -228,8 +232,15 @@ func DecodePipeline(stream []byte, mode DecoderMode) (*PipelineResult, error) {
 	}
 	drainAll(true)
 
+	st := run.st
+	mtr.pipelineRuns.Inc()
+	mtr.deletedBy[mode].Add(int64(st.UnitsDeleted))
+	mtr.prestoreHighWater.SetMax(int64(ps.HighWater))
+	mtr.prestoreRewinds.Add(int64(ps.Rewinds))
+	mtr.circularStalls.Add(int64(cb.Stalls))
+
 	dec := NewDecoder()
-	dec.DeblockEnabled = mode.DeblockEnabled()
+	dec.SetDeblock(mode.DeblockEnabled())
 	frames, err := dec.DecodeStream(parsed)
 	if err != nil {
 		return nil, err

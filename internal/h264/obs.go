@@ -1,0 +1,52 @@
+package h264
+
+import "affectedge/internal/obs"
+
+// mtr holds this package's metric handles. All handles are nil until
+// WireMetrics routes them into a registry, and every obs method is
+// nil-safe, so un-wired decoding pays only an inlined nil check per event.
+var mtr struct {
+	// Input Selector.
+	nalSeen      *obs.Counter   // NAL units entering the selector
+	nalDeleted   *obs.Counter   // units the selector dropped
+	bytesSeen    *obs.Counter   // on-wire bytes entering the selector
+	bytesSkipped *obs.Counter   // bytes never fetched past the pre-store buffer
+	nalSize      *obs.Histogram // on-wire unit sizes (S_th sits in this range)
+	deletedBy    [NumModes]*obs.Counter
+
+	// Decoder core.
+	framesOut       *obs.Counter // frames emitted (including concealment)
+	framesConcealed *obs.Counter // frames repeated over deleted/missing units
+	deblockOn       *obs.Counter // frames filtered by the DF
+	deblockOff      *obs.Counter // frames decoded with the DF deactivated
+	deblockSwitches *obs.Counter // DF knob on<->off transitions
+
+	// Front-end buffers.
+	prestoreHighWater *obs.Gauge // peak pre-store occupancy in bytes
+	prestoreRewinds   *obs.Counter
+	circularStalls    *obs.Counter
+	pipelineRuns      *obs.Counter
+}
+
+// WireMetrics routes the package's counters into scope s (conventionally
+// reg.Scope("h264")); nil restores the no-op state. Call it before any
+// decoding starts — wiring is not synchronized with in-flight pipelines.
+func WireMetrics(s *obs.Scope) {
+	mtr.nalSeen = s.Counter("selector.units_in")
+	mtr.nalDeleted = s.Counter("selector.units_deleted")
+	mtr.bytesSeen = s.Counter("selector.bytes_in")
+	mtr.bytesSkipped = s.Counter("selector.bytes_skipped")
+	mtr.nalSize = s.Histogram("selector.unit_bytes", obs.SizeBuckets())
+	for m := 0; m < NumModes; m++ {
+		mtr.deletedBy[m] = s.Counter("selector.units_deleted." + DecoderMode(m).String())
+	}
+	mtr.framesOut = s.Counter("decoder.frames_out")
+	mtr.framesConcealed = s.Counter("decoder.frames_concealed")
+	mtr.deblockOn = s.Counter("deblock.frames_on")
+	mtr.deblockOff = s.Counter("deblock.frames_off")
+	mtr.deblockSwitches = s.Counter("deblock.switches")
+	mtr.prestoreHighWater = s.Gauge("prestore.high_water_bytes")
+	mtr.prestoreRewinds = s.Counter("prestore.rewinds")
+	mtr.circularStalls = s.Counter("circular.stalls")
+	mtr.pipelineRuns = s.Counter("pipeline.runs")
+}

@@ -3,6 +3,8 @@ package nn
 import (
 	"math/rand"
 	"testing"
+
+	"affectedge/internal/obs"
 )
 
 // Micro-benchmarks for the batched GEMM kernels against the per-example
@@ -111,6 +113,36 @@ func BenchmarkTrainStepScalar(b *testing.B) {
 // BenchmarkTrainStepBatched is the same mini-batch through the batched
 // kernels; steady state must report 0 allocs/op.
 func BenchmarkTrainStepBatched(b *testing.B) {
+	n := benchMLP()
+	examples := benchExamples(benchBatch, benchIn, benchOut)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	bw := batchWorker{net: n}
+	var loss float64
+	var hit int
+	if err := bw.step(examples, idx, &loss, &hit); err != nil { // warm scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.step(examples, idx, &loss, &hit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStepBatchedMetrics is BenchmarkTrainStepBatched with the
+// observability layer wired to a live registry; the delta between the two
+// is the enabled cost of instrumentation on the training hot path (the
+// unwired variant measures the Nop path). Must stay within 3% of the
+// unwired number and report 0 allocs/op.
+func BenchmarkTrainStepBatchedMetrics(b *testing.B) {
+	reg := obs.NewRegistry()
+	WireMetrics(reg.Scope("nn"))
+	defer WireMetrics(obs.Nop)
 	n := benchMLP()
 	examples := benchExamples(benchBatch, benchIn, benchOut)
 	idx := make([]int, len(examples))

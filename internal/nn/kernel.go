@@ -22,6 +22,8 @@ package nn
 // n×out result into y (fully overwritten). This is the Dense forward and
 // the recurrent layers' input-side step matmul.
 func gemmBiasNT(y, x, w, bias []float64, n, in, out int) {
+	mtr.gemmCalls.Inc()
+	mtr.gemmScalar.Inc() // manual register tiles, not the axpy4 backend
 	r := 0
 	// 2-row × 4-output register tiles: each weight load feeds two examples,
 	// each input load feeds four outputs. Slots still accumulate
@@ -137,6 +139,7 @@ func axpy4Go(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {
 // adds for each slot in that same order (axpy4). dx is accumulated into,
 // not overwritten; callers zero it first when that is the contract.
 func gemmDXAcc(dx, g, w []float64, n, in, out int) {
+	countGemm()
 	for r := 0; r < n; r++ {
 		gr := g[r*out : (r+1)*out]
 		dxr := dx[r*in : (r+1)*in]
@@ -167,6 +170,7 @@ func gemmDXAcc(dx, g, w []float64, n, in, out int) {
 // updates per slot are the identical operation sequence, just kept in a
 // register.
 func gemmGradAcc(wGrad, bGrad, g, x []float64, n, in, out int) {
+	countGemm()
 	r := 0
 	for ; r+8 <= n; r += 8 {
 		g0 := g[(r+0)*out : (r+1)*out]
@@ -253,6 +257,7 @@ func gemmGradAcc(wGrad, bGrad, g, x []float64, n, in, out int) {
 const gemmRowBlock = 16
 
 func gemmBiasT(y, x, wt, bias []float64, n, in, out int) {
+	countGemm()
 	for rs := 0; rs < n; rs += gemmRowBlock {
 		re := rs + gemmRowBlock
 		if re > n {
@@ -317,6 +322,7 @@ func transposeInto(wt, w []float64, in, out int) {
 // is exact, so blocking is unconstrained; four output rows share one pass
 // over each activation row.
 func qgemmNT(acc []int32, x, w []int8, bq []int32, n, in, out int) {
+	mtr.qgemmCalls.Inc()
 	for r := 0; r < n; r++ {
 		xr := x[r*in : (r+1)*in]
 		ar := acc[r*out : (r+1)*out]
@@ -348,9 +354,12 @@ func qgemmNT(acc []int32, x, w []int8, bq []int32, n, in, out int) {
 }
 
 // growF64 returns buf resized to length n, reallocating only when capacity
-// is insufficient. Contents are unspecified.
+// is insufficient. Contents are unspecified. Reallocations are counted:
+// a steady-state training loop must not grow scratch, so a climbing
+// kernel.scratch_grows counter flags a shape or reuse regression.
 func growF64(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		mtr.scratchGrows.Inc()
 		return make([]float64, n)
 	}
 	return buf[:n]
@@ -359,6 +368,7 @@ func growF64(buf []float64, n int) []float64 {
 // growI8 is growF64 for int8 scratch.
 func growI8(buf []int8, n int) []int8 {
 	if cap(buf) < n {
+		mtr.scratchGrows.Inc()
 		return make([]int8, n)
 	}
 	return buf[:n]
@@ -367,6 +377,7 @@ func growI8(buf []int8, n int) []int8 {
 // growI32 is growF64 for int32 scratch.
 func growI32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
+		mtr.scratchGrows.Inc()
 		return make([]int32, n)
 	}
 	return buf[:n]
@@ -375,6 +386,7 @@ func growI32(buf []int32, n int) []int32 {
 // growBool is growF64 for bool scratch.
 func growBool(buf []bool, n int) []bool {
 	if cap(buf) < n {
+		mtr.scratchGrows.Inc()
 		return make([]bool, n)
 	}
 	return buf[:n]

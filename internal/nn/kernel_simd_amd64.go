@@ -23,6 +23,9 @@ func adamAVX(w, grad, m, v *float64, n int, inv, b1, ib1, b2, ib2, c1, c2, lr, e
 
 var useAVX = cpuHasAVX()
 
+// simdActive reports whether axpy4/adamSlice dispatch to the AVX backend.
+func simdActive() bool { return useAVX }
+
 // axpy4 computes dst[i] += a0·s0[i] + a1·s1[i] + a2·s2[i] + a3·s3[i]
 // (chained in that order per slot) over len(dst) elements.
 func axpy4(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {

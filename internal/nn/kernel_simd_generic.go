@@ -2,6 +2,10 @@
 
 package nn
 
+// simdActive reports whether axpy4/adamSlice dispatch to a vector
+// backend; this architecture only has the portable loop.
+func simdActive() bool { return false }
+
 // axpy4 computes dst[i] += a0·s0[i] + a1·s1[i] + a2·s2[i] + a3·s3[i]
 // (chained in that order per slot) over len(dst) elements.
 func axpy4(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {

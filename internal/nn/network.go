@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 )
 
 // Sequential is a stack of layers trained with softmax cross-entropy.
@@ -142,6 +143,10 @@ func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 	params := n.Params()
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if mtr.epochTime.Enabled() {
+			epochStart = time.Now()
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		var correct int
@@ -186,6 +191,9 @@ func (n *Sequential) Fit(examples []Example, cfg TrainConfig) (float64, error) {
 			cfg.Optimizer.Step(params, end-start)
 		}
 		lastLoss = epochLoss / float64(len(order))
+		if mtr.epochTime.Enabled() {
+			mtr.epochTime.ObserveDuration(time.Since(epochStart))
+		}
 		if cfg.Verbose != nil {
 			cfg.Verbose(epoch, lastLoss, float64(correct)/float64(len(order)))
 		}
@@ -207,6 +215,8 @@ type batchWorker struct {
 // so running totals match it bit for bit at any chunk size.
 func (bw *batchWorker) step(examples []Example, idx []int, lossAcc *float64, hitAcc *int) error {
 	m := len(idx)
+	mtr.trainSteps.Inc()
+	mtr.kernelRows.Observe(int64(m))
 	inW := len(examples[idx[0]].X.Data)
 	x := bw.x.reshape(m, inW)
 	for k, id := range idx {

@@ -1,0 +1,44 @@
+package nn
+
+import "affectedge/internal/obs"
+
+// mtr holds this package's metric handles; nil (the default) is the no-op
+// state. Counting happens at GEMM-call granularity — once per kernel
+// invocation, never inside the inner loops — so enabled instrumentation
+// costs a handful of atomic adds per layer per chunk and the disabled
+// state costs an inlined nil check.
+var mtr struct {
+	gemmCalls    *obs.Counter   // float GEMM kernel invocations
+	gemmSIMD     *obs.Counter   // invocations dispatched to the AVX axpy4 backend
+	gemmScalar   *obs.Counter   // invocations on the portable scalar path
+	qgemmCalls   *obs.Counter   // int8 GEMM invocations
+	scratchGrows *obs.Counter   // scratch reallocations (steady state: zero)
+	trainSteps   *obs.Counter   // batched forward/backward steps
+	kernelRows   *obs.Histogram // batch occupancy: example rows per GEMM chunk
+	epochTime    *obs.Histogram // per-epoch wall time, µs
+}
+
+// WireMetrics routes the package's counters into scope s (conventionally
+// reg.Scope("nn")); nil restores the no-op state. Wire before training
+// starts — handle swaps are not synchronized with running kernels.
+func WireMetrics(s *obs.Scope) {
+	mtr.gemmCalls = s.Counter("kernel.gemm_calls")
+	mtr.gemmSIMD = s.Counter("kernel.dispatch_simd")
+	mtr.gemmScalar = s.Counter("kernel.dispatch_scalar")
+	mtr.qgemmCalls = s.Counter("kernel.qgemm_calls")
+	mtr.scratchGrows = s.Counter("kernel.scratch_grows")
+	mtr.trainSteps = s.Counter("train.steps")
+	mtr.kernelRows = s.Histogram("train.kernel_batch_rows", obs.LinearBuckets(1, 8, 16))
+	mtr.epochTime = s.Histogram("train.epoch_us", obs.DurationBuckets())
+}
+
+// countGemm tallies one axpy4-backed GEMM invocation and which backend
+// (SIMD or scalar) the axpy4 primitive dispatches to on this host.
+func countGemm() {
+	mtr.gemmCalls.Inc()
+	if simdActive() {
+		mtr.gemmSIMD.Inc()
+	} else {
+		mtr.gemmScalar.Inc()
+	}
+}

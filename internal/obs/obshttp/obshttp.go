@@ -1,0 +1,72 @@
+// Package obshttp exposes an obs.Registry over HTTP for long-running
+// processes: a JSON metrics endpoint, the standard expvar page, and the
+// net/http/pprof profiling handlers. It lives in its own package so that
+// internal/obs — which every instrumented package imports — never pulls
+// net/http into binaries that do not serve.
+package obshttp
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"affectedge/internal/obs"
+)
+
+// current is the registry behind the published expvar; Publish swaps it
+// so repeated wiring (tests, reruns) never double-publishes.
+var (
+	current     atomic.Pointer[obs.Registry]
+	publishOnce sync.Once
+)
+
+// Publish exposes reg's snapshot as the expvar "affectedge" (visible on
+// /debug/vars). Safe to call more than once; the latest registry wins.
+func Publish(reg *obs.Registry) {
+	current.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("affectedge", expvar.Func(func() any {
+			return current.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler serves reg's snapshot as indented JSON.
+func Handler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// NewMux returns a mux with the full debug surface:
+//
+//	/metrics          obs snapshot as JSON
+//	/debug/vars       expvar (includes the published registry)
+//	/debug/pprof/...  CPU/heap/goroutine profiles
+func NewMux(reg *obs.Registry) *http.ServeMux {
+	Publish(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr in a new goroutine and returns
+// the server so the caller can Close it. Serve errors (port in use)
+// surface on the returned channel.
+func Serve(addr string, reg *obs.Registry) (*http.Server, <-chan error) {
+	srv := &http.Server{Addr: addr, Handler: NewMux(reg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	return srv, errc
+}

@@ -1,0 +1,57 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"affectedge/internal/obs"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Scope("h264").Counter("nal_deleted").Add(9)
+	mux := NewMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Counter("h264.nal_deleted") != 9 {
+		t.Fatalf("metric lost over HTTP: %s", rec.Body.String())
+	}
+}
+
+func TestExpvarAndPprof(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x").Inc()
+	mux := NewMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "affectedge") {
+		t.Fatalf("/debug/vars status %d body %.200s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", rec.Code)
+	}
+
+	// Publish twice: the latest registry must win without panicking.
+	reg2 := obs.NewRegistry()
+	reg2.Counter("y").Add(2)
+	Publish(reg2)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if !strings.Contains(rec.Body.String(), "\"y\"") {
+		t.Fatalf("republished registry not visible: %.300s", rec.Body.String())
+	}
+}

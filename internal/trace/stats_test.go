@@ -56,3 +56,112 @@ func TestStatsEmpty(t *testing.T) {
 		t.Errorf("empty log produced %d stats", len(got))
 	}
 }
+
+// TestStatsEdgeCases pins the horizon-clipping semantics and the sorted
+// output order (descending foregrounds, then app name) on the awkward
+// inputs: a zero-duration horizon, an app killed before it ever reached
+// the foreground, re-foregrounding after a kill, and events at or past
+// the horizon.
+func TestStatsEdgeCases(t *testing.T) {
+	type ev struct {
+		at   time.Duration
+		app  string
+		kind EventKind
+	}
+	cases := []struct {
+		name    string
+		events  []ev
+		horizon time.Duration
+		want    []AppStats
+	}{
+		{
+			name: "zero horizon",
+			events: []ev{
+				{0, "chrome", EventStart},
+				{0, "chrome", EventForeground},
+				{time.Minute, "mail", EventStart},
+			},
+			horizon: 0,
+			// Event tallies survive; alive time clips to nothing and must
+			// never go negative.
+			want: []AppStats{
+				{App: "chrome", Starts: 1, Foregrounds: 1},
+				{App: "mail", Starts: 1},
+			},
+		},
+		{
+			name: "killed before first foreground",
+			events: []ev{
+				{0, "prefetched", EventStart},
+				{2 * time.Minute, "prefetched", EventKill},
+				{0, "active", EventStart},
+				{0, "active", EventForeground},
+			},
+			horizon: 4 * time.Minute,
+			// Zero foregrounds sorts last even though it died first.
+			want: []AppStats{
+				{App: "active", Starts: 1, Foregrounds: 1,
+					TotalAlive: 4 * time.Minute, MeanLifetime: 4 * time.Minute},
+				{App: "prefetched", Starts: 1, Kills: 1,
+					TotalAlive: 2 * time.Minute, MeanLifetime: 2 * time.Minute},
+			},
+		},
+		{
+			name: "re-foreground after kill",
+			events: []ev{
+				{0, "chrome", EventStart},
+				{0, "chrome", EventForeground},
+				{time.Minute, "chrome", EventKill},
+				{3 * time.Minute, "chrome", EventStart},
+				{3 * time.Minute, "chrome", EventForeground},
+			},
+			horizon: 5 * time.Minute,
+			// Two spans: [0,1m] and the reopened [3m,5m].
+			want: []AppStats{
+				{App: "chrome", Starts: 2, Kills: 1, Foregrounds: 2,
+					TotalAlive: 3 * time.Minute, MeanLifetime: 90 * time.Second},
+			},
+		},
+		{
+			name: "events at and past the horizon",
+			events: []ev{
+				{0, "early", EventStart},
+				{0, "early", EventForeground},
+				{6 * time.Minute, "early", EventKill}, // kill past horizon: clip
+				{5 * time.Minute, "late", EventStart}, // starts at horizon: no span
+				{7 * time.Minute, "later", EventStart},
+				{7 * time.Minute, "later", EventForeground},
+			},
+			horizon: 5 * time.Minute,
+			// Ties on foregrounds break by app name.
+			want: []AppStats{
+				{App: "early", Starts: 1, Kills: 1, Foregrounds: 1,
+					TotalAlive: 5 * time.Minute, MeanLifetime: 5 * time.Minute},
+				{App: "later", Starts: 1, Foregrounds: 1},
+				{App: "late", Starts: 1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := New()
+			for _, e := range tc.events {
+				l.Record(e.at, e.app, e.kind, "")
+			}
+			got := l.Stats(tc.horizon)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%d apps, want %d: %+v", len(got), len(tc.want), got)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("stats[%d]:\n  got  %+v\n  want %+v", i, got[i], tc.want[i])
+				}
+			}
+			for _, s := range got {
+				if s.TotalAlive < 0 || s.MeanLifetime < 0 {
+					t.Errorf("%s: negative duration %+v", s.App, s)
+				}
+			}
+		})
+	}
+}

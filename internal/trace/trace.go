@@ -81,7 +81,11 @@ func (l *Log) Apps() []string {
 // span is one alive interval of a process.
 type span struct{ from, to time.Duration }
 
-// lifespans reconstructs alive intervals per app up to horizon.
+// lifespans reconstructs alive intervals per app, clipped to
+// [0, horizon]: spans starting at or after the horizon are dropped, spans
+// extending past it are truncated, and still-open spans end at the
+// horizon. A zero (or negative) horizon therefore yields no spans rather
+// than negative durations.
 func (l *Log) lifespans(horizon time.Duration) map[string][]span {
 	alive := map[string]time.Duration{}
 	out := map[string][]span{}
@@ -103,6 +107,23 @@ func (l *Log) lifespans(horizon time.Duration) map[string][]span {
 	for app, ok := range started {
 		if ok {
 			out[app] = append(out[app], span{alive[app], horizon})
+		}
+	}
+	for app, spans := range out {
+		kept := spans[:0]
+		for _, s := range spans {
+			if s.from >= horizon {
+				continue
+			}
+			if s.to > horizon {
+				s.to = horizon
+			}
+			kept = append(kept, s)
+		}
+		if len(kept) == 0 {
+			delete(out, app)
+		} else {
+			out[app] = kept
 		}
 	}
 	return out
