@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: all build vet test test-short test-race cover bench bench-json bench-compare repro figures clean
+.PHONY: all build vet test test-short test-race cover bench bench-json bench-compare repro figures fleet-smoke clean
 
 all: build vet test
 
@@ -33,15 +33,22 @@ test-race:
 
 # Coverage gate over the -short suite (the training-heavy full studies
 # add wall time, not meaningful line coverage). Baseline measured at
-# 79.3% total statements (2026-08-06); the floor sits 1 point below so
-# coverage can only erode by deliberately lowering it here.
-COVER_FLOOR := 78.3
+# 80.1% total statements (2026-08-06); the floor sits 1 point below so
+# coverage can only erode by deliberately lowering it here. The fleet
+# serving layer carries its own per-package floor: it is the concurrency
+# hot spot, so its tests must keep covering the shard/coalescer paths.
+COVER_FLOOR := 79.1
+FLEET_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
 	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
 		|| { echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+	@fleet=$$($(GO) test -short -cover ./internal/fleet/ | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%/) { gsub("%","",$$i); print $$i } }'); \
+	echo "fleet coverage: $$fleet% (floor: $(FLEET_COVER_FLOOR)%)"; \
+	awk -v t="$$fleet" -v f="$(FLEET_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+		|| { echo "FAIL: fleet coverage $$fleet% is below the $(FLEET_COVER_FLOOR)% floor"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -50,7 +57,7 @@ bench:
 # first free n, so the perf trajectory accumulates across PRs.
 bench-json:
 	n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ \
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$n.json; \
 	echo "wrote BENCH_$$n.json"
 
@@ -69,6 +76,11 @@ repro:
 figures:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Quick end-to-end fleet check: 200 sessions, 2 virtual seconds, race
+# detector on. Verifies the serving layer builds, runs, and reports.
+fleet-smoke:
+	$(GO) run -race ./cmd/fleetsim -sessions 200 -shards 4 -duration 2s
 
 clean:
 	$(GO) clean ./...

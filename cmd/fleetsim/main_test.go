@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunReportAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	repPath := filepath.Join(dir, "report.json")
+	out, err := os.Create(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metPath := filepath.Join(dir, "metrics.json")
+	if err := run(40, 4, 5*time.Second, time.Second, 2, 1, false, metPath, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 40 || rep.Ticks != 5 || rep.Observations != 200 {
+		t.Fatalf("bad report %+v", rep)
+	}
+	if rep.Fingerprint == "" || rep.ObsPerSec <= 0 {
+		t.Fatalf("report missing derived fields: %+v", rep)
+	}
+	met, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(met, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(met) == 0 {
+		t.Fatal("empty metrics dump")
+	}
+}
+
+func TestRunRejectsBadDurations(t *testing.T) {
+	if err := run(4, 2, 0, time.Second, 0, 1, false, "", os.Stdout); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := run(4, 2, time.Second, 0, 0, 1, false, "", os.Stdout); err == nil {
+		t.Error("zero tick accepted")
+	}
+}

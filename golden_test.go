@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"affectedge/internal/affect"
+	"affectedge/internal/fleet"
 	"affectedge/internal/h264"
 )
 
@@ -123,5 +124,35 @@ func put(h hash.Hash, vals ...any) {
 		default:
 			panic(fmt.Sprintf("golden: unhashable %T", v))
 		}
+	}
+}
+
+// goldenFleetFingerprint pins the multi-device fleet simulation alongside
+// the single-device fingerprint above: 120 sessions on 8 shards, 40
+// virtual seconds, a dense launch schedule. Stats.Fingerprint hashes every
+// deterministic aggregate (control-loop switches, launches/kills, batch
+// accounting), so changes to the session RNG discipline, the stream
+// model, the coalesced int8 inference, the hysteresis manager, or the
+// emotional background manager all surface here. Regenerate with:
+//
+//	go test -run TestGoldenFleetFingerprint -v .
+const goldenFleetFingerprint = "86bd2910d9f47801feb9dbf0e75519c9bc60a32b2f61b99dbfebcbc996684b0c"
+
+func TestGoldenFleetFingerprint(t *testing.T) {
+	st, err := fleet.Run(fleet.Config{
+		Sessions:    120,
+		Shards:      8,
+		Ticks:       40,
+		Seed:        3,
+		LaunchEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Fingerprint()
+	t.Logf("fleet fingerprint %s", got)
+	if got != goldenFleetFingerprint {
+		t.Errorf("fleet fingerprint changed:\n  got  %s\n  want %s\n"+
+			"If the numeric change is intentional, update goldenFleetFingerprint.", got, goldenFleetFingerprint)
 	}
 }

@@ -1,0 +1,96 @@
+package affect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/nn"
+)
+
+func TestStreamModelDeterministicUnitNorm(t *testing.T) {
+	a, err := NewStreamModel(24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStreamModel(24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Protos) != emotion.NumLabels {
+		t.Fatalf("%d prototypes, want %d", len(a.Protos), emotion.NumLabels)
+	}
+	for l := range a.Protos {
+		var norm float64
+		for i, v := range a.Protos[l] {
+			if math.Float64bits(v) != math.Float64bits(b.Protos[l][i]) {
+				t.Fatalf("label %d coord %d differs across same-seed builds", l, i)
+			}
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Errorf("label %d prototype norm² %v, want 1", l, norm)
+		}
+	}
+	c, err := NewStreamModel(24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(c.Protos[0][0]) == math.Float64bits(a.Protos[0][0]) {
+		t.Error("different seeds produced identical prototypes")
+	}
+}
+
+func TestStreamModelClassifierConsistency(t *testing.T) {
+	const dim, noise = 24, 0.1
+	m, err := NewStreamModel(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := m.QuantizedClassifier(noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Layers[0].In; got != dim {
+		t.Fatalf("classifier input dim %d, want %d", got, dim)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var s nn.QScratch
+	x := make([]float64, dim)
+	out := make([]float64, emotion.NumLabels)
+	for _, label := range emotion.Labels() {
+		hits, trials := 0, 200
+		for i := 0; i < trials; i++ {
+			if err := m.Sample(x, label, noise, rng); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.InferBatch(&s, x, 1, out); err != nil {
+				t.Fatal(err)
+			}
+			if emotion.Label(nn.Argmax(out)) == label {
+				hits++
+			}
+		}
+		if frac := float64(hits) / float64(trials); frac < 0.95 {
+			t.Errorf("label %v: only %.0f%% of low-noise samples classify back", label, 100*frac)
+		}
+	}
+}
+
+func TestStreamModelValidation(t *testing.T) {
+	if _, err := NewStreamModel(1, 1); err == nil {
+		t.Error("dim 1 accepted")
+	}
+	m, err := NewStreamModel(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := m.Sample(make([]float64, 8), emotion.Label(99), 0.1, rng); err == nil {
+		t.Error("invalid label accepted")
+	}
+	if err := m.Sample(make([]float64, 7), emotion.Happy, 0.1, rng); err == nil {
+		t.Error("short destination accepted")
+	}
+}

@@ -304,3 +304,16 @@ func TestMemoryMetricsDetail(t *testing.T) {
 		t.Error("large-app workload should trigger memory kills")
 	}
 }
+
+func TestCatalogNames(t *testing.T) {
+	names := CatalogNames()
+	apps := Catalog()
+	if len(names) != len(apps) {
+		t.Fatalf("%d names, %d apps", len(names), len(apps))
+	}
+	for i, a := range apps {
+		if names[i] != a.Name {
+			t.Fatalf("name %d = %q, catalog order says %q", i, names[i], a.Name)
+		}
+	}
+}

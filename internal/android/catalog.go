@@ -113,6 +113,18 @@ func Catalog() []App {
 	return apps
 }
 
+// CatalogNames returns the installed app names in catalog order — a
+// stable, deterministic index for seeded workload generators (the fleet
+// simulator picks launch targets by indexing into this slice).
+func CatalogNames() []string {
+	apps := Catalog()
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
 // CatalogByName indexes the catalog.
 func CatalogByName() map[string]App {
 	out := map[string]App{}

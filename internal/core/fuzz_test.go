@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// FuzzObserve drives the Manager with arbitrary observation sequences —
+// any label (valid or not), any circumplex point (including NaN/±Inf
+// coordinates), any confidence (including NaN and out-of-range values) —
+// and checks the control-loop safety contract after every step:
+//
+//   - Observe never panics;
+//   - a rejected observation leaves the manager bit-identical (state,
+//     counters, history);
+//   - the attention state and mood are always valid and the commanded
+//     decoder mode is always the policy's mapping of the attention state;
+//   - history length always equals attention switches + mood switches.
+//
+// This target found a real bug: NaN confidence passed the `< 0 || > 1`
+// range check (NaN fails both comparisons) and was then treated as a
+// maximally trusted observation; NaN point coordinates similarly fell
+// through emotion.AttentionOf's comparison chain and read as Tense. Both
+// are now rejected before any state is touched.
+//
+// Input layout: byte 0 configures the manager (bits 0-2 hysteresis, bits
+// 3-4 MinConfidence), then 6-byte records (flags, confidence, valence,
+// arousal, dominance, time delta).
+func FuzzObserve(f *testing.F) {
+	f.Add([]byte{0x02, 0x00, 200, 0, 0, 0, 1})       // plain valid label obs
+	f.Add([]byte{0x0a, 0x01, 255, 0, 0, 0, 1})       // NaN confidence (the historical bug)
+	f.Add([]byte{0x03, 0x01, 220, 255, 253, 128, 5}) // point with NaN valence, -Inf arousal
+	f.Add([]byte{0x01, 0x1e, 180, 0, 0, 0, 2,        // invalid label 15
+		0x00, 210, 0, 0, 0, 3})
+	f.Add([]byte{0x13, // hysteresis 3, MinConfidence 0.3
+		0x01, 200, 40, 220, 128, 1,
+		0x01, 30, 40, 220, 128, 1, // discarded: below MinConfidence
+		0x01, 254, 40, 220, 128, 1, // +Inf confidence: rejected
+		0x01, 200, 40, 220, 128, 1,
+		0x01, 200, 40, 220, 128, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		cfg := DefaultManagerConfig()
+		cfg.Hysteresis = int(data[0] & 7) // 0 is clamped to 1 by NewManager
+		cfg.MinConfidence = float64(data[0]>>3&3) * 0.3
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatalf("config rejected: %v", err)
+		}
+		at := time.Duration(0)
+		for rec := data[1:]; len(rec) >= 6; rec = rec[6:] {
+			at += time.Duration(rec[5]) * time.Second
+			o := Observation{At: at, Confidence: fuzzFloat(rec[1], 220)}
+			if rec[0]&1 == 0 {
+				o.Label = emotion.Label(rec[0] >> 1 & 15)
+			} else {
+				o.HasPoint = true
+				o.Point = emotion.Point{
+					Valence:   fuzzCoord(rec[2]),
+					Arousal:   fuzzCoord(rec[3]),
+					Dominance: fuzzCoord(rec[4]),
+				}
+			}
+
+			type snap struct {
+				att              emotion.Attention
+				mood             emotion.Mood
+				mode             int
+				obs, disc        int
+				attS, moodS, mdS int
+				hist             int
+			}
+			take := func() snap {
+				s := snap{att: m.Attention(), mood: m.Mood(), mode: int(m.DecoderMode()), hist: len(m.Transitions())}
+				s.obs, s.disc = m.Stats()
+				s.attS, s.moodS, s.mdS = m.Switches()
+				return s
+			}
+			before := take()
+			switched, err := m.Observe(o)
+			after := take()
+
+			if err != nil {
+				if switched {
+					t.Fatalf("rejected observation reported a switch: %+v", o)
+				}
+				if before != after {
+					t.Fatalf("rejected observation mutated state:\n before %+v\n after  %+v\n obs %+v", before, after, o)
+				}
+				continue
+			}
+			if after.obs != before.obs+1 {
+				t.Fatalf("accepted observation not counted: %+v -> %+v", before, after)
+			}
+			if o.Confidence < cfg.MinConfidence && after.disc != before.disc+1 {
+				t.Fatalf("low-confidence observation not discarded: conf %g < %g", o.Confidence, cfg.MinConfidence)
+			}
+			if !m.Attention().Valid() || !m.Mood().Valid() {
+				t.Fatalf("invalid state after %+v: attention %v mood %v", o, m.Attention(), m.Mood())
+			}
+			if m.DecoderMode() != cfg.VideoPolicy[m.Attention()] {
+				t.Fatalf("mode %v violates policy for %v", m.DecoderMode(), m.Attention())
+			}
+			if switched == (before.attS == after.attS && before.moodS == after.moodS) {
+				t.Fatalf("switched=%v inconsistent with counters %+v -> %+v", switched, before, after)
+			}
+			if after.hist != after.attS+after.moodS {
+				t.Fatalf("history %d != attention %d + mood %d switches", after.hist, after.attS, after.moodS)
+			}
+		}
+	})
+}
+
+// fuzzFloat decodes a byte to a confidence-like float with NaN and ±Inf
+// escape values, spanning valid and out-of-range magnitudes.
+func fuzzFloat(b byte, scale float64) float64 {
+	switch b {
+	case 255:
+		return math.NaN()
+	case 254:
+		return math.Inf(1)
+	case 253:
+		return math.Inf(-1)
+	}
+	return float64(b) / scale // up to ~1.15: exercises the >1 rejection
+}
+
+// fuzzCoord decodes a byte to a circumplex coordinate in roughly [-1.3, 1.3]
+// with the same non-finite escapes.
+func fuzzCoord(b byte) float64 {
+	switch b {
+	case 255:
+		return math.NaN()
+	case 254:
+		return math.Inf(1)
+	case 253:
+		return math.Inf(-1)
+	}
+	return (float64(b) - 126) / 100
+}

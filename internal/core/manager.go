@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"affectedge/internal/emotion"
@@ -42,6 +43,10 @@ type ManagerConfig struct {
 	Hysteresis int
 	// MinConfidence discards observations below this confidence.
 	MinConfidence float64
+	// DisableHistory stops the manager from recording the Transitions
+	// slice. Long-lived sessions (fleet serving) set this so per-session
+	// memory stays bounded; the Switches counters remain available.
+	DisableHistory bool
 }
 
 // DefaultManagerConfig returns the paper's configuration.
@@ -77,6 +82,10 @@ type Manager struct {
 	transitions []Transition
 	observed    int
 	discarded   int
+
+	attnSwitches int
+	moodSwitches int
+	modeSwitches int
 }
 
 // NewManager returns a manager starting in the relaxed/calm state.
@@ -107,19 +116,24 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 // Observe feeds one classifier output and returns whether the manager
 // switched state.
 func (m *Manager) Observe(o Observation) (switched bool, err error) {
-	if o.Confidence < 0 || o.Confidence > 1 {
+	// NaN fails both range comparisons, so it must be rejected explicitly:
+	// an unchecked NaN confidence would sail past MinConfidence and count
+	// as a maximally trusted observation (found by FuzzObserve).
+	if math.IsNaN(o.Confidence) || o.Confidence < 0 || o.Confidence > 1 {
 		return false, fmt.Errorf("core: confidence %g outside [0,1]", o.Confidence)
 	}
-	m.observed++
-	mtr.observed.Inc()
-	if o.Confidence < m.cfg.MinConfidence {
-		m.discarded++
-		mtr.discarded.Inc()
-		return false, nil
-	}
+	// Validate the whole observation before touching any state so a
+	// rejected observation leaves the manager (and its counters) exactly
+	// as it was.
 	var att emotion.Attention
 	var mood emotion.Mood
 	if o.HasPoint {
+		// A classifier emitting NaN/Inf coordinates is broken; reject
+		// rather than let comparison-chain fallthrough pick an arbitrary
+		// attention state (NaN arousal previously read as Tense).
+		if !finitePoint(o.Point) {
+			return false, fmt.Errorf("core: non-finite circumplex point %+v", o.Point)
+		}
 		att = emotion.AttentionOf(o.Point)
 		mood = emotion.MoodOf(emotion.Nearest(o.Point))
 	} else {
@@ -129,9 +143,22 @@ func (m *Manager) Observe(o Observation) (switched bool, err error) {
 		att = emotion.AttentionOf(o.Label.Circumplex())
 		mood = emotion.MoodOf(o.Label)
 	}
+	m.observed++
+	mtr.observed.Inc()
+	if o.Confidence < m.cfg.MinConfidence {
+		m.discarded++
+		mtr.discarded.Inc()
+		return false, nil
+	}
 	switched = m.updateAttention(o.At, att) || switched
 	switched = m.updateMood(o.At, mood) || switched
 	return switched, nil
+}
+
+// finitePoint reports whether every coordinate is a finite float.
+func finitePoint(p emotion.Point) bool {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	return finite(p.Valence) && finite(p.Arousal) && finite(p.Dominance)
 }
 
 // updateAttention applies hysteresis to attention-state changes.
@@ -153,9 +180,13 @@ func (m *Manager) updateAttention(at time.Duration, att emotion.Attention) bool 
 	prevMode := m.mode
 	m.mode = m.cfg.VideoPolicy[att]
 	m.pendingCount = 0
-	m.transitions = append(m.transitions, Transition{At: at, Attention: att, Mood: m.mood, Mode: m.mode})
+	if !m.cfg.DisableHistory {
+		m.transitions = append(m.transitions, Transition{At: at, Attention: att, Mood: m.mood, Mode: m.mode})
+	}
+	m.attnSwitches++
 	mtr.attnSwitches.Inc()
 	if m.mode != prevMode {
+		m.modeSwitches++
 		mtr.modeSwitches.Inc()
 	}
 	return true
@@ -178,7 +209,10 @@ func (m *Manager) updateMood(at time.Duration, mood emotion.Mood) bool {
 	}
 	m.mood = mood
 	m.pendingMoodCount = 0
-	m.transitions = append(m.transitions, Transition{At: at, Attention: m.attention, Mood: mood, Mode: m.mode})
+	if !m.cfg.DisableHistory {
+		m.transitions = append(m.transitions, Transition{At: at, Attention: m.attention, Mood: mood, Mode: m.mode})
+	}
+	m.moodSwitches++
 	mtr.moodSwitches.Inc()
 	return true
 }
@@ -198,3 +232,10 @@ func (m *Manager) Transitions() []Transition { return m.transitions }
 // Stats returns (observations consumed, observations discarded for low
 // confidence).
 func (m *Manager) Stats() (observed, discarded int) { return m.observed, m.discarded }
+
+// Switches returns the committed state-change counts: attention switches,
+// mood switches, and the subset of attention switches that changed the
+// decoder mode. Available even with DisableHistory set.
+func (m *Manager) Switches() (attention, mood, mode int) {
+	return m.attnSwitches, m.moodSwitches, m.modeSwitches
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
+	"affectedge/internal/video"
+)
+
+// This file property-tests the Manager's hysteresis contract on generated
+// observation streams:
+//
+//  1. behavioral equivalence with an independent oracle model,
+//  2. no state switch without Hysteresis consecutive agreeing accepted
+//     observations,
+//  3. discarded (low-confidence) observations are inert: a stream and its
+//     accepted-only filtration drive bit-identical trajectories, and an
+//     all-low-confidence stream never switches at all,
+//  4. the commanded decoder mode is always the configured policy's output
+//     for the current (always valid) attention state.
+
+// oracle is an independent model of the documented control-loop semantics,
+// deliberately written in a different style from Manager (label/point
+// mapping is delegated to package emotion, which both share).
+type oracle struct {
+	cfg       ManagerConfig
+	attention emotion.Attention
+	mood      emotion.Mood
+
+	pendAtt   emotion.Attention
+	pendAttN  int
+	pendMood  emotion.Mood
+	pendMoodN int
+
+	attnSw, moodSw, modeSw int
+	observed, discarded    int
+}
+
+func newOracle(cfg ManagerConfig) *oracle {
+	return &oracle{cfg: cfg, attention: emotion.Relaxed, mood: emotion.CalmMood}
+}
+
+func (o *oracle) mode() h264.DecoderMode { return o.cfg.VideoPolicy[o.attention] }
+
+// observe mirrors Manager.Observe; returns (switched, rejected).
+func (o *oracle) observe(obs Observation) (bool, bool) {
+	bad := obs.Confidence != obs.Confidence || obs.Confidence < 0 || obs.Confidence > 1
+	if obs.HasPoint {
+		for _, v := range []float64{obs.Point.Valence, obs.Point.Arousal, obs.Point.Dominance} {
+			if v != v || math.IsInf(v, 0) {
+				bad = true
+			}
+		}
+	} else if !obs.Label.Valid() {
+		bad = true
+	}
+	if bad {
+		return false, true
+	}
+	o.observed++
+	if obs.Confidence < o.cfg.MinConfidence {
+		o.discarded++
+		return false, false
+	}
+	att, mood := classify(obs)
+	switched := false
+	if att == o.attention {
+		o.pendAttN = 0
+	} else {
+		if att != o.pendAtt {
+			o.pendAtt, o.pendAttN = att, 0
+		}
+		o.pendAttN++
+		if o.pendAttN >= o.cfg.Hysteresis {
+			prevMode := o.mode()
+			o.attention = att
+			o.pendAttN = 0
+			o.attnSw++
+			if o.mode() != prevMode {
+				o.modeSw++
+			}
+			switched = true
+		}
+	}
+	if mood == o.mood {
+		o.pendMoodN = 0
+	} else {
+		if mood != o.pendMood {
+			o.pendMood, o.pendMoodN = mood, 0
+		}
+		o.pendMoodN++
+		if o.pendMoodN >= o.cfg.Hysteresis {
+			o.mood = mood
+			o.pendMoodN = 0
+			o.moodSw++
+			switched = true
+		}
+	}
+	return switched, false
+}
+
+// classify maps a (valid) observation to its attention/mood the same way
+// both implementations do, via package emotion.
+func classify(o Observation) (emotion.Attention, emotion.Mood) {
+	if o.HasPoint {
+		return emotion.AttentionOf(o.Point), emotion.MoodOf(emotion.Nearest(o.Point))
+	}
+	return emotion.AttentionOf(o.Label.Circumplex()), emotion.MoodOf(o.Label)
+}
+
+// genStream produces a random observation stream with occasional invalid
+// entries disabled (validity is fuzz_test.go's job; properties here need
+// mostly accepted observations with a low-confidence mix).
+func genStream(rng *rand.Rand, n int, minConf float64) []Observation {
+	out := make([]Observation, n)
+	at := time.Duration(0)
+	for i := range out {
+		at += time.Duration(1+rng.Intn(30)) * time.Second
+		o := Observation{At: at}
+		if rng.Intn(2) == 0 {
+			o.Label = emotion.Label(rng.Intn(emotion.NumLabels))
+		} else {
+			o.HasPoint = true
+			o.Point = emotion.Point{
+				Valence:   rng.Float64()*2 - 1,
+				Arousal:   rng.Float64()*2 - 1,
+				Dominance: rng.Float64()*2 - 1,
+			}
+		}
+		if minConf > 0 && rng.Intn(4) == 0 {
+			o.Confidence = rng.Float64() * minConf * 0.99 // below threshold
+		} else {
+			o.Confidence = minConf + rng.Float64()*(1-minConf)
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func randomConfig(rng *rand.Rand) ManagerConfig {
+	cfg := DefaultManagerConfig()
+	cfg.Hysteresis = 1 + rng.Intn(4)
+	cfg.MinConfidence = [...]float64{0, 0.3, 0.6}[rng.Intn(3)]
+	return cfg
+}
+
+func TestPropertyManagerMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 200; iter++ {
+		cfg := randomConfig(rng)
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := newOracle(cfg)
+		stream := genStream(rng, 120, cfg.MinConfidence)
+		for i, o := range stream {
+			gotSw, err := m.Observe(o)
+			wantSw, rejected := orc.observe(o)
+			if rejected != (err != nil) {
+				t.Fatalf("iter %d obs %d: manager err=%v, oracle rejected=%v", iter, i, err, rejected)
+			}
+			if gotSw != wantSw {
+				t.Fatalf("iter %d obs %d: switched=%v, oracle %v", iter, i, gotSw, wantSw)
+			}
+			if m.Attention() != orc.attention || m.Mood() != orc.mood || m.DecoderMode() != orc.mode() {
+				t.Fatalf("iter %d obs %d: state (%v,%v,%v) diverged from oracle (%v,%v,%v)",
+					iter, i, m.Attention(), m.Mood(), m.DecoderMode(), orc.attention, orc.mood, orc.mode())
+			}
+		}
+		a, mo, md := m.Switches()
+		if a != orc.attnSw || mo != orc.moodSw || md != orc.modeSw {
+			t.Fatalf("iter %d: switches (%d,%d,%d), oracle (%d,%d,%d)", iter, a, mo, md, orc.attnSw, orc.moodSw, orc.modeSw)
+		}
+		obsN, disc := m.Stats()
+		if obsN != orc.observed || disc != orc.discarded {
+			t.Fatalf("iter %d: stats (%d,%d), oracle (%d,%d)", iter, obsN, disc, orc.observed, orc.discarded)
+		}
+	}
+}
+
+// TestPropertyHysteresisAgreement: every committed attention switch must be
+// preceded by exactly Hysteresis consecutive accepted observations mapping
+// to the new state.
+func TestPropertyHysteresisAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for iter := 0; iter < 200; iter++ {
+		cfg := randomConfig(rng)
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted []emotion.Attention // attention of each accepted observation
+		stream := genStream(rng, 150, cfg.MinConfidence)
+		for i, o := range stream {
+			prevAtt := m.Attention()
+			if _, err := m.Observe(o); err != nil {
+				t.Fatalf("iter %d obs %d: %v", iter, i, err)
+			}
+			if o.Confidence >= cfg.MinConfidence {
+				att, _ := classify(o)
+				accepted = append(accepted, att)
+			}
+			if newAtt := m.Attention(); newAtt != prevAtt {
+				if len(accepted) < cfg.Hysteresis {
+					t.Fatalf("iter %d obs %d: switch after only %d accepted observations (H=%d)",
+						iter, i, len(accepted), cfg.Hysteresis)
+				}
+				for _, a := range accepted[len(accepted)-cfg.Hysteresis:] {
+					if a != newAtt {
+						t.Fatalf("iter %d obs %d: switched to %v without %d consecutive agreements (window %v)",
+							iter, i, newAtt, cfg.Hysteresis, accepted[len(accepted)-cfg.Hysteresis:])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyDiscardedInert: a stream and its accepted-only filtration
+// drive identical trajectories (low confidence can never accelerate a
+// switch), and a uniformly low-confidence stream never switches.
+func TestPropertyDiscardedInert(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 150; iter++ {
+		cfg := randomConfig(rng)
+		if cfg.MinConfidence == 0 {
+			cfg.MinConfidence = 0.3
+		}
+		full, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := genStream(rng, 150, cfg.MinConfidence)
+		for _, o := range stream {
+			if _, err := full.Observe(o); err != nil {
+				t.Fatal(err)
+			}
+			if o.Confidence >= cfg.MinConfidence {
+				if _, err := filtered.Observe(o); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ft := full.Transitions()
+		gt := filtered.Transitions()
+		if len(ft) != len(gt) {
+			t.Fatalf("iter %d: %d transitions with discards present, %d without", iter, len(ft), len(gt))
+		}
+		for i := range ft {
+			if ft[i] != gt[i] {
+				t.Fatalf("iter %d transition %d: %+v != %+v", iter, i, ft[i], gt[i])
+			}
+		}
+
+		// All-low-confidence: no switches, everything discarded.
+		low, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range stream {
+			o.Confidence = cfg.MinConfidence / 2
+			if _, err := low.Observe(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a, mo, md := low.Switches(); a != 0 || mo != 0 || md != 0 {
+			t.Fatalf("iter %d: low-confidence stream switched (%d,%d,%d)", iter, a, mo, md)
+		}
+		obsN, disc := low.Stats()
+		if obsN != len(stream) || disc != len(stream) {
+			t.Fatalf("iter %d: low-confidence stats (%d,%d), want all %d discarded", iter, obsN, disc, len(stream))
+		}
+	}
+}
+
+// TestPropertyModeInPolicyRange: after every observation the commanded
+// mode is the policy's mapping of a valid attention state.
+func TestPropertyModeInPolicyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	alwaysStandard := video.ModePolicy{
+		emotion.Distracted:   h264.ModeStandard,
+		emotion.Relaxed:      h264.ModeStandard,
+		emotion.Concentrated: h264.ModeStandard,
+		emotion.Tense:        h264.ModeStandard,
+	}
+	policies := []video.ModePolicy{video.PaperPolicy(), alwaysStandard}
+	for iter := 0; iter < 150; iter++ {
+		cfg := randomConfig(rng)
+		cfg.VideoPolicy = policies[rng.Intn(len(policies))]
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allowed := map[h264.DecoderMode]bool{}
+		for _, mode := range cfg.VideoPolicy {
+			allowed[mode] = true
+		}
+		for i, o := range genStream(rng, 100, cfg.MinConfidence) {
+			if _, err := m.Observe(o); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Attention().Valid() {
+				t.Fatalf("iter %d obs %d: invalid attention %v", iter, i, m.Attention())
+			}
+			if !m.Mood().Valid() {
+				t.Fatalf("iter %d obs %d: invalid mood %v", iter, i, m.Mood())
+			}
+			if m.DecoderMode() != cfg.VideoPolicy[m.Attention()] {
+				t.Fatalf("iter %d obs %d: mode %v, policy says %v", iter, i, m.DecoderMode(), cfg.VideoPolicy[m.Attention()])
+			}
+			if !allowed[m.DecoderMode()] {
+				t.Fatalf("iter %d obs %d: mode %v outside policy range", iter, i, m.DecoderMode())
+			}
+		}
+	}
+}
+
+// TestDisableHistory: the history opt-out suppresses the Transitions slice
+// but leaves the trajectory and switch counters untouched.
+func TestDisableHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	cfg := DefaultManagerConfig()
+	withHist, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgNo := cfg
+	cfgNo.DisableHistory = true
+	noHist, err := NewManager(cfgNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range genStream(rng, 200, cfg.MinConfidence) {
+		s1, err := withHist.Observe(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := noHist.Observe(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 {
+			t.Fatalf("switch divergence with history disabled")
+		}
+	}
+	if len(noHist.Transitions()) != 0 {
+		t.Errorf("DisableHistory recorded %d transitions", len(noHist.Transitions()))
+	}
+	if len(withHist.Transitions()) == 0 {
+		t.Error("default config recorded no transitions (stream too tame for the test)")
+	}
+	a1, m1, d1 := withHist.Switches()
+	a2, m2, d2 := noHist.Switches()
+	if a1 != a2 || m1 != m2 || d1 != d2 {
+		t.Errorf("switch counters diverged: (%d,%d,%d) vs (%d,%d,%d)", a1, m1, d1, a2, m2, d2)
+	}
+	if a1 != len(withHist.Transitions())-m1 && a1+m1 != len(withHist.Transitions()) {
+		t.Errorf("transitions %d inconsistent with switches attn=%d mood=%d", len(withHist.Transitions()), a1, m1)
+	}
+}

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"affectedge/internal/parallel"
+)
+
+// BenchmarkFleetObserve measures the shard inference stage — classifying
+// every queued session observation — comparing one coalesced batched int8
+// evaluation against per-session serial evaluation of the same rows. This
+// is the stage sharding exists to amortize: per-evaluation setup (scratch
+// sizing, scale math, layer dispatch) is paid once per batch instead of
+// once per session. Results are bitwise identical either way (pinned by
+// TestDeterminismBatchedVsSerial); only throughput differs.
+func BenchmarkFleetObserve(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"coalesced", false},
+		{"serial", true},
+	} {
+		for _, rows := range []int{16, 128} {
+			b.Run(fmt.Sprintf("%s/rows=%d", mode.name, rows), func(b *testing.B) {
+				f, err := New(Config{
+					Sessions:    rows, // one shard: rows sessions per batch
+					Shards:      1,
+					Seed:        1,
+					SerialInfer: mode.serial,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sh := f.shards[0]
+				// Pre-synthesize the shard's feature matrix once; the
+				// benchmark then times classification alone.
+				dim := f.cfg.FeatureDim
+				sh.feat = growFloats(sh.feat, rows*dim)
+				for k, id := range sh.order {
+					s := sh.sessions[id]
+					if err := f.stream.Sample(sh.feat[k*dim:(k+1)*dim], s.latent, f.cfg.Noise, s.rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sh.infer(rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/observation")
+			})
+		}
+	}
+}
+
+// BenchmarkFleetTick prices the full observation round per session —
+// synthesis, classification, hysteresis control, launch schedule — at one
+// parallel worker, the end-to-end cost a capacity plan would use.
+func BenchmarkFleetTick(b *testing.B) {
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	for _, sessions := range []int{64, 512} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			f, err := New(Config{Sessions: sessions, Shards: 4, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Drive shard ticks directly: RunTicks would fold the
+				// O(sessions) stats snapshot into every iteration.
+				for _, sh := range f.shards {
+					if err := sh.tick(i); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sessions), "ns/observation")
+		})
+	}
+}
+
+// BenchmarkFleetStats prices the aggregate snapshot at population scale.
+func BenchmarkFleetStats(b *testing.B) {
+	f, err := New(Config{Sessions: 2000, Shards: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.Stats().Sessions != 2000 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,602 @@
+// Package fleet composes the repository's single-device closed loop into a
+// production-shaped serving layer: a sharded, lock-striped session manager
+// that runs thousands of simulated device sessions concurrently.
+//
+// Each session owns the full per-user control stack — a core.Manager with
+// hysteresis, decoder-mode selection, and an android.Device driven by the
+// Emotional Background Manager — while the expensive part of the loop,
+// affect classification, is *shared*: all inference requests arriving at a
+// shard are coalesced into one batched int8 nn.QMLP evaluation (qgemmNT),
+// amortizing the quantized kernels across users exactly the way a serving
+// host amortizes an accelerator.
+//
+// Two execution modes share the same session state:
+//
+//   - The deterministic simulation path (Run, sim.go): shards advance in
+//     lock-step ticks under the internal/parallel pool. Sessions are
+//     sub-seeded, shards only touch their own state, and aggregate stats
+//     merge in shard order, so a run is bit-identical at any worker count
+//     — the repository-wide determinism contract.
+//
+//   - The live serving path (Start/Observe/Close): each shard owns a
+//     bounded ingress queue and a worker goroutine. Observe never blocks:
+//     when a shard's queue is full the observation is dropped and counted
+//     (backpressure surfaces as ErrBackpressure). Close stops intake,
+//     drains every queue, and joins the workers.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affectedge/internal/affect"
+	"affectedge/internal/android"
+	"affectedge/internal/core"
+	"affectedge/internal/emotion"
+	"affectedge/internal/nn"
+	"affectedge/internal/obs"
+)
+
+// Sentinel errors of the serving API.
+var (
+	// ErrBackpressure reports a full shard ingress queue; the observation
+	// was dropped and counted, and the caller may retry later.
+	ErrBackpressure = errors.New("fleet: shard ingress queue full")
+	// ErrClosed reports an operation on a closed fleet.
+	ErrClosed = errors.New("fleet: closed")
+)
+
+// Config sizes the fleet. The zero value of every field except Sessions
+// has a sensible default; see Normalize.
+type Config struct {
+	// Sessions is the number of device sessions created up front (ids
+	// 0..Sessions-1). More can be added later with AddSession.
+	Sessions int
+	// Shards is the number of lock stripes / batching domains (default 8,
+	// clamped to Sessions when larger).
+	Shards int
+	// Ticks is the deterministic run length in observation rounds.
+	Ticks int
+	// TickEvery is the virtual time between observation rounds (default 1s).
+	TickEvery time.Duration
+	// Seed drives every session's sub-seeded RNG and the stream model.
+	Seed int64
+	// FeatureDim is the classifier input dimensionality (default 24).
+	FeatureDim int
+	// Noise is the feature jitter of the synthetic observation streams
+	// (default 0.15).
+	Noise float64
+	// SwitchEvery is the mean number of ticks between a session's latent
+	// emotion changes (default 25).
+	SwitchEvery int
+	// LaunchEvery is the mean number of ticks between a session's app
+	// launches (default 40).
+	LaunchEvery int
+	// QueueDepth bounds each shard's live ingress queue (default 1024).
+	QueueDepth int
+	// MaxBatch caps how many queued observations one live inference batch
+	// coalesces (default 256).
+	MaxBatch int
+	// Hysteresis and MinConfidence configure every session's manager
+	// (defaults from core.DefaultManagerConfig). Session managers always
+	// run with DisableHistory: per-session transition slices would grow
+	// without bound at fleet scale.
+	Hysteresis    int
+	MinConfidence float64
+	// Device configures every session's simulated phone (zero value:
+	// android.DefaultDeviceConfig).
+	Device android.DeviceConfig
+	// SerialInfer evaluates sessions one at a time instead of coalescing a
+	// shard's requests into one batched GEMM. Integer arithmetic is exact,
+	// so results are identical; only throughput changes. Used by the
+	// batching benchmarks and equivalence tests.
+	SerialInfer bool
+}
+
+// Normalize fills defaults and validates; returned config is self-contained.
+func (c Config) Normalize() (Config, error) {
+	if c.Sessions < 0 {
+		return c, fmt.Errorf("fleet: %d sessions", c.Sessions)
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Sessions > 0 && c.Shards > c.Sessions {
+		c.Shards = c.Sessions
+	}
+	if c.Ticks < 0 {
+		return c, fmt.Errorf("fleet: %d ticks", c.Ticks)
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = time.Second
+	}
+	if c.FeatureDim == 0 {
+		c.FeatureDim = 24
+	}
+	if c.FeatureDim < 2 {
+		return c, fmt.Errorf("fleet: feature dim %d, want >= 2", c.FeatureDim)
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.15
+	}
+	if c.Noise < 0 || c.Noise > 2 {
+		return c, fmt.Errorf("fleet: noise %g outside (0, 2]", c.Noise)
+	}
+	if c.SwitchEvery <= 0 {
+		c.SwitchEvery = 25
+	}
+	if c.LaunchEvery <= 0 {
+		c.LaunchEvery = 40
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = core.DefaultManagerConfig().Hysteresis
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = core.DefaultManagerConfig().MinConfidence
+	}
+	if c.MinConfidence < 0 || c.MinConfidence > 1 {
+		return c, fmt.Errorf("fleet: min confidence %g outside [0,1]", c.MinConfidence)
+	}
+	if c.Device.RAMBytes == 0 {
+		c.Device = android.DefaultDeviceConfig()
+	}
+	return c, nil
+}
+
+// session is one simulated device: its own control loop and phone, plus
+// the latent emotional state driving its synthetic observation stream.
+type session struct {
+	id  int
+	rng *rand.Rand
+	mgr *core.Manager
+	dev *android.Device
+
+	latent     emotion.Label
+	nextSwitch int
+	nextLaunch int
+}
+
+// request is one live-path observation travelling through a shard queue.
+type request struct {
+	id int
+	at time.Duration
+	x  []float64
+}
+
+// shard is one lock stripe: a slice of the session population plus the
+// scratch to classify all of it in one batched int8 evaluation.
+type shard struct {
+	f *Fleet
+
+	mu       sync.Mutex
+	sessions map[int]*session
+	order    []int // sorted ids: deterministic iteration
+
+	queue chan request
+
+	// Inference scratch, owned by whichever goroutine holds the shard
+	// (the tick driver or the shard worker — never both).
+	feat   []float64
+	logits []float64
+	qs     nn.QScratch
+	batch  []*session
+	ats    []time.Duration // live path: per-batch-row timestamps
+	reqs   []request
+
+	// Deterministic-path aggregation.
+	batches   int64
+	batchRows int64
+	maxRows   int
+
+	depth *obs.Gauge   // ingress high-water mark
+	drops *obs.Counter // per-shard drop counter
+}
+
+// Fleet is the sharded session manager.
+type Fleet struct {
+	cfg    Config
+	stream *affect.StreamModel
+	model  *nn.QMLP
+	apps   []string
+	policy android.KillPolicy // read-only, shared by every device
+	shards []*shard
+
+	base int // deterministic ticks already run (RunTicks continuation)
+
+	started atomic.Bool
+	closed  atomic.Bool
+	// lifeMu fences intake against Close: Observe enqueues under RLock,
+	// Close takes the write lock after flipping closed so every accepted
+	// observation is in a queue before the drain begins. Without it an
+	// enqueue could land after the workers exit and silently strand.
+	lifeMu sync.RWMutex
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	drops atomic.Int64 // live-path drops (backpressure)
+	late  atomic.Int64 // live-path requests for sessions removed in flight
+}
+
+// New builds the fleet: the shared stream model and its matched int8
+// classifier, the shards, and cfg.Sessions initial sessions. No goroutines
+// are started; use Run for the deterministic simulation or Start/Observe/
+// Close for live serving. Wire metrics (WireMetrics) before calling New so
+// per-shard gauges attach.
+func New(cfg Config) (*Fleet, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	stream, err := affect.NewStreamModel(cfg.FeatureDim, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	model, err := stream.QuantizedClassifier(cfg.Noise)
+	if err != nil {
+		return nil, err
+	}
+	table, err := android.AffectTableFromSubjects()
+	if err != nil {
+		return nil, err
+	}
+	policy, err := android.NewEmotionalPolicy(table)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		stream: stream,
+		model:  model,
+		apps:   android.CatalogNames(),
+		policy: policy,
+		shards: make([]*shard, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range f.shards {
+		f.shards[i] = &shard{
+			f:        f,
+			sessions: map[int]*session{},
+			queue:    make(chan request, cfg.QueueDepth),
+			depth:    mtr.shard(i).Gauge("queue_depth_high"),
+			drops:    mtr.shard(i).Counter("drops"),
+		}
+	}
+	for id := 0; id < cfg.Sessions; id++ {
+		if err := f.AddSession(id); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// shardOf stripes a session id onto its shard.
+func (f *Fleet) shardOf(id int) *shard { return f.shards[id%len(f.shards)] }
+
+// newSession builds a sub-seeded session. The RNG seed depends only on
+// the fleet seed and the session id — never on creation order or worker
+// scheduling — which is what makes N-worker runs bit-identical.
+func (f *Fleet) newSession(id int) (*session, error) {
+	mc := core.DefaultManagerConfig()
+	mc.Hysteresis = f.cfg.Hysteresis
+	mc.MinConfidence = f.cfg.MinConfidence
+	mc.DisableHistory = true
+	mgr, err := core.NewManager(mc)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := android.NewDevice(f.cfg.Device, f.policy)
+	if err != nil {
+		return nil, err
+	}
+	const golden = int64(-7046029254386353131) // 0x9E3779B97F4A7C15: splitmix64 increment
+	rng := rand.New(rand.NewSource(f.cfg.Seed ^ (golden * int64(id+1))))
+	s := &session{
+		id:     id,
+		rng:    rng,
+		mgr:    mgr,
+		dev:    dev,
+		latent: emotion.Label(rng.Intn(emotion.NumLabels)),
+	}
+	s.nextSwitch = 1 + rng.Intn(2*f.cfg.SwitchEvery)
+	s.nextLaunch = rng.Intn(2 * f.cfg.LaunchEvery)
+	return s, nil
+}
+
+// AddSession creates session id. Safe for concurrent use with the live
+// path; fails on duplicate ids or a closed fleet.
+func (f *Fleet) AddSession(id int) error {
+	if id < 0 {
+		return fmt.Errorf("fleet: session id %d", id)
+	}
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	s, err := f.newSession(id)
+	if err != nil {
+		return err
+	}
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.sessions[id]; dup {
+		return fmt.Errorf("fleet: duplicate session %d", id)
+	}
+	sh.sessions[id] = s
+	i := sort.SearchInts(sh.order, id)
+	sh.order = append(sh.order, 0)
+	copy(sh.order[i+1:], sh.order[i:])
+	sh.order[i] = id
+	mtr.added.Inc()
+	mtr.sessions.Add(1)
+	return nil
+}
+
+// RemoveSession tears down session id. Observations already queued for it
+// are skipped (and counted) when their batch drains.
+func (f *Fleet) RemoveSession(id int) error {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
+		return fmt.Errorf("fleet: unknown session %d", id)
+	}
+	delete(sh.sessions, id)
+	i := sort.SearchInts(sh.order, id)
+	sh.order = append(sh.order[:i], sh.order[i+1:]...)
+	mtr.removed.Inc()
+	mtr.sessions.Add(-1)
+	return nil
+}
+
+// Sessions returns the current session count.
+func (f *Fleet) Sessions() int {
+	n := 0
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Start launches one worker goroutine per shard for the live serving path.
+// Idempotent; returns ErrClosed after Close.
+func (f *Fleet) Start() error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	if !f.started.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, sh := range f.shards {
+		f.wg.Add(1)
+		go sh.serve()
+	}
+	return nil
+}
+
+// Observe submits one live observation (a FeatureDim-long feature vector)
+// for session id at virtual time at. It never blocks: a full shard queue
+// drops the observation, counts it, and returns ErrBackpressure. The
+// feature slice is copied; the caller may reuse x immediately.
+func (f *Fleet) Observe(id int, at time.Duration, x []float64) error {
+	f.lifeMu.RLock()
+	defer f.lifeMu.RUnlock()
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	if len(x) != f.cfg.FeatureDim {
+		return fmt.Errorf("fleet: observation dim %d, want %d", len(x), f.cfg.FeatureDim)
+	}
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: unknown session %d", id)
+	}
+	r := request{id: id, at: at, x: append([]float64(nil), x...)}
+	select {
+	case sh.queue <- r:
+		sh.depth.SetMax(int64(len(sh.queue)))
+		mtr.ingress.Inc()
+		return nil
+	default:
+		f.drops.Add(1)
+		sh.drops.Inc()
+		mtr.drops.Inc()
+		return ErrBackpressure
+	}
+}
+
+// Launch foregrounds an app on session id's device at virtual time at,
+// returning the simulated launch latency.
+func (f *Fleet) Launch(id int, at time.Duration, app string) (time.Duration, error) {
+	if f.closed.Load() {
+		return 0, ErrClosed
+	}
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
+	if !ok {
+		return 0, fmt.Errorf("fleet: unknown session %d", id)
+	}
+	return s.dev.Launch(at, app)
+}
+
+// Close stops intake, drains every shard queue, and joins the workers.
+// Graceful and idempotent: observations accepted before Close are still
+// classified and applied.
+func (f *Fleet) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Wait out in-flight Observes: once the write lock is acquired, every
+	// accepted observation sits in a shard queue and the drain will see it.
+	f.lifeMu.Lock()
+	f.lifeMu.Unlock() //nolint:staticcheck // empty critical section is the fence
+	close(f.stop)
+	f.wg.Wait()
+	return nil
+}
+
+// serve is the live shard worker: block for one request, then coalesce
+// everything else already queued (up to MaxBatch) into a single batched
+// int8 evaluation.
+func (sh *shard) serve() {
+	defer sh.f.wg.Done()
+	for {
+		select {
+		case r := <-sh.queue:
+			sh.coalesce(r)
+		case <-sh.f.stop:
+			for { // drain: accepted observations are never discarded
+				select {
+				case r := <-sh.queue:
+					sh.coalesce(r)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// coalesce gathers queued requests behind first and processes them as one
+// batch.
+func (sh *shard) coalesce(first request) {
+	reqs := append(sh.reqs[:0], first)
+	for len(reqs) < sh.f.cfg.MaxBatch {
+		select {
+		case r := <-sh.queue:
+			reqs = append(reqs, r)
+		default:
+			goto full
+		}
+	}
+full:
+	sh.reqs = reqs[:0] // retain capacity for the next batch
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dim := sh.f.cfg.FeatureDim
+	sh.batch = sh.batch[:0]
+	sh.ats = sh.ats[:0]
+	sh.feat = growFloats(sh.feat, len(reqs)*dim)
+	m := 0
+	for _, r := range reqs {
+		s, ok := sh.sessions[r.id]
+		if !ok {
+			// Removed while queued: the request outlived its session.
+			sh.f.late.Add(1)
+			mtr.lateDrops.Inc()
+			continue
+		}
+		copy(sh.feat[m*dim:(m+1)*dim], r.x)
+		sh.batch = append(sh.batch, s)
+		sh.ats = append(sh.ats, r.at)
+		m++
+	}
+	if m == 0 {
+		return
+	}
+	if err := sh.infer(m); err != nil {
+		// The model and dimensions are fixed at New; an inference error
+		// here is a programming error, not load-dependent.
+		panic(fmt.Sprintf("fleet: live inference: %v", err))
+	}
+	classes := len(sh.f.stream.Protos)
+	for k, s := range sh.batch {
+		if err := sh.applyRow(s, sh.ats[k], sh.logits[k*classes:(k+1)*classes]); err != nil {
+			panic(fmt.Sprintf("fleet: apply: %v", err))
+		}
+	}
+}
+
+// infer classifies the first m feature rows in sh.feat into sh.logits —
+// one coalesced batched evaluation, or m single-row evaluations when
+// SerialInfer is set (bit-identical results; integer arithmetic is exact).
+func (sh *shard) infer(m int) error {
+	dim := sh.f.cfg.FeatureDim
+	classes := len(sh.f.stream.Protos)
+	sh.logits = growFloats(sh.logits, m*classes)
+	if sh.f.cfg.SerialInfer {
+		for k := 0; k < m; k++ {
+			if err := sh.f.model.InferBatch(&sh.qs, sh.feat[k*dim:(k+1)*dim], 1, sh.logits[k*classes:(k+1)*classes]); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := sh.f.model.InferBatch(&sh.qs, sh.feat[:m*dim], m, sh.logits[:m*classes]); err != nil {
+			return err
+		}
+	}
+	sh.batches++
+	sh.batchRows += int64(m)
+	if m > sh.maxRows {
+		sh.maxRows = m
+	}
+	mtr.batches.Inc()
+	mtr.batchRows.Observe(int64(m))
+	return nil
+}
+
+// applyRow feeds one classified observation into the session's control
+// loop: hysteresis, decoder mode, and the device's mood for the EBM.
+func (sh *shard) applyRow(s *session, at time.Duration, logits []float64) error {
+	label := emotion.Label(nn.Argmax(logits))
+	switched, err := s.mgr.Observe(core.Observation{
+		At:         at,
+		Label:      label,
+		Confidence: confidence(logits),
+	})
+	if err != nil {
+		return err
+	}
+	if switched {
+		if err := s.dev.SetMood(s.mgr.Mood()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// confidence maps classifier logits to [0,1) via the top-2 margin:
+// ambiguous observations (small margin) land below MinConfidence and are
+// absorbed by the manager's discard path, mirroring how a deployed
+// classifier's softmax confidence gates the control loop.
+func confidence(logits []float64) float64 {
+	if len(logits) < 2 {
+		return 1
+	}
+	top, second := math.Inf(-1), math.Inf(-1)
+	for _, v := range logits {
+		if v > top {
+			top, second = v, top
+		} else if v > second {
+			second = v
+		}
+	}
+	m := top - second
+	return m / (1 + m)
+}
+
+// growFloats is append-free scratch sizing (contents unspecified).
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

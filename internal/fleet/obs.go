@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"fmt"
+
+	"affectedge/internal/obs"
+)
+
+// metrics holds the package's zero-allocation instrument handles. All
+// handles are nil until WireMetrics runs, and every obs method is a no-op
+// on nil receivers, so unwired fleets pay a single predictable branch.
+type metrics struct {
+	scope     *obs.Scope
+	sessions  *obs.Gauge     // current session population
+	added     *obs.Counter   // AddSession successes
+	removed   *obs.Counter   // RemoveSession successes
+	ingress   *obs.Counter   // live observations accepted into a queue
+	drops     *obs.Counter   // live observations dropped (backpressure)
+	lateDrops *obs.Counter   // queued observations whose session was removed
+	batches   *obs.Counter   // inference rounds (batched or serial)
+	batchRows *obs.Histogram // rows coalesced per inference round
+}
+
+var mtr metrics
+
+// WireMetrics attaches the fleet package to an observability scope.
+// Call before New: per-shard instruments (queue-depth high-water gauges,
+// drop counters, named "shardNN.*" under nested scopes) are created when
+// the fleet is built.
+func WireMetrics(s *obs.Scope) {
+	mtr.scope = s
+	mtr.sessions = s.Gauge("sessions")
+	mtr.added = s.Counter("sessions_added")
+	mtr.removed = s.Counter("sessions_removed")
+	mtr.ingress = s.Counter("ingress")
+	mtr.drops = s.Counter("drops")
+	mtr.lateDrops = s.Counter("late_drops")
+	mtr.batches = s.Counter("batches")
+	mtr.batchRows = s.Histogram("batch_rows", obs.ExponentialBuckets(1, 2, 10))
+}
+
+// shard returns the nested per-shard scope ("<scope>.shardNN."); nil when
+// metrics are unwired, which nil-safe handles absorb.
+func (m *metrics) shard(i int) *obs.Scope {
+	return m.scope.Scope(fmt.Sprintf("shard%02d", i))
+}

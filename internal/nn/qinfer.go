@@ -243,6 +243,95 @@ func (q *QMLP) PredictClass(x *Tensor) (int, error) {
 	return Argmax(logits), nil
 }
 
+// dequantLogitsInto dequantizes m rows of final-layer accumulators into
+// float logits — the single float conversion of the integer pipeline.
+func (l *QDense) dequantLogitsInto(out []float64, acc []int32, m int) {
+	for p, a := range acc[:m*l.Out] {
+		// Dequantize the final logits exactly once.
+		v := float64(a) * l.InScale * l.WScale
+		if l.ReLU && v < 0 {
+			v = 0
+		}
+		out[p] = v
+	}
+}
+
+// requantInto requantizes m rows of int32 accumulators to the next layer's
+// int8 activation scale, folding in the layer's ReLU.
+func (l *QDense) requantInto(next []int8, acc []int32, m int) {
+	// Requantization multiplier: accumulator scale -> out scale.
+	mult := l.InScale * l.WScale / l.OutScale
+	for p, a := range acc[:m*l.Out] {
+		r := math.Round(float64(a) * mult)
+		if l.ReLU && r < 0 {
+			r = 0
+		}
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		next[p] = int8(r)
+	}
+}
+
+// QScratch holds the reusable buffers of batched integer inference. Buffers
+// grow on demand and are retained across calls, so a steady-state serving
+// loop performs zero allocations. A QScratch must not be shared between
+// concurrent InferBatch calls; give each goroutine (or shard) its own.
+type QScratch struct {
+	cur, next []int8
+	acc       []int32
+}
+
+// InferBatch runs the integer pipeline on m input rows packed row-major in
+// x (each row Layers[0].In floats) and writes m×classes float logits into
+// out. One qgemmNT call per layer amortizes the weight traversal across
+// all rows; integer arithmetic is exact and the dequantization applies the
+// same float expressions as Infer, so results are bit-identical to calling
+// Infer once per row. s may be nil (a temporary scratch is allocated).
+func (q *QMLP) InferBatch(s *QScratch, x []float64, m int, out []float64) error {
+	if len(q.Layers) == 0 {
+		return fmt.Errorf("nn: empty quantized network")
+	}
+	if m <= 0 {
+		return fmt.Errorf("nn: batch size %d, want > 0", m)
+	}
+	in0 := q.Layers[0].In
+	if len(x) != m*in0 {
+		return fmt.Errorf("nn: batch input %d floats, want %d (m=%d × in=%d)", len(x), m*in0, m, in0)
+	}
+	classes := q.Layers[len(q.Layers)-1].Out
+	if len(out) < m*classes {
+		return fmt.Errorf("nn: batch output %d floats, want >= %d (m=%d × classes=%d)", len(out), m*classes, m, classes)
+	}
+	if s == nil {
+		s = &QScratch{}
+	}
+	s.cur = growI8(s.cur, m*in0)
+	for k := 0; k < m; k++ {
+		quantizeActivationsInto(s.cur[k*in0:(k+1)*in0], x[k*in0:(k+1)*in0], q.InputScale)
+	}
+	width := in0
+	for li, l := range q.Layers {
+		if width != l.In {
+			return fmt.Errorf("nn: layer %d input %d, want %d", li, width, l.In)
+		}
+		s.acc = growI32(s.acc, m*l.Out)
+		qgemmNT(s.acc, s.cur, l.WQ, l.BQ, m, l.In, l.Out)
+		if li == len(q.Layers)-1 {
+			l.dequantLogitsInto(out, s.acc, m)
+			return nil
+		}
+		s.next = growI8(s.next, m*l.Out)
+		l.requantInto(s.next, s.acc, m)
+		s.cur, s.next = s.next, s.cur
+		width = l.Out
+	}
+	return fmt.Errorf("nn: unreachable")
+}
+
 // Evaluate returns integer-pipeline accuracy on examples. Examples are
 // processed in chunks of evalChunk with one int32-accumulator GEMM per
 // layer (qgemmNT) instead of per-example dot products; integer arithmetic
@@ -282,32 +371,11 @@ func (q *QMLP) Evaluate(examples []Example) (float64, error) {
 			qgemmNT(acc, cur, l.WQ, l.BQ, m, l.In, l.Out)
 			if li == len(q.Layers)-1 {
 				logits = growF64(logits, m*l.Out)
-				for p, a := range acc[:m*l.Out] {
-					// Dequantize the final logits exactly once.
-					v := float64(a) * l.InScale * l.WScale
-					if l.ReLU && v < 0 {
-						v = 0
-					}
-					logits[p] = v
-				}
+				l.dequantLogitsInto(logits, acc, m)
 				break
 			}
 			next = growI8(next, m*l.Out)
-			// Requantization multiplier: accumulator scale -> out scale.
-			mult := l.InScale * l.WScale / l.OutScale
-			for p, a := range acc[:m*l.Out] {
-				r := math.Round(float64(a) * mult)
-				if l.ReLU && r < 0 {
-					r = 0
-				}
-				if r > 127 {
-					r = 127
-				}
-				if r < -128 {
-					r = -128
-				}
-				next[p] = int8(r)
-			}
+			l.requantInto(next, acc, m)
 			cur, next = next, cur
 			width = l.Out
 		}

@@ -156,6 +156,112 @@ func TestQMLPInputValidation(t *testing.T) {
 	}
 }
 
+func TestQMLPInferBatchMatchesInfer(t *testing.T) {
+	net, train, test := trainedMLP(t)
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Layers[0].In
+	classes := q.Layers[len(q.Layers)-1].Out
+	for _, m := range []int{1, 3, len(test)} {
+		x := make([]float64, m*in)
+		for k := 0; k < m; k++ {
+			copy(x[k*in:(k+1)*in], test[k].X.Data)
+		}
+		out := make([]float64, m*classes)
+		var s QScratch
+		if err := q.InferBatch(&s, x, m, out); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < m; k++ {
+			want, err := q.Infer(test[k].X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range want {
+				if math.Float64bits(out[k*classes+c]) != math.Float64bits(want[c]) {
+					t.Fatalf("m=%d row %d logit %d: batch %v != infer %v", m, k, c, out[k*classes+c], want[c])
+				}
+			}
+		}
+	}
+}
+
+func TestQMLPInferBatchScratchReuse(t *testing.T) {
+	net, train, test := trainedMLP(t)
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Layers[0].In
+	classes := q.Layers[len(q.Layers)-1].Out
+	m := 8
+	x := make([]float64, m*in)
+	for k := 0; k < m; k++ {
+		copy(x[k*in:(k+1)*in], test[k%len(test)].X.Data)
+	}
+	out := make([]float64, m*classes)
+	var s QScratch
+	if err := q.InferBatch(&s, x, m, out); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := q.InferBatch(&s, x, m, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state InferBatch allocates %.1f objects/run, want 0", allocs)
+	}
+	// nil scratch allocates internally but must still be correct.
+	out2 := make([]float64, m*classes)
+	if err := q.InferBatch(nil, x, m, out2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if math.Float64bits(out[i]) != math.Float64bits(out2[i]) {
+			t.Fatalf("nil-scratch logit %d differs: %v vs %v", i, out2[i], out[i])
+		}
+	}
+}
+
+func TestQMLPInferBatchValidation(t *testing.T) {
+	net, train, _ := trainedMLP(t)
+	st, err := CalibrateMLP(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQMLP(net, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Layers[0].In
+	classes := q.Layers[len(q.Layers)-1].Out
+	var s QScratch
+	if err := q.InferBatch(&s, make([]float64, in), 0, make([]float64, classes)); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if err := q.InferBatch(&s, make([]float64, in+1), 1, make([]float64, classes)); err == nil {
+		t.Error("wrong input length accepted")
+	}
+	if err := q.InferBatch(&s, make([]float64, in), 1, make([]float64, classes-1)); err == nil {
+		t.Error("short output accepted")
+	}
+	empty := &QMLP{}
+	if err := empty.InferBatch(&s, nil, 1, nil); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
 func BenchmarkQMLPInfer(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	net := NewSequential(

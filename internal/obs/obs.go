@@ -192,6 +192,17 @@ func SizeBuckets() []int64 {
 	return out
 }
 
+// ExponentialBuckets returns n buckets start, start*factor, ...
+func ExponentialBuckets(start, factor int64, n int) []int64 {
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // LinearBuckets returns n buckets start, start+step, ...
 func LinearBuckets(start, step int64, n int) []int64 {
 	out := make([]int64, n)
@@ -341,6 +352,17 @@ func (s *Scope) Histogram(name string, bounds []int64) *Histogram {
 		return nil
 	}
 	return s.r.Histogram(s.prefix+name, bounds)
+}
+
+// Scope returns a nested scope: metrics registered through it carry the
+// "parent.child." prefix. Sharded subsystems use this to hand each shard
+// its own metric namespace ("fleet.shard03.queue_depth") while keeping a
+// single wire-up point. A nil scope nests to nil.
+func (s *Scope) Scope(prefix string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{r: s.r, prefix: s.prefix + prefix + "."}
 }
 
 // CounterSnap is one counter in a snapshot.

@@ -191,3 +191,24 @@ func TestBucketHelpers(t *testing.T) {
 		t.Fatalf("LinearBuckets = %v", lb)
 	}
 }
+
+func TestNestedScope(t *testing.T) {
+	reg := NewRegistry()
+	shard := reg.Scope("fleet").Scope("shard03")
+	shard.Counter("drops").Add(4)
+	shard.Gauge("queue_depth").Set(9)
+	snap := reg.Snapshot()
+	if got := snap.Counter("fleet.shard03.drops"); got != 4 {
+		t.Errorf("nested counter = %d, want 4", got)
+	}
+	if got := snap.Gauge("fleet.shard03.queue_depth"); got != 9 {
+		t.Errorf("nested gauge = %d, want 9", got)
+	}
+	var nilScope *Scope
+	if nested := nilScope.Scope("x"); nested != nil {
+		t.Error("nil scope nested to non-nil")
+	}
+	if nilScope.Scope("x").Counter("c") != nil {
+		t.Error("nil nested scope handed out live counter")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"affectedge/internal/affect"
 	"affectedge/internal/android"
 	"affectedge/internal/core"
+	"affectedge/internal/fleet"
 	"affectedge/internal/h264"
 	"affectedge/internal/nn"
 	"affectedge/internal/obs"
@@ -22,7 +23,7 @@ type MetricsRegistry = obs.Registry
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // WireMetrics routes every subsystem's instrumentation into reg under the
-// scopes affect, nn, h264, core, and android. Pass nil to unwire (the
+// scopes affect, nn, h264, core, android, and fleet. Pass nil to unwire (the
 // default state): unwired instrumentation is a nil-check and costs
 // nothing.
 //
@@ -35,6 +36,7 @@ func WireMetrics(reg *MetricsRegistry) {
 	h264.WireMetrics(reg.Scope("h264"))
 	core.WireMetrics(reg.Scope("core"))
 	android.WireMetrics(reg.Scope("android"))
+	fleet.WireMetrics(reg.Scope("fleet"))
 }
 
 // DumpMetrics writes reg's snapshot as indented JSON to path; "-" writes
