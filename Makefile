@@ -57,7 +57,7 @@ bench:
 # first free n, so the perf trajectory accumulates across PRs.
 bench-json:
 	n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ \
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ ./internal/h264/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$n.json; \
 	echo "wrote BENCH_$$n.json"
 

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	videosim [-frames N] [-qp N] [-sth N] [-f N] [-seed N] [-metrics path]
+//	videosim [-frames N] [-qp N] [-sth N] [-f N] [-seed N] [-workers N] [-metrics path]
 //
 // -metrics dumps the decoder observability snapshot (NAL units seen and
 // dropped, bytes skipped, deblock transitions, pre-store high water) as
-// JSON after the run; "-" writes to stdout.
+// JSON after the run; "-" writes to stdout. -workers sizes the worker
+// pool the four operating modes decode on; output is byte-identical at
+// any worker count (0 keeps the default pool size).
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"affectedge"
 	"affectedge/internal/h264"
+	"affectedge/internal/parallel"
 )
 
 func main() {
@@ -30,7 +33,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "video seed")
 	breakdown := flag.Bool("breakdown", false, "print the per-component power breakdown of standard mode")
 	metrics := flag.String("metrics", "", `write a JSON metrics dump here after the run ("-" = stdout)`)
+	workers := flag.Int("workers", 0, "worker pool size for per-mode parallel decode (0 = default)")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var reg *affectedge.MetricsRegistry
 	if *metrics != "" {

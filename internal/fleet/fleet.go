@@ -39,6 +39,7 @@ import (
 	"affectedge/internal/android"
 	"affectedge/internal/core"
 	"affectedge/internal/emotion"
+	"affectedge/internal/h264"
 	"affectedge/internal/nn"
 	"affectedge/internal/obs"
 )
@@ -97,6 +98,17 @@ type Config struct {
 	// so results are identical; only throughput changes. Used by the
 	// batching benchmarks and equivalence tests.
 	SerialInfer bool
+	// VideoEvery, when positive, gives every session a video workload on
+	// the deterministic path: each VideoEvery ticks the session decodes the
+	// shared probe clip in its manager's current decoder operating mode
+	// (Input Selector plus deblocking knob), on the shard's pooled decoder.
+	// 0 disables the probe. The probe reads session state but never writes
+	// it, so fingerprints are identical with the probe on or off.
+	VideoEvery int
+	// VideoFrames is the probe clip length in frames (default 6). The clip
+	// is generated and encoded once at New, the per-mode Input Selector
+	// passes are pre-applied, and every shard decodes the shared streams.
+	VideoFrames int
 }
 
 // Normalize fills defaults and validates; returned config is self-contained.
@@ -152,6 +164,12 @@ func (c Config) Normalize() (Config, error) {
 	if c.Device.RAMBytes == 0 {
 		c.Device = android.DefaultDeviceConfig()
 	}
+	if c.VideoEvery < 0 {
+		return c, fmt.Errorf("fleet: video probe every %d ticks", c.VideoEvery)
+	}
+	if c.VideoFrames <= 0 {
+		c.VideoFrames = 6
+	}
 	return c, nil
 }
 
@@ -195,10 +213,20 @@ type shard struct {
 	ats    []time.Duration // live path: per-batch-row timestamps
 	reqs   []request
 
+	// Video probe scratch (deterministic path; owned by the goroutine
+	// holding the shard). One pooled decoder per shard decodes every
+	// session's probe, so steady state runs with zero plane allocations.
+	vdec    *h264.Decoder
+	vpool   *h264.FramePool
+	vframes []*h264.Frame
+
 	// Deterministic-path aggregation.
-	batches   int64
-	batchRows int64
-	maxRows   int
+	batches        int64
+	batchRows      int64
+	maxRows        int
+	videoDecodes   int64
+	videoFrames    int64
+	videoConcealed int64
 
 	depth *obs.Gauge   // ingress high-water mark
 	drops *obs.Counter // per-shard drop counter
@@ -214,6 +242,12 @@ type Fleet struct {
 	shards []*shard
 
 	base int // deterministic ticks already run (RunTicks continuation)
+
+	// Video probe: the calibration clip encoded once at New, with the
+	// Input Selector pre-applied per decoder mode, so per-session probes
+	// are pure decode work. Empty unless cfg.VideoEvery > 0.
+	videoStreams [h264.NumModes][]byte
+	videoTotal   int // display-timeline frame count of the probe clip
 
 	started atomic.Bool
 	closed  atomic.Bool
@@ -271,6 +305,11 @@ func New(cfg Config) (*Fleet, error) {
 			queue:    make(chan request, cfg.QueueDepth),
 			depth:    mtr.shard(i).Gauge("queue_depth_high"),
 			drops:    mtr.shard(i).Counter("drops"),
+		}
+	}
+	if cfg.VideoEvery > 0 {
+		if err := f.buildVideoProbe(); err != nil {
+			return nil, err
 		}
 	}
 	for id := 0; id < cfg.Sessions; id++ {

@@ -314,11 +314,11 @@ func TestConfidenceMargin(t *testing.T) {
 		logits []float64
 		want   float64
 	}{
-		{[]float64{1, 1}, 0},       // tie: fully ambiguous
-		{[]float64{2, 1}, 0.5},     // margin 1
-		{[]float64{5}, 1},          // degenerate single class
-		{[]float64{3, 1, 2}, 0.5},  // margin is top-2, not top-vs-last
-		{[]float64{0, -4}, 0.8},    // margin 4
+		{[]float64{1, 1}, 0},      // tie: fully ambiguous
+		{[]float64{2, 1}, 0.5},    // margin 1
+		{[]float64{5}, 1},         // degenerate single class
+		{[]float64{3, 1, 2}, 0.5}, // margin is top-2, not top-vs-last
+		{[]float64{0, -4}, 0.8},   // margin 4
 	} {
 		if got := confidence(tc.logits); got != tc.want {
 			t.Errorf("confidence(%v) = %v, want %v", tc.logits, got, tc.want)

@@ -10,15 +10,16 @@ import (
 // handles are nil until WireMetrics runs, and every obs method is a no-op
 // on nil receivers, so unwired fleets pay a single predictable branch.
 type metrics struct {
-	scope     *obs.Scope
-	sessions  *obs.Gauge     // current session population
-	added     *obs.Counter   // AddSession successes
-	removed   *obs.Counter   // RemoveSession successes
-	ingress   *obs.Counter   // live observations accepted into a queue
-	drops     *obs.Counter   // live observations dropped (backpressure)
-	lateDrops *obs.Counter   // queued observations whose session was removed
-	batches   *obs.Counter   // inference rounds (batched or serial)
-	batchRows *obs.Histogram // rows coalesced per inference round
+	scope        *obs.Scope
+	sessions     *obs.Gauge     // current session population
+	added        *obs.Counter   // AddSession successes
+	removed      *obs.Counter   // RemoveSession successes
+	ingress      *obs.Counter   // live observations accepted into a queue
+	drops        *obs.Counter   // live observations dropped (backpressure)
+	lateDrops    *obs.Counter   // queued observations whose session was removed
+	batches      *obs.Counter   // inference rounds (batched or serial)
+	batchRows    *obs.Histogram // rows coalesced per inference round
+	videoDecodes *obs.Counter   // per-session probe clip decodes
 }
 
 var mtr metrics
@@ -37,6 +38,7 @@ func WireMetrics(s *obs.Scope) {
 	mtr.lateDrops = s.Counter("late_drops")
 	mtr.batches = s.Counter("batches")
 	mtr.batchRows = s.Histogram("batch_rows", obs.ExponentialBuckets(1, 2, 10))
+	mtr.videoDecodes = s.Counter("video_decodes")
 }
 
 // shard returns the nested per-shard scope ("<scope>.shardNN."); nil when

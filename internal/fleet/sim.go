@@ -50,15 +50,28 @@ type Stats struct {
 	Drops        int64 `json:"drops"`
 	LateDrops    int64 `json:"late_drops"`
 
+	// Video probe plane (deterministic runs with Config.VideoEvery > 0).
+	// VideoDecodes counts per-session probe decodes, VideoFrames the
+	// frames they produced (decoded plus concealed), and VideoConcealed
+	// the concealed subset. Deterministic, but excluded from Fingerprint:
+	// the fingerprint field list is frozen by pinned golden values, and
+	// the probe never writes session state, so runs differing only in
+	// VideoEvery fingerprint identically (see TestVideoProbeTransparent).
+	VideoDecodes   int64 `json:"video_decodes"`
+	VideoFrames    int64 `json:"video_frames"`
+	VideoConcealed int64 `json:"video_concealed"`
+
 	// WallTime is real elapsed time; excluded from Fingerprint.
 	WallTime time.Duration `json:"wall_time_ns"`
 }
 
-// Fingerprint hashes every deterministic field, little-endian, in struct
-// order. Two runs with the same Config produce the same fingerprint at any
-// parallel.SetWorkers count and with either inference granularity
-// (Config.SerialInfer) — the integer kernels make batched and serial
-// evaluation bitwise identical.
+// Fingerprint hashes the frozen deterministic field list, little-endian,
+// in struct order. Two runs with the same Config produce the same
+// fingerprint at any parallel.SetWorkers count and with either inference
+// granularity (Config.SerialInfer) — the integer kernels make batched and
+// serial evaluation bitwise identical. WallTime and the video probe
+// counters stay outside the hash: the list was frozen before the probe
+// existed, and the probe is read-only on fingerprinted state.
 func (s *Stats) Fingerprint() string {
 	h := sha256.New()
 	var b [8]byte
@@ -163,6 +176,11 @@ func (sh *shard) tick(t int) error {
 			return err
 		}
 	}
+	if ve := sh.f.cfg.VideoEvery; ve > 0 && (t+1)%ve == 0 {
+		if err := sh.probeVideo(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -210,6 +228,9 @@ func (f *Fleet) Stats() *Stats {
 		if sh.maxRows > st.MaxBatchRows {
 			st.MaxBatchRows = sh.maxRows
 		}
+		st.VideoDecodes += sh.videoDecodes
+		st.VideoFrames += sh.videoFrames
+		st.VideoConcealed += sh.videoConcealed
 		for _, id := range sh.order {
 			s := sh.sessions[id]
 			observed, discarded := s.mgr.Stats()

@@ -1,0 +1,275 @@
+package h264
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the word-level BitReader/BitWriter against the
+// retained scalar reference implementations. The fast path is only
+// acceptable if it is bit-identical — same bytes out of the writer, same
+// values and same positions out of the reader, including after errors.
+
+// TestWriterDifferential drives both writers through identical random
+// operation sequences and requires identical output bytes (aligned and
+// trailing forms) at every step boundary.
+func TestWriterDifferential(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewBitWriter()
+		ref := &refBitWriter{}
+		nops := 1 + rng.Intn(200)
+		for i := 0; i < nops; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				b := uint(rng.Intn(2))
+				w.WriteBit(b)
+				ref.WriteBit(b)
+			case 1:
+				n := rng.Intn(65)
+				v := rng.Uint64()
+				if err := w.WriteBits(v, n); err != nil {
+					t.Fatalf("seed %d op %d: WriteBits(%d): %v", seed, i, n, err)
+				}
+				ref.WriteBits(v, n)
+			case 2:
+				v := rng.Uint32()
+				if rng.Intn(2) == 0 {
+					v %= 64 // mostly short codes
+				}
+				w.WriteUE(v)
+				ref.WriteUE(v)
+			case 3:
+				v := int32(rng.Uint32())
+				if v == -1<<31 {
+					v++ // outside WriteSE's documented domain
+				}
+				if rng.Intn(2) == 0 {
+					v %= 64
+				}
+				w.WriteSE(v)
+				ref.WriteSE(v)
+			case 4:
+				// Bytes must be safe mid-stream and must not perturb state.
+				if !bytes.Equal(w.Bytes(false), ref.Bytes(false)) {
+					t.Fatalf("seed %d op %d: mid-stream Bytes(false) diverged", seed, i)
+				}
+			}
+			if w.Len() != ref.Len() {
+				t.Fatalf("seed %d op %d: Len %d vs ref %d", seed, i, w.Len(), ref.Len())
+			}
+		}
+		if !bytes.Equal(w.Bytes(false), ref.Bytes(false)) {
+			t.Fatalf("seed %d: Bytes(false) diverged\n  got  %x\n  want %x", seed, w.Bytes(false), ref.Bytes(false))
+		}
+		if !bytes.Equal(w.Bytes(true), ref.Bytes(true)) {
+			t.Fatalf("seed %d: Bytes(true) diverged\n  got  %x\n  want %x", seed, w.Bytes(true), ref.Bytes(true))
+		}
+	}
+}
+
+// diffStep runs one decoded operation on both readers and compares value,
+// error presence, and (on success) position.
+func diffStep(t *testing.T, tag string, r *BitReader, ref *refBitReader, op byte) bool {
+	t.Helper()
+	var gv, wv uint64
+	var gerr, werr error
+	switch op & 3 {
+	case 0:
+		g, e := r.ReadBit()
+		x, e2 := ref.ReadBit()
+		gv, wv, gerr, werr = uint64(g), uint64(x), e, e2
+	case 1:
+		n := int(op>>2) & 63
+		g, e := r.ReadBits(n)
+		x, e2 := ref.ReadBits(n)
+		gv, wv, gerr, werr = g, x, e, e2
+	case 2:
+		g, e := r.ReadUE()
+		x, e2 := ref.ReadUE()
+		gv, wv, gerr, werr = uint64(g), uint64(x), e, e2
+	case 3:
+		g, e := r.ReadSE()
+		x, e2 := ref.ReadSE()
+		gv, wv, gerr, werr = uint64(uint32(g)), uint64(uint32(x)), e, e2
+	}
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: error mismatch: fast %v, ref %v", tag, gerr, werr)
+	}
+	if gerr == nil && gv != wv {
+		t.Fatalf("%s: value %d, ref %d", tag, gv, wv)
+	}
+	if r.BitsRead() != ref.BitsRead() {
+		t.Fatalf("%s: position %d, ref %d (err=%v)", tag, r.BitsRead(), ref.BitsRead(), gerr)
+	}
+	if r.Remaining() != ref.Remaining() {
+		t.Fatalf("%s: remaining %d, ref %d", tag, r.Remaining(), ref.Remaining())
+	}
+	return gerr == nil
+}
+
+// TestReaderDifferential drives both readers over random data with random
+// operation sequences, comparing every value and position — including the
+// bit positions after failed reads (EOF consumption must match).
+func TestReaderDifferential(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		if seed%3 == 0 {
+			// Zero-heavy data exercises long Exp-Golomb prefixes.
+			for i := range data {
+				if rng.Intn(4) != 0 {
+					data[i] = 0
+				}
+			}
+		}
+		r := NewBitReader(data)
+		ref := &refBitReader{buf: data}
+		for i := 0; i < 200; i++ {
+			if !diffStep(t, "reader", r, ref, byte(rng.Intn(256))) {
+				break
+			}
+		}
+	}
+}
+
+// TestReaderDifferentialRealStream replays a genuine encoded stream's
+// payloads through both readers using the slice-syntax operation mix.
+func TestReaderDifferentialRealStream(t *testing.T) {
+	stream, err := encodeTinyStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := SplitStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ui, u := range units {
+		r := NewBitReader(u.Payload)
+		ref := &refBitReader{buf: u.Payload}
+		rng := rand.New(rand.NewSource(int64(ui)))
+		for i := 0; i < 500; i++ {
+			if !diffStep(t, "real", r, ref, byte(rng.Intn(256))) {
+				break
+			}
+		}
+	}
+}
+
+// FuzzBitsDiff fuzzes the fast reader against the reference over arbitrary
+// operation and data bytes — the differential analogue of FuzzBitReader.
+func FuzzBitsDiff(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{2, 2, 2, 2}, []byte{0x00, 0x00, 0x00, 0x00, 0x80})
+	f.Add([]byte{3, 0xff, 1, 0x47}, []byte{0x12, 0x34, 0x56, 0x78, 0x9a})
+	f.Fuzz(func(t *testing.T, ops, data []byte) {
+		r := NewBitReader(data)
+		ref := &refBitReader{buf: data}
+		for _, op := range ops {
+			if !diffStep(t, "fuzz", r, ref, op) {
+				return
+			}
+		}
+	})
+}
+
+// TestBitsNValidation is the table-driven boundary check of the satellite
+// fix: ReadBits/WriteBits must reject n outside [0, 64] with ErrBitstream
+// up front (consuming/writing nothing), and legal boundary widths must
+// round-trip.
+func TestBitsNValidation(t *testing.T) {
+	cases := []struct {
+		n  int
+		ok bool
+	}{
+		{n: -1, ok: false},
+		{n: 0, ok: true},
+		{n: 1, ok: true},
+		{n: 63, ok: true},
+		{n: 64, ok: true},
+		{n: 65, ok: false},
+		{n: 1 << 20, ok: false},
+	}
+	for _, tc := range cases {
+		w := NewBitWriter()
+		err := w.WriteBits(^uint64(0), tc.n)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("WriteBits(n=%d): unexpected error %v", tc.n, err)
+			}
+			if w.Len() != tc.n {
+				t.Errorf("WriteBits(n=%d): wrote %d bits", tc.n, w.Len())
+			}
+		} else {
+			if !errors.Is(err, ErrBitstream) {
+				t.Errorf("WriteBits(n=%d): error %v, want ErrBitstream", tc.n, err)
+			}
+			if w.Len() != 0 {
+				t.Errorf("WriteBits(n=%d): invalid write consumed %d bits", tc.n, w.Len())
+			}
+		}
+
+		data := make([]byte, 16)
+		r := NewBitReader(data)
+		_, rerr := r.ReadBits(tc.n)
+		if tc.ok {
+			if rerr != nil {
+				t.Errorf("ReadBits(n=%d): unexpected error %v", tc.n, rerr)
+			}
+			if r.BitsRead() != tc.n {
+				t.Errorf("ReadBits(n=%d): consumed %d bits", tc.n, r.BitsRead())
+			}
+		} else {
+			if !errors.Is(rerr, ErrBitstream) {
+				t.Errorf("ReadBits(n=%d): error %v, want ErrBitstream", tc.n, rerr)
+			}
+			if r.BitsRead() != 0 {
+				t.Errorf("ReadBits(n=%d): invalid read consumed %d bits", tc.n, r.BitsRead())
+			}
+		}
+	}
+
+	// Round-trip at the 64-bit boundary across a byte-unaligned position.
+	w := NewBitWriter()
+	w.WriteBit(1)
+	if err := w.WriteBits(0xdeadbeefcafef00d, 64); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBitReader(w.Bytes(true))
+	if b, err := r.ReadBit(); err != nil || b != 1 {
+		t.Fatalf("bit = %d, %v", b, err)
+	}
+	v, err := r.ReadBits(64)
+	if err != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("64-bit round trip = %x, %v", v, err)
+	}
+}
+
+// TestReadBitsExactEOF pins the boundary behavior at end of stream: a read
+// of exactly the remaining bits succeeds; one more bit fails with
+// ErrBitstream after consuming everything (matching the reference reader).
+func TestReadBitsExactEOF(t *testing.T) {
+	data := []byte{0xAB, 0xCD, 0xEF}
+	for take := 0; take <= 24; take++ {
+		r := NewBitReader(data)
+		ref := &refBitReader{buf: data}
+		v, err := r.ReadBits(take)
+		rv, rerr := ref.ReadBits(take)
+		if err != nil || rerr != nil || v != rv {
+			t.Fatalf("take %d: %x/%v vs ref %x/%v", take, v, err, rv, rerr)
+		}
+		if r.Remaining() != 24-take {
+			t.Fatalf("take %d: remaining %d", take, r.Remaining())
+		}
+		// Reading one past the end must error and land at the end.
+		if _, err := r.ReadBits(24 - take + 1); !errors.Is(err, ErrBitstream) {
+			t.Fatalf("take %d: overread error %v", take, err)
+		}
+		if r.Remaining() != 0 || r.BitsRead() != 24 {
+			t.Fatalf("take %d: after overread pos %d rem %d", take, r.BitsRead(), r.Remaining())
+		}
+	}
+}

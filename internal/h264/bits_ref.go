@@ -1,0 +1,156 @@
+package h264
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reference bitstream implementations: the original scalar bit-at-a-time
+// reader and writer, kept as the oracle for the word-level fast paths in
+// bits.go. The differential tests (bits_diff_test.go, FuzzBitsDiff) drive
+// both over the same inputs and require identical bytes, values, and
+// positions. They are intentionally unexported and carry no fast paths:
+// when the two disagree, the reference defines correct behavior.
+
+// refBitWriter is the scalar BitWriter: one appended bit per call.
+type refBitWriter struct {
+	buf  []byte
+	bit  uint // bits used in the last byte (0..7, 0 means byte boundary)
+	nbit int  // total bits written
+}
+
+func (w *refBitWriter) WriteBit(b uint) {
+	if w.bit == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.bit)
+	}
+	w.bit = (w.bit + 1) % 8
+	w.nbit++
+}
+
+func (w *refBitWriter) WriteBits(v uint64, n int) error {
+	if n < 0 || n > 64 {
+		return fmt.Errorf("%w: WriteBits count %d outside [0, 64]", ErrBitstream, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint((v >> uint(i)) & 1))
+	}
+	return nil
+}
+
+func (w *refBitWriter) Len() int { return w.nbit }
+
+func (w *refBitWriter) Bytes(trailing bool) []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	if trailing {
+		tw := &refBitWriter{buf: out, bit: w.bit, nbit: w.nbit}
+		tw.WriteBit(1)
+		for tw.bit != 0 {
+			tw.WriteBit(0)
+		}
+		return tw.buf
+	}
+	return out
+}
+
+func (w *refBitWriter) WriteUE(v uint32) {
+	code := uint64(v) + 1
+	n := 0
+	for tmp := code; tmp > 1; tmp >>= 1 {
+		n++
+	}
+	w.WriteBits(0, n)
+	w.WriteBits(code, n+1)
+}
+
+func (w *refBitWriter) WriteSE(v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(2*int64(v) - 1)
+	} else {
+		u = uint32(-2 * int64(v))
+	}
+	w.WriteUE(u)
+}
+
+// refBitReader is the scalar BitReader: one bit per call, a bare position
+// counter.
+type refBitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func (r *refBitReader) ReadBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, fmt.Errorf("%w: read past end at bit %d", ErrBitstream, r.pos)
+	}
+	b := (r.buf[byteIdx] >> (7 - uint(r.pos&7))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+func (r *refBitReader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("%w: ReadBits count %d outside [0, 64]", ErrBitstream, n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+func (r *refBitReader) BitsRead() int { return r.pos }
+
+func (r *refBitReader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+func (r *refBitReader) ReadUE() (uint32, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 32 {
+			return 0, fmt.Errorf("%w: ue(v) prefix too long", ErrBitstream)
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	v := (uint64(1)<<uint(n) | rest) - 1
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: ue(v) %d overflows 32 bits", ErrBitstream, v)
+	}
+	return uint32(v), nil
+}
+
+func (r *refBitReader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		if u == math.MaxUint32 {
+			return 0, fmt.Errorf("%w: se(v) 2^31 overflows", ErrBitstream)
+		}
+		return int32(u/2) + 1, nil
+	}
+	return -int32(u / 2), nil
+}

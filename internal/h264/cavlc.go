@@ -42,24 +42,55 @@ var coeffTokenNC0 = [17][4]vlcCode{
 	{{16, 0x04}, {16, 0x06}, {16, 0x05}, {16, 0x08}},
 }
 
+// coeffTokenLUT decodes coeff_token with a single 16-bit peek: the table's
+// longest code is 16 bits, so the leading 16 bits of the stream determine
+// (TotalCoeff, TrailingOnes, length) uniquely. Entries pack
+// tc<<7 | t1<<5 | length; 0 means no code has that prefix. Built by init
+// from coeffTokenNC0, so the walking decoder and the LUT cannot drift.
+var coeffTokenLUT [1 << 16]uint16
+
+func init() {
+	for tc := 0; tc <= 16; tc++ {
+		for t1 := 0; t1 <= 3 && t1 <= tc; t1++ {
+			c := coeffTokenNC0[tc][t1]
+			if c.length == 0 && tc+t1 > 0 {
+				continue
+			}
+			base := c.bits << uint(16-c.length)
+			packed := uint16(tc)<<7 | uint16(t1)<<5 | uint16(c.length)
+			for s := uint32(0); s < 1<<uint(16-c.length); s++ {
+				coeffTokenLUT[base|s] = packed
+			}
+		}
+	}
+}
+
 // EncodeResidual writes one 4x4 residual block to w and returns the number
 // of coded bits.
 func EncodeResidual(w *BitWriter, blk Block4) int {
-	startBits := w.Len()
 	scan := blk.ZigZag()
+	return encodeResidualScan(w, &scan)
+}
+
+// encodeResidualScan codes zig-zag-ordered coefficients without
+// allocating; it is the form the encoder's fused transform path feeds
+// directly. Bit output is identical to the original slice-based coder.
+func encodeResidualScan(w *BitWriter, scan *[16]int32) int {
+	startBits := w.Len()
 	// Nonzero coefficients in reverse scan order (high frequency first).
-	var levels []int32
-	var positions []int
+	var levels [16]int32
+	var positions [16]int
+	totalCoeff := 0
 	for i := 15; i >= 0; i-- {
 		if scan[i] != 0 {
-			levels = append(levels, scan[i])
-			positions = append(positions, i)
+			levels[totalCoeff] = scan[i]
+			positions[totalCoeff] = i
+			totalCoeff++
 		}
 	}
-	totalCoeff := len(levels)
 	// run_before of level k = zeros between it and the next lower
 	// coefficient in scan order (the spec's definition).
-	runs := make([]int, totalCoeff)
+	var runs [16]int
 	for k := 0; k < totalCoeff-1; k++ {
 		runs[k] = positions[k] - positions[k+1] - 1
 	}
@@ -244,19 +275,33 @@ func readLevel(r *BitReader, suffixLength int) (int32, error) {
 // DecodeResidual reads one 4x4 residual block from r and returns it with
 // the number of bits consumed.
 func DecodeResidual(r *BitReader) (Block4, int, error) {
-	startBits := r.BitsRead()
-	totalCoeff, trailingOnes, err := readCoeffToken(r)
+	var scan [16]int32
+	n, _, err := decodeResidualScan(r, &scan)
 	if err != nil {
 		return Block4{}, 0, err
 	}
-	if totalCoeff == 0 {
-		return Block4{}, r.BitsRead() - startBits, nil
+	return FromZigZag(scan), n, nil
+}
+
+// decodeResidualScan reads one residual block into zig-zag order without
+// allocating; the decoder's fused IQIT path consumes the scan directly.
+// scan is fully overwritten. Bit consumption and errors are identical to
+// the original slice-based decoder.
+func decodeResidualScan(r *BitReader, scan *[16]int32) (bits, nz int, err error) {
+	startBits := r.BitsRead()
+	*scan = [16]int32{}
+	totalCoeff, trailingOnes, err := readCoeffToken(r)
+	if err != nil {
+		return 0, 0, err
 	}
-	levels := make([]int32, totalCoeff) // reverse scan order
+	if totalCoeff == 0 {
+		return r.BitsRead() - startBits, 0, nil
+	}
+	var levels [16]int32 // reverse scan order
 	for i := 0; i < trailingOnes; i++ {
 		b, err := r.ReadBit()
 		if err != nil {
-			return Block4{}, 0, err
+			return 0, 0, err
 		}
 		if b == 1 {
 			levels[i] = -1
@@ -271,7 +316,7 @@ func DecodeResidual(r *BitReader) (Block4, int, error) {
 	for i := trailingOnes; i < totalCoeff; i++ {
 		code, err := readLevel(r, suffixLength)
 		if err != nil {
-			return Block4{}, 0, err
+			return 0, 0, err
 		}
 		level := codeToLevel(code, i == trailingOnes && trailingOnes < 3)
 		levels[i] = level
@@ -288,43 +333,60 @@ func DecodeResidual(r *BitReader) (Block4, int, error) {
 	}
 	tz, err := r.ReadUE()
 	if err != nil {
-		return Block4{}, 0, err
+		return 0, 0, err
 	}
 	totalZeros := int(tz)
 	if totalCoeff+totalZeros > 16 {
-		return Block4{}, 0, fmt.Errorf("%w: coeff+zeros %d exceeds block", ErrBitstream, totalCoeff+totalZeros)
+		return 0, 0, fmt.Errorf("%w: coeff+zeros %d exceeds block", ErrBitstream, totalCoeff+totalZeros)
 	}
-	runs := make([]int, totalCoeff)
+	var runs [16]int
 	zerosLeft := totalZeros
 	for i := 0; i < totalCoeff-1 && zerosLeft > 0; i++ {
 		rb, err := r.ReadUE()
 		if err != nil {
-			return Block4{}, 0, err
+			return 0, 0, err
 		}
 		if int(rb) > zerosLeft {
-			return Block4{}, 0, fmt.Errorf("%w: run_before %d exceeds zeros left %d", ErrBitstream, rb, zerosLeft)
+			return 0, 0, fmt.Errorf("%w: run_before %d exceeds zeros left %d", ErrBitstream, rb, zerosLeft)
 		}
 		runs[i] = int(rb)
 		zerosLeft -= int(rb)
 	}
-	if totalCoeff > 0 {
-		runs[totalCoeff-1] = zerosLeft
-	}
+	runs[totalCoeff-1] = zerosLeft
 	// Rebuild the scan: place levels from the highest position downward.
-	var scan [16]int32
 	pos := totalCoeff + totalZeros - 1
 	for i := 0; i < totalCoeff; i++ {
 		if pos < 0 || pos > 15 {
-			return Block4{}, 0, fmt.Errorf("%w: scan position %d", ErrBitstream, pos)
+			return 0, 0, fmt.Errorf("%w: scan position %d", ErrBitstream, pos)
 		}
 		scan[pos] = levels[i]
 		pos -= 1 + runs[i]
 	}
-	return FromZigZag(scan), r.BitsRead() - startBits, nil
+	return r.BitsRead() - startBits, totalCoeff, nil
 }
 
-// readCoeffToken decodes the nC<2 coeff_token by walking the code table.
+// readCoeffToken decodes the nC<2 coeff_token. The fast path peeks 16 bits
+// and resolves the token from coeffTokenLUT in one lookup; when fewer than
+// 16 bits remain (end of stream) it falls back to the bit-at-a-time table
+// walk, which consumes exactly the bits the original decoder did before
+// reporting truncation.
 func readCoeffToken(r *BitReader) (totalCoeff, trailingOnes int, err error) {
+	if peek, n := r.peek16(); n == 16 {
+		e := coeffTokenLUT[peek]
+		if e == 0 {
+			// No 16-bit prefix matches any code: the walking decoder would
+			// consume all 17 probe bits before failing, so mirror it.
+			return readCoeffTokenSlow(r)
+		}
+		r.skip(int(e & 31))
+		return int(e >> 7), int(e >> 5 & 3), nil
+	}
+	return readCoeffTokenSlow(r)
+}
+
+// readCoeffTokenSlow walks the code table one bit at a time (the original
+// decoder); kept for truncated streams and as the LUT's reference.
+func readCoeffTokenSlow(r *BitReader) (totalCoeff, trailingOnes int, err error) {
 	var bits uint32
 	var length int
 	for length < 17 {

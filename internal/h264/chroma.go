@@ -152,13 +152,13 @@ func (e *Encoder) encodeChromaMB(w *BitWriter, orig, recon *Frame, mx, my, qp in
 			pred = predictChromaInter(e.lastRef, plane, bx, by, mv)
 		}
 		res := chromaResidual(orig, plane, bx, by, pred)
-		z, err := TransformQuantize(res, cqp)
-		if err != nil {
+		var scan [16]int32
+		if _, err := transformQuantizeScan(&res, cqp, &scan); err != nil {
 			return err
 		}
-		EncodeResidual(w, z)
-		rec, err := IQIT(z, cqp)
-		if err != nil {
+		encodeResidualScan(w, &scan)
+		var rec Block4
+		if err := iqitScanInto(&scan, cqp, &rec); err != nil {
 			return err
 		}
 		reconstructChroma(recon, plane, bx, by, pred, rec)
@@ -176,13 +176,14 @@ func (d *Decoder) decodeChromaMB(r *BitReader, recon *Frame, mx, my int, intra b
 		} else {
 			pred = predictChromaInter(d.lastRef, plane, bx, by, mv)
 		}
-		z, bits, err := DecodeResidual(r)
+		var scan [16]int32
+		bits, _, err := decodeResidualScan(r, &scan)
 		if err != nil {
 			return err
 		}
 		d.activity.ResidualBits += bits
-		res, err := IQIT(z, cqp)
-		if err != nil {
+		var res Block4
+		if err := iqitScanInto(&scan, cqp, &res); err != nil {
 			return err
 		}
 		d.activity.BlocksIQIT++

@@ -79,47 +79,35 @@ type filterStats struct {
 // filterEdgeLuma filters one 4-sample luma edge. For vertical edges the
 // samples run horizontally across the boundary at (x, y+i); for horizontal
 // edges vertically. bS > 0 and thresholds decide whether filtering occurs.
+//
+// Every sample this touches is in-frame by construction: DeblockFrame only
+// emits vertical edges with 4 <= x <= width-4 and horizontal edges with
+// 4 <= y <= height-4, so the four samples on each side sit at offsets
+// p0-3*step .. q0+3*step inside the plane. That lets the filter index the
+// plane directly (p side at p0 - d*step, q side at q0 + d*step) instead of
+// going through clamping accessors — same arithmetic, same write order.
 func filterEdgeLuma(f *Frame, x, y int, vertical bool, bS, qp int, st *filterStats) {
 	if bS <= 0 {
 		return
 	}
 	alpha := alphaTable[clampQP(qp)]
 	beta := betaTable[clampQP(qp)]
+	Y := f.Y
+	w := f.Width
 	for i := 0; i < 4; i++ {
-		var p [4]int32
-		var q [4]int32
-		get := func(side, depth int) int32 {
-			// side -1 = p samples, +1 = q samples
-			off := depth
-			if vertical {
-				if side < 0 {
-					return int32(f.YAt(x-1-off, y+i))
-				}
-				return int32(f.YAt(x+off, y+i))
-			}
-			if side < 0 {
-				return int32(f.YAt(x+i, y-1-off))
-			}
-			return int32(f.YAt(x+i, y+off))
+		var p0idx, step int
+		if vertical {
+			p0idx = (y+i)*w + x - 1
+			step = 1
+		} else {
+			p0idx = (y-1)*w + x + i
+			step = w
 		}
-		set := func(side, depth int, v int32) {
-			if vertical {
-				if side < 0 {
-					f.SetY(x-1-depth, y+i, clampU8(v))
-				} else {
-					f.SetY(x+depth, y+i, clampU8(v))
-				}
-			} else {
-				if side < 0 {
-					f.SetY(x+i, y-1-depth, clampU8(v))
-				} else {
-					f.SetY(x+i, y+depth, clampU8(v))
-				}
-			}
-		}
+		q0idx := p0idx + step
+		var p, q [4]int32
 		for d := 0; d < 4; d++ {
-			p[d] = get(-1, d)
-			q[d] = get(1, d)
+			p[d] = int32(Y[p0idx-d*step])
+			q[d] = int32(Y[q0idx+d*step])
 		}
 		st.edgesExamined++
 		if absI32(p[0]-q[0]) >= alpha || absI32(p[1]-p[0]) >= beta || absI32(q[1]-q[0]) >= beta {
@@ -138,43 +126,43 @@ func filterEdgeLuma(f *Frame, x, y int, vertical bool, bS, qp int, st *filterSta
 				tc++
 			}
 			delta := clip3(-tc, tc, ((q[0]-p[0])<<2+(p[1]-q[1])+4)>>3)
-			set(-1, 0, p[0]+delta)
-			set(1, 0, q[0]-delta)
+			Y[p0idx] = clampU8(p[0] + delta)
+			Y[q0idx] = clampU8(q[0] - delta)
 			st.samplesTouch += 2
 			if apFlag {
 				dp := clip3(-tc0, tc0, (p[2]+((p[0]+q[0]+1)>>1)-(p[1]<<1))>>1)
-				set(-1, 1, p[1]+dp)
+				Y[p0idx-step] = clampU8(p[1] + dp)
 				st.samplesTouch++
 			}
 			if aqFlag {
 				dq := clip3(-tc0, tc0, (q[2]+((p[0]+q[0]+1)>>1)-(q[1]<<1))>>1)
-				set(1, 1, q[1]+dq)
+				Y[q0idx+step] = clampU8(q[1] + dq)
 				st.samplesTouch++
 			}
 		} else {
 			// Strong filter (bS == 4).
 			if absI32(p[0]-q[0]) < (alpha>>2)+2 {
 				if absI32(p[2]-p[0]) < beta {
-					set(-1, 0, (p[2]+2*p[1]+2*p[0]+2*q[0]+q[1]+4)>>3)
-					set(-1, 1, (p[2]+p[1]+p[0]+q[0]+2)>>2)
-					set(-1, 2, (2*p[3]+3*p[2]+p[1]+p[0]+q[0]+4)>>3)
+					Y[p0idx] = clampU8((p[2] + 2*p[1] + 2*p[0] + 2*q[0] + q[1] + 4) >> 3)
+					Y[p0idx-step] = clampU8((p[2] + p[1] + p[0] + q[0] + 2) >> 2)
+					Y[p0idx-2*step] = clampU8((2*p[3] + 3*p[2] + p[1] + p[0] + q[0] + 4) >> 3)
 					st.samplesTouch += 3
 				} else {
-					set(-1, 0, (2*p[1]+p[0]+q[1]+2)>>2)
+					Y[p0idx] = clampU8((2*p[1] + p[0] + q[1] + 2) >> 2)
 					st.samplesTouch++
 				}
 				if absI32(q[2]-q[0]) < beta {
-					set(1, 0, (q[2]+2*q[1]+2*q[0]+2*p[0]+p[1]+4)>>3)
-					set(1, 1, (q[2]+q[1]+q[0]+p[0]+2)>>2)
-					set(1, 2, (2*q[3]+3*q[2]+q[1]+q[0]+p[0]+4)>>3)
+					Y[q0idx] = clampU8((q[2] + 2*q[1] + 2*q[0] + 2*p[0] + p[1] + 4) >> 3)
+					Y[q0idx+step] = clampU8((q[2] + q[1] + q[0] + p[0] + 2) >> 2)
+					Y[q0idx+2*step] = clampU8((2*q[3] + 3*q[2] + q[1] + q[0] + p[0] + 4) >> 3)
 					st.samplesTouch += 3
 				} else {
-					set(1, 0, (2*q[1]+q[0]+p[1]+2)>>2)
+					Y[q0idx] = clampU8((2*q[1] + q[0] + p[1] + 2) >> 2)
 					st.samplesTouch++
 				}
 			} else {
-				set(-1, 0, (2*p[1]+p[0]+q[1]+2)>>2)
-				set(1, 0, (2*q[1]+q[0]+p[1]+2)>>2)
+				Y[p0idx] = clampU8((2*p[1] + p[0] + q[1] + 2) >> 2)
+				Y[q0idx] = clampU8((2*q[1] + q[0] + p[1] + 2) >> 2)
 				st.samplesTouch += 2
 			}
 		}

@@ -55,6 +55,10 @@ type Decoder struct {
 	lastOut  *Frame
 	nextNum  int
 	activity Activity
+
+	pool        *FramePool // optional frame recycling; nil means plain allocation
+	mbScratch   []mbInfo   // per-slice macroblock info, reused across slices
+	unitScratch []NAL      // split-stream scratch, reused across streams
 }
 
 // maxConcealGap bounds how many consecutive missing frame numbers the
@@ -78,26 +82,69 @@ func (d *Decoder) SetDeblock(on bool) {
 // Activity returns the accumulated decode activity.
 func (d *Decoder) Activity() Activity { return d.activity }
 
+// SetPool attaches a FramePool; subsequent output frames are drawn from it.
+// The caller owns the returned frames and decides when to Put them back —
+// the decoder never recycles a frame it has handed out (lastRef/lastOut
+// still alias outputs, so premature reuse would corrupt prediction).
+func (d *Decoder) SetPool(p *FramePool) { d.pool = p }
+
+// Reset clears stream state (parameter sets, references, frame numbering)
+// while keeping the deblock knob, attached pool, and accumulated activity,
+// so one decoder can run many streams back to back.
+func (d *Decoder) Reset() {
+	d.width, d.height, d.qp = 0, 0, 0
+	d.chroma, d.haveSPS, d.havePPS = false, false, false
+	d.lastRef, d.lastOut = nil, nil
+	d.nextNum = 0
+}
+
+// cloneFrame deep-copies src, through the pool when one is attached.
+func (d *Decoder) cloneFrame(src *Frame) *Frame {
+	if d.pool == nil {
+		return src.Clone()
+	}
+	f, err := d.pool.Get(src.Width, src.Height)
+	if err != nil {
+		return src.Clone()
+	}
+	copy(f.Y, src.Y)
+	copy(f.Cb, src.Cb)
+	copy(f.Cr, src.Cr)
+	return f
+}
+
 // DecodeStream splits an annex-B stream and decodes every NAL unit,
 // returning output frames in display order. Gaps in frame numbering
 // (deleted NAL units) are concealed by repeating the previous output.
 func (d *Decoder) DecodeStream(stream []byte) ([]*Frame, error) {
-	units, err := SplitStream(stream)
+	return d.DecodeStreamInto(stream, nil)
+}
+
+// DecodeStreamInto is DecodeStream appending into out (reusing its backing
+// array) — pass the previous call's slice as out[:0] to recycle it. With a
+// FramePool attached and the previous frames returned to it, repeated
+// decodes of a stream run allocation-free in steady state.
+func (d *Decoder) DecodeStreamInto(stream []byte, out []*Frame) ([]*Frame, error) {
+	units, err := SplitStreamInto(stream, d.unitScratch[:0])
 	if err != nil {
 		return nil, err
 	}
-	return d.DecodeUnits(units)
+	d.unitScratch = units[:0]
+	return d.decodeUnitsInto(units, out)
 }
 
 // DecodeUnits decodes a sequence of NAL units.
 func (d *Decoder) DecodeUnits(units []NAL) ([]*Frame, error) {
-	var out []*Frame
+	return d.decodeUnitsInto(units, nil)
+}
+
+func (d *Decoder) decodeUnitsInto(units []NAL, out []*Frame) ([]*Frame, error) {
+	var err error
 	for _, u := range units {
-		frames, err := d.DecodeNAL(u)
+		out, err = d.decodeNALInto(u, out)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, frames...)
 	}
 	return out, nil
 }
@@ -105,6 +152,10 @@ func (d *Decoder) DecodeUnits(units []NAL) ([]*Frame, error) {
 // DecodeNAL decodes one NAL unit. Slice units yield one or more frames
 // (more than one when concealment fills a numbering gap).
 func (d *Decoder) DecodeNAL(u NAL) ([]*Frame, error) {
+	return d.decodeNALInto(u, nil)
+}
+
+func (d *Decoder) decodeNALInto(u NAL, out []*Frame) ([]*Frame, error) {
 	switch u.Type {
 	case NALSPS:
 		r := NewBitReader(u.Payload)
@@ -127,7 +178,7 @@ func (d *Decoder) DecodeNAL(u NAL) ([]*Frame, error) {
 		d.width, d.height = (int(mbw)+1)*16, (int(mbh)+1)*16
 		d.haveSPS = true
 		d.activity.HeaderBits += r.BitsRead()
-		return nil, nil
+		return out, nil
 	case NALPPS:
 		r := NewBitReader(u.Payload)
 		qp, err := r.ReadUE()
@@ -140,19 +191,20 @@ func (d *Decoder) DecodeNAL(u NAL) ([]*Frame, error) {
 		d.qp = int(qp)
 		d.havePPS = true
 		d.activity.HeaderBits += r.BitsRead()
-		return nil, nil
+		return out, nil
 	case NALSliceIDR, NALSliceNonIDR:
 		if !d.haveSPS || !d.havePPS {
 			return nil, fmt.Errorf("%w: slice before SPS/PPS", ErrBitstream)
 		}
-		return d.decodeSlice(u)
+		return d.decodeSlice(u, out)
 	default:
 		return nil, fmt.Errorf("h264: unsupported NAL type %v", u.Type)
 	}
 }
 
-// decodeSlice decodes one coded picture.
-func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
+// decodeSlice decodes one coded picture, appending its output (including
+// any gap-concealment frames) to out.
+func (d *Decoder) decodeSlice(u NAL, out []*Frame) ([]*Frame, error) {
 	r := NewBitReader(u.Payload)
 	stVal, err := r.ReadUE()
 	if err != nil {
@@ -173,10 +225,9 @@ func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
 	d.activity.HeaderBits += r.BitsRead()
 
 	// Concealment: repeat the previous output for any skipped numbers.
-	var out []*Frame
 	for d.nextNum < frameNum {
 		if d.lastOut != nil {
-			out = append(out, d.lastOut.Clone())
+			out = append(out, d.cloneFrame(d.lastOut))
 			d.activity.Concealed++
 			d.activity.FramesOut++
 			mtr.framesConcealed.Inc()
@@ -188,12 +239,18 @@ func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
 		return nil, fmt.Errorf("%w: inter slice %d without reference", ErrBitstream, frameNum)
 	}
 
-	recon, err := NewFrame(d.width, d.height)
+	recon, err := d.pool.Get(d.width, d.height)
 	if err != nil {
 		return nil, err
 	}
 	mbw, mbh := recon.MBWidth(), recon.MBHeight()
-	mbs := make([]mbInfo, mbw*mbh)
+	if cap(d.mbScratch) < mbw*mbh {
+		d.mbScratch = make([]mbInfo, mbw*mbh)
+	}
+	mbs := d.mbScratch[:mbw*mbh]
+	for i := range mbs {
+		mbs[i] = mbInfo{}
+	}
 	for my := 0; my < mbh; my++ {
 		for mx := 0; mx < mbw; mx++ {
 			info := &mbs[my*mbw+mx]
@@ -235,7 +292,7 @@ func (d *Decoder) decodeSlice(u NAL) ([]*Frame, error) {
 func (d *Decoder) ConcealTo(n int) []*Frame {
 	var out []*Frame
 	for d.nextNum < n && d.lastOut != nil {
-		out = append(out, d.lastOut.Clone())
+		out = append(out, d.cloneFrame(d.lastOut))
 		d.activity.Concealed++
 		d.activity.FramesOut++
 		mtr.framesConcealed.Inc()
@@ -262,16 +319,17 @@ func (d *Decoder) decodeIntraMB(r *BitReader, recon *Frame, mx, my int, info *mb
 				return err
 			}
 			d.activity.IntraBlocks++
-			z, bits, err := DecodeResidual(r)
+			var scan [16]int32
+			bits, nz, err := decodeResidualScan(r, &scan)
 			if err != nil {
 				return err
 			}
 			d.activity.ResidualBits += bits
-			if z.NonZeroCount() > 0 {
+			if nz > 0 {
 				info.coded = true
 			}
-			res, err := IQIT(z, d.qp)
-			if err != nil {
+			var res Block4
+			if err := iqitScanInto(&scan, d.qp, &res); err != nil {
 				return err
 			}
 			d.activity.BlocksIQIT++
@@ -297,14 +355,19 @@ func (d *Decoder) decodeInterMB(r *BitReader, recon *Frame, mx, my int, info *mb
 	if skip == 1 {
 		d.activity.HeaderBits += r.BitsRead() - before
 		d.activity.SkipMBs++
-		for by := 0; by < 16; by += 4 {
-			for bx := 0; bx < 16; bx += 4 {
-				x, y := mx*16+bx, my*16+by
-				pred := PredictInter4(d.lastRef, x, y, MV{})
-				d.activity.InterBlocks++
-				reconstructBlock(recon, x, y, pred, Block4{})
-			}
+		// Zero-MV prediction plus zero residual of uint8-sourced samples is
+		// clamp(ref) == ref, so a skip MB is exactly a 16x16 co-located copy:
+		// sixteen row copies replace 256 clamped per-sample round trips. The
+		// sixteen 4x4 motion-compensated predictions it stands for still
+		// count toward InterBlocks.
+		w := recon.Width
+		top := my * 16 * w
+		left := mx * 16
+		for row := 0; row < 16; row++ {
+			off := top + row*w + left
+			copy(recon.Y[off:off+16], d.lastRef.Y[off:off+16])
 		}
+		d.activity.InterBlocks += 16
 		if d.chroma {
 			copyChromaMB(recon, d.lastRef, mx, my)
 		}
@@ -326,16 +389,17 @@ func (d *Decoder) decodeInterMB(r *BitReader, recon *Frame, mx, my int, info *mb
 			x, y := mx*16+bx, my*16+by
 			pred := PredictInter4(d.lastRef, x, y, mv)
 			d.activity.InterBlocks++
-			z, bits, err := DecodeResidual(r)
+			var scan [16]int32
+			bits, nz, err := decodeResidualScan(r, &scan)
 			if err != nil {
 				return err
 			}
 			d.activity.ResidualBits += bits
-			if z.NonZeroCount() > 0 {
+			if nz > 0 {
 				info.coded = true
 			}
-			res, err := IQIT(z, d.qp)
-			if err != nil {
+			var res Block4
+			if err := iqitScanInto(&scan, d.qp, &res); err != nil {
 				return err
 			}
 			d.activity.BlocksIQIT++

@@ -83,6 +83,9 @@ type Encoder struct {
 	cfg     EncoderConfig
 	lastRef *Frame // reconstructed previous reference
 	nFrames int
+
+	pool      *FramePool // recycles superseded reference / B reconstructions
+	mbScratch []mbInfo   // per-frame macroblock info, reused across frames
 }
 
 // NewEncoder returns an encoder for the given configuration.
@@ -90,7 +93,7 @@ func NewEncoder(cfg EncoderConfig) (*Encoder, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Encoder{cfg: cfg}, nil
+	return &Encoder{cfg: cfg, pool: NewFramePool()}, nil
 }
 
 // writeSPS emits the sequence parameter set (dimensions in macroblocks).
@@ -164,12 +167,18 @@ func (e *Encoder) EncodeFrame(orig *Frame) (NAL, error) {
 	w := NewBitWriter()
 	w.WriteUE(uint32(st))
 	w.WriteUE(uint32(n))
-	recon, err := NewFrame(e.cfg.Width, e.cfg.Height)
+	recon, err := e.pool.Get(e.cfg.Width, e.cfg.Height)
 	if err != nil {
 		return NAL{}, err
 	}
 	mbw, mbh := orig.MBWidth(), orig.MBHeight()
-	mbs := make([]mbInfo, mbw*mbh)
+	if cap(e.mbScratch) < mbw*mbh {
+		e.mbScratch = make([]mbInfo, mbw*mbh)
+	}
+	mbs := e.mbScratch[:mbw*mbh]
+	for i := range mbs {
+		mbs[i] = mbInfo{}
+	}
 	qp := e.cfg.QP
 	for my := 0; my < mbh; my++ {
 		for mx := 0; mx < mbw; mx++ {
@@ -189,15 +198,21 @@ func (e *Encoder) EncodeFrame(orig *Frame) (NAL, error) {
 	// decoder's filtered reconstruction.
 	DeblockFrame(recon, mbs, qp)
 	nal := NAL{Type: NALSliceNonIDR, RefIDC: 2, Payload: w.Bytes(true)}
+	// Reconstructions never escape the encoder, so superseded references
+	// and B-frame recons (which are never references) recycle immediately:
+	// frame encoding reaches a steady state of zero plane allocations.
 	switch st {
 	case SliceI:
 		nal.Type = NALSliceIDR
 		nal.RefIDC = 3
+		e.pool.Put(e.lastRef)
 		e.lastRef = recon
 	case SliceP:
+		e.pool.Put(e.lastRef)
 		e.lastRef = recon
 	case SliceB:
 		nal.RefIDC = 0 // non-reference: droppable
+		e.pool.Put(recon)
 	}
 	return nal, nil
 }
@@ -215,16 +230,17 @@ func (e *Encoder) encodeIntraMB(w *BitWriter, orig, recon *Frame, mx, my, qp int
 			}
 			w.WriteUE(uint32(mode))
 			res := blockResidual(orig, x, y, pred)
-			z, err := TransformQuantize(res, qp)
+			var scan [16]int32
+			nz, err := transformQuantizeScan(&res, qp, &scan)
 			if err != nil {
 				return err
 			}
-			if z.NonZeroCount() > 0 {
+			if nz > 0 {
 				info.coded = true
 			}
-			EncodeResidual(w, z)
-			rec, err := IQIT(z, qp)
-			if err != nil {
+			encodeResidualScan(w, &scan)
+			var rec Block4
+			if err := iqitScanInto(&scan, qp, &rec); err != nil {
 				return err
 			}
 			reconstructBlock(recon, x, y, pred, rec)
@@ -282,12 +298,14 @@ func (e *Encoder) encodeInterMB(w *BitWriter, orig, recon *Frame, mx, my, qp int
 	if zeroSAD <= 16*16 { // about 1 gray level per sample
 		w.WriteBit(1) // mb_skip
 		info.mv = MV{}
-		for by := 0; by < 16; by += 4 {
-			for bx := 0; bx < 16; bx += 4 {
-				x, y := mx*16+bx, my*16+by
-				pred := PredictInter4(ref, x, y, MV{})
-				reconstructBlock(recon, x, y, pred, Block4{})
-			}
+		// Same co-located 16x16 copy as the decoder's skip path (zero MV,
+		// zero residual, clamp(ref) == ref).
+		fw := recon.Width
+		top := my * 16 * fw
+		left := mx * 16
+		for row := 0; row < 16; row++ {
+			off := top + row*fw + left
+			copy(recon.Y[off:off+16], ref.Y[off:off+16])
 		}
 		if e.cfg.Chroma {
 			copyChromaMB(recon, ref, mx, my)
@@ -302,16 +320,17 @@ func (e *Encoder) encodeInterMB(w *BitWriter, orig, recon *Frame, mx, my, qp int
 			x, y := mx*16+bx, my*16+by
 			pred := PredictInter4(ref, x, y, mv)
 			res := blockResidual(orig, x, y, pred)
-			z, err := TransformQuantize(res, qp)
+			var scan [16]int32
+			nz, err := transformQuantizeScan(&res, qp, &scan)
 			if err != nil {
 				return err
 			}
-			if z.NonZeroCount() > 0 {
+			if nz > 0 {
 				info.coded = true
 			}
-			EncodeResidual(w, z)
-			rec, err := IQIT(z, qp)
-			if err != nil {
+			encodeResidualScan(w, &scan)
+			var rec Block4
+			if err := iqitScanInto(&scan, qp, &rec); err != nil {
 				return err
 			}
 			reconstructBlock(recon, x, y, pred, rec)

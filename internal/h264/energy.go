@@ -1,7 +1,6 @@
 package h264
 
 import (
-	"affectedge/internal/parallel"
 	"affectedge/internal/power"
 )
 
@@ -95,34 +94,31 @@ func CompareModes(src []*Frame, enc EncoderConfig, model EnergyModel) ([]ModeRep
 		}
 	}
 	lumaBytes := enc.Width * enc.Height
-	// The four modes decode independent pipelines; fan them out over the
-	// shared bounded worker pool (order-preserving, so the report order is
-	// the Modes() order at any worker count).
+	// The four modes decode independent pipelines; MeasureModes fans them
+	// out over the shared bounded worker pool (order-preserving, so the
+	// report order is the Modes() order at any worker count). Scoring is
+	// cheap relative to decoding and stays serial.
 	modes := Modes()
-	reports, err := parallel.Map(len(modes), func(i int) (ModeReport, error) {
-		mode := modes[i]
-		res, err := DecodePipeline(stream, mode)
-		if err != nil {
-			return ModeReport{}, err
-		}
+	results, err := MeasureModes(stream, modes)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]ModeReport, len(modes))
+	for i, res := range results {
 		ledger := model.Charge(res.Activity, lumaBytes)
 		psnr, err := MeanPSNR(src, res.Frames)
 		if err != nil {
-			return ModeReport{}, err
+			return nil, err
 		}
-		r := ModeReport{
-			Mode:    mode,
+		reports[i] = ModeReport{
+			Mode:    modes[i],
 			Energy:  ledger.Total(),
 			PSNR:    psnr,
 			Deleted: res.Selector.UnitsDeleted,
 		}
 		if sliceUnits > 0 {
-			r.DeletedPct = 100 * float64(res.Selector.UnitsDeleted) / float64(sliceUnits)
+			reports[i].DeletedPct = 100 * float64(res.Selector.UnitsDeleted) / float64(sliceUnits)
 		}
-		return r, nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	var baseline float64
 	for _, r := range reports {

@@ -46,7 +46,27 @@ type NAL struct {
 // SizeBytes returns the on-wire size the Input Selector compares against
 // S_th: header byte plus escaped payload (start code excluded, matching
 // the paper's per-NAL-unit size accounting).
-func (n NAL) SizeBytes() int { return 1 + len(escapeRBSP(n.Payload)) }
+func (n NAL) SizeBytes() int { return 1 + escapedLen(n.Payload) }
+
+// escapedLen returns len(escapeRBSP(p)) without building the escaped
+// stream — the Input Selector sizes every NAL unit per selector pass, so
+// this is a pure counting loop.
+func escapedLen(p []byte) int {
+	n := len(p)
+	zeros := 0
+	for _, b := range p {
+		if zeros >= 2 && b <= 3 {
+			n++
+			zeros = 0
+		}
+		if b == 0 {
+			zeros++
+		} else {
+			zeros = 0
+		}
+	}
+	return n
+}
 
 var startCode = []byte{0, 0, 0, 1}
 
@@ -70,12 +90,37 @@ func escapeRBSP(p []byte) []byte {
 	return out
 }
 
-// unescapeRBSP removes emulation prevention bytes.
+// unescapeRBSP removes emulation prevention bytes. When the payload
+// contains no escapes — the overwhelmingly common case — it returns p
+// itself: callers (SplitStream consumers) treat payloads as read-only, so
+// the zero-copy subslice is safe and skips one allocation per NAL unit.
 func unescapeRBSP(p []byte) []byte {
-	out := make([]byte, 0, len(p))
+	// First pass: find the first escape byte, if any.
+	esc := -1
 	zeros := 0
 	for i := 0; i < len(p); i++ {
 		b := p[i]
+		if zeros >= 2 && b == 3 && i+1 < len(p) && p[i+1] <= 3 {
+			esc = i
+			break
+		}
+		if b == 0 {
+			zeros++
+		} else {
+			zeros = 0
+		}
+	}
+	if esc < 0 {
+		return p
+	}
+	out := make([]byte, 0, len(p))
+	out = append(out, p[:esc]...)
+	zeros = 0 // the escape follows two zeros; they are already appended
+	for i := esc; i < len(p); i++ {
+		b := p[i]
+		if i == esc {
+			continue // drop the first escape byte found above
+		}
 		if zeros >= 2 && b == 3 && i+1 < len(p) && p[i+1] <= 3 {
 			zeros = 0
 			continue // drop the escape byte
@@ -123,7 +168,13 @@ func MarshalStream(units []NAL) ([]byte, error) {
 // SplitStream scans an annex-B byte stream into NAL units, accepting both
 // 3-byte and 4-byte start codes.
 func SplitStream(stream []byte) ([]NAL, error) {
-	var units []NAL
+	return SplitStreamInto(stream, nil)
+}
+
+// SplitStreamInto is SplitStream appending into units (reusing its backing
+// array), for callers that split streams repeatedly — pass units[:0] to
+// recycle the previous call's slice.
+func SplitStreamInto(stream []byte, units []NAL) ([]NAL, error) {
 	i := 0
 	// find first start code
 	start, _ := nextStartCode(stream, 0)

@@ -90,6 +90,20 @@ type MV struct{ X, Y int }
 // edge extension).
 func PredictInter4(ref *Frame, bx, by int, mv MV) Block4 {
 	var pred Block4
+	x0, y0 := bx+mv.X, by+mv.Y
+	if x0 >= 0 && y0 >= 0 && x0+4 <= ref.Width && y0+4 <= ref.Height {
+		// Interior block: every sample is in-frame, so YAt's edge clamping
+		// is the identity and the rows index the plane directly.
+		w := ref.Width
+		for r := 0; r < 4; r++ {
+			row := ref.Y[(y0+r)*w+x0:]
+			pred[r*4] = int32(row[0])
+			pred[r*4+1] = int32(row[1])
+			pred[r*4+2] = int32(row[2])
+			pred[r*4+3] = int32(row[3])
+		}
+		return pred
+	}
 	for r := 0; r < 4; r++ {
 		for c := 0; c < 4; c++ {
 			pred[r*4+c] = int32(ref.YAt(bx+c+mv.X, by+r+mv.Y))
@@ -111,6 +125,17 @@ func blockResidual(orig *Frame, bx, by int, pred Block4) Block4 {
 
 // reconstructBlock writes clamp(pred + residual) into frame f at (bx, by).
 func reconstructBlock(f *Frame, bx, by int, pred, residual Block4) {
+	if bx >= 0 && by >= 0 && bx+4 <= f.Width && by+4 <= f.Height {
+		w := f.Width
+		for r := 0; r < 4; r++ {
+			row := f.Y[(by+r)*w+bx:]
+			row[0] = clampU8(pred[r*4] + residual[r*4])
+			row[1] = clampU8(pred[r*4+1] + residual[r*4+1])
+			row[2] = clampU8(pred[r*4+2] + residual[r*4+2])
+			row[3] = clampU8(pred[r*4+3] + residual[r*4+3])
+		}
+		return
+	}
 	for r := 0; r < 4; r++ {
 		for c := 0; c < 4; c++ {
 			f.SetY(bx+c, by+r, clampU8(pred[r*4+c]+residual[r*4+c]))
@@ -121,6 +146,26 @@ func reconstructBlock(f *Frame, bx, by int, pred, residual Block4) {
 // sadBlock returns the sum of absolute differences between the original
 // 4x4 block at (bx, by) and the reference block displaced by mv.
 func sadBlock(orig, ref *Frame, bx, by int, mv MV) int {
+	x0, y0 := bx+mv.X, by+mv.Y
+	if bx >= 0 && by >= 0 && bx+4 <= orig.Width && by+4 <= orig.Height &&
+		x0 >= 0 && y0 >= 0 && x0+4 <= ref.Width && y0+4 <= ref.Height {
+		// Interior case (the bulk of motion search): direct plane rows,
+		// identical accumulation order to the clamped loop.
+		ow, rw := orig.Width, ref.Width
+		var sad int
+		for r := 0; r < 4; r++ {
+			o := orig.Y[(by+r)*ow+bx:]
+			p := ref.Y[(y0+r)*rw+x0:]
+			for c := 0; c < 4; c++ {
+				d := int(o[c]) - int(p[c])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		return sad
+	}
 	var sad int
 	for r := 0; r < 4; r++ {
 		for c := 0; c < 4; c++ {

@@ -108,6 +108,41 @@ func posClass(i int) int {
 	}
 }
 
+// Per-QP expansions of the MF/V tables. The hot loops index one flat table
+// per QP instead of recomputing qp%6, posClass, and the 2^(QP/6) shift per
+// coefficient. Baking the shift into the dequant entries is exact: int32
+// multiplication wraps mod 2^32, so (z*V)<<s == z*(V<<s) for every z.
+// The Scan variants hold the same entries permuted into zig-zag order,
+// feeding the fused scan-order kernels without a block-order bounce.
+var (
+	quantTab struct {
+		mf     [52][16]int32 // MF by position, block order
+		mfScan [52][16]int32 // MF by position, zig-zag order
+		f      [52]int32     // rounding offset 2^(qbits-3)
+		qbits  [52]uint      // 15 + QP/6
+	}
+	dequantTab  [52][16]int32 // V << (QP/6), block order
+	dequantScan [52][16]int32 // V << (QP/6), zig-zag order
+)
+
+func init() {
+	for qp := 0; qp <= 51; qp++ {
+		qbits := uint(15 + qp/6)
+		quantTab.qbits[qp] = qbits
+		quantTab.f[qp] = 1 << (qbits - 3)
+		shift := uint(qp / 6)
+		for i := 0; i < 16; i++ {
+			cls := posClass(i)
+			quantTab.mf[qp][i] = quantMF[qp%6][cls]
+			dequantTab[qp][i] = dequantV[qp%6][cls] << shift
+		}
+		for s, pos := range zigzag4 {
+			quantTab.mfScan[qp][s] = quantTab.mf[qp][pos]
+			dequantScan[qp][s] = dequantTab[qp][pos]
+		}
+	}
+}
+
 // ValidQP reports whether qp is a legal quantization parameter.
 func ValidQP(qp int) bool { return qp >= 0 && qp <= 51 }
 
@@ -119,16 +154,16 @@ func Quantize(w Block4, qp int) (Block4, error) {
 	if !ValidQP(qp) {
 		return Block4{}, fmt.Errorf("h264: QP %d out of range", qp)
 	}
-	qbits := uint(15 + qp/6)
-	f := int32(1) << (qbits - 3) // rounding offset 2^qbits/8 (intra convention ~/3, inter ~/6; /8 sits between)
+	qbits := quantTab.qbits[qp]
+	f := quantTab.f[qp] // rounding offset 2^qbits/8 (intra convention ~/3, inter ~/6; /8 sits between)
+	mf := &quantTab.mf[qp]
 	var z Block4
 	for i, v := range w {
-		mf := quantMF[qp%6][posClass(i)]
 		neg := v < 0
 		if neg {
 			v = -v
 		}
-		q := (v*mf + f) >> qbits
+		q := (v*mf[i] + f) >> qbits
 		if neg {
 			q = -q
 		}
@@ -144,10 +179,10 @@ func Dequantize(z Block4, qp int) (Block4, error) {
 	if !ValidQP(qp) {
 		return Block4{}, fmt.Errorf("h264: QP %d out of range", qp)
 	}
-	shift := uint(qp / 6)
+	dv := &dequantTab[qp]
 	var w Block4
 	for i, v := range z {
-		w[i] = v * dequantV[qp%6][posClass(i)] << shift
+		w[i] = v * dv[i]
 	}
 	return w, nil
 }
@@ -166,6 +201,100 @@ func IQIT(z Block4, qp int) (Block4, error) {
 // levels.
 func TransformQuantize(x Block4, qp int) (Block4, error) {
 	return Quantize(ForwardTransform4(x), qp)
+}
+
+// iqitScanInto is the decoder's fused hot path: zig-zag-ordered levels to
+// reconstructed residual in one pass, no intermediate Block4 copies. The
+// dequantScan table maps each scan position straight to its baked V<<shift
+// factor, and FromZigZag's permutation is folded into the same loop.
+// Bit-identical to FromZigZag -> Dequantize -> InverseTransform4.
+func iqitScanInto(scan *[16]int32, qp int, out *Block4) error {
+	if !ValidQP(qp) {
+		return fmt.Errorf("h264: QP %d out of range", qp)
+	}
+	dv := &dequantScan[qp]
+	var w Block4
+	for i, pos := range zigzag4 {
+		w[pos] = scan[i] * dv[i]
+	}
+	// Inverse transform, rows then columns, writing the result into out.
+	var tmp Block4
+	for r := 0; r < 4; r++ {
+		s0, s1, s2, s3 := w[4*r], w[4*r+1], w[4*r+2], w[4*r+3]
+		e0 := s0 + s2
+		e1 := s0 - s2
+		e2 := (s1 >> 1) - s3
+		e3 := s1 + (s3 >> 1)
+		tmp[4*r] = e0 + e3
+		tmp[4*r+1] = e1 + e2
+		tmp[4*r+2] = e1 - e2
+		tmp[4*r+3] = e0 - e3
+	}
+	for c := 0; c < 4; c++ {
+		s0, s1, s2, s3 := tmp[c], tmp[4+c], tmp[8+c], tmp[12+c]
+		e0 := s0 + s2
+		e1 := s0 - s2
+		e2 := (s1 >> 1) - s3
+		e3 := s1 + (s3 >> 1)
+		out[c] = (e0 + e3 + 32) >> 6
+		out[4+c] = (e1 + e2 + 32) >> 6
+		out[8+c] = (e1 - e2 + 32) >> 6
+		out[12+c] = (e0 - e3 + 32) >> 6
+	}
+	return nil
+}
+
+// transformQuantizeScan is the encoder's fused hot path: residual to
+// zig-zag-ordered quantized levels in one pass, returning the nonzero
+// count. Bit-identical to TransformQuantize followed by ZigZag plus
+// NonZeroCount.
+func transformQuantizeScan(x *Block4, qp int, scan *[16]int32) (int, error) {
+	if !ValidQP(qp) {
+		return 0, fmt.Errorf("h264: QP %d out of range", qp)
+	}
+	var tmp, w Block4
+	for c := 0; c < 4; c++ {
+		s0, s1, s2, s3 := x[c], x[4+c], x[8+c], x[12+c]
+		a := s0 + s3
+		b := s1 + s2
+		d := s1 - s2
+		e := s0 - s3
+		tmp[c] = a + b
+		tmp[4+c] = 2*e + d
+		tmp[8+c] = a - b
+		tmp[12+c] = e - 2*d
+	}
+	for r := 0; r < 4; r++ {
+		s0, s1, s2, s3 := tmp[4*r], tmp[4*r+1], tmp[4*r+2], tmp[4*r+3]
+		a := s0 + s3
+		b := s1 + s2
+		d := s1 - s2
+		e := s0 - s3
+		w[4*r] = a + b
+		w[4*r+1] = 2*e + d
+		w[4*r+2] = a - b
+		w[4*r+3] = e - 2*d
+	}
+	qbits := quantTab.qbits[qp]
+	f := quantTab.f[qp]
+	mf := &quantTab.mfScan[qp]
+	nz := 0
+	for i, pos := range zigzag4 {
+		v := w[pos]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		q := (v*mf[i] + f) >> qbits
+		if neg {
+			q = -q
+		}
+		scan[i] = q
+		if q != 0 {
+			nz++
+		}
+	}
+	return nz, nil
 }
 
 // NonZeroCount returns the number of nonzero coefficients in z.
