@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: all build vet test test-short test-race cover bench bench-json bench-compare repro figures fleet-smoke clean
+.PHONY: all build vet test test-short test-noavx test-race cover bench bench-json bench-compare repro figures fleet-smoke clean
 
 all: build vet test
 
@@ -24,11 +24,18 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# The simd-consuming suites with the vector backend force-disabled
+# (AFFECTEDGE_NOSIMD): proves the scalar fallbacks carry the same
+# goldens and differential pins, i.e. what a non-AVX host would run.
+test-noavx:
+	AFFECTEDGE_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/dsp/ ./internal/nn/ ./internal/h264/
+
 # Full suite under the race detector: exercises the worker pool, the
 # parallel featurization/synthesis/study paths, and replica training.
 # Race instrumentation makes the training-heavy root package exceed go
 # test's default 10-minute timeout on small machines, hence -timeout.
-test-race:
+# Also replays the simd-sensitive suites with dispatch forced off.
+test-race: test-noavx
 	$(GO) test -race -timeout 45m ./...
 
 # Coverage gate over the -short suite (the training-heavy full studies

@@ -9,9 +9,8 @@ package dsp
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
-	"math/cmplx"
+
+	"affectedge/internal/simd"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
@@ -41,37 +40,28 @@ func IFFT(x []complex128) error {
 	return nil
 }
 
+// fftInPlace runs the radix-2 DIT FFT through the simd stage kernels:
+// a precomputed bit-reversal swap list, then one FFTStage per butterfly
+// size with cached twiddle tables. The twiddles are built with the same
+// repeated-multiplication recurrence the previous in-line loop used and
+// the stage kernels keep scalar per-butterfly operation order, so
+// results are bit-identical to the historical implementation (pinned by
+// fftInPlaceRef and the golden tests).
 func fftInPlace(x []complex128, inverse bool) {
 	n := len(x)
 	if n == 1 {
 		return
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	for _, p := range bitrevPairsCached(n) {
+		i, j := int(p>>32), int(uint32(p))
+		x[i], x[j] = x[j], x[i]
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
+	// The size-2 stage's only twiddle is exactly 1+0i in both
+	// directions; the multiply is still performed to match the
+	// historical arithmetic.
+	simd.FFTStage2(x, complex(1, 0))
+	for size := 4; size <= n; size <<= 1 {
+		simd.FFTStage(x, size, fftTwiddlesCached(size, inverse))
 	}
 }
 
@@ -93,9 +83,7 @@ func RealFFTMagnitude(x []float64) []float64 {
 func realFFTMagnitudeInto(dst, x []float64, nfft int) {
 	bufp := getC128(nfft)
 	buf := *bufp
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
+	simd.Widen(buf[:len(x)], x)
 	for i := len(x); i < nfft; i++ {
 		buf[i] = 0
 	}
@@ -103,9 +91,7 @@ func realFFTMagnitudeInto(dst, x []float64, nfft int) {
 	if err := FFT(buf); err != nil {
 		panic("dsp: internal: " + err.Error())
 	}
-	for k := range dst {
-		dst[k] = cmplx.Abs(buf[k])
-	}
+	simd.CAbs(dst, buf[:len(dst)])
 	putC128(bufp)
 }
 
@@ -125,10 +111,7 @@ func PowerSpectrum(x []float64) []float64 {
 // nfft must be NextPow2(len(x)).
 func powerSpectrumInto(dst, x []float64, nfft int) {
 	realFFTMagnitudeInto(dst, x, nfft)
-	inv := 1 / float64(nfft)
-	for i, m := range dst {
-		dst[i] = m * m * inv
-	}
+	simd.SqScale(dst, 1/float64(nfft))
 }
 
 // NextPow2 returns the smallest power of two >= n, or 0 for n <= 0.
@@ -163,16 +146,18 @@ func Autocorrelation(x []float64, maxLag int) []float64 {
 }
 
 // autocorrelationInto fills dst[k] with the biased autocorrelation at lag
-// k for k in [0, len(dst)); len(dst) must be <= len(x).
+// k for k in [0, len(dst)); len(dst) must be <= len(x). Eight lags are
+// computed per kernel call, each lane accumulating its own lag's sum in
+// scalar order.
 func autocorrelationInto(dst, x []float64) {
 	n := len(x)
 	inv := 1 / float64(n)
-	for k := range dst {
-		var s float64
-		for i := 0; i+k < n; i++ {
-			s += x[i] * x[i+k]
+	var s [8]float64
+	for k := 0; k < len(dst); k += 8 {
+		simd.LagDot8(&s, x, k)
+		for l := 0; l < 8 && k+l < len(dst); l++ {
+			dst[k+l] = s[l] * inv
 		}
-		dst[k] = s * inv
 	}
 }
 
@@ -188,18 +173,10 @@ func DCTII(x []float64) []float64 {
 		return nil
 	}
 	out := make([]float64, n)
-	s0 := math.Sqrt(1 / float64(n))
-	sk := math.Sqrt(2 / float64(n))
-	for k := 0; k < n; k++ {
-		var sum float64
-		for i := 0; i < n; i++ {
-			sum += x[i] * math.Cos(math.Pi*float64(k)*(2*float64(i)+1)/(2*float64(n)))
-		}
-		if k == 0 {
-			out[k] = s0 * sum
-		} else {
-			out[k] = sk * sum
-		}
-	}
+	// The cached basis table holds the identical cos(...) values this
+	// function used to recompute O(N^2) per call, and dctIIInto keeps
+	// the same per-coefficient accumulation order, so results are
+	// unchanged bit for bit (pinned by TestDCTIIMatchesTable).
+	dctIIInto(out, x)
 	return out
 }

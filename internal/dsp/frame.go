@@ -1,6 +1,10 @@
 package dsp
 
-import "math"
+import (
+	"math"
+
+	"affectedge/internal/simd"
+)
 
 // PreEmphasis applies the first-order high-pass filter
 // y[i] = x[i] - coeff*x[i-1] and returns the filtered copy. A coeff of
@@ -15,12 +19,10 @@ func PreEmphasis(x []float64, coeff float64) []float64 {
 }
 
 // preEmphasisInto applies the pre-emphasis filter into dst, which must
-// have the same length as x.
+// have the same length as x and not alias it at an offset.
 func preEmphasisInto(dst, x []float64, coeff float64) {
 	dst[0] = x[0]
-	for i := 1; i < len(x); i++ {
-		dst[i] = x[i] - coeff*x[i-1]
-	}
+	simd.SubScaled(dst[1:], x[1:], x[:len(x)-1], coeff)
 }
 
 // Frame slices x into overlapping frames of frameLen samples advancing by
@@ -116,8 +118,6 @@ func ApplyWindow(x, w []float64) []float64 {
 	if len(w) < n {
 		n = len(w)
 	}
-	for i := 0; i < n; i++ {
-		x[i] *= w[i]
-	}
+	simd.Mul(x[:n], w[:n])
 	return x
 }

@@ -3,6 +3,8 @@ package dsp
 import (
 	"fmt"
 	"math"
+
+	"affectedge/internal/simd"
 )
 
 // HzToMel converts a frequency in Hz to the mel scale (HTK convention).
@@ -128,14 +130,26 @@ func MFCC(x []float64, cfg MFCCConfig) ([][]float64, error) {
 	EachFrame(sig, cfg.FrameLen, cfg.Hop, func(_ int, f []float64) {
 		ApplyWindow(f, window)
 		powerSpectrumInto(ps, f, nfft)
-		// Filterbank energies -> log -> DCT.
-		for m := range bank.rows {
+		// Filterbank energies -> log -> DCT. Eight filters per kernel
+		// call over the union of their supports (zero weights outside a
+		// filter's own triangle contribute exact +0 terms), leftover
+		// filters by their individual support.
+		m := 0
+		for gi := range bank.groups {
+			g := &bank.groups[gi]
+			var e [8]float64
+			simd.DotI8(&e, g.w, ps[g.lo:g.hi])
+			for l := 0; l < 8; l, m = l+1, m+1 {
+				// Floor to avoid log(0) on silent frames.
+				energies[m] = math.Log(math.Max(e[l], 1e-12))
+			}
+		}
+		for ; m < len(bank.rows); m++ {
 			var e float64
 			row := bank.rows[m]
 			for k := bank.lo[m]; k < bank.hi[m]; k++ {
 				e += row[k] * ps[k]
 			}
-			// Floor to avoid log(0) on silent frames.
 			energies[m] = math.Log(math.Max(e, 1e-12))
 		}
 		row := make([]float64, rowWidth)
@@ -164,25 +178,6 @@ func fillDeltas(rows [][]float64, d int) {
 				rows[i][d+j] = (rows[i+1][j] - rows[i-1][j]) / 2
 			}
 		}
-	}
-}
-
-// appendDeltas widens each row in place with first-order frame-to-frame
-// differences (simple two-point deltas, zero at boundaries).
-func appendDeltas(rows [][]float64) {
-	n := len(rows)
-	if n == 0 {
-		return
-	}
-	w := len(rows[0])
-	for i := 0; i < n; i++ {
-		d := make([]float64, w)
-		if i > 0 && i < n-1 {
-			for j := 0; j < w; j++ {
-				d[j] = (rows[i+1][j] - rows[i-1][j]) / 2
-			}
-		}
-		rows[i] = append(rows[i], d...)
 	}
 }
 

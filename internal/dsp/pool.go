@@ -2,7 +2,11 @@ package dsp
 
 import (
 	"math"
+	"math/bits"
+	"math/cmplx"
 	"sync"
+
+	"affectedge/internal/simd"
 )
 
 // Scratch-buffer pools and derived-table caches for the DSP hot path.
@@ -75,10 +79,24 @@ type bankKey struct {
 
 // melBank is a cached filterbank with precomputed nonzero column ranges,
 // so the per-frame energy accumulation only walks each triangle's
-// support instead of all nfft/2+1 bins.
+// support instead of all nfft/2+1 bins. Complete runs of eight adjacent
+// filters are additionally stored interleaved (groups) for the
+// lane-per-output kernel; leftover filters keep the per-row path.
 type melBank struct {
 	rows   [][]float64
 	lo, hi []int // [lo, hi) nonzero bin range per filter
+	groups []melGroup8
+}
+
+// melGroup8 packs eight adjacent filter rows over the union [lo, hi) of
+// their supports, interleaved so w[8*(k-lo)+l] is filter l's weight at
+// bin k. Bins outside a filter's own support hold exact zeros; since
+// power-spectrum inputs are non-negative, the extra w*ps terms are +0
+// and leave every lane's partial sums bit-identical to walking just
+// that filter's support.
+type melGroup8 struct {
+	lo, hi int
+	w      []float64
 }
 
 var bankCache sync.Map
@@ -105,15 +123,40 @@ func melFilterBankCached(nFilters, nfft int, rate, low, high float64) (*melBank,
 		}
 		b.lo[m], b.hi[m] = lo, hi
 	}
+	for first := 0; first+8 <= len(rows); first += 8 {
+		glo, ghi := b.lo[first], b.hi[first]
+		for l := 1; l < 8; l++ {
+			if b.lo[first+l] < glo {
+				glo = b.lo[first+l]
+			}
+			if b.hi[first+l] > ghi {
+				ghi = b.hi[first+l]
+			}
+		}
+		if ghi < glo {
+			glo, ghi = 0, 0
+		}
+		g := melGroup8{lo: glo, hi: ghi, w: make([]float64, 8*(ghi-glo))}
+		for l := 0; l < 8; l++ {
+			row := rows[first+l]
+			for k := glo; k < ghi; k++ {
+				g.w[8*(k-glo)+l] = row[k]
+			}
+		}
+		b.groups = append(b.groups, g)
+	}
 	actual, _ := bankCache.LoadOrStore(key, b)
 	return actual.(*melBank), nil
 }
 
 // dctTable holds the DCT-II basis cos(pi*k*(2i+1)/(2N)) for one length,
 // with the orthonormal scale factors kept separate so results match
-// DCTII bit for bit.
+// DCTII bit for bit. Complete groups of eight basis rows are also kept
+// interleaved (il[g][8i+l] = cos[8g+l][i]) for the lane-per-output
+// kernel.
 type dctTable struct {
 	cos    [][]float64
+	il     [][]float64
 	s0, sk float64
 }
 
@@ -136,15 +179,38 @@ func dctIITableCached(n int) *dctTable {
 		}
 		t.cos[k] = row
 	}
+	for first := 0; first+8 <= n; first += 8 {
+		il := make([]float64, 8*n)
+		for l := 0; l < 8; l++ {
+			for i, v := range t.cos[first+l] {
+				il[8*i+l] = v
+			}
+		}
+		t.il = append(t.il, il)
+	}
 	actual, _ := dctCache.LoadOrStore(n, t)
 	return actual.(*dctTable)
 }
 
 // dctIIInto writes the first len(dst) DCT-II coefficients of x into dst
-// using the cached basis. len(dst) must be <= len(x).
+// using the cached basis, eight coefficients per kernel call. len(dst)
+// must be <= len(x).
 func dctIIInto(dst, x []float64) {
 	t := dctIITableCached(len(x))
-	for k := range dst {
+	k := 0
+	for g := 0; g < len(t.il) && k < len(dst); g++ {
+		var s [8]float64
+		simd.DotI8(&s, t.il[g], x)
+		for l := 0; l < 8 && k < len(dst); l, k = l+1, k+1 {
+			if k == 0 {
+				dst[k] = t.s0 * s[l]
+			} else {
+				dst[k] = t.sk * s[l]
+			}
+		}
+	}
+	// Coefficients past the last complete group of basis rows.
+	for ; k < len(dst); k++ {
 		var sum float64
 		row := t.cos[k]
 		for i, v := range x {
@@ -156,4 +222,62 @@ func dctIIInto(dst, x []float64) {
 			dst[k] = t.sk * sum
 		}
 	}
+}
+
+// fftTwiddleKey identifies one cached twiddle table: the stage size with
+// the direction in the low bit.
+func fftTwiddleKey(size int, inverse bool) int {
+	k := size << 1
+	if inverse {
+		k |= 1
+	}
+	return k
+}
+
+var twiddleCache sync.Map
+
+// fftTwiddlesCached returns the shared twiddle table w^0..w^(size/2-1)
+// for one butterfly stage, built with the exact repeated-multiplication
+// recurrence the in-line FFT loop used (w *= wStep from w = 1), so every
+// butterfly sees bit-identical twiddles to the uncached code.
+func fftTwiddlesCached(size int, inverse bool) []complex128 {
+	key := fftTwiddleKey(size, inverse)
+	if t, ok := twiddleCache.Load(key); ok {
+		return t.([]complex128)
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	step := sign * 2 * math.Pi / float64(size)
+	wStep := cmplx.Exp(complex(0, step))
+	tw := make([]complex128, size/2)
+	w := complex(1, 0)
+	for k := range tw {
+		tw[k] = w
+		w *= wStep
+	}
+	actual, _ := twiddleCache.LoadOrStore(key, tw)
+	return actual.([]complex128)
+}
+
+var bitrevCache sync.Map
+
+// bitrevPairsCached returns the (i, j) swap pairs (i in the high 32
+// bits) of the bit-reversal permutation for length n, precomputed so
+// the per-FFT pass is a straight run over the pair list.
+func bitrevPairsCached(n int) []uint64 {
+	if p, ok := bitrevCache.Load(n); ok {
+		return p.([]uint64)
+	}
+	var pairs []uint64
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			pairs = append(pairs, uint64(i)<<32|uint64(j))
+		}
+	}
+	actual, _ := bitrevCache.LoadOrStore(n, pairs)
+	return actual.([]uint64)
 }

@@ -285,3 +285,37 @@ func BenchmarkDecodeStreams(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSADBlock sweeps a motion-search-shaped set of SAD calls over
+// two decoded frames: every 4x4 block of each macroblock against nine
+// candidate vectors. The Ref variant runs the retained scalar loop on
+// the same schedule, so the pair is a direct before/after for the
+// PSADBW kernel.
+func benchmarkSAD(b *testing.B, sad func(orig, ref *Frame, bx, by int, mv MV) int) {
+	stream, _ := benchStream(b)
+	dec := NewDecoder()
+	frames, err := dec.DecodeStream(stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig, ref := frames[len(frames)-1], frames[len(frames)-2]
+	mvs := []MV{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}, {2, 2}, {-2, -2}, {3, -1}, {-1, 3}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for by := 0; by+4 <= orig.Height; by += 4 {
+			for bx := 0; bx+4 <= orig.Width; bx += 4 {
+				for _, mv := range mvs {
+					sink += sad(orig, ref, bx, by, mv)
+				}
+			}
+		}
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkSADBlock(b *testing.B)       { benchmarkSAD(b, sadBlock) }
+func BenchmarkSADBlockScalar(b *testing.B) { benchmarkSAD(b, sadBlockRef) }

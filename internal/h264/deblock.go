@@ -1,5 +1,11 @@
 package h264
 
+import (
+	"math/bits"
+
+	"affectedge/internal/simd"
+)
+
 // Deblocking filter (in-loop filter of §8.7, modeled at 4x4-edge
 // granularity on luma). Boundary strength follows the spec's decision
 // ladder; the edge filter is the normal-filter (bS < 4) form plus the
@@ -84,89 +90,51 @@ type filterStats struct {
 // emits vertical edges with 4 <= x <= width-4 and horizontal edges with
 // 4 <= y <= height-4, so the four samples on each side sit at offsets
 // p0-3*step .. q0+3*step inside the plane. That lets the filter index the
-// plane directly (p side at p0 - d*step, q side at q0 + d*step) instead of
-// going through clamping accessors — same arithmetic, same write order.
+// plane directly instead of going through clamping accessors — same
+// arithmetic, same write order.
+//
+// The whole edge — threshold decisions and tap arithmetic for all four
+// segments — is evaluated by one simd.DeblockEdge4 call, which is
+// bit-identical to the spec's sequential per-segment filter: integer
+// taps are exact, and a segment's writes stay on its own row (vertical)
+// or column (horizontal), never feeding a later segment's reads. The
+// returned write masks reproduce the per-segment filter statistics.
 func filterEdgeLuma(f *Frame, x, y int, vertical bool, bS, qp int, st *filterStats) {
 	if bS <= 0 {
 		return
 	}
 	alpha := alphaTable[clampQP(qp)]
 	beta := betaTable[clampQP(qp)]
-	Y := f.Y
-	w := f.Width
-	for i := 0; i < 4; i++ {
-		var p0idx, step int
-		if vertical {
-			p0idx = (y+i)*w + x - 1
-			step = 1
-		} else {
-			p0idx = (y-1)*w + x + i
-			step = w
-		}
-		q0idx := p0idx + step
-		var p, q [4]int32
-		for d := 0; d < 4; d++ {
-			p[d] = int32(Y[p0idx-d*step])
-			q[d] = int32(Y[q0idx+d*step])
-		}
-		st.edgesExamined++
-		if absI32(p[0]-q[0]) >= alpha || absI32(p[1]-p[0]) >= beta || absI32(q[1]-q[0]) >= beta {
-			continue
-		}
-		st.edgesFiltered++
-		if bS < 4 {
-			tc0 := tc0Table[bS-1][clampQP(qp)]
-			tc := tc0
-			apFlag := absI32(p[2]-p[0]) < beta
-			aqFlag := absI32(q[2]-q[0]) < beta
-			if apFlag {
-				tc++
-			}
-			if aqFlag {
-				tc++
-			}
-			delta := clip3(-tc, tc, ((q[0]-p[0])<<2+(p[1]-q[1])+4)>>3)
-			Y[p0idx] = clampU8(p[0] + delta)
-			Y[q0idx] = clampU8(q[0] - delta)
-			st.samplesTouch += 2
-			if apFlag {
-				dp := clip3(-tc0, tc0, (p[2]+((p[0]+q[0]+1)>>1)-(p[1]<<1))>>1)
-				Y[p0idx-step] = clampU8(p[1] + dp)
-				st.samplesTouch++
-			}
-			if aqFlag {
-				dq := clip3(-tc0, tc0, (q[2]+((p[0]+q[0]+1)>>1)-(q[1]<<1))>>1)
-				Y[q0idx+step] = clampU8(q[1] + dq)
-				st.samplesTouch++
-			}
-		} else {
-			// Strong filter (bS == 4).
-			if absI32(p[0]-q[0]) < (alpha>>2)+2 {
-				if absI32(p[2]-p[0]) < beta {
-					Y[p0idx] = clampU8((p[2] + 2*p[1] + 2*p[0] + 2*q[0] + q[1] + 4) >> 3)
-					Y[p0idx-step] = clampU8((p[2] + p[1] + p[0] + q[0] + 2) >> 2)
-					Y[p0idx-2*step] = clampU8((2*p[3] + 3*p[2] + p[1] + p[0] + q[0] + 4) >> 3)
-					st.samplesTouch += 3
-				} else {
-					Y[p0idx] = clampU8((2*p[1] + p[0] + q[1] + 2) >> 2)
-					st.samplesTouch++
-				}
-				if absI32(q[2]-q[0]) < beta {
-					Y[q0idx] = clampU8((q[2] + 2*q[1] + 2*q[0] + 2*p[0] + p[1] + 4) >> 3)
-					Y[q0idx+step] = clampU8((q[2] + q[1] + q[0] + p[0] + 2) >> 2)
-					Y[q0idx+2*step] = clampU8((2*q[3] + 3*q[2] + q[1] + q[0] + p[0] + 4) >> 3)
-					st.samplesTouch += 3
-				} else {
-					Y[q0idx] = clampU8((2*q[1] + q[0] + p[1] + 2) >> 2)
-					st.samplesTouch++
-				}
-			} else {
-				Y[p0idx] = clampU8((2*p[1] + p[0] + q[1] + 2) >> 2)
-				Y[q0idx] = clampU8((2*q[1] + q[0] + p[1] + 2) >> 2)
-				st.samplesTouch += 2
-			}
-		}
+	st.edgesExamined += 4
+	if alpha == 0 || beta == 0 {
+		// |d| >= 0 always fails a zero threshold: nothing can filter.
+		return
 	}
+	strong := bS >= 4
+	var tc0 int32
+	if !strong {
+		tc0 = tc0Table[bS-1][clampQP(qp)]
+	}
+	w := f.Width
+	var base int
+	if vertical {
+		base = y*w + x - 4
+	} else {
+		base = (y-4)*w + x
+	}
+	m0, mP, mQ := simd.DeblockEdge4(f.Y, base, w, vertical, alpha, beta, tc0, strong)
+	n := bits.OnesCount8(m0)
+	if n == 0 {
+		return
+	}
+	st.edgesFiltered += n
+	// Each filtered segment writes p0 and q0; mP/mQ flag the extra
+	// one-sample (normal) or two-sample (strong) side writes.
+	extra := 1
+	if strong {
+		extra = 2
+	}
+	st.samplesTouch += 2*n + extra*(bits.OnesCount8(mP)+bits.OnesCount8(mQ))
 }
 
 func absI32(v int32) int32 {

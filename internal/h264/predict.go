@@ -1,6 +1,10 @@
 package h264
 
-import "fmt"
+import (
+	"fmt"
+
+	"affectedge/internal/simd"
+)
 
 // IntraMode is a luma 4x4 intra prediction mode. The model implements the
 // three most common spec modes.
@@ -149,22 +153,11 @@ func sadBlock(orig, ref *Frame, bx, by int, mv MV) int {
 	x0, y0 := bx+mv.X, by+mv.Y
 	if bx >= 0 && by >= 0 && bx+4 <= orig.Width && by+4 <= orig.Height &&
 		x0 >= 0 && y0 >= 0 && x0+4 <= ref.Width && y0+4 <= ref.Height {
-		// Interior case (the bulk of motion search): direct plane rows,
-		// identical accumulation order to the clamped loop.
-		ow, rw := orig.Width, ref.Width
-		var sad int
-		for r := 0; r < 4; r++ {
-			o := orig.Y[(by+r)*ow+bx:]
-			p := ref.Y[(y0+r)*rw+x0:]
-			for c := 0; c < 4; c++ {
-				d := int(o[c]) - int(p[c])
-				if d < 0 {
-					d = -d
-				}
-				sad += d
-			}
-		}
-		return sad
+		// Interior case (the bulk of motion search): every sample is
+		// in-frame, so the packed absolute-difference kernel reads the
+		// plane rows directly. Integer sums are exact in any order.
+		return int(simd.SAD4x4(orig.Y[by*orig.Width+bx:], orig.Width,
+			ref.Y[y0*ref.Width+x0:], ref.Width))
 	}
 	var sad int
 	for r := 0; r < 4; r++ {

@@ -119,19 +119,6 @@ func gemmBiasNT(y, x, w, bias []float64, n, in, out int) {
 	}
 }
 
-// axpy4Go is the portable axpy4 body (also the amd64 tail handler): per
-// slot i, four chained multiply-adds in ascending source order.
-func axpy4Go(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {
-	for i := range dst {
-		s := dst[i]
-		s += a0 * s0[i]
-		s += a1 * s1[i]
-		s += a2 * s2[i]
-		s += a3 * s3[i]
-		dst[i] = s
-	}
-}
-
 // gemmDXAcc accumulates dx[r][i] += Σ_o g[r][o]·w[o][i] over an n×out
 // gradient block and an out×in weight matrix. The o-reduction runs in
 // ascending order per slot, which is exactly the per-example Dense

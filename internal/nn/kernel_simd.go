@@ -1,0 +1,25 @@
+package nn
+
+import "affectedge/internal/simd"
+
+// The axpy4 and Adam primitives delegate to the shared vector backend
+// in internal/simd, which owns the AVX bodies this package originally
+// carried (same lane-per-output arithmetic, same scalar references) and
+// the CPUID/override dispatch. Results are bit-identical whichever way
+// the backend dispatches.
+
+// simdActive reports whether axpy4/adamSlice dispatch to the vector
+// backend.
+func simdActive() bool { return simd.Enabled() }
+
+// axpy4 computes dst[i] += a0·s0[i] + a1·s1[i] + a2·s2[i] + a3·s3[i]
+// (chained in that order per slot) over len(dst) elements.
+func axpy4(dst, s0, s1, s2, s3 []float64, a0, a1, a2, a3 float64) {
+	simd.Axpy4(dst, s0, s1, s2, s3, a0, a1, a2, a3)
+}
+
+// adamSlice applies one Adam update to a parameter slice; see
+// simd.AdamRef for the per-element formula.
+func adamSlice(w, grad, m, v []float64, inv, b1, b2, c1, c2, lr, eps float64) {
+	simd.Adam(w, grad, m, v, inv, b1, b2, c1, c2, lr, eps)
+}

@@ -78,21 +78,6 @@ func (a *Adam) Step(params []*Param, batchSize int) {
 	}
 }
 
-// adamSliceGo is the portable Adam update body (also the amd64 tail
-// handler). The SIMD backend performs the identical per-element operation
-// sequence with IEEE-exact vector divides and square roots, so both
-// produce the same bits.
-func adamSliceGo(w, grad, m, v []float64, inv, b1, b2, c1, c2, lr, eps float64) {
-	for i := range w {
-		g := grad[i] * inv
-		m[i] = b1*m[i] + (1-b1)*g
-		v[i] = b2*v[i] + (1-b2)*g*g
-		mHat := m[i] / c1
-		vHat := v[i] / c2
-		w[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
-	}
-}
-
 // ClipGradients scales all gradients down so their global L2 norm does not
 // exceed maxNorm. It returns the pre-clip norm. Useful against exploding
 // LSTM gradients.

@@ -1,0 +1,494 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Shared vector backend. Float kernels follow the lane-per-output rule:
+// each SIMD lane owns one output slot and performs that slot's scalar
+// operation chain in unchanged order, with every VMULPD/VADDPD rounded
+// separately (no FMA), so results match the portable Go loops bit for
+// bit. Integer kernels (SAD, edge masks) are exactly associative.
+
+// func cpuHasAVX() bool
+//
+// AVX requires the CPUID AVX + OSXSAVE bits and YMM state enabled in
+// XCR0 (XGETBV).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVQ  $1, AX
+	CPUID
+	MOVL  CX, BX
+	ANDL  $(1<<27 | 1<<28), BX // OSXSAVE | AVX
+	CMPL  BX, $(1<<27 | 1<<28)
+	JNE   no
+	MOVL  $0, CX
+	XGETBV
+	ANDL  $6, AX               // XMM | YMM state
+	CMPL  AX, $6
+	JNE   no
+	MOVB  $1, ret+0(FP)
+	RET
+no:
+	MOVB  $0, ret+0(FP)
+	RET
+
+// func axpy4AVX(dst, s0, s1, s2, s3 *float64, n int, a0, a1, a2, a3 float64)
+//
+// dst[i] += a0*s0[i]; += a1*s1[i]; += a2*s2[i]; += a3*s3[i] for i < n
+// (n must be a multiple of 4). Each VMULPD/VADDPD pair rounds separately,
+// reproducing the scalar chain bit for bit in every lane.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-80
+	MOVQ         dst+0(FP), DI
+	MOVQ         s0+8(FP), SI
+	MOVQ         s1+16(FP), R8
+	MOVQ         s2+24(FP), R9
+	MOVQ         s3+32(FP), R10
+	MOVQ         n+40(FP), DX
+	VBROADCASTSD a0+48(FP), Y4
+	VBROADCASTSD a1+56(FP), Y5
+	VBROADCASTSD a2+64(FP), Y6
+	VBROADCASTSD a3+72(FP), Y7
+	XORQ         BX, BX
+	SHRQ         $2, DX
+	JZ           done
+loop:
+	VMOVUPD (DI)(BX*1), Y0
+	VMOVUPD (SI)(BX*1), Y1
+	VMULPD  Y4, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD (R8)(BX*1), Y2
+	VMULPD  Y5, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMOVUPD (R9)(BX*1), Y3
+	VMULPD  Y6, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	VMOVUPD (R10)(BX*1), Y1
+	VMULPD  Y7, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     loop
+done:
+	VZEROUPPER
+	RET
+
+// func adamAVX(w, grad, m, v *float64, n int, inv, b1, ib1, b2, ib2, c1, c2, lr, eps float64)
+//
+// Four-wide Adam update (n must be a multiple of 4), per element:
+//
+//	gs := g[i]*inv
+//	m[i] = b1*m[i] + ib1*gs
+//	v[i] = b2*v[i] + (ib2*gs)*gs
+//	w[i] -= lr*(m[i]/c1) / (sqrt(v[i]/c2) + eps)
+//
+// VDIVPD/VSQRTPD are IEEE correctly rounded like their scalar forms, so
+// every lane matches the scalar update bit for bit.
+TEXT ·adamAVX(SB), NOSPLIT, $0-112
+	MOVQ         w+0(FP), DI
+	MOVQ         grad+8(FP), SI
+	MOVQ         m+16(FP), R8
+	MOVQ         v+24(FP), R9
+	MOVQ         n+32(FP), DX
+	VBROADCASTSD inv+40(FP), Y7
+	VBROADCASTSD b1+48(FP), Y8
+	VBROADCASTSD ib1+56(FP), Y9
+	VBROADCASTSD b2+64(FP), Y10
+	VBROADCASTSD ib2+72(FP), Y11
+	VBROADCASTSD c1+80(FP), Y12
+	VBROADCASTSD c2+88(FP), Y13
+	VBROADCASTSD lr+96(FP), Y14
+	VBROADCASTSD eps+104(FP), Y15
+	XORQ         BX, BX
+	SHRQ         $2, DX
+	JZ           adone
+aloop:
+	VMOVUPD (SI)(BX*1), Y0     // grad
+	VMULPD  Y7, Y0, Y0         // gs = grad*inv
+	VMOVUPD (R8)(BX*1), Y1     // m
+	VMULPD  Y8, Y1, Y1         // b1*m
+	VMULPD  Y9, Y0, Y2         // ib1*gs
+	VADDPD  Y2, Y1, Y1         // m' = b1*m + ib1*gs
+	VMOVUPD Y1, (R8)(BX*1)
+	VMOVUPD (R9)(BX*1), Y3     // v
+	VMULPD  Y10, Y3, Y3        // b2*v
+	VMULPD  Y11, Y0, Y4        // ib2*gs
+	VMULPD  Y0, Y4, Y4         // (ib2*gs)*gs
+	VADDPD  Y4, Y3, Y3         // v' = b2*v + (ib2*gs)*gs
+	VMOVUPD Y3, (R9)(BX*1)
+	VDIVPD  Y12, Y1, Y1        // mHat = m'/c1
+	VDIVPD  Y13, Y3, Y3        // vHat = v'/c2
+	VSQRTPD Y3, Y3
+	VADDPD  Y15, Y3, Y3        // sqrt(vHat) + eps
+	VMULPD  Y14, Y1, Y1        // lr*mHat
+	VDIVPD  Y3, Y1, Y1         // delta
+	VMOVUPD (DI)(BX*1), Y5
+	VSUBPD  Y1, Y5, Y5         // w - delta
+	VMOVUPD Y5, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     aloop
+adone:
+	VZEROUPPER
+	RET
+
+// func dotI8AVX(w, x *float64, n int, dst *float64)
+//
+// Eight interleaved dot products: dst[l] = sum_k w[8k+l]*x[k] for k < n,
+// each lane accumulating in ascending k order. Two independent 4-lane
+// accumulator chains hide the VADDPD latency that a single chain would
+// serialize on.
+TEXT ·dotI8AVX(SB), NOSPLIT, $0-32
+	MOVQ   w+0(FP), SI
+	MOVQ   x+8(FP), DI
+	MOVQ   n+16(FP), DX
+	MOVQ   dst+24(FP), R8
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ   BX, BX
+	TESTQ  DX, DX
+	JZ     dstore
+dloop:
+	VBROADCASTSD (DI)(BX*8), Y2
+	VMOVUPD      (SI), Y3
+	VMULPD       Y2, Y3, Y3
+	VADDPD       Y3, Y0, Y0
+	VMOVUPD      32(SI), Y4
+	VMULPD       Y2, Y4, Y4
+	VADDPD       Y4, Y1, Y1
+	ADDQ         $64, SI
+	INCQ         BX
+	CMPQ         BX, DX
+	JLT          dloop
+dstore:
+	VMOVUPD Y0, (R8)
+	VMOVUPD Y1, 32(R8)
+	VZEROUPPER
+	RET
+
+// func lagDot8AVX(x, xk *float64, n int, dst *float64)
+//
+// Eight lag sums: dst[l] = sum_i x[i]*xk[i+l] for i < n, ascending i
+// per lane. xk points k elements past x, so lane l computes lag k+l.
+TEXT ·lagDot8AVX(SB), NOSPLIT, $0-32
+	MOVQ   x+0(FP), SI
+	MOVQ   xk+8(FP), DI
+	MOVQ   n+16(FP), DX
+	MOVQ   dst+24(FP), R8
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ   BX, BX
+	TESTQ  DX, DX
+	JZ     lstore
+lloop:
+	VBROADCASTSD (SI)(BX*8), Y2
+	VMOVUPD      (DI)(BX*8), Y3
+	VMULPD       Y3, Y2, Y3
+	VADDPD       Y3, Y0, Y0
+	VMOVUPD      32(DI)(BX*8), Y4
+	VMULPD       Y4, Y2, Y4
+	VADDPD       Y4, Y1, Y1
+	INCQ         BX
+	CMPQ         BX, DX
+	JLT          lloop
+lstore:
+	VMOVUPD Y0, (R8)
+	VMOVUPD Y1, 32(R8)
+	VZEROUPPER
+	RET
+
+// func mulAVX(dst, src *float64, n int)
+//
+// dst[i] *= src[i] for i < n (n a multiple of 4).
+TEXT ·mulAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), DX
+	XORQ BX, BX
+	SHRQ $2, DX
+	JZ   mdone
+mloop:
+	VMOVUPD (DI)(BX*1), Y0
+	VMOVUPD (SI)(BX*1), Y1
+	VMULPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     mloop
+mdone:
+	VZEROUPPER
+	RET
+
+// func subScaledAVX(dst, x, y *float64, n int, c float64)
+//
+// dst[i] = x[i] - c*y[i] for i < n (n a multiple of 4): one rounded
+// multiply then one rounded subtract per slot, exactly the scalar shape.
+TEXT ·subScaledAVX(SB), NOSPLIT, $0-40
+	MOVQ         dst+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         y+16(FP), R8
+	MOVQ         n+24(FP), DX
+	VBROADCASTSD c+32(FP), Y3
+	XORQ         BX, BX
+	SHRQ         $2, DX
+	JZ           sdone
+sloop:
+	VMOVUPD (R8)(BX*1), Y1
+	VMULPD  Y3, Y1, Y1         // c*y
+	VMOVUPD (SI)(BX*1), Y0
+	VSUBPD  Y1, Y0, Y0         // x - c*y
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     sloop
+sdone:
+	VZEROUPPER
+	RET
+
+// func sqScaleAVX(dst *float64, n int, s float64)
+//
+// dst[i] = (dst[i]*dst[i])*s for i < n (n a multiple of 4), rounding
+// the square before the scale like the scalar loop.
+TEXT ·sqScaleAVX(SB), NOSPLIT, $0-24
+	MOVQ         dst+0(FP), DI
+	MOVQ         n+8(FP), DX
+	VBROADCASTSD s+16(FP), Y2
+	XORQ         BX, BX
+	SHRQ         $2, DX
+	JZ           qdone
+qloop:
+	VMOVUPD (DI)(BX*1), Y0
+	VMULPD  Y0, Y0, Y0         // m*m
+	VMULPD  Y2, Y0, Y0         // (m*m)*s
+	VMOVUPD Y0, (DI)(BX*1)
+	ADDQ    $32, BX
+	DECQ    DX
+	JNZ     qloop
+qdone:
+	VZEROUPPER
+	RET
+
+DATA ·absMask+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA ·absMask+8(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA ·absMask+16(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA ·absMask+24(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL ·absMask(SB), RODATA|NOPTR, $32
+
+DATA ·plusInf+0(SB)/8, $0x7FF0000000000000
+DATA ·plusInf+8(SB)/8, $0x7FF0000000000000
+DATA ·plusInf+16(SB)/8, $0x7FF0000000000000
+DATA ·plusInf+24(SB)/8, $0x7FF0000000000000
+GLOBL ·plusInf(SB), RODATA|NOPTR, $32
+
+DATA ·ones+0(SB)/8, $0x3FF0000000000000
+DATA ·ones+8(SB)/8, $0x3FF0000000000000
+DATA ·ones+16(SB)/8, $0x3FF0000000000000
+DATA ·ones+24(SB)/8, $0x3FF0000000000000
+GLOBL ·ones(SB), RODATA|NOPTR, $32
+
+// The exact qNaN math.Hypot returns (math.NaN()'s payload).
+DATA ·hypotNaN+0(SB)/8, $0x7FF8000000000001
+DATA ·hypotNaN+8(SB)/8, $0x7FF8000000000001
+DATA ·hypotNaN+16(SB)/8, $0x7FF8000000000001
+DATA ·hypotNaN+24(SB)/8, $0x7FF8000000000001
+GLOBL ·hypotNaN(SB), RODATA|NOPTR, $32
+
+// func cabsAVX(dst *float64, src *complex128, n int)
+//
+// dst[i] = |src[i]| for i < n (n a multiple of 4), replicating the
+// runtime's hypot kernel lane for lane: p, q = |re|, |im|;
+// max, min with MAXSD/MINSD operand order; t = min/max;
+// result = max*sqrt(1+t*t); then the special-case blends — +0 where
+// max == +0, +Inf where either component is infinite, and math.NaN()'s
+// exact bit pattern where a NaN is present without an infinity.
+TEXT ·cabsAVX(SB), NOSPLIT, $0-24
+	MOVQ    dst+0(FP), DI
+	MOVQ    src+8(FP), SI
+	MOVQ    n+16(FP), DX
+	VMOVUPD ·absMask(SB), Y15
+	VMOVUPD ·plusInf(SB), Y14
+	VMOVUPD ·ones(SB), Y13
+	VMOVUPD ·hypotNaN(SB), Y12
+	VXORPD  Y11, Y11, Y11
+	SHRQ    $2, DX
+	JZ      cdone
+cloop:
+	VMOVUPD    (SI), Y0
+	VMOVUPD    32(SI), Y1
+	VPERM2F128 $0x20, Y1, Y0, Y2 // [re0 im0 re2 im2]
+	VPERM2F128 $0x31, Y1, Y0, Y3 // [re1 im1 re3 im3]
+	VUNPCKLPD  Y3, Y2, Y4        // RE, in order
+	VUNPCKHPD  Y3, Y2, Y5        // IM, in order
+	VANDPD     Y15, Y4, Y4       // p = |re|
+	VANDPD     Y15, Y5, Y5       // q = |im|
+	VMAXPD     Y5, Y4, Y6        // max (MAXSD tie order: q wins ties)
+	VMINPD     Y4, Y5, Y7        // min (MINSD tie order: p wins ties)
+	VDIVPD     Y6, Y7, Y8        // t = min/max
+	VMULPD     Y8, Y8, Y8        // t*t
+	VADDPD     Y13, Y8, Y8       // 1 + t*t
+	VSQRTPD    Y8, Y8
+	VMULPD     Y8, Y6, Y8        // max*sqrt(1+t*t)
+	VCMPPD     $0, Y11, Y6, Y9   // max == +0
+	VANDNPD    Y8, Y9, Y8        // force +0 there
+	VCMPPD     $1, Y14, Y4, Y2   // p < Inf (false for NaN)
+	VCMPPD     $1, Y14, Y5, Y3   // q < Inf
+	VANDPD     Y3, Y2, Y2        // finite mask
+	VCMPPD     $0, Y14, Y4, Y4   // p == Inf
+	VCMPPD     $0, Y14, Y5, Y5   // q == Inf
+	VORPD      Y5, Y4, Y4        // inf mask
+	VANDPD     Y2, Y8, Y8        // finite result
+	VANDPD     Y4, Y14, Y5       // +Inf where inf
+	VORPD      Y4, Y2, Y2        // covered lanes
+	VANDNPD    Y12, Y2, Y2       // NaN where neither finite nor inf
+	VORPD      Y5, Y8, Y8
+	VORPD      Y2, Y8, Y8
+	VMOVUPD    Y8, (DI)
+	ADDQ       $64, SI
+	ADDQ       $32, DI
+	DECQ       DX
+	JNZ        cloop
+cdone:
+	VZEROUPPER
+	RET
+
+// func widenAVX(dst *complex128, src *float64, n int)
+//
+// dst[i] = complex(src[i], 0) for i < n (n a multiple of 4).
+TEXT ·widenAVX(SB), NOSPLIT, $0-24
+	MOVQ   dst+0(FP), DI
+	MOVQ   src+8(FP), SI
+	MOVQ   n+16(FP), DX
+	VXORPD Y3, Y3, Y3
+	SHRQ   $2, DX
+	JZ     wdone
+wloop:
+	VMOVUPD    (SI), Y0
+	VUNPCKLPD  Y3, Y0, Y1        // [s0 0 s2 0]
+	VUNPCKHPD  Y3, Y0, Y2        // [s1 0 s3 0]
+	VPERM2F128 $0x20, Y2, Y1, Y4 // [s0 0 s1 0]
+	VPERM2F128 $0x31, Y2, Y1, Y5 // [s2 0 s3 0]
+	VMOVUPD    Y4, (DI)
+	VMOVUPD    Y5, 32(DI)
+	ADDQ       $32, SI
+	ADDQ       $64, DI
+	DECQ       DX
+	JNZ        wloop
+wdone:
+	VZEROUPPER
+	RET
+
+// func fftStageAVX(x *complex128, n, size int, tw *complex128)
+//
+// One radix-2 DIT butterfly stage over every size-aligned group of x
+// (size >= 4, so half = size/2 is even and two butterflies fit per
+// register). The complex multiply is the naive four-product form the
+// compiler emits for complex128: re = rb*rw - ib*iw via VADDSUBPD's
+// even lanes (subtrahend order preserved), im = rb*iw + ib*rw via its
+// odd lanes (addition commutes exactly). Each product and each add/sub
+// is rounded separately, so every butterfly matches the scalar loop
+// bit for bit.
+TEXT ·fftStageAVX(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ n+8(FP), DX
+	MOVQ size+16(FP), CX
+	MOVQ tw+24(FP), R8
+	MOVQ CX, R9
+	SHLQ $3, R9                  // half in bytes = (size/2)*16
+	SHLQ $4, DX
+	ADDQ SI, DX                  // end of x
+fouter:
+	CMPQ SI, DX
+	JGE  fdone
+	MOVQ SI, DI                  // a half
+	LEAQ (SI)(R9*1), R11         // b half
+	MOVQ R8, R12                 // twiddles
+	MOVQ R9, BX                  // bytes left in this half
+finner:
+	VMOVUPD    (R11), Y1         // B = [b0, b1]
+	VMOVUPD    (R12), Y2         // W = [w0, w1]
+	VMOVDDUP   Y2, Y3            // [rw0 rw0 rw1 rw1]
+	VPERMILPD  $0xF, Y2, Y4      // [iw0 iw0 iw1 iw1]
+	VMULPD     Y3, Y1, Y5        // [rb*rw, ib*rw]
+	VPERMILPD  $0x5, Y1, Y6      // [ib, rb]
+	VMULPD     Y4, Y6, Y7        // [ib*iw, rb*iw]
+	VADDSUBPD  Y7, Y5, Y7        // b*w: even -, odd +
+	VMOVUPD    (DI), Y0          // A
+	VADDPD     Y7, Y0, Y8        // a + b*w
+	VSUBPD     Y7, Y0, Y9        // a - b*w
+	VMOVUPD    Y8, (DI)
+	VMOVUPD    Y9, (R11)
+	ADDQ       $32, DI
+	ADDQ       $32, R11
+	ADDQ       $32, R12
+	SUBQ       $32, BX
+	JNZ        finner
+	LEAQ (SI)(R9*2), SI          // next group
+	JMP  fouter
+fdone:
+	VZEROUPPER
+	RET
+
+// func fftStage2AVX(x *complex128, n int, w complex128)
+//
+// The size-2 butterfly stage: n adjacent (a, b) pairs, two pairs per
+// iteration (n even, >= 2). The multiply by w is kept even though the
+// stage-2 twiddle is 1+0i, matching the general-stage arithmetic.
+TEXT ·fftStage2AVX(SB), NOSPLIT, $0-32
+	MOVQ         x+0(FP), SI
+	MOVQ         n+8(FP), DX
+	VBROADCASTSD w_real+16(FP), Y3
+	VBROADCASTSD w_imag+24(FP), Y4
+	SHRQ         $1, DX
+gloop:
+	VMOVUPD    (SI), Y0          // [a0, b0]
+	VMOVUPD    32(SI), Y1        // [a1, b1]
+	VPERM2F128 $0x20, Y1, Y0, Y5 // A = [a0, a1]
+	VPERM2F128 $0x31, Y1, Y0, Y6 // B = [b0, b1]
+	VMULPD     Y3, Y6, Y7        // [rb*rw, ib*rw]
+	VPERMILPD  $0x5, Y6, Y8      // [ib, rb]
+	VMULPD     Y4, Y8, Y8        // [ib*iw, rb*iw]
+	VADDSUBPD  Y8, Y7, Y7        // b*w
+	VADDPD     Y7, Y5, Y8        // a + b*w
+	VSUBPD     Y7, Y5, Y9        // a - b*w
+	VPERM2F128 $0x20, Y9, Y8, Y0 // [out_a0, out_b0]
+	VPERM2F128 $0x31, Y9, Y8, Y1 // [out_a1, out_b1]
+	VMOVUPD    Y0, (SI)
+	VMOVUPD    Y1, 32(SI)
+	ADDQ       $64, SI
+	DECQ       DX
+	JNZ        gloop
+	VZEROUPPER
+	RET
+
+// func sad4x4SSE(a *byte, astride int, b *byte, bstride int) int32
+//
+// Sum of absolute differences of two 4x4 byte blocks: the four rows of
+// each block are packed into one 16-byte register and reduced with
+// PSADBW. Integer addition is exact, so any summation order matches
+// the scalar loop.
+TEXT ·sad4x4SSE(SB), NOSPLIT, $0-36
+	MOVQ       a+0(FP), SI
+	MOVQ       astride+8(FP), R8
+	MOVQ       b+16(FP), DI
+	MOVQ       bstride+24(FP), R9
+	MOVL       (SI), X0
+	MOVL       (SI)(R8*1), X1
+	LEAQ       (SI)(R8*2), SI
+	MOVL       (SI), X2
+	MOVL       (SI)(R8*1), X3
+	PUNPCKLLQ  X1, X0
+	PUNPCKLLQ  X3, X2
+	PUNPCKLQDQ X2, X0            // block a, 16 bytes
+	MOVL       (DI), X4
+	MOVL       (DI)(R9*1), X5
+	LEAQ       (DI)(R9*2), DI
+	MOVL       (DI), X6
+	MOVL       (DI)(R9*1), X7
+	PUNPCKLLQ  X5, X4
+	PUNPCKLLQ  X7, X6
+	PUNPCKLQDQ X6, X4            // block b, 16 bytes
+	PSADBW     X4, X0            // two qword partial sums
+	PSHUFD     $0xEE, X0, X1
+	MOVQ       X0, AX
+	MOVQ       X1, BX
+	ADDQ       BX, AX
+	MOVL       AX, ret+32(FP)
+	RET
