@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: all build vet test test-short test-noavx test-race cover bench bench-json bench-compare repro figures fleet-smoke clean
+.PHONY: all build vet test test-short test-noavx test-race stream-smoke cover bench bench-json bench-compare repro figures fleet-smoke clean
 
 all: build vet test
 
@@ -28,14 +28,21 @@ test-short:
 # (AFFECTEDGE_NOSIMD): proves the scalar fallbacks carry the same
 # goldens and differential pins, i.e. what a non-AVX host would run.
 test-noavx:
-	AFFECTEDGE_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/dsp/ ./internal/nn/ ./internal/h264/
+	AFFECTEDGE_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/dsp/ ./internal/nn/ ./internal/h264/ ./internal/stream/ ./internal/affect/
+
+# The streaming-ingestion concurrency suites under the race detector:
+# FIFO producer/consumer interleavings, goroutine-leak checks, and the
+# progressive decoder's SPSC path. Fast enough to run on every change.
+stream-smoke:
+	$(GO) test -race ./internal/stream/
+	$(GO) test -race -run 'Stream|Chunk' ./internal/dsp/ ./internal/h264/ ./internal/fleet/
 
 # Full suite under the race detector: exercises the worker pool, the
 # parallel featurization/synthesis/study paths, and replica training.
 # Race instrumentation makes the training-heavy root package exceed go
 # test's default 10-minute timeout on small machines, hence -timeout.
 # Also replays the simd-sensitive suites with dispatch forced off.
-test-race: test-noavx
+test-race: test-noavx stream-smoke
 	$(GO) test -race -timeout 45m ./...
 
 # Coverage gate over the -short suite (the training-heavy full studies
@@ -44,8 +51,12 @@ test-race: test-noavx
 # coverage can only erode by deliberately lowering it here. The fleet
 # serving layer carries its own per-package floor: it is the concurrency
 # hot spot, so its tests must keep covering the shard/coalescer paths.
+# The stream package (bounded FIFOs under every ingest pipeline) carries
+# one too: a coverage hole there is an untested blocking/backpressure
+# interleaving.
 COVER_FLOOR := 79.1
 FLEET_COVER_FLOOR := 85.0
+STREAM_COVER_FLOOR := 85.0
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
@@ -56,6 +67,10 @@ cover:
 	echo "fleet coverage: $$fleet% (floor: $(FLEET_COVER_FLOOR)%)"; \
 	awk -v t="$$fleet" -v f="$(FLEET_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
 		|| { echo "FAIL: fleet coverage $$fleet% is below the $(FLEET_COVER_FLOOR)% floor"; exit 1; }
+	@str=$$($(GO) test -short -cover ./internal/stream/ | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%/) { gsub("%","",$$i); print $$i } }'); \
+	echo "stream coverage: $$str% (floor: $(STREAM_COVER_FLOOR)%)"; \
+	awk -v t="$$str" -v f="$(STREAM_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+		|| { echo "FAIL: stream coverage $$str% is below the $(STREAM_COVER_FLOOR)% floor"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -64,7 +79,7 @@ bench:
 # first free n, so the perf trajectory accumulates across PRs.
 bench-json:
 	n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ ./internal/h264/ \
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ ./internal/h264/ ./internal/stream/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$n.json; \
 	echo "wrote BENCH_$$n.json"
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fleetsim [-sessions N] [-shards N] [-duration D] [-tick D] [-workers N]
-//	         [-seed N] [-serial] [-metrics path]
+//	         [-seed N] [-serial] [-chunk-bytes N] [-metrics path]
 //
 // The run advances duration/tick observation rounds of virtual time and
 // prints an aggregate JSON report (throughput, switches, launches, kills,
@@ -33,6 +33,7 @@ type report struct {
 	Workers     int     `json:"workers"`
 	Seed        int64   `json:"seed"`
 	SerialInfer bool    `json:"serial_infer"`
+	ChunkBytes  int     `json:"chunk_bytes"`
 	ObsPerSec   float64 `json:"observations_per_sec"`
 	Fingerprint string  `json:"fingerprint"`
 }
@@ -45,16 +46,17 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores); results are identical at any value")
 	seed := flag.Int64("seed", 1, "fleet seed")
 	serial := flag.Bool("serial", false, "per-session serial inference instead of coalesced batches (same results, slower)")
+	chunkBytes := flag.Int("chunk-bytes", 0, "drive sessions with chunked streaming ingest in this byte granularity (0 = whole-buffer; fingerprints are identical either way)")
 	metrics := flag.String("metrics", "", `write a JSON metrics dump here after the run ("-" = stdout)`)
 	flag.Parse()
 
-	if err := run(*sessions, *shards, *duration, *tick, *workers, *seed, *serial, *metrics, os.Stdout); err != nil {
+	if err := run(*sessions, *shards, *duration, *tick, *workers, *seed, *serial, *chunkBytes, *metrics, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sessions, shards int, duration, tick time.Duration, workers int, seed int64, serial bool, metrics string, out *os.File) error {
+func run(sessions, shards int, duration, tick time.Duration, workers int, seed int64, serial bool, chunkBytes int, metrics string, out *os.File) error {
 	if tick <= 0 {
 		return fmt.Errorf("tick %v, want > 0", tick)
 	}
@@ -78,6 +80,7 @@ func run(sessions, shards int, duration, tick time.Duration, workers int, seed i
 		TickEvery:   tick,
 		Seed:        seed,
 		SerialInfer: serial,
+		ChunkBytes:  chunkBytes,
 	})
 	if err != nil {
 		return err
@@ -87,6 +90,7 @@ func run(sessions, shards int, duration, tick time.Duration, workers int, seed i
 		Workers:     workers,
 		Seed:        seed,
 		SerialInfer: serial,
+		ChunkBytes:  chunkBytes,
 		ObsPerSec:   float64(st.Observations) / st.WallTime.Seconds(),
 		Fingerprint: st.Fingerprint(),
 	}

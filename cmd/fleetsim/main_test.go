@@ -16,7 +16,7 @@ func TestRunReportAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	metPath := filepath.Join(dir, "metrics.json")
-	if err := run(40, 4, 5*time.Second, time.Second, 2, 1, false, metPath, out); err != nil {
+	if err := run(40, 4, 5*time.Second, time.Second, 2, 1, false, 16, metPath, out); err != nil {
 		t.Fatal(err)
 	}
 	if err := out.Close(); err != nil {
@@ -50,10 +50,10 @@ func TestRunReportAndMetrics(t *testing.T) {
 }
 
 func TestRunRejectsBadDurations(t *testing.T) {
-	if err := run(4, 2, 0, time.Second, 0, 1, false, "", os.Stdout); err == nil {
+	if err := run(4, 2, 0, time.Second, 0, 1, false, 0, "", os.Stdout); err == nil {
 		t.Error("zero duration accepted")
 	}
-	if err := run(4, 2, time.Second, 0, 0, 1, false, "", os.Stdout); err == nil {
+	if err := run(4, 2, time.Second, 0, 0, 1, false, 0, "", os.Stdout); err == nil {
 		t.Error("zero tick accepted")
 	}
 }

@@ -1,0 +1,112 @@
+package affect
+
+import (
+	"fmt"
+
+	"affectedge/internal/dsp"
+	"affectedge/internal/nn"
+)
+
+// StreamFeaturizer is the chunked twin of Features: it accepts a waveform
+// as arbitrary-size sample chunks and produces the same fixed-size
+// [NumFrames][Dim] tensor, bit-identical (Float64bits) to the whole-buffer
+// path. Raw audio is never buffered — the underlying dsp.MFCCStream holds
+// at most FrameLen+Hop+2 samples — so ingest memory is constant in clip
+// length; only the per-frame feature rows (the same rows Features builds)
+// accumulate, since the fixed-frame resampling needs the full time axis.
+//
+// The cepstral chain and the per-frame scalar features run over the same
+// frame tap the streamer emits, which is exactly the framing Features
+// applies to the raw wave, so equivalence holds by construction.
+//
+// TrimLeadingSilence is rejected: its threshold is half the whole-clip
+// RMS, which no streaming pass can know before the clip ends. Not safe
+// for concurrent use.
+type StreamFeaturizer struct {
+	cfg FeatureConfig
+	ms  *dsp.MFCCStream
+	nm  int // mfcc+delta prefix width (2*NumMFCC)
+
+	rows [][]float64
+	done bool
+}
+
+// NewStreamFeaturizer validates cfg (the same rules as Features, plus the
+// no-trim restriction) and builds the streaming pipeline.
+func NewStreamFeaturizer(cfg FeatureConfig) (*StreamFeaturizer, error) {
+	if cfg.NumFrames <= 0 || cfg.NumMFCC <= 0 {
+		return nil, fmt.Errorf("affect: invalid feature config %+v", cfg)
+	}
+	if cfg.TrimLeadingSilence {
+		return nil, fmt.Errorf("affect: TrimLeadingSilence needs the whole clip; disable it for streaming")
+	}
+	mcfg := dsp.DefaultMFCCConfig(cfg.SampleRate)
+	mcfg.NumCoeffs = cfg.NumMFCC
+	mcfg.IncludeDelta = true
+	s := &StreamFeaturizer{cfg: cfg, nm: 2 * cfg.NumMFCC}
+	ms, err := dsp.NewMFCCStream(mcfg, func(i int, row []float64) {
+		copy(s.rows[i][:s.nm], row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The frame tap sees each zero-padded raw frame as it completes — the
+	// same frames Features hands to the scalar extractors — and fires one
+	// frame ahead of the (delta-lagged) coefficient callback, so the row is
+	// allocated here and its cepstral prefix filled in above.
+	ms.SetFrameTap(func(i int, f []float64) {
+		row := make([]float64, s.nm, s.cfg.Dim())
+		row = append(row,
+			dsp.ZeroCrossingRate(f),
+			dsp.RMS(f),
+			dsp.EstimatePitch(f, s.cfg.SampleRate, 60, 500)/500,
+			dsp.SpectralCentroid(f, s.cfg.SampleRate)/(s.cfg.SampleRate/2),
+		)
+		row = dsp.AppendHistogram(row, f, s.cfg.HistBins)
+		s.rows = append(s.rows, row)
+	})
+	s.ms = ms
+	return s, nil
+}
+
+// Push feeds a chunk of waveform samples.
+func (s *StreamFeaturizer) Push(chunk []float64) error {
+	if s.done {
+		return fmt.Errorf("affect: StreamFeaturizer push after Finish")
+	}
+	return s.ms.Push(chunk)
+}
+
+// Frames returns the number of analysis frames completed so far.
+func (s *StreamFeaturizer) Frames() int { return s.ms.Frames() }
+
+// PeakWindow reports the high-water raw-sample count retained by the
+// ingest ring — the constant-memory bound, independent of clip length.
+func (s *StreamFeaturizer) PeakWindow() int { return s.ms.PeakWindow() }
+
+// Finish ends the stream and assembles the [NumFrames][Dim] tensor.
+// Mirroring Features, an empty stream is an error.
+func (s *StreamFeaturizer) Finish() (*nn.Tensor, error) {
+	if s.done {
+		return nil, fmt.Errorf("affect: StreamFeaturizer double Finish")
+	}
+	s.done = true
+	if err := s.ms.Flush(); err != nil {
+		if s.ms.Frames() == 0 {
+			return nil, fmt.Errorf("affect: empty waveform")
+		}
+		return nil, err
+	}
+	fixed := resampleRows(s.rows, s.cfg.NumFrames)
+	if s.cfg.CMVN {
+		dsp.CMVN(fixed)
+	}
+	return nn.FromMatrix(fixed)
+}
+
+// Reset clears state for another clip with the same configuration.
+func (s *StreamFeaturizer) Reset() {
+	s.ms.Reset()
+	s.rows = s.rows[:0]
+	s.done = false
+}

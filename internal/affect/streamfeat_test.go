@@ -1,0 +1,133 @@
+package affect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"affectedge/internal/simd"
+)
+
+// TestStreamFeaturizerMatchesBatch streams clips of assorted lengths in
+// assorted chunkings and requires the resulting tensor to be bit-identical
+// to Features of the whole buffer, at both SIMD settings.
+func TestStreamFeaturizerMatchesBatch(t *testing.T) {
+	defer simd.SetEnabled(simd.Available())
+	cfg := DefaultFeatureConfig(16000)
+	cmvn := cfg
+	cmvn.CMVN = true
+	for _, on := range []bool{true, false} {
+		simd.SetEnabled(on && simd.Available())
+		for name, c := range map[string]FeatureConfig{"plain": cfg, "cmvn": cmvn} {
+			rng := rand.New(rand.NewSource(42))
+			for _, n := range []int{50, 400, 401, 8000, 16321} {
+				wave := make([]float64, n)
+				for i := range wave {
+					wave[i] = rng.NormFloat64()
+				}
+				want, err := Features(wave, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, chunk := range []int{1, 160, 999, n} {
+					sf, err := NewStreamFeaturizer(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for at := 0; at < n; at += chunk {
+						end := at + chunk
+						if end > n {
+							end = n
+						}
+						if err := sf.Push(wave[at:end]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					got, err := sf.Finish()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got.Data) != len(want.Data) {
+						t.Fatalf("%s n=%d chunk=%d: tensor size %d, want %d", name, n, chunk, len(got.Data), len(want.Data))
+					}
+					for i := range want.Data {
+						if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+							t.Fatalf("%s n=%d chunk=%d: element %d streamed %v != batch %v",
+								name, n, chunk, i, got.Data[i], want.Data[i])
+						}
+					}
+					if sf.PeakWindow() > 400+160+2 {
+						t.Fatalf("peak ingest window %d exceeds FrameLen+Hop+2", sf.PeakWindow())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamFeaturizerReset checks one featurizer serves multiple clips.
+func TestStreamFeaturizerReset(t *testing.T) {
+	cfg := DefaultFeatureConfig(16000)
+	sf, err := NewStreamFeaturizer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for pass := 0; pass < 2; pass++ {
+		wave := make([]float64, 3000+pass*500)
+		for i := range wave {
+			wave[i] = rng.NormFloat64()
+		}
+		want, err := Features(wave, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sf.Push(wave); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sf.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("pass %d: element %d mismatch", pass, i)
+			}
+		}
+		sf.Reset()
+	}
+}
+
+// TestStreamFeaturizerErrors covers lifecycle and config rejections.
+func TestStreamFeaturizerErrors(t *testing.T) {
+	bad := DefaultFeatureConfig(16000)
+	bad.TrimLeadingSilence = true
+	if _, err := NewStreamFeaturizer(bad); err == nil {
+		t.Fatal("TrimLeadingSilence accepted for streaming")
+	}
+	bad = DefaultFeatureConfig(16000)
+	bad.NumFrames = 0
+	if _, err := NewStreamFeaturizer(bad); err == nil {
+		t.Fatal("zero NumFrames accepted")
+	}
+	sf, err := NewStreamFeaturizer(DefaultFeatureConfig(16000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Finish(); err == nil {
+		t.Fatal("empty-stream Finish succeeded; Features rejects empty waveforms")
+	}
+	if err := sf.Push([]float64{1}); err == nil {
+		t.Fatal("Push after Finish accepted")
+	}
+	if _, err := sf.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+	sf.Reset()
+	if err := sf.Push(make([]float64, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

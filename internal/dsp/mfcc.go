@@ -128,32 +128,8 @@ func MFCC(x []float64, cfg MFCCConfig) ([][]float64, error) {
 	enp := getF64(cfg.NumFilters)
 	ps, energies := *psp, *enp
 	EachFrame(sig, cfg.FrameLen, cfg.Hop, func(_ int, f []float64) {
-		ApplyWindow(f, window)
-		powerSpectrumInto(ps, f, nfft)
-		// Filterbank energies -> log -> DCT. Eight filters per kernel
-		// call over the union of their supports (zero weights outside a
-		// filter's own triangle contribute exact +0 terms), leftover
-		// filters by their individual support.
-		m := 0
-		for gi := range bank.groups {
-			g := &bank.groups[gi]
-			var e [8]float64
-			simd.DotI8(&e, g.w, ps[g.lo:g.hi])
-			for l := 0; l < 8; l, m = l+1, m+1 {
-				// Floor to avoid log(0) on silent frames.
-				energies[m] = math.Log(math.Max(e[l], 1e-12))
-			}
-		}
-		for ; m < len(bank.rows); m++ {
-			var e float64
-			row := bank.rows[m]
-			for k := bank.lo[m]; k < bank.hi[m]; k++ {
-				e += row[k] * ps[k]
-			}
-			energies[m] = math.Log(math.Max(e, 1e-12))
-		}
 		row := make([]float64, rowWidth)
-		dctIIInto(row[:cfg.NumCoeffs], energies)
+		mfccFrameInto(row[:cfg.NumCoeffs], f, window, bank, ps, energies, nfft)
 		out = append(out, row)
 	})
 	putF64(psp)
@@ -165,6 +141,39 @@ func MFCC(x []float64, cfg MFCCConfig) ([][]float64, error) {
 		fillDeltas(out, cfg.NumCoeffs)
 	}
 	return out, nil
+}
+
+// mfccFrameInto runs the per-frame cepstral chain on one analysis frame:
+// window in place, power spectrum, filterbank energies -> log -> DCT into
+// dst (len(dst) coefficients). Eight filters go per kernel call over the
+// union of their supports (zero weights outside a filter's own triangle
+// contribute exact +0 terms), leftover filters by their individual
+// support. Shared verbatim by the whole-buffer MFCC path and MFCCStream,
+// which is what makes streamed coefficients bit-identical to batch ones.
+// f is mutated (windowing); ps and energies are caller scratch of nfft/2+1
+// and filterbank size.
+func mfccFrameInto(dst, f, window []float64, bank *melBank, ps, energies []float64, nfft int) {
+	ApplyWindow(f, window)
+	powerSpectrumInto(ps, f, nfft)
+	m := 0
+	for gi := range bank.groups {
+		g := &bank.groups[gi]
+		var e [8]float64
+		simd.DotI8(&e, g.w, ps[g.lo:g.hi])
+		for l := 0; l < 8; l, m = l+1, m+1 {
+			// Floor to avoid log(0) on silent frames.
+			energies[m] = math.Log(math.Max(e[l], 1e-12))
+		}
+	}
+	for ; m < len(bank.rows); m++ {
+		var e float64
+		row := bank.rows[m]
+		for k := bank.lo[m]; k < bank.hi[m]; k++ {
+			e += row[k] * ps[k]
+		}
+		energies[m] = math.Log(math.Max(e, 1e-12))
+	}
+	dctIIInto(dst, energies)
 }
 
 // fillDeltas writes first-order frame-to-frame differences of the first d

@@ -1,0 +1,278 @@
+package dsp
+
+import (
+	"fmt"
+
+	"affectedge/internal/simd"
+)
+
+// MFCCStream is the incremental twin of MFCC: it accepts a waveform as
+// arbitrary-size sample chunks, maintains a hop-sized sliding window over
+// a fixed ring, and emits each frame's cepstral row as soon as the frame
+// completes. Peak retained samples are FrameLen+Hop+2 regardless of
+// stream length — the constant-memory property the streaming ingest paths
+// are built on — and the per-frame math is the same pooled, SIMD-
+// dispatched kernel chain MFCC runs, so for any chunking of a signal the
+// emitted rows are bit-identical (math.Float64bits) to MFCC of the whole
+// buffer:
+//
+//   - Pre-emphasis (y[i] = x[i] - c*x[i-1]) is strictly elementwise with
+//     mul-then-sub rounding in both the AVX and scalar bodies, so
+//     recomputing a frame's slice of it from the ring (with one carried
+//     predecessor sample) reproduces the whole-signal filter exactly.
+//   - Framing copies the ring window into the same zero-padded frame
+//     buffer shape EachFrame uses, and the window/power-spectrum/mel/DCT
+//     chain is mfccFrameInto — shared verbatim with MFCC.
+//   - Delta rows lag emission by one frame: frame i's deltas need frame
+//     i+1, so row i is emitted when frame i+1 completes, and Flush emits
+//     the final row with the same zero-delta boundary fillDeltas applies.
+//
+// A frame is "complete" the moment a sample *past* its end arrives; Flush
+// then emits exactly the one trailing (zero-padded) frame the whole-buffer
+// path produces. Not safe for concurrent use.
+type MFCCStream struct {
+	cfg    MFCCConfig
+	bank   *melBank
+	window []float64
+	nfft   int
+
+	onFrame func(i int, row []float64)
+	tap     func(i int, frame []float64)
+
+	// Ring of raw samples, addressed by absolute sample position. lo is
+	// the oldest retained position, hi the count received so far.
+	ring   []float64
+	lo, hi int
+	peak   int // high-water hi-lo
+
+	next   int // start position of the next frame to compute
+	frames int // frames computed so far
+
+	// Per-frame scratch. rawx holds x[s-1 .. s+FrameLen] (one predecessor
+	// sample for pre-emphasis, then the zero-padded frame); frameBuf holds
+	// the pre-emphasized frame and is windowed in place; coef is a
+	// three-deep rotation of coefficient rows for the delta lag; emit is
+	// the row handed to onFrame (reused every frame).
+	rawx     []float64
+	frameBuf []float64
+	ps       []float64
+	energies []float64
+	coef     [3][]float64
+	emit     []float64
+
+	flushed bool
+}
+
+// NewMFCCStream builds a streaming extractor for cfg. onFrame receives
+// each frame index and its feature row (NumCoeffs values, or 2*NumCoeffs
+// with IncludeDelta); the row slice is reused across frames, so callers
+// keep a copy, not the slice. Configuration errors match MFCC's.
+func NewMFCCStream(cfg MFCCConfig, onFrame func(i int, row []float64)) (*MFCCStream, error) {
+	if cfg.FrameLen <= 0 || cfg.Hop <= 0 {
+		return nil, fmt.Errorf("dsp: MFCC frame params invalid (len=%d hop=%d)", cfg.FrameLen, cfg.Hop)
+	}
+	if cfg.NumCoeffs <= 0 || cfg.NumCoeffs > cfg.NumFilters {
+		return nil, fmt.Errorf("dsp: MFCC wants %d coeffs from %d filters", cfg.NumCoeffs, cfg.NumFilters)
+	}
+	if onFrame == nil {
+		return nil, fmt.Errorf("dsp: MFCCStream needs an onFrame sink")
+	}
+	nfft := NextPow2(cfg.FrameLen)
+	bank, err := melFilterBankCached(cfg.NumFilters, nfft, cfg.SampleRate, cfg.LowHz, cfg.HighHz)
+	if err != nil {
+		return nil, err
+	}
+	rowWidth := cfg.NumCoeffs
+	if cfg.IncludeDelta {
+		rowWidth = 2 * cfg.NumCoeffs
+	}
+	s := &MFCCStream{
+		cfg:      cfg,
+		bank:     bank,
+		window:   hammingWindowCached(cfg.FrameLen),
+		nfft:     nfft,
+		onFrame:  onFrame,
+		ring:     make([]float64, cfg.FrameLen+cfg.Hop+2),
+		rawx:     make([]float64, cfg.FrameLen+1),
+		frameBuf: make([]float64, cfg.FrameLen),
+		ps:       make([]float64, nfft/2+1),
+		energies: make([]float64, cfg.NumFilters),
+		emit:     make([]float64, rowWidth),
+	}
+	for i := range s.coef {
+		s.coef[i] = make([]float64, cfg.NumCoeffs)
+	}
+	return s, nil
+}
+
+// SetFrameTap registers an optional hook that receives every zero-padded
+// raw analysis frame (pre-window, pre-emphasis-free) in frame order, at
+// frame-completion time — the co-framed signal the per-frame scalar
+// features (ZCR, RMS, pitch, centroid, histogram) are computed over. The
+// slice is scratch, valid only during the call. Must be set before the
+// first Push.
+func (s *MFCCStream) SetFrameTap(fn func(i int, frame []float64)) { s.tap = fn }
+
+// Frames returns the number of frames computed so far.
+func (s *MFCCStream) Frames() int { return s.frames }
+
+// PeakWindow returns the high-water count of retained samples — bounded
+// by FrameLen+Hop+2 whatever the stream length or chunking.
+func (s *MFCCStream) PeakWindow() int { return s.peak }
+
+// Reset clears stream state so the extractor can run another clip with
+// the same configuration and zero further allocation.
+func (s *MFCCStream) Reset() {
+	s.lo, s.hi, s.peak, s.next, s.frames = 0, 0, 0, 0, 0
+	s.flushed = false
+}
+
+// Push feeds a chunk of samples, emitting every frame it completes.
+func (s *MFCCStream) Push(chunk []float64) error {
+	if s.flushed {
+		return fmt.Errorf("dsp: MFCCStream push after Flush")
+	}
+	for len(chunk) > 0 {
+		space := len(s.ring) - (s.hi - s.lo)
+		n := len(chunk)
+		if n > space {
+			n = space
+		}
+		// Append n samples at ring positions [hi, hi+n).
+		at := s.hi % len(s.ring)
+		first := copy(s.ring[at:], chunk[:n])
+		if first < n {
+			copy(s.ring, chunk[first:n])
+		}
+		s.hi += n
+		chunk = chunk[n:]
+		if w := s.hi - s.lo; w > s.peak {
+			s.peak = w
+		}
+		// A frame is complete once a sample past its end exists; emitting
+		// trims the ring, guaranteeing progress for the next iteration.
+		for s.next+s.cfg.FrameLen < s.hi {
+			s.frame(s.next, s.cfg.FrameLen)
+			s.next += s.cfg.Hop
+			s.trim()
+		}
+		s.trim()
+	}
+	return nil
+}
+
+// Flush ends the stream: it emits the trailing zero-padded frame (the one
+// whole-buffer framing stops at) and, with IncludeDelta, the delta-lagged
+// final row. Errors on an empty stream, mirroring MFCC.
+func (s *MFCCStream) Flush() error {
+	if s.flushed {
+		return fmt.Errorf("dsp: MFCCStream double Flush")
+	}
+	s.flushed = true
+	if s.hi == 0 {
+		return fmt.Errorf("dsp: MFCC of empty signal")
+	}
+	if s.next < s.hi {
+		valid := s.hi - s.next
+		if valid > s.cfg.FrameLen {
+			valid = s.cfg.FrameLen
+		}
+		s.frame(s.next, valid)
+	}
+	if s.cfg.IncludeDelta && s.frames > 0 {
+		s.emitRow(s.frames-1, nil)
+	}
+	return nil
+}
+
+// trim drops ring samples no longer reachable: everything before the next
+// frame's predecessor sample (kept for pre-emphasis).
+func (s *MFCCStream) trim() {
+	keep := s.next - 1
+	if keep > s.hi {
+		keep = s.hi
+	}
+	if keep > s.lo {
+		s.lo = keep
+	}
+}
+
+// frame computes frame index s.frames starting at absolute sample
+// position at, with valid samples present (the rest zero-padded), and
+// emits whatever row the delta lag allows.
+func (s *MFCCStream) frame(at, valid int) {
+	fl := s.cfg.FrameLen
+	// Materialize x[at-1 .. at+valid) into rawx[0 .. 1+valid), zero-pad
+	// the rest. rawx[0] (the pre-emphasis predecessor) is garbage for
+	// at == 0 and never read in that case.
+	from := at - 1
+	if from < 0 {
+		from = 0
+		s.rawx[0] = 0
+	}
+	// Copy positions [from, at+valid) out of the ring, two segments. All of
+	// them are retained: trim keeps next-1 onward, and valid never reaches
+	// past hi.
+	off := 1 - (at - from) // rawx index of position `from`
+	n := at + valid - from
+	idx := from % len(s.ring)
+	first := copy(s.rawx[off:off+n], s.ring[idx:])
+	if first < n {
+		copy(s.rawx[off+first:off+n], s.ring[:n-first])
+	}
+	for i := 1 + valid; i < len(s.rawx); i++ {
+		s.rawx[i] = 0
+	}
+	raw := s.rawx[1 : 1+fl]
+	if s.tap != nil {
+		s.tap(s.frames, raw)
+	}
+	// Pre-emphasized frame into frameBuf (zero padding stays zero: the
+	// whole-buffer path pads *after* filtering).
+	c := s.cfg.PreEmphasis
+	switch {
+	case c <= 0:
+		copy(s.frameBuf, raw)
+	case at == 0:
+		s.frameBuf[0] = s.rawx[1]
+		if valid > 1 {
+			simd.SubScaled(s.frameBuf[1:valid], s.rawx[2:1+valid], s.rawx[1:valid], c)
+		}
+		for i := valid; i < fl; i++ {
+			s.frameBuf[i] = 0
+		}
+	default:
+		simd.SubScaled(s.frameBuf[:valid], s.rawx[1:1+valid], s.rawx[0:valid], c)
+		for i := valid; i < fl; i++ {
+			s.frameBuf[i] = 0
+		}
+	}
+	cur := s.coef[s.frames%3]
+	mfccFrameInto(cur, s.frameBuf, s.window, s.bank, s.ps, s.energies, s.nfft)
+	if !s.cfg.IncludeDelta {
+		copy(s.emit, cur)
+		s.onFrame(s.frames, s.emit)
+	} else if s.frames >= 1 {
+		s.emitRow(s.frames-1, cur)
+	}
+	s.frames++
+}
+
+// emitRow delivers delta row i: coefficients from the rotation, deltas
+// (next-prev)/2 against neighbors, zero at the boundaries — exactly
+// fillDeltas. next is frame i+1's coefficients, nil at the final row.
+func (s *MFCCStream) emitRow(i int, next []float64) {
+	d := s.cfg.NumCoeffs
+	copy(s.emit[:d], s.coef[i%3])
+	if i == 0 || next == nil {
+		for j := 0; j < d; j++ {
+			s.emit[d+j] = 0
+		}
+	} else {
+		prev := s.coef[(i-1)%3]
+		for j := 0; j < d; j++ {
+			s.emit[d+j] = (next[j] - prev[j]) / 2
+		}
+	}
+	s.onFrame(i, s.emit)
+}

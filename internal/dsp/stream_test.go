@@ -1,0 +1,337 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"affectedge/internal/simd"
+)
+
+// streamConfigs spans the shapes that exercise every MFCCStream branch:
+// delta on/off, pre-emphasis on/off, hop<frameLen, hop==frameLen and
+// hop>frameLen (trailing-gap flush), non-pow2 frame lengths.
+func streamConfigs() map[string]MFCCConfig {
+	base := DefaultMFCCConfig(16000)
+	withDelta := base
+	withDelta.IncludeDelta = true
+	noPre := base
+	noPre.PreEmphasis = 0
+	smallHop := MFCCConfig{SampleRate: 8000, FrameLen: 64, Hop: 16, NumFilters: 20, NumCoeffs: 10, PreEmphasis: 0.95, IncludeDelta: true}
+	eqHop := MFCCConfig{SampleRate: 8000, FrameLen: 50, Hop: 50, NumFilters: 18, NumCoeffs: 9, PreEmphasis: 0.97}
+	bigHop := MFCCConfig{SampleRate: 8000, FrameLen: 32, Hop: 48, NumFilters: 16, NumCoeffs: 8, PreEmphasis: 0.9, IncludeDelta: true}
+	return map[string]MFCCConfig{
+		"default": base, "delta": withDelta, "nopre": noPre,
+		"smallhop": smallHop, "eqhop": eqHop, "bighop": bigHop,
+	}
+}
+
+// collectStream runs x through an MFCCStream in the given chunk sizes and
+// returns the emitted rows (copied) plus the stream for inspection.
+func collectStream(t testing.TB, cfg MFCCConfig, x []float64, chunks []int) ([][]float64, *MFCCStream) {
+	t.Helper()
+	var rows [][]float64
+	ms, err := NewMFCCStream(cfg, func(i int, row []float64) {
+		if i != len(rows) {
+			t.Fatalf("frame %d emitted out of order (have %d rows)", i, len(rows))
+		}
+		rows = append(rows, append([]float64(nil), row...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	for _, n := range chunks {
+		if n > len(x)-at {
+			n = len(x) - at
+		}
+		if n <= 0 {
+			break
+		}
+		if err := ms.Push(x[at : at+n]); err != nil {
+			t.Fatal(err)
+		}
+		at += n
+	}
+	if at < len(x) {
+		if err := ms.Push(x[at:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ms.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return rows, ms
+}
+
+func rowsBitEqual(t *testing.T, want, got [][]float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d streamed rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("%s: row %d width %d, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if math.Float64bits(want[i][j]) != math.Float64bits(got[i][j]) {
+				t.Fatalf("%s: row %d col %d: streamed %v (%#x) != batch %v (%#x)",
+					label, i, j, got[i][j], math.Float64bits(got[i][j]),
+					want[i][j], math.Float64bits(want[i][j]))
+			}
+		}
+	}
+}
+
+// TestMFCCStreamMatchesBatch checks bit-identity of streamed rows against
+// whole-buffer MFCC across configs, signal lengths (including shorter than
+// one frame and exact frame multiples) and chunkings, with SIMD both on
+// and off.
+func TestMFCCStreamMatchesBatch(t *testing.T) {
+	defer simd.SetEnabled(simd.Available())
+	for _, on := range []bool{true, false} {
+		simd.SetEnabled(on && simd.Available())
+		for name, cfg := range streamConfigs() {
+			rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+			for _, n := range []int{1, 3, cfg.FrameLen - 1, cfg.FrameLen, cfg.FrameLen + 1,
+				cfg.FrameLen + cfg.Hop, 3*cfg.Hop + cfg.FrameLen, 4000} {
+				if n <= 0 {
+					continue
+				}
+				x := make([]float64, n)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				want, err := MFCC(x, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, chunks := range [][]int{{len(x)}, {1}, {7}, {cfg.Hop}, {3, 1, 250, 2, 100}} {
+					// Repeat the pattern to cover the whole signal.
+					var plan []int
+					for covered := 0; covered < len(x); {
+						for _, c := range chunks {
+							plan = append(plan, c)
+							covered += c
+						}
+					}
+					got, ms := collectStream(t, cfg, x, plan)
+					rowsBitEqual(t, want, got, name)
+					if limit := cfg.FrameLen + cfg.Hop + 2; ms.PeakWindow() > limit {
+						t.Fatalf("%s n=%d: peak window %d exceeds bound %d", name, n, ms.PeakWindow(), limit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMFCCStreamReset reuses one stream for two clips and checks the
+// second pass is still bit-identical and allocation-free state-wise.
+func TestMFCCStreamReset(t *testing.T) {
+	cfg := streamConfigs()["delta"]
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, err := MFCC(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]float64
+	ms, err := NewMFCCStream(cfg, func(_ int, row []float64) {
+		rows = append(rows, append([]float64(nil), row...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		rows = rows[:0]
+		for at := 0; at < len(x); at += 160 {
+			end := at + 160
+			if end > len(x) {
+				end = len(x)
+			}
+			if err := ms.Push(x[at:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ms.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rowsBitEqual(t, want, rows, "reset pass")
+		ms.Reset()
+	}
+}
+
+// TestMFCCStreamErrors covers the lifecycle and config error paths.
+func TestMFCCStreamErrors(t *testing.T) {
+	cfg := DefaultMFCCConfig(16000)
+	if _, err := NewMFCCStream(cfg, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+	bad := cfg
+	bad.Hop = 0
+	if _, err := NewMFCCStream(bad, func(int, []float64) {}); err == nil {
+		t.Fatal("zero hop accepted")
+	}
+	bad = cfg
+	bad.NumCoeffs = cfg.NumFilters + 1
+	if _, err := NewMFCCStream(bad, func(int, []float64) {}); err == nil {
+		t.Fatal("too many coeffs accepted")
+	}
+	ms, err := NewMFCCStream(cfg, func(int, []float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Flush(); err == nil {
+		t.Fatal("empty-stream Flush succeeded; MFCC rejects empty signals")
+	}
+	if err := ms.Push([]float64{1}); err == nil {
+		t.Fatal("Push after Flush accepted")
+	}
+	if err := ms.Flush(); err == nil {
+		t.Fatal("double Flush accepted")
+	}
+	ms.Reset()
+	if err := ms.Push([]float64{1, 2, 3}); err != nil {
+		t.Fatalf("Push after Reset: %v", err)
+	}
+	if err := ms.Flush(); err != nil {
+		t.Fatalf("Flush after Reset: %v", err)
+	}
+	if ms.Frames() != 1 {
+		t.Fatalf("Frames() = %d, want 1", ms.Frames())
+	}
+}
+
+// TestMFCCStreamFrameTap checks the raw-frame hook sees exactly the
+// zero-padded frames EachFrame visits on the raw signal.
+func TestMFCCStreamFrameTap(t *testing.T) {
+	cfg := streamConfigs()["smallhop"]
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 777)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	var want [][]float64
+	EachFrame(x, cfg.FrameLen, cfg.Hop, func(_ int, f []float64) {
+		want = append(want, append([]float64(nil), f...))
+	})
+	var got [][]float64
+	ms, err := NewMFCCStream(cfg, func(int, []float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.SetFrameTap(func(i int, f []float64) {
+		if i != len(got) {
+			t.Fatalf("tap frame %d out of order", i)
+		}
+		got = append(got, append([]float64(nil), f...))
+	})
+	for at := 0; at < len(x); at += 13 {
+		end := at + 13
+		if end > len(x) {
+			end = len(x)
+		}
+		if err := ms.Push(x[at:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ms.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rowsBitEqual(t, want, got, "frame tap")
+}
+
+// FuzzChunkSplitDiff feeds a fuzzer-chosen signal through MFCCStream with
+// fuzzer-chosen chunk boundaries and requires bit-identity with the
+// whole-buffer path at both SIMD settings. seed selects the config; splits
+// bytes are decoded as successive chunk lengths.
+func FuzzChunkSplitDiff(f *testing.F) {
+	f.Add(uint8(0), 400, int64(1), []byte{7, 1, 255, 3})
+	f.Add(uint8(1), 1000, int64(2), []byte{160})
+	f.Add(uint8(2), 63, int64(3), []byte{1, 1, 1, 1, 1, 1})
+	f.Add(uint8(3), 200, int64(4), []byte{0, 5, 0, 200})
+	f.Add(uint8(4), 50, int64(5), []byte{49, 1})
+	f.Add(uint8(5), 129, int64(6), []byte{64, 64, 64})
+	f.Fuzz(func(t *testing.T, which uint8, n int, seed int64, splits []byte) {
+		if n <= 0 || n > 1<<14 {
+			t.Skip()
+		}
+		cfgs := []MFCCConfig{
+			DefaultMFCCConfig(16000),
+			{SampleRate: 16000, FrameLen: 400, Hop: 160, NumFilters: 26, NumCoeffs: 13, PreEmphasis: 0.97, IncludeDelta: true},
+			{SampleRate: 8000, FrameLen: 64, Hop: 16, NumFilters: 20, NumCoeffs: 10, PreEmphasis: 0.95, IncludeDelta: true},
+			{SampleRate: 8000, FrameLen: 50, Hop: 50, NumFilters: 18, NumCoeffs: 9, PreEmphasis: 0.97},
+			{SampleRate: 8000, FrameLen: 32, Hop: 48, NumFilters: 16, NumCoeffs: 8, PreEmphasis: 0.9, IncludeDelta: true},
+			{SampleRate: 16000, FrameLen: 256, Hop: 128, NumFilters: 24, NumCoeffs: 12},
+		}
+		cfg := cfgs[int(which)%len(cfgs)]
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		var plan []int
+		covered := 0
+		for i := 0; covered < len(x); i++ {
+			c := 1
+			if len(splits) > 0 {
+				c = int(splits[i%len(splits)])
+				if c == 0 {
+					c = 1
+				}
+			}
+			plan = append(plan, c)
+			covered += c
+		}
+		defer simd.SetEnabled(simd.Available())
+		for _, on := range []bool{true, false} {
+			simd.SetEnabled(on && simd.Available())
+			want, err := MFCC(x, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ms := collectStream(t, cfg, x, plan)
+			rowsBitEqual(t, want, got, "fuzz")
+			if limit := cfg.FrameLen + cfg.Hop + 2; ms.PeakWindow() > limit {
+				t.Fatalf("peak window %d exceeds bound %d", ms.PeakWindow(), limit)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamFeatures measures steady-state streaming cost per chunk:
+// after warm-up it must run allocation-free, holding the constant-memory
+// claim (peak retained samples bounded by FrameLen+Hop+2).
+func BenchmarkStreamFeatures(b *testing.B) {
+	cfg := DefaultMFCCConfig(16000)
+	cfg.IncludeDelta = true
+	ms, err := NewMFCCStream(cfg, func(int, []float64) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]float64, 160) // 10 ms at 16 kHz
+	rng := rand.New(rand.NewSource(1))
+	for i := range chunk {
+		chunk[i] = rng.NormFloat64()
+	}
+	// Warm up caches (window, filterbank) outside the timed region.
+	if err := ms.Push(chunk); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(chunk) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ms.Push(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if limit := cfg.FrameLen + cfg.Hop + 2; ms.PeakWindow() > limit {
+		b.Fatalf("peak window %d exceeds bound %d", ms.PeakWindow(), limit)
+	}
+}

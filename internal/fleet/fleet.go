@@ -42,6 +42,7 @@ import (
 	"affectedge/internal/h264"
 	"affectedge/internal/nn"
 	"affectedge/internal/obs"
+	"affectedge/internal/stream"
 )
 
 // Sentinel errors of the serving API.
@@ -109,6 +110,15 @@ type Config struct {
 	// is generated and encoded once at New, the per-mode Input Selector
 	// passes are pre-applied, and every shard decodes the shared streams.
 	VideoFrames int
+	// ChunkBytes, when positive, switches the deterministic path to chunked
+	// streaming ingest: session observations are synthesized as fragments
+	// (ChunkBytes/8 float64 values each) routed through a bounded per-shard
+	// stream.FIFO, and video probes feed their bitstreams to a progressive
+	// h264.StreamDecoder in ChunkBytes slices instead of one DecodeStream
+	// call. Both reuse the bit-exact streaming kernels, so every run
+	// fingerprint is identical to the whole-buffer feed (golden tests pin
+	// this); only peak ingest memory changes. 0 keeps whole-buffer ingest.
+	ChunkBytes int
 }
 
 // Normalize fills defaults and validates; returned config is self-contained.
@@ -170,6 +180,9 @@ func (c Config) Normalize() (Config, error) {
 	if c.VideoFrames <= 0 {
 		c.VideoFrames = 6
 	}
+	if c.ChunkBytes < 0 {
+		return c, fmt.Errorf("fleet: chunk bytes %d", c.ChunkBytes)
+	}
 	return c, nil
 }
 
@@ -219,6 +232,13 @@ type shard struct {
 	vdec    *h264.Decoder
 	vpool   *h264.FramePool
 	vframes []*h264.Frame
+	sdec    *h264.StreamDecoder // progressive probe front end (ChunkBytes > 0)
+
+	// Chunked-ingest scratch (deterministic path, ChunkBytes > 0): each
+	// session's observation is synthesized as fragments and routed through
+	// this bounded FIFO before landing in the batch matrix.
+	obsFIFO *stream.FIFO[float64]
+	rowBuf  []float64
 
 	// Deterministic-path aggregation.
 	batches        int64
@@ -431,13 +451,39 @@ func (f *Fleet) Start() error {
 // drops the observation, counts it, and returns ErrBackpressure. The
 // feature slice is copied; the caller may reuse x immediately.
 func (f *Fleet) Observe(id int, at time.Duration, x []float64) error {
+	if len(x) != f.cfg.FeatureDim {
+		return fmt.Errorf("fleet: observation dim %d, want %d", len(x), f.cfg.FeatureDim)
+	}
+	return f.enqueue(id, at, append([]float64(nil), x...))
+}
+
+// ObserveChunks is Observe for feature vectors that arrive in fragments —
+// the shape a streaming featurizer emits. The fragments are concatenated
+// in order and must total FeatureDim values; each slice is copied, so
+// callers may reuse their chunk buffers immediately. Equivalent in every
+// observable way to Observe of the assembled vector.
+func (f *Fleet) ObserveChunks(id int, at time.Duration, chunks ...[]float64) error {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != f.cfg.FeatureDim {
+		return fmt.Errorf("fleet: chunked observation dim %d, want %d", total, f.cfg.FeatureDim)
+	}
+	x := make([]float64, 0, total)
+	for _, c := range chunks {
+		x = append(x, c...)
+	}
+	return f.enqueue(id, at, x)
+}
+
+// enqueue routes one assembled observation (ownership of x transfers to
+// the fleet) onto its shard's ingress queue, never blocking.
+func (f *Fleet) enqueue(id int, at time.Duration, x []float64) error {
 	f.lifeMu.RLock()
 	defer f.lifeMu.RUnlock()
 	if f.closed.Load() {
 		return ErrClosed
-	}
-	if len(x) != f.cfg.FeatureDim {
-		return fmt.Errorf("fleet: observation dim %d, want %d", len(x), f.cfg.FeatureDim)
 	}
 	sh := f.shardOf(id)
 	sh.mu.Lock()
@@ -446,7 +492,7 @@ func (f *Fleet) Observe(id int, at time.Duration, x []float64) error {
 	if !ok {
 		return fmt.Errorf("fleet: unknown session %d", id)
 	}
-	r := request{id: id, at: at, x: append([]float64(nil), x...)}
+	r := request{id: id, at: at, x: x}
 	select {
 	case sh.queue <- r:
 		sh.depth.SetMax(int64(len(sh.queue)))

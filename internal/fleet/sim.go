@@ -10,6 +10,7 @@ import (
 
 	"affectedge/internal/emotion"
 	"affectedge/internal/parallel"
+	"affectedge/internal/stream"
 )
 
 // Stats aggregates a fleet over every session: the manager-side control
@@ -159,7 +160,7 @@ func (sh *shard) tick(t int) error {
 	for k, id := range sh.order {
 		s := sh.sessions[id]
 		s.stepLatent(t, sh.f.cfg.SwitchEvery)
-		if err := sh.f.stream.Sample(sh.feat[k*dim:(k+1)*dim], s.latent, sh.f.cfg.Noise, s.rng); err != nil {
+		if err := sh.ingestRow(sh.feat[k*dim:(k+1)*dim], s); err != nil {
 			return err
 		}
 		sh.batch = append(sh.batch, s)
@@ -180,6 +181,64 @@ func (sh *shard) tick(t int) error {
 		if err := sh.probeVideo(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ingestRow lands one synthesized observation for s in dst. Whole-buffer
+// mode (ChunkBytes == 0) samples straight into dst. Chunked mode streams
+// the observation as ChunkBytes/8-value fragments through the shard's
+// bounded FIFO — the deterministic twin of a network ingest hop — draining
+// into dst whenever the ring refuses a value. The FIFO only copies, so the
+// landed row is bit-identical either way and run fingerprints match the
+// whole-buffer feed exactly.
+func (sh *shard) ingestRow(dst []float64, s *session) error {
+	f := sh.f
+	if f.cfg.ChunkBytes <= 0 {
+		return f.stream.Sample(dst, s.latent, f.cfg.Noise, s.rng)
+	}
+	chunk := f.cfg.ChunkBytes / 8
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if sh.obsFIFO == nil {
+		q, err := stream.New[float64](chunk)
+		if err != nil {
+			return err
+		}
+		sh.obsFIFO = q
+	}
+	sh.rowBuf = growFloats(sh.rowBuf, len(dst))
+	fill := 0
+	err := f.stream.SampleChunks(s.latent, f.cfg.Noise, s.rng, sh.rowBuf, chunk, func(frag []float64) error {
+		for len(frag) > 0 {
+			n, werr := sh.obsFIFO.TryWrite(frag)
+			if werr != nil && !errors.Is(werr, stream.ErrBackpressure) {
+				return werr
+			}
+			frag = frag[n:]
+			if len(frag) > 0 { // ring full: drain into the batch row
+				r, rerr := sh.obsFIFO.TryRead(dst[fill:])
+				if rerr != nil {
+					return rerr
+				}
+				fill += r
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for fill < len(dst) {
+		r, rerr := sh.obsFIFO.TryRead(dst[fill:])
+		if rerr != nil {
+			return rerr
+		}
+		if r == 0 {
+			return fmt.Errorf("fleet: chunked ingest underflow at %d/%d", fill, len(dst))
+		}
+		fill += r
 	}
 	return nil
 }

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/parallel"
+)
+
+// TestChunkedIngestFingerprint pins the streaming-ingest contract: a run
+// whose observations travel through the bounded per-shard FIFO in tiny
+// fragments and whose video probes decode progressively must fingerprint
+// identically to the whole-buffer feed, and the (unfingerprinted) video
+// counters must match too. Covers several chunk granularities, including
+// one smaller than a float64 and one larger than any probe bitstream.
+func TestChunkedIngestFingerprint(t *testing.T) {
+	base := detCfg()
+	base.VideoEvery = 10
+	whole, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.VideoDecodes == 0 {
+		t.Fatal("probe never ran; test misconfigured")
+	}
+	for _, chunk := range []int{1, 8, 64, 4096, 1 << 20} {
+		cfg := base
+		cfg.ChunkBytes = chunk
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := st.Fingerprint(), whole.Fingerprint(); got != want {
+			t.Fatalf("chunk %d: fingerprint %s != whole-buffer %s\nchunked %+v\nwhole   %+v", chunk, got, want, st, whole)
+		}
+		if st.VideoDecodes != whole.VideoDecodes || st.VideoFrames != whole.VideoFrames ||
+			st.VideoConcealed != whole.VideoConcealed {
+			t.Fatalf("chunk %d: video counters (%d, %d, %d) != whole-buffer (%d, %d, %d)",
+				chunk, st.VideoDecodes, st.VideoFrames, st.VideoConcealed,
+				whole.VideoDecodes, whole.VideoFrames, whole.VideoConcealed)
+		}
+	}
+}
+
+// TestChunkedIngestAcrossWorkers extends the worker-count determinism
+// contract to chunked mode: per-shard FIFOs and stream decoders are owned
+// by whichever goroutine holds the shard, so parallelism stays invisible.
+func TestChunkedIngestAcrossWorkers(t *testing.T) {
+	cfg := detCfg()
+	cfg.VideoEvery = 17
+	cfg.ChunkBytes = 24
+	fps := map[int]string{}
+	for _, workers := range []int{1, 4} {
+		defer parallel.SetWorkers(parallel.SetWorkers(workers))
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[workers] = st.Fingerprint()
+	}
+	if fps[1] != fps[4] {
+		t.Fatalf("chunked fingerprints diverge across worker counts: %v", fps)
+	}
+}
+
+// TestObserveChunks checks the live-path fragment API agrees with Observe:
+// same session trajectory, same stats, and the same validation.
+func TestObserveChunks(t *testing.T) {
+	mk := func() *Fleet {
+		f, err := New(Config{Sessions: 1, Shards: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	dim := 24
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = float64(i) * 0.125
+	}
+	whole := mk()
+	frag := mk()
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * time.Second
+		for j := range x {
+			x[j] += 0.25
+		}
+		if err := whole.Observe(0, at, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := frag.ObserveChunks(0, at, x[:5], x[5:5], x[5:19], x[19:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := whole.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := frag.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ws, fs := whole.Stats(), frag.Stats()
+	if ws.Observations != fs.Observations || ws.AttentionSwitches != fs.AttentionSwitches ||
+		ws.MoodSwitches != fs.MoodSwitches || ws.Discarded != fs.Discarded {
+		t.Fatalf("fragment feed diverged: whole %+v\nfragmented %+v", ws, fs)
+	}
+	if ws.Observations == 0 {
+		t.Fatal("no observations processed")
+	}
+
+	bad := mk()
+	defer bad.Close()
+	if err := bad.ObserveChunks(0, 0, x[:5]); err == nil {
+		t.Fatal("short fragment total accepted")
+	}
+	if err := bad.ObserveChunks(99, 0, x); err == nil {
+		t.Fatal("unknown session accepted")
+	}
+}

@@ -1,0 +1,269 @@
+package h264
+
+import (
+	"fmt"
+
+	"affectedge/internal/stream"
+)
+
+// StreamDecoder decodes an annex-B byte stream progressively: callers feed
+// arbitrary byte slices, the decoder scans for NAL start codes across
+// chunk boundaries with a carry buffer, decodes each unit the moment its
+// terminating start code (or end of stream) arrives, and emits output
+// frames through a bounded FIFO with backpressure.
+//
+// Memory stays constant in stream length: the carry holds at most one
+// incomplete NAL unit plus one accepted chunk (Feed refuses input while
+// frames are waiting for FIFO space), and decoded frames are bounded by
+// the FIFO capacity. Over the same total byte stream the decoded frames
+// are bit-identical to Decoder.DecodeStream — the split logic mirrors
+// SplitStream exactly and the per-NAL decode path is shared — with one
+// progressive-decode caveat: a bitstream error late in the stream
+// surfaces after earlier frames were already emitted, where the batch
+// path validates the whole split before decoding anything.
+//
+// Not safe for concurrent feeding; one feeder plus one FIFO consumer is
+// the intended (SPSC) shape.
+type StreamDecoder struct {
+	dec *Decoder
+	out *stream.FIFO[*Frame]
+
+	carry   []byte
+	started bool // first start code located; carry begins with it
+	seen    bool // any bytes fed at all
+	hdr     int  // carry offset of the current unit's header byte
+	scan    int  // carry offset where the next start-code scan resumes
+
+	pending  []*Frame // decoded, not yet accepted by the FIFO
+	scratch  []*Frame
+	finished bool // trailing NAL decoded (Finish reached the end)
+	closed   bool
+	err      error // sticky fatal decode error
+
+	peakCarry int
+}
+
+// NewStreamDecoder wraps dec in a progressive front end whose output FIFO
+// buffers up to frameCap decoded frames. The caller owns dec (knobs, pool,
+// activity accounting) and the frames read from Frames(), exactly as with
+// DecodeStream.
+func NewStreamDecoder(dec *Decoder, frameCap int) (*StreamDecoder, error) {
+	if dec == nil {
+		return nil, fmt.Errorf("h264: StreamDecoder needs a decoder")
+	}
+	out, err := stream.New[*Frame](frameCap)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{dec: dec, out: out}, nil
+}
+
+// Frames returns the output FIFO. Frames arrive in display order; the
+// FIFO is closed by Finish, by Close, or on a fatal decode error (after
+// which buffered frames remain drainable — drain-on-close).
+func (s *StreamDecoder) Frames() *stream.FIFO[*Frame] { return s.out }
+
+// PeakCarry reports the high-water byte count of the carry buffer: bounded
+// by the largest NAL unit plus the largest fed chunk, independent of
+// stream length.
+func (s *StreamDecoder) PeakCarry() int { return s.peakCarry }
+
+// drain moves pending frames into the FIFO, reporting stream.ErrBackpressure
+// if any remain.
+func (s *StreamDecoder) drain() error {
+	for len(s.pending) > 0 {
+		if err := s.out.TryPush(s.pending[0]); err != nil {
+			return err
+		}
+		n := copy(s.pending, s.pending[1:])
+		s.pending[n] = nil
+		s.pending = s.pending[:n]
+	}
+	return nil
+}
+
+// Feed accepts one chunk, decoding every NAL unit it completes. It returns
+// len(chunk) on success. When the output FIFO is full it refuses the whole
+// chunk — (0, stream.ErrBackpressure) — without consuming anything; the
+// caller drains Frames() and feeds the same chunk again. Decode errors are
+// sticky and close the FIFO (buffered frames stay drainable).
+func (s *StreamDecoder) Feed(chunk []byte) (int, error) {
+	switch {
+	case s.err != nil:
+		return 0, s.err
+	case s.closed:
+		return 0, stream.ErrClosed
+	case s.finished:
+		return 0, fmt.Errorf("h264: StreamDecoder feed after Finish")
+	}
+	if err := s.drain(); err != nil {
+		return 0, err
+	}
+	if len(chunk) == 0 {
+		return 0, nil
+	}
+	s.seen = true
+	s.carry = append(s.carry, chunk...)
+	if n := len(s.carry); n > s.peakCarry {
+		s.peakCarry = n
+	}
+	if !s.started {
+		start, hdr := nextStartCode(s.carry, 0)
+		if start < 0 {
+			// No start code yet: keep only the last 3 bytes, the longest
+			// possible prefix of a code split across the boundary (any
+			// complete code would have been found above).
+			if len(s.carry) > 3 {
+				s.carry = s.carry[:copy(s.carry, s.carry[len(s.carry)-3:])]
+			}
+			return len(chunk), nil
+		}
+		s.carry = s.carry[:copy(s.carry, s.carry[start:])]
+		s.started = true
+		s.hdr = hdr - start
+		s.scan = s.hdr
+	}
+	if err := s.decodeComplete(); err != nil {
+		return 0, s.fatal(err)
+	}
+	// drain() cleared pending on entry and decodeComplete stops consuming
+	// at the first refused frame, so a leftover here only means the FIFO
+	// filled mid-chunk; the input itself was fully accepted.
+	return len(chunk), nil
+}
+
+// decodeComplete decodes units off the carry while their terminating start
+// codes are present, stopping early (without error) once the FIFO refuses
+// a frame.
+func (s *StreamDecoder) decodeComplete() error {
+	for {
+		next, nhdr := nextStartCode(s.carry, s.scan)
+		if next < 0 {
+			if s.scan = len(s.carry) - 3; s.scan < s.hdr {
+				s.scan = s.hdr
+			}
+			return nil
+		}
+		if err := s.decodeUnit(s.carry[:next]); err != nil {
+			return err
+		}
+		s.carry = s.carry[:copy(s.carry, s.carry[next:])]
+		s.hdr = nhdr - next
+		s.scan = s.hdr
+		if len(s.pending) > 0 {
+			return nil // FIFO full; resume after the consumer drains
+		}
+	}
+}
+
+// decodeUnit decodes one complete unit (start code at carry[0], header at
+// s.hdr, payload ending at len(unit)) and queues its frames.
+func (s *StreamDecoder) decodeUnit(unit []byte) error {
+	if s.hdr >= len(unit) {
+		return fmt.Errorf("%w: empty NAL unit at 0", ErrBitstream)
+	}
+	header := unit[s.hdr]
+	if header&0x80 != 0 {
+		return fmt.Errorf("%w: forbidden_zero_bit set at %d", ErrBitstream, s.hdr)
+	}
+	u := NAL{
+		Type:    NALType(header & 0x1f),
+		RefIDC:  int(header >> 5),
+		Payload: unescapeRBSP(unit[s.hdr+1:]),
+	}
+	frames, err := s.dec.decodeNALInto(u, s.scratch[:0])
+	s.scratch = frames[:0]
+	if err != nil {
+		return err
+	}
+	for i, f := range frames {
+		if perr := s.out.TryPush(f); perr != nil {
+			s.pending = append(s.pending, frames[i:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// fatal records err, closes the FIFO (waking any blocked consumer; queued
+// frames remain drainable) and returns it.
+func (s *StreamDecoder) fatal(err error) error {
+	s.err = err
+	s.out.Close()
+	return err
+}
+
+// Finish decodes the trailing NAL unit (whose end only the end of stream
+// delimits), flushes pending frames and closes the FIFO. Like Feed it
+// reports stream.ErrBackpressure when the FIFO cannot take the remaining
+// frames — drain Frames() and call Finish again; the trailing unit is not
+// re-decoded. An all-garbage stream fails with the same ErrBitstream
+// "no start code" as SplitStream.
+func (s *StreamDecoder) Finish() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return stream.ErrClosed
+	}
+	if !s.finished {
+		if !s.started {
+			if s.seen {
+				return s.fatal(fmt.Errorf("%w: no start code", ErrBitstream))
+			}
+			s.finished = true
+		} else {
+			// decodeComplete may have stopped on backpressure with whole
+			// units still in the carry; finish those first.
+			if err := s.drain(); err != nil {
+				return err
+			}
+			if err := s.decodeComplete(); err != nil {
+				return s.fatal(err)
+			}
+			if len(s.pending) > 0 {
+				return stream.ErrBackpressure
+			}
+			if err := s.decodeUnit(s.carry); err != nil {
+				return s.fatal(err)
+			}
+			s.carry = s.carry[:0]
+			s.finished = true
+		}
+	}
+	if err := s.drain(); err != nil {
+		return err
+	}
+	s.closed = true
+	s.out.Close()
+	return nil
+}
+
+// Close abandons the stream: pending frames are dropped and the FIFO is
+// closed (buffered frames stay drainable). Safe to call at any point and
+// idempotent.
+func (s *StreamDecoder) Close() {
+	s.closed = true
+	for i := range s.pending {
+		s.pending[i] = nil
+	}
+	s.pending = s.pending[:0]
+	s.out.Close()
+}
+
+// Reset prepares the StreamDecoder for a fresh stream, resetting the
+// wrapped Decoder's stream state (parameter sets, references, numbering)
+// and reopening the FIFO. Buffers are retained, so steady-state reuse is
+// allocation-free.
+func (s *StreamDecoder) Reset() {
+	s.dec.Reset()
+	s.carry = s.carry[:0]
+	s.started, s.seen, s.finished, s.closed = false, false, false, false
+	s.hdr, s.scan = 0, 0
+	s.err = nil
+	for i := range s.pending {
+		s.pending[i] = nil
+	}
+	s.pending = s.pending[:0]
+	s.out.Reset()
+}

@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"testing"
+
+	"affectedge/internal/obs"
+)
+
+// benchChurn is one steady-state producer/consumer round: write a chunk,
+// read it back. Single-goroutine, so it measures pure FIFO overhead
+// (ring copies plus the metric branch), not scheduler latency.
+func benchChurn(b *testing.B, f *FIFO[byte], chunk, sink []byte) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.TryWrite(chunk); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.TryRead(sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(chunk)))
+}
+
+// BenchmarkFIFOChurn measures the unwired (nop-metrics) fast path.
+func BenchmarkFIFOChurn(b *testing.B) {
+	WireMetrics(nil)
+	f, _ := New[byte](4096)
+	chunk := make([]byte, 512)
+	benchChurn(b, f, chunk, make([]byte, len(chunk)))
+}
+
+// BenchmarkFIFOChurnWired is the same traffic with live instruments; the
+// delta against BenchmarkFIFOChurn is the observability overhead, which
+// must stay in obs's single-digit-nanosecond-per-op regime.
+func BenchmarkFIFOChurnWired(b *testing.B) {
+	reg := obs.NewRegistry()
+	WireMetrics(reg.Scope("stream"))
+	defer WireMetrics(nil)
+	f, _ := New[byte](4096)
+	chunk := make([]byte, 512)
+	benchChurn(b, f, chunk, make([]byte, len(chunk)))
+}
+
+// BenchmarkFIFOPushPop measures the single-element hot path (unwired).
+func BenchmarkFIFOPushPop(b *testing.B) {
+	WireMetrics(nil)
+	f, _ := New[int](64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.TryPush(i); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := f.TryPop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (GC and scheduler bookkeeping make an exact match flaky).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d running, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestCloseWakesBlockedProducer parks a producer on a full ring and checks
+// Close releases it with ErrClosed while the buffered elements survive.
+func TestCloseWakesBlockedProducer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f, _ := New[int](1)
+	if err := f.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- f.Push(2) }()
+	go func() {
+		_, err := f.Write([]int{3, 4, 5})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let both block on the full ring
+	f.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked producer %d woke with %v, want ErrClosed", i, err)
+		}
+	}
+	if v, err := f.Pop(); err != nil || v != 1 {
+		t.Fatalf("drain after close = (%d, %v)", v, err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCloseWakesBlockedConsumer parks consumers on an empty ring and
+// checks Close releases them with ErrClosed.
+func TestCloseWakesBlockedConsumer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f, _ := New[int](4)
+	errc := make(chan error, 2)
+	go func() {
+		_, err := f.Pop()
+		errc <- err
+	}()
+	go func() {
+		_, err := f.Read(make([]int, 2))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked consumer %d woke with %v, want ErrClosed", i, err)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestStressPipeline runs the SPSC shape the ingest pipelines use — one
+// blocking producer, one blocking consumer — under load, verifying the
+// byte sequence arrives intact and in order, and that a graceful close
+// delivers every accepted byte (drain-on-close).
+func TestStressPipeline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const total = 1 << 16
+	f, _ := New[byte](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var got []byte
+	go func() { // producer: mixed single and slice writes
+		defer wg.Done()
+		defer f.Close()
+		next := 0
+		var chunk [13]byte
+		for next < total {
+			n := len(chunk)
+			if total-next < n {
+				n = total - next
+			}
+			for i := 0; i < n; i++ {
+				chunk[i] = byte((next + i) * 7)
+			}
+			if next%3 == 0 {
+				if err := f.Push(chunk[0]); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				next++
+				continue
+			}
+			w, err := f.Write(chunk[:n])
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			next += w
+		}
+	}()
+	go func() { // consumer: mixed single and slice reads
+		defer wg.Done()
+		buf := make([]byte, 17)
+		for {
+			if len(got)%5 == 0 {
+				v, err := f.Pop()
+				if err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("pop: %v", err)
+					return
+				}
+				got = append(got, v)
+				continue
+			}
+			n, err := f.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				t.Errorf("read: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if len(got) != total {
+		t.Fatalf("received %d bytes, want %d", len(got), total)
+	}
+	for i, b := range got {
+		if b != byte(i*7) {
+			t.Fatalf("byte %d = %d, want %d (reordering)", i, b, byte(i*7))
+		}
+	}
+	if f.Peak() > f.Cap() {
+		t.Fatalf("peak %d exceeds capacity %d", f.Peak(), f.Cap())
+	}
+	waitGoroutines(t, base)
+}
+
+// TestStressCancelChurn spins producer/consumer pairs that get cancelled
+// by Close at random points, ensuring no goroutine survives its FIFO.
+func TestStressCancelChurn(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 50; round++ {
+		f, _ := New[int](8)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if err := f.Push(i); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := f.Pop(); err != nil {
+					return
+				}
+			}
+		}()
+		if round%2 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		f.Close()
+		wg.Wait()
+	}
+	waitGoroutines(t, base)
+}
+
+// TestStressTryTraffic mixes non-blocking producers with a blocking
+// consumer: ErrBackpressure must be the only loss mechanism, i.e. accepted
+// element counts match received counts exactly.
+func TestStressTryTraffic(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f, _ := New[int](32)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	accepted := 0
+	go func() {
+		defer wg.Done()
+		defer f.Close()
+		buf := make([]int, 5)
+		for i := 0; i < 20000; i++ {
+			if i%2 == 0 {
+				if err := f.TryPush(i); err == nil {
+					accepted++
+				} else if !errors.Is(err, ErrBackpressure) {
+					t.Errorf("TryPush: %v", err)
+					return
+				}
+				continue
+			}
+			for j := range buf {
+				buf[j] = i
+			}
+			n, err := f.TryWrite(buf)
+			accepted += n
+			if err != nil && !errors.Is(err, ErrBackpressure) {
+				t.Errorf("TryWrite: %v", err)
+				return
+			}
+		}
+	}()
+	received := 0
+	buf := make([]int, 7)
+	for {
+		n, err := f.Read(buf)
+		received += n
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if received != accepted {
+		t.Fatalf("received %d, accepted %d: elements lost or duplicated", received, accepted)
+	}
+	waitGoroutines(t, base)
+}

@@ -1,0 +1,332 @@
+// Package stream provides the bounded FIFO that connects the pipeline
+// stages of the streaming ingest paths: chunked audio flowing into the
+// incremental featurizer (internal/dsp), progressively decoded video
+// frames flowing out of the chunked NAL decoder (internal/h264), and the
+// fleet's chunk-granular observation rows.
+//
+// A FIFO is a fixed-capacity ring buffer with two interchangeable
+// disciplines on the same queue:
+//
+//   - Blocking (Push/Pop/Write/Read): the producer sleeps on a full ring
+//     and the consumer on an empty one — the classic staged-pipeline hookup
+//     where backpressure propagates by descheduling the feeder.
+//   - Non-blocking (TryPush/TryPop/TryWrite/TryRead): a full ring returns
+//     ErrBackpressure immediately, matching the fleet's drop-and-count
+//     ingress contract, and letting single-goroutine deterministic drivers
+//     interleave feeding and draining without deadlock.
+//
+// Close is graceful: the consumer drains everything accepted before Close
+// and then sees ErrClosed; producers (including ones blocked mid-Push) see
+// ErrClosed immediately. The ring never grows, so a pipeline's peak memory
+// is the sum of its stage windows — independent of stream length.
+//
+// FIFOs are safe for concurrent use. They are tuned for the single-
+// producer/single-consumer shape of the ingest pipelines (one mutex, two
+// condition variables); multiple producers or consumers are safe but
+// serialize on the same lock.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sentinel errors of the FIFO API.
+var (
+	// ErrBackpressure reports a full ring on a non-blocking write. The
+	// element(s) past the returned count were not accepted; retry after the
+	// consumer drains.
+	ErrBackpressure = errors.New("stream: fifo full")
+	// ErrClosed reports a write to a closed FIFO, or a read from a FIFO
+	// that is closed and fully drained.
+	ErrClosed = errors.New("stream: fifo closed")
+)
+
+// FIFO is a bounded ring-buffer queue of T. The zero value is not usable;
+// construct with New.
+type FIFO[T any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []T
+	head     int // index of the oldest element
+	size     int // elements currently buffered
+	closed   bool
+
+	peak int // high-water occupancy since construction/Reset
+}
+
+// New returns a FIFO holding at most capacity elements.
+func New[T any](capacity int) (*FIFO[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("stream: fifo capacity %d, want > 0", capacity)
+	}
+	f := &FIFO[T]{buf: make([]T, capacity)}
+	f.notFull.L = &f.mu
+	f.notEmpty.L = &f.mu
+	return f, nil
+}
+
+// Cap returns the fixed capacity.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Len returns the current occupancy.
+func (f *FIFO[T]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Peak returns the high-water occupancy observed since construction or the
+// last Reset — the realized window of this pipeline stage.
+func (f *FIFO[T]) Peak() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.peak
+}
+
+// Closed reports whether Close has been called.
+func (f *FIFO[T]) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Close stops intake. Buffered elements remain readable (drain-on-close);
+// once empty, reads return ErrClosed. Blocked producers and consumers wake
+// immediately. Idempotent.
+func (f *FIFO[T]) Close() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		f.notFull.Broadcast()
+		f.notEmpty.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// Reset clears the ring and reopens a closed FIFO so pooled pipelines can
+// reuse one allocation across streams. Elements still buffered are
+// discarded (zeroed, so no references leak). Must not race with concurrent
+// producers or consumers — Reset is for the quiescent point between
+// streams, not a live queue.
+func (f *FIFO[T]) Reset() {
+	f.mu.Lock()
+	clear(f.buf)
+	f.head, f.size, f.peak = 0, 0, 0
+	f.closed = false
+	f.mu.Unlock()
+}
+
+// note records an occupancy change under f.mu: high-water mark plus the
+// package occupancy metrics.
+func (f *FIFO[T]) note() {
+	if f.size > f.peak {
+		f.peak = f.size
+	}
+	mtr.depth.SetMax(int64(f.size))
+	mtr.occupancy.Observe(int64(f.size))
+}
+
+// Push appends v, blocking while the ring is full. It returns ErrClosed if
+// the FIFO is (or becomes, while blocked) closed.
+func (f *FIFO[T]) Push(v T) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.size == len(f.buf) && !f.closed {
+		mtr.stalls.Inc()
+		f.notFull.Wait()
+	}
+	if f.closed {
+		return ErrClosed
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = v
+	f.size++
+	f.note()
+	f.notEmpty.Signal()
+	return nil
+}
+
+// TryPush appends v without blocking: ErrBackpressure when full, ErrClosed
+// when closed.
+func (f *FIFO[T]) TryPush(v T) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.size == len(f.buf) {
+		mtr.backpressure.Inc()
+		return ErrBackpressure
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = v
+	f.size++
+	f.note()
+	f.notEmpty.Signal()
+	return nil
+}
+
+// Pop removes and returns the oldest element, blocking while the ring is
+// empty. A closed FIFO drains normally; once empty it returns ErrClosed.
+func (f *FIFO[T]) Pop() (T, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.size == 0 && !f.closed {
+		mtr.stalls.Inc()
+		f.notEmpty.Wait()
+	}
+	var zero T
+	if f.size == 0 {
+		return zero, ErrClosed
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	f.notFull.Signal()
+	return v, nil
+}
+
+// TryPop removes and returns the oldest element without blocking. ok is
+// false when nothing was read; the error is then nil for a merely empty
+// FIFO and ErrClosed for a closed, fully drained one.
+func (f *FIFO[T]) TryPop() (v T, ok bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.size == 0 {
+		if f.closed {
+			return v, false, ErrClosed
+		}
+		return v, false, nil
+	}
+	var zero T
+	v = f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	f.notFull.Signal()
+	return v, true, nil
+}
+
+// Write copies all of p into the ring, blocking while full. It returns the
+// number of elements accepted and ErrClosed if the FIFO closes before all
+// of p is in (accepted elements stay readable).
+func (f *FIFO[T]) Write(p []T) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for n < len(p) {
+		for f.size == len(f.buf) && !f.closed {
+			mtr.stalls.Inc()
+			f.notFull.Wait()
+		}
+		if f.closed {
+			return n, ErrClosed
+		}
+		n += f.copyIn(p[n:])
+		f.note()
+		f.notEmpty.Signal()
+	}
+	return n, nil
+}
+
+// TryWrite copies as much of p as fits without blocking. When nothing fits
+// (and p is non-empty) it returns 0, ErrBackpressure; a partial fit
+// returns the accepted count and ErrBackpressure for the remainder.
+func (f *FIFO[T]) TryWrite(p []T) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	n := f.copyIn(p)
+	if n > 0 {
+		f.note()
+		f.notEmpty.Signal()
+	}
+	if n < len(p) {
+		mtr.backpressure.Inc()
+		return n, ErrBackpressure
+	}
+	return n, nil
+}
+
+// Read fills p with up to len(p) elements, blocking until at least one is
+// available. On a closed, drained FIFO it returns 0, ErrClosed.
+func (f *FIFO[T]) Read(p []T) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.size == 0 && !f.closed {
+		mtr.stalls.Inc()
+		f.notEmpty.Wait()
+	}
+	if f.size == 0 {
+		return 0, ErrClosed
+	}
+	n := f.copyOut(p)
+	f.notFull.Signal()
+	return n, nil
+}
+
+// TryRead fills p with whatever is buffered, without blocking: 0, nil on a
+// merely empty FIFO, 0, ErrClosed on a closed drained one.
+func (f *FIFO[T]) TryRead(p []T) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.size == 0 {
+		if f.closed {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	n := f.copyOut(p)
+	if n > 0 {
+		f.notFull.Signal()
+	}
+	return n, nil
+}
+
+// copyIn appends min(len(p), free) elements under f.mu, in at most two
+// ring segments, and returns the count.
+func (f *FIFO[T]) copyIn(p []T) int {
+	free := len(f.buf) - f.size
+	if free == 0 || len(p) == 0 {
+		return 0
+	}
+	n := len(p)
+	if n > free {
+		n = free
+	}
+	tail := (f.head + f.size) % len(f.buf)
+	first := copy(f.buf[tail:], p[:n])
+	if first < n {
+		copy(f.buf, p[first:n])
+	}
+	f.size += n
+	return n
+}
+
+// copyOut removes min(len(p), size) elements under f.mu, in at most two
+// ring segments, zeroing vacated slots, and returns the count.
+func (f *FIFO[T]) copyOut(p []T) int {
+	n := len(p)
+	if n > f.size {
+		n = f.size
+	}
+	if n == 0 {
+		return 0
+	}
+	first := copy(p[:n], f.buf[f.head:])
+	clear(f.buf[f.head : f.head+first])
+	if first < n {
+		copy(p[first:n], f.buf[:n-first])
+		clear(f.buf[:n-first])
+	}
+	f.head = (f.head + n) % len(f.buf)
+	f.size -= n
+	return n
+}

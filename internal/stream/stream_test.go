@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"affectedge/internal/obs"
+)
+
+func TestNewValidatesCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		if _, err := New[byte](c); err == nil {
+			t.Fatalf("capacity %d accepted", c)
+		}
+	}
+	f, err := New[byte](1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cap() != 1 || f.Len() != 0 {
+		t.Fatalf("cap/len = %d/%d, want 1/0", f.Cap(), f.Len())
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	f, _ := New[int](4)
+	for i := 0; i < 4; i++ {
+		if err := f.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.TryPush(99); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("TryPush on full = %v, want ErrBackpressure", err)
+	}
+	for i := 0; i < 4; i++ {
+		v, err := f.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("pop %d, want %d", v, i)
+		}
+	}
+	if v, ok, err := f.TryPop(); ok || err != nil {
+		t.Fatalf("TryPop on empty = (%v, %v, %v)", v, ok, err)
+	}
+}
+
+// TestWrapAround churns a small ring far past its capacity so every slice
+// operation exercises both the contiguous and the two-segment copy paths.
+func TestWrapAround(t *testing.T) {
+	f, _ := New[byte](7)
+	var in, out []byte
+	next := byte(1)
+	buf := make([]byte, 5)
+	for round := 0; round < 200; round++ {
+		w := round%5 + 1
+		chunk := make([]byte, w)
+		for i := range chunk {
+			chunk[i] = next
+			next++
+		}
+		n, err := f.TryWrite(chunk)
+		in = append(in, chunk[:n]...)
+		if err != nil && !errors.Is(err, ErrBackpressure) {
+			t.Fatal(err)
+		}
+		r, err := f.TryRead(buf[:round%4+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf[:r]...)
+	}
+	for {
+		r, err := f.TryRead(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == 0 {
+			break
+		}
+		out = append(out, buf[:r]...)
+	}
+	if string(in) != string(out) {
+		t.Fatalf("FIFO reordered or lost data: wrote %d bytes, read %d", len(in), len(out))
+	}
+}
+
+func TestDrainOnClose(t *testing.T) {
+	f, _ := New[int](8)
+	for i := 0; i < 5; i++ {
+		if err := f.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if err := f.Push(9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after close = %v, want ErrClosed", err)
+	}
+	if err := f.TryPush(9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPush after close = %v, want ErrClosed", err)
+	}
+	if _, err := f.TryWrite([]int{9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryWrite after close = %v, want ErrClosed", err)
+	}
+	for i := 0; i < 5; i++ {
+		v, err := f.Pop()
+		if err != nil {
+			t.Fatalf("drain element %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("drained %d, want %d", v, i)
+		}
+	}
+	if _, err := f.Pop(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Pop on drained closed FIFO = %v, want ErrClosed", err)
+	}
+	if _, ok, err := f.TryPop(); ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPop on drained closed FIFO = (%v, %v)", ok, err)
+	}
+	if n, err := f.Read(make([]int, 2)); n != 0 || !errors.Is(err, ErrClosed) {
+		t.Fatalf("Read on drained closed FIFO = (%d, %v)", n, err)
+	}
+	if n, err := f.TryRead(make([]int, 2)); n != 0 || !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryRead on drained closed FIFO = (%d, %v)", n, err)
+	}
+	f.Close() // idempotent
+}
+
+func TestSliceOps(t *testing.T) {
+	f, _ := New[float64](6)
+	n, err := f.Write([]float64{1, 2, 3, 4})
+	if n != 4 || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	n, err = f.TryWrite([]float64{5, 6, 7})
+	if n != 2 || !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("partial TryWrite = (%d, %v), want (2, ErrBackpressure)", n, err)
+	}
+	got := make([]float64, 10)
+	n, err = f.Read(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("Read %d elements, want 6", n)
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6} {
+		if got[i] != want {
+			t.Fatalf("element %d = %g, want %g", i, got[i], want)
+		}
+	}
+	if n, err := f.TryRead(got); n != 0 || err != nil {
+		t.Fatalf("TryRead on empty open FIFO = (%d, %v)", n, err)
+	}
+	if n, err := f.Read(nil); n != 0 || err != nil {
+		t.Fatalf("zero-length Read = (%d, %v)", n, err)
+	}
+}
+
+func TestPeakAndReset(t *testing.T) {
+	f, _ := New[int](8)
+	if _, err := f.Write([]int{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 3)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.Peak() != 5 {
+		t.Fatalf("peak %d, want 5", f.Peak())
+	}
+	f.Close()
+	if !f.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	f.Reset()
+	if f.Closed() || f.Len() != 0 || f.Peak() != 0 {
+		t.Fatalf("after Reset: closed=%v len=%d peak=%d", f.Closed(), f.Len(), f.Peak())
+	}
+	if err := f.Push(42); err != nil {
+		t.Fatalf("Push after Reset: %v", err)
+	}
+	v, err := f.Pop()
+	if err != nil || v != 42 {
+		t.Fatalf("Pop after Reset = (%d, %v)", v, err)
+	}
+}
+
+// TestMetrics wires the package family and checks that FIFO traffic lands
+// in every instrument, then unwires and checks operations still work.
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	WireMetrics(reg.Scope("stream"))
+	defer WireMetrics(nil)
+
+	f, _ := New[byte](4)
+	if _, err := f.Write([]byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.TryPush(5); !errors.Is(err, ErrBackpressure) {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if v := snap.Gauge("stream.queue_depth_high"); v != 4 {
+		t.Fatalf("queue_depth_high = %d, want 4", v)
+	}
+	if v := snap.Counter("stream.backpressure"); v != 1 {
+		t.Fatalf("backpressure = %d, want 1", v)
+	}
+	if h, ok := snap.Histogram("stream.occupancy"); !ok || h.Count == 0 {
+		t.Fatalf("occupancy histogram missing or empty (%+v)", h)
+	}
+
+	WireMetrics(nil)
+	if err := f.Push(9); err != nil {
+		t.Fatalf("unwired Push: %v", err)
+	}
+	if _, err := f.Pop(); err != nil {
+		t.Fatalf("unwired Pop: %v", err)
+	}
+}
