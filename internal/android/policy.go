@@ -49,12 +49,20 @@ func NewAffectTable(dist map[emotion.Mood]map[string]float64) (*AffectTable, err
 		if !mood.Valid() {
 			return nil, fmt.Errorf("android: invalid mood %d in affect table", int(mood))
 		}
+		// Sum in sorted app order: float addition is not associative, and a
+		// map-order sum perturbs the normalization divisor in the last ulp
+		// between runs, which flips near-tie Victim comparisons.
+		names := make([]string, 0, len(apps))
+		for a := range apps {
+			names = append(names, a)
+		}
+		sort.Strings(names)
 		var sum float64
-		for _, p := range apps {
-			if p < 0 {
+		for _, a := range names {
+			if apps[a] < 0 {
 				return nil, fmt.Errorf("android: negative probability in affect table")
 			}
-			sum += p
+			sum += apps[a]
 		}
 		if sum == 0 {
 			return nil, fmt.Errorf("android: mood %v has empty distribution", mood)
@@ -89,8 +97,17 @@ func AffectTableFromSubjects() (*AffectTable, error) {
 // app takes 60% of the category mass, the rest split the remainder
 // equally (one dominant app per category, as in real usage).
 func SpreadOverCatalog(usage map[personality.Category]float64) map[string]float64 {
+	// Accumulate in sorted category order: out's values are float sums, and
+	// map-order addition perturbs them in the last ulp — enough to flip
+	// near-tie kill-policy comparisons between otherwise identical runs.
+	cats := make([]personality.Category, 0, len(usage))
+	for cat := range usage {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
 	out := map[string]float64{}
-	for cat, mass := range usage {
+	for _, cat := range cats {
+		mass := usage[cat]
 		apps := AppsInCategory(cat)
 		if len(apps) == 0 {
 			continue

@@ -1,0 +1,182 @@
+package android
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// scriptDevice drives a deterministic launch/mood script over the first
+// few catalog apps, starting at the given tick offset.
+func scriptDevice(t *testing.T, d *Device, from, to int) {
+	t.Helper()
+	names := CatalogNames()
+	moods := []emotion.Mood{emotion.CalmMood, emotion.Excited}
+	for i := from; i < to; i++ {
+		if err := d.SetMood(moods[i%len(moods)]); err != nil {
+			t.Fatalf("SetMood: %v", err)
+		}
+		app := names[(i*7)%len(names)]
+		if _, err := d.Launch(time.Duration(i)*time.Second, app); err != nil {
+			t.Fatalf("Launch %s: %v", app, err)
+		}
+	}
+}
+
+func newStateDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(DefaultDeviceConfig(), LRUPolicy{})
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+// TestDeviceSnapshotRoundTrip pins the lifecycle contract: restoring a
+// snapshot into a fresh device and replaying the same suffix yields a
+// device indistinguishable from one that ran the whole script.
+func TestDeviceSnapshotRoundTrip(t *testing.T) {
+	const split, total = 40, 90
+
+	oracle := newStateDevice(t)
+	scriptDevice(t, oracle, 0, total)
+
+	src := newStateDevice(t)
+	scriptDevice(t, src, 0, split)
+	st := src.ExportState()
+
+	dst := newStateDevice(t)
+	if err := dst.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	scriptDevice(t, dst, split, total)
+
+	if !reflect.DeepEqual(dst.Metrics(), oracle.Metrics()) {
+		t.Errorf("metrics diverge after restore:\n got %+v\nwant %+v", dst.Metrics(), oracle.Metrics())
+	}
+	if !reflect.DeepEqual(dst.ExportState(), oracle.ExportState()) {
+		t.Errorf("full state diverges after restore")
+	}
+	if !reflect.DeepEqual(dst.Trace().Events(), oracle.Trace().Events()) {
+		t.Errorf("trace logs diverge after restore: got %d events, want %d",
+			len(dst.Trace().Events()), len(oracle.Trace().Events()))
+	}
+}
+
+// TestDeviceExportIsolation checks the snapshot shares no mutable storage
+// with the device in either direction.
+func TestDeviceExportIsolation(t *testing.T) {
+	d := newStateDevice(t)
+	scriptDevice(t, d, 0, 30)
+	st := d.ExportState()
+	before := d.ExportState()
+
+	// Mutating the snapshot must not reach the device.
+	if len(st.Procs) == 0 || len(st.Trace) == 0 {
+		t.Fatalf("expected a populated snapshot, got %d procs %d events", len(st.Procs), len(st.Trace))
+	}
+	st.Procs[0].Launches = -999
+	st.Trace[0].App = "mutated"
+	if !reflect.DeepEqual(d.ExportState(), before) {
+		t.Fatalf("mutating an exported snapshot changed the device")
+	}
+
+	// Advancing the device must not reach an earlier snapshot.
+	scriptDevice(t, d, 30, 60)
+	if reflect.DeepEqual(d.ExportState(), before) {
+		t.Fatalf("device did not advance")
+	}
+	d2 := newStateDevice(t)
+	if err := d2.ImportState(before); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if !reflect.DeepEqual(d2.ExportState(), before) {
+		t.Fatalf("import/export round trip not identical")
+	}
+}
+
+// TestDeviceImportRejects runs the rejection table: every corrupt snapshot
+// must error and leave the device bit-identical.
+func TestDeviceImportRejects(t *testing.T) {
+	base := func() DeviceState {
+		d := newStateDevice(t)
+		scriptDevice(t, d, 0, 25)
+		return d.ExportState()
+	}
+
+	cases := map[string]func(st *DeviceState){
+		"config mismatch": func(st *DeviceState) { st.Config.RAMBytes++ },
+		"invalid mood":    func(st *DeviceState) { st.Mood = emotion.Mood(77) },
+		"unknown app": func(st *DeviceState) {
+			st.Procs[0].App = "com.nonexistent.app"
+		},
+		"duplicate process": func(st *DeviceState) {
+			st.Procs = append(st.Procs, st.Procs[0])
+		},
+		"bad proc state": func(st *DeviceState) {
+			st.Procs[0].State = ProcState(9)
+		},
+		"foreground proc without foreground app": func(st *DeviceState) {
+			for i := range st.Procs {
+				if st.Procs[i].State == StateForeground {
+					st.Foreground = "other"
+					return
+				}
+			}
+		},
+		"foreground app without proc entry": func(st *DeviceState) {
+			kept := st.Procs[:0]
+			for _, p := range st.Procs {
+				if p.App != st.Foreground {
+					kept = append(kept, p)
+				}
+			}
+			st.Procs = kept
+		},
+		"negative launches": func(st *DeviceState) { st.Procs[0].Launches = -1 },
+		"negative metrics":  func(st *DeviceState) { st.Metrics.Kills = -5 },
+	}
+	for name, corrupt := range cases {
+		t.Run(strings.ReplaceAll(name, " ", "_"), func(t *testing.T) {
+			st := base()
+			corrupt(&st)
+			d := newStateDevice(t)
+			scriptDevice(t, d, 0, 5)
+			before := d.ExportState()
+			if err := d.ImportState(st); err == nil {
+				t.Fatalf("ImportState accepted corrupt snapshot (%s)", name)
+			}
+			if !reflect.DeepEqual(d.ExportState(), before) {
+				t.Fatalf("rejected import mutated the device (%s)", name)
+			}
+		})
+	}
+}
+
+// TestDeviceClasses checks the presets are valid devices and strictly
+// ordered from weakest to strongest.
+func TestDeviceClasses(t *testing.T) {
+	classes := DeviceClasses()
+	if len(classes) < 3 {
+		t.Fatalf("want >=3 device classes, got %d", len(classes))
+	}
+	for i, cfg := range classes {
+		if _, err := NewDevice(cfg, LRUPolicy{}); err != nil {
+			t.Errorf("class %d rejected by NewDevice: %v", i, err)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := classes[i-1]
+		if cfg.RAMBytes <= prev.RAMBytes || cfg.ProcessLimit < prev.ProcessLimit ||
+			cfg.FlashReadBandwidth <= prev.FlashReadBandwidth {
+			t.Errorf("class %d not strictly stronger than class %d", i, i-1)
+		}
+	}
+	if !reflect.DeepEqual(classes[1], DefaultDeviceConfig()) {
+		t.Errorf("middle class should be the paper's default emulator")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"affectedge/internal/emotion"
+)
+
+// Manager snapshot/restore: the full hidden control-loop state — committed
+// attention/mood/mode, both hysteresis accumulators, the observation
+// counters, and the transition log — behind a versioned gob envelope. A
+// restored manager replayed over an observation suffix is bit-identical to
+// the original replayed over the whole sequence (pinned by the property
+// suite in state_test.go), which is what lets fleet sessions disconnect,
+// migrate across processes, and reconnect without perturbing a
+// deterministic run.
+
+// managerStateVersion is the wire version of the manager envelope. Bump it
+// whenever the serialized field set changes meaning; decoding any other
+// version fails with *VersionError rather than misreading old state.
+const managerStateVersion = 1
+
+// VersionError reports a snapshot envelope whose wire version does not
+// match what this build reads.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("core: manager snapshot version %d, want %d", e.Got, e.Want)
+}
+
+// ManagerState is the exported hidden state of a Manager: everything
+// Observe reads or writes. Plain data, so it gob-encodes without custom
+// hooks and embeds directly in higher-level envelopes (the fleet session
+// snapshot reuses it).
+type ManagerState struct {
+	Attention emotion.Attention
+	Mood      emotion.Mood
+
+	PendingAttention emotion.Attention
+	PendingCount     int
+	PendingMood      emotion.Mood
+	PendingMoodCount int
+
+	Observed  int
+	Discarded int
+
+	AttnSwitches int
+	MoodSwitches int
+	ModeSwitches int
+
+	// Transitions is the state-change history; empty when the source
+	// manager runs with DisableHistory.
+	Transitions []Transition
+}
+
+// ExportState copies out the manager's hidden state. The transition slice
+// is cloned, so the snapshot is immune to later Observe calls.
+func (m *Manager) ExportState() ManagerState {
+	st := ManagerState{
+		Attention:        m.attention,
+		Mood:             m.mood,
+		PendingAttention: m.pendingAttention,
+		PendingCount:     m.pendingCount,
+		PendingMood:      m.pendingMood,
+		PendingMoodCount: m.pendingMoodCount,
+		Observed:         m.observed,
+		Discarded:        m.discarded,
+		AttnSwitches:     m.attnSwitches,
+		MoodSwitches:     m.moodSwitches,
+		ModeSwitches:     m.modeSwitches,
+	}
+	if len(m.transitions) > 0 {
+		st.Transitions = append([]Transition(nil), m.transitions...)
+	}
+	return st
+}
+
+// ImportState replaces the manager's hidden state with st, after
+// validating every enum-typed field so a corrupted snapshot cannot smuggle
+// in out-of-range states. The manager's configuration (policy, hysteresis,
+// confidence floor) is not part of the state and keeps its current value.
+// On error the manager is untouched.
+func (m *Manager) ImportState(st ManagerState) error {
+	if !st.Attention.Valid() {
+		return fmt.Errorf("core: snapshot attention %d out of range", int(st.Attention))
+	}
+	if !st.PendingAttention.Valid() {
+		return fmt.Errorf("core: snapshot pending attention %d out of range", int(st.PendingAttention))
+	}
+	if !st.Mood.Valid() {
+		return fmt.Errorf("core: snapshot mood %d out of range", int(st.Mood))
+	}
+	if !st.PendingMood.Valid() {
+		return fmt.Errorf("core: snapshot pending mood %d out of range", int(st.PendingMood))
+	}
+	if st.PendingCount < 0 || st.PendingMoodCount < 0 ||
+		st.Observed < 0 || st.Discarded < 0 ||
+		st.AttnSwitches < 0 || st.MoodSwitches < 0 || st.ModeSwitches < 0 {
+		return fmt.Errorf("core: snapshot has negative counters")
+	}
+	if st.Discarded > st.Observed {
+		return fmt.Errorf("core: snapshot discarded %d exceeds observed %d", st.Discarded, st.Observed)
+	}
+	m.attention = st.Attention
+	m.mood = st.Mood
+	m.mode = m.cfg.VideoPolicy[st.Attention]
+	m.pendingAttention = st.PendingAttention
+	m.pendingCount = st.PendingCount
+	m.pendingMood = st.PendingMood
+	m.pendingMoodCount = st.PendingMoodCount
+	m.observed = st.Observed
+	m.discarded = st.Discarded
+	m.attnSwitches = st.AttnSwitches
+	m.moodSwitches = st.MoodSwitches
+	m.modeSwitches = st.ModeSwitches
+	m.transitions = nil
+	if len(st.Transitions) > 0 {
+		m.transitions = append([]Transition(nil), st.Transitions...)
+	}
+	return nil
+}
+
+// managerEnvelope is the gob wire format: the version, the configuration
+// scalars the state is only meaningful under, and the state itself.
+type managerEnvelope struct {
+	Version       int
+	Hysteresis    int
+	MinConfidence float64
+	State         ManagerState
+}
+
+// Snapshot writes the manager's hidden state to w as a versioned gob
+// envelope. The video policy is not serialized (it is configuration, not
+// state); Restore must be called on a manager built with the same config.
+func (m *Manager) Snapshot(w io.Writer) error {
+	env := managerEnvelope{
+		Version:       managerStateVersion,
+		Hysteresis:    m.cfg.Hysteresis,
+		MinConfidence: m.cfg.MinConfidence,
+		State:         m.ExportState(),
+	}
+	return gob.NewEncoder(w).Encode(&env)
+}
+
+// Restore replaces the manager's hidden state with a snapshot previously
+// written by Snapshot. It fails — leaving the manager untouched — on a
+// truncated or corrupt stream, a wrong envelope version (*VersionError),
+// a configuration mismatch, or out-of-range state values.
+func (m *Manager) Restore(r io.Reader) error {
+	var env managerEnvelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("core: manager snapshot decode: %w", err)
+	}
+	if env.Version != managerStateVersion {
+		return &VersionError{Got: env.Version, Want: managerStateVersion}
+	}
+	if env.Hysteresis != m.cfg.Hysteresis || env.MinConfidence != m.cfg.MinConfidence {
+		return fmt.Errorf("core: snapshot config (hysteresis %d, min confidence %g) does not match manager (%d, %g)",
+			env.Hysteresis, env.MinConfidence, m.cfg.Hysteresis, m.cfg.MinConfidence)
+	}
+	return m.ImportState(env.State)
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// randObs draws one observation: mostly labels, sometimes circumplex
+// points, with confidences straddling the MinConfidence gate so discard
+// paths stay exercised.
+func randObs(rng *rand.Rand, t int) Observation {
+	o := Observation{
+		At:         time.Duration(t+1) * time.Second,
+		Confidence: rng.Float64(),
+	}
+	if rng.Float64() < 0.25 {
+		o.HasPoint = true
+		o.Point = emotion.Point{
+			Valence: rng.Float64()*2 - 1,
+			Arousal: rng.Float64()*2 - 1,
+		}
+	} else {
+		o.Label = emotion.Label(rng.Intn(emotion.NumLabels))
+	}
+	return o
+}
+
+// replay feeds obs into m, collecting each Observe result.
+func replay(t *testing.T, m *Manager, obs []Observation) []bool {
+	t.Helper()
+	out := make([]bool, len(obs))
+	for i, o := range obs {
+		sw, err := m.Observe(o)
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		out[i] = sw
+	}
+	return out
+}
+
+// roundTrip snapshots src through the gob envelope into a freshly built
+// manager with the same config.
+func roundTrip(t *testing.T, src *Manager, cfg ManagerConfig) *Manager {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestSnapshotRestoreReplayEquivalence is the property pinning the fleet's
+// churn determinism argument: for random observation prefixes, restoring a
+// snapshot and replaying the suffix is identical — same per-observation
+// switch decisions, same exported state, same transition log — to
+// replaying the whole sequence on the original manager.
+func TestSnapshotRestoreReplayEquivalence(t *testing.T) {
+	for _, hys := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 20; trial++ {
+			rng := rand.New(rand.NewSource(int64(hys*1000 + trial)))
+			cfg := DefaultManagerConfig()
+			cfg.Hysteresis = hys
+			obs := make([]Observation, 40+rng.Intn(40))
+			for i := range obs {
+				obs[i] = randObs(rng, i)
+			}
+			split := rng.Intn(len(obs) + 1)
+
+			whole, err := NewManager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wholeSw := replay(t, whole, obs)
+
+			pre, err := NewManager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay(t, pre, obs[:split])
+			res := roundTrip(t, pre, cfg)
+			sufSw := replay(t, res, obs[split:])
+
+			if !reflect.DeepEqual(wholeSw[split:], sufSw) {
+				t.Fatalf("hys=%d trial=%d split=%d: suffix switch decisions diverge\nwhole %v\nres   %v",
+					hys, trial, split, wholeSw[split:], sufSw)
+			}
+			if a, b := whole.ExportState(), res.ExportState(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("hys=%d trial=%d split=%d: final state diverges\nwhole %+v\nres   %+v", hys, trial, split, a, b)
+			}
+			if !reflect.DeepEqual(whole.Transitions(), res.Transitions()) {
+				t.Fatalf("hys=%d trial=%d split=%d: transition logs diverge", hys, trial, split)
+			}
+			if whole.Attention() != res.Attention() || whole.Mood() != res.Mood() || whole.DecoderMode() != res.DecoderMode() {
+				t.Fatalf("hys=%d trial=%d split=%d: accessors diverge", hys, trial, split)
+			}
+		}
+	}
+}
+
+// TestSnapshotHysteresisEdgeTimings tables the splits that sit exactly on
+// hysteresis boundaries: the pending accumulator one observation short of
+// committing, the observation that commits, and the observation right
+// after — the states a naive snapshot (committed state only) would lose.
+func TestSnapshotHysteresisEdgeTimings(t *testing.T) {
+	// With hysteresis 3, a run of Bored observations (low arousal →
+	// Distracted attention, calm mood) from the initial Relaxed/calm state
+	// accumulates pendingCount 1, 2 then commits on the third.
+	mk := func(l emotion.Label, n int) []Observation {
+		out := make([]Observation, n)
+		for i := range out {
+			out[i] = Observation{At: time.Duration(i+1) * time.Second, Label: l, Confidence: 1}
+		}
+		return out
+	}
+	// Sad sits at strongly negative arousal (→ Distracted attention, calm
+	// mood); Angry at strongly positive (→ Tense, excited) — both differ
+	// from the initial Relaxed/calm state, so runs of either accumulate
+	// hysteresis pendings for attention and mood at once.
+	angry, bored := emotion.Angry, emotion.Sad
+	for _, tc := range []struct {
+		name  string
+		obs   []Observation
+		split int
+	}{
+		{"pending-one-short", mk(bored, 6), 2},                      // pendingCount == hys-1
+		{"pending-started", mk(bored, 6), 1},                        // pendingCount == 1
+		{"at-commit", mk(bored, 6), 3},                              // split right on the switch
+		{"after-commit", mk(bored, 6), 4},                           // one past the switch
+		{"pending-reset", append(mk(bored, 2), mk(angry, 4)...), 2}, // accumulator about to restart
+		{"mid-disagreement", append(mk(bored, 2), mk(angry, 4)...), 3},
+		{"empty-prefix", mk(bored, 6), 0},
+		{"empty-suffix", mk(bored, 6), 6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultManagerConfig()
+			cfg.Hysteresis = 3
+			whole, err := NewManager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wholeSw := replay(t, whole, tc.obs)
+
+			pre, err := NewManager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay(t, pre, tc.obs[:tc.split])
+			res := roundTrip(t, pre, cfg)
+			sufSw := replay(t, res, tc.obs[tc.split:])
+
+			if !reflect.DeepEqual(wholeSw[tc.split:], sufSw) {
+				t.Fatalf("suffix switch decisions diverge: whole %v, restored %v", wholeSw[tc.split:], sufSw)
+			}
+			if a, b := whole.ExportState(), res.ExportState(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("final state diverges\nwhole %+v\nres   %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestSnapshotWrongVersion pins the typed error: a future (or corrupted)
+// envelope version must fail with *VersionError, not load garbage.
+func TestSnapshotWrongVersion(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&managerEnvelope{
+		Version:       managerStateVersion + 7,
+		Hysteresis:    cfg.Hysteresis,
+		MinConfidence: cfg.MinConfidence,
+		State:         m.ExportState(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.ExportState()
+	err = m.Restore(&buf)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("restore of wrong-version envelope: %v, want *VersionError", err)
+	}
+	if ve.Got != managerStateVersion+7 || ve.Want != managerStateVersion {
+		t.Errorf("version error %+v", ve)
+	}
+	if got := m.ExportState(); !reflect.DeepEqual(before, got) {
+		t.Error("failed restore mutated the manager")
+	}
+}
+
+// TestSnapshotCorruptAndTruncated: every truncation and a byte-flip of a
+// valid snapshot must error without touching the target manager.
+func TestSnapshotCorruptAndTruncated(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	src, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		if _, err := src.Observe(randObs(rng, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	dst, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dst.ExportState()
+	for cut := 0; cut < len(blob); cut += 7 {
+		if err := dst.Restore(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(blob))
+		}
+	}
+	// Flip every byte of the payload in turn. A flip may still decode —
+	// gob plus the import validation can only reject structural damage,
+	// not a flip that lands on another in-range value — but a *failed*
+	// restore must never leave partial state behind, and none may panic.
+	for at := 0; at < len(blob); at++ {
+		bad := append([]byte(nil), blob...)
+		bad[at] ^= 0xff
+		if err := dst.Restore(bytes.NewReader(bad)); err == nil {
+			if err := dst.ImportState(before); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if got := dst.ExportState(); !reflect.DeepEqual(before, got) {
+			t.Fatalf("failed restore (flip at %d) half-applied state", at)
+		}
+	}
+}
+
+// TestSnapshotConfigMismatch: state under one hysteresis depth must not
+// restore into a manager running another.
+func TestSnapshotConfigMismatch(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	src, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Hysteresis = cfg.Hysteresis + 1
+	dst, err := NewManager(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(&buf); err == nil {
+		t.Fatal("snapshot restored across differing hysteresis configs")
+	}
+}
+
+// TestImportStateRejectsGarbage: out-of-range enums and impossible
+// counters must be rejected atomically.
+func TestImportStateRejectsGarbage(t *testing.T) {
+	m, err := NewManager(DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.ExportState()
+	valid := before
+	for name, st := range map[string]ManagerState{
+		"attention":      {Attention: 99, Mood: valid.Mood},
+		"pend-attention": {Attention: valid.Attention, Mood: valid.Mood, PendingAttention: -1},
+		"mood":           {Attention: valid.Attention, Mood: 99},
+		"pend-mood":      {Attention: valid.Attention, Mood: valid.Mood, PendingMood: 99},
+		"neg-counter":    {Attention: valid.Attention, Mood: valid.Mood, Observed: -1},
+		"discard>obs":    {Attention: valid.Attention, Mood: valid.Mood, Observed: 1, Discarded: 2},
+	} {
+		if err := m.ImportState(st); err == nil {
+			t.Errorf("%s: garbage state accepted", name)
+		}
+		if got := m.ExportState(); !reflect.DeepEqual(before, got) {
+			t.Fatalf("%s: failed import mutated the manager", name)
+		}
+	}
+}
+
+// TestImportStateDisableHistoryMismatch: history flows through the
+// snapshot as plain data — a history-bearing snapshot restored into a
+// DisableHistory manager keeps the log it was given but appends nothing.
+func TestImportStateHistoryCarryOver(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	src, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := src.Observe(Observation{At: time.Duration(i) * time.Second, Label: emotion.Sad, Confidence: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(src.Transitions()) == 0 {
+		t.Fatal("setup produced no transitions")
+	}
+	dst, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportState(src.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src.Transitions(), dst.Transitions()) {
+		t.Fatal("transition log not carried over")
+	}
+	// The restored copy's log must be independent of the source's: writing
+	// through one slice must not show up in the other.
+	want := append([]Transition(nil), dst.Transitions()...)
+	src.Transitions()[0].At = 99 * time.Hour
+	if !reflect.DeepEqual(want, dst.Transitions()) {
+		t.Fatal("restored manager aliases the source transition slice")
+	}
+}

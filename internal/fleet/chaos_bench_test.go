@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchFleet builds a warmed-up fleet for the snapshot benchmarks.
+func benchFleet(b *testing.B, sessions, shards, ticks int) *Fleet {
+	b.Helper()
+	f, err := New(Config{Sessions: sessions, Shards: shards, Seed: 1, LaunchEvery: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.RunTicks(ticks); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkSnapshotSession prices serializing one session's full state —
+// manager, device process table, trace, RNG position — the unit cost of
+// migrating a user between shards or hosts.
+func BenchmarkSnapshotSession(b *testing.B) {
+	f := benchFleet(b, 64, 4, 20)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := f.SnapshotSession(i%64, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/session")
+	b.ReportMetric(float64(buf.Len()), "bytes/session")
+}
+
+// BenchmarkRestoreSession prices the inverse: decode, validate, rebuild
+// the manager and device, fast-forward the RNG, and splice the session
+// back into the shard.
+func BenchmarkRestoreSession(b *testing.B) {
+	f := benchFleet(b, 64, 4, 20)
+	var buf bytes.Buffer
+	if err := f.SnapshotSession(7, &buf); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.RemoveSession(7); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.RestoreSession(bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/session")
+}
+
+// BenchmarkFleetSnapshotRestore prices a whole-fleet checkpoint round
+// trip — the hot-restart path — normalized per session.
+func BenchmarkFleetSnapshotRestore(b *testing.B) {
+	const sessions = 256
+	f := benchFleet(b, sessions, 8, 20)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := f.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Restore(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sessions), "ns/session")
+	b.ReportMetric(float64(buf.Cap()), "bytes/fleet")
+}
+
+// BenchmarkChurnTick prices a simulation round under steady churn — every
+// tick parks one session and revives another (catch-up replay included) —
+// against the all-connected BenchmarkFleetTick baseline.
+func BenchmarkChurnTick(b *testing.B) {
+	const sessions = 256
+	f := benchFleet(b, sessions, 8, 2)
+	park := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RunTicks(1); err != nil {
+			b.Fatal(err)
+		}
+		next := (park + 1) % sessions
+		if err := f.Disconnect(next); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Reconnect(park); err != nil && i > 0 {
+			b.Fatal(err)
+		}
+		park = next
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sessions), "ns/observation")
+}

@@ -119,6 +119,28 @@ type Config struct {
 	// fingerprint is identical to the whole-buffer feed (golden tests pin
 	// this); only peak ingest memory changes. 0 keeps whole-buffer ingest.
 	ChunkBytes int
+	// Traffic shapes every session's app-launch schedule on the
+	// deterministic path (nil: UniformTraffic, the historical behavior —
+	// runs under it are bit-identical to runs before traffic models
+	// existed).
+	Traffic TrafficModel
+	// Profiles makes shards heterogeneous: shard i takes profile
+	// i%len(Profiles). Empty keeps every shard on Config.Device and the
+	// full app catalog.
+	Profiles []ShardProfile
+}
+
+// ShardProfile customizes one shard's hardware class and app catalog,
+// modelling a fleet whose users carry different phones with different app
+// sets.
+type ShardProfile struct {
+	// Device is the hardware class for sessions on this shard; the zero
+	// value inherits Config.Device.
+	Device android.DeviceConfig
+	// Apps restricts the shard's launch catalog to this subset of
+	// android.CatalogNames(); empty inherits the full catalog. Normalize
+	// sorts it and rejects unknown or duplicate names.
+	Apps []string
 }
 
 // Normalize fills defaults and validates; returned config is self-contained.
@@ -183,20 +205,56 @@ func (c Config) Normalize() (Config, error) {
 	if c.ChunkBytes < 0 {
 		return c, fmt.Errorf("fleet: chunk bytes %d", c.ChunkBytes)
 	}
+	if c.Traffic == nil {
+		c.Traffic = UniformTraffic{}
+	}
+	if len(c.Profiles) > 0 {
+		catalog := android.CatalogByName()
+		profiles := append([]ShardProfile(nil), c.Profiles...)
+		for pi := range profiles {
+			p := &profiles[pi]
+			if p.Device.RAMBytes == 0 {
+				p.Device = c.Device
+			}
+			if len(p.Apps) == 0 {
+				continue
+			}
+			apps := append([]string(nil), p.Apps...)
+			sort.Strings(apps)
+			for i, name := range apps {
+				if _, ok := catalog[name]; !ok {
+					return c, fmt.Errorf("fleet: profile %d app %q not in catalog", pi, name)
+				}
+				if i > 0 && apps[i-1] == name {
+					return c, fmt.Errorf("fleet: profile %d duplicate app %q", pi, name)
+				}
+			}
+			p.Apps = apps
+		}
+		c.Profiles = profiles
+	}
 	return c, nil
 }
 
 // session is one simulated device: its own control loop and phone, plus
 // the latent emotional state driving its synthetic observation stream.
+// Sessions are closed systems — all their randomness flows through the
+// counted sub-seeded RNG and they never read each other's state — which is
+// what makes a parked session's missed rounds exactly replayable.
 type session struct {
 	id  int
 	rng *rand.Rand
+	src *countingSource // rng's source; draw count is the RNG snapshot state
 	mgr *core.Manager
 	dev *android.Device
 
 	latent     emotion.Label
 	nextSwitch int
 	nextLaunch int
+	// ticks is the deterministic round this session has advanced to. Kept
+	// current only at lifecycle edges (creation, disconnect, catch-up) —
+	// live in-order sessions are implicitly at the fleet's tick.
+	ticks int
 }
 
 // request is one live-path observation travelling through a shard queue.
@@ -211,9 +269,19 @@ type request struct {
 type shard struct {
 	f *Fleet
 
+	idx      int // shard index (stripe number)
 	mu       sync.Mutex
 	sessions map[int]*session
 	order    []int // sorted ids: deterministic iteration
+	// parked holds disconnected sessions: frozen at session.ticks, out of
+	// the batching order, caught up on Reconnect.
+	parked map[int]*session
+
+	// apps is the shard's launch catalog and devcfg its hardware class
+	// (heterogeneous fleets via Config.Profiles; defaults to the full
+	// catalog and Config.Device). Read-only after New.
+	apps   []string
+	devcfg android.DeviceConfig
 
 	queue chan request
 
@@ -319,13 +387,25 @@ func New(cfg Config) (*Fleet, error) {
 		stop:   make(chan struct{}),
 	}
 	for i := range f.shards {
-		f.shards[i] = &shard{
+		sh := &shard{
 			f:        f,
+			idx:      i,
 			sessions: map[int]*session{},
+			parked:   map[int]*session{},
+			apps:     f.apps,
+			devcfg:   cfg.Device,
 			queue:    make(chan request, cfg.QueueDepth),
 			depth:    mtr.shard(i).Gauge("queue_depth_high"),
 			drops:    mtr.shard(i).Counter("drops"),
 		}
+		if len(cfg.Profiles) > 0 {
+			p := cfg.Profiles[i%len(cfg.Profiles)]
+			sh.devcfg = p.Device
+			if len(p.Apps) > 0 {
+				sh.apps = p.Apps
+			}
+		}
+		f.shards[i] = sh
 	}
 	if cfg.VideoEvery > 0 {
 		if err := f.buildVideoProbe(); err != nil {
@@ -343,6 +423,15 @@ func New(cfg Config) (*Fleet, error) {
 // shardOf stripes a session id onto its shard.
 func (f *Fleet) shardOf(id int) *shard { return f.shards[id%len(f.shards)] }
 
+// sessionSeed derives session id's RNG seed from the fleet seed alone —
+// never from creation order or worker scheduling — which is what makes
+// N-worker runs bit-identical and lets snapshot restore rebuild the source
+// without serializing generator internals.
+func sessionSeed(fleetSeed int64, id int) int64 {
+	const golden = int64(-7046029254386353131) // 0x9E3779B97F4A7C15: splitmix64 increment
+	return fleetSeed ^ (golden * int64(id+1))
+}
+
 // newSession builds a sub-seeded session. The RNG seed depends only on
 // the fleet seed and the session id — never on creation order or worker
 // scheduling — which is what makes N-worker runs bit-identical.
@@ -355,15 +444,16 @@ func (f *Fleet) newSession(id int) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	dev, err := android.NewDevice(f.cfg.Device, f.policy)
+	dev, err := android.NewDevice(f.shardOf(id).devcfg, f.policy)
 	if err != nil {
 		return nil, err
 	}
-	const golden = int64(-7046029254386353131) // 0x9E3779B97F4A7C15: splitmix64 increment
-	rng := rand.New(rand.NewSource(f.cfg.Seed ^ (golden * int64(id+1))))
+	src := newCountingSource(sessionSeed(f.cfg.Seed, id))
+	rng := rand.New(src)
 	s := &session{
 		id:     id,
 		rng:    rng,
+		src:    src,
 		mgr:    mgr,
 		dev:    dev,
 		latent: emotion.Label(rng.Intn(emotion.NumLabels)),
@@ -392,39 +482,54 @@ func (f *Fleet) AddSession(id int) error {
 	if _, dup := sh.sessions[id]; dup {
 		return fmt.Errorf("fleet: duplicate session %d", id)
 	}
-	sh.sessions[id] = s
-	i := sort.SearchInts(sh.order, id)
-	sh.order = append(sh.order, 0)
-	copy(sh.order[i+1:], sh.order[i:])
-	sh.order[i] = id
+	if _, dup := sh.parked[id]; dup {
+		return fmt.Errorf("fleet: duplicate session %d (disconnected)", id)
+	}
+	s.ticks = f.base
+	sh.insert(s)
 	mtr.added.Inc()
 	mtr.sessions.Add(1)
 	return nil
 }
 
-// RemoveSession tears down session id. Observations already queued for it
-// are skipped (and counted) when their batch drains.
+// insert places a session into the live set and sorted order. Caller holds
+// sh.mu; id must not already be present.
+func (sh *shard) insert(s *session) {
+	sh.sessions[s.id] = s
+	i := sort.SearchInts(sh.order, s.id)
+	sh.order = append(sh.order, 0)
+	copy(sh.order[i+1:], sh.order[i:])
+	sh.order[i] = s.id
+}
+
+// RemoveSession tears down session id, connected or disconnected.
+// Observations already queued for it are skipped (and counted) when their
+// batch drains.
 func (f *Fleet) RemoveSession(id int) error {
 	sh := f.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.sessions[id]; !ok {
+	if _, ok := sh.sessions[id]; ok {
+		delete(sh.sessions, id)
+		i := sort.SearchInts(sh.order, id)
+		sh.order = append(sh.order[:i], sh.order[i+1:]...)
+	} else if _, ok := sh.parked[id]; ok {
+		delete(sh.parked, id)
+	} else {
 		return fmt.Errorf("fleet: unknown session %d", id)
 	}
-	delete(sh.sessions, id)
-	i := sort.SearchInts(sh.order, id)
-	sh.order = append(sh.order[:i], sh.order[i+1:]...)
 	mtr.removed.Inc()
 	mtr.sessions.Add(-1)
 	return nil
 }
 
-// Sessions returns the current session count.
+// Sessions returns the current session count, including disconnected
+// sessions awaiting reconnect.
 func (f *Fleet) Sessions() int {
 	n := 0
 	for _, sh := range f.shards {
 		sh.mu.Lock()
-		n += len(sh.sessions)
+		n += len(sh.sessions) + len(sh.parked)
 		sh.mu.Unlock()
 	}
 	return n
@@ -602,6 +707,7 @@ full:
 		// here is a programming error, not load-dependent.
 		panic(fmt.Sprintf("fleet: live inference: %v", err))
 	}
+	sh.countBatch(m, m)
 	classes := len(sh.f.stream.Protos)
 	for k, s := range sh.batch {
 		if err := sh.applyRow(s, sh.ats[k], sh.logits[k*classes:(k+1)*classes]); err != nil {
@@ -628,14 +734,23 @@ func (sh *shard) infer(m int) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// countBatch records one inference round of rows classified rows against a
+// logical population of pop sessions. On the live path pop == rows; on the
+// deterministic path pop additionally counts parked sessions, so the
+// frozen fingerprint fields (Batches, MaxBatchRows) are invariant under
+// churn — a parked session's rows land later via catch-up replay, which
+// backfills BatchRows one row at a time.
+func (sh *shard) countBatch(rows, pop int) {
 	sh.batches++
-	sh.batchRows += int64(m)
-	if m > sh.maxRows {
-		sh.maxRows = m
+	sh.batchRows += int64(rows)
+	if pop > sh.maxRows {
+		sh.maxRows = pop
 	}
 	mtr.batches.Inc()
-	mtr.batchRows.Observe(int64(m))
-	return nil
+	mtr.batchRows.Observe(int64(rows))
 }
 
 // applyRow feeds one classified observation into the session's control

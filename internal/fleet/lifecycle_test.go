@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Focused lifecycle-API tests: the edge semantics the chaos harness drives
+// stochastically, pinned one by one.
+
+func lifecycleFleet(t *testing.T, ticks int) *Fleet {
+	t.Helper()
+	f, err := New(detCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks > 0 {
+		if _, err := f.RunTicks(ticks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestDisconnectRejections(t *testing.T) {
+	f := lifecycleFleet(t, 5)
+	if err := f.Disconnect(detCfg().Sessions + 7); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown id: %v", err)
+	}
+	if err := f.Disconnect(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Disconnect(3); err == nil || !strings.Contains(err.Error(), "already disconnected") {
+		t.Fatalf("double disconnect: %v", err)
+	}
+}
+
+func TestReconnectRejections(t *testing.T) {
+	f := lifecycleFleet(t, 5)
+	if err := f.Reconnect(detCfg().Sessions + 7); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown id: %v", err)
+	}
+	// Reconnect of a connected session is an API misuse, not a no-op.
+	if err := f.Reconnect(3); err == nil || !strings.Contains(err.Error(), "disconnect before reconnect") {
+		t.Fatalf("reconnect while connected: %v", err)
+	}
+}
+
+func TestLifecycleAfterClose(t *testing.T) {
+	f := lifecycleFleet(t, 0)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Disconnect(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Disconnect after Close: %v", err)
+	}
+	if err := f.Reconnect(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reconnect after Close: %v", err)
+	}
+}
+
+// TestDisconnectedSessionsAccounting: parked sessions still count toward
+// Sessions() (they exist, they're just offline) and show up in
+// Disconnected; removal works on either side of the park.
+func TestDisconnectedSessionsAccounting(t *testing.T) {
+	f := lifecycleFleet(t, 5)
+	total := detCfg().Sessions
+	if got := f.Sessions(); got != total {
+		t.Fatalf("Sessions() = %d, want %d", got, total)
+	}
+	for _, id := range []int{2, 9, 30} {
+		if err := f.Disconnect(id); err != nil {
+			t.Fatal(err)
+		}
+		if !f.Disconnected(id) {
+			t.Fatalf("session %d not reported disconnected", id)
+		}
+	}
+	if f.Disconnected(4) {
+		t.Fatal("connected session reported disconnected")
+	}
+	if got := f.Sessions(); got != total {
+		t.Fatalf("Sessions() = %d after parking, want %d", got, total)
+	}
+	// Removing a parked session tears it down like a live one.
+	if err := f.RemoveSession(9); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Sessions(); got != total-1 {
+		t.Fatalf("Sessions() = %d after removing parked, want %d", got, total-1)
+	}
+	if f.Disconnected(9) {
+		t.Fatal("removed session still reported disconnected")
+	}
+	// Its id is free again; AddSession of a *parked* id is still a dup.
+	if err := f.AddSession(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSession(2); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("AddSession of parked id: %v", err)
+	}
+}
+
+// TestCatchUpEquivalence is the core determinism claim in isolation: park
+// a third of the fleet mid-run, run more rounds without them, reconnect —
+// the final fingerprint is the churn-free one, because catch-up replays
+// the missed rounds on the identical RNG stream.
+func TestCatchUpEquivalence(t *testing.T) {
+	cfg := detCfg()
+	oracle, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunTicks(10); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < cfg.Sessions; id += 3 {
+		if err := f.Disconnect(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.RunTicks(cfg.Ticks - 10); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < cfg.Sessions; id += 3 {
+		if err := f.Reconnect(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := f.Stats().Fingerprint(), oracle.Fingerprint(); got != want {
+		t.Fatalf("caught-up fingerprint %s, churn-free %s", got, want)
+	}
+}
+
+// TestParkedSessionsFrozen: a fully-parked shard does no batching work,
+// and a parked session's device state does not advance.
+func TestParkedSessionsFrozen(t *testing.T) {
+	cfg := detCfg()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunTicks(5); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Stats()
+	for id := 0; id < cfg.Sessions; id++ {
+		if err := f.Disconnect(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid, err := f.RunTicks(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Observations != before.Observations {
+		t.Fatalf("parked fleet still observed: %d -> %d", before.Observations, mid.Observations)
+	}
+	if mid.BatchRows != before.BatchRows {
+		t.Fatalf("parked fleet still classified rows: %d -> %d", before.BatchRows, mid.BatchRows)
+	}
+	// Logical rounds keep counting — that's what keeps Batches invariant
+	// under churn once everyone reconnects.
+	if mid.Batches == before.Batches {
+		t.Fatalf("logical batch rounds stopped counting while parked")
+	}
+}

@@ -20,6 +20,10 @@ type metrics struct {
 	batches      *obs.Counter   // inference rounds (batched or serial)
 	batchRows    *obs.Histogram // rows coalesced per inference round
 	videoDecodes *obs.Counter   // per-session probe clip decodes
+	disconnects  *obs.Counter   // sessions parked by Disconnect
+	reconnects   *obs.Counter   // sessions revived by Reconnect
+	snapshots    *obs.Counter   // session/shard/fleet snapshots written
+	restores     *obs.Counter   // session/shard/fleet restores applied
 }
 
 var mtr metrics
@@ -39,6 +43,10 @@ func WireMetrics(s *obs.Scope) {
 	mtr.batches = s.Counter("batches")
 	mtr.batchRows = s.Histogram("batch_rows", obs.ExponentialBuckets(1, 2, 10))
 	mtr.videoDecodes = s.Counter("video_decodes")
+	mtr.disconnects = s.Counter("disconnects")
+	mtr.reconnects = s.Counter("reconnects")
+	mtr.snapshots = s.Counter("snapshots")
+	mtr.restores = s.Counter("restores")
 }
 
 // shard returns the nested per-shard scope ("<scope>.shardNN."); nil when

@@ -1,0 +1,54 @@
+package fleet
+
+import "math/rand"
+
+// countingSource wraps a math/rand source and counts how many values have
+// been drawn. That count IS the serializable RNG state: math/rand's
+// lagged-Fibonacci generator advances exactly one internal step per Int63
+// or Uint64 call, so a source rebuilt from the same seed and fast-forwarded
+// the same number of steps produces the identical remaining stream. Session
+// snapshots therefore carry a (seed-derivable, draw-count) pair instead of
+// the generator's private state, which math/rand does not expose.
+//
+// The wrapper implements rand.Source64, the same interface the raw
+// rand.NewSource value satisfies, so rand.Rand takes the identical code
+// paths with or without it — the generated stream (and every pinned golden
+// fingerprint) is unchanged.
+type countingSource struct {
+	src rand.Source64
+	n   uint64 // values drawn since seeding
+}
+
+// newCountingSource seeds a fresh counted source.
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// draws returns the number of values drawn since seeding.
+func (c *countingSource) draws() uint64 { return c.n }
+
+// skip fast-forwards the source by n draws (restore path).
+func (c *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n = n
+}

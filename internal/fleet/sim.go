@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"affectedge/internal/emotion"
@@ -150,38 +151,45 @@ func (f *Fleet) RunTicks(ticks int) (*Stats, error) {
 // beyond the ForEach partition.
 func (sh *shard) tick(t int) error {
 	m := len(sh.order)
-	if m == 0 {
+	if m+len(sh.parked) == 0 {
 		return nil
 	}
 	dim := sh.f.cfg.FeatureDim
 	now := sh.f.cfg.TickEvery * time.Duration(t+1)
-	sh.feat = growFloats(sh.feat, m*dim)
-	sh.batch = sh.batch[:0]
-	for k, id := range sh.order {
-		s := sh.sessions[id]
-		s.stepLatent(t, sh.f.cfg.SwitchEvery)
-		if err := sh.ingestRow(sh.feat[k*dim:(k+1)*dim], s); err != nil {
+	if m > 0 {
+		sh.feat = growFloats(sh.feat, m*dim)
+		sh.batch = sh.batch[:0]
+		for k, id := range sh.order {
+			s := sh.sessions[id]
+			s.stepLatent(t, sh.f.cfg.SwitchEvery)
+			if err := sh.ingestRow(sh.feat[k*dim:(k+1)*dim], s); err != nil {
+				return err
+			}
+			sh.batch = append(sh.batch, s)
+		}
+		if err := sh.infer(m); err != nil {
 			return err
 		}
-		sh.batch = append(sh.batch, s)
-	}
-	if err := sh.infer(m); err != nil {
-		return err
-	}
-	classes := len(sh.f.stream.Protos)
-	for k, s := range sh.batch {
-		if err := sh.applyRow(s, now, sh.logits[k*classes:(k+1)*classes]); err != nil {
-			return err
+		classes := len(sh.f.stream.Protos)
+		for k, s := range sh.batch {
+			if err := sh.applyRow(s, now, sh.logits[k*classes:(k+1)*classes]); err != nil {
+				return err
+			}
+			if err := s.maybeLaunch(sh, t, now); err != nil {
+				return err
+			}
 		}
-		if err := s.maybeLaunch(sh.f, t, now); err != nil {
-			return err
-		}
-	}
-	if ve := sh.f.cfg.VideoEvery; ve > 0 && (t+1)%ve == 0 {
-		if err := sh.probeVideo(); err != nil {
-			return err
+		if ve := sh.f.cfg.VideoEvery; ve > 0 && (t+1)%ve == 0 {
+			if err := sh.probeVideo(); err != nil {
+				return err
+			}
 		}
 	}
+	// Logical accounting over the whole population (live plus parked):
+	// Batches and MaxBatchRows count the round as if nobody were parked,
+	// and catch-up replay backfills the missing BatchRows, which is what
+	// keeps Stats.Fingerprint bit-stable under any churn schedule.
+	sh.countBatch(m, m+len(sh.parked))
 	return nil
 }
 
@@ -254,18 +262,21 @@ func (s *session) stepLatent(t, switchEvery int) {
 }
 
 // maybeLaunch fires the session's app-launch schedule: at the scheduled
-// tick it foregrounds a catalog app picked by the session RNG (mean gap
-// LaunchEvery ticks), exercising the device's cold/warm start paths and —
-// under memory pressure — its mood-ranked kill policy.
-func (s *session) maybeLaunch(f *Fleet, t int, now time.Duration) error {
+// tick it foregrounds an app picked by the traffic model from the shard's
+// catalog (mean gap LaunchEvery ticks under the default model), exercising
+// the device's cold/warm start paths and — under memory pressure — its
+// mood-ranked kill policy. Both draws go through the session RNG, so the
+// schedule is deterministic and replayable.
+func (s *session) maybeLaunch(sh *shard, t int, now time.Duration) error {
 	if t < s.nextLaunch {
 		return nil
 	}
-	app := f.apps[s.rng.Intn(len(f.apps))]
+	f := sh.f
+	app := f.cfg.Traffic.PickApp(s.rng, sh.apps, t)
 	if _, err := s.dev.Launch(now, app); err != nil {
 		return err
 	}
-	s.nextLaunch = t + 1 + s.rng.Intn(2*f.cfg.LaunchEvery)
+	s.nextLaunch = t + f.cfg.Traffic.NextGap(s.rng, f.cfg.LaunchEvery, t)
 	return nil
 }
 
@@ -279,9 +290,30 @@ func (f *Fleet) Stats() *Stats {
 		Ticks:           f.base,
 		VirtualDuration: f.cfg.TickEvery * time.Duration(f.base),
 	}
+	accumulate := func(s *session) {
+		observed, discarded := s.mgr.Stats()
+		st.Observations += int64(observed)
+		st.Discarded += int64(discarded)
+		attn, mood, mode := s.mgr.Switches()
+		st.AttentionSwitches += int64(attn)
+		st.MoodSwitches += int64(mood)
+		st.ModeSwitches += int64(mode)
+		dm := s.dev.Metrics()
+		st.Launches += int64(dm.Launches)
+		st.ColdStarts += int64(dm.ColdStarts)
+		st.WarmStarts += int64(dm.WarmStarts)
+		st.BytesLoaded += dm.BytesLoaded
+		st.LoadingTime += dm.LoadingTime
+		st.Kills += int64(dm.Kills)
+		st.KillsByLimit += int64(dm.KillsByLimit)
+		st.KillsByMemory += int64(dm.KillsByMemory)
+		if dm.PeakRAM > st.PeakRAM {
+			st.PeakRAM = dm.PeakRAM
+		}
+	}
 	for _, sh := range f.shards {
 		sh.mu.Lock()
-		st.Sessions += len(sh.sessions)
+		st.Sessions += len(sh.sessions) + len(sh.parked)
 		st.Batches += sh.batches
 		st.BatchRows += sh.batchRows
 		if sh.maxRows > st.MaxBatchRows {
@@ -291,26 +323,17 @@ func (f *Fleet) Stats() *Stats {
 		st.VideoFrames += sh.videoFrames
 		st.VideoConcealed += sh.videoConcealed
 		for _, id := range sh.order {
-			s := sh.sessions[id]
-			observed, discarded := s.mgr.Stats()
-			st.Observations += int64(observed)
-			st.Discarded += int64(discarded)
-			attn, mood, mode := s.mgr.Switches()
-			st.AttentionSwitches += int64(attn)
-			st.MoodSwitches += int64(mood)
-			st.ModeSwitches += int64(mode)
-			dm := s.dev.Metrics()
-			st.Launches += int64(dm.Launches)
-			st.ColdStarts += int64(dm.ColdStarts)
-			st.WarmStarts += int64(dm.WarmStarts)
-			st.BytesLoaded += dm.BytesLoaded
-			st.LoadingTime += dm.LoadingTime
-			st.Kills += int64(dm.Kills)
-			st.KillsByLimit += int64(dm.KillsByLimit)
-			st.KillsByMemory += int64(dm.KillsByMemory)
-			if dm.PeakRAM > st.PeakRAM {
-				st.PeakRAM = dm.PeakRAM
-			}
+			accumulate(sh.sessions[id])
+		}
+		// Parked sessions still count; sums are order-independent, but
+		// iterate sorted anyway so debug walks are reproducible.
+		parked := make([]int, 0, len(sh.parked))
+		for id := range sh.parked {
+			parked = append(parked, id)
+		}
+		sort.Ints(parked)
+		for _, id := range parked {
+			accumulate(sh.parked[id])
 		}
 		sh.mu.Unlock()
 	}

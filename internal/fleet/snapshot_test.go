@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// snapFleet builds a detCfg fleet advanced `ticks` rounds.
+func snapFleet(t *testing.T, ticks int) *Fleet {
+	t.Helper()
+	f, err := New(detCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestSessionSnapshotRoundTrip: snapshot → remove → restore mid-run is
+// invisible — the finished run carries the churn-free fingerprint.
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	cfg := detCfg()
+	oracle, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snapFleet(t, 20)
+	for _, id := range []int{0, 7, 41} {
+		var buf bytes.Buffer
+		if err := f.SnapshotSession(id, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.RemoveSession(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.RestoreSession(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.RunTicks(cfg.Ticks - 20); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Stats().Fingerprint(), oracle.Fingerprint(); got != want {
+		t.Fatalf("round-tripped fingerprint %s, oracle %s", got, want)
+	}
+}
+
+// TestSessionSnapshotParkedStaysParked: a disconnected session migrates as
+// disconnected and still needs an explicit Reconnect.
+func TestSessionSnapshotParkedStaysParked(t *testing.T) {
+	f := snapFleet(t, 10)
+	if err := f.Disconnect(5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.SnapshotSession(5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveSession(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Disconnected(5) {
+		t.Fatal("parked snapshot restored as connected")
+	}
+	if err := f.Reconnect(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionSnapshotLagRestore: a snapshot taken at an earlier tick
+// restores into a later fleet by replaying the gap — equivalent to never
+// leaving.
+func TestSessionSnapshotLagRestore(t *testing.T) {
+	cfg := detCfg()
+	oracle, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snapFleet(t, 15)
+	var buf bytes.Buffer
+	if err := f.SnapshotSession(11, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveSession(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunTicks(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunTicks(cfg.Ticks - 25); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Stats().Fingerprint(), oracle.Fingerprint(); got != want {
+		t.Fatalf("lagged restore fingerprint %s, oracle %s", got, want)
+	}
+}
+
+func TestSessionSnapshotErrors(t *testing.T) {
+	f := snapFleet(t, 10)
+	before := f.Stats().Fingerprint()
+
+	if err := f.SnapshotSession(detCfg().Sessions+3, &bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of unknown session accepted")
+	}
+
+	var buf bytes.Buffer
+	if err := f.SnapshotSession(4, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := append([]byte(nil), buf.Bytes()...)
+
+	// Duplicate id: the session still exists.
+	if err := f.RestoreSession(bytes.NewReader(pristine)); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate restore: %v", err)
+	}
+	// Truncated and garbage streams.
+	if err := f.RestoreSession(bytes.NewReader(pristine[:len(pristine)/3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if err := f.RestoreSession(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+	// Wrong wire version surfaces as the typed error.
+	var vbuf bytes.Buffer
+	if err := gob.NewEncoder(&vbuf).Encode(&sessionEnvelope{Version: snapshotVersion + 2}); err != nil {
+		t.Fatal(err)
+	}
+	var verr *VersionError
+	if err := f.RestoreSession(&vbuf); !errors.As(err, &verr) {
+		t.Fatalf("future version: %v", err)
+	} else if verr.Got != snapshotVersion+2 || verr.Want != snapshotVersion {
+		t.Fatalf("VersionError %+v", verr)
+	}
+	// Snapshot from a differently-configured fleet is rejected.
+	other := detCfg()
+	other.Seed = 999
+	g, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RunTicks(10); err != nil {
+		t.Fatal(err)
+	}
+	var obuf bytes.Buffer
+	if err := g.SnapshotSession(4, &obuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreSession(&obuf); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("meta mismatch: %v", err)
+	}
+	// A snapshot claiming an absurd RNG draw count is rejected instead of
+	// spinning the generator fast-forward (FuzzSnapshotRestore regression).
+	var env sessionEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(pristine)).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveSession(4); err != nil {
+		t.Fatal(err)
+	}
+	env.State.Draws = 1 << 60
+	var dbuf bytes.Buffer
+	if err := gob.NewEncoder(&dbuf).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreSession(&dbuf); err == nil || !strings.Contains(err.Error(), "RNG draws") {
+		t.Fatalf("absurd draw count: %v", err)
+	}
+	if err := f.RestoreSession(bytes.NewReader(pristine)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := f.Stats().Fingerprint(); got != before {
+		t.Fatalf("error paths mutated the fleet: %s -> %s", before, got)
+	}
+}
+
+// TestShardSnapshotRoundTrip: in-place shard restore is invisible, and an
+// envelope restored into the wrong stripe is rejected without touching it.
+func TestShardSnapshotRoundTrip(t *testing.T) {
+	cfg := detCfg()
+	oracle, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snapFleet(t, 25)
+	var buf bytes.Buffer
+	if err := f.SnapshotShard(2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := append([]byte(nil), buf.Bytes()...)
+	if err := f.RestoreShard(3, bytes.NewReader(pristine)); err == nil || !strings.Contains(err.Error(), "stripe") {
+		t.Fatalf("cross-stripe restore: %v", err)
+	}
+	if err := f.RestoreShard(7, bytes.NewReader(pristine)); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := f.RestoreShard(2, bytes.NewReader(pristine)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunTicks(cfg.Ticks - 25); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Stats().Fingerprint(), oracle.Fingerprint(); got != want {
+		t.Fatalf("shard round trip fingerprint %s, oracle %s", got, want)
+	}
+}
+
+// TestFleetSnapshotMigration is the hot-restart story: snapshot a running
+// fleet, build a brand-new one from the same config in a "fresh process",
+// restore, continue — the composite run equals the uninterrupted one.
+func TestFleetSnapshotMigration(t *testing.T) {
+	cfg := detCfg()
+	oracle, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snapFleet(t, 20)
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.RunTicks(cfg.Ticks - 20); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Stats().Fingerprint(), oracle.Fingerprint(); got != want {
+		t.Fatalf("migrated fingerprint %s, oracle %s", got, want)
+	}
+}
+
+func TestFleetRestoreErrors(t *testing.T) {
+	f := snapFleet(t, 10)
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := append([]byte(nil), buf.Bytes()...)
+	before := f.Stats().Fingerprint()
+
+	if err := f.Restore(bytes.NewReader(pristine[:40])); err == nil {
+		t.Fatal("truncated fleet snapshot accepted")
+	}
+	var vbuf bytes.Buffer
+	if err := gob.NewEncoder(&vbuf).Encode(&fleetEnvelope{Version: -1}); err != nil {
+		t.Fatal(err)
+	}
+	var verr *VersionError
+	if err := f.Restore(&vbuf); !errors.As(err, &verr) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Shard-count mismatch: same scalars, different stripe layout.
+	other := detCfg()
+	other.Shards = 3
+	g, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obuf bytes.Buffer
+	if err := g.Snapshot(&obuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Restore(&obuf); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("shard-count mismatch: %v", err)
+	}
+	if got := f.Stats().Fingerprint(); got != before {
+		t.Fatalf("error paths mutated the fleet: %s -> %s", before, got)
+	}
+
+	// A started (live-mode) fleet refuses whole-fleet restore.
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := f.Restore(bytes.NewReader(pristine)); err == nil || !strings.Contains(err.Error(), "live") {
+		t.Fatalf("restore on live fleet: %v", err)
+	}
+}

@@ -246,6 +246,14 @@ func pushWorkingSet(ws []string, app string, cap int) []string {
 
 // MoodAt returns the phase mood at a time within the workload.
 func (w *Workload) MoodAt(phases []Phase, t time.Duration) emotion.Mood {
+	return PhaseMoodAt(phases, t)
+}
+
+// PhaseMoodAt returns the mood of the phase covering time t; past the last
+// phase it sticks to the final mood, and an empty phase list is calm. The
+// fleet's diurnal traffic model reuses this to map its virtual clock onto
+// a mood timeline.
+func PhaseMoodAt(phases []Phase, t time.Duration) emotion.Mood {
 	var end time.Duration
 	for _, ph := range phases {
 		end += ph.Duration

@@ -1,0 +1,77 @@
+package monkey
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/emotion"
+)
+
+// Seam tests for the pieces the fleet's diurnal traffic model leans on:
+// GenerateDay's input validation and PhaseMoodAt's edge behavior.
+
+func TestGenerateDayRejects(t *testing.T) {
+	cases := map[string]func(c *DayConfig){
+		"zero sessions":     func(c *DayConfig) { c.Sessions = 0 },
+		"negative sessions": func(c *DayConfig) { c.Sessions = -4 },
+		"zero session mean": func(c *DayConfig) { c.SessionMean = 0 },
+		"negative gap":      func(c *DayConfig) { c.GapMean = -time.Minute },
+		"prob > 1":          func(c *DayConfig) { c.ExcitedProb = 1.5 },
+		"prob < 0":          func(c *DayConfig) { c.ExcitedProb = -0.1 },
+		"bad session cfg":   func(c *DayConfig) { c.Session.MeanInterval = 0 },
+	}
+	for name, corrupt := range cases {
+		cfg := DefaultDayConfig()
+		corrupt(&cfg)
+		if _, err := GenerateDay(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestPhaseMoodAtEdges(t *testing.T) {
+	phases := []Phase{
+		{Mood: emotion.Excited, Duration: 10 * time.Second},
+		{Mood: emotion.CalmMood, Duration: 5 * time.Second},
+	}
+	cases := []struct {
+		at   time.Duration
+		want emotion.Mood
+	}{
+		{0, emotion.Excited},
+		{10*time.Second - time.Nanosecond, emotion.Excited},
+		{10 * time.Second, emotion.CalmMood}, // boundary belongs to the next phase
+		{15*time.Second - time.Nanosecond, emotion.CalmMood},
+		{15 * time.Second, emotion.CalmMood}, // past the day: sticks to final mood
+		{time.Hour, emotion.CalmMood},
+	}
+	for _, c := range cases {
+		if got := PhaseMoodAt(phases, c.at); got != c.want {
+			t.Errorf("PhaseMoodAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	// Degenerate timelines must still return a valid mood, not panic.
+	if got := PhaseMoodAt(nil, time.Second); got != emotion.CalmMood {
+		t.Errorf("empty phases: %v", got)
+	}
+	zero := []Phase{{Mood: emotion.Excited, Duration: 0}}
+	if got := PhaseMoodAt(zero, 0); got != emotion.Excited {
+		t.Errorf("zero-length day: %v, want the final phase mood", got)
+	}
+}
+
+// TestWorkloadMoodAtDelegates pins that Workload.MoodAt and the exported
+// PhaseMoodAt agree — the fleet's diurnal model uses the latter against
+// the same phase list a workload was generated from.
+func TestWorkloadMoodAtDelegates(t *testing.T) {
+	cfg := testConfig(1)
+	wl, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{0, time.Minute, 13 * time.Minute, 25 * time.Minute} {
+		if got, want := wl.MoodAt(cfg.Phases, at), PhaseMoodAt(cfg.Phases, at); got != want {
+			t.Errorf("MoodAt(%v) = %v, PhaseMoodAt = %v", at, got, want)
+		}
+	}
+}

@@ -340,16 +340,33 @@ func (n *Sequential) predictClasses(examples []Example, idx []int, preds []int) 
 	return nil
 }
 
-// snapshot is the gob wire format: parameter payloads in layer order.
+// snapshotVersion is the wire version of the network envelope. Bump it
+// whenever the serialized layout changes meaning; decoding any other
+// version fails with *VersionError rather than loading garbage weights.
+const snapshotVersion = 1
+
+// VersionError reports a network snapshot whose wire version does not
+// match what this build reads. Pre-versioning blobs decode as version 0.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("nn: network snapshot version %d, want %d", e.Got, e.Want)
+}
+
+// snapshot is the gob wire format: the envelope version and parameter
+// payloads in layer order.
 type snapshot struct {
-	Params [][]float64
+	Version int
+	Params  [][]float64
 }
 
 // Save writes all parameter values to w (gob encoded). The architecture
 // itself is not serialized; Load must be called on an identically
 // constructed network.
 func (n *Sequential) Save(w io.Writer) error {
-	var s snapshot
+	s := snapshot{Version: snapshotVersion}
 	for _, p := range n.Params() {
 		cp := make([]float64, len(p.W))
 		copy(cp, p.W)
@@ -359,20 +376,29 @@ func (n *Sequential) Save(w io.Writer) error {
 }
 
 // Load restores parameter values previously written by Save into an
-// identically shaped network.
+// identically shaped network. A wrong-version envelope (including
+// pre-versioning blobs, which decode as version 0) fails with
+// *VersionError before any weight is touched.
 func (n *Sequential) Load(r io.Reader) error {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return err
 	}
+	if s.Version != snapshotVersion {
+		return &VersionError{Got: s.Version, Want: snapshotVersion}
+	}
 	params := n.Params()
 	if len(s.Params) != len(params) {
 		return fmt.Errorf("nn: snapshot has %d tensors, network has %d", len(s.Params), len(params))
 	}
+	// Validate every shape before copying anything so a mismatched
+	// snapshot never half-applies.
 	for i, p := range params {
 		if len(s.Params[i]) != len(p.W) {
 			return fmt.Errorf("nn: snapshot tensor %d has %d values, want %d", i, len(s.Params[i]), len(p.W))
 		}
+	}
+	for i, p := range params {
 		copy(p.W, s.Params[i])
 	}
 	return nil

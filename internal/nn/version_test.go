@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestLoadWrongVersion pins the envelope versioning: a blob carrying any
+// other version — including a pre-versioning blob, which gob decodes as
+// version 0 — must fail with *VersionError and leave the weights alone.
+func TestLoadWrongVersion(t *testing.T) {
+	build := func() *Sequential {
+		r := rand.New(rand.NewSource(321))
+		return NewSequential(NewDense(3, 5, r), NewReLU(), NewDense(5, 2, r))
+	}
+
+	src := build()
+	cases := map[string]int{
+		"legacy_unversioned": 0, // pre-versioning blobs decode as 0
+		"future":             snapshotVersion + 1,
+		"negative":           -3,
+	}
+	for name, v := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := snapshot{Version: v}
+			for _, p := range src.Params() {
+				s.Params = append(s.Params, append([]float64(nil), p.W...))
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+				t.Fatal(err)
+			}
+			dst := build()
+			before := make([][]float64, 0, len(dst.Params()))
+			for _, p := range dst.Params() {
+				before = append(before, append([]float64(nil), p.W...))
+			}
+			err := dst.Load(&buf)
+			if err == nil {
+				t.Fatalf("Load accepted version %d", s.Version)
+			}
+			var ve *VersionError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *VersionError, got %T: %v", err, err)
+			}
+			if ve.Got != s.Version || ve.Want != snapshotVersion {
+				t.Fatalf("VersionError = %+v, want Got=%d Want=%d", ve, s.Version, snapshotVersion)
+			}
+			for i, p := range dst.Params() {
+				for j := range p.W {
+					if p.W[j] != before[i][j] {
+						t.Fatalf("wrong-version load mutated tensor %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadShapeMismatchAtomic pins the validate-before-copy rule: a
+// snapshot whose later tensor is misshapen must not overwrite the earlier
+// ones.
+func TestLoadShapeMismatchAtomic(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	src := NewSequential(NewDense(3, 5, r), NewReLU(), NewDense(5, 2, r))
+	s := snapshot{Version: snapshotVersion}
+	for _, p := range src.Params() {
+		s.Params = append(s.Params, append([]float64(nil), p.W...))
+	}
+	last := len(s.Params) - 1
+	s.Params[last] = s.Params[last][:len(s.Params[last])-1]
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential(NewDense(3, 5, r), NewReLU(), NewDense(5, 2, r))
+	before := make([][]float64, 0, len(dst.Params()))
+	for _, p := range dst.Params() {
+		before = append(before, append([]float64(nil), p.W...))
+	}
+	if err := dst.Load(&buf); err == nil {
+		t.Fatal("Load accepted misshapen snapshot")
+	}
+	for i, p := range dst.Params() {
+		for j := range p.W {
+			if p.W[j] != before[i][j] {
+				t.Fatalf("misshapen load half-applied: tensor %d changed", i)
+			}
+		}
+	}
+}

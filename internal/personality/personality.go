@@ -140,9 +140,18 @@ func Subjects() []Subject {
 
 // usage normalizes a category mix to sum exactly to 1.
 func usage(m map[Category]float64) map[Category]float64 {
+	// Sum in sorted key order: float addition is not associative, so a
+	// map-order sum varies in the last ulp between runs, and that ulp
+	// propagates into every derived affect probability — enough to flip
+	// near-tie kill-policy decisions downstream.
+	keys := make([]Category, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var sum float64
-	for _, v := range m {
-		sum += v
+	for _, k := range keys {
+		sum += m[k]
 	}
 	out := make(map[Category]float64, len(m))
 	for k, v := range m {

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Seam tests for the shapes device snapshot/restore feeds through the
+// log: rebuilt-from-events logs and degenerate kill sequences.
+
+// TestFromEventsCopies: the rebuilt log owns its events — mutating the
+// source slice afterwards must not reach the log (restore hands it a
+// decoded buffer it may reuse).
+func TestFromEventsCopies(t *testing.T) {
+	src := []Event{
+		{At: time.Second, App: "a", Kind: EventStart},
+		{At: 2 * time.Second, App: "a", Kind: EventKill, Note: "limit"},
+	}
+	l := FromEvents(src)
+	src[0].App = "clobbered"
+	src[1].Kind = EventStart
+	got := l.Events()
+	if got[0].App != "a" || got[1].Kind != EventKill {
+		t.Fatalf("log aliases the source slice: %+v", got)
+	}
+	if !reflect.DeepEqual(FromEvents(l.Events()).Events(), got) {
+		t.Fatal("FromEvents round trip changed the events")
+	}
+}
+
+// TestBackToBackKills: kill events with no intervening start — the shape
+// a corrupted or manually-assembled trace can carry — must not corrupt
+// lifespan accounting or panic; only the started span is closed.
+func TestBackToBackKills(t *testing.T) {
+	l := New()
+	l.Record(0, "app", EventStart, "")
+	l.Record(2*time.Second, "app", EventKill, "limit")
+	l.Record(3*time.Second, "app", EventKill, "limit") // dead already
+	l.Record(4*time.Second, "orphan", EventKill, "")   // never started
+	if got := l.KillCount("app"); got != 2 {
+		t.Fatalf("KillCount(app) = %d, want 2 (raw events)", got)
+	}
+	// Lifespan reconstruction only honors the one real span.
+	if got := l.AliveAt(time.Second, 10*time.Second); got != 1 {
+		t.Fatalf("AliveAt(1s) = %d, want 1", got)
+	}
+	for _, at := range []time.Duration{2500 * time.Millisecond, 5 * time.Second} {
+		if got := l.AliveAt(at, 10*time.Second); got != 0 {
+			t.Fatalf("AliveAt(%v) = %d, want 0", at, got)
+		}
+	}
+	// Raw event tallies still list the orphan, but it accrues no alive
+	// time — the kill closed nothing.
+	for _, st := range l.Stats(10 * time.Second) {
+		if st.App == "orphan" && (st.TotalAlive != 0 || st.Starts != 0) {
+			t.Fatalf("never-started app accrued a lifespan: %+v", st)
+		}
+		if st.App == "app" && st.TotalAlive != 2*time.Second {
+			t.Fatalf("app alive %v, want 2s", st.TotalAlive)
+		}
+	}
+}
+
+// TestZeroHorizonLifespans: a zero horizon yields no alive processes and
+// no negative-duration spans.
+func TestZeroHorizonLifespans(t *testing.T) {
+	l := New()
+	l.Record(time.Second, "app", EventStart, "")
+	if got := l.AliveAt(0, 0); got != 0 {
+		t.Fatalf("AliveAt with zero horizon = %d, want 0", got)
+	}
+	for _, st := range l.Stats(0) {
+		if st.TotalAlive != 0 || st.MeanLifetime != 0 {
+			t.Fatalf("zero horizon accrued alive time: %+v", st)
+		}
+	}
+}

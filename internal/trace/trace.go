@@ -57,6 +57,13 @@ type Log struct {
 // New returns an empty log.
 func New() *Log { return &Log{} }
 
+// FromEvents rebuilds a log from recorded events (the shape Events
+// returns), copying the slice. Device snapshot/restore uses this to carry
+// a process-lifecycle history across serialization.
+func FromEvents(events []Event) *Log {
+	return &Log{events: append([]Event(nil), events...)}
+}
+
 // Record appends an event.
 func (l *Log) Record(at time.Duration, app string, kind EventKind, note string) {
 	l.events = append(l.events, Event{At: at, App: app, Kind: kind, Note: note})
