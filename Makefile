@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: all build vet test test-short test-noavx test-race stream-smoke chaos-smoke cover bench bench-json bench-compare repro figures fleet-smoke clean
+.PHONY: all build vet test test-short test-noavx test-race stream-smoke chaos-smoke server-smoke cover bench bench-json bench-compare repro figures fleet-smoke clean
 
 all: build vet test
 
@@ -45,12 +45,19 @@ stream-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChurnFingerprintStable|TestChaosLiveLifecycle|FuzzSnapshotRestore' ./internal/fleet/
 
+# The network serving layer under the race detector: wire protocol
+# round-trip/golden/fuzz-seed suites plus the loopback TCP integration
+# tests (accounting, abrupt disconnect, slow-reader kill, drain ordering,
+# TCP-vs-in-process fingerprint equality at 1 and 8 workers).
+server-smoke:
+	$(GO) test -race ./internal/wire/ ./internal/server/
+
 # Full suite under the race detector: exercises the worker pool, the
 # parallel featurization/synthesis/study paths, and replica training.
 # Race instrumentation makes the training-heavy root package exceed go
 # test's default 10-minute timeout on small machines, hence -timeout.
 # Also replays the simd-sensitive suites with dispatch forced off.
-test-race: test-noavx stream-smoke chaos-smoke
+test-race: test-noavx stream-smoke chaos-smoke server-smoke
 	$(GO) test -race -timeout 45m ./...
 
 # Coverage gate over the -short suite (the training-heavy full studies
@@ -65,6 +72,8 @@ test-race: test-noavx stream-smoke chaos-smoke
 COVER_FLOOR := 79.1
 FLEET_COVER_FLOOR := 86.5
 STREAM_COVER_FLOOR := 85.0
+WIRE_COVER_FLOOR := 90.0
+SERVER_COVER_FLOOR := 80.0
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
@@ -79,6 +88,14 @@ cover:
 	echo "stream coverage: $$str% (floor: $(STREAM_COVER_FLOOR)%)"; \
 	awk -v t="$$str" -v f="$(STREAM_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
 		|| { echo "FAIL: stream coverage $$str% is below the $(STREAM_COVER_FLOOR)% floor"; exit 1; }
+	@wire=$$($(GO) test -short -cover ./internal/wire/ | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%/) { gsub("%","",$$i); print $$i } }'); \
+	echo "wire coverage: $$wire% (floor: $(WIRE_COVER_FLOOR)%)"; \
+	awk -v t="$$wire" -v f="$(WIRE_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+		|| { echo "FAIL: wire coverage $$wire% is below the $(WIRE_COVER_FLOOR)% floor"; exit 1; }
+	@srv=$$($(GO) test -short -cover ./internal/server/ | awk '{ for (i=1;i<=NF;i++) if ($$i ~ /%/) { gsub("%","",$$i); print $$i } }'); \
+	echo "server coverage: $$srv% (floor: $(SERVER_COVER_FLOOR)%)"; \
+	awk -v t="$$srv" -v f="$(SERVER_COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+		|| { echo "FAIL: server coverage $$srv% is below the $(SERVER_COVER_FLOOR)% floor"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -87,7 +104,7 @@ bench:
 # first free n, so the perf trajectory accumulates across PRs.
 bench-json:
 	n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
-	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ ./internal/h264/ ./internal/stream/ \
+	$(GO) test -run '^$$' -bench=. -benchmem ./internal/dsp/ ./internal/nn/ ./internal/affect/ ./internal/fleet/ ./internal/h264/ ./internal/stream/ ./internal/wire/ ./internal/server/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$n.json; \
 	echo "wrote BENCH_$$n.json"
 

@@ -52,6 +52,11 @@ var (
 	ErrBackpressure = errors.New("fleet: shard ingress queue full")
 	// ErrClosed reports an operation on a closed fleet.
 	ErrClosed = errors.New("fleet: closed")
+	// ErrUnknownSession reports an operation on a session id the fleet
+	// does not currently serve (never added, removed, or parked by
+	// Disconnect). Wrapped with the id; match with errors.Is — the ingest
+	// server maps it onto a protocol-level NACK.
+	ErrUnknownSession = errors.New("fleet: unknown session")
 )
 
 // Config sizes the fleet. The zero value of every field except Sessions
@@ -516,12 +521,16 @@ func (f *Fleet) RemoveSession(id int) error {
 	} else if _, ok := sh.parked[id]; ok {
 		delete(sh.parked, id)
 	} else {
-		return fmt.Errorf("fleet: unknown session %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownSession, id)
 	}
 	mtr.removed.Inc()
 	mtr.sessions.Add(-1)
 	return nil
 }
+
+// FeatureDim returns the normalized classifier input dimensionality —
+// what every Observe feature vector must measure.
+func (f *Fleet) FeatureDim() int { return f.cfg.FeatureDim }
 
 // Sessions returns the current session count, including disconnected
 // sessions awaiting reconnect.
@@ -595,7 +604,7 @@ func (f *Fleet) enqueue(id int, at time.Duration, x []float64) error {
 	_, ok := sh.sessions[id]
 	sh.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("fleet: unknown session %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownSession, id)
 	}
 	r := request{id: id, at: at, x: x}
 	select {
@@ -622,7 +631,7 @@ func (f *Fleet) Launch(id int, at time.Duration, app string) (time.Duration, err
 	defer sh.mu.Unlock()
 	s, ok := sh.sessions[id]
 	if !ok {
-		return 0, fmt.Errorf("fleet: unknown session %d", id)
+		return 0, fmt.Errorf("%w %d", ErrUnknownSession, id)
 	}
 	return s.dev.Launch(at, app)
 }

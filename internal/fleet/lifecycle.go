@@ -37,7 +37,7 @@ func (f *Fleet) Disconnect(id int) error {
 		if _, parked := sh.parked[id]; parked {
 			return fmt.Errorf("fleet: session %d already disconnected", id)
 		}
-		return fmt.Errorf("fleet: unknown session %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownSession, id)
 	}
 	delete(sh.sessions, id)
 	i := sort.SearchInts(sh.order, id)
@@ -66,7 +66,7 @@ func (f *Fleet) Reconnect(id int) error {
 		if _, live := sh.sessions[id]; live {
 			return fmt.Errorf("fleet: session %d is connected; disconnect before reconnect", id)
 		}
-		return fmt.Errorf("fleet: unknown session %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownSession, id)
 	}
 	if !f.started.Load() {
 		if err := sh.catchUp(s, f.base); err != nil {
@@ -77,6 +77,20 @@ func (f *Fleet) Reconnect(id int) error {
 	sh.insert(s)
 	mtr.reconnects.Inc()
 	return nil
+}
+
+// Connected reports whether session id is currently in the live set —
+// the ingest server's per-connection authentication check: a HELLO for a
+// session that is absent or parked is refused.
+func (f *Fleet) Connected(id int) bool {
+	if id < 0 {
+		return false
+	}
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.sessions[id]
+	return ok
 }
 
 // Disconnected reports whether session id is currently parked.

@@ -222,7 +222,7 @@ func (f *Fleet) SnapshotSession(id int, w io.Writer) error {
 		env = sessionEnvelope{Version: snapshotVersion, Meta: f.meta(), State: f.captureSession(s, false)}
 	} else {
 		sh.mu.Unlock()
-		return fmt.Errorf("fleet: unknown session %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownSession, id)
 	}
 	sh.mu.Unlock()
 	if err := gob.NewEncoder(w).Encode(&env); err != nil {

@@ -396,6 +396,47 @@ func (h HistogramSnap) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in (0, 1]) from the bucket counts
+// by linear interpolation inside the covering bucket — the standard
+// fixed-bucket estimator (what a Prometheus histogram_quantile computes),
+// here so latency reports can quote p50/p95/p99 straight from a snapshot.
+// The first bucket interpolates from 0; the overflow bucket interpolates
+// toward the exact tracked Max, so the estimate never exceeds an observed
+// value. Returns 0 on an empty histogram.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	lo := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			if i < len(h.Bounds) {
+				lo = float64(h.Bounds[i])
+			}
+			continue
+		}
+		hi := float64(h.Max)
+		if i < len(h.Bounds) {
+			hi = float64(h.Bounds[i])
+		}
+		if hi > float64(h.Max) {
+			hi = float64(h.Max) // bucket upper bound beyond anything observed
+		}
+		if cum+float64(c) >= rank {
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(c)
+		lo = hi
+	}
+	return float64(h.Max)
+}
+
 // Snapshot is a point-in-time copy of every registered metric, sorted by
 // name within each kind.
 type Snapshot struct {

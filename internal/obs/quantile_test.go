@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []int64{10, 100, 1000})
+	// 100 observations uniform over (0,100]: 50 in (0,10]... no — place
+	// them explicitly: 10 at 5, 80 at 50, 10 at 5000 (overflow).
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 80; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000)
+	}
+	snap, ok := reg.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+
+	// p50: rank 50 of 100 → bucket (10,100] covering ranks 11..90;
+	// interpolate 10 + 90*(50-10)/80 = 55.
+	if got := snap.Quantile(0.50); math.Abs(got-55) > 1e-9 {
+		t.Errorf("p50 = %g, want 55", got)
+	}
+	// p05 lands in the first bucket, interpolated from 0.
+	if got := snap.Quantile(0.05); got <= 0 || got > 10 {
+		t.Errorf("p05 = %g, want in (0,10]", got)
+	}
+	// p95 lands in the overflow bucket: interpolated toward the exact
+	// max, never past it.
+	if got := snap.Quantile(0.95); got < 1000 || got > 5000 {
+		t.Errorf("p95 = %g, want in [1000,5000]", got)
+	}
+	if got := snap.Quantile(1.0); got != 5000 {
+		t.Errorf("p100 = %g, want exact max 5000", got)
+	}
+	// q > 1 clamps; q <= 0 and empty histograms return 0.
+	if got := snap.Quantile(2); got != 5000 {
+		t.Errorf("clamped q = %g, want 5000", got)
+	}
+	if got := snap.Quantile(0); got != 0 {
+		t.Errorf("q=0 → %g, want 0", got)
+	}
+	if got := (HistogramSnap{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty → %g, want 0", got)
+	}
+
+	// All mass below the first bound: estimates stay within [0, Max].
+	reg2 := NewRegistry()
+	h2 := reg2.Histogram("small", []int64{1000})
+	h2.Observe(3)
+	h2.Observe(7)
+	s2, _ := reg2.Snapshot().Histogram("small")
+	if got := s2.Quantile(0.99); got < 0 || got > 7 {
+		t.Errorf("clamped-to-max estimate = %g, want <= observed max 7", got)
+	}
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"affectedge/internal/fleet"
+)
+
+// BenchmarkLoopbackObserve measures one window-1 client's observation
+// round trip over loopback TCP: encode, kernel round trip, server
+// decode+dispatch, ACK back — the per-observation serving overhead the
+// wire adds on top of fleet.Observe.
+func BenchmarkLoopbackObserve(b *testing.B) {
+	f, err := fleet.New(fleet.Config{Sessions: 1, Shards: 1, Seed: 1, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		b.Fatal(err)
+	}
+	srv := New(f, Config{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		f.Close()
+	}()
+	cli, err := Dial(addr.String(), 0, f.FeatureDim(), 10*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	vals := make([]float64, f.FeatureDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := cli.Observe(time.Duration(i+1)*time.Microsecond, vals)
+		if err != nil && !IsBackpressure(err) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadgen16 measures aggregate loopback throughput with 16
+// concurrent window-1 sessions — the obs/sec figure cmd/fleetload
+// reports, in benchmark form.
+func BenchmarkLoadgen16(b *testing.B) {
+	const sessions = 16
+	f, err := fleet.New(fleet.Config{Sessions: sessions, Shards: 4, Seed: 1, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		b.Fatal(err)
+	}
+	srv := New(f, Config{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		f.Close()
+	}()
+	obs := b.N/sessions + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := RunLoad(LoadConfig{
+		Addr: addr.String(), Sessions: sessions, Obs: obs,
+		Dim: f.FeatureDim(), Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if res.Acked != int64(sessions*obs) {
+		b.Fatalf("acked %d, want %d", res.Acked, sessions*obs)
+	}
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"affectedge/internal/wire"
+)
+
+// Client is a synchronous, window-1 protocol client: every request waits
+// for its ACK/ERR before the next is sent, so replies pair with requests
+// by order and per-session observation order on the server is exactly
+// send order. One Client drives one session over one connection; it is
+// not safe for concurrent use (the loadgen runs one per goroutine).
+type Client struct {
+	nc      net.Conn
+	sp      wire.Splitter
+	in      wire.Frame // reply decode target, reused
+	buf     []byte     // encode buffer, reused
+	rbuf    []byte     // read buffer, reused
+	seq     uint64
+	timeout time.Duration
+}
+
+// RemoteError is a server ERR reply surfaced as a client-side error. The
+// Code preserves the protocol-level classification (backpressure vs
+// unknown session vs ...) so callers can retry or give up typedly.
+type RemoteError struct {
+	Code wire.Code
+	Seq  uint64
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: remote error code %d on seq %d: %s", e.Code, e.Seq, e.Msg)
+}
+
+// IsBackpressure reports whether err is a server NACK for a full shard
+// queue — the one retryable RemoteError.
+func IsBackpressure(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeBackpressure
+}
+
+// Dial connects to addr, performs the HELLO handshake for session id with
+// feature dimensionality dim, and returns a ready client. timeout bounds
+// every round trip (0 means 30s).
+func Dial(addr string, session int, dim int, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc, rbuf: make([]byte, 8<<10), timeout: timeout}
+	hello := wire.Frame{
+		Type:    wire.Hello,
+		Version: wire.Version,
+		Session: uint64(session),
+		Dim:     uint16(dim),
+	}
+	if _, err := c.roundTrip(&hello, 0); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("server: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Observe sends one whole observation and waits for the verdict: nil
+// means ACKed (in a shard queue), a *RemoteError carries the server's
+// refusal — IsBackpressure identifies the retryable case.
+func (c *Client) Observe(at time.Duration, vals []float64) error {
+	c.seq++
+	f := wire.Frame{Type: wire.Observe, Seq: c.seq, At: int64(at), Vals: vals}
+	_, err := c.roundTrip(&f, c.seq)
+	return err
+}
+
+// ObserveChunks sends one observation as a fragment sequence (one
+// OBSERVE_CHUNK frame per fragment, FlagLast on the final one) and waits
+// for the single verdict of the assembled observation.
+func (c *Client) ObserveChunks(at time.Duration, chunks ...[]float64) error {
+	if len(chunks) == 0 {
+		return errors.New("server: ObserveChunks needs at least one chunk")
+	}
+	c.seq++
+	for i, ch := range chunks {
+		f := wire.Frame{
+			Type: wire.ObserveChunk,
+			Seq:  c.seq,
+			At:   int64(at),
+			Last: i == len(chunks)-1,
+			Vals: ch,
+		}
+		if err := c.send(&f); err != nil {
+			return err
+		}
+	}
+	_, err := c.recv(c.seq)
+	return err
+}
+
+// Snapshot requests the session's versioned snapshot and returns the gob
+// bytes (feed to fleet.RestoreSession). The returned slice is the
+// client's reusable reply buffer — copy it to keep it past the next call.
+func (c *Client) Snapshot() ([]byte, error) {
+	c.seq++
+	f := wire.Frame{Type: wire.SnapshotReq, Seq: c.seq}
+	return c.roundTrip(&f, c.seq)
+}
+
+// Seq returns the last sequence number used.
+func (c *Client) Seq() uint64 { return c.seq }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) roundTrip(f *wire.Frame, wantSeq uint64) ([]byte, error) {
+	if err := c.send(f); err != nil {
+		return nil, err
+	}
+	return c.recv(wantSeq)
+}
+
+func (c *Client) send(f *wire.Frame) error {
+	var err error
+	c.buf, err = wire.Append(c.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	_, err = c.nc.Write(c.buf)
+	return err
+}
+
+// recv reads frames until one complete reply arrives and maps it: ACK →
+// (data, nil), ERR → *RemoteError. Window-1 discipline means the first
+// reply is the one for the request just sent; a seq mismatch is a
+// protocol bug and surfaces as an error.
+func (c *Client) recv(wantSeq uint64) ([]byte, error) {
+	var readErr error // deferred: a Read can return data and an error together
+	for {
+		ok, err := c.sp.Next(&c.in)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			switch c.in.Type {
+			case wire.Ack:
+				if c.in.Seq != wantSeq {
+					return nil, fmt.Errorf("server: ACK for seq %d, want %d", c.in.Seq, wantSeq)
+				}
+				return c.in.Data, nil
+			case wire.Err:
+				return nil, &RemoteError{Code: c.in.Code, Seq: c.in.Seq, Msg: c.in.Msg}
+			default:
+				return nil, fmt.Errorf("server: unexpected %s reply", c.in.Type)
+			}
+		}
+		if readErr != nil {
+			return nil, readErr
+		}
+		c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+		n, err := c.nc.Read(c.rbuf)
+		if n > 0 {
+			if ferr := c.sp.Feed(c.rbuf[:n]); ferr != nil {
+				return nil, ferr
+			}
+		}
+		readErr = err
+		if n == 0 && err != nil {
+			return nil, err
+		}
+	}
+}

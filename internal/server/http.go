@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"affectedge/internal/fleet"
+	"affectedge/internal/obs"
+	"affectedge/internal/obs/obshttp"
+)
+
+// HTTP control plane: session lifecycle, stats, and metrics over plain
+// REST, separate from the binary ingest socket — operators curl it, the
+// data plane never shares a connection with it.
+//
+//	GET    /healthz                       liveness
+//	GET    /stats                         fleet Stats + run fingerprint
+//	GET    /counters                      server ingest accounting
+//	POST   /sessions/{id}                 AddSession
+//	DELETE /sessions/{id}                 RemoveSession
+//	POST   /sessions/{id}/disconnect      park (ingest starts NACKing the id)
+//	POST   /sessions/{id}/reconnect       revive
+//	GET    /sessions/{id}/snapshot        versioned gob snapshot (octet-stream)
+//	POST   /sessions/restore              RestoreSession(body) — the snapshot
+//	                                      envelope names the session
+//	GET    /metrics                       obs registry JSON (when wired)
+
+// ControlMux builds the control-plane handler. reg, when non-nil, also
+// mounts /metrics through the obshttp seam (the full /debug surface —
+// expvar, pprof — stays with obshttp.Serve).
+func (s *Server) ControlMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.f.Stats()
+		writeJSON(w, struct {
+			*fleet.Stats
+			Fingerprint string `json:"fingerprint"`
+		}{st, st.Fingerprint()})
+	})
+	mux.HandleFunc("GET /counters", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Counters())
+	})
+	mux.HandleFunc("POST /sessions/{id}", s.sessionOp(s.f.AddSession))
+	mux.HandleFunc("DELETE /sessions/{id}", s.sessionOp(s.f.RemoveSession))
+	mux.HandleFunc("POST /sessions/{id}/disconnect", s.sessionOp(s.f.Disconnect))
+	mux.HandleFunc("POST /sessions/{id}/reconnect", s.sessionOp(s.f.Reconnect))
+	mux.HandleFunc("GET /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := sessionID(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.f.SnapshotSession(id, w); err != nil {
+			// Headers may already be out; a mid-stream error can only abort.
+			http.Error(w, err.Error(), statusOf(err))
+		}
+	})
+	mux.HandleFunc("POST /sessions/restore", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.f.RestoreSession(r.Body); err != nil {
+			http.Error(w, err.Error(), statusOf(err))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	if reg != nil {
+		mux.Handle("GET /metrics", obshttp.Handler(reg))
+	}
+	return mux
+}
+
+// ServeControl starts the control plane on addr in a new goroutine,
+// mirroring obshttp.Serve: the caller Closes the returned server; startup
+// errors surface on the channel.
+func (s *Server) ServeControl(addr string, reg *obs.Registry) (*http.Server, <-chan error) {
+	srv := &http.Server{Addr: addr, Handler: s.ControlMux(reg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	return srv, errc
+}
+
+// sessionOp adapts a fleet session-lifecycle method into a handler.
+func (s *Server) sessionOp(op func(int) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, ok := sessionID(w, r)
+		if !ok {
+			return
+		}
+		if err := op(id); err != nil {
+			http.Error(w, err.Error(), statusOf(err))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func sessionID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+// statusOf maps fleet errors onto HTTP: unknown session 404, closed
+// fleet 503, every other refusal (duplicate add, double disconnect,
+// snapshot version/config mismatch) 409.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, fleet.ErrUnknownSession):
+		return http.StatusNotFound
+	case errors.Is(err, fleet.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusConflict
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

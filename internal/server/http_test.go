@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"affectedge/internal/fleet"
+	"affectedge/internal/obs"
+)
+
+// newControlClient builds a fleet (not started — the control plane is
+// independent of the ingest data plane) behind an httptest server.
+func newControlClient(t *testing.T) (*fleet.Fleet, *httptest.Server) {
+	t.Helper()
+	f, err := fleet.New(testFleetConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := New(f, Config{})
+	ts := httptest.NewServer(srv.ControlMux(reg))
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+func do(t *testing.T, method, url string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestControlPlane(t *testing.T) {
+	f, ts := newControlClient(t)
+
+	if resp := do(t, "GET", ts.URL+"/healthz", nil); resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Stats carries the run fingerprint.
+	resp := do(t, "GET", ts.URL+"/stats", nil)
+	var stats struct {
+		Sessions    int    `json:"sessions"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if stats.Sessions != 4 || len(stats.Fingerprint) != 64 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Session lifecycle over REST.
+	if resp := do(t, "POST", ts.URL+"/sessions/100", nil); resp.StatusCode != 204 {
+		t.Fatalf("add: %d", resp.StatusCode)
+	}
+	if !f.Connected(100) {
+		t.Fatal("session 100 not connected after POST")
+	}
+	if resp := do(t, "POST", ts.URL+"/sessions/100", nil); resp.StatusCode != 409 {
+		t.Fatalf("duplicate add: %d, want 409", resp.StatusCode)
+	}
+	if resp := do(t, "POST", ts.URL+"/sessions/100/disconnect", nil); resp.StatusCode != 204 {
+		t.Fatalf("disconnect: %d", resp.StatusCode)
+	}
+	if !f.Disconnected(100) {
+		t.Fatal("session 100 not parked")
+	}
+	if resp := do(t, "POST", ts.URL+"/sessions/100/reconnect", nil); resp.StatusCode != 204 {
+		t.Fatalf("reconnect: %d", resp.StatusCode)
+	}
+	if resp := do(t, "DELETE", ts.URL+"/sessions/100", nil); resp.StatusCode != 204 {
+		t.Fatalf("remove: %d", resp.StatusCode)
+	}
+	if resp := do(t, "POST", ts.URL+"/sessions/100/disconnect", nil); resp.StatusCode != 404 {
+		t.Fatalf("disconnect of removed session: %d, want 404", resp.StatusCode)
+	}
+	if resp := do(t, "POST", ts.URL+"/sessions/nope", nil); resp.StatusCode != 400 {
+		t.Fatalf("bad id: %d, want 400", resp.StatusCode)
+	}
+
+	// Snapshot → remove → restore round trip over REST.
+	resp = do(t, "GET", ts.URL+"/sessions/2/snapshot", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	if err != nil || len(snap) == 0 {
+		t.Fatalf("snapshot body: %d bytes, err %v", len(snap), err)
+	}
+	if resp := do(t, "DELETE", ts.URL+"/sessions/2", nil); resp.StatusCode != 204 {
+		t.Fatalf("remove before restore: %d", resp.StatusCode)
+	}
+	if resp := do(t, "POST", ts.URL+"/sessions/restore", bytes.NewReader(snap)); resp.StatusCode != 204 {
+		t.Fatalf("restore: %d", resp.StatusCode)
+	}
+	if !f.Connected(2) {
+		t.Fatal("session 2 not connected after restore")
+	}
+	// Restoring an already-present session conflicts.
+	if resp := do(t, "POST", ts.URL+"/sessions/restore", bytes.NewReader(snap)); resp.StatusCode != 409 {
+		t.Fatalf("double restore: %d, want 409", resp.StatusCode)
+	}
+
+	// Counters and metrics are live JSON.
+	resp = do(t, "GET", ts.URL+"/counters", nil)
+	var c Counters
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatalf("counters decode: %v", err)
+	}
+	if resp := do(t, "GET", ts.URL+"/metrics", nil); resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+}

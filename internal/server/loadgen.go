@@ -1,0 +1,232 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affectedge/internal/fleet"
+	"affectedge/internal/obs"
+)
+
+// LoadConfig drives RunLoad/DirectLoad: N concurrent sessions, each
+// sending Obs observations of deterministic seeded traffic. The same
+// config fed to both produces byte-identical per-session observation
+// sequences, which is what makes the TCP-vs-in-process fingerprint
+// comparison meaningful.
+type LoadConfig struct {
+	Addr     string // TCP address (RunLoad only)
+	Sessions int    // session ids 0..Sessions-1, already added to the fleet
+	Obs      int    // observations per session
+	Dim      int    // feature dimensionality (fleet.FeatureDim)
+	// ChunkEvery > 0 sends every ChunkEvery-th observation as two
+	// fragments through the chunked path (OBSERVE_CHUNK over TCP,
+	// ObserveChunks in-process).
+	ChunkEvery int
+	Seed       int64
+	Timeout    time.Duration // per round trip (default 30s)
+	// DialBurst bounds concurrent dial attempts while ramping (default
+	// 512) so a 10k-session ramp doesn't overflow the accept backlog;
+	// established connections all stay open concurrently.
+	DialBurst int
+	// Latency, when non-nil, records each observation round trip in
+	// microseconds (nil-safe: an unwired histogram is a no-op).
+	Latency *obs.Histogram
+}
+
+// LoadResult is the generator's accounting. The invariant callers check:
+// Acked == Sessions*Obs (every observation lands; NACKs are retried) and
+// Nacked counts only backpressure round trips, each followed by a retry.
+type LoadResult struct {
+	Sent    int64         `json:"sent"`    // observation round trips, retries included
+	Acked   int64         `json:"acked"`   // observations accepted
+	Nacked  int64         `json:"nacked"`  // backpressure NACKs (all retried)
+	Elapsed time.Duration `json:"elapsed"` // wall time of the observe phase
+}
+
+// trafficRNG derives session id's private RNG from the run seed —
+// SplitMix-style odd-constant mixing so adjacent ids get uncorrelated
+// streams.
+func trafficRNG(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(uint64(seed) ^ (uint64(id)+1)*0x9e3779b97f4a7c15)))
+}
+
+// nextObs synthesizes observation i for one session: a standard-normal
+// feature vector (refilled in place) stamped with a virtual timestamp.
+func nextObs(rng *rand.Rand, i int, vals []float64) time.Duration {
+	for j := range vals {
+		vals[j] = rng.NormFloat64()
+	}
+	return time.Duration(i+1) * time.Millisecond
+}
+
+func (cfg LoadConfig) normalize() (LoadConfig, error) {
+	if cfg.Sessions <= 0 || cfg.Obs <= 0 || cfg.Dim <= 0 {
+		return cfg, fmt.Errorf("server: load config needs sessions, obs, dim > 0 (got %d, %d, %d)",
+			cfg.Sessions, cfg.Obs, cfg.Dim)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.DialBurst <= 0 {
+		cfg.DialBurst = 512
+	}
+	return cfg, nil
+}
+
+// RunLoad drives cfg.Sessions concurrent window-1 clients against a
+// running ingest server. All sessions connect first (dial concurrency
+// bounded by DialBurst, connections held open), then send in lockstep
+// release: every observation is retried through backpressure NACKs until
+// ACKed, so a clean run loses nothing. The first hard error (anything
+// but backpressure) aborts that session and surfaces in the returned
+// error; the other sessions run to completion.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{}
+	var (
+		wg       sync.WaitGroup
+		dialSem  = make(chan struct{}, cfg.DialBurst)
+		ready    sync.WaitGroup
+		start    = make(chan struct{})
+		firstErr atomic.Pointer[error]
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, &err)
+	}
+	ready.Add(cfg.Sessions)
+	wg.Add(cfg.Sessions)
+	for id := 0; id < cfg.Sessions; id++ {
+		go func(id int) {
+			defer wg.Done()
+			dialSem <- struct{}{}
+			cli, err := Dial(cfg.Addr, id, cfg.Dim, cfg.Timeout)
+			<-dialSem
+			ready.Done()
+			if err != nil {
+				fail(fmt.Errorf("session %d: %w", id, err))
+				return
+			}
+			defer cli.Close()
+			<-start
+			rng := trafficRNG(cfg.Seed, id)
+			vals := make([]float64, cfg.Dim)
+			for i := 0; i < cfg.Obs; i++ {
+				at := nextObs(rng, i, vals)
+				chunked := cfg.ChunkEvery > 0 && (i+1)%cfg.ChunkEvery == 0
+				for {
+					t0 := time.Now()
+					if chunked {
+						half := cfg.Dim / 2
+						err = cli.ObserveChunks(at, vals[:half], vals[half:])
+					} else {
+						err = cli.Observe(at, vals)
+					}
+					atomic.AddInt64(&res.Sent, 1)
+					cfg.Latency.Observe(time.Since(t0).Microseconds())
+					if err == nil {
+						atomic.AddInt64(&res.Acked, 1)
+						break
+					}
+					if IsBackpressure(err) {
+						atomic.AddInt64(&res.Nacked, 1)
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					fail(fmt.Errorf("session %d obs %d: %w", id, i, err))
+					return
+				}
+			}
+		}(id)
+	}
+	ready.Wait() // every session holds its connection (or failed to dial)
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	res.Elapsed = time.Since(t0)
+	if ep := firstErr.Load(); ep != nil {
+		return res, *ep
+	}
+	return res, nil
+}
+
+// DirectLoad is RunLoad's in-process twin: identical traffic (same seed,
+// same per-session RNG streams, same chunk schedule) fed straight into
+// fleet.Observe/ObserveChunks with the same retry-through-backpressure
+// discipline. Running both against equally-configured fleets and
+// comparing Stats.Fingerprint proves the network path is semantics-free.
+func DirectLoad(f *fleet.Fleet, cfg LoadConfig) (*LoadResult, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{}
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Pointer[error]
+	)
+	wg.Add(cfg.Sessions)
+	t0 := time.Now()
+	for id := 0; id < cfg.Sessions; id++ {
+		go func(id int) {
+			defer wg.Done()
+			rng := trafficRNG(cfg.Seed, id)
+			vals := make([]float64, cfg.Dim)
+			for i := 0; i < cfg.Obs; i++ {
+				at := nextObs(rng, i, vals)
+				chunked := cfg.ChunkEvery > 0 && (i+1)%cfg.ChunkEvery == 0
+				for {
+					var err error
+					if chunked {
+						half := cfg.Dim / 2
+						err = f.ObserveChunks(id, at, vals[:half], vals[half:])
+					} else {
+						err = f.Observe(id, at, vals)
+					}
+					atomic.AddInt64(&res.Sent, 1)
+					if err == nil {
+						atomic.AddInt64(&res.Acked, 1)
+						break
+					}
+					if errors.Is(err, fleet.ErrBackpressure) {
+						atomic.AddInt64(&res.Nacked, 1)
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					e := fmt.Errorf("session %d obs %d: %w", id, i, err)
+					firstErr.CompareAndSwap(nil, &e)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(t0)
+	if ep := firstErr.Load(); ep != nil {
+		return res, *ep
+	}
+	return res, nil
+}
+
+// VerifyConfig returns the fleet configuration both sides of a
+// fingerprint comparison must share: MaxBatch 1 pins the live path's
+// batching accounting (every coalesce round is exactly one row), which
+// is the one timing-dependent degree of freedom in Stats.Fingerprint;
+// everything else in the fingerprint is already order-independent
+// because sessions are closed systems and the int8 kernels are bit-exact
+// regardless of batch composition.
+func VerifyConfig(sessions, shards, queueDepth int, seed int64) fleet.Config {
+	return fleet.Config{
+		Sessions:   sessions,
+		Shards:     shards,
+		QueueDepth: queueDepth,
+		MaxBatch:   1,
+		Seed:       seed,
+	}
+}

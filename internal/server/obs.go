@@ -1,0 +1,48 @@
+package server
+
+import "affectedge/internal/obs"
+
+// metrics holds the package's nil-safe instrument handles, mirroring the
+// Server.Counters accounting into an obs scope for the /metrics plane.
+// Deliberately NOT wired by the affectedge.WireMetrics facade: pulling
+// the serving layer into every binary's metric surface would drag
+// net-facing concerns into offline tools — cmd/fleetload (and any other
+// serving binary) calls server.WireMetrics explicitly.
+type metrics struct {
+	conns          *obs.Gauge   // currently open connections
+	connsTotal     *obs.Counter // connections ever accepted
+	hellos         *obs.Counter // authenticated connections
+	framesIn       *obs.Counter // complete frames decoded off sockets
+	framesOut      *obs.Counter // reply frames written
+	accepted       *obs.Counter // observations the fleet accepted
+	nacked         *obs.Counter // backpressure NACKs sent
+	rejected       *obs.Counter // observations refused with a kept connection
+	snapshotReqs   *obs.Counter // session snapshots served over TCP
+	slowKills      *obs.Counter // connections killed for unread replies
+	midFrame       *obs.Counter // peers gone with a partial frame buffered
+	readErrors     *obs.Counter // connections ended by a read error
+	writeErrors    *obs.Counter // connections ended by a write error/timeout
+	protocolErrors *obs.Counter // malformed or out-of-protocol frames
+}
+
+var mtr metrics
+
+// WireMetrics attaches the server package to an observability scope.
+// Call before New; all handles are nil (and every method a no-op) until
+// then, so unwired servers pay a single predictable branch per event.
+func WireMetrics(s *obs.Scope) {
+	mtr.conns = s.Gauge("conns")
+	mtr.connsTotal = s.Counter("conns_total")
+	mtr.hellos = s.Counter("hellos")
+	mtr.framesIn = s.Counter("frames_in")
+	mtr.framesOut = s.Counter("frames_out")
+	mtr.accepted = s.Counter("accepted")
+	mtr.nacked = s.Counter("nacked")
+	mtr.rejected = s.Counter("rejected")
+	mtr.snapshotReqs = s.Counter("snapshot_reqs")
+	mtr.slowKills = s.Counter("slow_kills")
+	mtr.midFrame = s.Counter("mid_frame_resets")
+	mtr.readErrors = s.Counter("read_errors")
+	mtr.writeErrors = s.Counter("write_errors")
+	mtr.protocolErrors = s.Counter("protocol_errors")
+}

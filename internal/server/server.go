@@ -1,0 +1,588 @@
+// Package server makes the fleet a network service: a TCP ingest server
+// speaking the internal/wire frame protocol, an HTTP control/metrics
+// plane (http.go), a synchronous protocol client (client.go), and a
+// load generator that drives thousands of concurrent sessions over
+// loopback (loadgen.go).
+//
+// Connection model — one connection is one session:
+//
+//   - The first frame must be a HELLO carrying the protocol magic and
+//     version and the session id the connection authenticates as. A
+//     wrong version, an unknown/parked session, or a dimensionality
+//     mismatch is refused with a typed ERR and the connection closes.
+//   - Every OBSERVE/OBSERVE_CHUNK after that belongs to the
+//     authenticated session and is routed to the owning shard through
+//     fleet.Observe / fleet.ObserveChunks. The fleet's non-blocking
+//     ingest contract surfaces on the wire: an accepted observation is
+//     ACKed, a full shard queue (fleet.ErrBackpressure) is NACKed with
+//     CodeBackpressure — the client retries, nothing blocks the reader.
+//   - SNAPSHOT_REQ returns the session's versioned gob snapshot in the
+//     ACK payload, so a device can checkpoint its server-side state over
+//     the same connection it streams on.
+//
+// Replies travel through a bounded per-connection write queue (a
+// stream.FIFO) drained by a writer goroutine under a write deadline; a
+// client that stops reading its ACKs until the queue overflows is killed
+// and counted (SlowKills) rather than allowed to wedge the reader. Close
+// is a graceful drain: intake stops, every queued reply is flushed, and
+// all connection goroutines join before Close returns — every
+// observation the server ACKed is in a shard queue (drain ordering is
+// pinned by the loopback suite; see DESIGN.md §16).
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affectedge/internal/fleet"
+	"affectedge/internal/stream"
+	"affectedge/internal/wire"
+)
+
+// Config tunes the ingest server. The zero value of every field has a
+// sensible default; see normalize.
+type Config struct {
+	// WriteQueue bounds each connection's outgoing reply queue in frames
+	// (default 256). Overflow kills the connection (slow reader).
+	WriteQueue int
+	// ReadBuf is the per-connection read buffer in bytes (default 32KiB).
+	ReadBuf int
+	// ReadTimeout is the idle read deadline (default 30s): a connection
+	// that sends nothing for this long is dropped.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write (default 10s).
+	WriteTimeout time.Duration
+}
+
+func (c Config) normalize() Config {
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 256
+	}
+	if c.ReadBuf <= 0 {
+		c.ReadBuf = 32 << 10
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Counters is a snapshot of the server's accounting. The serving
+// invariant the loopback suite pins: every observation frame read is
+// exactly one of Accepted (ACKed, in a shard queue), Nacked
+// (backpressure ERR), or Rejected (unknown session / bad dimension /
+// abandoned chunk ERR).
+type Counters struct {
+	Conns          int64 `json:"conns"`            // currently open
+	ConnsTotal     int64 `json:"conns_total"`      // ever accepted
+	Hellos         int64 `json:"hellos"`           // authenticated connections
+	FramesIn       int64 `json:"frames_in"`        // complete frames decoded
+	FramesOut      int64 `json:"frames_out"`       // replies written
+	Accepted       int64 `json:"accepted"`         // observations the fleet accepted
+	Nacked         int64 `json:"nacked"`           // backpressure NACKs
+	Rejected       int64 `json:"rejected"`         // refused observations (ERR, connection kept)
+	SnapshotReqs   int64 `json:"snapshot_reqs"`    // session snapshots served
+	SlowKills      int64 `json:"slow_kills"`       // connections killed for unread replies
+	MidFrameResets int64 `json:"mid_frame_resets"` // peers gone with a partial frame buffered
+	ReadErrors     int64 `json:"read_errors"`      // connections ended by a read error
+	WriteErrors    int64 `json:"write_errors"`     // connections ended by a write error/timeout
+	ProtocolErrors int64 `json:"protocol_errors"`  // malformed or out-of-protocol frames
+}
+
+// Server is the TCP ingest front end of one fleet. Create with New, arm
+// with Listen, stop with Close. The caller owns the fleet: Start it
+// before Listen, Close it after Close (the server never closes the
+// fleet, so queued observations drain through the fleet's own fence).
+type Server struct {
+	f   *fleet.Fleet
+	cfg Config
+	dim int
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	n struct {
+		conns, connsTotal, hellos         atomic.Int64
+		framesIn, framesOut               atomic.Int64
+		accepted, nacked, rejected        atomic.Int64
+		snapshotReqs, slowKills           atomic.Int64
+		midFrame, readErrors, writeErrors atomic.Int64
+		protocolErrors                    atomic.Int64
+	}
+}
+
+// New wraps f in an ingest server. Wire metrics (WireMetrics) before New
+// if the obs mirror is wanted.
+func New(f *fleet.Fleet, cfg Config) *Server {
+	return &Server{
+		f:     f,
+		cfg:   cfg.normalize(),
+		dim:   f.FeatureDim(),
+		conns: map[*conn]struct{}{},
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting. The
+// returned address is the bound one — port 0 resolves here.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	if s.closed.Load() {
+		return nil, errors.New("server: closed")
+	}
+	if s.ln != nil {
+		return nil, errors.New("server: already listening")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops intake and drains: the listener closes, every connection's
+// reader is woken and exits, queued replies are flushed under the write
+// deadline, and all goroutines join. Idempotent. Drain ordering: after
+// Close returns, every ACKed observation sits in a shard queue — call
+// fleet.Close next to drain those into the sessions.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.wake()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Counters snapshots the accounting.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Conns:          s.n.conns.Load(),
+		ConnsTotal:     s.n.connsTotal.Load(),
+		Hellos:         s.n.hellos.Load(),
+		FramesIn:       s.n.framesIn.Load(),
+		FramesOut:      s.n.framesOut.Load(),
+		Accepted:       s.n.accepted.Load(),
+		Nacked:         s.n.nacked.Load(),
+		Rejected:       s.n.rejected.Load(),
+		SnapshotReqs:   s.n.snapshotReqs.Load(),
+		SlowKills:      s.n.slowKills.Load(),
+		MidFrameResets: s.n.midFrame.Load(),
+		ReadErrors:     s.n.readErrors.Load(),
+		WriteErrors:    s.n.writeErrors.Load(),
+		ProtocolErrors: s.n.protocolErrors.Load(),
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return // listener closed by Close
+			}
+			// Transient accept failure (EMFILE under fd pressure, aborted
+			// handshake): back off briefly and keep serving — a dying
+			// accept loop would strand every future client.
+			s.n.readErrors.Add(1)
+			mtr.readErrors.Inc()
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		c := newConn(s, nc)
+		if !s.track(c) {
+			nc.Close()
+			return
+		}
+		s.n.conns.Add(1)
+		s.n.connsTotal.Add(1)
+		mtr.conns.Add(1)
+		mtr.connsTotal.Inc()
+		s.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// track registers c unless the server is closing (the Accept/Close race:
+// Close snapshots the map after flipping closed, so a connection is
+// either refused here or woken there — never stranded).
+func (s *Server) track(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.n.conns.Add(-1)
+	mtr.conns.Add(-1)
+}
+
+// conn is one client connection: a reader goroutine that decodes and
+// dispatches frames, and a writer goroutine that drains the bounded
+// reply queue. The reader owns all protocol state; they meet only at the
+// FIFO and the socket.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out *stream.FIFO[wire.Frame]
+
+	// Reader-owned session state.
+	session int
+	helloed bool
+
+	// Chunked-observation assembly (reader-owned): fragments of one
+	// in-flight chunked observation, flattened into vals with recorded
+	// fragment lengths so dispatch can rebuild the chunk views for
+	// fleet.ObserveChunks.
+	chunkOpen bool
+	chunkSeq  uint64
+	chunkAt   int64
+	vals      []float64
+	fragLens  []int
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	out, err := stream.New[wire.Frame](s.cfg.WriteQueue)
+	if err != nil {
+		panic(err) // normalized WriteQueue > 0
+	}
+	return &conn{srv: s, nc: nc, out: out}
+}
+
+// wake forces a blocked Read to return so the reader can observe the
+// server's closed flag.
+func (c *conn) wake() { c.nc.SetReadDeadline(time.Now()) }
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	buf := make([]byte, c.srv.cfg.ReadBuf)
+	var sp wire.Splitter
+	var fr wire.Frame
+	defer func() {
+		// Drain ordering: closing the FIFO stops intake but keeps queued
+		// replies readable; the writer flushes them and closes the socket.
+		c.out.Close()
+		c.srv.untrack(c)
+	}()
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+		n, err := c.nc.Read(buf)
+		if n > 0 {
+			if ferr := sp.Feed(buf[:n]); ferr != nil {
+				c.protoErr(ferr)
+				return
+			}
+			for {
+				ok, nerr := sp.Next(&fr)
+				if nerr != nil {
+					c.protoErr(nerr)
+					return
+				}
+				if !ok {
+					break
+				}
+				c.srv.n.framesIn.Add(1)
+				mtr.framesIn.Inc()
+				if !c.handle(&fr) {
+					return
+				}
+			}
+		}
+		if err != nil {
+			if c.srv.closed.Load() {
+				return // graceful shutdown woke us
+			}
+			if sp.Pending() > 0 {
+				// Peer vanished mid-frame: nothing half-applied — frames
+				// dispatch only when complete — just counted and cleaned up.
+				c.srv.n.midFrame.Add(1)
+				mtr.midFrame.Inc()
+			}
+			if !errors.Is(err, io.EOF) {
+				c.srv.n.readErrors.Add(1)
+				mtr.readErrors.Inc()
+			}
+			return
+		}
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.nc.Close()
+	var buf []byte
+	for {
+		f, err := c.out.Pop() // blocks; ErrClosed once closed and drained
+		if err != nil {
+			return
+		}
+		buf, err = wire.Append(buf[:0], &f)
+		if err != nil {
+			panic(fmt.Sprintf("server: reply frame failed to encode: %v", err))
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if _, err := c.nc.Write(buf); err != nil {
+			c.srv.n.writeErrors.Add(1)
+			mtr.writeErrors.Inc()
+			return
+		}
+		c.srv.n.framesOut.Add(1)
+		mtr.framesOut.Inc()
+	}
+}
+
+// reply queues one frame for the writer. A full queue means the client
+// is not reading its replies: the connection is killed (queue closed,
+// socket closed to unblock a mid-write writer) and counted — the server
+// never lets a slow reader wedge the read loop. Returns false when the
+// connection should close.
+func (c *conn) reply(f wire.Frame) bool {
+	switch err := c.out.TryPush(f); {
+	case err == nil:
+		return true
+	case errors.Is(err, stream.ErrBackpressure):
+		c.srv.n.slowKills.Add(1)
+		mtr.slowKills.Inc()
+		c.out.Close()
+		c.nc.Close()
+		return false
+	default: // ErrClosed: already shutting down
+		return false
+	}
+}
+
+// protoErr handles an unparseable or out-of-protocol input: counted, a
+// best-effort BAD_FRAME ERR queued, connection closed.
+func (c *conn) protoErr(err error) {
+	c.srv.n.protocolErrors.Add(1)
+	mtr.protocolErrors.Inc()
+	c.reply(wire.Frame{Type: wire.Err, Code: wire.CodeBadFrame, Msg: truncMsg(err.Error())})
+}
+
+// handle dispatches one decoded frame; false closes the connection.
+func (c *conn) handle(fr *wire.Frame) bool {
+	if !c.helloed {
+		if fr.Type != wire.Hello {
+			c.protoErr(fmt.Errorf("first frame %s, want HELLO", fr.Type))
+			return false
+		}
+		return c.hello(fr)
+	}
+	switch fr.Type {
+	case wire.Hello:
+		c.protoErr(errors.New("duplicate HELLO"))
+		return false
+	case wire.Observe:
+		return c.observe(fr)
+	case wire.ObserveChunk:
+		return c.observeChunk(fr)
+	case wire.SnapshotReq:
+		return c.snapshot(fr)
+	default: // Ack/Err are server→client only
+		c.protoErr(fmt.Errorf("unexpected %s from client", fr.Type))
+		return false
+	}
+}
+
+// hello authenticates the connection: protocol version, session
+// existence (live, not parked), and feature dimensionality all check
+// before the ACK. Refusals are typed ERR frames so the client can tell
+// a version skew from a missing session.
+func (c *conn) hello(fr *wire.Frame) bool {
+	if err := wire.CheckHello(fr); err != nil {
+		var ve *wire.VersionError
+		if errors.As(err, &ve) {
+			c.reply(wire.Frame{Type: wire.Err, Code: wire.CodeVersion, Msg: truncMsg(err.Error())})
+			c.srv.n.protocolErrors.Add(1)
+			mtr.protocolErrors.Inc()
+			return false
+		}
+		c.protoErr(err)
+		return false
+	}
+	if fr.Session > math.MaxInt64 {
+		c.reply(wire.Frame{Type: wire.Err, Code: wire.CodeUnknownSession, Msg: "session id out of range"})
+		return false
+	}
+	id := int(fr.Session)
+	if !c.srv.f.Connected(id) {
+		c.reply(wire.Frame{Type: wire.Err, Code: wire.CodeUnknownSession,
+			Msg: fmt.Sprintf("session %d not connected", id)})
+		return false
+	}
+	if int(fr.Dim) != c.srv.dim {
+		c.reply(wire.Frame{Type: wire.Err, Code: wire.CodeDim,
+			Msg: fmt.Sprintf("dim %d, fleet serves %d", fr.Dim, c.srv.dim)})
+		return false
+	}
+	c.session = id
+	c.helloed = true
+	c.srv.n.hellos.Add(1)
+	mtr.hellos.Inc()
+	return c.reply(wire.Frame{Type: wire.Ack, Seq: 0}) // HELLO acks as seq 0
+}
+
+// observe routes one whole observation into the fleet.
+func (c *conn) observe(fr *wire.Frame) bool {
+	if len(fr.Vals) != c.srv.dim {
+		c.srv.n.rejected.Add(1)
+		mtr.rejected.Inc()
+		return c.reply(wire.Frame{Type: wire.Err, Seq: fr.Seq, Code: wire.CodeDim,
+			Msg: fmt.Sprintf("observation dim %d, want %d", len(fr.Vals), c.srv.dim)})
+	}
+	return c.dispatch(fr.Seq, c.srv.f.Observe(c.session, time.Duration(fr.At), fr.Vals))
+}
+
+// observeChunk assembles fragments of one observation. Fragments share a
+// seq and timestamp and concatenate in arrival order; FlagLast dispatches
+// the assembled observation through fleet.ObserveChunks with the original
+// fragment boundaries. A fragment for a new seq abandons an unfinished
+// chunk with an ERR (counted Rejected) — fragments never interleave.
+func (c *conn) observeChunk(fr *wire.Frame) bool {
+	if c.chunkOpen && (fr.Seq != c.chunkSeq || fr.At != c.chunkAt) {
+		c.srv.n.rejected.Add(1)
+		mtr.rejected.Inc()
+		abandoned := c.chunkSeq
+		c.resetChunk()
+		if !c.reply(wire.Frame{Type: wire.Err, Seq: abandoned, Code: wire.CodeBadFrame,
+			Msg: "chunk abandoned by next observation"}) {
+			return false
+		}
+	}
+	if !c.chunkOpen {
+		c.chunkOpen = true
+		c.chunkSeq = fr.Seq
+		c.chunkAt = fr.At
+	}
+	if len(c.vals)+len(fr.Vals) > c.srv.dim {
+		c.srv.n.rejected.Add(1)
+		mtr.rejected.Inc()
+		seq := c.chunkSeq
+		c.resetChunk()
+		return c.reply(wire.Frame{Type: wire.Err, Seq: seq, Code: wire.CodeDim,
+			Msg: fmt.Sprintf("chunked observation exceeds dim %d", c.srv.dim)})
+	}
+	c.vals = append(c.vals, fr.Vals...)
+	c.fragLens = append(c.fragLens, len(fr.Vals))
+	if !fr.Last {
+		return true
+	}
+	seq := c.chunkSeq
+	if len(c.vals) != c.srv.dim {
+		c.srv.n.rejected.Add(1)
+		mtr.rejected.Inc()
+		n := len(c.vals)
+		c.resetChunk()
+		return c.reply(wire.Frame{Type: wire.Err, Seq: seq, Code: wire.CodeDim,
+			Msg: fmt.Sprintf("chunked observation dim %d, want %d", n, c.srv.dim)})
+	}
+	// Rebuild the fragment views over the flat buffer and feed them
+	// through the chunked ingest seam — equivalent to Observe of the
+	// assembled vector, but exercising the same path a streaming
+	// featurizer uses in-process.
+	chunks := make([][]float64, 0, len(c.fragLens))
+	off := 0
+	for _, n := range c.fragLens {
+		chunks = append(chunks, c.vals[off:off+n])
+		off += n
+	}
+	at := c.chunkAt
+	ok := c.dispatch(seq, c.srv.f.ObserveChunks(c.session, time.Duration(at), chunks...))
+	c.resetChunk()
+	return ok
+}
+
+func (c *conn) resetChunk() {
+	c.chunkOpen = false
+	c.vals = c.vals[:0]
+	c.fragLens = c.fragLens[:0]
+}
+
+// snapshot serves the session's versioned gob snapshot in an ACK payload.
+func (c *conn) snapshot(fr *wire.Frame) bool {
+	var buf bytes.Buffer
+	if err := c.srv.f.SnapshotSession(c.session, &buf); err != nil {
+		return c.dispatch(fr.Seq, err)
+	}
+	c.srv.n.snapshotReqs.Add(1)
+	mtr.snapshotReqs.Inc()
+	if buf.Len() > wire.MaxData {
+		return c.reply(wire.Frame{Type: wire.Err, Seq: fr.Seq, Code: wire.CodeInternal,
+			Msg: fmt.Sprintf("snapshot %d bytes exceeds frame bound", buf.Len())})
+	}
+	return c.reply(wire.Frame{Type: wire.Ack, Seq: fr.Seq, Data: buf.Bytes()})
+}
+
+// dispatch maps a fleet ingest result onto the wire: nil → ACK,
+// backpressure → NACK (retryable), unknown session → ERR (connection
+// kept: the session may Reconnect), closed fleet → ERR and drop the
+// connection.
+func (c *conn) dispatch(seq uint64, err error) bool {
+	switch {
+	case err == nil:
+		c.srv.n.accepted.Add(1)
+		mtr.accepted.Inc()
+		return c.reply(wire.Frame{Type: wire.Ack, Seq: seq})
+	case errors.Is(err, fleet.ErrBackpressure):
+		c.srv.n.nacked.Add(1)
+		mtr.nacked.Inc()
+		return c.reply(wire.Frame{Type: wire.Err, Seq: seq, Code: wire.CodeBackpressure,
+			Msg: "shard ingress queue full"})
+	case errors.Is(err, fleet.ErrUnknownSession):
+		c.srv.n.rejected.Add(1)
+		mtr.rejected.Inc()
+		return c.reply(wire.Frame{Type: wire.Err, Seq: seq, Code: wire.CodeUnknownSession,
+			Msg: truncMsg(err.Error())})
+	case errors.Is(err, fleet.ErrClosed):
+		c.reply(wire.Frame{Type: wire.Err, Seq: seq, Code: wire.CodeClosed, Msg: "fleet closed"})
+		return false
+	default:
+		c.reply(wire.Frame{Type: wire.Err, Seq: seq, Code: wire.CodeInternal, Msg: truncMsg(err.Error())})
+		return false
+	}
+}
+
+func truncMsg(s string) string {
+	if len(s) > wire.MaxMsg {
+		return s[:wire.MaxMsg]
+	}
+	return s
+}

@@ -1,0 +1,464 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"affectedge/internal/fleet"
+	"affectedge/internal/wire"
+)
+
+// checkGoroutines snapshots the goroutine count and returns a closure
+// that fails the test if the count has not returned to the baseline
+// (retrying: connection teardown finishes shortly after Close returns).
+func checkGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		var after int
+		for i := 0; i < 100; i++ {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// newTestServer builds a started fleet behind a listening ingest server
+// on loopback. Cleanup closes server then fleet (the documented drain
+// order).
+func newTestServer(t *testing.T, fcfg fleet.Config, scfg Config) (*fleet.Fleet, *Server, string) {
+	t.Helper()
+	f, err := fleet.New(fcfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatalf("fleet.Start: %v", err)
+	}
+	srv := New(f, scfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		f.Close()
+	})
+	return f, srv, addr.String()
+}
+
+func testFleetConfig(sessions int) fleet.Config {
+	return fleet.Config{Sessions: sessions, Shards: 4, Seed: 42, QueueDepth: 256}
+}
+
+// TestLoopbackAccounting pins the serving invariant end to end: over a
+// full concurrent load, sent == acked + nacked on the client side,
+// client acks == server Accepted == fleet-applied observations, and no
+// goroutine outlives the teardown.
+func TestLoopbackAccounting(t *testing.T) {
+	leak := checkGoroutines(t)
+	const sessions, obs = 16, 50
+	f, srv, addr := newTestServer(t, testFleetConfig(sessions), Config{})
+	cfg := LoadConfig{
+		Addr: addr, Sessions: sessions, Obs: obs,
+		Dim: f.FeatureDim(), ChunkEvery: 7, Seed: 7,
+	}
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Acked != sessions*obs {
+		t.Errorf("acked %d, want %d", res.Acked, sessions*obs)
+	}
+	if res.Sent != res.Acked+res.Nacked {
+		t.Errorf("sent %d != acked %d + nacked %d", res.Sent, res.Acked, res.Nacked)
+	}
+	srv.Close()
+	f.Close() // drain: every ACKed observation must reach its session
+	c := srv.Counters()
+	if c.Accepted != res.Acked || c.Nacked != res.Nacked {
+		t.Errorf("server counters (accepted %d, nacked %d) != client (acked %d, nacked %d)",
+			c.Accepted, c.Nacked, res.Acked, res.Nacked)
+	}
+	if c.Hellos != sessions || c.ConnsTotal != sessions {
+		t.Errorf("hellos %d conns_total %d, want %d", c.Hellos, c.ConnsTotal, sessions)
+	}
+	st := f.Stats()
+	if st.Observations+st.LateDrops != c.Accepted {
+		t.Errorf("fleet observations %d + late drops %d != accepted %d",
+			st.Observations, st.LateDrops, c.Accepted)
+	}
+	if st.Drops != res.Nacked {
+		t.Errorf("fleet drops %d != client nacks %d", st.Drops, res.Nacked)
+	}
+	if c.Conns != 0 {
+		t.Errorf("conns gauge %d after close, want 0", c.Conns)
+	}
+	leak()
+}
+
+// rawDial opens a plain TCP connection and returns a send/expect pair
+// for hand-built frames — the misbehaving-client harness.
+func rawDial(t *testing.T, addr string) (net.Conn, func(*wire.Frame), func() *wire.Frame) {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	var sp wire.Splitter
+	buf := make([]byte, 4096)
+	send := func(f *wire.Frame) {
+		t.Helper()
+		b, err := wire.Append(nil, f)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := nc.Write(b); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	recv := func() *wire.Frame {
+		t.Helper()
+		var f wire.Frame
+		for {
+			ok, err := sp.Next(&f)
+			if err != nil {
+				t.Fatalf("split: %v", err)
+			}
+			if ok {
+				return &f
+			}
+			nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+			n, err := nc.Read(buf)
+			if n > 0 {
+				if err := sp.Feed(buf[:n]); err != nil {
+					t.Fatalf("feed: %v", err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+		}
+	}
+	return nc, send, recv
+}
+
+func helloFrame(session int, dim int) *wire.Frame {
+	return &wire.Frame{Type: wire.Hello, Version: wire.Version, Session: uint64(session), Dim: uint16(dim)}
+}
+
+// TestHelloErrors pins every handshake refusal to its wire code.
+func TestHelloErrors(t *testing.T) {
+	leak := checkGoroutines(t)
+	f, srv, addr := newTestServer(t, testFleetConfig(4), Config{})
+	dim := f.FeatureDim()
+
+	t.Run("wrong version", func(t *testing.T) {
+		_, send, recv := rawDial(t, addr)
+		h := helloFrame(0, dim)
+		h.Version = wire.Version + 9
+		send(h)
+		if r := recv(); r.Type != wire.Err || r.Code != wire.CodeVersion {
+			t.Fatalf("got %s code %d, want ERR CodeVersion", r.Type, r.Code)
+		}
+	})
+	t.Run("unknown session", func(t *testing.T) {
+		_, send, recv := rawDial(t, addr)
+		send(helloFrame(9999, dim))
+		if r := recv(); r.Type != wire.Err || r.Code != wire.CodeUnknownSession {
+			t.Fatalf("got %s code %d, want ERR CodeUnknownSession", r.Type, r.Code)
+		}
+	})
+	t.Run("parked session", func(t *testing.T) {
+		if err := f.Disconnect(1); err != nil {
+			t.Fatal(err)
+		}
+		defer f.Reconnect(1)
+		_, send, recv := rawDial(t, addr)
+		send(helloFrame(1, dim))
+		if r := recv(); r.Type != wire.Err || r.Code != wire.CodeUnknownSession {
+			t.Fatalf("got %s code %d, want ERR CodeUnknownSession for parked session", r.Type, r.Code)
+		}
+	})
+	t.Run("wrong dim", func(t *testing.T) {
+		_, send, recv := rawDial(t, addr)
+		send(helloFrame(0, dim+1))
+		if r := recv(); r.Type != wire.Err || r.Code != wire.CodeDim {
+			t.Fatalf("got %s code %d, want ERR CodeDim", r.Type, r.Code)
+		}
+	})
+	t.Run("observe before hello", func(t *testing.T) {
+		_, send, recv := rawDial(t, addr)
+		send(&wire.Frame{Type: wire.Observe, Seq: 1, Vals: make([]float64, dim)})
+		if r := recv(); r.Type != wire.Err || r.Code != wire.CodeBadFrame {
+			t.Fatalf("got %s code %d, want ERR CodeBadFrame", r.Type, r.Code)
+		}
+	})
+	t.Run("dial helper surfaces refusal", func(t *testing.T) {
+		if _, err := Dial(addr, 9999, dim, time.Second); err == nil {
+			t.Fatal("Dial of unknown session succeeded")
+		}
+	})
+	srv.Close()
+	f.Close()
+	leak()
+}
+
+// TestAbruptDisconnectMidFrame kills a connection with half a frame on
+// the wire: the server must count the reset, leak nothing, and keep
+// serving other clients on the same listener.
+func TestAbruptDisconnectMidFrame(t *testing.T) {
+	leak := checkGoroutines(t)
+	f, srv, addr := newTestServer(t, testFleetConfig(4), Config{})
+	dim := f.FeatureDim()
+
+	nc, send, recv := rawDial(t, addr)
+	send(helloFrame(0, dim))
+	if r := recv(); r.Type != wire.Ack {
+		t.Fatalf("handshake: got %s", r.Type)
+	}
+	// One full observation, then 7 bytes of the next frame, then gone.
+	full, err := wire.Append(nil, &wire.Frame{Type: wire.Observe, Seq: 1, Vals: make([]float64, dim)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(full); err != nil {
+		t.Fatal(err)
+	}
+	if r := recv(); r.Type != wire.Ack || r.Seq != 1 {
+		t.Fatalf("got %s seq %d, want ACK 1", r.Type, r.Seq)
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[:4], uint32(len(full))-4)
+	if _, err := nc.Write(head[:7]); err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+
+	// The reset is observed asynchronously; the server must stay usable.
+	cli, err := Dial(addr, 1, dim, 5*time.Second)
+	if err != nil {
+		t.Fatalf("second client: %v", err)
+	}
+	if err := cli.Observe(time.Millisecond, make([]float64, dim)); err != nil {
+		t.Fatalf("second client observe: %v", err)
+	}
+	cli.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Counters().MidFrameResets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("mid-frame reset never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	f.Close()
+	if c := srv.Counters(); c.Accepted != 2 {
+		t.Errorf("accepted %d, want 2", c.Accepted)
+	}
+	leak()
+}
+
+// TestSlowReaderBackpressure floods a connection with snapshot requests
+// while never reading the (large) replies: the bounded write queue plus
+// the write deadline must kill the connection instead of wedging the
+// server, and other clients must remain unaffected.
+func TestSlowReaderBackpressure(t *testing.T) {
+	leak := checkGoroutines(t)
+	f, srv, addr := newTestServer(t, testFleetConfig(4),
+		Config{WriteQueue: 4, WriteTimeout: 100 * time.Millisecond})
+	dim := f.FeatureDim()
+
+	nc, send, recv := rawDial(t, addr)
+	send(helloFrame(0, dim))
+	if r := recv(); r.Type != wire.Ack {
+		t.Fatalf("handshake: got %s", r.Type)
+	}
+	// Flood without reading. Replies pile into the socket buffers, then
+	// the 4-frame queue, then the connection dies (slow kill or write
+	// timeout — both count). Client writes fail once the server resets.
+	nc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	req, err := wire.Append(nil, &wire.Frame{Type: wire.SnapshotReq, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		if _, err := nc.Write(req); err != nil {
+			break
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := srv.Counters()
+		if c.SlowKills+c.WriteErrors > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow reader never killed: %+v", c)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The server still serves a well-behaved client.
+	cli, err := Dial(addr, 1, dim, 5*time.Second)
+	if err != nil {
+		t.Fatalf("healthy client: %v", err)
+	}
+	if err := cli.Observe(time.Millisecond, make([]float64, dim)); err != nil {
+		t.Fatalf("healthy observe: %v", err)
+	}
+	cli.Close()
+	srv.Close()
+	f.Close()
+	leak()
+}
+
+// TestServerCloseDrains pins the drain ordering: every observation ACKed
+// before Close is applied to its session once server and fleet have both
+// closed, and the listener refuses new work afterwards.
+func TestServerCloseDrains(t *testing.T) {
+	leak := checkGoroutines(t)
+	const obs = 200
+	f, srv, addr := newTestServer(t, testFleetConfig(2), Config{})
+	dim := f.FeatureDim()
+	cli, err := Dial(addr, 0, dim, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, dim)
+	acked := 0
+	for i := 0; i < obs; i++ {
+		err := cli.Observe(time.Duration(i+1)*time.Millisecond, vals)
+		if err == nil {
+			acked++
+			continue
+		}
+		if !IsBackpressure(err) {
+			t.Fatalf("obs %d: %v", i, err)
+		}
+	}
+	cli.Close()
+	srv.Close()
+	f.Close()
+	st := f.Stats()
+	if st.Observations+st.LateDrops != int64(acked) {
+		t.Errorf("applied %d + late %d != acked %d", st.Observations, st.LateDrops, acked)
+	}
+	if _, err := Dial(addr, 0, dim, 500*time.Millisecond); err == nil {
+		t.Error("dial after Close succeeded")
+	}
+	if srv.Close() != nil {
+		t.Error("second Close errored")
+	}
+	leak()
+}
+
+// TestSnapshotOverTCP round-trips a session through the wire snapshot
+// path: SNAPSHOT_REQ → remove → RestoreSession(bytes) revives it, and
+// the revived session accepts traffic again over a fresh connection.
+func TestSnapshotOverTCP(t *testing.T) {
+	leak := checkGoroutines(t)
+	f, srv, addr := newTestServer(t, testFleetConfig(2), Config{})
+	dim := f.FeatureDim()
+	cli, err := Dial(addr, 0, dim, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, dim)
+	for i := 0; i < 10; i++ {
+		if err := cli.Observe(time.Duration(i+1)*time.Millisecond, vals); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	snap, err := cli.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	keep := append([]byte(nil), snap...) // reply buffer is reused
+	cli.Close()
+
+	if err := f.RemoveSession(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Connected(0) {
+		t.Fatal("session 0 still connected after remove")
+	}
+	if err := f.RestoreSession(bytes.NewReader(keep)); err != nil {
+		t.Fatalf("RestoreSession: %v", err)
+	}
+	if !f.Connected(0) {
+		t.Fatal("session 0 not connected after restore")
+	}
+	cli2, err := Dial(addr, 0, dim, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial restored session: %v", err)
+	}
+	if err := cli2.Observe(20*time.Millisecond, vals); err != nil {
+		t.Fatalf("observe restored session: %v", err)
+	}
+	cli2.Close()
+	srv.Close()
+	f.Close()
+	if c := srv.Counters(); c.SnapshotReqs != 1 {
+		t.Errorf("snapshot_reqs %d, want 1", c.SnapshotReqs)
+	}
+	leak()
+}
+
+// TestObserveDimMismatch pins the kept-connection refusal: a wrong-width
+// observation is rejected with CodeDim and the connection keeps working.
+func TestObserveDimMismatch(t *testing.T) {
+	f, _, addr := newTestServer(t, testFleetConfig(2), Config{})
+	dim := f.FeatureDim()
+	cli, err := Dial(addr, 0, dim, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	err = cli.Observe(time.Millisecond, make([]float64, dim+3))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeDim {
+		t.Fatalf("got %v, want RemoteError CodeDim", err)
+	}
+	if err := cli.Observe(2*time.Millisecond, make([]float64, dim)); err != nil {
+		t.Fatalf("connection dead after dim refusal: %v", err)
+	}
+}
+
+// TestChunkAbandon pins the chunk-reassembly refusal: starting a new seq
+// with a fragment outstanding abandons the old chunk with an ERR, and
+// the replacement observation still lands.
+func TestChunkAbandon(t *testing.T) {
+	f, _, addr := newTestServer(t, testFleetConfig(2), Config{})
+	dim := f.FeatureDim()
+	_, send, recv := rawDial(t, addr)
+	send(helloFrame(0, dim))
+	if r := recv(); r.Type != wire.Ack {
+		t.Fatalf("handshake: got %s", r.Type)
+	}
+	vals := make([]float64, dim)
+	// Fragment of seq 1 (not last), then a whole chunked seq 2.
+	send(&wire.Frame{Type: wire.ObserveChunk, Seq: 1, At: 1, Vals: vals[:4]})
+	send(&wire.Frame{Type: wire.ObserveChunk, Seq: 2, At: 2, Last: true, Vals: vals})
+	if r := recv(); r.Type != wire.Err || r.Seq != 1 || r.Code != wire.CodeBadFrame {
+		t.Fatalf("got %s seq %d code %d, want ERR seq 1 CodeBadFrame", r.Type, r.Seq, r.Code)
+	}
+	if r := recv(); r.Type != wire.Ack || r.Seq != 2 {
+		t.Fatalf("got %s seq %d, want ACK seq 2", r.Type, r.Seq)
+	}
+}

@@ -1,0 +1,65 @@
+package wire
+
+import "testing"
+
+// benchObserve is the hot frame: one 24-dim observation, the fleet's
+// default feature width.
+func benchObserve() Frame {
+	vals := make([]float64, 24)
+	for i := range vals {
+		vals[i] = float64(i) * 0.125
+	}
+	return Frame{Type: Observe, Seq: 42, At: 1_000_000, Vals: vals}
+}
+
+func BenchmarkEncodeObserve(b *testing.B) {
+	f := benchObserve()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Append(buf[:0], &f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeObserve(b *testing.B) {
+	f := benchObserve()
+	buf, err := Append(nil, &f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out Frame
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if err := DecodeBody(&out, buf[lenSize:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitObserve measures the full framing path: feed one encoded
+// observation and pull it back out, steady state (no allocation).
+func BenchmarkSplitObserve(b *testing.B) {
+	f := benchObserve()
+	buf, err := Append(nil, &f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sp Splitter
+	var out Frame
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if err := sp.Feed(buf); err != nil {
+			b.Fatal(err)
+		}
+		if ok, err := sp.Next(&out); !ok || err != nil {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at DecodeBody: it must never
+// panic, never allocate past the MaxFrame bound, and — when it accepts a
+// body — re-encoding the decoded frame must reproduce the input bytes
+// exactly (decode is the inverse of encode on the accepted set).
+func FuzzWireDecode(f *testing.F) {
+	for _, g := range goldenFrames {
+		buf, err := Append(nil, &g.frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[lenSize:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0xff, 0xff})
+	f.Add(make([]byte, observeHead+1))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var fr Frame
+		if err := DecodeBody(&fr, body); err != nil {
+			return
+		}
+		if len(fr.Vals) > MaxVals || len(fr.Data) > MaxData || len(fr.Msg) > MaxMsg {
+			t.Fatalf("decode exceeded payload bounds: vals=%d data=%d msg=%d",
+				len(fr.Vals), len(fr.Data), len(fr.Msg))
+		}
+		out, err := Append(nil, &fr)
+		if err != nil {
+			t.Fatalf("accepted body failed to re-encode: %v", err)
+		}
+		if body2 := out[lenSize:]; string(body2) != string(body) {
+			t.Fatalf("decode/encode not inverse:\n in  % x\n out % x", body, body2)
+		}
+		if got := int(binary.LittleEndian.Uint32(out)); got != len(body) {
+			t.Fatalf("re-encoded length prefix %d, body %d", got, len(body))
+		}
+	})
+}
+
+// FuzzFrameSplit pins the framing invariant: decoding a byte stream
+// through the Splitter at fuzzer-chosen TCP read splits yields exactly the
+// frames (and the terminal error class) of a whole-buffer feed, and the
+// carry never grows past one frame plus one chunk. The stream is seeded
+// with valid frame sequences and then fuzz-mutated, so both the clean and
+// the poisoned paths are exercised.
+func FuzzFrameSplit(f *testing.F) {
+	var stream []byte
+	for _, g := range goldenFrames {
+		var err error
+		stream, err = Append(stream, &g.frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(stream, uint16(1))
+	f.Add(stream, uint16(7))
+	f.Add(append(stream[:len(stream)-3:len(stream)-3], 0xff, 0xff, 0xff), uint16(3))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}, uint16(2))
+	f.Fuzz(func(t *testing.T, data []byte, splitSeed uint16) {
+		if len(data) > 1<<16 {
+			return
+		}
+		collect := func(sp *Splitter, feed func(*Splitter) error) (frames []Frame, terr error) {
+			var fr Frame
+			if err := feed(sp); err != nil {
+				return frames, err
+			}
+			for {
+				ok, err := sp.Next(&fr)
+				if err != nil {
+					return frames, err
+				}
+				if !ok {
+					return frames, nil
+				}
+				cp := fr
+				cp.Vals = append([]float64(nil), fr.Vals...)
+				cp.Data = append([]byte(nil), fr.Data...)
+				frames = append(frames, cp)
+			}
+		}
+
+		// Whole-buffer reference.
+		var whole Splitter
+		wantFrames, wantErr := collect(&whole, func(sp *Splitter) error { return sp.Feed(data) })
+
+		// Chunked: split points derived from the seed, interleaving Feed
+		// and drain exactly like a connection read loop.
+		var chunked Splitter
+		var gotFrames []Frame
+		var gotErr error
+		rng := uint32(splitSeed) | 1
+		maxChunk := 1 + int(splitSeed%97)
+		for off := 0; off < len(data) && gotErr == nil; {
+			rng = rng*1664525 + 1013904223
+			n := 1 + int(rng%uint32(maxChunk))
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			var frames []Frame
+			frames, gotErr = collect(&chunked, func(sp *Splitter) error { return sp.Feed(data[off : off+n]) })
+			gotFrames = append(gotFrames, frames...)
+			off += n
+		}
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error divergence: whole=%v chunked=%v", wantErr, gotErr)
+		}
+		if wantErr != nil && gotErr != nil && wantErr.Error() != gotErr.Error() {
+			t.Fatalf("error text divergence:\nwhole   %v\nchunked %v", wantErr, gotErr)
+		}
+		if len(gotFrames) != len(wantFrames) {
+			t.Fatalf("chunked decoded %d frames, whole %d", len(gotFrames), len(wantFrames))
+		}
+		for i := range wantFrames {
+			if !frameEq(&wantFrames[i], &gotFrames[i]) {
+				t.Fatalf("frame %d diverges:\nwhole   %+v\nchunked %+v", i, wantFrames[i], gotFrames[i])
+			}
+		}
+		if bound := MaxFrame + lenSize + maxChunk; chunked.PeakCarry() > bound {
+			t.Fatalf("chunked carry peaked at %d, bound %d", chunked.PeakCarry(), bound)
+		}
+		_ = math.Float64bits // anchor math for future val-payload seeds
+	})
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenFrames is one frame of every type with fixed payloads. The hex
+// encodings and the battery sha256 below pin the wire layout: any change
+// to field order, widths, endianness, the magic, or the length prefix
+// fails this test loudly instead of silently breaking deployed peers. If
+// the format changes deliberately, bump Version and re-pin.
+var goldenFrames = []struct {
+	name  string
+	frame Frame
+	hex   string
+}{
+	{
+		"hello",
+		Frame{Type: Hello, Version: Version, Session: 0x0123456789abcdef, Dim: 24},
+		"1100000001414645310100efcdab89674523011800",
+	},
+	{
+		"observe",
+		Frame{Type: Observe, Seq: 2, At: 1000000000, Vals: []float64{1.5, -0.25}},
+		"2300000002020000000000000000ca9a3b000000000200000000000000f83f000000000000d0bf",
+	},
+	{
+		"observe_chunk",
+		Frame{Type: ObserveChunk, Seq: 3, At: 2000000000, Last: true, Vals: []float64{0.5}},
+		"1c0000000303000000000000000094357700000000010100000000000000e03f",
+	},
+	{
+		"snapshot_req",
+		Frame{Type: SnapshotReq, Seq: 4},
+		"09000000040400000000000000",
+	},
+	{
+		"ack",
+		Frame{Type: Ack, Seq: 5, Data: []byte{0xab, 0xcd}},
+		"0f00000005050000000000000002000000abcd",
+	},
+	{
+		"err",
+		Frame{Type: Err, Seq: 6, Code: CodeBackpressure, Msg: "full"},
+		"110000000606000000000000000100040066756c6c",
+	},
+}
+
+// goldenBatterySHA256 is the sha256 of the concatenated encodings above.
+const goldenBatterySHA256 = "ff4cfc27c5b1151bae1e0623eeb27472800417a229274762af4cc165689a8a28"
+
+func TestGoldenWireFormat(t *testing.T) {
+	h := sha256.New()
+	for _, g := range goldenFrames {
+		buf, err := Append(nil, &g.frame)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", g.name, err)
+		}
+		if got := hex.EncodeToString(buf); got != g.hex {
+			t.Errorf("%s: wire bytes changed:\n got %s\nwant %s", g.name, got, g.hex)
+		}
+		h.Write(buf)
+		// The pinned bytes must also decode back to the same frame.
+		var f Frame
+		if err := DecodeBody(&f, buf[lenSize:]); err != nil {
+			t.Fatalf("%s: decode: %v", g.name, err)
+		}
+		if !frameEq(&g.frame, &f) {
+			t.Errorf("%s: golden round trip mismatch: %+v vs %+v", g.name, g.frame, f)
+		}
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != goldenBatterySHA256 {
+		t.Errorf("wire battery sha256 changed:\n got %s\nwant %s", got, goldenBatterySHA256)
+	}
+}
+
+// TestGoldenHelloOnTheWire spells out the Hello layout byte by byte, the
+// human-readable twin of the hex pin: a reviewer can diff this against the
+// package comment's layout table.
+func TestGoldenHelloOnTheWire(t *testing.T) {
+	buf, err := Append(nil, &Frame{Type: Hello, Version: 1, Session: 2, Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		17, 0, 0, 0, // length = 1 type byte + 16 payload
+		0x01,               // HELLO
+		'A', 'F', 'E', '1', // magic
+		1, 0, // version u16 LE
+		2, 0, 0, 0, 0, 0, 0, 0, // session u64 LE
+		3, 0, // dim u16 LE
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("hello layout changed:\n got % x\nwant % x", buf, want)
+	}
+}

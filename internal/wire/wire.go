@@ -1,0 +1,403 @@
+// Package wire defines the fleet ingest protocol: the length-prefixed
+// binary frames a device client speaks to the TCP ingest server
+// (internal/server). The format is deliberately dumb — fixed little-endian
+// layouts, no varints, no compression — so that encode and decode are a
+// handful of loads and stores, round-trip bit-exactly, and can be pinned
+// by golden byte tests.
+//
+// One frame on the wire is
+//
+//	u32 length | u8 type | payload
+//
+// where length counts the type byte plus the payload and is bounded by
+// MaxFrame, so a receiver never buffers more than MaxFrame+4 bytes (plus
+// one read chunk) per connection no matter what arrives. The payload
+// layout per type (all integers little-endian, floats as IEEE-754 bits):
+//
+//	Hello        magic u32 | version u16 | session u64 | dim u16
+//	Observe      seq u64 | at i64 | count u16 | count × f64
+//	ObserveChunk seq u64 | at i64 | flags u8 | count u16 | count × f64
+//	SnapshotReq  seq u64
+//	Ack          seq u64 | dlen u32 | dlen bytes
+//	Err          seq u64 | code u16 | mlen u16 | mlen bytes
+//
+// Hello opens a connection and authenticates exactly one session id; every
+// later frame belongs to that session, so observations carry only a
+// sequence number, a virtual timestamp, and the feature values.
+// ObserveChunk streams one observation in fragments (the shape a streaming
+// featurizer emits): fragments with the same seq concatenate in arrival
+// order and FlagLast marks the final one. Ack confirms the frame with the
+// matching seq (Data carries the reply payload for SnapshotReq); Err
+// rejects it with a Code — CodeBackpressure is the protocol image of
+// fleet.ErrBackpressure, the server-side NACK for a full shard queue.
+//
+// Framing for partial reads lives in Splitter: feed arbitrary byte chunks
+// and complete frames come out, carry-buffered across chunk boundaries
+// exactly like the h264 progressive decoder carries partial NAL units.
+// Chunked decode is bit-identical to whole-buffer decode (fuzz-pinned by
+// FuzzFrameSplit).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every Hello payload; on the wire it reads "AFE1".
+	Magic uint32 = 0x31454641
+	// Version is the protocol version spoken by this package. A Hello
+	// carrying any other version fails CheckHello with *VersionError.
+	Version uint16 = 1
+	// MaxFrame bounds the frame body (type byte + payload). Frames
+	// declaring more fail to encode and poison the Splitter on decode, so
+	// per-connection buffering is bounded regardless of peer behavior.
+	MaxFrame = 1 << 20
+	// lenSize is the width of the length prefix.
+	lenSize = 4
+)
+
+// Type identifies a frame.
+type Type uint8
+
+// Frame types.
+const (
+	Hello        Type = 0x01 // client → server: open + authenticate a session
+	Observe      Type = 0x02 // client → server: one whole observation
+	ObserveChunk Type = 0x03 // client → server: one observation fragment
+	SnapshotReq  Type = 0x04 // client → server: request the session's snapshot
+	Ack          Type = 0x05 // server → client: frame seq accepted (+ reply data)
+	Err          Type = 0x06 // server → client: frame seq rejected with a code
+)
+
+// String names the type for errors and logs.
+func (t Type) String() string {
+	switch t {
+	case Hello:
+		return "HELLO"
+	case Observe:
+		return "OBSERVE"
+	case ObserveChunk:
+		return "OBSERVE_CHUNK"
+	case SnapshotReq:
+		return "SNAPSHOT_REQ"
+	case Ack:
+		return "ACK"
+	case Err:
+		return "ERR"
+	}
+	return fmt.Sprintf("Type(0x%02x)", uint8(t))
+}
+
+// Code classifies an Err frame.
+type Code uint16
+
+// Err codes.
+const (
+	CodeBackpressure   Code = 1 // shard ingress queue full: retry later (fleet.ErrBackpressure)
+	CodeUnknownSession Code = 2 // session not connected (never added, removed, or parked)
+	CodeBadFrame       Code = 3 // malformed or out-of-protocol frame
+	CodeVersion        Code = 4 // Hello version mismatch
+	CodeDim            Code = 5 // observation dimensionality mismatch
+	CodeClosed         Code = 6 // fleet shut down
+	CodeInternal       Code = 7 // server-side failure
+)
+
+// FlagLast marks the final fragment of a chunked observation.
+const FlagLast uint8 = 1 << 0
+
+// Derived payload bounds, all implied by MaxFrame.
+const (
+	// MaxVals caps the float64 count of one Observe/ObserveChunk frame:
+	// the count field is a u16, which already sits inside the MaxFrame
+	// budget (19 + 8×65535 < MaxFrame).
+	MaxVals = 1<<16 - 1
+	// MaxData caps an Ack's reply payload.
+	MaxData = MaxFrame - 1 - ackHeadLen
+	// MaxMsg caps an Err's message. Much smaller than the frame bound:
+	// messages are diagnostics, not transport.
+	MaxMsg = 512
+
+	helloLen     = 16 // magic u32 + version u16 + session u64 + dim u16
+	observeHead  = 18 // seq u64 + at i64 + count u16
+	chunkHeadLen = 19 // seq u64 + at i64 + flags u8 + count u16
+	snapshotLen  = 8  // seq u64
+	ackHeadLen   = 12 // seq u64 + dlen u32
+	errHeadLen   = 12 // seq u64 + code u16 + mlen u16
+)
+
+// Sentinel decode errors.
+var (
+	// ErrFrameTooBig reports a length prefix exceeding MaxFrame (or an
+	// encode attempt that would).
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	// ErrBadMagic reports a Hello whose magic is not Magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrTruncated reports a frame body shorter than its layout requires.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrTrailing reports bytes after a frame's fixed layout — the frame
+	// lied about its length. Strict rejection keeps one byte stream one
+	// unambiguous frame sequence.
+	ErrTrailing = errors.New("wire: trailing bytes in frame")
+	// ErrBadType reports an unknown frame type byte.
+	ErrBadType = errors.New("wire: unknown frame type")
+	// ErrBadFlags reports reserved ObserveChunk flag bits set — rejected
+	// so every accepted byte stream has exactly one decoding (found by
+	// FuzzWireDecode: lossy flag decode broke decode∘encode identity).
+	ErrBadFlags = errors.New("wire: unknown chunk flags")
+)
+
+// VersionError reports a Hello whose protocol version does not match
+// Version, mirroring the typed snapshot-version errors of internal/nn and
+// internal/fleet: peers from the future fail loudly, before any state.
+type VersionError struct {
+	Got, Want uint16
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version %d, want %d", e.Got, e.Want)
+}
+
+// Frame is one decoded protocol frame. A single struct covers every type;
+// the per-type layouts above say which fields are live. Decode reuses the
+// Vals and Data backing arrays, so a Frame can be recycled across a whole
+// connection without steady-state allocation.
+type Frame struct {
+	Type Type
+
+	// Hello fields.
+	Version uint16 // protocol version (CheckHello enforces == Version)
+	Session uint64 // session id this connection authenticates as
+	Dim     uint16 // feature dimensionality the client will send
+
+	// Sequencing (every type except Hello).
+	Seq uint64
+
+	// Observe / ObserveChunk fields.
+	At   int64     // virtual timestamp, nanoseconds
+	Last bool      // ObserveChunk: final fragment (FlagLast)
+	Vals []float64 // feature values
+
+	// Ack field.
+	Data []byte // reply payload (snapshot bytes); empty for plain acks
+
+	// Err fields.
+	Code Code
+	Msg  string
+}
+
+// Append encodes f and appends the complete frame (length prefix included)
+// to dst, returning the extended slice. It validates payload bounds; an
+// oversized frame returns ErrFrameTooBig (wrapped) and leaves dst
+// untouched.
+func Append(dst []byte, f *Frame) ([]byte, error) {
+	body, err := f.bodyLen()
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(f.Type))
+	switch f.Type {
+	case Hello:
+		dst = binary.LittleEndian.AppendUint32(dst, Magic)
+		dst = binary.LittleEndian.AppendUint16(dst, f.Version)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Session)
+		dst = binary.LittleEndian.AppendUint16(dst, f.Dim)
+	case Observe:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.At))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Vals)))
+		dst = appendVals(dst, f.Vals)
+	case ObserveChunk:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.At))
+		var flags uint8
+		if f.Last {
+			flags |= FlagLast
+		}
+		dst = append(dst, flags)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Vals)))
+		dst = appendVals(dst, f.Vals)
+	case SnapshotReq:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	case Ack:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Data)))
+		dst = append(dst, f.Data...)
+	case Err:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(f.Code))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Msg)))
+		dst = append(dst, f.Msg...)
+	}
+	return dst, nil
+}
+
+// bodyLen computes and validates the encoded body length of f.
+func (f *Frame) bodyLen() (int, error) {
+	switch f.Type {
+	case Hello:
+		return 1 + helloLen, nil
+	case Observe:
+		if len(f.Vals) > MaxVals {
+			return 0, fmt.Errorf("%w: %d values", ErrFrameTooBig, len(f.Vals))
+		}
+		return 1 + observeHead + 8*len(f.Vals), nil
+	case ObserveChunk:
+		if len(f.Vals) > MaxVals {
+			return 0, fmt.Errorf("%w: %d values", ErrFrameTooBig, len(f.Vals))
+		}
+		return 1 + chunkHeadLen + 8*len(f.Vals), nil
+	case SnapshotReq:
+		return 1 + snapshotLen, nil
+	case Ack:
+		if len(f.Data) > MaxData {
+			return 0, fmt.Errorf("%w: %d data bytes", ErrFrameTooBig, len(f.Data))
+		}
+		return 1 + ackHeadLen + len(f.Data), nil
+	case Err:
+		if len(f.Msg) > MaxMsg {
+			return 0, fmt.Errorf("%w: %d message bytes", ErrFrameTooBig, len(f.Msg))
+		}
+		return 1 + errHeadLen + len(f.Msg), nil
+	}
+	return 0, fmt.Errorf("%w: 0x%02x", ErrBadType, uint8(f.Type))
+}
+
+func appendVals(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeBody parses one frame body (the bytes the length prefix counts:
+// type byte plus payload) into f, reusing f's Vals and Data capacity.
+// Layouts are strict: short bodies fail ErrTruncated, extra bytes fail
+// ErrTrailing, a Hello with the wrong magic fails ErrBadMagic, and value
+// counts are checked against the body before anything is allocated, so a
+// hostile body can never cause an allocation past the MaxFrame bound.
+func DecodeBody(f *Frame, body []byte) error {
+	if len(body) < 1 {
+		return fmt.Errorf("%w: empty body", ErrTruncated)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: %d body bytes", ErrFrameTooBig, len(body))
+	}
+	f.Type = Type(body[0])
+	p := body[1:]
+	switch f.Type {
+	case Hello:
+		if len(p) != helloLen {
+			return lenErr(f.Type, len(p), helloLen)
+		}
+		if got := binary.LittleEndian.Uint32(p); got != Magic {
+			return fmt.Errorf("%w: 0x%08x", ErrBadMagic, got)
+		}
+		f.Version = binary.LittleEndian.Uint16(p[4:])
+		f.Session = binary.LittleEndian.Uint64(p[6:])
+		f.Dim = binary.LittleEndian.Uint16(p[14:])
+	case Observe:
+		if len(p) < observeHead {
+			return lenErr(f.Type, len(p), observeHead)
+		}
+		f.Seq = binary.LittleEndian.Uint64(p)
+		f.At = int64(binary.LittleEndian.Uint64(p[8:]))
+		count := int(binary.LittleEndian.Uint16(p[16:]))
+		if err := decodeVals(f, p[observeHead:], count); err != nil {
+			return err
+		}
+	case ObserveChunk:
+		if len(p) < chunkHeadLen {
+			return lenErr(f.Type, len(p), chunkHeadLen)
+		}
+		f.Seq = binary.LittleEndian.Uint64(p)
+		f.At = int64(binary.LittleEndian.Uint64(p[8:]))
+		if p[16]&^FlagLast != 0 {
+			return fmt.Errorf("%w: 0x%02x", ErrBadFlags, p[16])
+		}
+		f.Last = p[16]&FlagLast != 0
+		count := int(binary.LittleEndian.Uint16(p[17:]))
+		if err := decodeVals(f, p[chunkHeadLen:], count); err != nil {
+			return err
+		}
+	case SnapshotReq:
+		if len(p) != snapshotLen {
+			return lenErr(f.Type, len(p), snapshotLen)
+		}
+		f.Seq = binary.LittleEndian.Uint64(p)
+	case Ack:
+		if len(p) < ackHeadLen {
+			return lenErr(f.Type, len(p), ackHeadLen)
+		}
+		f.Seq = binary.LittleEndian.Uint64(p)
+		dlen := int(binary.LittleEndian.Uint32(p[8:]))
+		if len(p)-ackHeadLen != dlen {
+			return fmt.Errorf("%w: ACK declares %d data bytes, body carries %d",
+				ErrTrailing, dlen, len(p)-ackHeadLen)
+		}
+		f.Data = append(f.Data[:0], p[ackHeadLen:]...)
+	case Err:
+		if len(p) < errHeadLen {
+			return lenErr(f.Type, len(p), errHeadLen)
+		}
+		f.Seq = binary.LittleEndian.Uint64(p)
+		f.Code = Code(binary.LittleEndian.Uint16(p[8:]))
+		mlen := int(binary.LittleEndian.Uint16(p[10:]))
+		if mlen > MaxMsg {
+			return fmt.Errorf("%w: %d message bytes", ErrFrameTooBig, mlen)
+		}
+		if len(p)-errHeadLen != mlen {
+			return fmt.Errorf("%w: ERR declares %d message bytes, body carries %d",
+				ErrTrailing, mlen, len(p)-errHeadLen)
+		}
+		f.Msg = string(p[errHeadLen:])
+	default:
+		return fmt.Errorf("%w: 0x%02x", ErrBadType, uint8(f.Type))
+	}
+	return nil
+}
+
+// decodeVals validates count against the remaining payload and fills
+// f.Vals, reusing its capacity.
+func decodeVals(f *Frame, p []byte, count int) error {
+	if count > MaxVals {
+		return fmt.Errorf("%w: %d values", ErrFrameTooBig, count)
+	}
+	if len(p) != 8*count {
+		return fmt.Errorf("%w: %s declares %d values, body carries %d bytes",
+			ErrTrailing, f.Type, count, len(p))
+	}
+	if cap(f.Vals) < count {
+		f.Vals = make([]float64, count)
+	}
+	f.Vals = f.Vals[:count]
+	for i := range f.Vals {
+		f.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return nil
+}
+
+func lenErr(t Type, got, want int) error {
+	if got < want {
+		return fmt.Errorf("%w: %s payload %d bytes, want %d", ErrTruncated, t, got, want)
+	}
+	return fmt.Errorf("%w: %s payload %d bytes, want %d", ErrTrailing, t, got, want)
+}
+
+// CheckHello validates a decoded Hello frame's protocol version: any
+// mismatch is a typed *VersionError so peers from a different protocol
+// generation fail loudly and diagnosably. (The magic is already enforced
+// structurally by DecodeBody.)
+func CheckHello(f *Frame) error {
+	if f.Type != Hello {
+		return fmt.Errorf("wire: first frame %s, want HELLO", f.Type)
+	}
+	if f.Version != Version {
+		return &VersionError{Got: f.Version, Want: Version}
+	}
+	return nil
+}

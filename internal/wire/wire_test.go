@@ -1,0 +1,287 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sampleFrames returns one representative frame of every type, with
+// payloads exercising sign, NaN bit patterns, and non-trivial data.
+func sampleFrames() []Frame {
+	return []Frame{
+		{Type: Hello, Version: Version, Session: 0x0123456789abcdef, Dim: 24},
+		{Type: Observe, Seq: 7, At: -1500000000, Vals: []float64{0, 1.5, -2.25, math.Inf(1), math.Float64frombits(0x7ff8000000000001)}},
+		{Type: ObserveChunk, Seq: 8, At: 1 << 40, Last: true, Vals: []float64{3.14159, -0.0}},
+		{Type: ObserveChunk, Seq: 8, At: 1 << 40, Last: false, Vals: nil},
+		{Type: SnapshotReq, Seq: 9},
+		{Type: Ack, Seq: 10, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Type: Ack, Seq: 11},
+		{Type: Err, Seq: 12, Code: CodeBackpressure, Msg: "shard queue full"},
+	}
+}
+
+// frameEq compares the live fields for f's type, with NaNs equal by bits.
+func frameEq(a, b *Frame) bool {
+	if a.Type != b.Type {
+		return false
+	}
+	valsEq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	switch a.Type {
+	case Hello:
+		return a.Version == b.Version && a.Session == b.Session && a.Dim == b.Dim
+	case Observe:
+		return a.Seq == b.Seq && a.At == b.At && valsEq(a.Vals, b.Vals)
+	case ObserveChunk:
+		return a.Seq == b.Seq && a.At == b.At && a.Last == b.Last && valsEq(a.Vals, b.Vals)
+	case SnapshotReq:
+		return a.Seq == b.Seq
+	case Ack:
+		return a.Seq == b.Seq && string(a.Data) == string(b.Data)
+	case Err:
+		return a.Seq == b.Seq && a.Code == b.Code && a.Msg == b.Msg
+	}
+	return false
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		buf, err := Append(nil, &f)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", f.Type, err)
+		}
+		var got Frame
+		if err := DecodeBody(&got, buf[lenSize:]); err != nil {
+			t.Fatalf("%s: decode: %v", f.Type, err)
+		}
+		if !frameEq(&f, &got) {
+			t.Fatalf("%s: round trip mismatch:\n in %+v\nout %+v", f.Type, f, got)
+		}
+	}
+}
+
+// TestDecodeReuse round-trips twice through the same Frame: the second
+// decode must not see residue from the first (slices resized, fields
+// overwritten).
+func TestDecodeReuse(t *testing.T) {
+	big := Frame{Type: Observe, Seq: 1, At: 2, Vals: []float64{1, 2, 3, 4, 5, 6}}
+	small := Frame{Type: ObserveChunk, Seq: 3, At: 4, Last: true, Vals: []float64{9}}
+	bufBig, _ := Append(nil, &big)
+	bufSmall, _ := Append(nil, &small)
+	var f Frame
+	if err := DecodeBody(&f, bufBig[lenSize:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeBody(&f, bufSmall[lenSize:]); err != nil {
+		t.Fatal(err)
+	}
+	if !frameEq(&small, &f) {
+		t.Fatalf("reused decode mismatch: %+v vs %+v", small, f)
+	}
+}
+
+func TestEncodeBounds(t *testing.T) {
+	cases := []Frame{
+		{Type: Observe, Vals: make([]float64, MaxVals+1)},
+		{Type: ObserveChunk, Vals: make([]float64, MaxVals+1)},
+		{Type: Ack, Data: make([]byte, MaxData+1)},
+		{Type: Err, Msg: strings.Repeat("x", MaxMsg+1)},
+	}
+	for _, f := range cases {
+		if _, err := Append(nil, &f); !errors.Is(err, ErrFrameTooBig) {
+			t.Errorf("%s: oversized encode: got %v, want ErrFrameTooBig", f.Type, err)
+		}
+	}
+	if _, err := Append(nil, &Frame{Type: Type(0x7f)}); !errors.Is(err, ErrBadType) {
+		t.Errorf("unknown type encode: got %v, want ErrBadType", err)
+	}
+	// The largest legal frames must encode and round-trip.
+	for _, f := range []Frame{
+		{Type: Observe, Vals: make([]float64, MaxVals)},
+		{Type: Ack, Data: make([]byte, MaxData)},
+	} {
+		buf, err := Append(nil, &f)
+		if err != nil {
+			t.Fatalf("%s at bound: %v", f.Type, err)
+		}
+		if len(buf) > MaxFrame+lenSize {
+			t.Fatalf("%s at bound: %d bytes on the wire, cap %d", f.Type, len(buf), MaxFrame+lenSize)
+		}
+		var got Frame
+		if err := DecodeBody(&got, buf[lenSize:]); err != nil {
+			t.Fatalf("%s at bound: decode: %v", f.Type, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	enc := func(f Frame) []byte {
+		buf, err := Append(nil, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf[lenSize:]
+	}
+	hello := enc(Frame{Type: Hello, Version: Version, Session: 1, Dim: 8})
+	badMagic := append([]byte(nil), hello...)
+	badMagic[1] ^= 0xff
+	observe := enc(Frame{Type: Observe, Seq: 1, Vals: []float64{1, 2}})
+
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"unknown type", []byte{0x7f, 0, 0}, ErrBadType},
+		{"bad magic", badMagic, ErrBadMagic},
+		{"short hello", hello[:10], ErrTruncated},
+		{"long hello", append(append([]byte(nil), hello...), 0), ErrTrailing},
+		{"short observe head", observe[:10], ErrTruncated},
+		{"observe count lies", observe[:len(observe)-8], ErrTrailing},
+		{"oversized body", make([]byte, MaxFrame+1), ErrFrameTooBig},
+	}
+	for _, tc := range cases {
+		var f Frame
+		if err := DecodeBody(&f, tc.body); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCheckHello pins the typed wrong-version error: a Hello from another
+// protocol generation decodes structurally but fails CheckHello with
+// *VersionError carrying both versions — mirroring internal/nn's snapshot
+// version contract.
+func TestCheckHello(t *testing.T) {
+	good := Frame{Type: Hello, Version: Version, Session: 3, Dim: 24}
+	if err := CheckHello(&good); err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	buf, err := Append(nil, &Frame{Type: Hello, Version: Version + 1, Session: 3, Dim: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := DecodeBody(&f, buf[lenSize:]); err != nil {
+		t.Fatalf("future-version hello must decode structurally: %v", err)
+	}
+	err = CheckHello(&f)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VersionError, got %T: %v", err, err)
+	}
+	if ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v, want Got=%d Want=%d", ve, Version+1, Version)
+	}
+	if err := CheckHello(&Frame{Type: Observe}); err == nil {
+		t.Fatal("non-hello first frame accepted")
+	}
+}
+
+func TestSplitterWholeStream(t *testing.T) {
+	frames := sampleFrames()
+	var stream []byte
+	for i := range frames {
+		var err error
+		stream, err = Append(stream, &frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Feed byte by byte: the adversarial fragmentation.
+	var sp Splitter
+	var got []Frame
+	var f Frame
+	for _, b := range stream {
+		if err := sp.Feed([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ok, err := sp.Next(&f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			cp := f
+			cp.Vals = append([]float64(nil), f.Vals...)
+			cp.Data = append([]byte(nil), f.Data...)
+			got = append(got, cp)
+		}
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("split %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !frameEq(&frames[i], &got[i]) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, frames[i], got[i])
+		}
+	}
+	if sp.Pending() != 0 {
+		t.Fatalf("%d bytes pending after clean stream", sp.Pending())
+	}
+	if sp.PeakCarry() > MaxFrame+lenSize+1 {
+		t.Fatalf("peak carry %d exceeds bound", sp.PeakCarry())
+	}
+}
+
+func TestSplitterStickyErrors(t *testing.T) {
+	// Oversized declared length fails at the prefix, before buffering.
+	var sp Splitter
+	if err := sp.Feed([]byte{0xff, 0xff, 0xff, 0xff}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized prefix: got %v", err)
+	}
+	if err := sp.Feed([]byte{1}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("sticky error not returned on Feed: got %v", err)
+	}
+	var f Frame
+	if _, err := sp.Next(&f); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("sticky error not returned on Next: got %v", err)
+	}
+
+	// Zero-length frame is equally fatal.
+	sp.Reset()
+	if err := sp.Feed([]byte{0, 0, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("zero-length frame: got %v", err)
+	}
+
+	// A bad body (good prefix) poisons at Next, after earlier frames
+	// were delivered.
+	sp.Reset()
+	good, err := Append(nil, &Frame{Type: SnapshotReq, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append([]byte(nil), good...), 3, 0, 0, 0, 0x7f, 1, 2)
+	if err := sp.Feed(bad); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := sp.Next(&f); !ok || err != nil {
+		t.Fatalf("good frame before poison: ok=%v err=%v", ok, err)
+	}
+	if _, err := sp.Next(&f); !errors.Is(err, ErrBadType) {
+		t.Fatalf("poisoned Next: got %v", err)
+	}
+
+	// Reset recovers the splitter for a new connection.
+	sp.Reset()
+	if err := sp.Feed(good); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := sp.Next(&f); !ok || err != nil {
+		t.Fatalf("post-Reset decode: ok=%v err=%v", ok, err)
+	}
+}
