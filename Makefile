@@ -7,7 +7,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -eu -o pipefail -c
 
-.PHONY: all build vet test test-short test-noavx test-race stream-smoke chaos-smoke server-smoke cover bench bench-json bench-compare repro figures fleet-smoke clean
+.PHONY: all build vet test test-short test-noavx test-race stream-smoke chaos-smoke server-smoke cover bench bench-json bench-compare bench-guard repro figures fleet-smoke clean
 
 all: build vet test
 
@@ -47,10 +47,13 @@ chaos-smoke:
 
 # The network serving layer under the race detector: wire protocol
 # round-trip/golden/fuzz-seed suites plus the loopback TCP integration
-# tests (accounting, abrupt disconnect, slow-reader kill, drain ordering,
-# TCP-vs-in-process fingerprint equality at 1 and 8 workers).
+# tests (accounting in both window-1 and batched-pipelined modes, abrupt
+# disconnect, slow-reader kill, partial-NACK retry, drain ordering,
+# TCP-vs-in-process fingerprint equality across batch sizes {1,8,64} at
+# 1 and 8 workers), then an end-to-end batched fleetload verify run.
 server-smoke:
 	$(GO) test -race ./internal/wire/ ./internal/server/
+	$(GO) run -race ./cmd/fleetload -sessions 64 -obs 32 -batch 16 -window 4 -verify > /dev/null
 
 # Full suite under the race detector: exercises the worker pool, the
 # parallel featurization/synthesis/study paths, and replica training.
@@ -114,6 +117,19 @@ bench-compare:
 	set -- $$files; \
 	if [ $$# -lt 2 ]; then echo "need at least two BENCH_<n>.json files"; exit 1; fi; \
 	$(GO) run ./cmd/benchjson -compare $$1 $$2
+
+# Perf regression gate over the two most recent snapshots: the named
+# hot-path set (wire codec, fleet submission, loopback serving, MFCC
+# chain, bit packing) may not slow down more than BENCH_MAX_REGRESS
+# percent, or the target exits nonzero. End-to-end aggregates stay out of
+# the set — they are load-dependent and would make the gate flaky.
+BENCH_MAX_REGRESS := 25
+BENCH_GUARD_SET := ^Benchmark(EncodeObserve|DecodeObserve|SplitObserve|FleetObserve|LoopbackObserve|MFCC|PowerSpectrum|MelFilterBank|WriteUE|WriteBits)
+bench-guard:
+	files=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "need at least two BENCH_<n>.json files"; exit 1; fi; \
+	$(GO) run ./cmd/benchjson -compare -max-regress $(BENCH_MAX_REGRESS) -match '$(BENCH_GUARD_SET)' $$1 $$2
 
 # Regenerate every figure of the paper (paper-vs-measured tables).
 repro:

@@ -14,7 +14,11 @@
 //
 // The -compare mode diffs two snapshots (see `make bench-compare`, which
 // feeds it the latest two BENCH_<n>.json files) and prints per-benchmark
-// ns/op and allocs/op deltas.
+// ns/op and allocs/op deltas. With -max-regress P it becomes a CI gate:
+// any benchmark whose new/old ns/op ratio exceeds 1+P/100 fails the run
+// with a nonzero exit (see `make bench-guard`); -match RE restricts the
+// gate to benchmark names matching RE, so noisy end-to-end numbers don't
+// veto a hot-path guard.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strings"
 	"time"
@@ -56,6 +61,8 @@ func main() {
 	inPath := flag.String("in", "", "bench output file (default stdin)")
 	outPath := flag.String("out", "", "JSON destination (default stdout)")
 	compare := flag.Bool("compare", false, "diff two snapshot files: benchjson -compare OLD.json NEW.json")
+	maxRegress := flag.Float64("max-regress", 0, "with -compare: fail (exit 1) when any gated benchmark's ns/op grows more than this percentage")
+	match := flag.String("match", "", "with -max-regress: regexp restricting the regression gate to matching benchmark names (default: all)")
 	flag.Parse()
 
 	if *compare {
@@ -72,7 +79,28 @@ func main() {
 		}
 		fmt.Printf("comparing %s -> %s\n", flag.Arg(0), flag.Arg(1))
 		os.Stdout.WriteString(Compare(oldSnap, newSnap))
+		if *maxRegress > 0 {
+			var re *regexp.Regexp
+			if *match != "" {
+				re, err = regexp.Compile(*match)
+				if err != nil {
+					fatal(fmt.Errorf("-match: %w", err))
+				}
+			}
+			bad := Regressions(oldSnap, newSnap, re, *maxRegress)
+			if len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %g%%:\n", len(bad), *maxRegress)
+				for _, line := range bad {
+					fmt.Fprintln(os.Stderr, " ", line)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("regression gate: ok (max %g%%)\n", *maxRegress)
+		}
 		return
+	}
+	if *maxRegress > 0 || *match != "" {
+		fatal(fmt.Errorf("-max-regress/-match only apply with -compare"))
 	}
 
 	in := io.Reader(os.Stdin)
@@ -164,6 +192,40 @@ func Compare(oldSnap, newSnap *Snapshot) string {
 		fmt.Fprintf(&sb, "%-52s %14.0f %14s\n", ob.Name, ob.Metrics["ns/op"], "(removed)")
 	}
 	return sb.String()
+}
+
+// Regressions lists the benchmarks present in both snapshots (optionally
+// restricted to names matching re) whose ns/op grew by more than maxPct
+// percent. Added and removed benchmarks never trip the gate — new code
+// has no baseline, and deletions are judged in review, not by timing.
+func Regressions(oldSnap, newSnap *Snapshot, re *regexp.Regexp, maxPct float64) []string {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		if _, ok := oldBy[b.Name]; !ok {
+			oldBy[b.Name] = b
+		}
+	}
+	limit := 1 + maxPct/100
+	var bad []string
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benchmarks {
+		if seen[nb.Name] {
+			continue
+		}
+		seen[nb.Name] = true
+		if re != nil && !re.MatchString(nb.Name) {
+			continue
+		}
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			continue
+		}
+		o, n := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if o > 0 && n/o > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", nb.Name, o, n, n/o))
+		}
+	}
+	return bad
 }
 
 // allocsDelta formats the allocs/op transition, or blank when the metric is

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	fleetload [-addr host:port] [-sessions N] [-obs N] [-shards N]
-//	          [-seed N] [-chunk-every N] [-max-batch N] [-queue-depth N]
-//	          [-timeout D] [-dial-burst N] [-verify] [-control addr]
-//	          [-metrics path]
+//	          [-seed N] [-chunk-every N] [-batch N] [-window N] [-linger D]
+//	          [-max-batch N] [-queue-depth N] [-timeout D] [-dial-burst N]
+//	          [-verify] [-control addr] [-metrics path]
+//
+// -batch N switches the clients to pipelined batching: observations
+// accumulate into OBSERVE_BATCH frames of N, up to -window frames ride
+// the wire unacknowledged, and the coalesced ACK_BATCH bitmaps drive
+// per-item retry. The latency percentiles then report the *amortized*
+// per-observation cost (round trip / batch size), and the report adds
+// "amortized_us_per_obs" (histogram mean) plus the batching knobs.
 //
 // With no -addr, fleetload builds an in-process fleet, serves it on a
 // loopback socket, and aims the load at itself — the self-contained
@@ -72,6 +79,9 @@ type options struct {
 	Shards      int
 	Seed        int64
 	ChunkEvery  int
+	Batch       int
+	Window      int
+	Linger      time.Duration
 	MaxBatch    int
 	QueueDepth  int
 	Timeout     time.Duration
@@ -99,6 +109,13 @@ type report struct {
 	P95us float64 `json:"p95_us"`
 	P99us float64 `json:"p99_us"`
 
+	// -batch mode only: the pipelining knobs and the histogram-mean
+	// amortized per-observation latency (percentiles above are already
+	// amortized in this mode).
+	Batch   int     `json:"batch,omitempty"`
+	Window  int     `json:"window,omitempty"`
+	AmortUs float64 `json:"amortized_us_per_obs,omitempty"`
+
 	// In-process mode only.
 	Counters    *server.Counters `json:"server_counters,omitempty"`
 	Fingerprint string           `json:"fingerprint,omitempty"`
@@ -118,6 +135,9 @@ func main() {
 	flag.IntVar(&o.Shards, "shards", 8, "fleet shards (in-process mode)")
 	flag.Int64Var(&o.Seed, "seed", 1, "fleet and traffic seed")
 	flag.IntVar(&o.ChunkEvery, "chunk-every", 0, "send every Nth observation through the chunked path (0 = never)")
+	flag.IntVar(&o.Batch, "batch", 0, "observations per OBSERVE_BATCH frame (0 = window-1 singles)")
+	flag.IntVar(&o.Window, "window", 0, "in-flight OBSERVE_BATCH frames per session (0 = default 4)")
+	flag.DurationVar(&o.Linger, "linger", 0, "partial-batch flush deadline (0 = size-triggered only)")
 	flag.IntVar(&o.MaxBatch, "max-batch", 0, "fleet MaxBatch (0 = default; -verify forces 1)")
 	flag.IntVar(&o.QueueDepth, "queue-depth", 0, "shard queue depth (0 = default; -verify forces no-drop sizing)")
 	flag.DurationVar(&o.Timeout, "timeout", 30*time.Second, "per round-trip deadline")
@@ -182,6 +202,9 @@ func run(o options, out *os.File) error {
 		Sessions:   o.Sessions,
 		Obs:        o.Obs,
 		ChunkEvery: o.ChunkEvery,
+		Batch:      o.Batch,
+		Window:     o.Window,
+		Linger:     o.Linger,
 		Seed:       o.Seed,
 		Timeout:    o.Timeout,
 		DialBurst:  o.DialBurst,
@@ -233,6 +256,14 @@ func run(o options, out *os.File) error {
 		rep.P50us = snap.Quantile(0.50)
 		rep.P95us = snap.Quantile(0.95)
 		rep.P99us = snap.Quantile(0.99)
+		if o.Batch > 0 && snap.Count > 0 {
+			rep.Batch = o.Batch
+			rep.Window = o.Window
+			if rep.Window == 0 {
+				rep.Window = 4
+			}
+			rep.AmortUs = float64(snap.Sum) / float64(snap.Count)
+		}
 	}
 
 	if srv != nil {

@@ -51,6 +51,20 @@ func BenchmarkPowerSpectrum(b *testing.B) {
 	}
 }
 
+// BenchmarkPowerSpectrumInto measures the buffer-reusing periodogram
+// batch callers amortize: steady state must be allocation-free.
+func BenchmarkPowerSpectrumInto(b *testing.B) {
+	x := benchSignal(200)
+	dst := make([]float64, NextPow2(len(x))/2+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := PowerSpectrumInto(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMFCC measures the full cepstral pipeline over a one-second
 // clip: pre-emphasis, framing, windowing, FFT, mel filterbank, DCT.
 func BenchmarkMFCC(b *testing.B) {

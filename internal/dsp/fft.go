@@ -107,6 +107,21 @@ func PowerSpectrum(x []float64) []float64 {
 	return out
 }
 
+// PowerSpectrumInto computes PowerSpectrum into dst, which must have
+// length NextPow2(len(x))/2+1. Beyond pooled FFT scratch it allocates
+// nothing — the variant batch callers reuse one output buffer across.
+func PowerSpectrumInto(dst, x []float64) error {
+	nfft := NextPow2(len(x))
+	if nfft == 0 {
+		return fmt.Errorf("dsp: power spectrum of empty signal")
+	}
+	if len(dst) != nfft/2+1 {
+		return fmt.Errorf("dsp: power spectrum dst length %d, want %d", len(dst), nfft/2+1)
+	}
+	powerSpectrumInto(dst, x, nfft)
+	return nil
+}
+
 // powerSpectrumInto computes the periodogram into dst (length nfft/2+1).
 // nfft must be NextPow2(len(x)).
 func powerSpectrumInto(dst, x []float64, nfft int) {

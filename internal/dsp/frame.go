@@ -47,6 +47,23 @@ func Frame(x []float64, frameLen, hop int) [][]float64 {
 	return frames
 }
 
+// numFrames returns the frame count Frame/EachFrame would produce for a
+// signal of n samples — the same loop with the copying elided, so batch
+// callers can size a flat output backing before framing.
+func numFrames(n, frameLen, hop int) int {
+	if frameLen <= 0 || hop <= 0 || n == 0 {
+		return 0
+	}
+	count := 0
+	for start := 0; start < n; start += hop {
+		count++
+		if n-start < frameLen || start+frameLen >= n {
+			break
+		}
+	}
+	return count
+}
+
 // EachFrame visits the same frames Frame would produce, but reuses one
 // internal buffer for every frame instead of allocating per frame: fn is
 // called with the frame index and a zero-padded frame slice that is only

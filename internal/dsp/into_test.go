@@ -1,0 +1,73 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPowerSpectrumIntoMatches pins the buffer-reusing periodogram to the
+// allocating one bit for bit, and its strict dst-length contract.
+func TestPowerSpectrumIntoMatches(t *testing.T) {
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.21)
+	}
+	want := PowerSpectrum(x)
+	dst := make([]float64, len(want))
+	if err := PowerSpectrumInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if dst[k] != want[k] {
+			t.Fatalf("bin %d: %g != %g", k, dst[k], want[k])
+		}
+	}
+	if err := PowerSpectrumInto(dst[:len(dst)-1], x); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := PowerSpectrumInto(nil, nil); err == nil {
+		t.Error("empty signal accepted")
+	}
+}
+
+// TestNumFramesMatchesEachFrame pins the up-front frame count (which
+// sizes MFCC's flat row backing) to what EachFrame actually visits,
+// across hop/length boundary shapes.
+func TestNumFramesMatchesEachFrame(t *testing.T) {
+	cases := []struct{ n, frameLen, hop int }{
+		{0, 10, 5}, {1, 10, 5}, {9, 10, 5}, {10, 10, 5}, {11, 10, 5},
+		{15, 10, 5}, {16, 10, 5}, {100, 10, 5}, {101, 10, 5},
+		{100, 10, 10}, {100, 10, 3}, {7, 10, 10}, {8000, 200, 80},
+	}
+	for _, c := range cases {
+		x := make([]float64, c.n)
+		visited := EachFrame(x, c.frameLen, c.hop, func(int, []float64) {})
+		if got := numFrames(c.n, c.frameLen, c.hop); got != visited {
+			t.Errorf("numFrames(%d,%d,%d) = %d, EachFrame visited %d",
+				c.n, c.frameLen, c.hop, got, visited)
+		}
+	}
+}
+
+// TestMFCCRowsIndependent guards the flat-backing layout: rows are
+// capacity-clipped, so appending to one row must reallocate instead of
+// clobbering its neighbor.
+func TestMFCCRowsIndependent(t *testing.T) {
+	x := make([]float64, 8000)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.17)
+	}
+	cfg := DefaultMFCCConfig(8000)
+	rows, err := MFCC(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("want >= 2 frames, got %d", len(rows))
+	}
+	next0 := rows[1][0]
+	_ = append(rows[0], 12345)
+	if rows[1][0] != next0 {
+		t.Fatal("append to row 0 clobbered row 1 (missing capacity clip)")
+	}
+}

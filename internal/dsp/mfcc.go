@@ -34,11 +34,14 @@ func MelFilterBank(nFilters, nfft int, sampleRate, lowHz, highHz float64) ([][]f
 		mel := lowMel + (highMel-lowMel)*float64(i)/float64(nFilters+1)
 		points[i] = MelToHz(mel)
 	}
-	// Convert the Hz points to (fractional) FFT bin positions.
+	// Convert the Hz points to (fractional) FFT bin positions. Rows are
+	// capacity-clipped views of one flat backing: the bank costs three
+	// allocations however many filters it has.
 	binOf := func(hz float64) float64 { return hz * float64(nfft) / sampleRate }
 	bank := make([][]float64, nFilters)
+	flat := make([]float64, nFilters*nBins)
 	for m := 0; m < nFilters; m++ {
-		row := make([]float64, nBins)
+		row := flat[m*nBins : (m+1)*nBins : (m+1)*nBins]
 		left, center, right := binOf(points[m]), binOf(points[m+1]), binOf(points[m+2])
 		for k := 0; k < nBins; k++ {
 			fk := float64(k)
@@ -117,18 +120,22 @@ func MFCC(x []float64, cfg MFCCConfig) ([][]float64, error) {
 	}
 	window := hammingWindowCached(cfg.FrameLen)
 	// Rows are allocated at their final width so delta computation widens
-	// nothing; all per-frame scratch (power spectrum, filterbank energies)
-	// is pooled and the DCT basis is a shared table.
+	// nothing, and they are capacity-clipped views of one flat backing
+	// counted up front — the whole frame matrix costs two allocations
+	// regardless of clip length. All per-frame scratch (power spectrum,
+	// filterbank energies) is pooled and the DCT basis is a shared table.
 	rowWidth := cfg.NumCoeffs
 	if cfg.IncludeDelta {
 		rowWidth = 2 * cfg.NumCoeffs
 	}
-	var out [][]float64
+	nf := numFrames(len(sig), cfg.FrameLen, cfg.Hop)
+	out := make([][]float64, 0, nf)
+	flat := make([]float64, nf*rowWidth)
 	psp := getF64(nfft/2 + 1)
 	enp := getF64(cfg.NumFilters)
 	ps, energies := *psp, *enp
-	EachFrame(sig, cfg.FrameLen, cfg.Hop, func(_ int, f []float64) {
-		row := make([]float64, rowWidth)
+	EachFrame(sig, cfg.FrameLen, cfg.Hop, func(i int, f []float64) {
+		row := flat[i*rowWidth : (i+1)*rowWidth : (i+1)*rowWidth]
 		mfccFrameInto(row[:cfg.NumCoeffs], f, window, bank, ps, energies, nfft)
 		out = append(out, row)
 	})

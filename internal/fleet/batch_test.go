@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"affectedge/internal/obs"
+)
+
+// TestObserveBatchEquivalence pins the batched submission path against the
+// per-observation one: the same seeded traffic queued via ObserveBatch
+// (grouped requests, one enqueue per same-shard run) and via Observe (one
+// enqueue per observation) must drain to identical fingerprints. MaxBatch
+// is pinned to 1, so inference rounds are timing-independent and a grouped
+// request's rows are classified exactly like singles.
+func TestObserveBatchEquivalence(t *testing.T) {
+	const (
+		sessions = 8
+		shards   = 2
+		rounds   = 16
+	)
+	cfg := Config{
+		Sessions:    sessions,
+		Shards:      shards,
+		Seed:        42,
+		QueueDepth:  sessions * rounds, // no-drop sizing
+		MaxBatch:    1,
+		SerialInfer: true,
+	}
+	run := func(batched bool) string {
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim := f.FeatureDim()
+		x := make([]float64, dim)
+		for k := range x {
+			x[k] = 0.25 * float64(k%5)
+		}
+		// Queue everything before Start so drain order per session is the
+		// submission order in both modes.
+		for i := 0; i < rounds; i++ {
+			at := time.Duration(i+1) * time.Second
+			if batched {
+				items := make([]Obs, sessions)
+				statuses := make([]error, sessions)
+				for id := 0; id < sessions; id++ {
+					items[id] = Obs{ID: id, At: at, X: x}
+				}
+				if err := f.ObserveBatch(items, statuses); err != nil {
+					t.Fatal(err)
+				}
+				for id, st := range statuses {
+					if st != nil {
+						t.Fatalf("round %d session %d: %v", i, id, st)
+					}
+				}
+			} else {
+				for id := 0; id < sessions; id++ {
+					if err := f.Observe(id, at, x); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if err := f.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := f.Stats()
+		if want := int64(sessions * rounds); st.Observations != want {
+			t.Fatalf("batched=%v: observations %d, want %d", batched, st.Observations, want)
+		}
+		if st.Drops != 0 || st.LateDrops != 0 {
+			t.Fatalf("batched=%v: drops %d late %d, want 0", batched, st.Drops, st.LateDrops)
+		}
+		return st.Fingerprint()
+	}
+	if single, batch := run(false), run(true); single != batch {
+		t.Fatalf("fingerprint divergence:\nper-observation %s\nbatched        %s", single, batch)
+	}
+}
+
+// TestObserveBatchStatuses pins the per-item verdict contract: invalid
+// items fail individually (dimension, unknown session), valid items past
+// the queue's free space NACK with ErrBackpressure, and neither failure
+// class poisons the rest of the batch.
+func TestObserveBatchStatuses(t *testing.T) {
+	reg := obs.NewRegistry()
+	WireMetrics(reg.Scope("fleet"))
+	defer WireMetrics(nil)
+	cfg := Config{Sessions: 2, Shards: 1, QueueDepth: 4}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := f.FeatureDim()
+	x := make([]float64, dim)
+
+	if err := f.ObserveBatch(make([]Obs, 3), make([]error, 2)); err == nil {
+		t.Fatal("statuses length mismatch accepted")
+	}
+
+	// No Start: the queue only fills. Depth 4 ⇒ items 5.. of the valid
+	// run NACK. The batch interleaves two failure items up front.
+	items := make([]Obs, 0, 8)
+	items = append(items, Obs{ID: 0, At: time.Second, X: x[:3]}) // bad dim
+	items = append(items, Obs{ID: 99, At: time.Second, X: x})    // unknown session
+	for i := 0; i < 6; i++ {
+		items = append(items, Obs{ID: i % 2, At: time.Duration(i+1) * time.Second, X: x})
+	}
+	statuses := make([]error, len(items))
+	if err := f.ObserveBatch(items, statuses); err != nil {
+		t.Fatal(err)
+	}
+	if statuses[0] == nil || errors.Is(statuses[0], ErrBackpressure) {
+		t.Errorf("bad-dim status = %v, want a dimension error", statuses[0])
+	}
+	if !errors.Is(statuses[1], ErrUnknownSession) {
+		t.Errorf("unknown-session status = %v, want ErrUnknownSession", statuses[1])
+	}
+	var acked, nacked int
+	for _, st := range statuses[2:] {
+		switch {
+		case st == nil:
+			acked++
+		case errors.Is(st, ErrBackpressure):
+			nacked++
+		default:
+			t.Fatalf("unexpected status %v", st)
+		}
+	}
+	if acked != 4 || nacked != 2 {
+		t.Fatalf("acked %d nacked %d, want 4 and 2 (depth-4 queue)", acked, nacked)
+	}
+	st := f.Stats()
+	if st.Drops != 2 {
+		t.Errorf("stats drops %d, want 2", st.Drops)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("fleet.ingress"); got != 4 {
+		t.Errorf("fleet.ingress %d, want 4", got)
+	}
+	if got := snap.Counter("fleet.drops"); got != 2 {
+		t.Errorf("fleet.drops %d, want 2", got)
+	}
+
+	// Draining applies exactly the admitted items.
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Observations; got != 4 {
+		t.Errorf("observations %d after drain, want 4", got)
+	}
+
+	// After Close every status is ErrClosed and the call reports it.
+	statuses = make([]error, 1)
+	if err := f.ObserveBatch([]Obs{{ID: 0, At: time.Second, X: x}}, statuses); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ObserveBatch after Close: %v, want ErrClosed", err)
+	}
+	if !errors.Is(statuses[0], ErrClosed) {
+		t.Fatalf("status after Close: %v, want ErrClosed", statuses[0])
+	}
+}
+
+// TestObserveBatchOversizedRun feeds one grouped run bigger than MaxBatch
+// through a single shard: the worker must cut it into MaxBatch-row
+// inference rounds, so every admitted observation is applied and the
+// max-batch envelope holds.
+func TestObserveBatchOversizedRun(t *testing.T) {
+	const n = 40
+	cfg := Config{Sessions: 1, Shards: 1, QueueDepth: n, MaxBatch: 8}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, f.FeatureDim())
+	items := make([]Obs, n)
+	for i := range items {
+		items[i] = Obs{ID: 0, At: time.Duration(i+1) * time.Second, X: x}
+	}
+	statuses := make([]error, n)
+	if err := f.ObserveBatch(items, statuses); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range statuses {
+		if st != nil {
+			t.Fatalf("item %d: %v", i, st)
+		}
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Observations != n {
+		t.Errorf("observations %d, want %d", st.Observations, n)
+	}
+	if st.MaxBatchRows > 8 {
+		t.Errorf("max batch rows %d exceeds MaxBatch 8", st.MaxBatchRows)
+	}
+	if st.Batches < n/8 {
+		t.Errorf("batches %d, want at least %d MaxBatch-row rounds", st.Batches, n/8)
+	}
+}

@@ -46,7 +46,7 @@ func BenchmarkFleetObserve(b *testing.B) {
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if err := sh.infer(rows); err != nil {
+					if err := sh.infer(0, rows); err != nil {
 						b.Fatal(err)
 					}
 				}

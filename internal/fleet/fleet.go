@@ -262,11 +262,27 @@ type session struct {
 	ticks int
 }
 
-// request is one live-path observation travelling through a shard queue.
+// request is one live-path submission travelling through a shard queue:
+// either a single observation (Observe; ids nil) or a grouped run from
+// ObserveBatch, which occupies one queue slot but carries len(ids)
+// observations with their timestamps and a flat len(ids)×dim feature
+// backing.
 type request struct {
 	id int
 	at time.Duration
 	x  []float64
+
+	ids []int
+	ats []time.Duration
+	xs  []float64
+}
+
+// rows is how many observations r carries.
+func (r *request) rows() int {
+	if r.ids != nil {
+		return len(r.ids)
+	}
+	return 1
 }
 
 // shard is one lock stripe: a slice of the session population plus the
@@ -620,6 +636,129 @@ func (f *Fleet) enqueue(id int, at time.Duration, x []float64) error {
 	}
 }
 
+// Obs is one observation of a batched live submission (ObserveBatch).
+type Obs struct {
+	ID int
+	At time.Duration
+	X  []float64
+}
+
+// ObserveBatch submits many live observations in one shard-level pass: the
+// batch is cut into contiguous same-shard runs, and each run is admitted
+// with one session check under the shard lock and one grouped enqueue (one
+// queue slot regardless of run length) instead of a per-observation
+// Observe round. Verdicts come back per item in statuses, which must be
+// len(items) long: nil for accepted, ErrBackpressure for a full queue
+// (retryable — the protocol's per-item NACK bit), a wrapped
+// ErrUnknownSession or a dimension error otherwise, so one full shard or
+// one bad item never fails the rest of the batch. Feature slices are
+// copied; the caller may reuse them immediately. The call itself only
+// fails on a statuses length mismatch or on ErrClosed (then every status
+// is ErrClosed too). Per-session observation order is preserved: items of
+// one session land in their batch order.
+func (f *Fleet) ObserveBatch(items []Obs, statuses []error) error {
+	if len(statuses) != len(items) {
+		return fmt.Errorf("fleet: %d statuses for %d batch items", len(statuses), len(items))
+	}
+	f.lifeMu.RLock()
+	defer f.lifeMu.RUnlock()
+	if f.closed.Load() {
+		for i := range statuses {
+			statuses[i] = ErrClosed
+		}
+		return ErrClosed
+	}
+	for lo := 0; lo < len(items); {
+		sh := f.shardOf(items[lo].ID)
+		hi := lo + 1
+		for hi < len(items) && f.shardOf(items[hi].ID) == sh {
+			hi++
+		}
+		f.submitRun(sh, items[lo:hi], statuses[lo:hi])
+		lo = hi
+	}
+	return nil
+}
+
+// submitRun admits one same-shard run of a batch. The grouped request
+// occupies one queue slot, so admission caps the run's row count by the
+// queue's free slot count — the same race-approximate full check as
+// Observe's select/default, lifted from slots to rows — and every item
+// past the cap is NACKed with ErrBackpressure instead of failing the run.
+func (f *Fleet) submitRun(sh *shard, items []Obs, statuses []error) {
+	dim := f.cfg.FeatureDim
+	valid := 0
+	sh.mu.Lock()
+	for i := range items {
+		if len(items[i].X) != dim {
+			statuses[i] = fmt.Errorf("fleet: observation dim %d, want %d", len(items[i].X), dim)
+			continue
+		}
+		if _, ok := sh.sessions[items[i].ID]; !ok {
+			statuses[i] = fmt.Errorf("%w %d", ErrUnknownSession, items[i].ID)
+			continue
+		}
+		statuses[i] = nil
+		valid++
+	}
+	sh.mu.Unlock()
+	if valid > 0 {
+		admit := valid
+		if free := cap(sh.queue) - len(sh.queue); admit > free {
+			admit = free
+		}
+		if admit > 0 {
+			r := request{
+				ids: make([]int, 0, admit),
+				ats: make([]time.Duration, 0, admit),
+				xs:  make([]float64, 0, admit*dim),
+			}
+			for i := range items {
+				if statuses[i] != nil {
+					continue
+				}
+				if len(r.ids) == admit {
+					statuses[i] = ErrBackpressure
+					continue
+				}
+				r.ids = append(r.ids, items[i].ID)
+				r.ats = append(r.ats, items[i].At)
+				r.xs = append(r.xs, items[i].X...)
+			}
+			select {
+			case sh.queue <- r:
+				sh.depth.SetMax(int64(len(sh.queue)))
+				mtr.ingress.Add(int64(admit))
+			default:
+				// Lost the race for the last free slot: the whole run
+				// backs off retryably.
+				for i := range items {
+					if statuses[i] == nil {
+						statuses[i] = ErrBackpressure
+					}
+				}
+			}
+		} else {
+			for i := range items {
+				if statuses[i] == nil {
+					statuses[i] = ErrBackpressure
+				}
+			}
+		}
+	}
+	nacked := int64(0)
+	for i := range items {
+		if errors.Is(statuses[i], ErrBackpressure) {
+			nacked++
+		}
+	}
+	if nacked > 0 {
+		f.drops.Add(nacked)
+		sh.drops.Add(nacked)
+		mtr.drops.Add(nacked)
+	}
+}
+
 // Launch foregrounds an app on session id's device at virtual time at,
 // returning the simulated launch latency.
 func (f *Fleet) Launch(id int, at time.Duration, app string) (time.Duration, error) {
@@ -674,14 +813,21 @@ func (sh *shard) serve() {
 	}
 }
 
-// coalesce gathers queued requests behind first and processes them as one
-// batch.
+// coalesce gathers queued requests behind first and processes them in
+// MaxBatch-row inference rounds. The gather loop counts rows, not
+// requests: a grouped request (ObserveBatch) can carry more rows than
+// MaxBatch by itself, so the classify loop below cuts the gathered rows
+// into MaxBatch-sized rounds — the shard's inference envelope, and the
+// fingerprint's Batches/BatchRows/MaxBatchRows accounting, are then
+// identical to the same traffic arriving one request at a time.
 func (sh *shard) coalesce(first request) {
 	reqs := append(sh.reqs[:0], first)
-	for len(reqs) < sh.f.cfg.MaxBatch {
+	rows := first.rows()
+	for rows < sh.f.cfg.MaxBatch {
 		select {
 		case r := <-sh.queue:
 			reqs = append(reqs, r)
+			rows += r.rows()
 		default:
 			goto full
 		}
@@ -693,57 +839,74 @@ full:
 	dim := sh.f.cfg.FeatureDim
 	sh.batch = sh.batch[:0]
 	sh.ats = sh.ats[:0]
-	sh.feat = growFloats(sh.feat, len(reqs)*dim)
+	sh.feat = growFloats(sh.feat, rows*dim)
 	m := 0
 	for _, r := range reqs {
-		s, ok := sh.sessions[r.id]
-		if !ok {
-			// Removed while queued: the request outlived its session.
-			sh.f.late.Add(1)
-			mtr.lateDrops.Inc()
+		if r.ids == nil {
+			m = sh.gatherRow(m, r.id, r.at, r.x)
 			continue
 		}
-		copy(sh.feat[m*dim:(m+1)*dim], r.x)
-		sh.batch = append(sh.batch, s)
-		sh.ats = append(sh.ats, r.at)
-		m++
+		for k, id := range r.ids {
+			m = sh.gatherRow(m, id, r.ats[k], r.xs[k*dim:(k+1)*dim])
+		}
 	}
-	if m == 0 {
-		return
-	}
-	if err := sh.infer(m); err != nil {
-		// The model and dimensions are fixed at New; an inference error
-		// here is a programming error, not load-dependent.
-		panic(fmt.Sprintf("fleet: live inference: %v", err))
-	}
-	sh.countBatch(m, m)
 	classes := len(sh.f.stream.Protos)
-	for k, s := range sh.batch {
-		if err := sh.applyRow(s, sh.ats[k], sh.logits[k*classes:(k+1)*classes]); err != nil {
-			panic(fmt.Sprintf("fleet: apply: %v", err))
+	maxB := sh.f.cfg.MaxBatch
+	for lo := 0; lo < m; lo += maxB {
+		n := m - lo
+		if n > maxB {
+			n = maxB
+		}
+		if err := sh.infer(lo, n); err != nil {
+			// The model and dimensions are fixed at New; an inference error
+			// here is a programming error, not load-dependent.
+			panic(fmt.Sprintf("fleet: live inference: %v", err))
+		}
+		sh.countBatch(n, n)
+		for k := 0; k < n; k++ {
+			if err := sh.applyRow(sh.batch[lo+k], sh.ats[lo+k], sh.logits[k*classes:(k+1)*classes]); err != nil {
+				panic(fmt.Sprintf("fleet: apply: %v", err))
+			}
 		}
 	}
 }
 
-// infer classifies the first m feature rows in sh.feat into sh.logits —
-// one coalesced batched evaluation, or m single-row evaluations when
-// SerialInfer is set (bit-identical results; integer arithmetic is exact).
-func (sh *shard) infer(m int) error {
+// gatherRow copies one queued observation into row m of the shard's batch
+// matrix, skipping (and counting) observations whose session was removed
+// while they waited. Caller holds sh.mu. Returns the next free row.
+func (sh *shard) gatherRow(m, id int, at time.Duration, x []float64) int {
+	s, ok := sh.sessions[id]
+	if !ok {
+		// Removed while queued: the request outlived its session.
+		sh.f.late.Add(1)
+		mtr.lateDrops.Inc()
+		return m
+	}
+	dim := sh.f.cfg.FeatureDim
+	copy(sh.feat[m*dim:(m+1)*dim], x)
+	sh.batch = append(sh.batch, s)
+	sh.ats = append(sh.ats, at)
+	return m + 1
+}
+
+// infer classifies n feature rows of sh.feat starting at row off into
+// sh.logits — one coalesced batched evaluation, or n single-row
+// evaluations when SerialInfer is set (bit-identical results; integer
+// arithmetic is exact).
+func (sh *shard) infer(off, n int) error {
 	dim := sh.f.cfg.FeatureDim
 	classes := len(sh.f.stream.Protos)
-	sh.logits = growFloats(sh.logits, m*classes)
+	sh.logits = growFloats(sh.logits, n*classes)
+	feat := sh.feat[off*dim : (off+n)*dim]
 	if sh.f.cfg.SerialInfer {
-		for k := 0; k < m; k++ {
-			if err := sh.f.model.InferBatch(&sh.qs, sh.feat[k*dim:(k+1)*dim], 1, sh.logits[k*classes:(k+1)*classes]); err != nil {
+		for k := 0; k < n; k++ {
+			if err := sh.f.model.InferBatch(&sh.qs, feat[k*dim:(k+1)*dim], 1, sh.logits[k*classes:(k+1)*classes]); err != nil {
 				return err
 			}
 		}
-	} else {
-		if err := sh.f.model.InferBatch(&sh.qs, sh.feat[:m*dim], m, sh.logits[:m*classes]); err != nil {
-			return err
-		}
+		return nil
 	}
-	return nil
+	return sh.f.model.InferBatch(&sh.qs, feat, n, sh.logits[:n*classes])
 }
 
 // countBatch records one inference round of rows classified rows against a

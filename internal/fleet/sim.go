@@ -167,7 +167,7 @@ func (sh *shard) tick(t int) error {
 			}
 			sh.batch = append(sh.batch, s)
 		}
-		if err := sh.infer(m); err != nil {
+		if err := sh.infer(0, m); err != nil {
 			return err
 		}
 		classes := len(sh.f.stream.Protos)

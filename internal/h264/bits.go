@@ -40,6 +40,40 @@ type BitWriter struct {
 // NewBitWriter returns an empty writer.
 func NewBitWriter() *BitWriter { return &BitWriter{} }
 
+// Reset empties the writer and adopts buf (which may be nil) as the
+// output backing, overwriting from its start. A caller encoding a stream
+// of NAL units can hand the previous unit's backing straight back —
+// w.Reset(w.Take()) — and reach a steady state where the writer
+// allocates only when a unit outgrows every buffer it has ever used.
+func (w *BitWriter) Reset(buf []byte) {
+	w.buf = buf[:0]
+	w.acc = 0
+	w.pend = 0
+	w.nbit = 0
+}
+
+// Grow ensures capacity for at least nbits more bits without another
+// allocation — the grow-once policy for callers that know a unit's size
+// bound up front.
+func (w *BitWriter) Grow(nbits int) {
+	need := len(w.buf) + (w.pend+nbits+7)/8
+	if need <= cap(w.buf) {
+		return
+	}
+	nb := make([]byte, len(w.buf), need)
+	copy(nb, w.buf)
+	w.buf = nb
+}
+
+// Take returns the writer's backing buffer truncated to the whole bytes
+// written so far (no trailing padding — use Bytes for RBSP output) and
+// detaches it from the writer. Intended for Reset recycling.
+func (w *BitWriter) Take() []byte {
+	b := w.buf
+	w.buf = nil
+	return b
+}
+
 // WriteBit appends one bit (any nonzero value writes 1).
 func (w *BitWriter) WriteBit(b uint) {
 	var v uint64

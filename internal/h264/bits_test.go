@@ -26,6 +26,49 @@ func TestBitRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBitWriterResetRecycle pins the Reset(Take()) recycling contract: a
+// recycled writer reproduces a fresh writer's bytes exactly, Grow makes
+// the subsequent writes allocation-free, and Reset(nil) works.
+func TestBitWriterResetRecycle(t *testing.T) {
+	write := func(w *BitWriter) []byte {
+		w.WriteUE(7)
+		w.WriteBits(0x2b3, 11)
+		w.WriteSE(-4)
+		w.WriteBit(1)
+		return w.Bytes(true)
+	}
+	want := write(NewBitWriter())
+
+	w := NewBitWriter()
+	if got := write(w); string(got) != string(want) {
+		t.Fatalf("first pass mismatch: % x vs % x", got, want)
+	}
+	for i := 0; i < 3; i++ {
+		w.Reset(w.Take())
+		if got := write(w); string(got) != string(want) {
+			t.Fatalf("recycled pass %d mismatch: % x vs % x", i, got, want)
+		}
+	}
+	w.Reset(nil)
+	if w.Len() != 0 {
+		t.Fatalf("Len %d after Reset(nil), want 0", w.Len())
+	}
+	w.Grow(4096 * 11)
+	allocs := testing.AllocsPerRun(10, func() {
+		w.Reset(w.Take())
+		for j := 0; j < 4096; j++ {
+			w.WriteBits(uint64(j), 11)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("grown writer allocated %.1f/run, want 0", allocs)
+	}
+	w.Reset(w.Take())
+	if got := write(w); string(got) != string(want) {
+		t.Fatalf("post-grow reset mismatch: % x vs % x", got, want)
+	}
+}
+
 func TestBitReaderPastEnd(t *testing.T) {
 	r := NewBitReader([]byte{0xFF})
 	if _, err := r.ReadBits(8); err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -41,6 +42,56 @@ func BenchmarkLoopbackObserve(b *testing.B) {
 		if err != nil && !IsBackpressure(err) {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLoopbackObserveBatch measures the amortized per-observation
+// cost of the pipelined batching path at several frame sizes: ns/op is
+// one observation's share of its OBSERVE_BATCH round trip, with up to 4
+// frames in flight. Compare against BenchmarkLoopbackObserve (window-1
+// singles) for the coalescing win.
+func BenchmarkLoopbackObserveBatch(b *testing.B) {
+	for _, batch := range []int{8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			f, err := fleet.New(fleet.Config{Sessions: 1, Shards: 1, Seed: 1, QueueDepth: 8192})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Start(); err != nil {
+				b.Fatal(err)
+			}
+			srv := New(f, Config{})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				srv.Close()
+				f.Close()
+			}()
+			cli, err := Dial(addr.String(), 0, f.FeatureDim(), 10*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cli.Close()
+			cli.StartBatching(BatchConfig{BatchSize: batch, Window: 4})
+			vals := make([]float64, f.FeatureDim())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cli.ObserveQueued(time.Duration(i+1)*time.Microsecond, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := cli.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			acked, _, _ := cli.BatchStats()
+			if acked != int64(b.N) {
+				b.Fatalf("acked %d, want %d", acked, b.N)
+			}
+		})
 	}
 }
 

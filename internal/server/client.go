@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"affectedge/internal/obs"
 	"affectedge/internal/wire"
 )
 
@@ -14,6 +15,12 @@ import (
 // by order and per-session observation order on the server is exactly
 // send order. One Client drives one session over one connection; it is
 // not safe for concurrent use (the loadgen runs one per goroutine).
+//
+// StartBatching switches on a second, pipelined mode (ObserveQueued /
+// Flush): observations accumulate into OBSERVE_BATCH frames and up to
+// Window frames ride the wire unacknowledged, amortizing one round trip
+// over BatchSize observations. The two modes must not interleave while
+// batches are in flight — Flush first.
 type Client struct {
 	nc      net.Conn
 	sp      wire.Splitter
@@ -22,6 +29,38 @@ type Client struct {
 	rbuf    []byte     // read buffer, reused
 	seq     uint64
 	timeout time.Duration
+
+	// pipelined batching state (inert until StartBatching)
+	bcfg      BatchConfig
+	pend      []wire.BatchObs // accumulating batch; Vals are owned copies
+	pendSince time.Time       // when pend went non-empty (linger clock)
+	inflight  []*sentBatch    // FIFO of unacknowledged batches
+	batchFree []*sentBatch    // recycled sentBatch shells
+	valsFree  [][]float64     // recycled observation payload buffers
+	bAcked    int64
+	bNacked   int64
+	bFrames   int64
+}
+
+// BatchConfig tunes the pipelined batching mode. Zero fields default:
+// BatchSize 16, Window 4, Linger 0 (flushes are size-triggered only; a
+// positive Linger also flushes a partial batch once its oldest
+// observation has waited that long, trading latency for frame fill).
+type BatchConfig struct {
+	BatchSize int
+	Window    int
+	Linger    time.Duration
+	// Latency, when non-nil, records the amortized per-observation cost
+	// in microseconds: each item of an acknowledged batch observes
+	// rtt/len(batch).
+	Latency *obs.Histogram
+}
+
+// sentBatch retains a flushed frame's observations until its ACK_BATCH
+// arrives, so bitmap-NACKed items can be requeued with their payloads.
+type sentBatch struct {
+	items []wire.BatchObs
+	sent  time.Time
 }
 
 // RemoteError is a server ERR reply surfaced as a client-side error. The
@@ -103,6 +142,166 @@ func (c *Client) ObserveChunks(at time.Duration, chunks ...[]float64) error {
 	return err
 }
 
+// StartBatching switches the client into pipelined batching mode with
+// the given tuning. Call once, before the first ObserveQueued.
+func (c *Client) StartBatching(cfg BatchConfig) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.BatchSize > wire.MaxBatch {
+		cfg.BatchSize = wire.MaxBatch
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	c.bcfg = cfg
+}
+
+// ObserveQueued appends one observation to the accumulating batch
+// (copying vals) and flushes when the batch fills or the linger deadline
+// passes. It blocks only when the in-flight window is full, and then
+// exactly until the oldest batch resolves. A returned error is hard
+// (protocol or I/O) — backpressure never surfaces here; NACKed items are
+// requeued and retried transparently.
+func (c *Client) ObserveQueued(at time.Duration, vals []float64) error {
+	if c.bcfg.BatchSize == 0 {
+		return errors.New("server: ObserveQueued before StartBatching")
+	}
+	if c.bcfg.Linger > 0 && len(c.pend) > 0 && time.Since(c.pendSince) >= c.bcfg.Linger {
+		if err := c.flushBatch(); err != nil {
+			return err
+		}
+	}
+	if len(c.pend) == 0 {
+		c.pendSince = time.Now()
+	}
+	var v []float64
+	if n := len(c.valsFree); n > 0 && cap(c.valsFree[n-1]) >= len(vals) {
+		v = c.valsFree[n-1][:len(vals)]
+		c.valsFree = c.valsFree[:n-1]
+	} else {
+		v = make([]float64, len(vals))
+	}
+	copy(v, vals)
+	c.pend = append(c.pend, wire.BatchObs{At: int64(at), Vals: v})
+	if len(c.pend) >= c.bcfg.BatchSize {
+		return c.flushBatch()
+	}
+	return nil
+}
+
+// Flush drains the batching pipeline: sends any partial batch and waits
+// for every in-flight frame, retrying NACKed items until all are ACKed.
+// After a nil return the server has accepted every queued observation.
+func (c *Client) Flush() error {
+	for len(c.pend) > 0 || len(c.inflight) > 0 {
+		if len(c.pend) > 0 {
+			if err := c.flushBatch(); err != nil {
+				return err
+			}
+			continue
+		}
+		nacked, err := c.awaitBatch()
+		if err != nil {
+			return err
+		}
+		if nacked > 0 && len(c.inflight) == 0 {
+			// The whole pipeline just drained into NACKs: the shard
+			// queue is full, so back off like the window-1 retry loop
+			// before re-sending.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// BatchStats reports the batching mode's accounting: observations ACKed,
+// bitmap NACKs received (each retried), and OBSERVE_BATCH frames sent.
+func (c *Client) BatchStats() (acked, nacked, frames int64) {
+	return c.bAcked, c.bNacked, c.bFrames
+}
+
+// flushBatch turns pend into one OBSERVE_BATCH frame and sends it,
+// first waiting out a full in-flight window. Requeued NACK retries can
+// push pend past BatchSize; a frame still carries at most wire.MaxBatch
+// items and the remainder stays pending.
+func (c *Client) flushBatch() error {
+	for len(c.inflight) >= c.bcfg.Window {
+		if _, err := c.awaitBatch(); err != nil {
+			return err
+		}
+	}
+	n := len(c.pend)
+	if n > wire.MaxBatch {
+		n = wire.MaxBatch
+	}
+	var sb *sentBatch
+	if k := len(c.batchFree); k > 0 {
+		sb = c.batchFree[k-1]
+		c.batchFree = c.batchFree[:k-1]
+	} else {
+		sb = &sentBatch{}
+	}
+	sb.items = append(sb.items[:0], c.pend[:n]...)
+	c.pend = c.pend[:copy(c.pend, c.pend[n:])]
+	for i := range sb.items {
+		c.seq++
+		sb.items[i].Seq = c.seq
+	}
+	f := wire.Frame{Type: wire.ObserveBatch, Batch: sb.items}
+	sb.sent = time.Now()
+	if err := c.send(&f); err != nil {
+		return err
+	}
+	c.bFrames++
+	c.inflight = append(c.inflight, sb)
+	return nil
+}
+
+// awaitBatch resolves the oldest in-flight batch against the next reply
+// frame. ACK_BATCH: clean items count as acked, bitmap-NACKed items are
+// requeued (payload buffers move back to pend, no copy) and the count is
+// returned. ERR is a hard failure — batched backpressure is always
+// per-item, so a frame-level error means the whole batch was refused.
+func (c *Client) awaitBatch() (nacked int, err error) {
+	if len(c.inflight) == 0 {
+		return 0, errors.New("server: awaitBatch with nothing in flight")
+	}
+	if err := c.readFrame(); err != nil {
+		return 0, err
+	}
+	sb := c.inflight[0]
+	c.inflight = c.inflight[:copy(c.inflight, c.inflight[1:])]
+	switch c.in.Type {
+	case wire.AckBatch:
+		if c.in.Seq != sb.items[0].Seq || c.in.Count != len(sb.items) {
+			return 0, fmt.Errorf("server: ACK_BATCH seq %d count %d, want %d count %d",
+				c.in.Seq, c.in.Count, sb.items[0].Seq, len(sb.items))
+		}
+		per := time.Since(sb.sent) / time.Duration(len(sb.items))
+		for i := range sb.items {
+			c.bcfg.Latency.Observe(per.Microseconds())
+			if wire.Nacked(c.in.Bitmap, i) {
+				nacked++
+				if len(c.pend) == 0 {
+					c.pendSince = time.Now()
+				}
+				c.pend = append(c.pend, wire.BatchObs{At: sb.items[i].At, Vals: sb.items[i].Vals})
+			} else {
+				c.valsFree = append(c.valsFree, sb.items[i].Vals)
+			}
+		}
+		c.bAcked += int64(len(sb.items) - nacked)
+		c.bNacked += int64(nacked)
+		c.batchFree = append(c.batchFree, sb)
+		return nacked, nil
+	case wire.Err:
+		return 0, &RemoteError{Code: c.in.Code, Seq: c.in.Seq, Msg: c.in.Msg}
+	default:
+		return 0, fmt.Errorf("server: unexpected %s reply to OBSERVE_BATCH", c.in.Type)
+	}
+}
+
 // Snapshot requests the session's versioned snapshot and returns the gob
 // bytes (feed to fleet.RestoreSession). The returned slice is the
 // client's reusable reply buffer — copy it to keep it past the next call.
@@ -136,43 +335,52 @@ func (c *Client) send(f *wire.Frame) error {
 	return err
 }
 
-// recv reads frames until one complete reply arrives and maps it: ACK →
-// (data, nil), ERR → *RemoteError. Window-1 discipline means the first
-// reply is the one for the request just sent; a seq mismatch is a
-// protocol bug and surfaces as an error.
+// recv reads one complete reply and maps it: ACK → (data, nil), ERR →
+// *RemoteError. Window-1 discipline means the first reply is the one for
+// the request just sent; a seq mismatch is a protocol bug and surfaces
+// as an error.
 func (c *Client) recv(wantSeq uint64) ([]byte, error) {
+	if err := c.readFrame(); err != nil {
+		return nil, err
+	}
+	switch c.in.Type {
+	case wire.Ack:
+		if c.in.Seq != wantSeq {
+			return nil, fmt.Errorf("server: ACK for seq %d, want %d", c.in.Seq, wantSeq)
+		}
+		return c.in.Data, nil
+	case wire.Err:
+		return nil, &RemoteError{Code: c.in.Code, Seq: c.in.Seq, Msg: c.in.Msg}
+	default:
+		return nil, fmt.Errorf("server: unexpected %s reply", c.in.Type)
+	}
+}
+
+// readFrame blocks until the splitter yields the next complete frame
+// into c.in, feeding it socket reads as needed.
+func (c *Client) readFrame() error {
 	var readErr error // deferred: a Read can return data and an error together
 	for {
 		ok, err := c.sp.Next(&c.in)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ok {
-			switch c.in.Type {
-			case wire.Ack:
-				if c.in.Seq != wantSeq {
-					return nil, fmt.Errorf("server: ACK for seq %d, want %d", c.in.Seq, wantSeq)
-				}
-				return c.in.Data, nil
-			case wire.Err:
-				return nil, &RemoteError{Code: c.in.Code, Seq: c.in.Seq, Msg: c.in.Msg}
-			default:
-				return nil, fmt.Errorf("server: unexpected %s reply", c.in.Type)
-			}
+			return nil
 		}
 		if readErr != nil {
-			return nil, readErr
+			return readErr
 		}
 		c.nc.SetReadDeadline(time.Now().Add(c.timeout))
 		n, err := c.nc.Read(c.rbuf)
 		if n > 0 {
 			if ferr := c.sp.Feed(c.rbuf[:n]); ferr != nil {
-				return nil, ferr
+				return ferr
 			}
 		}
 		readErr = err
 		if n == 0 && err != nil {
-			return nil, err
+			return err
 		}
 	}
 }

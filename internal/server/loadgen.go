@@ -24,9 +24,17 @@ type LoadConfig struct {
 	Dim      int    // feature dimensionality (fleet.FeatureDim)
 	// ChunkEvery > 0 sends every ChunkEvery-th observation as two
 	// fragments through the chunked path (OBSERVE_CHUNK over TCP,
-	// ObserveChunks in-process).
+	// ObserveChunks in-process). Mutually exclusive with Batch.
 	ChunkEvery int
-	Seed       int64
+	// Batch > 0 switches RunLoad sessions to the pipelined batching
+	// client (OBSERVE_BATCH frames of Batch observations, Window frames
+	// in flight, coalesced ACK_BATCH replies with per-item NACK retry).
+	// DirectLoad ignores it — the in-process twin is the semantic
+	// baseline either way.
+	Batch  int
+	Window int           // in-flight OBSERVE_BATCH frames (default 4)
+	Linger time.Duration // partial-batch flush deadline (0: size-only)
+	Seed   int64
 	Timeout    time.Duration // per round trip (default 30s)
 	// DialBurst bounds concurrent dial attempts while ramping (default
 	// 512) so a 10k-session ramp doesn't overflow the accept backlog;
@@ -74,6 +82,9 @@ func (cfg LoadConfig) normalize() (LoadConfig, error) {
 	if cfg.DialBurst <= 0 {
 		cfg.DialBurst = 512
 	}
+	if cfg.Batch > 0 && cfg.ChunkEvery > 0 {
+		return cfg, errors.New("server: load config: Batch and ChunkEvery are mutually exclusive")
+	}
 	return cfg, nil
 }
 
@@ -117,6 +128,28 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			<-start
 			rng := trafficRNG(cfg.Seed, id)
 			vals := make([]float64, cfg.Dim)
+			if cfg.Batch > 0 {
+				cli.StartBatching(BatchConfig{
+					BatchSize: cfg.Batch, Window: cfg.Window,
+					Linger: cfg.Linger, Latency: cfg.Latency,
+				})
+				for i := 0; i < cfg.Obs; i++ {
+					at := nextObs(rng, i, vals)
+					if err := cli.ObserveQueued(at, vals); err != nil {
+						fail(fmt.Errorf("session %d obs %d: %w", id, i, err))
+						return
+					}
+				}
+				if err := cli.Flush(); err != nil {
+					fail(fmt.Errorf("session %d flush: %w", id, err))
+					return
+				}
+				acked, nacked, _ := cli.BatchStats()
+				atomic.AddInt64(&res.Sent, acked+nacked)
+				atomic.AddInt64(&res.Acked, acked)
+				atomic.AddInt64(&res.Nacked, nacked)
+				return
+			}
 			for i := 0; i < cfg.Obs; i++ {
 				at := nextObs(rng, i, vals)
 				chunked := cfg.ChunkEvery > 0 && (i+1)%cfg.ChunkEvery == 0

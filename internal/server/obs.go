@@ -17,6 +17,9 @@ type metrics struct {
 	accepted       *obs.Counter // observations the fleet accepted
 	nacked         *obs.Counter // backpressure NACKs sent
 	rejected       *obs.Counter // observations refused with a kept connection
+	batchesIn      *obs.Counter // OBSERVE_BATCH frames dispatched
+	batchObs       *obs.Counter // observations carried by OBSERVE_BATCH frames
+	flushes        *obs.Counter // vectored reply flushes (one writev per flush)
 	snapshotReqs   *obs.Counter // session snapshots served over TCP
 	slowKills      *obs.Counter // connections killed for unread replies
 	midFrame       *obs.Counter // peers gone with a partial frame buffered
@@ -39,6 +42,9 @@ func WireMetrics(s *obs.Scope) {
 	mtr.accepted = s.Counter("accepted")
 	mtr.nacked = s.Counter("nacked")
 	mtr.rejected = s.Counter("rejected")
+	mtr.batchesIn = s.Counter("batches_in")
+	mtr.batchObs = s.Counter("batch_obs")
+	mtr.flushes = s.Counter("flushes")
 	mtr.snapshotReqs = s.Counter("snapshot_reqs")
 	mtr.slowKills = s.Counter("slow_kills")
 	mtr.midFrame = s.Counter("mid_frame_resets")

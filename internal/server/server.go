@@ -59,6 +59,15 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each reply write (default 10s).
 	WriteTimeout time.Duration
+	// FlushBytes bounds how many encoded reply bytes one vectored flush
+	// accumulates before it is forced out (default 32KiB). The writer
+	// always flushes the moment its queue is momentarily empty, so a
+	// window-1 client still sees single-frame latency; the threshold only
+	// bites under pipelined load, where it caps flush latency by size.
+	FlushBytes int
+	// FlushFrames caps the frames per vectored flush (default 64) — the
+	// net.Buffers length handed to one writev.
+	FlushFrames int
 }
 
 func (c Config) normalize() Config {
@@ -73,6 +82,12 @@ func (c Config) normalize() Config {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 32 << 10
+	}
+	if c.FlushFrames <= 0 {
+		c.FlushFrames = 64
 	}
 	return c
 }
@@ -89,8 +104,11 @@ type Counters struct {
 	FramesIn       int64 `json:"frames_in"`        // complete frames decoded
 	FramesOut      int64 `json:"frames_out"`       // replies written
 	Accepted       int64 `json:"accepted"`         // observations the fleet accepted
-	Nacked         int64 `json:"nacked"`           // backpressure NACKs
+	Nacked         int64 `json:"nacked"`           // backpressure NACKs (frames or batch items)
 	Rejected       int64 `json:"rejected"`         // refused observations (ERR, connection kept)
+	BatchesIn      int64 `json:"batches_in"`       // OBSERVE_BATCH frames dispatched
+	BatchObs       int64 `json:"batch_obs"`        // observations carried by OBSERVE_BATCH frames
+	Flushes        int64 `json:"flushes"`          // vectored reply flushes (one writev each)
 	SnapshotReqs   int64 `json:"snapshot_reqs"`    // session snapshots served
 	SlowKills      int64 `json:"slow_kills"`       // connections killed for unread replies
 	MidFrameResets int64 `json:"mid_frame_resets"` // peers gone with a partial frame buffered
@@ -118,6 +136,7 @@ type Server struct {
 		conns, connsTotal, hellos         atomic.Int64
 		framesIn, framesOut               atomic.Int64
 		accepted, nacked, rejected        atomic.Int64
+		batchesIn, batchObs, flushes      atomic.Int64
 		snapshotReqs, slowKills           atomic.Int64
 		midFrame, readErrors, writeErrors atomic.Int64
 		protocolErrors                    atomic.Int64
@@ -194,6 +213,9 @@ func (s *Server) Counters() Counters {
 		Accepted:       s.n.accepted.Load(),
 		Nacked:         s.n.nacked.Load(),
 		Rejected:       s.n.rejected.Load(),
+		BatchesIn:      s.n.batchesIn.Load(),
+		BatchObs:       s.n.batchObs.Load(),
+		Flushes:        s.n.flushes.Load(),
 		SnapshotReqs:   s.n.snapshotReqs.Load(),
 		SlowKills:      s.n.slowKills.Load(),
 		MidFrameResets: s.n.midFrame.Load(),
@@ -277,6 +299,11 @@ type conn struct {
 	chunkAt   int64
 	vals      []float64
 	fragLens  []int
+
+	// Batched-dispatch scratch (reader-owned): the fleet.ObserveBatch
+	// item and status views rebuilt per OBSERVE_BATCH frame.
+	bitems []fleet.Obs
+	bstat  []error
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -345,27 +372,57 @@ func (c *conn) readLoop() {
 	}
 }
 
+// writeLoop drains the reply queue with an explicit flush policy: block
+// for one frame, then gather every frame already queued — each encoded
+// into its own recycled buffer — and hand the lot to one vectored write
+// (net.Buffers → writev), flushing when the queue is momentarily empty or
+// when the FlushFrames/FlushBytes threshold is hit. Queue-empty flushing
+// keeps a window-1 client at single-frame latency; under pipelined load
+// the per-frame syscall cost amortizes across the whole flush.
 func (c *conn) writeLoop() {
 	defer c.srv.wg.Done()
 	defer c.nc.Close()
-	var buf []byte
+	bufs := make([][]byte, 0, c.srv.cfg.FlushFrames)
+	var nb net.Buffers
 	for {
 		f, err := c.out.Pop() // blocks; ErrClosed once closed and drained
 		if err != nil {
 			return
 		}
-		buf, err = wire.Append(buf[:0], &f)
-		if err != nil {
-			panic(fmt.Sprintf("server: reply frame failed to encode: %v", err))
+		n, total := 0, 0
+		for {
+			if n == len(bufs) {
+				bufs = append(bufs, nil)
+			}
+			b, err := wire.Append(bufs[n][:0], &f)
+			if err != nil {
+				panic(fmt.Sprintf("server: reply frame failed to encode: %v", err))
+			}
+			bufs[n] = b
+			n++
+			total += len(b)
+			if n >= c.srv.cfg.FlushFrames || total >= c.srv.cfg.FlushBytes {
+				break
+			}
+			next, ok, _ := c.out.TryPop()
+			if !ok {
+				break // queue momentarily empty: flush what we have
+			}
+			f = next
 		}
+		// nb copies the slice headers: WriteTo consumes nb in place, while
+		// the byte buffers in bufs stay ours for the next gather.
+		nb = append(nb[:0], bufs[:n]...)
 		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if _, err := c.nc.Write(buf); err != nil {
+		if _, err := nb.WriteTo(c.nc); err != nil {
 			c.srv.n.writeErrors.Add(1)
 			mtr.writeErrors.Inc()
 			return
 		}
-		c.srv.n.framesOut.Add(1)
-		mtr.framesOut.Inc()
+		c.srv.n.framesOut.Add(int64(n))
+		c.srv.n.flushes.Add(1)
+		mtr.framesOut.Add(int64(n))
+		mtr.flushes.Inc()
 	}
 }
 
@@ -412,6 +469,8 @@ func (c *conn) handle(fr *wire.Frame) bool {
 		return false
 	case wire.Observe:
 		return c.observe(fr)
+	case wire.ObserveBatch:
+		return c.observeBatch(fr)
 	case wire.ObserveChunk:
 		return c.observeChunk(fr)
 	case wire.SnapshotReq:
@@ -469,6 +528,75 @@ func (c *conn) observe(fr *wire.Frame) bool {
 			Msg: fmt.Sprintf("observation dim %d, want %d", len(fr.Vals), c.srv.dim)})
 	}
 	return c.dispatch(fr.Seq, c.srv.f.Observe(c.session, time.Duration(fr.At), fr.Vals))
+}
+
+// observeBatch routes one OBSERVE_BATCH into the fleet as a shard-level
+// grouped submission (fleet.ObserveBatch: one lock acquisition and one
+// coalesced enqueue per same-shard run) and answers with one ACK_BATCH
+// whose bitmap NACKs exactly the backpressured items — a full shard costs
+// those items a retry, not the whole frame. The PR 9 error-mapping
+// contract is otherwise preserved: a dimension mismatch is refused with a
+// frame-level CodeDim ERR before anything is submitted, an unknown
+// session (removed mid-flight) maps to a kept-connection ERR, and a
+// closed fleet to CodeClosed plus hangup.
+func (c *conn) observeBatch(fr *wire.Frame) bool {
+	n := len(fr.Batch)
+	c.srv.n.batchesIn.Add(1)
+	c.srv.n.batchObs.Add(int64(n))
+	mtr.batchesIn.Inc()
+	mtr.batchObs.Add(int64(n))
+	for i := range fr.Batch {
+		if len(fr.Batch[i].Vals) != c.srv.dim {
+			c.srv.n.rejected.Add(int64(n))
+			mtr.rejected.Add(int64(n))
+			return c.reply(wire.Frame{Type: wire.Err, Seq: fr.Batch[i].Seq, Code: wire.CodeDim,
+				Msg: fmt.Sprintf("batch item %d dim %d, want %d", i, len(fr.Batch[i].Vals), c.srv.dim)})
+		}
+	}
+	if cap(c.bitems) < n {
+		c.bitems = make([]fleet.Obs, n)
+		c.bstat = make([]error, n)
+	}
+	items, statuses := c.bitems[:n], c.bstat[:n]
+	for i := range fr.Batch {
+		items[i] = fleet.Obs{ID: c.session, At: time.Duration(fr.Batch[i].At), X: fr.Batch[i].Vals}
+	}
+	if err := c.srv.f.ObserveBatch(items, statuses); err != nil {
+		return c.dispatch(fr.Batch[0].Seq, err) // ErrClosed or a programming error
+	}
+	// Fresh bitmap per reply: the frame travels through the FIFO to the
+	// writer, so the reader must not reuse its backing.
+	bitmap := make([]byte, wire.BitmapLen(n))
+	acked, nacked := 0, 0
+	for i, st := range statuses {
+		switch {
+		case st == nil:
+			acked++
+		case errors.Is(st, fleet.ErrBackpressure):
+			wire.SetNack(bitmap, i)
+			nacked++
+		default:
+			// Session removed mid-batch: the accepted prefix is already
+			// applied; the rest of the frame resolves to one kept-
+			// connection ERR exactly like a single OBSERVE would.
+			c.srv.n.accepted.Add(int64(acked))
+			mtr.accepted.Add(int64(acked))
+			c.srv.n.rejected.Add(int64(n - acked))
+			mtr.rejected.Add(int64(n - acked))
+			if errors.Is(st, fleet.ErrUnknownSession) {
+				return c.reply(wire.Frame{Type: wire.Err, Seq: fr.Batch[i].Seq,
+					Code: wire.CodeUnknownSession, Msg: truncMsg(st.Error())})
+			}
+			c.reply(wire.Frame{Type: wire.Err, Seq: fr.Batch[i].Seq,
+				Code: wire.CodeInternal, Msg: truncMsg(st.Error())})
+			return false
+		}
+	}
+	c.srv.n.accepted.Add(int64(acked))
+	c.srv.n.nacked.Add(int64(nacked))
+	mtr.accepted.Add(int64(acked))
+	mtr.nacked.Add(int64(nacked))
+	return c.reply(wire.Frame{Type: wire.AckBatch, Seq: fr.Batch[0].Seq, Count: n, Bitmap: bitmap})
 }
 
 // observeChunk assembles fragments of one observation. Fragments share a

@@ -30,6 +30,9 @@ func FuzzWireDecode(f *testing.F) {
 			t.Fatalf("decode exceeded payload bounds: vals=%d data=%d msg=%d",
 				len(fr.Vals), len(fr.Data), len(fr.Msg))
 		}
+		if len(fr.Batch) > MaxBatch || fr.Count > MaxBatch {
+			t.Fatalf("decode exceeded batch bounds: items=%d count=%d", len(fr.Batch), fr.Count)
+		}
 		out, err := Append(nil, &fr)
 		if err != nil {
 			t.Fatalf("accepted body failed to re-encode: %v", err)
@@ -79,10 +82,7 @@ func FuzzFrameSplit(f *testing.F) {
 				if !ok {
 					return frames, nil
 				}
-				cp := fr
-				cp.Vals = append([]float64(nil), fr.Vals...)
-				cp.Data = append([]byte(nil), fr.Data...)
-				frames = append(frames, cp)
+				frames = append(frames, cloneFrame(&fr))
 			}
 		}
 

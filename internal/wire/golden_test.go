@@ -46,10 +46,25 @@ var goldenFrames = []struct {
 		Frame{Type: Err, Seq: 6, Code: CodeBackpressure, Msg: "full"},
 		"110000000606000000000000000100040066756c6c",
 	},
+	{
+		"observe_batch",
+		Frame{Type: ObserveBatch, Batch: []BatchObs{
+			{Seq: 7, At: 1000000000, Vals: []float64{1.5}},
+			{Seq: 8, At: 2000000000, Vals: []float64{-0.25, 0.5}},
+		}},
+		"3f000000070200070000000000000000ca9a3b000000000100000000000000f83f080000000000000000943577000000000200000000000000d0bf000000000000e03f",
+	},
+	{
+		"ack_batch",
+		Frame{Type: AckBatch, Seq: 7, Count: 2, Bitmap: []byte{0b10}},
+		"0c000000080700000000000000020002",
+	},
 }
 
 // goldenBatterySHA256 is the sha256 of the concatenated encodings above.
-const goldenBatterySHA256 = "ff4cfc27c5b1151bae1e0623eeb27472800417a229274762af4cc165689a8a28"
+// Re-pinned when PR 10 added the ObserveBatch/AckBatch frame types (pure
+// addition: every pre-existing frame's hex above is unchanged).
+const goldenBatterySHA256 = "3c6c2fd5f645c5ec4f23af71118befad21b3b1e2cde70fbcb3945008c9ba7528"
 
 func TestGoldenWireFormat(t *testing.T) {
 	h := sha256.New()
@@ -94,5 +109,29 @@ func TestGoldenHelloOnTheWire(t *testing.T) {
 	}
 	if string(buf) != string(want) {
 		t.Fatalf("hello layout changed:\n got % x\nwant % x", buf, want)
+	}
+}
+
+// TestGoldenAckBatchOnTheWire spells out the AckBatch layout byte by byte:
+// base seq, item count, then one LSB-first bitmap bit per item.
+func TestGoldenAckBatchOnTheWire(t *testing.T) {
+	buf, err := Append(nil, &Frame{Type: AckBatch, Seq: 9, Count: 10, Bitmap: []byte{0b1000_0001, 0b10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		13, 0, 0, 0, // length = 1 type byte + 12 payload
+		0x08,                   // ACK_BATCH
+		9, 0, 0, 0, 0, 0, 0, 0, // base seq u64 LE
+		10, 0, // count u16 LE
+		0b1000_0001, 0b10, // items 0, 7, 9 NACKed
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("ack batch layout changed:\n got % x\nwant % x", buf, want)
+	}
+	for i, nacked := range []bool{true, false, false, false, false, false, false, true, false, true} {
+		if Nacked(want[15:], i) != nacked {
+			t.Fatalf("bitmap bit %d: got %v, want %v", i, Nacked(want[15:], i), nacked)
+		}
 	}
 }

@@ -20,6 +20,8 @@
 //	SnapshotReq  seq u64
 //	Ack          seq u64 | dlen u32 | dlen bytes
 //	Err          seq u64 | code u16 | mlen u16 | mlen bytes
+//	ObserveBatch count u16 | count × (seq u64 | at i64 | vcount u16 | vcount × f64)
+//	AckBatch     base u64 | count u16 | ceil(count/8) bitmap bytes
 //
 // Hello opens a connection and authenticates exactly one session id; every
 // later frame belongs to that session, so observations carry only a
@@ -30,6 +32,14 @@
 // matching seq (Data carries the reply payload for SnapshotReq); Err
 // rejects it with a Code — CodeBackpressure is the protocol image of
 // fleet.ErrBackpressure, the server-side NACK for a full shard queue.
+//
+// ObserveBatch amortizes the per-frame cost across many observations: one
+// frame carries count complete observations, each with its own seq, and is
+// answered by one AckBatch whose base seq names the batch's first item and
+// whose bitmap carries one bit per item (LSB-first within each byte; bit i
+// set means item i was NACKed with backpressure and should be retried).
+// Per-item bits keep one full shard from failing a whole connection's
+// frame; any non-retryable condition still answers with a plain Err.
 //
 // Framing for partial reads lives in Splitter: feed arbitrary byte chunks
 // and complete frames come out, carry-buffered across chunk boundaries
@@ -71,6 +81,8 @@ const (
 	SnapshotReq  Type = 0x04 // client → server: request the session's snapshot
 	Ack          Type = 0x05 // server → client: frame seq accepted (+ reply data)
 	Err          Type = 0x06 // server → client: frame seq rejected with a code
+	ObserveBatch Type = 0x07 // client → server: many whole observations in one frame
+	AckBatch     Type = 0x08 // server → client: per-item verdicts for one ObserveBatch
 )
 
 // String names the type for errors and logs.
@@ -88,6 +100,10 @@ func (t Type) String() string {
 		return "ACK"
 	case Err:
 		return "ERR"
+	case ObserveBatch:
+		return "OBSERVE_BATCH"
+	case AckBatch:
+		return "ACK_BATCH"
 	}
 	return fmt.Sprintf("Type(0x%02x)", uint8(t))
 }
@@ -121,12 +137,20 @@ const (
 	// messages are diagnostics, not transport.
 	MaxMsg = 512
 
-	helloLen     = 16 // magic u32 + version u16 + session u64 + dim u16
-	observeHead  = 18 // seq u64 + at i64 + count u16
-	chunkHeadLen = 19 // seq u64 + at i64 + flags u8 + count u16
-	snapshotLen  = 8  // seq u64
-	ackHeadLen   = 12 // seq u64 + dlen u32
-	errHeadLen   = 12 // seq u64 + code u16 + mlen u16
+	// MaxBatch caps the item count of one ObserveBatch/AckBatch: the
+	// count field is a u16. MaxFrame is the binding bound in practice
+	// (each item costs at least batchItemHead bytes).
+	MaxBatch = 1<<16 - 1
+
+	helloLen      = 16 // magic u32 + version u16 + session u64 + dim u16
+	observeHead   = 18 // seq u64 + at i64 + count u16
+	chunkHeadLen  = 19 // seq u64 + at i64 + flags u8 + count u16
+	snapshotLen   = 8  // seq u64
+	ackHeadLen    = 12 // seq u64 + dlen u32
+	errHeadLen    = 12 // seq u64 + code u16 + mlen u16
+	batchHeadLen  = 2  // count u16
+	batchItemHead = 18 // seq u64 + at i64 + vcount u16
+	ackBatchHead  = 10 // base seq u64 + count u16
 )
 
 // Sentinel decode errors.
@@ -148,6 +172,14 @@ var (
 	// so every accepted byte stream has exactly one decoding (found by
 	// FuzzWireDecode: lossy flag decode broke decode∘encode identity).
 	ErrBadFlags = errors.New("wire: unknown chunk flags")
+	// ErrEmptyBatch reports an ObserveBatch or AckBatch with zero items.
+	// A batch frame that carries nothing has no meaning, so it is
+	// rejected structurally rather than special-cased by every handler.
+	ErrEmptyBatch = errors.New("wire: empty batch")
+	// ErrBadBitmap reports an AckBatch bitmap whose length does not match
+	// ceil(count/8) or whose padding bits past count are set — rejected
+	// for the same one-stream-one-decoding reason as ErrBadFlags.
+	ErrBadBitmap = errors.New("wire: bad ack bitmap")
 )
 
 // VersionError reports a Hello whose protocol version does not match
@@ -187,7 +219,34 @@ type Frame struct {
 	// Err fields.
 	Code Code
 	Msg  string
+
+	// ObserveBatch field. Decode sub-slices every item's Vals out of one
+	// flat backing (f.Vals doubles as that backing), so a recycled Frame
+	// decodes batches without per-item allocation.
+	Batch []BatchObs
+
+	// AckBatch fields: Seq is the base (first item's) seq, Count the
+	// number of items covered, and Bitmap holds ceil(Count/8) bytes with
+	// bit i (LSB-first) set when item i was NACKed and should be retried.
+	Count  int
+	Bitmap []byte
 }
+
+// BatchObs is one observation inside an ObserveBatch frame.
+type BatchObs struct {
+	Seq  uint64
+	At   int64
+	Vals []float64
+}
+
+// BitmapLen is the AckBatch bitmap size covering count items.
+func BitmapLen(count int) int { return (count + 7) / 8 }
+
+// SetNack marks item i NACKed in an AckBatch bitmap.
+func SetNack(bitmap []byte, i int) { bitmap[i/8] |= 1 << (i % 8) }
+
+// Nacked reports whether item i is NACKed in an AckBatch bitmap.
+func Nacked(bitmap []byte, i int) bool { return bitmap[i/8]&(1<<(i%8)) != 0 }
 
 // Append encodes f and appends the complete frame (length prefix included)
 // to dst, returning the extended slice. It validates payload bounds; an
@@ -232,6 +291,19 @@ func Append(dst []byte, f *Frame) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(f.Code))
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Msg)))
 		dst = append(dst, f.Msg...)
+	case ObserveBatch:
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Batch)))
+		for i := range f.Batch {
+			it := &f.Batch[i]
+			dst = binary.LittleEndian.AppendUint64(dst, it.Seq)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(it.At))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(it.Vals)))
+			dst = appendVals(dst, it.Vals)
+		}
+	case AckBatch:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(f.Count))
+		dst = append(dst, f.Bitmap...)
 	}
 	return dst, nil
 }
@@ -263,6 +335,39 @@ func (f *Frame) bodyLen() (int, error) {
 			return 0, fmt.Errorf("%w: %d message bytes", ErrFrameTooBig, len(f.Msg))
 		}
 		return 1 + errHeadLen + len(f.Msg), nil
+	case ObserveBatch:
+		if len(f.Batch) == 0 {
+			return 0, fmt.Errorf("%w: OBSERVE_BATCH", ErrEmptyBatch)
+		}
+		if len(f.Batch) > MaxBatch {
+			return 0, fmt.Errorf("%w: %d batch items", ErrFrameTooBig, len(f.Batch))
+		}
+		n := 1 + batchHeadLen
+		for i := range f.Batch {
+			if len(f.Batch[i].Vals) > MaxVals {
+				return 0, fmt.Errorf("%w: %d values in batch item %d", ErrFrameTooBig, len(f.Batch[i].Vals), i)
+			}
+			n += batchItemHead + 8*len(f.Batch[i].Vals)
+		}
+		if n > MaxFrame {
+			return 0, fmt.Errorf("%w: %d body bytes", ErrFrameTooBig, n)
+		}
+		return n, nil
+	case AckBatch:
+		if f.Count == 0 {
+			return 0, fmt.Errorf("%w: ACK_BATCH", ErrEmptyBatch)
+		}
+		if f.Count > MaxBatch {
+			return 0, fmt.Errorf("%w: %d batch items", ErrFrameTooBig, f.Count)
+		}
+		if len(f.Bitmap) != BitmapLen(f.Count) {
+			return 0, fmt.Errorf("%w: %d bitmap bytes for %d items, want %d",
+				ErrBadBitmap, len(f.Bitmap), f.Count, BitmapLen(f.Count))
+		}
+		if pad := f.Count % 8; pad != 0 && f.Bitmap[len(f.Bitmap)-1]>>pad != 0 {
+			return 0, fmt.Errorf("%w: padding bits set past item %d", ErrBadBitmap, f.Count)
+		}
+		return 1 + ackBatchHead + len(f.Bitmap), nil
 	}
 	return 0, fmt.Errorf("%w: 0x%02x", ErrBadType, uint8(f.Type))
 }
@@ -355,8 +460,85 @@ func DecodeBody(f *Frame, body []byte) error {
 				ErrTrailing, mlen, len(p)-errHeadLen)
 		}
 		f.Msg = string(p[errHeadLen:])
+	case ObserveBatch:
+		return decodeBatch(f, p)
+	case AckBatch:
+		if len(p) < ackBatchHead {
+			return lenErr(f.Type, len(p), ackBatchHead)
+		}
+		f.Seq = binary.LittleEndian.Uint64(p)
+		n := int(binary.LittleEndian.Uint16(p[8:]))
+		if n == 0 {
+			return fmt.Errorf("%w: ACK_BATCH", ErrEmptyBatch)
+		}
+		bl := BitmapLen(n)
+		if len(p)-ackBatchHead != bl {
+			return fmt.Errorf("%w: ACK_BATCH declares %d items (%d bitmap bytes), body carries %d",
+				ErrTrailing, n, bl, len(p)-ackBatchHead)
+		}
+		bm := p[ackBatchHead:]
+		if pad := n % 8; pad != 0 && bm[bl-1]>>pad != 0 {
+			return fmt.Errorf("%w: padding bits set past item %d", ErrBadBitmap, n)
+		}
+		f.Count = n
+		f.Bitmap = append(f.Bitmap[:0], bm...)
 	default:
 		return fmt.Errorf("%w: 0x%02x", ErrBadType, uint8(f.Type))
+	}
+	return nil
+}
+
+// decodeBatch parses an ObserveBatch payload in two passes: the first
+// validates every item's layout against the body and sums the value counts,
+// the second fills f.Batch with Vals views sub-sliced from one flat backing
+// (f.Vals). Growing the backing between items would invalidate earlier
+// views, hence validate-then-fill.
+func decodeBatch(f *Frame, p []byte) error {
+	if len(p) < batchHeadLen {
+		return lenErr(f.Type, len(p), batchHeadLen)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if n == 0 {
+		return fmt.Errorf("%w: OBSERVE_BATCH", ErrEmptyBatch)
+	}
+	items := p[batchHeadLen:]
+	off, total := 0, 0
+	for i := 0; i < n; i++ {
+		if len(items)-off < batchItemHead {
+			return fmt.Errorf("%w: OBSERVE_BATCH item %d of %d at byte %d", ErrTruncated, i, n, off)
+		}
+		vc := int(binary.LittleEndian.Uint16(items[off+16:]))
+		if len(items)-off-batchItemHead < 8*vc {
+			return fmt.Errorf("%w: OBSERVE_BATCH item %d declares %d values", ErrTruncated, i, vc)
+		}
+		off += batchItemHead + 8*vc
+		total += vc
+	}
+	if off != len(items) {
+		return fmt.Errorf("%w: OBSERVE_BATCH declares %d items in %d bytes, body carries %d",
+			ErrTrailing, n, off, len(items))
+	}
+	if cap(f.Vals) < total {
+		f.Vals = make([]float64, total)
+	}
+	f.Vals = f.Vals[:total]
+	if cap(f.Batch) < n {
+		f.Batch = make([]BatchObs, n)
+	}
+	f.Batch = f.Batch[:n]
+	off, total = 0, 0
+	for i := 0; i < n; i++ {
+		it := &f.Batch[i]
+		it.Seq = binary.LittleEndian.Uint64(items[off:])
+		it.At = int64(binary.LittleEndian.Uint64(items[off+8:]))
+		vc := int(binary.LittleEndian.Uint16(items[off+16:]))
+		off += batchItemHead
+		it.Vals = f.Vals[total : total+vc : total+vc]
+		for k := range it.Vals {
+			it.Vals[k] = math.Float64frombits(binary.LittleEndian.Uint64(items[off+8*k:]))
+		}
+		off += 8 * vc
+		total += vc
 	}
 	return nil
 }

@@ -19,7 +19,33 @@ func sampleFrames() []Frame {
 		{Type: Ack, Seq: 10, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
 		{Type: Ack, Seq: 11},
 		{Type: Err, Seq: 12, Code: CodeBackpressure, Msg: "shard queue full"},
+		{Type: ObserveBatch, Batch: []BatchObs{
+			{Seq: 13, At: 1, Vals: []float64{1.25, -2.5}},
+			{Seq: 14, At: 2, Vals: nil},
+			{Seq: 15, At: -3, Vals: []float64{math.Float64frombits(0x7ff8000000000001)}},
+		}},
+		{Type: AckBatch, Seq: 13, Count: 3, Bitmap: []byte{0b101}},
+		{Type: AckBatch, Seq: 20, Count: 9, Bitmap: []byte{0x00, 0x01}},
 	}
+}
+
+// cloneFrame deep-copies the slice-backed fields of a decoded frame, so the
+// copy survives the source Frame being reused for the next decode. Batch
+// items need their own Vals storage: decode sub-slices them out of one flat
+// backing that the next decode overwrites.
+func cloneFrame(fr *Frame) Frame {
+	cp := *fr
+	cp.Vals = append([]float64(nil), fr.Vals...)
+	cp.Data = append([]byte(nil), fr.Data...)
+	cp.Bitmap = append([]byte(nil), fr.Bitmap...)
+	if fr.Batch != nil {
+		cp.Batch = make([]BatchObs, len(fr.Batch))
+		for i := range fr.Batch {
+			cp.Batch[i] = fr.Batch[i]
+			cp.Batch[i].Vals = append([]float64(nil), fr.Batch[i].Vals...)
+		}
+	}
+	return cp
 }
 
 // frameEq compares the live fields for f's type, with NaNs equal by bits.
@@ -51,6 +77,19 @@ func frameEq(a, b *Frame) bool {
 		return a.Seq == b.Seq && string(a.Data) == string(b.Data)
 	case Err:
 		return a.Seq == b.Seq && a.Code == b.Code && a.Msg == b.Msg
+	case ObserveBatch:
+		if len(a.Batch) != len(b.Batch) {
+			return false
+		}
+		for i := range a.Batch {
+			x, y := &a.Batch[i], &b.Batch[i]
+			if x.Seq != y.Seq || x.At != y.At || !valsEq(x.Vals, y.Vals) {
+				return false
+			}
+		}
+		return true
+	case AckBatch:
+		return a.Seq == b.Seq && a.Count == b.Count && string(a.Bitmap) == string(b.Bitmap)
 	}
 	return false
 }
@@ -97,10 +136,31 @@ func TestEncodeBounds(t *testing.T) {
 		{Type: ObserveChunk, Vals: make([]float64, MaxVals+1)},
 		{Type: Ack, Data: make([]byte, MaxData+1)},
 		{Type: Err, Msg: strings.Repeat("x", MaxMsg+1)},
+		{Type: ObserveBatch, Batch: make([]BatchObs, MaxBatch+1)},
+		{Type: ObserveBatch, Batch: []BatchObs{{Vals: make([]float64, MaxVals+1)}}},
+		// Items individually legal but collectively past MaxFrame.
+		{Type: ObserveBatch, Batch: []BatchObs{
+			{Vals: make([]float64, MaxVals)}, {Vals: make([]float64, MaxVals)}, {Vals: make([]float64, MaxVals)},
+		}},
+		{Type: AckBatch, Count: MaxBatch + 1, Bitmap: make([]byte, BitmapLen(MaxBatch+1))},
 	}
 	for _, f := range cases {
 		if _, err := Append(nil, &f); !errors.Is(err, ErrFrameTooBig) {
 			t.Errorf("%s: oversized encode: got %v, want ErrFrameTooBig", f.Type, err)
+		}
+	}
+	// Structural batch encode errors: empty batches and bitmap shape.
+	for _, tc := range []struct {
+		f    Frame
+		want error
+	}{
+		{Frame{Type: ObserveBatch}, ErrEmptyBatch},
+		{Frame{Type: AckBatch}, ErrEmptyBatch},
+		{Frame{Type: AckBatch, Count: 3, Bitmap: []byte{0, 0}}, ErrBadBitmap},
+		{Frame{Type: AckBatch, Count: 3, Bitmap: []byte{0b1000}}, ErrBadBitmap},
+	} {
+		if _, err := Append(nil, &tc.f); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.f.Type, err, tc.want)
 		}
 	}
 	if _, err := Append(nil, &Frame{Type: Type(0x7f)}); !errors.Is(err, ErrBadType) {
@@ -137,6 +197,18 @@ func TestDecodeErrors(t *testing.T) {
 	badMagic := append([]byte(nil), hello...)
 	badMagic[1] ^= 0xff
 	observe := enc(Frame{Type: Observe, Seq: 1, Vals: []float64{1, 2}})
+	batch := enc(Frame{Type: ObserveBatch, Batch: []BatchObs{
+		{Seq: 1, At: 2, Vals: []float64{1}},
+		{Seq: 2, At: 3, Vals: []float64{2}},
+	}})
+	// A batch whose last item's vcount points past the body.
+	batchLies := append([]byte(nil), batch...)
+	batchLies[len(batchLies)-8-2] = 9
+	ackBatch := enc(Frame{Type: AckBatch, Seq: 1, Count: 3, Bitmap: []byte{0b010}})
+	ackBatchPad := append([]byte(nil), ackBatch...)
+	ackBatchPad[len(ackBatchPad)-1] |= 0b1000 // bit 3 of a 3-item batch
+	emptyBatch := []byte{byte(ObserveBatch), 0, 0}
+	emptyAckBatch := []byte{byte(AckBatch), 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}
 
 	cases := []struct {
 		name string
@@ -151,6 +223,16 @@ func TestDecodeErrors(t *testing.T) {
 		{"short observe head", observe[:10], ErrTruncated},
 		{"observe count lies", observe[:len(observe)-8], ErrTrailing},
 		{"oversized body", make([]byte, MaxFrame+1), ErrFrameTooBig},
+		{"short batch head", batch[:2], ErrTruncated},
+		{"short batch item", batch[:12], ErrTruncated},
+		{"batch vcount lies", batchLies, ErrTruncated},
+		{"batch trailing", append(append([]byte(nil), batch...), 0), ErrTrailing},
+		{"empty batch", emptyBatch, ErrEmptyBatch},
+		{"short ack batch", ackBatch[:8], ErrTruncated},
+		{"ack batch bitmap short", ackBatch[:len(ackBatch)-1], ErrTrailing},
+		{"ack batch bitmap long", append(append([]byte(nil), ackBatch...), 0), ErrTrailing},
+		{"ack batch padding bits", ackBatchPad, ErrBadBitmap},
+		{"empty ack batch", emptyAckBatch, ErrEmptyBatch},
 	}
 	for _, tc := range cases {
 		var f Frame
@@ -216,10 +298,7 @@ func TestSplitterWholeStream(t *testing.T) {
 			if !ok {
 				break
 			}
-			cp := f
-			cp.Vals = append([]float64(nil), f.Vals...)
-			cp.Data = append([]byte(nil), f.Data...)
-			got = append(got, cp)
+			got = append(got, cloneFrame(&f))
 		}
 	}
 	if len(got) != len(frames) {
